@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: exhaustive bit-flip sweeps over every Thumb
+//! conditional branch under the AND / OR / AND-with-invalid-zero models.
+
+fn main() {
+    for panel in gd_bench::fig2::run_all() {
+        gd_bench::fig2::print_panel(&panel);
+    }
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table II: multi-glitch (two identical back-to-back loops),
+//! partial vs full success per cycle.
+
+use gd_chipwhisperer::FaultModel;
+
+fn main() {
+    let model = FaultModel::default();
+    let rows = gd_bench::glitch_tables::table2(&model);
+    gd_bench::glitch_tables::print_table2(&rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table III: long glitches (0..10 through 0..20 cycles)
+//! against the doubled loop guards.
+
+use gd_chipwhisperer::FaultModel;
+
+fn main() {
+    let model = FaultModel::default();
+    let rows = gd_bench::glitch_tables::table3(&model);
+    gd_bench::glitch_tables::print_table3(&rows);
+}

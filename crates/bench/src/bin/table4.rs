@@ -1,0 +1,6 @@
+//! Regenerates Table IV: boot-time overhead (clock cycles) per defense.
+
+fn main() {
+    let rows = gd_bench::overhead::table4();
+    gd_bench::overhead::print_table4(&rows);
+}

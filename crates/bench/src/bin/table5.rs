@@ -1,0 +1,6 @@
+//! Regenerates Table V: firmware size overhead (bytes) per defense.
+
+fn main() {
+    let rows = gd_bench::overhead::table5();
+    gd_bench::overhead::print_table5(&rows);
+}

@@ -1,0 +1,10 @@
+//! Regenerates Table VI: hardened-firmware effectiveness under single,
+//! long, and windowed glitch campaigns (107,811 / 98,010 attempts each).
+
+use gd_chipwhisperer::FaultModel;
+
+fn main() {
+    let model = FaultModel::default();
+    let blocks = gd_bench::defense::table6(&model);
+    gd_bench::defense::print_table6(&blocks);
+}

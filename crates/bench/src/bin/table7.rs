@@ -1,0 +1,12 @@
+//! Regenerates Table VII: the qualitative comparison with prior
+//! software-based glitching defenses.
+
+use glitch_resistor::related;
+
+fn main() {
+    gd_bench::report::heading("Table VII — software-based defense comparison");
+    println!("{}", related::TABLE_HEADER);
+    for row in related::comparison() {
+        println!("{row}");
+    }
+}

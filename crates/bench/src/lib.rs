@@ -1,0 +1,23 @@
+//! # gd-bench — experiment harnesses for every table and figure
+//!
+//! One module per published artifact of *Glitching Demystified* (DSN 2021):
+//!
+//! | Module | Regenerates | Binary |
+//! |---|---|---|
+//! | [`fig2`] | Figure 2 (a–c) | `fig2` |
+//! | [`glitch_tables`] | Tables I–III | `table1`, `table2`, `table3` |
+//! | [`overhead`] | Tables IV–V | `table4`, `table5` |
+//! | [`defense`] | Table VI | `table6` |
+//! | `table7` binary | Table VII | `table7` |
+//! | `search` binary | §V-B tuning | `search` |
+//!
+//! Criterion benches covering the hot paths live in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod defense;
+pub mod fig2;
+pub mod glitch_tables;
+pub mod overhead;
+pub mod report;

@@ -1,0 +1,35 @@
+//! Small helpers for printing experiment tables.
+
+/// Formats a rate as a percentage with the paper's precision.
+pub fn pct(num: u64, denom: u64) -> String {
+    if denom == 0 {
+        "-".to_owned()
+    } else {
+        format!("{:.3}%", 100.0 * num as f64 / denom as f64)
+    }
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+/// Prints a heading with rules.
+pub fn heading(text: &str) {
+    println!();
+    rule(text.len().max(60));
+    println!("{text}");
+    rule(text.len().max(60));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(585, 78_408), "0.746%");
+        assert_eq!(pct(0, 0), "-");
+        assert_eq!(pct(1, 4), "25.000%");
+    }
+}

@@ -1,0 +1,781 @@
+//! AST and recursive-descent parser for the C subset.
+//!
+//! Supported surface, chosen to cover the firmware idioms the paper's
+//! evaluation uses (`volatile` guards, uninitialized enums, constant-return
+//! status functions, MMIO writes):
+//!
+//! ```c
+//! enum Status { FAILURE, SUCCESS };
+//! __sensitive int tick = 0;
+//! volatile int a = 0;
+//!
+//! int check(int t) {
+//!     if (t == 0) { return 1; }
+//!     return 0;
+//! }
+//!
+//! int main(void) {
+//!     *(volatile int *)0x48000014 = 1;   /* trigger */
+//!     while (!a) { }
+//!     return 0xACCE55;
+//! }
+//! ```
+
+use crate::lex::{lex, CcError, Tok, Token};
+
+/// A C type in the subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CType {
+    /// `int` / `unsigned int` / enum-typed values.
+    Int,
+    /// `char` / `unsigned char`.
+    Char,
+    /// `short` / `unsigned short`.
+    Short,
+    /// `void` (function returns only).
+    Void,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Variable or enum-constant reference.
+    Var(String),
+    /// Unary operator: `-`, `~`, `!`.
+    Unary(&'static str, Box<Expr>),
+    /// Binary operator (C spelling).
+    Bin(&'static str, Box<Expr>, Box<Expr>),
+    /// Function call.
+    Call(String, Vec<Expr>),
+    /// MMIO read: `*(volatile int *)addr`.
+    Mmio(Box<Expr>),
+}
+
+/// An assignable location.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// A named local, parameter, or global.
+    Var(String),
+    /// MMIO write target: `*(volatile int *)addr`.
+    Mmio(Expr),
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Local declaration.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: CType,
+        /// `volatile` qualifier.
+        volatile: bool,
+        /// Optional initializer.
+        init: Option<Expr>,
+    },
+    /// Assignment (`=` or compound `op=`; compound ops are pre-expanded).
+    Assign {
+        /// Target.
+        target: LValue,
+        /// Value.
+        value: Expr,
+    },
+    /// `if` / `else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch.
+        els: Vec<Stmt>,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `do { } while (…);` loop.
+    DoWhile {
+        /// Body.
+        body: Vec<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body` — kept structured so `continue`
+    /// targets the step.
+    For {
+        /// Optional init statement (decl or assignment).
+        init: Option<Box<Stmt>>,
+        /// Condition (`1` when omitted).
+        cond: Expr,
+        /// Optional step statement.
+        step: Option<Box<Stmt>>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `return`.
+    Return(Option<Expr>),
+    /// Expression evaluated for effect (calls).
+    ExprStmt(Expr),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+}
+
+/// A global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CGlobal {
+    /// Name.
+    pub name: String,
+    /// Type.
+    pub ty: CType,
+    /// Constant initializer (0 when omitted).
+    pub init: i64,
+    /// `volatile` qualifier — accesses lower to volatile loads/stores.
+    pub volatile: bool,
+    /// `__sensitive` marker (or listed in [`crate::Options::sensitive`]).
+    pub sensitive: bool,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CFunc {
+    /// Name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<(String, CType)>,
+    /// Return type.
+    pub ret: CType,
+    /// Body.
+    pub body: Vec<Stmt>,
+}
+
+/// One enum variant: name plus explicit initializer when present.
+pub type EnumVariant = (String, Option<i64>);
+
+/// A parsed translation unit.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CProgram {
+    /// Enum definitions (name, variants with explicit initializers).
+    pub enums: Vec<(String, Vec<EnumVariant>)>,
+    /// Globals.
+    pub globals: Vec<CGlobal>,
+    /// Functions.
+    pub funcs: Vec<CFunc>,
+}
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns [`CcError`] with the offending line for lexical and syntactic
+/// problems.
+pub fn parse(src: &str) -> Result<CProgram, CcError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.tokens.get(self.pos).map_or(0, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError { line: self.line(), msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).map(|t| t.kind.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(q)) if *q == p) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &'static str) -> Result<(), CcError> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{p}`, found {}", self.describe())))
+        }
+    }
+
+    fn describe(&self) -> String {
+        match self.peek() {
+            Some(t) => t.to_string(),
+            None => "end of input".into(),
+        }
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == word) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CcError> {
+        match self.bump() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(CcError {
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
+                msg: format!("expected identifier, found {other:?}"),
+            }),
+        }
+    }
+
+    // ---------------- top level ----------------
+
+    fn program(&mut self) -> Result<CProgram, CcError> {
+        let mut prog = CProgram::default();
+        while self.peek().is_some() {
+            if self.eat_ident("enum") {
+                // enum Name { A, B = 2 }; — or `enum Name var;` (a typed
+                // global). Distinguish by the token after the name.
+                let name = self.expect_ident()?;
+                if self.eat_punct("{") {
+                    let mut variants = Vec::new();
+                    loop {
+                        if self.eat_punct("}") {
+                            break;
+                        }
+                        let vname = self.expect_ident()?;
+                        let init = if self.eat_punct("=") {
+                            Some(self.const_int()?)
+                        } else {
+                            None
+                        };
+                        variants.push((vname, init));
+                        if !self.eat_punct(",") {
+                            self.expect_punct("}")?;
+                            break;
+                        }
+                    }
+                    self.expect_punct(";")?;
+                    prog.enums.push((name, variants));
+                } else {
+                    // enum-typed global: `enum Status state = FAILURE;`
+                    let g = self.global_tail(CType::Int, false, false, &prog)?;
+                    prog.globals.push(g);
+                }
+                continue;
+            }
+            // Qualifiers.
+            let mut sensitive = false;
+            let mut volatile = false;
+            loop {
+                if self.eat_ident("__sensitive") {
+                    sensitive = true;
+                } else if self.eat_ident("volatile") {
+                    volatile = true;
+                } else if self.eat_ident("static") || self.eat_ident("const") {
+                    // accepted and ignored
+                } else {
+                    break;
+                }
+            }
+            let ty = self.parse_type()?;
+            // Function or global? name then `(` → function.
+            let name = self.expect_ident()?;
+            if self.eat_punct("(") {
+                if sensitive || volatile {
+                    return Err(self.err("qualifiers are for globals, not functions"));
+                }
+                let func = self.function_tail(name, ty)?;
+                prog.funcs.push(func);
+            } else {
+                let mut g = self.global_named_tail(name, ty, volatile, sensitive, &prog)?;
+                g.volatile = volatile;
+                prog.globals.push(g);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn parse_type(&mut self) -> Result<CType, CcError> {
+        let _unsigned = self.eat_ident("unsigned") || self.eat_ident("signed");
+        if self.eat_ident("int") {
+            Ok(CType::Int)
+        } else if self.eat_ident("char") {
+            Ok(CType::Char)
+        } else if self.eat_ident("short") {
+            let _ = self.eat_ident("int");
+            Ok(CType::Short)
+        } else if self.eat_ident("void") {
+            Ok(CType::Void)
+        } else if self.eat_ident("enum") {
+            let _name = self.expect_ident()?;
+            Ok(CType::Int)
+        } else if _unsigned {
+            Ok(CType::Int) // bare `unsigned`
+        } else {
+            Err(self.err(format!("expected a type, found {}", self.describe())))
+        }
+    }
+
+    fn const_int(&mut self) -> Result<i64, CcError> {
+        let neg = self.eat_punct("-");
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(if neg { -v } else { v }),
+            other => Err(self.err(format!("expected integer constant, found {other:?}"))),
+        }
+    }
+
+    fn global_tail(
+        &mut self,
+        ty: CType,
+        volatile: bool,
+        sensitive: bool,
+        prog: &CProgram,
+    ) -> Result<CGlobal, CcError> {
+        let name = self.expect_ident()?;
+        self.global_named_tail(name, ty, volatile, sensitive, prog)
+    }
+
+    fn global_named_tail(
+        &mut self,
+        name: String,
+        ty: CType,
+        volatile: bool,
+        sensitive: bool,
+        prog: &CProgram,
+    ) -> Result<CGlobal, CcError> {
+        let init = if self.eat_punct("=") {
+            // Either an integer constant or an enum-constant name.
+            match self.peek() {
+                Some(Tok::Ident(_)) => {
+                    let id = self.expect_ident()?;
+                    enum_constant_value(prog, &id)
+                        .ok_or_else(|| self.err(format!("unknown enum constant `{id}`")))?
+                }
+                _ => self.const_int()?,
+            }
+        } else {
+            0
+        };
+        self.expect_punct(";")?;
+        Ok(CGlobal { name, ty, init, volatile, sensitive })
+    }
+
+    fn function_tail(&mut self, name: String, ret: CType) -> Result<CFunc, CcError> {
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if self.eat_ident("void") {
+                self.expect_punct(")")?;
+            } else {
+                loop {
+                    let _ = self.eat_ident("volatile");
+                    let pty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    params.push((pname, pty));
+                    if !self.eat_punct(",") {
+                        self.expect_punct(")")?;
+                        break;
+                    }
+                }
+            }
+        }
+        self.expect_punct("{")?;
+        let body = self.block_tail()?;
+        Ok(CFunc { name, params, ret, body })
+    }
+
+    // ---------------- statements ----------------
+
+    /// Parses statements up to the closing `}` (already consumed `{`).
+    fn block_tail(&mut self) -> Result<Vec<Stmt>, CcError> {
+        let mut out = Vec::new();
+        while !self.eat_punct("}") {
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input inside a block"));
+            }
+            out.push(self.statement()?);
+        }
+        Ok(out)
+    }
+
+    fn braced_or_single(&mut self) -> Result<Vec<Stmt>, CcError> {
+        if self.eat_punct("{") {
+            self.block_tail()
+        } else {
+            Ok(vec![self.statement()?])
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn statement(&mut self) -> Result<Stmt, CcError> {
+        // Declarations.
+        let is_type_word = matches!(
+            self.peek(),
+            Some(Tok::Ident(s)) if matches!(
+                s.as_str(),
+                "int" | "char" | "short" | "unsigned" | "signed" | "volatile" | "enum"
+            )
+        );
+        if is_type_word {
+            // `enum X { … }` is top-level only; here `enum X v` declares.
+            let volatile = self.eat_ident("volatile");
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            let init = if self.eat_punct("=") { Some(self.expression()?) } else { None };
+            self.expect_punct(";")?;
+            return Ok(Stmt::Decl { name, ty, volatile, init });
+        }
+        if self.eat_ident("if") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let then = self.braced_or_single()?;
+            let els = if self.eat_ident("else") { self.braced_or_single()? } else { Vec::new() };
+            return Ok(Stmt::If { cond, then, els });
+        }
+        if self.eat_ident("while") {
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            let body = if self.eat_punct(";") { Vec::new() } else { self.braced_or_single()? };
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.eat_ident("do") {
+            let body = self.braced_or_single()?;
+            if !self.eat_ident("while") {
+                return Err(self.err("expected `while` after `do` body"));
+            }
+            self.expect_punct("(")?;
+            let cond = self.expression()?;
+            self.expect_punct(")")?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::DoWhile { body, cond });
+        }
+        if self.eat_ident("for") {
+            self.expect_punct("(")?;
+            let init = if self.eat_punct(";") { None } else { Some(Box::new(self.statement()?)) };
+            let cond =
+                if self.eat_punct(";") { Expr::Int(1) } else {
+                    let c = self.expression()?;
+                    self.expect_punct(";")?;
+                    c
+                };
+            let step = if self.eat_punct(")") {
+                None
+            } else {
+                let s = self.assign_or_expr_stmt(false)?;
+                self.expect_punct(")")?;
+                Some(Box::new(s))
+            };
+            let body = self.braced_or_single()?;
+            return Ok(Stmt::For { init, cond, step, body });
+        }
+        if self.eat_ident("return") {
+            if self.eat_punct(";") {
+                return Ok(Stmt::Return(None));
+            }
+            let e = self.expression()?;
+            self.expect_punct(";")?;
+            return Ok(Stmt::Return(Some(e)));
+        }
+        if self.eat_ident("break") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Break);
+        }
+        if self.eat_ident("continue") {
+            self.expect_punct(";")?;
+            return Ok(Stmt::Continue);
+        }
+        let s = self.assign_or_expr_stmt(true)?;
+        Ok(s)
+    }
+
+    /// Assignment / compound assignment / increment / call statement.
+    /// `want_semi` controls the trailing `;` (for-steps omit it).
+    fn assign_or_expr_stmt(&mut self, want_semi: bool) -> Result<Stmt, CcError> {
+        let stmt = if self.peek() == Some(&Tok::Punct("*")) {
+            // MMIO store: *(volatile int *)ADDR = value;
+            let addr = self.mmio_target()?;
+            self.expect_punct("=")?;
+            let value = self.expression()?;
+            Stmt::Assign { target: LValue::Mmio(addr), value }
+        } else if let (Some(Tok::Ident(name)), Some(next)) = (self.peek(), self.peek2()) {
+            let name = name.clone();
+            match next {
+                Tok::Punct("=") => {
+                    self.pos += 2;
+                    let value = self.expression()?;
+                    Stmt::Assign { target: LValue::Var(name), value }
+                }
+                Tok::Punct(op @ ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=")) => {
+                    let bin: &'static str = &op[..op.len() - 1];
+                    self.pos += 2;
+                    let rhs = self.expression()?;
+                    Stmt::Assign {
+                        target: LValue::Var(name.clone()),
+                        value: Expr::Bin(bin, Box::new(Expr::Var(name)), Box::new(rhs)),
+                    }
+                }
+                Tok::Punct(op @ ("++" | "--")) => {
+                    let bin: &'static str = if *op == "++" { "+" } else { "-" };
+                    self.pos += 2;
+                    Stmt::Assign {
+                        target: LValue::Var(name.clone()),
+                        value: Expr::Bin(bin, Box::new(Expr::Var(name)), Box::new(Expr::Int(1))),
+                    }
+                }
+                _ => Stmt::ExprStmt(self.expression()?),
+            }
+        } else {
+            Stmt::ExprStmt(self.expression()?)
+        };
+        if want_semi {
+            self.expect_punct(";")?;
+        }
+        Ok(stmt)
+    }
+
+    /// `*(volatile int *)expr` — consumes through the address expression.
+    fn mmio_target(&mut self) -> Result<Expr, CcError> {
+        self.expect_punct("*")?;
+        self.expect_punct("(")?;
+        let _ = self.eat_ident("volatile");
+        let _ = self.parse_type()?;
+        self.expect_punct("*")?;
+        self.expect_punct(")")?;
+        self.unary()
+    }
+
+    // ---------------- expressions (precedence climbing) ----------------
+
+    fn expression(&mut self) -> Result<Expr, CcError> {
+        self.binary(0)
+    }
+
+    fn binary(&mut self, min_level: u8) -> Result<Expr, CcError> {
+        const LEVELS: [&[&str]; 10] = [
+            &["||"],
+            &["&&"],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["==", "!="],
+            &["<", "<=", ">", ">="],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if min_level as usize >= LEVELS.len() {
+            return self.unary();
+        }
+        let mut lhs = self.binary(min_level + 1)?;
+        while let Some(Tok::Punct(p)) = self.peek() {
+            let Some(op) = LEVELS[min_level as usize].iter().find(|o| *o == p) else { break };
+            let op: &'static str = op;
+            self.pos += 1;
+            let rhs = self.binary(min_level + 1)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CcError> {
+        if self.eat_punct("-") {
+            return Ok(Expr::Unary("-", Box::new(self.unary()?)));
+        }
+        if self.eat_punct("~") {
+            return Ok(Expr::Unary("~", Box::new(self.unary()?)));
+        }
+        if self.eat_punct("!") {
+            return Ok(Expr::Unary("!", Box::new(self.unary()?)));
+        }
+        if self.peek() == Some(&Tok::Punct("*")) {
+            let addr = self.mmio_target()?;
+            return Ok(Expr::Mmio(Box::new(addr)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, CcError> {
+        match self.bump() {
+            Some(Tok::Int(v)) => Ok(Expr::Int(v)),
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct("(") {
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expression()?);
+                            if !self.eat_punct(",") {
+                                self.expect_punct(")")?;
+                                break;
+                            }
+                        }
+                    }
+                    Ok(Expr::Call(name, args))
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(Tok::Punct("(")) => {
+                let e = self.expression()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => Err(CcError {
+                line: self.tokens.get(self.pos.saturating_sub(1)).map_or(0, |t| t.line),
+                msg: format!("expected expression, found {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Resolves an enum-constant name to its C value in `prog`.
+pub fn enum_constant_value(prog: &CProgram, name: &str) -> Option<i64> {
+    for (_, variants) in &prog.enums {
+        let mut value = -1i64;
+        for (vname, init) in variants {
+            value = init.unwrap_or(value + 1);
+            if vname == name {
+                return Some(value);
+            }
+        }
+    }
+    None
+}
+
+/// Finds the enum (name, variant index) of a constant, for provenance.
+pub fn enum_constant_ref(prog: &CProgram, name: &str) -> Option<(String, u32)> {
+    for (ename, variants) in &prog.enums {
+        if let Some(idx) = variants.iter().position(|(v, _)| v == name) {
+            return Some((ename.clone(), idx as u32));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let src = r"
+enum Status { FAILURE, SUCCESS };
+__sensitive int tick = 0;
+volatile int a = 0;
+
+int check(int t) {
+    if (t == 0) { return 1; }
+    return 0;
+}
+
+int main(void) {
+    *(volatile int *)0x48000014 = 1;
+    while (!a) { }
+    return 0xACCE55;
+}
+";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.enums.len(), 1);
+        assert_eq!(prog.globals.len(), 2);
+        assert!(prog.globals[0].sensitive);
+        assert!(prog.globals[1].volatile);
+        assert_eq!(prog.funcs.len(), 2);
+        assert_eq!(prog.funcs[1].name, "main");
+    }
+
+    #[test]
+    fn precedence() {
+        let prog = parse("int f(void) { return 1 + 2 * 3 == 7 && 1; }").unwrap();
+        let Stmt::Return(Some(e)) = &prog.funcs[0].body[0] else { panic!() };
+        // (&& ((== (+ 1 (* 2 3)) 7) 1))
+        let Expr::Bin("&&", lhs, _) = e else { panic!("got {e:?}") };
+        let Expr::Bin("==", sum, _) = &**lhs else { panic!("got {lhs:?}") };
+        let Expr::Bin("+", _, prod) = &**sum else { panic!("got {sum:?}") };
+        assert!(matches!(&**prod, Expr::Bin("*", _, _)));
+    }
+
+    #[test]
+    fn compound_assignment_expands() {
+        let prog = parse("int f(int x) { x += 2; x++; return x; }").unwrap();
+        let Stmt::Assign { value, .. } = &prog.funcs[0].body[0] else { panic!() };
+        assert!(matches!(value, Expr::Bin("+", _, _)));
+        let Stmt::Assign { value, .. } = &prog.funcs[0].body[1] else { panic!() };
+        assert!(matches!(value, Expr::Bin("+", _, _)));
+    }
+
+    #[test]
+    fn for_keeps_its_structure() {
+        let prog = parse("int f(void) { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }")
+            .unwrap();
+        let body = &prog.funcs[0].body;
+        assert!(matches!(body[0], Stmt::Decl { .. }));
+        let Stmt::For { init, step, .. } = &body[1] else { panic!("{body:?}") };
+        assert!(matches!(init.as_deref(), Some(Stmt::Decl { .. })));
+        assert!(matches!(step.as_deref(), Some(Stmt::Assign { .. })));
+    }
+
+    #[test]
+    fn enum_initializers_resolve() {
+        let prog = parse("enum E { A, B = 5, C };\nenum E s = C;\n").unwrap();
+        assert_eq!(prog.globals[0].init, 6);
+        assert_eq!(enum_constant_value(&prog, "A"), Some(0));
+        assert_eq!(enum_constant_ref(&prog, "C"), Some(("E".into(), 2)));
+    }
+
+    #[test]
+    fn errors_carry_lines() {
+        let err = parse("int f(void) {\n  return @;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("int f(void) { if (1 { } }").unwrap_err();
+        assert!(err.msg.contains("expected"));
+    }
+
+    #[test]
+    fn mmio_read_and_write() {
+        let prog = parse(
+            "int f(void) { int v = *(volatile int *)0x40000000; *(volatile int *)0x40000004 = v; return v; }",
+        )
+        .unwrap();
+        let Stmt::Decl { init: Some(Expr::Mmio(_)), .. } = &prog.funcs[0].body[0] else {
+            panic!()
+        };
+        let Stmt::Assign { target: LValue::Mmio(_), .. } = &prog.funcs[0].body[1] else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn do_while_and_break() {
+        let prog = parse(
+            "int f(void) { int i = 0; do { i++; if (i > 3) { break; } } while (1); return i; }",
+        )
+        .unwrap();
+        assert!(matches!(prog.funcs[0].body[1], Stmt::DoWhile { .. }));
+    }
+}

@@ -1,0 +1,248 @@
+//! Lexer for the C subset.
+
+use core::fmt;
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: Tok,
+    /// 1-based line number.
+    pub line: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (decimal or hex).
+    Int(i64),
+    /// Punctuation or operator, canonical spelling.
+    Punct(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Punct(p) => write!(f, "`{p}`"),
+        }
+    }
+}
+
+/// Lexing/parsing error with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcError {
+    /// 1-based line (0 at end of input).
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for CcError {}
+
+/// Multi-character operators, longest first.
+const PUNCTS: [&str; 30] = [
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "++", "--", "(", ")", "{", "}", ";", ",", "=", "<", ">", "*",
+];
+const SINGLE: &str = "+-*/%&|^~!()[]{};,=<>";
+
+/// Tokenizes `src`.
+///
+/// # Errors
+///
+/// Returns [`CcError`] for malformed numbers or unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if src[i..].starts_with("//") {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if src[i..].starts_with("/*") {
+            let start_line = line;
+            i += 2;
+            loop {
+                if i + 1 >= bytes.len() {
+                    return Err(CcError {
+                        line: start_line,
+                        msg: "unterminated block comment".into(),
+                    });
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                }
+                if &src[i..i + 2] == "*/" {
+                    i += 2;
+                    break;
+                }
+                i += 1;
+            }
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            if src[i..].starts_with("0x") || src[i..].starts_with("0X") {
+                i += 2;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
+                    i += 1;
+                }
+                let v = i64::from_str_radix(&src[start + 2..i], 16)
+                    .map_err(|_| CcError { line, msg: format!("bad hex literal `{}`", &src[start..i]) })?;
+                out.push(Token { kind: Tok::Int(v), line });
+            } else {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // Swallow C suffixes (u, U, l, L).
+                while i < bytes.len() && matches!(bytes[i], b'u' | b'U' | b'l' | b'L') {
+                    i += 1;
+                }
+                let digits: String =
+                    src[start..i].chars().take_while(|c| c.is_ascii_digit()).collect();
+                let v = digits
+                    .parse()
+                    .map_err(|_| CcError { line, msg: format!("bad literal `{digits}`") })?;
+                out.push(Token { kind: Tok::Int(v), line });
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            out.push(Token { kind: Tok::Ident(src[start..i].to_owned()), line });
+            continue;
+        }
+        // Operators.
+        if let Some(p) = PUNCTS.iter().find(|p| src[i..].starts_with(**p)) {
+            out.push(Token { kind: Tok::Punct(p), line });
+            i += p.len();
+            continue;
+        }
+        if SINGLE.contains(c) {
+            // Canonicalize to a 'static str.
+            let p = match c {
+                '+' => "+",
+                '-' => "-",
+                '*' => "*",
+                '/' => "/",
+                '%' => "%",
+                '&' => "&",
+                '|' => "|",
+                '^' => "^",
+                '~' => "~",
+                '!' => "!",
+                '(' => "(",
+                ')' => ")",
+                '[' => "[",
+                ']' => "]",
+                '{' => "{",
+                '}' => "}",
+                ';' => ";",
+                ',' => ",",
+                '=' => "=",
+                '<' => "<",
+                '>' => ">",
+                _ => unreachable!(),
+            };
+            out.push(Token { kind: Tok::Punct(p), line });
+            i += 1;
+            continue;
+        }
+        return Err(CcError { line, msg: format!("unexpected character `{c}`") });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(
+            kinds("int x = 0x2A;"),
+            vec![
+                Tok::Ident("int".into()),
+                Tok::Ident("x".into()),
+                Tok::Punct("="),
+                Tok::Int(42),
+                Tok::Punct(";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators_win() {
+        assert_eq!(kinds("a<<=1"), vec![
+            Tok::Ident("a".into()),
+            Tok::Punct("<<="),
+            Tok::Int(1),
+        ]);
+        assert_eq!(kinds("a<b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Punct("<"),
+            Tok::Ident("b".into()),
+        ]);
+        assert_eq!(kinds("a!=b"), vec![
+            Tok::Ident("a".into()),
+            Tok::Punct("!="),
+            Tok::Ident("b".into()),
+        ]);
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\n/* multi\nline */ b").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 3);
+    }
+
+    #[test]
+    fn suffixes_swallowed() {
+        assert_eq!(kinds("10UL"), vec![Tok::Int(10)]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("@").is_err());
+        assert!(lex("/* never ends").is_err());
+        assert!(lex("0xZZ").is_err());
+    }
+}

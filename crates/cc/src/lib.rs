@@ -1,0 +1,39 @@
+//! # gd-cc — a C-subset frontend for the GlitchResistor IR
+//!
+//! The Clang substitute of the *Glitching Demystified* reproduction:
+//! GlitchResistor's users write C firmware, and its ENUM rewriter operates
+//! at the source/AST level where enum provenance still exists. This crate
+//! compiles a deliberately small C subset — exactly the idioms the paper's
+//! evaluation firmware uses — into [`gd_ir`] modules that the defense
+//! passes and the Thumb backend consume.
+//!
+//! Supported: `int`/`char`/`short`/`void`, `volatile`, C-style enums,
+//! globals, functions, `if`/`else`, `while`, `do`-`while`, `for`
+//! (desugared), `break`/`continue`, `return`, the usual operators with C
+//! precedence (including short-circuit `&&`/`||`), compound assignment,
+//! `++`/`--`, calls, and MMIO access via `*(volatile int *)ADDR`. The
+//! non-standard `__sensitive` qualifier marks a global for the
+//! data-integrity defense; [`Options::sensitive`] plays the role of the
+//! paper's configuration file.
+//!
+//! ```
+//! use gd_cc::compile_c;
+//!
+//! let module = compile_c(
+//!     "int triple(int x) { return 3 * x; }
+//!      int main(void) { return triple(14); }",
+//! )?;
+//! gd_ir::verify_module(&module)?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod ast;
+mod lex;
+mod lower;
+
+pub use ast::{parse, CFunc, CGlobal, CProgram, CType, Expr, LValue, Stmt};
+pub use lex::CcError;
+pub use lower::{compile_c, compile_c_with, Options};

@@ -1,0 +1,570 @@
+//! Lowering the C AST to the GlitchResistor IR (clang -O0 style: every
+//! variable lives in an alloca; control flow is explicit blocks).
+
+use std::collections::{BTreeSet, HashMap};
+
+use gd_ir::{
+    BinOp, BlockId, Builder, EnumDef, Function, Global, Module, Pred, Ty, ValueId,
+};
+
+use crate::ast::{
+    enum_constant_ref, parse, CFunc, CProgram, CType, Expr, LValue, Stmt,
+};
+use crate::lex::CcError;
+
+/// Compilation options.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    /// Module name.
+    pub module_name: String,
+    /// Globals to protect with the data-integrity defense, in addition to
+    /// any marked `__sensitive` in the source — the paper's configuration
+    /// file of sensitive variables.
+    pub sensitive: BTreeSet<String>,
+}
+
+/// Compiles C source to an IR module with default options.
+///
+/// # Errors
+///
+/// Returns [`CcError`] for syntax errors and semantic problems (unknown
+/// names, arity mismatches, assigning to enum constants, …).
+pub fn compile_c(src: &str) -> Result<Module, CcError> {
+    compile_c_with(src, &Options::default())
+}
+
+/// Compiles C source to an IR module.
+///
+/// # Errors
+///
+/// See [`compile_c`].
+pub fn compile_c_with(src: &str, options: &Options) -> Result<Module, CcError> {
+    let prog = parse(src)?;
+    lower_program(&prog, options)
+}
+
+fn ty_of(cty: &CType) -> Ty {
+    match cty {
+        CType::Int => Ty::I32,
+        CType::Char => Ty::I8,
+        CType::Short => Ty::I16,
+        CType::Void => Ty::Void,
+    }
+}
+
+fn lower_program(prog: &CProgram, options: &Options) -> Result<Module, CcError> {
+    let mut module = Module::new(&options.module_name);
+    for (name, variants) in &prog.enums {
+        module.enums.push(EnumDef { name: name.clone(), variants: variants.clone() });
+    }
+    for g in &prog.globals {
+        module.add_global(Global {
+            name: g.name.clone(),
+            ty: ty_of(&g.ty),
+            init: g.init,
+            sensitive: g.sensitive || options.sensitive.contains(&g.name),
+        });
+    }
+    // Signatures first so call order does not matter.
+    let sigs: HashMap<String, (Vec<Ty>, Ty)> = prog
+        .funcs
+        .iter()
+        .map(|f| {
+            let params = f.params.iter().map(|(_, t)| ty_of(t)).collect();
+            (f.name.clone(), (params, ty_of(&f.ret)))
+        })
+        .collect();
+    for f in &prog.funcs {
+        let func = lower_function(prog, f, &sigs, &module)?;
+        module.funcs.push(func);
+    }
+    Ok(module)
+}
+
+struct VarSlot {
+    ptr: ValueId,
+    ty: Ty,
+    volatile: bool,
+}
+
+struct Lowerer<'p> {
+    prog: &'p CProgram,
+    sigs: &'p HashMap<String, (Vec<Ty>, Ty)>,
+    globals: HashMap<String, (Ty, bool /*volatile*/)>,
+    locals: Vec<HashMap<String, VarSlot>>,
+    func: Function,
+    block: BlockId,
+    /// (continue target, break target) stack.
+    loop_stack: Vec<(BlockId, BlockId)>,
+    next_block: u32,
+    line_hint: usize,
+}
+
+impl<'p> Lowerer<'p> {
+    fn err(&self, msg: impl Into<String>) -> CcError {
+        CcError { line: self.line_hint, msg: msg.into() }
+    }
+
+    fn builder(&mut self) -> Builder<'_> {
+        Builder::new(&mut self.func, self.block)
+    }
+
+    fn fresh_block(&mut self, hint: &str) -> BlockId {
+        self.next_block += 1;
+        let name = format!("{hint}{}", self.next_block);
+        self.func.add_block(&name)
+    }
+
+    fn lookup(&self, name: &str) -> Option<&VarSlot> {
+        self.locals.iter().rev().find_map(|scope| scope.get(name))
+    }
+}
+
+fn lower_function(
+    prog: &CProgram,
+    cf: &CFunc,
+    sigs: &HashMap<String, (Vec<Ty>, Ty)>,
+    module: &Module,
+) -> Result<Function, CcError> {
+    let params: Vec<Ty> = cf.params.iter().map(|(_, t)| ty_of(t)).collect();
+    let mut func = Function::new(&cf.name, params, ty_of(&cf.ret));
+    let entry = func.add_block("entry");
+    let globals = module
+        .globals
+        .iter()
+        .map(|g| {
+            let volatile = prog
+                .globals
+                .iter()
+                .find(|cg| cg.name == g.name)
+                .is_some_and(|cg| cg.volatile);
+            (g.name.clone(), (g.ty, volatile))
+        })
+        .collect();
+    let mut lw = Lowerer {
+        prog,
+        sigs,
+        globals,
+        locals: vec![HashMap::new()],
+        func,
+        block: entry,
+        loop_stack: Vec::new(),
+        next_block: 0,
+        line_hint: 0,
+    };
+    // Spill parameters into allocas so they are assignable.
+    for (i, (pname, pty)) in cf.params.iter().enumerate() {
+        let ty = ty_of(pty);
+        let param = lw.func.param(i);
+        let mut b = lw.builder();
+        let slot = b.alloca(ty);
+        b.store(slot, param);
+        lw.locals
+            .last_mut()
+            .expect("scope stack non-empty")
+            .insert(pname.clone(), VarSlot { ptr: slot, ty, volatile: false });
+    }
+    lower_stmts(&mut lw, &cf.body)?;
+    // Implicit return.
+    if lw.func.block(lw.block).term.is_none() {
+        let ret_ty = lw.func.ret;
+        let mut b = lw.builder();
+        if ret_ty == Ty::Void {
+            b.ret(None);
+        } else {
+            let zero = b.const_ty(ret_ty, 0);
+            b.ret(Some(zero));
+        }
+    }
+    Ok(lw.func)
+}
+
+fn lower_stmts(lw: &mut Lowerer<'_>, stmts: &[Stmt]) -> Result<(), CcError> {
+    lw.locals.push(HashMap::new());
+    for stmt in stmts {
+        // Statements after a terminator are unreachable; park them in a
+        // fresh (dead) block so lowering stays well-formed.
+        if lw.func.block(lw.block).term.is_some() {
+            let dead = lw.fresh_block("dead");
+            lw.block = dead;
+        }
+        lower_stmt(lw, stmt)?;
+    }
+    lw.locals.pop();
+    Ok(())
+}
+
+#[allow(clippy::too_many_lines)]
+fn lower_stmt(lw: &mut Lowerer<'_>, stmt: &Stmt) -> Result<(), CcError> {
+    match stmt {
+        Stmt::Decl { name, ty, volatile, init } => {
+            let ty = ty_of(ty);
+            let init_v = match init {
+                Some(e) => Some(lower_expr(lw, e)?),
+                None => None,
+            };
+            let mut b = lw.builder();
+            let slot = b.alloca(ty);
+            if let Some(v) = init_v {
+                store_as(lw, slot, v, ty, *volatile);
+            }
+            lw.locals
+                .last_mut()
+                .expect("scope stack non-empty")
+                .insert(name.clone(), VarSlot { ptr: slot, ty, volatile: *volatile });
+        }
+        Stmt::Assign { target, value } => {
+            let v = lower_expr(lw, value)?;
+            match target {
+                LValue::Var(name) => {
+                    if let Some(slot) = lw.lookup(name) {
+                        let (ptr, ty, volatile) = (slot.ptr, slot.ty, slot.volatile);
+                        store_as(lw, ptr, v, ty, volatile);
+                    } else if let Some((ty, volatile)) = lw.globals.get(name).copied() {
+                        let name = name.clone();
+                        let mut b = lw.builder();
+                        let ptr = b.global_addr(&name);
+                        store_as(lw, ptr, v, ty, volatile);
+                    } else {
+                        return Err(lw.err(format!("assignment to unknown variable `{name}`")));
+                    }
+                }
+                LValue::Mmio(addr) => {
+                    let a = lower_expr(lw, addr)?;
+                    let mut b = lw.builder();
+                    let ptr = b.insert(gd_ir::Instr::IntToPtr { arg: a }, Ty::Ptr);
+                    b.store_volatile(ptr, v);
+                }
+            }
+        }
+        Stmt::If { cond, then, els } => {
+            let then_bb = lw.fresh_block("if.then");
+            let else_bb = lw.fresh_block("if.else");
+            let join = lw.fresh_block("if.end");
+            lower_cond(lw, cond, then_bb, else_bb)?;
+            lw.block = then_bb;
+            lower_stmts(lw, then)?;
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(join);
+            }
+            lw.block = else_bb;
+            lower_stmts(lw, els)?;
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(join);
+            }
+            lw.block = join;
+        }
+        Stmt::While { cond, body } => {
+            let header = lw.fresh_block("while.cond");
+            let body_bb = lw.fresh_block("while.body");
+            let exit = lw.fresh_block("while.end");
+            lw.builder().br(header);
+            lw.block = header;
+            lower_cond(lw, cond, body_bb, exit)?;
+            lw.block = body_bb;
+            lw.loop_stack.push((header, exit));
+            lower_stmts(lw, body)?;
+            lw.loop_stack.pop();
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(header);
+            }
+            lw.block = exit;
+        }
+        Stmt::For { init, cond, step, body } => {
+            lw.locals.push(HashMap::new()); // for-scope (init declarations)
+            if let Some(i) = init {
+                lower_stmt(lw, i)?;
+            }
+            let header = lw.fresh_block("for.cond");
+            let body_bb = lw.fresh_block("for.body");
+            let latch = lw.fresh_block("for.step");
+            let exit = lw.fresh_block("for.end");
+            lw.builder().br(header);
+            lw.block = header;
+            lower_cond(lw, cond, body_bb, exit)?;
+            lw.block = body_bb;
+            lw.loop_stack.push((latch, exit)); // continue → step
+            lower_stmts(lw, body)?;
+            lw.loop_stack.pop();
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(latch);
+            }
+            lw.block = latch;
+            if let Some(s) = step {
+                lower_stmt(lw, s)?;
+            }
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(header);
+            }
+            lw.block = exit;
+            lw.locals.pop();
+        }
+        Stmt::DoWhile { body, cond } => {
+            let body_bb = lw.fresh_block("do.body");
+            let cond_bb = lw.fresh_block("do.cond");
+            let exit = lw.fresh_block("do.end");
+            lw.builder().br(body_bb);
+            lw.block = body_bb;
+            lw.loop_stack.push((cond_bb, exit));
+            lower_stmts(lw, body)?;
+            lw.loop_stack.pop();
+            if lw.func.block(lw.block).term.is_none() {
+                lw.builder().br(cond_bb);
+            }
+            lw.block = cond_bb;
+            lower_cond(lw, cond, body_bb, exit)?;
+            lw.block = exit;
+        }
+        Stmt::Return(value) => {
+            let ret_ty = lw.func.ret;
+            match (value, ret_ty) {
+                (None, Ty::Void) => lw.builder().ret(None),
+                (Some(e), Ty::Void) => {
+                    let _ = lower_expr(lw, e)?;
+                    lw.builder().ret(None);
+                }
+                (Some(e), ty) => {
+                    let v = lower_expr(lw, e)?;
+                    let v = cast_to(lw, v, ty);
+                    lw.builder().ret(Some(v));
+                }
+                (None, _) => {
+                    let mut b = lw.builder();
+                    let zero = b.const_ty(ret_ty, 0);
+                    b.ret(Some(zero));
+                }
+            }
+        }
+        Stmt::ExprStmt(e) => {
+            let _ = lower_expr(lw, e)?;
+        }
+        Stmt::Break => {
+            let Some(&(_, exit)) = lw.loop_stack.last() else {
+                return Err(lw.err("`break` outside a loop"));
+            };
+            lw.builder().br(exit);
+        }
+        Stmt::Continue => {
+            let Some(&(header, _)) = lw.loop_stack.last() else {
+                return Err(lw.err("`continue` outside a loop"));
+            };
+            lw.builder().br(header);
+        }
+    }
+    Ok(())
+}
+
+/// Stores `v` (an i32 rvalue) into `ptr` of width `ty`.
+fn store_as(lw: &mut Lowerer<'_>, ptr: ValueId, v: ValueId, ty: Ty, volatile: bool) {
+    let v = cast_to(lw, v, ty);
+    let mut b = lw.builder();
+    if volatile {
+        b.store_volatile(ptr, v);
+    } else {
+        b.store(ptr, v);
+    }
+}
+
+fn cast_to(lw: &mut Lowerer<'_>, v: ValueId, ty: Ty) -> ValueId {
+    if lw.func.ty(v) == ty {
+        v
+    } else {
+        lw.builder().cast(v, ty)
+    }
+}
+
+/// Promotes a loaded/narrow value to `int` (i32), C-style.
+fn promote(lw: &mut Lowerer<'_>, v: ValueId) -> ValueId {
+    cast_to(lw, v, Ty::I32)
+}
+
+/// Lowers a branch on `cond` with full short-circuit semantics.
+fn lower_cond(
+    lw: &mut Lowerer<'_>,
+    cond: &Expr,
+    then_bb: BlockId,
+    else_bb: BlockId,
+) -> Result<(), CcError> {
+    match cond {
+        Expr::Bin("&&", lhs, rhs) => {
+            let mid = lw.fresh_block("land");
+            lower_cond(lw, lhs, mid, else_bb)?;
+            lw.block = mid;
+            lower_cond(lw, rhs, then_bb, else_bb)
+        }
+        Expr::Bin("||", lhs, rhs) => {
+            let mid = lw.fresh_block("lor");
+            lower_cond(lw, lhs, then_bb, mid)?;
+            lw.block = mid;
+            lower_cond(lw, rhs, then_bb, else_bb)
+        }
+        Expr::Unary("!", inner) => lower_cond(lw, inner, else_bb, then_bb),
+        Expr::Bin(op @ ("==" | "!=" | "<" | "<=" | ">" | ">="), lhs, rhs) => {
+            let a = lower_expr(lw, lhs)?;
+            let b_v = lower_expr(lw, rhs)?;
+            let pred = pred_of(op);
+            let mut b = lw.builder();
+            let c = b.icmp(pred, a, b_v);
+            b.cond_br(c, then_bb, else_bb);
+            Ok(())
+        }
+        other => {
+            let v = lower_expr(lw, other)?;
+            let mut b = lw.builder();
+            let zero = b.const_i32(0);
+            let c = b.icmp(Pred::Ne, v, zero);
+            b.cond_br(c, then_bb, else_bb);
+            Ok(())
+        }
+    }
+}
+
+/// C comparisons are signed by default in this subset.
+fn pred_of(op: &str) -> Pred {
+    match op {
+        "==" => Pred::Eq,
+        "!=" => Pred::Ne,
+        "<" => Pred::Slt,
+        "<=" => Pred::Sle,
+        ">" => Pred::Sgt,
+        ">=" => Pred::Sge,
+        _ => unreachable!("not a comparison: {op}"),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn lower_expr(lw: &mut Lowerer<'_>, expr: &Expr) -> Result<ValueId, CcError> {
+    match expr {
+        Expr::Int(v) => Ok(lw.func.const_int(Ty::I32, *v)),
+        Expr::Var(name) => {
+            if let Some(slot) = lw.lookup(name) {
+                let (ptr, ty, volatile) = (slot.ptr, slot.ty, slot.volatile);
+                let mut b = lw.builder();
+                let v = if volatile { b.load_volatile(ptr, ty) } else { b.load(ptr, ty) };
+                return Ok(promote(lw, v));
+            }
+            if let Some((ty, volatile)) = lw.globals.get(name).copied() {
+                let name = name.clone();
+                let mut b = lw.builder();
+                let ptr = b.global_addr(&name);
+                let v = if volatile { b.load_volatile(ptr, ty) } else { b.load(ptr, ty) };
+                return Ok(promote(lw, v));
+            }
+            if let Some((ename, variant)) = enum_constant_ref(lw.prog, name) {
+                let value = crate::ast::enum_constant_value(lw.prog, name)
+                    .expect("ref implies value");
+                return Ok(lw.func.const_enum(
+                    Ty::I32,
+                    value,
+                    gd_ir::EnumRef { enum_name: ename, variant },
+                ));
+            }
+            Err(lw.err(format!("unknown identifier `{name}`")))
+        }
+        Expr::Unary(op, inner) => {
+            let v = lower_expr(lw, inner)?;
+            let mut b = lw.builder();
+            match *op {
+                "-" => {
+                    let zero = b.const_i32(0);
+                    Ok(b.sub(zero, v))
+                }
+                "~" => Ok(b.not(v)),
+                "!" => {
+                    let zero = b.const_i32(0);
+                    let c = b.icmp(Pred::Eq, v, zero);
+                    Ok(b.cast(c, Ty::I32))
+                }
+                other => Err(lw.err(format!("unsupported unary `{other}`"))),
+            }
+        }
+        Expr::Bin(op @ ("&&" | "||"), _, _) => {
+            // Value context: materialize through a result slot with proper
+            // short-circuit control flow.
+            let (slot, then_bb, else_bb, join) = {
+                let slot = lw.builder().alloca(Ty::I32);
+                (
+                    slot,
+                    lw.fresh_block("bool.true"),
+                    lw.fresh_block("bool.false"),
+                    lw.fresh_block("bool.end"),
+                )
+            };
+            let _ = op;
+            lower_cond(lw, expr, then_bb, else_bb)?;
+            lw.block = then_bb;
+            {
+                let mut b = lw.builder();
+                let one = b.const_i32(1);
+                b.store(slot, one);
+                b.br(join);
+            }
+            lw.block = else_bb;
+            {
+                let mut b = lw.builder();
+                let zero = b.const_i32(0);
+                b.store(slot, zero);
+                b.br(join);
+            }
+            lw.block = join;
+            Ok(lw.builder().load(slot, Ty::I32))
+        }
+        Expr::Bin(op @ ("==" | "!=" | "<" | "<=" | ">" | ">="), lhs, rhs) => {
+            let a = lower_expr(lw, lhs)?;
+            let b_v = lower_expr(lw, rhs)?;
+            let pred = pred_of(op);
+            let mut b = lw.builder();
+            let c = b.icmp(pred, a, b_v);
+            Ok(b.cast(c, Ty::I32))
+        }
+        Expr::Bin(op, lhs, rhs) => {
+            let a = lower_expr(lw, lhs)?;
+            let b_v = lower_expr(lw, rhs)?;
+            let bop = match *op {
+                "+" => BinOp::Add,
+                "-" => BinOp::Sub,
+                "*" => BinOp::Mul,
+                "/" => BinOp::Udiv,
+                "%" => BinOp::Urem,
+                "&" => BinOp::And,
+                "|" => BinOp::Or,
+                "^" => BinOp::Xor,
+                "<<" => BinOp::Shl,
+                ">>" => BinOp::Lshr,
+                other => return Err(lw.err(format!("unsupported operator `{other}`"))),
+            };
+            Ok(lw.builder().bin(bop, a, b_v))
+        }
+        Expr::Call(name, args) => {
+            let Some((params, ret)) = lw.sigs.get(name).cloned() else {
+                return Err(lw.err(format!("call to undefined function `{name}`")));
+            };
+            if params.len() != args.len() {
+                return Err(lw.err(format!(
+                    "`{name}` takes {} arguments, got {}",
+                    params.len(),
+                    args.len()
+                )));
+            }
+            let mut values = Vec::with_capacity(args.len());
+            for (arg, pty) in args.iter().zip(params.iter()) {
+                let v = lower_expr(lw, arg)?;
+                values.push(cast_to(lw, v, *pty));
+            }
+            let name = name.clone();
+            let result = lw.builder().call(&name, values, ret);
+            if ret == Ty::Void {
+                // Give void calls a harmless value for expression position.
+                Ok(lw.func.const_int(Ty::I32, 0))
+            } else {
+                Ok(promote(lw, result))
+            }
+        }
+        Expr::Mmio(addr) => {
+            let a = lower_expr(lw, addr)?;
+            let mut b = lw.builder();
+            let ptr = b.insert(gd_ir::Instr::IntToPtr { arg: a }, Ty::Ptr);
+            Ok(b.load_volatile(ptr, Ty::I32))
+        }
+    }
+}

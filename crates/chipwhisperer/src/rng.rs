@@ -1,0 +1,145 @@
+//! Deterministic hashing/PRNG plumbing: the fault "landscape" must be a
+//! pure function of (seed, glitch parameters, cycle) so every experiment is
+//! bit-reproducible, like re-running the same ChipWhisperer script.
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hashes a sequence of words into one 64-bit value.
+pub fn hash_words(words: &[u64]) -> u64 {
+    let mut acc = 0x5151_5151_DEAD_BEEFu64;
+    for &w in words {
+        acc = splitmix64(acc ^ w);
+    }
+    acc
+}
+
+/// A small deterministic generator seeded from a hash.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Seeds from any 64-bit value.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: splitmix64(seed) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = splitmix64(self.state);
+        self.state
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        self.next_u64() % bound
+    }
+
+    /// A 16-bit AND mask where each bit is *cleared* independently with
+    /// probability `p` (unidirectional 1→0 flips).
+    pub fn and_mask16(&mut self, p: f64) -> u16 {
+        let mut mask = 0xFFFFu16;
+        for bit in 0..16 {
+            if self.next_f64() < p {
+                mask &= !(1 << bit);
+            }
+        }
+        mask
+    }
+
+    /// A 32-bit AND mask with per-bit clear probability `p`.
+    pub fn and_mask32(&mut self, p: f64) -> u32 {
+        let mut mask = u32::MAX;
+        for bit in 0..32 {
+            if self.next_f64() < p {
+                mask &= !(1 << bit);
+            }
+        }
+        mask
+    }
+
+    /// Picks an element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.next_below(items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn and_mask_statistics() {
+        let mut r = Rng::new(9);
+        let mut cleared = 0u32;
+        for _ in 0..1000 {
+            cleared += r.and_mask16(0.25).count_zeros();
+        }
+        let avg = f64::from(cleared) / 1000.0;
+        assert!((3.0..5.0).contains(&avg), "≈4 of 16 bits cleared, got {avg}");
+        assert_eq!(r.and_mask16(0.0), 0xFFFF);
+        assert_eq!(r.and_mask16(1.0), 0x0000);
+    }
+
+    #[test]
+    fn hash_words_varies() {
+        assert_ne!(hash_words(&[1, 2, 3]), hash_words(&[1, 2, 4]));
+        assert_ne!(hash_words(&[1, 2]), hash_words(&[2, 1]));
+        assert_eq!(hash_words(&[5, 6]), hash_words(&[5, 6]));
+    }
+
+    #[test]
+    fn bounded_draws() {
+        let mut r = Rng::new(3);
+        for _ in 0..100 {
+            assert!(r.next_below(7) < 7);
+        }
+        let xs = [10, 20, 30];
+        for _ in 0..20 {
+            assert!(xs.contains(r.pick(&xs)));
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Attack execution and parameter-space scans: the drivers behind the
+//! paper's Tables I (single glitch), II (multi-glitch), and III (long
+//! glitch).
+
+use std::collections::BTreeMap;
+
+use gd_emu::StopReason;
+use gd_pipeline::{RunEnd, Window};
+use gd_thumb::Reg;
+
+use crate::device::Device;
+use crate::model::{FaultModel, GlitchParams};
+
+/// How an attempt decides it "won".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuccessCheck {
+    /// Execution stopped at `bkpt #n` (§V assembly targets mark the
+    /// loop-exit path this way).
+    Bkpt(u8),
+    /// Execution halted at the final `bkpt #0` with `r0` equal to this
+    /// marker (§VII compiled firmware returns a success code from `main`).
+    HaltWithR0(u32),
+}
+
+/// Everything needed to judge one glitch attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct AttackSpec {
+    /// Success criterion.
+    pub success: SuccessCheck,
+    /// Cycle budget per attempt (a still-spinning loop is *no effect*).
+    pub max_cycles: u64,
+}
+
+/// Outcome of one glitch attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackOutcome {
+    /// The guarded code was reached: the glitch worked.
+    Success,
+    /// The firmware detected the glitch (GlitchResistor's `gr_detected`).
+    Detected,
+    /// The firmware is still looping / behaved normally.
+    NoEffect,
+    /// The core crashed (hard fault of any kind).
+    Crash,
+    /// The glitch browned the core out.
+    Reset,
+}
+
+/// One finished attempt, with the pipeline for post-mortem inspection.
+#[derive(Debug)]
+pub struct Attempt {
+    /// Classified outcome.
+    pub outcome: AttackOutcome,
+    /// The device state after the attempt.
+    pub pipe: gd_pipeline::Pipeline,
+}
+
+/// Runs one glitch attempt against a fresh boot of `device`.
+///
+/// `boot` both seeds per-attempt mask noise and, when `nvm` is provided,
+/// threads the non-volatile state (delay seed) from attempt to attempt.
+pub fn run_attack(
+    device: &Device,
+    model: &FaultModel,
+    params: GlitchParams,
+    boot: u64,
+    spec: &AttackSpec,
+    nvm: Option<&mut Vec<u8>>,
+) -> Attempt {
+    let mut pipe = match &nvm {
+        Some(state) if !state.is_empty() => device.boot_with_nvm(Some(state)),
+        _ => device.boot(),
+    };
+    let mut injector = model.injector(params, boot);
+    let end = pipe.run_with(spec.max_cycles, |w: &Window| injector(w));
+    if let Some(state) = nvm {
+        *state = Device::snapshot_nvm(&pipe);
+    }
+    let detected = device
+        .detect_flag()
+        .and_then(|addr| pipe.emu.mem.peek(addr, 4).ok())
+        .map(|b| u32::from_le_bytes([b[0], b[1], b[2], b[3]]) != 0)
+        .unwrap_or(false);
+    let outcome = match end {
+        RunEnd::Stop { reason: StopReason::Bkpt(n), .. } => match spec.success {
+            SuccessCheck::Bkpt(want) if n == want => AttackOutcome::Success,
+            SuccessCheck::HaltWithR0(marker) if n == 0 && pipe.emu.cpu.reg(Reg::R0) == marker => {
+                AttackOutcome::Success
+            }
+            _ if detected => AttackOutcome::Detected,
+            _ => AttackOutcome::NoEffect,
+        },
+        RunEnd::Stop { .. } => {
+            if detected {
+                AttackOutcome::Detected
+            } else {
+                AttackOutcome::Crash
+            }
+        }
+        RunEnd::Fault(_) => AttackOutcome::Crash,
+        RunEnd::Reset => AttackOutcome::Reset,
+        RunEnd::CycleLimit => {
+            if detected {
+                AttackOutcome::Detected
+            } else {
+                AttackOutcome::NoEffect
+            }
+        }
+    };
+    Attempt { outcome, pipe }
+}
+
+/// Counts per outcome, plus the Table I-style post-mortem histogram of a
+/// chosen register among successes.
+#[derive(Debug, Clone, Default)]
+pub struct CellCounts {
+    /// Attempts made.
+    pub attempts: u64,
+    /// Successful glitches.
+    pub successes: u64,
+    /// Detected attempts (hardened firmware only).
+    pub detections: u64,
+    /// Crashes (faults).
+    pub crashes: u64,
+    /// Brown-out resets.
+    pub resets: u64,
+    /// Comparator-register value → count, among successes.
+    pub post_mortem: BTreeMap<u32, u64>,
+}
+
+impl CellCounts {
+    fn record(&mut self, outcome: AttackOutcome, reg: Option<u32>) {
+        self.attempts += 1;
+        match outcome {
+            AttackOutcome::Success => {
+                self.successes += 1;
+                if let Some(v) = reg {
+                    *self.post_mortem.entry(v).or_default() += 1;
+                }
+            }
+            AttackOutcome::Detected => self.detections += 1,
+            AttackOutcome::Crash => self.crashes += 1,
+            AttackOutcome::Reset => self.resets += 1,
+            AttackOutcome::NoEffect => {}
+        }
+    }
+
+    /// Success rate in percent.
+    pub fn success_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.successes as f64 / self.attempts as f64
+        }
+    }
+
+    /// Detections / (detections + successes) — the paper's detection rate.
+    pub fn detection_rate(&self) -> f64 {
+        let denom = self.detections + self.successes;
+        if denom == 0 {
+            0.0
+        } else {
+            100.0 * self.detections as f64 / denom as f64
+        }
+    }
+
+    /// Merges another cell.
+    pub fn merge(&mut self, other: &CellCounts) {
+        self.attempts += other.attempts;
+        self.successes += other.successes;
+        self.detections += other.detections;
+        self.crashes += other.crashes;
+        self.resets += other.resets;
+        for (k, v) in &other.post_mortem {
+            *self.post_mortem.entry(*k).or_default() += v;
+        }
+    }
+}
+
+/// The full ±49% × ±49% grid of (width, offset) pairs — 9,801 points,
+/// exactly the paper's per-cycle scan.
+pub fn full_grid() -> Vec<(i8, i8)> {
+    let mut grid = Vec::with_capacity(99 * 99);
+    for width in -49i8..=49 {
+        for offset in -49i8..=49 {
+            grid.push((width, offset));
+        }
+    }
+    grid
+}
+
+/// Scans the full grid at each glitch cycle in `cycles`, single glitches.
+/// `post_reg` selects the register recorded in success post-mortems.
+pub fn scan_single(
+    device: &Device,
+    model: &FaultModel,
+    cycles: core::ops::Range<u32>,
+    spec: &AttackSpec,
+    post_reg: Option<Reg>,
+) -> Vec<(u32, CellCounts)> {
+    scan_grid(device, model, cycles, 1, spec, post_reg)
+}
+
+/// Scans the grid with a repeated (long) glitch of `repeat` cycles
+/// starting at each cycle in `starts`.
+pub fn scan_grid(
+    device: &Device,
+    model: &FaultModel,
+    starts: core::ops::Range<u32>,
+    repeat: u32,
+    spec: &AttackSpec,
+    post_reg: Option<Reg>,
+) -> Vec<(u32, CellCounts)> {
+    let grid = full_grid();
+    let mut out = Vec::new();
+    let mut boot = 0u64;
+    for start in starts {
+        let mut cell = CellCounts::default();
+        for &(width, offset) in &grid {
+            boot += 1;
+            // Out-of-region points cannot fault: count them as clean
+            // attempts without booting (a 20× scan speedup).
+            if model.severity(width, offset) == 0.0 {
+                cell.record(AttackOutcome::NoEffect, None);
+                continue;
+            }
+            let params = GlitchParams { ext_offset: start, repeat, width, offset };
+            let attempt = run_attack(device, model, params, boot, spec, None);
+            let reg = post_reg.map(|r| attempt.pipe.emu.cpu.reg(r));
+            cell.record(attempt.outcome, reg);
+        }
+        out.push((start, cell));
+    }
+    out
+}
+
+/// The multi-glitch experiment (§V-C, Table II): the firmware raises the
+/// trigger twice (two identical loops); the same glitch parameters apply
+/// after each trigger. *Partial* means the first loop was escaped but not
+/// the second; *full* means both.
+#[derive(Debug, Clone, Default)]
+pub struct MultiCell {
+    /// Attempts made.
+    pub attempts: u64,
+    /// First glitch succeeded, second failed.
+    pub partial: u64,
+    /// Both glitches succeeded.
+    pub full: u64,
+}
+
+/// Runs the multi-glitch scan. The firmware must raise the trigger before
+/// each loop; reaching the second trigger proves the first glitch worked.
+pub fn scan_multi(
+    device: &Device,
+    model: &FaultModel,
+    cycles: core::ops::Range<u32>,
+    spec: &AttackSpec,
+) -> Vec<(u32, MultiCell)> {
+    let grid = full_grid();
+    let mut out = Vec::new();
+    let mut boot = 0u64;
+    for cycle in cycles {
+        let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
+        for &(width, offset) in &grid {
+            boot += 1;
+            cell.attempts += 1;
+            if model.severity(width, offset) == 0.0 {
+                continue;
+            }
+            let params = GlitchParams::single(cycle, width, offset);
+            let attempt = run_attack(device, model, params, boot, spec, None);
+            let triggers = attempt.pipe.trigger_cycles().len();
+            match attempt.outcome {
+                AttackOutcome::Success => cell.full += 1,
+                _ if triggers >= 2 => cell.partial += 1,
+                _ => {}
+            }
+        }
+        out.push((cycle, cell));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::targets;
+
+    fn quick_spec() -> AttackSpec {
+        AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 600 }
+    }
+
+    #[test]
+    fn unglitched_loop_never_exits() {
+        let dev = Device::from_asm(targets::WHILE_NOT_A).unwrap();
+        let model = FaultModel::default();
+        // (0, 0) is outside the violation region.
+        let attempt = run_attack(
+            &dev,
+            &model,
+            GlitchParams::single(0, 0, 0),
+            1,
+            &quick_spec(),
+            None,
+        );
+        assert_eq!(attempt.outcome, AttackOutcome::NoEffect);
+    }
+
+    #[test]
+    fn some_grid_point_succeeds_against_while_not_a() {
+        let dev = Device::from_asm(targets::WHILE_NOT_A).unwrap();
+        let model = FaultModel::default();
+        let scans = scan_single(&dev, &model, 4..6, &quick_spec(), Some(Reg::R3));
+        let total: u64 = scans.iter().map(|(_, c)| c.successes).sum();
+        assert!(total > 0, "the cmp/branch cycles must be glitchable");
+        for (_, cell) in &scans {
+            assert_eq!(cell.attempts, 9801);
+        }
+    }
+
+    #[test]
+    fn post_mortem_histogram_populated_on_success() {
+        let dev = Device::from_asm(targets::WHILE_NOT_A).unwrap();
+        let model = FaultModel::default();
+        let scans = scan_single(&dev, &model, 2..4, &quick_spec(), Some(Reg::R3));
+        let hist: u64 = scans.iter().flat_map(|(_, c)| c.post_mortem.values()).sum();
+        let succ: u64 = scans.iter().map(|(_, c)| c.successes).sum();
+        assert_eq!(hist, succ, "each success records the comparator register");
+    }
+
+    #[test]
+    fn cell_counts_rates() {
+        let mut c = CellCounts::default();
+        c.record(AttackOutcome::Success, Some(8));
+        c.record(AttackOutcome::Detected, None);
+        c.record(AttackOutcome::Detected, None);
+        c.record(AttackOutcome::NoEffect, None);
+        assert_eq!(c.attempts, 4);
+        assert!((c.success_rate() - 25.0).abs() < 1e-9);
+        assert!((c.detection_rate() - 200.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.post_mortem[&8], 1);
+    }
+}

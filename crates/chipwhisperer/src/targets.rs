@@ -1,0 +1,173 @@
+//! The §V attack targets: the paper's three loop guards, assembled exactly
+//! as Table I shows them (same instructions, same 8-cycle iteration), plus
+//! the back-to-back variants used by the multi- and long-glitch
+//! experiments.
+//!
+//! Conventions shared with the scan drivers:
+//!
+//! - a store to the GPIO output register (`0x4800_0014`) raises the
+//!   trigger, "exactly 1 clock cycle before the targeted instruction";
+//! - escaping a loop reaches `bkpt #1` — the success marker;
+//! - the guarded variable is a `volatile` stack slot, exactly as in the
+//!   paper (`while` loops over `volatile` variables).
+
+/// `while (!a)` with `a = 0` — the paper's most glitchable guard.
+///
+/// Loop body (Table Ia): `mov r3, sp; adds r3, #7; ldrb r3, [r3]; cmp r3,
+/// #0; beq loop` — 8 cycles per iteration with a 3-cycle taken branch.
+pub const WHILE_NOT_A: &str = "
+    sub sp, #8
+    movs r0, #0
+    mov r1, sp
+    strb r0, [r1, #7]       ; a = 0 at [sp+7]
+    ldr r0, =0x48000014
+    movs r1, #1
+    str r1, [r0]            ; trigger
+loop:
+    mov r3, sp
+    adds r3, #7
+    ldrb r3, [r3]
+    cmp r3, #0
+    beq loop                ; while (!a)
+    bkpt #1                 ; escaped: success
+    .pool
+";
+
+/// `while (a)` with `a = 1` (Table Ib).
+pub const WHILE_A: &str = "
+    sub sp, #8
+    movs r0, #1
+    mov r1, sp
+    strb r0, [r1, #7]       ; a = 1 at [sp+7]
+    ldr r0, =0x48000014
+    movs r1, #1
+    str r1, [r0]            ; trigger
+loop:
+    mov r3, sp
+    adds r3, #7
+    ldrb r3, [r3]
+    cmp r3, #0
+    bne loop                ; while (a)
+    bkpt #1
+    .pool
+";
+
+/// `while (a != 0xD3B9AEC6)` with `a = 0xE7D25763` (Table Ic): a wide
+/// Hamming-distance comparison.
+pub const WHILE_A_NE_CONST: &str = "
+    sub sp, #24
+    ldr r0, =0xE7D25763
+    str r0, [sp, #16]       ; a at [sp+16]
+    ldr r0, =0x48000014
+    movs r1, #1
+    str r1, [r0]            ; trigger
+loop:
+    ldr r2, [sp, #16]
+    ldr r3, =0xD3B9AEC6
+    cmp r2, r3
+    bne loop                ; while (a != 0xD3B9AEC6)
+    bkpt #1
+    .pool
+";
+
+/// Builds the two-subsequent-loops variant of a guard for the multi- and
+/// long-glitch experiments (§V-C/§V-D): trigger, loop, re-trigger, loop,
+/// success marker.
+fn doubled(init: &str, guard: &str) -> String {
+    format!(
+        "
+    {init}
+    ldr r6, =0x48000014
+    movs r7, #1
+    str r7, [r6]            ; trigger 1
+loop1:
+{guard1}
+    str r7, [r6]            ; trigger 2
+loop2:
+{guard2}
+    bkpt #1
+    .pool
+",
+        init = init,
+        guard1 = guard.replace("{L}", "loop1"),
+        guard2 = guard.replace("{L}", "loop2"),
+    )
+}
+
+/// Double-loop `while (!a)`.
+pub fn while_not_a_doubled() -> String {
+    doubled(
+        "sub sp, #8\n    movs r0, #0\n    mov r1, sp\n    strb r0, [r1, #7]",
+        "    mov r3, sp\n    adds r3, #7\n    ldrb r3, [r3]\n    cmp r3, #0\n    beq {L}",
+    )
+}
+
+/// Double-loop `while (a)`.
+pub fn while_a_doubled() -> String {
+    doubled(
+        "sub sp, #8\n    movs r0, #1\n    mov r1, sp\n    strb r0, [r1, #7]",
+        "    mov r3, sp\n    adds r3, #7\n    ldrb r3, [r3]\n    cmp r3, #0\n    bne {L}",
+    )
+}
+
+/// Double-loop `while (a != 0xD3B9AEC6)`.
+pub fn while_a_ne_const_doubled() -> String {
+    doubled(
+        "sub sp, #24\n    ldr r0, =0xE7D25763\n    str r0, [sp, #16]",
+        "    ldr r2, [sp, #16]\n    ldr r3, =0xD3B9AEC6\n    cmp r2, r3\n    bne {L}",
+    )
+}
+
+/// The three guards of Table I, with names.
+pub fn table1_guards() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("while(!a)", WHILE_NOT_A),
+        ("while(a)", WHILE_A),
+        ("while(a!=0xD3B9AEC6)", WHILE_A_NE_CONST),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::device::Device;
+    use gd_pipeline::RunEnd;
+
+    #[test]
+    fn all_targets_assemble_and_spin() {
+        for (name, src) in super::table1_guards() {
+            let dev = Device::from_asm(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut pipe = dev.boot();
+            let end = pipe.run(500);
+            assert!(matches!(end, RunEnd::CycleLimit), "{name} must loop forever");
+            assert!(pipe.trigger_cycle().is_some(), "{name} raises the trigger");
+        }
+    }
+
+    #[test]
+    fn loop_iterations_take_eight_cycles() {
+        let dev = Device::from_asm(super::WHILE_NOT_A).unwrap();
+        let mut pipe = dev.boot();
+        pipe.run(10_000);
+        let trigger = pipe.trigger_cycle().unwrap();
+        let spinning = 10_000 - trigger;
+        // mov(1) + adds(1) + ldrb(2) + cmp(1) + beq taken(3) = 8.
+        assert!(
+            spinning % 8 <= 7 && (10_000 - trigger) / 8 > 1000,
+            "≈8-cycle iterations after the trigger"
+        );
+    }
+
+    #[test]
+    fn doubled_targets_raise_two_triggers_when_first_loop_broken() {
+        let src = super::while_not_a_doubled();
+        let dev = Device::from_asm(&src).unwrap();
+        let mut pipe = dev.boot();
+        pipe.run(500);
+        assert_eq!(pipe.trigger_cycles().len(), 1, "stuck in loop 1");
+        // Manually break loop 1: write a = 1 behind the firmware's back.
+        let sp = pipe.emu.cpu.sp();
+        pipe.emu.mem.write8(sp + 7, 1).unwrap();
+        pipe.run(1_000);
+        assert_eq!(pipe.trigger_cycles().len(), 2, "second trigger raised");
+    }
+}

@@ -1,0 +1,149 @@
+//! Defense selection and per-function scoping.
+
+use std::collections::BTreeSet;
+
+/// Which defenses to apply (paper §VI). Each can be toggled independently —
+/// the evaluation (Tables IV–VI) measures them à la carte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Defenses {
+    /// Duplicate the true arm of conditional branches with an inverted
+    /// re-check (§VI-B-b).
+    pub branches: bool,
+    /// Add the same instrumentation to the false (exit) arm of loop guards
+    /// (§VI-B-b).
+    pub loops: bool,
+    /// Shadow sensitive globals with complemented integrity copies
+    /// (§VI-B-a).
+    pub integrity: bool,
+    /// Inject a random busy-wait before every branch (§VI-1).
+    pub delay: bool,
+    /// Replace constant return codes compared in branches with
+    /// Reed–Solomon values (§VI-A-b).
+    pub returns: bool,
+    /// Rewrite fully-uninitialized enums to Reed–Solomon values (§VI-A-a).
+    pub enums: bool,
+}
+
+impl Defenses {
+    /// No defenses (the baseline).
+    pub const NONE: Defenses = Defenses {
+        branches: false,
+        loops: false,
+        integrity: false,
+        delay: false,
+        returns: false,
+        enums: false,
+    };
+
+    /// Every defense (the paper's "All" configuration).
+    pub const ALL: Defenses = Defenses {
+        branches: true,
+        loops: true,
+        integrity: true,
+        delay: true,
+        returns: true,
+        enums: true,
+    };
+
+    /// Every defense except the random delay (the paper's "All\Delay").
+    pub const ALL_EXCEPT_DELAY: Defenses = Defenses { delay: false, ..Defenses::ALL };
+
+    /// Only the branch-duplication defense.
+    pub const BRANCHES: Defenses = Defenses { branches: true, ..Defenses::NONE };
+    /// Only the loop-hardening defense.
+    pub const LOOPS: Defenses = Defenses { loops: true, ..Defenses::NONE };
+    /// Only the data-integrity defense.
+    pub const INTEGRITY: Defenses = Defenses { integrity: true, ..Defenses::NONE };
+    /// Only the random-delay defense.
+    pub const DELAY: Defenses = Defenses { delay: true, ..Defenses::NONE };
+    /// Only the return-code defense.
+    pub const RETURNS: Defenses = Defenses { returns: true, ..Defenses::NONE };
+    /// Only the enum rewriter.
+    pub const ENUMS: Defenses = Defenses { enums: true, ..Defenses::NONE };
+
+    /// Whether any defense is enabled.
+    pub fn any(self) -> bool {
+        self.branches || self.loops || self.integrity || self.delay || self.returns || self.enums
+    }
+}
+
+impl Default for Defenses {
+    fn default() -> Self {
+        Defenses::ALL
+    }
+}
+
+/// Whether the delay defense applies to all functions unless excluded, or
+/// only to explicitly listed functions. Mirrors the tool's opt-out/opt-in
+/// modes (§VI-1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayScope {
+    /// Instrument everything except `config.excluded` functions.
+    #[default]
+    OptOut,
+    /// Instrument only `config.included` functions.
+    OptIn,
+}
+
+/// Full GlitchResistor configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Which defenses run.
+    pub defenses: Defenses,
+    /// Delay-defense scoping mode.
+    pub delay_scope: DelayScope,
+    /// Functions excluded from the delay defense (opt-out mode).
+    pub excluded: BTreeSet<String>,
+    /// Functions included in the delay defense (opt-in mode).
+    pub included: BTreeSet<String>,
+    /// Upper bound (exclusive) of NOPs per injected delay; the paper uses
+    /// 0–10 iterations.
+    pub max_delay_nops: u32,
+    /// Disable the ENUM rewriter even when `defenses.enums` is set — the
+    /// escape hatch for codebases that assume C default enum values.
+    pub disable_enum_rewriter: bool,
+}
+
+impl Config {
+    /// Configuration with the given defenses and paper-default parameters.
+    pub fn new(defenses: Defenses) -> Config {
+        Config { defenses, max_delay_nops: 10, ..Config::default() }
+    }
+
+    /// Whether the delay defense should instrument `func_name`.
+    pub fn delay_applies_to(&self, func_name: &str) -> bool {
+        match self.delay_scope {
+            DelayScope::OptOut => !self.excluded.contains(func_name),
+            DelayScope::OptIn => self.included.contains(func_name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // the presets are consts by design
+    fn preset_combinations() {
+        assert!(!Defenses::NONE.any());
+        assert!(Defenses::ALL.any());
+        assert!(Defenses::ALL.delay);
+        assert!(!Defenses::ALL_EXCEPT_DELAY.delay);
+        assert!(Defenses::ALL_EXCEPT_DELAY.branches);
+        assert!(Defenses::BRANCHES.branches && !Defenses::BRANCHES.loops);
+    }
+
+    #[test]
+    fn delay_scoping() {
+        let mut cfg = Config::new(Defenses::DELAY);
+        assert!(cfg.delay_applies_to("main"));
+        cfg.excluded.insert("main".into());
+        assert!(!cfg.delay_applies_to("main"));
+
+        cfg.delay_scope = DelayScope::OptIn;
+        assert!(!cfg.delay_applies_to("boot"));
+        cfg.included.insert("boot".into());
+        assert!(cfg.delay_applies_to("boot"));
+    }
+}

@@ -1,0 +1,234 @@
+//! # glitch-resistor — automated software-only glitching defenses
+//!
+//! A from-scratch reproduction of **GlitchResistor**, the defense tool of
+//! *Glitching Demystified* (DSN 2021, §VI). Hardware fault injection
+//! ("glitching") can skip a security-critical branch even in bug-free code;
+//! GlitchResistor rewrites a program at compile time so that no *single*
+//! glitch can do so, a multi-glitch is improbable, and failed attempts are
+//! *detected*.
+//!
+//! Defenses (all independently selectable, see [`Defenses`]):
+//!
+//! | Defense | Paper | What it does |
+//! |---|---|---|
+//! | [`BranchDuplication`] | §VI-B-b | re-checks every taken branch with a complemented comparison |
+//! | [`LoopHardening`] | §VI-B-b | the same, on loop-guard exit edges |
+//! | [`DataIntegrity`] | §VI-B-a | complement shadow copies of sensitive globals |
+//! | [`RandomDelay`] | §VI-1 | LCG-driven busy-wait before every branch |
+//! | [`ReturnCodes`] | §VI-A-b | Reed–Solomon return values for constant-returning functions |
+//! | [`EnumRewriter`] | §VI-A-a | Reed–Solomon values for uninitialized enums |
+//!
+//! The whole pipeline in one call:
+//!
+//! ```
+//! use gd_ir::parse_module;
+//! use glitch_resistor::{harden, Config, Defenses};
+//!
+//! let mut module = parse_module(
+//!     "fn @guard(%a: i32) -> i32 {\n\
+//!      entry:\n  %c = icmp eq i32 %a, 0\n  br %c, ok, no\n\
+//!      ok:\n  ret i32 1\n\
+//!      no:\n  ret i32 0\n}\n",
+//! )?;
+//! let report = harden(&mut module, &Config::new(Defenses::ALL));
+//! // The guard's branch plus the branches of the injected runtime itself.
+//! assert!(report.branches_instrumented >= 1);
+//! assert!(module.func("gr_detected").is_some(), "runtime linked in");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod config;
+mod pass;
+mod passes;
+pub mod related;
+pub mod runtime;
+
+pub use config::{Config, Defenses, DelayScope};
+pub use pass::{
+    clone_chain, detect_trampoline, is_runtime_fn, retarget_phis, split_edge, EdgeArm, Pass,
+    Report, DELAY_FN, DETECT_FN, SEED_INIT_FN,
+};
+pub use passes::branches::{BranchDuplication, LoopHardening};
+pub use passes::delay::RandomDelay;
+pub use passes::enums::EnumRewriter;
+pub use passes::integrity::{DataIntegrity, INTEGRITY_SUFFIX};
+pub use passes::returns::ReturnCodes;
+pub use runtime::add_runtime;
+
+use gd_ir::Module;
+
+/// Runs the full GlitchResistor pipeline over `module` with the selected
+/// defenses, adding the runtime when any instrumentation needs it.
+///
+/// Pass order follows the paper's tooling: constant diversification first
+/// (source-level in the paper), then data integrity, then control-flow
+/// redundancy, then random delays — so the delay pass also covers the
+/// blocks the other passes introduced, and the runtime itself is hardened
+/// by the redundancy passes.
+pub fn harden(module: &mut Module, config: &Config) -> Report {
+    let mut report = Report::default();
+    let d = config.defenses;
+    if !d.any() {
+        return report;
+    }
+    if d.enums {
+        EnumRewriter.run(module, config, &mut report);
+    }
+    if d.returns {
+        ReturnCodes.run(module, config, &mut report);
+    }
+    // The runtime goes in before the redundancy passes so they instrument
+    // it too (the paper instruments the seed-init code).
+    add_runtime(module, config);
+    if d.integrity {
+        DataIntegrity.run(module, config, &mut report);
+    }
+    if d.branches {
+        BranchDuplication.run(module, config, &mut report);
+    }
+    if d.loops {
+        LoopHardening.run(module, config, &mut report);
+    }
+    if d.delay {
+        let entry = module
+            .func("main")
+            .map(|f| f.name.clone())
+            .or_else(|| module.funcs.first().map(|f| f.name.clone()));
+        let pass = match entry.as_deref() {
+            Some("main") => RandomDelay::with_entry("main"),
+            _ => RandomDelay::default(),
+        };
+        pass.run(module, config, &mut report);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+
+    const FIRMWARE: &str = "
+enum Status { FAILURE, SUCCESS }
+global @tick : i32 = 0 sensitive
+
+fn @get_status(%sig: i32) -> i32 {
+entry:
+  %ok = icmp eq i32 %sig, 0x1234
+  br %ok, good, bad
+good:
+  ret i32 1
+bad:
+  ret i32 0
+}
+
+fn @main(%sig: i32) -> i32 {
+entry:
+  %p = globaladdr @tick
+  %t = load i32, %p
+  %t2 = add i32 %t, 1
+  store i32 %t2, %p
+  %r = call i32 @get_status(%sig)
+  %c = icmp eq i32 %r, 1
+  br %c, boot, halt
+boot:
+  ret i32 100
+halt:
+  ret i32 200
+}
+";
+
+    #[test]
+    fn full_pipeline_verifies_and_preserves_semantics() {
+        let mut m = parse_module(FIRMWARE).unwrap();
+        let report = harden(&mut m, &Config::new(Defenses::ALL));
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        assert!(report.branches_instrumented >= 2);
+        assert!(report.loads_checked >= 1);
+        assert!(report.stores_shadowed >= 1);
+        assert!(report.delays_injected >= 2);
+        assert_eq!(report.returns_rewritten, 1);
+        assert_eq!(report.enums_rewritten, 1);
+
+        for (sig, want) in [(0x1234i64, 100i64), (99, 200)] {
+            let mut interp = Interpreter::new(&m);
+            let mut detected = false;
+            let r = interp
+                .run("main", &[RtVal::Int(sig)], &mut |n, _| {
+                    detected |= n == "gr_detected";
+                    RtVal::Int(0)
+                })
+                .unwrap();
+            assert_eq!(r, RtVal::Int(want), "main({sig:#x})");
+            assert!(!detected, "no false detections for main({sig:#x})");
+        }
+    }
+
+    #[test]
+    fn each_defense_alone_verifies() {
+        for (name, d) in [
+            ("branches", Defenses::BRANCHES),
+            ("loops", Defenses::LOOPS),
+            ("integrity", Defenses::INTEGRITY),
+            ("delay", Defenses::DELAY),
+            ("returns", Defenses::RETURNS),
+            ("enums", Defenses::ENUMS),
+            ("all-except-delay", Defenses::ALL_EXCEPT_DELAY),
+        ] {
+            let mut m = parse_module(FIRMWARE).unwrap();
+            harden(&mut m, &Config::new(d));
+            verify_module(&m)
+                .unwrap_or_else(|e| panic!("{name}: {e}\n{}", print_module(&m)));
+        }
+    }
+
+    #[test]
+    fn none_is_a_no_op() {
+        let mut m = parse_module(FIRMWARE).unwrap();
+        let before = print_module(&m);
+        let report = harden(&mut m, &Config::new(Defenses::NONE));
+        assert_eq!(report, Report::default());
+        assert_eq!(print_module(&m), before);
+    }
+
+    #[test]
+    fn user_defined_detection_reaction_is_respected() {
+        let src = "
+fn @gr_detected() -> void {
+entry:
+  ret void
+}
+fn @main(%a: i32) -> i32 {
+entry:
+  %c = icmp eq i32 %a, 0
+  br %c, x, y
+x:
+  ret i32 1
+y:
+  ret i32 2
+}
+";
+        let mut m = parse_module(src).unwrap();
+        harden(&mut m, &Config::new(Defenses::BRANCHES));
+        verify_module(&m).unwrap();
+        // Still exactly one gr_detected: the user's.
+        assert_eq!(m.funcs.iter().filter(|f| f.name == "gr_detected").count(), 1);
+        let f = m.func("gr_detected").unwrap();
+        assert_eq!(f.block_count(), 1, "user's trivial reaction kept");
+    }
+
+    #[test]
+    fn runtime_itself_gets_branch_hardening() {
+        let mut m = parse_module(FIRMWARE).unwrap();
+        harden(&mut m, &Config::new(Defenses::ALL));
+        let delay = m.func("gr_delay").unwrap();
+        let text = gd_ir::print_function(delay);
+        assert!(
+            text.contains("gr_detected"),
+            "gr_delay's own branches are duplicated:\n{text}"
+        );
+    }
+}

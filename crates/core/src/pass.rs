@@ -1,0 +1,257 @@
+//! Pass infrastructure: the pass trait, instrumentation report, and shared
+//! CFG-surgery utilities used by the defense passes.
+
+use gd_ir::{BlockId, Function, Instr, Module, Terminator, Ty, ValueDef, ValueId};
+
+use crate::config::Config;
+
+/// Counters describing what a hardening run instrumented.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Report {
+    /// Conditional branches whose true arm got a redundant check.
+    pub branches_instrumented: u32,
+    /// Loop-guard exit edges that got a redundant check.
+    pub loops_instrumented: u32,
+    /// Loads of sensitive globals now integrity-checked.
+    pub loads_checked: u32,
+    /// Stores to sensitive globals now shadowed.
+    pub stores_shadowed: u32,
+    /// `gr_delay()` call sites injected.
+    pub delays_injected: u32,
+    /// Functions whose constant returns were diversified.
+    pub returns_rewritten: u32,
+    /// Enums rewritten to Reed–Solomon constants.
+    pub enums_rewritten: u32,
+}
+
+impl Report {
+    /// Merges another report's counters into this one.
+    pub fn merge(&mut self, other: &Report) {
+        self.branches_instrumented += other.branches_instrumented;
+        self.loops_instrumented += other.loops_instrumented;
+        self.loads_checked += other.loads_checked;
+        self.stores_shadowed += other.stores_shadowed;
+        self.delays_injected += other.delays_injected;
+        self.returns_rewritten += other.returns_rewritten;
+        self.enums_rewritten += other.enums_rewritten;
+    }
+}
+
+/// A module transformation.
+pub trait Pass {
+    /// Human-readable pass name.
+    fn name(&self) -> &'static str;
+
+    /// Runs the pass over the module.
+    fn run(&self, module: &mut Module, config: &Config, report: &mut Report);
+}
+
+/// Name of the detection-reaction function (paper §VI-B-c). The reaction is
+/// application-specific; GlitchResistor only guarantees it is called.
+pub const DETECT_FN: &str = "gr_detected";
+/// Name of the random-delay runtime function (paper §VI-1).
+pub const DELAY_FN: &str = "gr_delay";
+/// Name of the seed-initialization runtime function.
+pub const SEED_INIT_FN: &str = "gr_seed_init";
+
+/// Whether `name` is part of the GlitchResistor runtime (excluded from the
+/// delay defense to avoid self-recursion).
+pub fn is_runtime_fn(name: &str) -> bool {
+    name.starts_with("gr_") || name.starts_with("__gr_")
+}
+
+/// Interposes a new block on the edge `from → to`, returning the new block.
+///
+/// The new block is empty with a `br to` terminator; `from`'s terminator is
+/// rewired and phis in `to` are updated to see the new predecessor. When
+/// `from` has *two* edges to `to` (a cond-br with equal arms), only the
+/// requested arm should be rewired — pass `arm` to disambiguate.
+pub fn split_edge(func: &mut Function, from: BlockId, to: BlockId, arm: EdgeArm) -> BlockId {
+    let name = format!("{}.gr{}", func.block(to).name, func.block_count());
+    let mid = func.add_block(&name);
+    func.block_mut(mid).term = Some(Terminator::Br { target: to });
+
+    match func.block_mut(from).term.as_mut().expect("from must be terminated") {
+        Terminator::Br { target } => {
+            debug_assert_eq!(*target, to);
+            *target = mid;
+        }
+        Terminator::CondBr { then_bb, else_bb, .. } => match arm {
+            EdgeArm::Then => {
+                debug_assert_eq!(*then_bb, to);
+                *then_bb = mid;
+            }
+            EdgeArm::Else => {
+                debug_assert_eq!(*else_bb, to);
+                *else_bb = mid;
+            }
+            EdgeArm::Any => {
+                if *then_bb == to {
+                    *then_bb = mid;
+                } else {
+                    debug_assert_eq!(*else_bb, to);
+                    *else_bb = mid;
+                }
+            }
+        },
+        Terminator::Ret { .. } => panic!("ret has no successors to split"),
+    }
+
+    // Phis in `to` now receive the value from `mid` instead of `from`.
+    retarget_phis(func, to, from, mid);
+    mid
+}
+
+/// Which arm of a conditional branch an edge split applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeArm {
+    /// The true arm.
+    Then,
+    /// The false arm.
+    Else,
+    /// Whichever arm matches (unambiguous edges).
+    Any,
+}
+
+/// Rewrites phi incomings in `bb` that name `old_pred` to `new_pred`.
+pub fn retarget_phis(func: &mut Function, bb: BlockId, old_pred: BlockId, new_pred: BlockId) {
+    let phi_ids: Vec<ValueId> = func
+        .block(bb)
+        .instrs
+        .iter()
+        .copied()
+        .filter(|&id| matches!(func.value(id), ValueDef::Instr(Instr::Phi { .. })))
+        .collect();
+    for id in phi_ids {
+        if let ValueDef::Instr(Instr::Phi { incomings }) = func.value_mut(id) {
+            for (pred, _) in incomings.iter_mut() {
+                if *pred == old_pred {
+                    *pred = new_pred;
+                }
+            }
+        }
+    }
+}
+
+/// Recursively clones the pure computation chain that produces `v` into
+/// `target` (appending in dependency order), reusing any value that is not
+/// replicable (volatile loads, calls, phis, params, constants, allocas).
+///
+/// Returns the clone (or `v` itself when it cannot be replicated), plus the
+/// number of instructions cloned.
+pub fn clone_chain(func: &mut Function, v: ValueId, target: BlockId) -> (ValueId, u32) {
+    match func.value(v).clone() {
+        ValueDef::Instr(instr) if instr.replicable() => {
+            let mut cloned = 0;
+            let mut new_instr = instr.clone();
+            for op in instr.operands() {
+                let (new_op, n) = clone_chain(func, op, target);
+                cloned += n;
+                if new_op != op {
+                    // Replace only this operand occurrence-by-value.
+                    new_instr.replace_operand(op, new_op);
+                }
+            }
+            let ty = func.ty(v);
+            let id = func.create_instr(new_instr, ty);
+            func.block_mut(target).instrs.push(id);
+            (id, cloned + 1)
+        }
+        _ => (v, 0),
+    }
+}
+
+/// Appends a `call gr_detected()` + `br cont` trampoline block.
+pub fn detect_trampoline(func: &mut Function, cont: BlockId) -> BlockId {
+    let name = format!("gr.detect{}", func.block_count());
+    let bb = func.add_block(&name);
+    let call = func.create_instr(
+        Instr::Call { callee: DETECT_FN.to_owned(), args: vec![] },
+        Ty::Void,
+    );
+    func.block_mut(bb).instrs.push(call);
+    func.block_mut(bb).term = Some(Terminator::Br { target: cont });
+    bb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_ir::{parse_module, verify_module, Builder, Pred};
+
+    #[test]
+    fn split_edge_rewires_phis() {
+        let src = "
+fn @f(%c: i1) -> i32 {
+entry:
+  br %c, a, join
+a:
+  br join
+join:
+  %1 = phi i32 [ 1, entry ], [ 2, a ]
+  ret i32 %1
+}
+";
+        let mut m = parse_module(src).unwrap();
+        let f = m.func_mut("f").unwrap();
+        let entry = f.block_by_name("entry").unwrap();
+        let join = f.block_by_name("join").unwrap();
+        let mid = split_edge(f, entry, join, EdgeArm::Else);
+        assert_eq!(f.block(mid).term, Some(Terminator::Br { target: join }));
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn clone_chain_replicates_pure_math_only() {
+        let mut f = Function::new("f", vec![gd_ir::Ty::Ptr], gd_ir::Ty::Void);
+        let entry = f.add_block("entry");
+        let target = f.add_block("target");
+        let p = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        let v = b.load_volatile(p, gd_ir::Ty::I32);
+        let one = b.const_i32(1);
+        let sum = b.add(v, one);
+        let two = b.const_i32(2);
+        let prod = b.bin(gd_ir::BinOp::Mul, sum, two);
+        let zero = b.const_i32(0);
+        let cmp = b.icmp(Pred::Eq, prod, zero);
+        b.ret(None);
+        let (clone, n) = clone_chain(&mut f, cmp, target);
+        assert_ne!(clone, cmp);
+        // icmp + mul + add cloned; the volatile load and constants reused.
+        assert_eq!(n, 3);
+        assert_eq!(f.block(target).instrs.len(), 3);
+        // The cloned chain bottoms out at the same volatile load.
+        let ValueDef::Instr(Instr::Icmp { lhs, .. }) = func_val(&f, clone) else {
+            panic!("clone should be an icmp")
+        };
+        let ValueDef::Instr(Instr::Bin { lhs: sum_l, .. }) = func_val(&f, *lhs) else {
+            panic!("lhs should be the cloned mul")
+        };
+        let ValueDef::Instr(Instr::Bin { lhs: load_ref, .. }) = func_val(&f, *sum_l) else {
+            panic!("nested clone should be the add")
+        };
+        assert_eq!(*load_ref, v, "volatile load is shared, not cloned");
+    }
+
+    fn func_val(f: &Function, id: ValueId) -> &ValueDef {
+        f.value(id)
+    }
+
+    #[test]
+    fn runtime_name_detection() {
+        assert!(is_runtime_fn("gr_delay"));
+        assert!(is_runtime_fn("__gr_seed_init"));
+        assert!(!is_runtime_fn("main"));
+        assert!(!is_runtime_fn("grow"));
+    }
+
+    #[test]
+    fn report_merge() {
+        let mut a = Report { branches_instrumented: 2, ..Report::default() };
+        let b = Report { branches_instrumented: 1, delays_injected: 5, ..Report::default() };
+        a.merge(&b);
+        assert_eq!(a.branches_instrumented, 3);
+        assert_eq!(a.delays_injected, 5);
+    }
+}

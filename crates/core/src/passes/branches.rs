@@ -1,0 +1,370 @@
+//! Branch duplication and loop hardening (paper §VI-B-b).
+//!
+//! For every conditional branch, the **true** arm gets a redundant,
+//! *complemented* re-check: the comparison chain is recomputed over
+//! bitwise-complemented operands with the order-mirrored predicate, so the
+//! same unidirectional bit flips applied twice cannot satisfy both checks.
+//! A failing re-check calls `gr_detected()`.
+//!
+//! The loop pass adds the same instrumentation to the **false** (exit) arm
+//! of loop guards, which the branch pass deliberately leaves alone (the
+//! false arm of an `if` is the common path; a loop's false arm is the exit
+//! that a glitch wants to force).
+
+use gd_ir::{
+    natural_loops, BlockId, Cfg, DomTree, Function, Instr, Module, Pred, Terminator, Ty, ValueDef,
+    ValueId,
+};
+
+use crate::config::Config;
+use crate::pass::{clone_chain, detect_trampoline, split_edge, EdgeArm, Pass, Report};
+
+/// The branch-duplication pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BranchDuplication;
+
+/// The loop-hardening pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LoopHardening;
+
+impl Pass for BranchDuplication {
+    fn name(&self) -> &'static str {
+        "branch-duplication"
+    }
+
+    fn run(&self, module: &mut Module, _config: &Config, report: &mut Report) {
+        for func in &mut module.funcs {
+            let blocks: Vec<BlockId> = func.block_ids().collect();
+            for bb in blocks {
+                let Some(Terminator::CondBr { cond, then_bb, else_bb }) =
+                    func.block(bb).term.clone()
+                else {
+                    continue;
+                };
+                if then_bb == else_bb {
+                    continue; // degenerate edge; nothing to protect
+                }
+                instrument_edge(func, bb, cond, then_bb, EdgeArm::Then, Expect::Holds);
+                report.branches_instrumented += 1;
+            }
+        }
+    }
+}
+
+impl Pass for LoopHardening {
+    fn name(&self) -> &'static str {
+        "loop-hardening"
+    }
+
+    fn run(&self, module: &mut Module, _config: &Config, report: &mut Report) {
+        for func in &mut module.funcs {
+            let cfg = Cfg::compute(func);
+            let dom = DomTree::compute(func, &cfg);
+            let loops = natural_loops(func, &cfg, &dom);
+            // Collect (block, cond, exit target) for false arms leaving a loop.
+            let mut edges = Vec::new();
+            for l in &loops {
+                for &bb in &l.body {
+                    let Some(Terminator::CondBr { cond, then_bb, else_bb }) =
+                        func.block(bb).term.clone()
+                    else {
+                        continue;
+                    };
+                    if then_bb == else_bb {
+                        continue;
+                    }
+                    if !l.contains(else_bb) {
+                        edges.push((bb, cond, else_bb));
+                    }
+                }
+            }
+            edges.sort_by_key(|(bb, _, _)| *bb);
+            edges.dedup_by_key(|(bb, _, _)| *bb);
+            for (bb, cond, else_bb) in edges {
+                instrument_edge(func, bb, cond, else_bb, EdgeArm::Else, Expect::Fails);
+                report.loops_instrumented += 1;
+            }
+        }
+    }
+}
+
+/// What the redundant check expects of the original condition on this edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Expect {
+    /// The edge is taken when the condition holds (true arm).
+    Holds,
+    /// The edge is taken when the condition fails (false arm).
+    Fails,
+}
+
+/// Builds the re-check block on the `from →(arm)→ to` edge.
+fn instrument_edge(
+    func: &mut Function,
+    from: BlockId,
+    cond: ValueId,
+    to: BlockId,
+    arm: EdgeArm,
+    expect: Expect,
+) {
+    // 1. Interpose a check block on the edge.
+    let check_bb = split_edge(func, from, to, arm);
+
+    // 2. Recompute the condition in complemented form.
+    let recheck = match func.value(cond).clone() {
+        ValueDef::Instr(Instr::Icmp { pred, lhs, rhs }) => {
+            // Clone the chains feeding both operands, complement them, and
+            // compare with the order-mirrored predicate: a ⊕ b ⇔ ¬a ⊕ˢ ¬b.
+            let (lhs_c, _) = clone_chain(func, lhs, check_bb);
+            let (rhs_c, _) = clone_chain(func, rhs, check_bb);
+            let ty = func.ty(lhs);
+            let not_l = push(func, check_bb, Instr::Not { arg: lhs_c }, ty);
+            let not_r = push(func, check_bb, Instr::Not { arg: rhs_c }, ty);
+            let pred = match expect {
+                Expect::Holds => pred.swap(),
+                Expect::Fails => pred.negate().swap(),
+            };
+            push(func, check_bb, Instr::Icmp { pred, lhs: not_l, rhs: not_r }, Ty::I1)
+        }
+        _ => {
+            // Generic i1 condition: re-evaluate its chain and compare
+            // against the expected truth value.
+            let (cond_c, _) = clone_chain(func, cond, check_bb);
+            let expected = func.const_int(Ty::I1, i64::from(expect == Expect::Holds));
+            push(func, check_bb, Instr::Icmp { pred: Pred::Eq, lhs: cond_c, rhs: expected }, Ty::I1)
+        }
+    };
+
+    // 3. Passing re-check continues to `to`; failing calls gr_detected().
+    let detect_bb = detect_trampoline(func, to);
+    func.block_mut(check_bb).term =
+        Some(Terminator::CondBr { cond: recheck, then_bb: to, else_bb: detect_bb });
+    // `to` gains `detect_bb` as a predecessor; phis that saw `check_bb`
+    // must also accept the detect edge with the same values.
+    duplicate_phi_edge(func, to, check_bb, detect_bb);
+}
+
+fn push(func: &mut Function, bb: BlockId, instr: Instr, ty: Ty) -> ValueId {
+    let id = func.create_instr(instr, ty);
+    func.block_mut(bb).instrs.push(id);
+    id
+}
+
+/// For each phi in `bb` with an incoming from `existing`, adds an identical
+/// incoming from `added`.
+fn duplicate_phi_edge(func: &mut Function, bb: BlockId, existing: BlockId, added: BlockId) {
+    let phi_ids: Vec<ValueId> = func
+        .block(bb)
+        .instrs
+        .iter()
+        .copied()
+        .filter(|&id| matches!(func.value(id), ValueDef::Instr(Instr::Phi { .. })))
+        .collect();
+    for id in phi_ids {
+        if let ValueDef::Instr(Instr::Phi { incomings }) = func.value_mut(id) {
+            if let Some((_, v)) = incomings.iter().find(|(p, _)| *p == existing).copied() {
+                incomings.push((added, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses};
+    use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+
+    fn harden_branches(src: &str) -> (Module, Report) {
+        let mut m = parse_module(src).unwrap();
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        let mut report = Report::default();
+        BranchDuplication.run(&mut m, &Config::new(Defenses::BRANCHES), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        (m, report)
+    }
+
+    const IF_SRC: &str = "
+fn @check(%a: i32) -> i32 {
+entry:
+  %1 = icmp eq i32 %a, 5
+  br %1, then, else
+then:
+  ret i32 1
+else:
+  ret i32 0
+}
+";
+
+    #[test]
+    fn true_arm_gets_complemented_recheck() {
+        let (m, report) = harden_branches(IF_SRC);
+        assert_eq!(report.branches_instrumented, 1);
+        let text = print_module(&m);
+        // The recheck compares complemented operands.
+        assert!(text.contains("not i32"), "{text}");
+        assert!(text.contains("gr_detected"), "{text}");
+        let f = m.func("check").unwrap();
+        assert_eq!(f.block_count(), 5, "entry, then, else, check, detect");
+    }
+
+    #[test]
+    fn semantics_preserved_when_unglitched() {
+        let (m, _) = harden_branches(IF_SRC);
+        let mut detected = 0u32;
+        let mut interp = Interpreter::new(&m);
+        let mut handler = |name: &str, _: &[RtVal]| {
+            if name == "gr_detected" {
+                detected += 1;
+            }
+            RtVal::Int(0)
+        };
+        let r5 = interp.run("check", &[RtVal::Int(5)], &mut handler).unwrap();
+        let r7 = interp.run("check", &[RtVal::Int(7)], &mut handler).unwrap();
+        drop(interp); // release the handler borrow before reading `detected`
+        assert_eq!(r5, RtVal::Int(1));
+        assert_eq!(r7, RtVal::Int(0));
+        assert_eq!(detected, 0, "the redundant check never fires without a fault");
+    }
+
+    #[test]
+    fn ordered_predicates_use_swapped_form() {
+        let src = "
+fn @lt(%a: i32, %b: i32) -> i32 {
+entry:
+  %1 = icmp ult i32 %a, %b
+  br %1, then, else
+then:
+  ret i32 1
+else:
+  ret i32 0
+}
+";
+        let (m, _) = harden_branches(src);
+        // Exhaustive-ish semantic check over interesting corners.
+        for (a, b) in [(0i64, 0i64), (0, 1), (1, 0), (0xFFFF_FFFF, 0), (5, 0xFFFF_FFFF)] {
+            let mut interp = Interpreter::new(&m);
+            let mut fired = false;
+            let r = interp
+                .run("lt", &[RtVal::Int(a), RtVal::Int(b)], &mut |n, _| {
+                    fired |= n == "gr_detected";
+                    RtVal::Int(0)
+                })
+                .unwrap();
+            let expected = i64::from((a as u32) < (b as u32));
+            assert_eq!(r, RtVal::Int(expected), "lt({a},{b})");
+            assert!(!fired, "no detection for lt({a},{b})");
+        }
+    }
+
+    #[test]
+    fn volatile_load_is_not_duplicated() {
+        // The guard loads a volatile; the recheck must reuse the loaded
+        // value rather than reading twice (paper §VI-B-b).
+        let src = "
+global @mmio : i32 = 0
+fn @guard() -> i32 {
+entry:
+  %p = globaladdr @mmio
+  %v = load volatile i32, %p
+  %1 = icmp eq i32 %v, 0
+  br %1, then, else
+then:
+  ret i32 1
+else:
+  ret i32 0
+}
+";
+        let (m, _) = harden_branches(src);
+        let text = print_module(&m);
+        let loads = text.matches("load volatile").count();
+        assert_eq!(loads, 1, "volatile load must appear exactly once:\n{text}");
+    }
+
+    #[test]
+    fn phis_in_target_survive() {
+        let src = "
+fn @f(%a: i32) -> i32 {
+entry:
+  %1 = icmp ne i32 %a, 0
+  br %1, join, other
+other:
+  br join
+join:
+  %2 = phi i32 [ 10, entry ], [ 20, other ]
+  ret i32 %2
+}
+";
+        let (m, _) = harden_branches(src);
+        // Unglitched behavior unchanged.
+        for (a, want) in [(1i64, 10i64), (0, 20)] {
+            let mut interp = Interpreter::new(&m);
+            let r = interp.run("f", &[RtVal::Int(a)], &mut |_, _| RtVal::Int(0)).unwrap();
+            assert_eq!(r, RtVal::Int(want), "f({a})");
+        }
+    }
+
+    const LOOP_SRC: &str = "
+fn @spin(%p: ptr) -> i32 {
+entry:
+  br header
+header:
+  %v = load volatile i32, %p
+  %c = icmp ne i32 %v, 0
+  br %c, body, exit
+body:
+  br header
+exit:
+  ret i32 42
+}
+";
+
+    #[test]
+    fn loop_pass_instruments_exit_edge() {
+        let mut m = parse_module(LOOP_SRC).unwrap();
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        let mut report = Report::default();
+        LoopHardening.run(&mut m, &Config::new(Defenses::LOOPS), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        assert_eq!(report.loops_instrumented, 1);
+        let text = print_module(&m);
+        assert!(text.contains("gr_detected"), "{text}");
+        // The check sits on the exit edge: header's else arm is rewritten.
+        let f = m.func("spin").unwrap();
+        let header = f.block_by_name("header").unwrap();
+        let Some(Terminator::CondBr { else_bb, .. }) = &f.block(header).term else {
+            panic!("header keeps its cond-br");
+        };
+        assert_ne!(f.block(*else_bb).name, "exit", "else edge goes through the check");
+    }
+
+    #[test]
+    fn loop_pass_ignores_non_loop_branches() {
+        let mut m = parse_module(IF_SRC).unwrap();
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        let mut report = Report::default();
+        LoopHardening.run(&mut m, &Config::new(Defenses::LOOPS), &mut report);
+        assert_eq!(report.loops_instrumented, 0);
+    }
+
+    #[test]
+    fn branch_pass_on_loops_targets_the_body_edge() {
+        let mut m = parse_module(LOOP_SRC).unwrap();
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        let mut report = Report::default();
+        BranchDuplication.run(&mut m, &Config::new(Defenses::BRANCHES), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        assert_eq!(report.branches_instrumented, 1);
+    }
+
+    #[test]
+    fn both_passes_compose() {
+        let mut m = parse_module(LOOP_SRC).unwrap();
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        let mut report = Report::default();
+        BranchDuplication.run(&mut m, &Config::new(Defenses::ALL), &mut report);
+        LoopHardening.run(&mut m, &Config::new(Defenses::ALL), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        assert!(report.branches_instrumented >= 1);
+        assert!(report.loops_instrumented >= 1);
+    }
+}

@@ -1,0 +1,170 @@
+//! Random-timing injection (paper §VI-1).
+//!
+//! A call to the runtime's `gr_delay()` — a glibc-parameter linear
+//! congruential generator driving 0–10 busy iterations — is inserted at the
+//! end of every basic block that ends in a branch, i.e. right before the
+//! branch an attacker would time against. The entry function additionally
+//! calls `gr_seed_init()` first thing, which increments the seed and writes
+//! it back to non-volatile memory so repeated attempts against the same
+//! seed are thwarted.
+
+use gd_ir::{Instr, Module, Terminator, Ty, ValueDef};
+
+use crate::config::Config;
+use crate::pass::{is_runtime_fn, Pass, Report, DELAY_FN, SEED_INIT_FN};
+
+/// The random-delay pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RandomDelay {
+    /// Function whose entry receives the one-time `gr_seed_init()` call
+    /// (typically the reset/main entry). `None` skips seed-init insertion.
+    pub entry_function: Option<&'static str>,
+}
+
+impl RandomDelay {
+    /// Delay pass that seeds at the entry of `entry` (usually `"main"`).
+    pub fn with_entry(entry: &'static str) -> RandomDelay {
+        RandomDelay { entry_function: Some(entry) }
+    }
+}
+
+impl Pass for RandomDelay {
+    fn name(&self) -> &'static str {
+        "random-delay"
+    }
+
+    fn run(&self, module: &mut Module, config: &Config, report: &mut Report) {
+        module.declare_extern(DELAY_FN, vec![], Ty::Void);
+        module.declare_extern(SEED_INIT_FN, vec![], Ty::Void);
+        for func in &mut module.funcs {
+            if is_runtime_fn(&func.name) || !config.delay_applies_to(&func.name) {
+                continue;
+            }
+            for bb in func.block_ids().collect::<Vec<_>>() {
+                let ends_in_branch = matches!(
+                    func.block(bb).term,
+                    Some(Terminator::Br { .. }) | Some(Terminator::CondBr { .. })
+                );
+                if !ends_in_branch {
+                    continue;
+                }
+                // Skip blocks that already end in a delay call (idempotence).
+                if let Some(&last) = func.block(bb).instrs.last() {
+                    if let ValueDef::Instr(Instr::Call { callee, .. }) = func.value(last) {
+                        if callee == DELAY_FN {
+                            continue;
+                        }
+                    }
+                }
+                let call = func.create_instr(
+                    Instr::Call { callee: DELAY_FN.to_owned(), args: vec![] },
+                    Ty::Void,
+                );
+                func.block_mut(bb).instrs.push(call);
+                report.delays_injected += 1;
+            }
+            if Some(func.name.as_str()) == self.entry_function {
+                let entry = func.entry();
+                let call = func.create_instr(
+                    Instr::Call { callee: SEED_INIT_FN.to_owned(), args: vec![] },
+                    Ty::Void,
+                );
+                // Before everything, but after any phis (entry has none).
+                func.block_mut(entry).instrs.insert(0, call);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses, DelayScope};
+    use gd_ir::{parse_module, print_module, verify_module};
+
+    const SRC: &str = "
+fn @main(%n: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, loop ]
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %n
+  br %c, loop, done
+done:
+  ret i32 %i2
+}
+
+fn @gr_delay() -> void {
+entry:
+  ret void
+}
+";
+
+    fn harden(cfg: &Config) -> (Module, Report) {
+        let mut m = parse_module(SRC).unwrap();
+        let mut report = Report::default();
+        RandomDelay::with_entry("main").run(&mut m, cfg, &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        (m, report)
+    }
+
+    #[test]
+    fn delays_before_every_branch_not_before_ret() {
+        let (m, report) = harden(&Config::new(Defenses::DELAY));
+        assert_eq!(report.delays_injected, 2, "entry and loop blocks branch; done returns");
+        let text = print_module(&m);
+        assert_eq!(text.matches("call void @gr_delay()").count(), 2, "{text}");
+        assert!(text.contains("call void @gr_seed_init()"), "{text}");
+    }
+
+    #[test]
+    fn runtime_functions_are_exempt() {
+        let (m, _) = harden(&Config::new(Defenses::DELAY));
+        let gr = m.func("gr_delay").unwrap();
+        let entry = gr.entry();
+        assert!(gr.block(entry).instrs.is_empty(), "gr_delay must not call itself");
+    }
+
+    #[test]
+    fn opt_in_mode_requires_listing() {
+        let mut cfg = Config::new(Defenses::DELAY);
+        cfg.delay_scope = DelayScope::OptIn;
+        let (_, report) = harden(&cfg);
+        assert_eq!(report.delays_injected, 0);
+        cfg.included.insert("main".into());
+        let (_, report) = harden(&cfg);
+        assert_eq!(report.delays_injected, 2);
+    }
+
+    #[test]
+    fn opt_out_mode_respects_exclusions() {
+        let mut cfg = Config::new(Defenses::DELAY);
+        cfg.excluded.insert("main".into());
+        let (_, report) = harden(&cfg);
+        assert_eq!(report.delays_injected, 0);
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut m = parse_module(SRC).unwrap();
+        let cfg = Config::new(Defenses::DELAY);
+        let mut report = Report::default();
+        RandomDelay::default().run(&mut m, &cfg, &mut report);
+        let first = report.delays_injected;
+        RandomDelay::default().run(&mut m, &cfg, &mut report);
+        assert_eq!(report.delays_injected, first, "second run adds nothing");
+    }
+
+    #[test]
+    fn phi_blocks_get_the_call_after_phis() {
+        let (m, _) = harden(&Config::new(Defenses::DELAY));
+        let f = m.func("main").unwrap();
+        let bb = f.block_by_name("loop").unwrap();
+        let first = f.block(bb).instrs[0];
+        assert!(
+            matches!(f.value(first), ValueDef::Instr(Instr::Phi { .. })),
+            "phi stays at block head"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The ENUM rewriter (paper §VI-A-a).
+//!
+//! Fully-uninitialized enum declarations get Reed–Solomon diversified
+//! values, so no two valid variants are within 8 bit flips of each other.
+//! Partially or fully initialized enums are left alone — their values may
+//! be protocol-mandated. The paper implements this at the Clang AST level
+//! because LLVM IR loses enum provenance; our IR keeps provenance on
+//! constants ([`gd_ir::EnumRef`]), which plays the same role.
+
+use std::collections::BTreeMap;
+
+use gd_ir::{Module, ValueDef};
+use gd_rs_ecc::diversified_constants;
+
+use crate::config::Config;
+use crate::pass::{Pass, Report};
+
+/// The enum-rewriting pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EnumRewriter;
+
+impl Pass for EnumRewriter {
+    fn name(&self) -> &'static str {
+        "enum-rewriter"
+    }
+
+    fn run(&self, module: &mut Module, config: &Config, report: &mut Report) {
+        if config.disable_enum_rewriter {
+            return;
+        }
+        // Pick targets and compute their new variant values.
+        let mut rewrites: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+        for e in &mut module.enums {
+            if !e.fully_uninitialized() || e.variants.is_empty() {
+                continue;
+            }
+            let codes = diversified_constants(e.variants.len() as u32);
+            let values: Vec<i64> = codes.iter().map(|&c| i64::from(c)).collect();
+            for (variant, value) in e.variants.iter_mut().zip(values.iter()) {
+                variant.1 = Some(*value);
+            }
+            rewrites.insert(e.name.clone(), values);
+            report.enums_rewritten += 1;
+        }
+        if rewrites.is_empty() {
+            return;
+        }
+        // Update every constant carrying provenance of a rewritten enum.
+        for func in &mut module.funcs {
+            for id in func.value_ids().collect::<Vec<_>>() {
+                let ValueDef::Const { enum_ref: Some(er), .. } = func.value(id) else {
+                    continue;
+                };
+                let Some(values) = rewrites.get(&er.enum_name) else { continue };
+                let new = values[er.variant as usize];
+                if let ValueDef::Const { value, .. } = func.value_mut(id) {
+                    *value = new;
+                }
+            }
+        }
+        // Globals initialized to enum defaults are out of scope, exactly as
+        // in the paper (the AST rewriter only touches the declaration and
+        // literal uses).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses};
+    use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+
+    const SRC: &str = "
+enum Status { FAILURE, SUCCESS }
+enum Proto { IDLE = 0, RUN = 4 }
+
+fn @check(%s: i32) -> i32 {
+entry:
+  %c = icmp eq i32 %s, Status::SUCCESS
+  br %c, ok, no
+ok:
+  ret i32 1
+no:
+  ret i32 0
+}
+
+fn @proto(%s: i32) -> i32 {
+entry:
+  %c = icmp eq i32 %s, Proto::RUN
+  br %c, ok, no
+ok:
+  ret i32 1
+no:
+  ret i32 0
+}
+";
+
+    fn harden(src: &str) -> (Module, Report) {
+        let mut m = parse_module(src).unwrap();
+        let mut report = Report::default();
+        EnumRewriter.run(&mut m, &Config::new(Defenses::ENUMS), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        (m, report)
+    }
+
+    #[test]
+    fn uninitialized_enum_rewritten_initialized_kept() {
+        let (m, report) = harden(SRC);
+        assert_eq!(report.enums_rewritten, 1);
+        let status = m.enum_def("Status").unwrap();
+        let failure = status.value_of(0);
+        let success = status.value_of(1);
+        assert_ne!(failure, 0, "FAILURE moved off the default 0");
+        assert_ne!(success, 1);
+        assert!(
+            ((failure ^ success) as u32).count_ones() >= 8,
+            "pairwise distance ≥ 8: {failure:#x} vs {success:#x}"
+        );
+        let proto = m.enum_def("Proto").unwrap();
+        assert_eq!(proto.value_of(0), 0, "explicitly-valued enum untouched");
+        assert_eq!(proto.value_of(1), 4);
+    }
+
+    #[test]
+    fn uses_updated_consistently() {
+        let (m, _) = harden(SRC);
+        let success = m.enum_def("Status").unwrap().value_of(1);
+        // Passing the *new* SUCCESS value satisfies the check; old 1 fails.
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("check", &[RtVal::Int(success)], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_eq!(r, RtVal::Int(1));
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("check", &[RtVal::Int(1)], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_eq!(r, RtVal::Int(0), "the legacy value no longer passes");
+    }
+
+    #[test]
+    fn disable_flag_honored() {
+        let mut m = parse_module(SRC).unwrap();
+        let mut cfg = Config::new(Defenses::ENUMS);
+        cfg.disable_enum_rewriter = true;
+        let mut report = Report::default();
+        EnumRewriter.run(&mut m, &cfg, &mut report);
+        assert_eq!(report.enums_rewritten, 0);
+        assert_eq!(m.enum_def("Status").unwrap().value_of(1), 1);
+    }
+
+    #[test]
+    fn rewritten_values_avoid_trivially_glitchable_constants() {
+        let (m, _) = harden(SRC);
+        let status = m.enum_def("Status").unwrap();
+        for i in 0..2 {
+            let v = status.value_of(i) as u32;
+            assert!(v.count_ones() >= 4, "{v:#x} too close to 0");
+            assert!(v.count_zeros() >= 4, "{v:#x} too close to ~0");
+        }
+    }
+
+    #[test]
+    fn idempotent() {
+        let (mut m, _) = harden(SRC);
+        let success = m.enum_def("Status").unwrap().value_of(1);
+        let mut report = Report::default();
+        EnumRewriter.run(&mut m, &Config::new(Defenses::ENUMS), &mut report);
+        assert_eq!(report.enums_rewritten, 0, "already-initialized enums skipped");
+        assert_eq!(m.enum_def("Status").unwrap().value_of(1), success);
+    }
+}

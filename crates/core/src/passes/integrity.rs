@@ -1,0 +1,333 @@
+//! Data integrity for sensitive globals (paper §VI-B-a).
+//!
+//! Every global the developer marked *sensitive* gets a complement shadow
+//! (`<name>__integrity`, placed by the backend in a physically separate
+//! memory region). Stores also write the bitwise complement to the shadow;
+//! loads read both and call `gr_detected()` unless
+//! `value XOR shadow == ¬0`.
+
+use gd_ir::{BlockId, Instr, Module, Pred, Terminator, Ty, ValueDef, ValueId};
+
+use crate::config::Config;
+use crate::pass::{detect_trampoline, Pass, Report};
+
+/// Suffix appended to shadow globals. The backend places globals with this
+/// suffix in the shadow data region, away from their primaries.
+pub const INTEGRITY_SUFFIX: &str = "__integrity";
+
+/// The data-integrity pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct DataIntegrity;
+
+fn all_ones(ty: Ty) -> i64 {
+    (1i64 << (ty.size() * 8)) - 1
+}
+
+impl Pass for DataIntegrity {
+    fn name(&self) -> &'static str {
+        "data-integrity"
+    }
+
+    fn run(&self, module: &mut Module, _config: &Config, report: &mut Report) {
+        let sensitive: Vec<(String, Ty, i64)> = module
+            .globals
+            .iter()
+            .filter(|g| g.sensitive && !g.name.ends_with(INTEGRITY_SUFFIX))
+            .map(|g| (g.name.clone(), g.ty, g.init))
+            .collect();
+        if sensitive.is_empty() {
+            return;
+        }
+
+        // Create the shadow globals (idempotent).
+        for (name, ty, init) in &sensitive {
+            let shadow = format!("{name}{INTEGRITY_SUFFIX}");
+            if module.global(&shadow).is_none() {
+                module.add_global(gd_ir::Global {
+                    name: shadow,
+                    ty: *ty,
+                    init: !init & all_ones(*ty),
+                    sensitive: false,
+                });
+            }
+        }
+
+        let is_sensitive =
+            |name: &str| sensitive.iter().find(|(n, _, _)| n == name).map(|(_, ty, _)| *ty);
+
+        for func in &mut module.funcs {
+            // Gather (block, position, access) sites first; rewriting splits
+            // blocks, so process back-to-front per block.
+            let mut sites: Vec<(BlockId, usize, Site)> = Vec::new();
+            for bb in func.block_ids() {
+                for (pos, &id) in func.block(bb).instrs.iter().enumerate() {
+                    let ValueDef::Instr(instr) = func.value(id) else { continue };
+                    match instr {
+                        Instr::Load { ptr, ty, .. } => {
+                            if let Some(name) = global_of(func, *ptr) {
+                                if is_sensitive(&name).is_some() {
+                                    sites.push((bb, pos, Site::Load { id, name, ty: *ty }));
+                                }
+                            }
+                        }
+                        Instr::Store { ptr, value, .. } => {
+                            if let Some(name) = global_of(func, *ptr) {
+                                if let Some(ty) = is_sensitive(&name) {
+                                    sites.push((
+                                        bb,
+                                        pos,
+                                        Site::Store { name, value: *value, ty },
+                                    ));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // Later sites first so earlier positions stay valid.
+            sites.sort_by_key(|(bb, pos, _)| std::cmp::Reverse((*bb, *pos)));
+            for (bb, pos, site) in sites {
+                match site {
+                    Site::Store { name, value, ty } => {
+                        let shadow = format!("{name}{INTEGRITY_SUFFIX}");
+                        let addr = func.create_instr(Instr::GlobalAddr { name: shadow }, Ty::Ptr);
+                        let inv = func.create_instr(Instr::Not { arg: value }, ty);
+                        let store = func.create_instr(
+                            Instr::Store { ptr: addr, value: inv, volatile: true },
+                            Ty::Void,
+                        );
+                        let instrs = &mut func.block_mut(bb).instrs;
+                        instrs.splice(pos + 1..pos + 1, [addr, inv, store]);
+                        report.stores_shadowed += 1;
+                    }
+                    Site::Load { id, name, ty } => {
+                        split_and_check(func, bb, pos, id, &name, ty);
+                        report.loads_checked += 1;
+                    }
+                }
+            }
+        }
+        module.declare_extern(crate::pass::DETECT_FN, vec![], Ty::Void);
+    }
+}
+
+enum Site {
+    Load { id: ValueId, name: String, ty: Ty },
+    Store { name: String, value: ValueId, ty: Ty },
+}
+
+fn global_of(func: &gd_ir::Function, ptr: ValueId) -> Option<String> {
+    match func.value(ptr) {
+        ValueDef::Instr(Instr::GlobalAddr { name }) => Some(name.clone()),
+        _ => None,
+    }
+}
+
+/// After the load at `(bb, pos)`, loads the shadow, verifies
+/// `v ^ shadow == ¬0`, and branches to a detect trampoline on mismatch.
+fn split_and_check(
+    func: &mut gd_ir::Function,
+    bb: BlockId,
+    pos: usize,
+    loaded: ValueId,
+    name: &str,
+    ty: Ty,
+) {
+    // Split: everything after the load moves to a continuation block.
+    let cont_name = format!("{}.grint{}", func.block(bb).name, func.block_count());
+    let cont = func.add_block(&cont_name);
+    let tail: Vec<ValueId> = func.block_mut(bb).instrs.split_off(pos + 1);
+    let old_term = func.block_mut(bb).term.take();
+    func.block_mut(cont).instrs = tail;
+    func.block_mut(cont).term = old_term;
+    // Successor phis must now name `cont` as predecessor instead of `bb`.
+    let succs: Vec<BlockId> = func
+        .block(cont)
+        .term
+        .as_ref()
+        .map(|t| t.successors())
+        .unwrap_or_default();
+    for succ in succs {
+        crate::pass::retarget_phis(func, succ, bb, cont);
+    }
+
+    // Check sequence at the end of `bb`.
+    let shadow = format!("{name}{INTEGRITY_SUFFIX}");
+    let addr = func.create_instr(Instr::GlobalAddr { name: shadow }, Ty::Ptr);
+    let sv = func.create_instr(Instr::Load { ptr: addr, ty, volatile: true }, ty);
+    let xor = func.create_instr(
+        Instr::Bin { op: gd_ir::BinOp::Xor, lhs: loaded, rhs: sv },
+        ty,
+    );
+    let ones = func.const_int(ty, all_ones(ty));
+    let ok = func.create_instr(Instr::Icmp { pred: Pred::Eq, lhs: xor, rhs: ones }, Ty::I1);
+    let block = func.block_mut(bb);
+    block.instrs.extend([addr, sv, xor, ok]);
+    let detect = detect_trampoline(func, cont);
+    func.block_mut(bb).term =
+        Some(Terminator::CondBr { cond: ok, then_bb: cont, else_bb: detect });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses};
+    use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+
+    const SRC: &str = "
+global @tick : i32 = 0 sensitive
+global @plain : i32 = 7
+
+fn @bump() -> i32 {
+entry:
+  %p = globaladdr @tick
+  %v = load i32, %p
+  %v2 = add i32 %v, 1
+  store i32 %v2, %p
+  %q = globaladdr @plain
+  %w = load i32, %q
+  %r = add i32 %v2, %w
+  ret i32 %r
+}
+";
+
+    fn harden(src: &str) -> (Module, Report) {
+        let mut m = parse_module(src).unwrap();
+        let mut report = Report::default();
+        DataIntegrity.run(&mut m, &Config::new(Defenses::INTEGRITY), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        (m, report)
+    }
+
+    #[test]
+    fn shadow_global_created_with_complement_init() {
+        let (m, report) = harden(SRC);
+        let shadow = m.global("tick__integrity").expect("shadow exists");
+        assert_eq!(shadow.init, 0xFFFF_FFFF);
+        assert!(m.global("plain__integrity").is_none(), "plain global untouched");
+        assert_eq!(report.loads_checked, 1);
+        assert_eq!(report.stores_shadowed, 1);
+    }
+
+    #[test]
+    fn unglitched_execution_unchanged_and_undetected() {
+        let (m, _) = harden(SRC);
+        let mut interp = Interpreter::new(&m);
+        let mut detected = 0;
+        let r = interp
+            .run("bump", &[], &mut |n, _| {
+                if n == "gr_detected" {
+                    detected += 1;
+                }
+                RtVal::Int(0)
+            })
+            .unwrap();
+        assert_eq!(r, RtVal::Int(8), "(0+1) + 7");
+        assert_eq!(detected, 0);
+        assert_eq!(interp.global("tick"), 1);
+        assert_eq!(interp.global("tick__integrity") as u32, !1u32, "shadow tracks");
+    }
+
+    #[test]
+    fn corrupted_global_is_detected_on_load() {
+        let (m, _) = harden(SRC);
+        let mut interp = Interpreter::new(&m);
+        // Simulate a glitch that flipped bits of the primary copy between
+        // boot and the load.
+        interp.set_global("tick", 0x40);
+        let mut detected = 0;
+        interp
+            .run("bump", &[], &mut |n, _| {
+                if n == "gr_detected" {
+                    detected += 1;
+                }
+                RtVal::Int(0)
+            })
+            .unwrap();
+        assert_eq!(detected, 1, "mismatch between value and shadow fires");
+    }
+
+    #[test]
+    fn corrupted_shadow_is_detected_too() {
+        let (m, _) = harden(SRC);
+        let mut interp = Interpreter::new(&m);
+        interp.set_global("tick__integrity", 0);
+        let mut detected = 0;
+        interp
+            .run("bump", &[], &mut |n, _| {
+                if n == "gr_detected" {
+                    detected += 1;
+                }
+                RtVal::Int(0)
+            })
+            .unwrap();
+        assert_eq!(detected, 1);
+    }
+
+    #[test]
+    fn store_then_load_round_trip_stays_consistent() {
+        let src = "
+global @key : i32 = 0x1234 sensitive
+fn @update(%v: i32) -> i32 {
+entry:
+  %p = globaladdr @key
+  store i32 %v, %p
+  %w = load i32, %p
+  ret i32 %w
+}
+";
+        let (m, _) = harden(src);
+        let mut interp = Interpreter::new(&m);
+        let mut detected = 0;
+        let r = interp
+            .run("update", &[RtVal::Int(0xBEEF)], &mut |n, _| {
+                if n == "gr_detected" {
+                    detected += 1;
+                }
+                RtVal::Int(0)
+            })
+            .unwrap();
+        assert_eq!(r, RtVal::Int(0xBEEF));
+        assert_eq!(detected, 0);
+    }
+
+    #[test]
+    fn idempotent_over_shadows() {
+        // Running the pass twice must not shadow the shadows.
+        let mut m = parse_module(SRC).unwrap();
+        let cfg = Config::new(Defenses::INTEGRITY);
+        let mut report = Report::default();
+        DataIntegrity.run(&mut m, &cfg, &mut report);
+        let globals_after_one = m.globals.len();
+        DataIntegrity.run(&mut m, &cfg, &mut report);
+        assert_eq!(m.globals.len(), globals_after_one);
+    }
+
+    #[test]
+    fn i8_globals_use_narrow_complement() {
+        let src = "
+global @flag : i8 = 1 sensitive
+fn @read() -> i8 {
+entry:
+  %p = globaladdr @flag
+  %v = load i8, %p
+  ret i8 %v
+}
+";
+        let (m, _) = harden(src);
+        assert_eq!(m.global("flag__integrity").unwrap().init, 0xFE);
+        let mut interp = Interpreter::new(&m);
+        let mut detected = 0;
+        let r = interp
+            .run("read", &[], &mut |n, _| {
+                if n == "gr_detected" {
+                    detected += 1;
+                }
+                RtVal::Int(0)
+            })
+            .unwrap();
+        assert_eq!(r, RtVal::Int(1));
+        assert_eq!(detected, 0);
+    }
+}

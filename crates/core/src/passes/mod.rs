@@ -1,0 +1,6 @@
+//! branches, integrity, delay, returns, enums passes.
+pub mod branches;
+pub mod delay;
+pub mod enums;
+pub mod integrity;
+pub mod returns;

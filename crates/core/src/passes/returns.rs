@@ -1,0 +1,334 @@
+//! Non-trivial return codes (paper §VI-A-b).
+//!
+//! Functions that only ever return constants, and whose results every
+//! caller uses **directly in comparisons against constants**, get their
+//! return values (and the compared constants) replaced with Reed–Solomon
+//! diversified values. A glitch that corrupts the returned value then lands
+//! on a valid code with negligible probability.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gd_ir::{Function, Instr, Module, Terminator, ValueDef, ValueId};
+use gd_rs_ecc::diversified_constants;
+
+use crate::config::Config;
+use crate::pass::{Pass, Report};
+
+/// The return-code diversification pass.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ReturnCodes;
+
+impl Pass for ReturnCodes {
+    fn name(&self) -> &'static str {
+        "return-codes"
+    }
+
+    fn run(&self, module: &mut Module, _config: &Config, report: &mut Report) {
+        let candidates: Vec<String> = module
+            .funcs
+            .iter()
+            .filter(|f| f.ret.is_int() && f.ret.size() == 4)
+            .filter(|f| returns_only_constants(f))
+            .filter(|f| all_uses_are_constant_compares(module, &f.name))
+            .map(|f| f.name.clone())
+            .collect();
+
+        for name in candidates {
+            let consts = distinct_return_constants(module.func(&name).expect("candidate"));
+            if consts.is_empty() {
+                continue;
+            }
+            let codes = diversified_constants(consts.len() as u32);
+            let mapping: BTreeMap<i64, i64> = consts
+                .iter()
+                .copied()
+                .zip(codes.iter().map(|&c| i64::from(c)))
+                .collect();
+            rewrite_returns(module.func_mut(&name).expect("candidate"), &mapping);
+            rewrite_callers(module, &name, &mapping);
+            report.returns_rewritten += 1;
+        }
+    }
+}
+
+fn returns_only_constants(func: &Function) -> bool {
+    let rets = func.return_values();
+    !rets.is_empty()
+        && rets.iter().all(|r| {
+            matches!(r, Some(v) if matches!(func.value(*v), ValueDef::Const { .. }))
+        })
+}
+
+fn distinct_return_constants(func: &Function) -> Vec<i64> {
+    let mut set = BTreeSet::new();
+    for r in func.return_values().into_iter().flatten() {
+        if let ValueDef::Const { value, .. } = func.value(r) {
+            set.insert(*value);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Whether every call to `callee` across the module has its result used
+/// only as an `icmp` operand whose other side is a constant. A function
+/// with no call sites at all is rejected: its return value escapes to the
+/// environment (e.g. an entry point), so rewriting it would be observable.
+fn all_uses_are_constant_compares(module: &Module, callee: &str) -> bool {
+    let mut any_call = false;
+    for func in &module.funcs {
+        for id in func.value_ids() {
+            let ValueDef::Instr(Instr::Call { callee: c, .. }) = func.value(id) else {
+                continue;
+            };
+            if c != callee {
+                continue;
+            }
+            any_call = true;
+            // Find all uses of the call's result.
+            for user in func.value_ids() {
+                let ValueDef::Instr(instr) = func.value(user) else { continue };
+                if !instr.operands().contains(&id) {
+                    continue;
+                }
+                let Instr::Icmp { lhs, rhs, .. } = instr else {
+                    return false; // used outside a compare
+                };
+                let other = if *lhs == id { *rhs } else { *lhs };
+                if !matches!(func.value(other), ValueDef::Const { .. }) {
+                    return false;
+                }
+            }
+            // Uses in terminators or returns disqualify too.
+            for bb in func.block_ids() {
+                match &func.block(bb).term {
+                    Some(Terminator::Ret { value: Some(v) }) if *v == id => return false,
+                    Some(Terminator::CondBr { cond, .. }) if *cond == id => return false,
+                    _ => {}
+                }
+            }
+        }
+    }
+    any_call
+}
+
+fn rewrite_returns(func: &mut Function, mapping: &BTreeMap<i64, i64>) {
+    for bb in func.block_ids().collect::<Vec<_>>() {
+        let Some(Terminator::Ret { value: Some(v) }) = func.block(bb).term else {
+            continue;
+        };
+        let ValueDef::Const { value, .. } = *func.value(v) else { continue };
+        if let Some(&new) = mapping.get(&value) {
+            let ty = func.ty(v);
+            let nv = func.const_int(ty, new);
+            func.block_mut(bb).term = Some(Terminator::Ret { value: Some(nv) });
+        }
+    }
+}
+
+fn rewrite_callers(module: &mut Module, callee: &str, mapping: &BTreeMap<i64, i64>) {
+    for fi in 0..module.funcs.len() {
+        let func = &module.funcs[fi];
+        // Call results of `callee` in this function.
+        let call_ids: Vec<ValueId> = func
+            .value_ids()
+            .filter(|&id| {
+                matches!(
+                    func.value(id),
+                    ValueDef::Instr(Instr::Call { callee: c, .. }) if c == callee
+                )
+            })
+            .collect();
+        if call_ids.is_empty() {
+            continue;
+        }
+        // Compares whose one side is a call result and other side a const.
+        let mut rewrites: Vec<(ValueId, bool /*lhs is call*/, i64)> = Vec::new();
+        for user in func.value_ids() {
+            let ValueDef::Instr(Instr::Icmp { lhs, rhs, .. }) = func.value(user) else {
+                continue;
+            };
+            let (lhs, rhs) = (*lhs, *rhs);
+            let (call_is_lhs, other) = if call_ids.contains(&lhs) {
+                (true, rhs)
+            } else if call_ids.contains(&rhs) {
+                (false, lhs)
+            } else {
+                continue;
+            };
+            if let ValueDef::Const { value, .. } = func.value(other) {
+                if let Some(&new) = mapping.get(value) {
+                    rewrites.push((user, call_is_lhs, new));
+                }
+            }
+        }
+        let func = &mut module.funcs[fi];
+        for (user, call_is_lhs, new) in rewrites {
+            let ty = match func.value(user) {
+                ValueDef::Instr(Instr::Icmp { lhs, rhs, .. }) => {
+                    func.ty(if call_is_lhs { *rhs } else { *lhs })
+                }
+                _ => unreachable!(),
+            };
+            let nv = func.const_int(ty, new);
+            if let ValueDef::Instr(Instr::Icmp { lhs, rhs, .. }) = func.value_mut(user) {
+                if call_is_lhs {
+                    *rhs = nv;
+                } else {
+                    *lhs = nv;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses};
+    use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+
+    const SRC: &str = "
+fn @verify(%sig: i32) -> i32 {
+entry:
+  %ok = icmp eq i32 %sig, 0x1234
+  br %ok, good, bad
+good:
+  ret i32 1
+bad:
+  ret i32 0
+}
+
+fn @main(%sig: i32) -> i32 {
+entry:
+  %r = call i32 @verify(%sig)
+  %c = icmp eq i32 %r, 1
+  br %c, boot, halt
+boot:
+  ret i32 100
+halt:
+  ret i32 200
+}
+";
+
+    fn harden(src: &str) -> (Module, Report) {
+        let mut m = parse_module(src).unwrap();
+        let mut report = Report::default();
+        ReturnCodes.run(&mut m, &Config::new(Defenses::RETURNS), &mut report);
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+        (m, report)
+    }
+
+    #[test]
+    fn rewrites_returns_and_compares_consistently() {
+        let (m, report) = harden(SRC);
+        assert_eq!(report.returns_rewritten, 1);
+        let text = print_module(&m);
+        assert!(!text.contains("ret i32 1\n"), "trivial 1 replaced:\n{text}");
+        assert!(!text.contains("ret i32 0\n"), "trivial 0 replaced:\n{text}");
+        // Semantics preserved.
+        for (sig, want) in [(0x1234i64, 100i64), (7, 200)] {
+            let mut interp = Interpreter::new(&m);
+            let r = interp.run("main", &[RtVal::Int(sig)], &mut |_, _| RtVal::Int(0)).unwrap();
+            assert_eq!(r, RtVal::Int(want), "main({sig:#x})");
+        }
+    }
+
+    #[test]
+    fn rewritten_codes_are_far_apart() {
+        let (m, _) = harden(SRC);
+        let f = m.func("verify").unwrap();
+        let mut codes = Vec::new();
+        for r in f.return_values().into_iter().flatten() {
+            if let ValueDef::Const { value, .. } = f.value(r) {
+                codes.push(*value as u32);
+            }
+        }
+        assert_eq!(codes.len(), 2);
+        assert!(
+            (codes[0] ^ codes[1]).count_ones() >= 8,
+            "pairwise Hamming distance ≥ 8: {codes:x?}"
+        );
+    }
+
+    #[test]
+    fn arithmetic_use_disqualifies() {
+        let src = "
+fn @status() -> i32 {
+entry:
+  ret i32 1
+}
+fn @main() -> i32 {
+entry:
+  %r = call i32 @status()
+  %x = add i32 %r, 1
+  ret i32 %x
+}
+";
+        let (m, report) = harden(src);
+        assert_eq!(report.returns_rewritten, 0);
+        let mut interp = Interpreter::new(&m);
+        let r = interp.run("main", &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_eq!(r, RtVal::Int(2));
+    }
+
+    #[test]
+    fn computed_returns_disqualify() {
+        let src = "
+fn @double(%x: i32) -> i32 {
+entry:
+  %r = add i32 %x, %x
+  ret i32 %r
+}
+fn @main() -> i32 {
+entry:
+  %r = call i32 @double(21)
+  %c = icmp eq i32 %r, 42
+  br %c, a, b
+a:
+  ret i32 1
+b:
+  ret i32 0
+}
+";
+        let mut m = parse_module(src).unwrap();
+        let mut report = Report::default();
+        ReturnCodes.run(&mut m, &Config::new(Defenses::RETURNS), &mut report);
+        // @double is not a candidate; @main *is* (returns constants, but has
+        // no callers — vacuously all uses qualify).
+        let f = m.func("double").unwrap();
+        assert!(matches!(
+            f.value(f.return_values()[0].unwrap()),
+            ValueDef::Const { .. } | ValueDef::Instr(_)
+        ));
+        let text = print_module(&m);
+        assert!(text.contains(", 42"), "caller compare unchanged:\n{text}");
+    }
+
+    #[test]
+    fn compare_against_variable_disqualifies() {
+        let src = "
+fn @status() -> i32 {
+entry:
+  ret i32 1
+}
+fn @main(%x: i32) -> i32 {
+entry:
+  %r = call i32 @status()
+  %c = icmp eq i32 %r, %x
+  br %c, a, b
+a:
+  ret i32 10
+b:
+  ret i32 20
+}
+";
+        let mut m = parse_module(src).unwrap();
+        let mut report = Report::default();
+        ReturnCodes.run(&mut m, &Config::new(Defenses::RETURNS), &mut report);
+        let f = m.func("status").unwrap();
+        let ValueDef::Const { value, .. } = f.value(f.return_values()[0].unwrap()) else {
+            panic!()
+        };
+        assert_eq!(*value, 1, "status must stay untouched");
+    }
+}

@@ -1,0 +1,129 @@
+//! The qualitative comparison with prior software-based glitching defenses
+//! (paper Table VII), encoded as data so the table regenerates from code.
+
+use core::fmt;
+
+/// The properties Table VII compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Properties {
+    /// Applies to arbitrary code, not one application (e.g. AES).
+    pub generic: bool,
+    /// New defenses can be slotted into the framework.
+    pub extensible: bool,
+    /// Works on existing code without whole-program rewrites.
+    pub backward_compatible: bool,
+    /// Constant diversification defense.
+    pub constant_diversification: bool,
+    /// Data integrity defense.
+    pub data_integrity: bool,
+    /// Control-flow hardening defense.
+    pub control_flow_hardening: bool,
+    /// Random delay defense.
+    pub random_delay: bool,
+}
+
+/// One row of the comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Technique {
+    /// Technique name (with the paper's citation keys).
+    pub name: &'static str,
+    /// Its properties.
+    pub props: Properties,
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = |b: bool| if b { "✓" } else { "✗" };
+        let p = self.props;
+        write!(
+            f,
+            "{:<22} {:^7} {:^10} {:^9} {:^10} {:^9} {:^9} {:^7}",
+            self.name,
+            mark(p.generic),
+            mark(p.extensible),
+            mark(p.backward_compatible),
+            mark(p.constant_diversification),
+            mark(p.data_integrity),
+            mark(p.control_flow_hardening),
+            mark(p.random_delay),
+        )
+    }
+}
+
+/// Header line matching [`Technique`]'s `Display` columns.
+pub const TABLE_HEADER: &str =
+    "Technique              Generic Extensible BackCompat ConstDiv  DataInt   CFHard    Random";
+
+/// The comparison rows (transcribed from Table VII of the paper).
+pub fn comparison() -> Vec<Technique> {
+    let t = true;
+    let f = false;
+    let row = |name,
+               generic,
+               extensible,
+               backward_compatible,
+               constant_diversification,
+               data_integrity,
+               control_flow_hardening,
+               random_delay| Technique {
+        name,
+        props: Properties {
+            generic,
+            extensible,
+            backward_compatible,
+            constant_diversification,
+            data_integrity,
+            control_flow_hardening,
+            random_delay,
+        },
+    };
+    vec![
+        row("Data Encoding [37,14]", f, f, f, t, t, f, f),
+        row("CAMFAS [17]", t, f, f, f, t, f, f),
+        row("Loop Hardening [60]", t, f, t, f, f, t, f),
+        row("IIR [58]", f, f, f, f, t, f, f),
+        row("CountCompile [11]", t, f, t, f, f, t, f),
+        row("CountC [36]", f, f, f, f, f, t, f),
+        row("SWIFT [63]", t, f, t, f, t, t, f),
+        row("CFCSS [55]", t, f, t, f, f, t, f),
+        row("GlitchResistor", t, t, t, t, t, t, t),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glitch_resistor_is_the_only_full_row() {
+        let rows = comparison();
+        let full: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                let p = r.props;
+                p.generic
+                    && p.extensible
+                    && p.backward_compatible
+                    && p.constant_diversification
+                    && p.data_integrity
+                    && p.control_flow_hardening
+                    && p.random_delay
+            })
+            .collect();
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].name, "GlitchResistor");
+    }
+
+    #[test]
+    fn nine_rows_like_the_paper() {
+        assert_eq!(comparison().len(), 9);
+    }
+
+    #[test]
+    fn display_is_aligned_with_header() {
+        let rows = comparison();
+        let line = rows[0].to_string();
+        assert!(line.contains('✓') || line.contains('✗'));
+        assert!(TABLE_HEADER.starts_with("Technique"));
+    }
+}

@@ -1,0 +1,259 @@
+//! The GlitchResistor runtime, generated as ordinary IR so that it is (a)
+//! compiled by the same backend as user code and (b) itself instrumented by
+//! the other defenses — exactly as the paper notes for the seed
+//! initialization code.
+//!
+//! Pieces:
+//!
+//! - `gr_detected()` — sets a volatile flag and parks the core in an
+//!   infinite loop. The *reaction* is application-specific (§VI-B-c);
+//!   firmware can override by defining its own `gr_detected` before
+//!   hardening.
+//! - `gr_delay()` — a glibc-parameter LCG (`s = s*1103515245 + 12345
+//!   mod 2³¹`) driving 0..`max_delay_nops` busy iterations.
+//! - `gr_seed_init()` — increments the non-volatile seed and writes it
+//!   back, making every boot's delay sequence different. The write to
+//!   `__gr_nv_seed` lands in the (slow) flash/NVM region, which is where
+//!   the Delay row's large constant overhead in Table IV comes from.
+
+use gd_ir::{Builder, Function, Global, Module, Pred, Ty};
+
+use crate::config::Config;
+use crate::pass::{DELAY_FN, DETECT_FN, SEED_INIT_FN};
+
+/// Name of the volatile flag set on detection (watched by the harness).
+pub const DETECT_FLAG: &str = "__gr_detect_flag";
+/// Name of the RAM copy of the delay PRNG state.
+pub const SEED_RAM: &str = "__gr_seed";
+/// Name of the "seed initialized" latch.
+pub const SEED_READY: &str = "__gr_seed_ready";
+/// Name of the non-volatile seed (placed in the NVM region by the backend).
+pub const SEED_NV: &str = "__gr_nv_seed";
+
+/// The glibc LCG multiplier.
+pub const LCG_A: i64 = 1_103_515_245;
+/// The glibc LCG increment.
+pub const LCG_C: i64 = 12_345;
+/// The glibc LCG modulus mask (2³¹ − 1).
+pub const LCG_MASK: i64 = 0x7FFF_FFFF;
+
+/// Adds the runtime globals and functions the selected defenses need
+/// (idempotent). Existing user definitions of `gr_detected` are respected.
+/// Constant diversification alone needs no runtime at all, which is why
+/// the paper's Returns row is nearly free.
+pub fn add_runtime(module: &mut Module, config: &Config) {
+    let d = config.defenses;
+    let needs_detect = d.branches || d.loops || d.integrity;
+    let needs_delay = d.delay;
+    if needs_detect || needs_delay {
+        let flag = (DETECT_FLAG, 0);
+        if module.global(flag.0).is_none() {
+            module.add_global(Global {
+                name: flag.0.to_owned(),
+                ty: Ty::I32,
+                init: flag.1,
+                sensitive: false,
+            });
+        }
+        if module.func(DETECT_FN).is_none() {
+            module.funcs.push(build_detected());
+        }
+    }
+    if needs_delay {
+        for (name, init) in [(SEED_RAM, 1), (SEED_READY, 0), (SEED_NV, 0)] {
+            if module.global(name).is_none() {
+                module.add_global(Global {
+                    name: name.to_owned(),
+                    ty: Ty::I32,
+                    init,
+                    sensitive: false,
+                });
+            }
+        }
+        if module.func(SEED_INIT_FN).is_none() {
+            module.funcs.push(build_seed_init());
+        }
+        if module.func(DELAY_FN).is_none() {
+            module.funcs.push(build_delay(config.max_delay_nops.max(1)));
+        }
+    }
+}
+
+fn build_detected() -> Function {
+    let mut f = Function::new(DETECT_FN, vec![], Ty::Void);
+    let entry = f.add_block("entry");
+    let spin = f.add_block("spin");
+    let mut b = Builder::new(&mut f, entry);
+    let flag = b.global_addr(DETECT_FLAG);
+    let one = b.const_i32(1);
+    b.store_volatile(flag, one);
+    b.br(spin);
+    b.switch_to(spin);
+    b.br(spin);
+    f
+}
+
+fn build_seed_init() -> Function {
+    let mut f = Function::new(SEED_INIT_FN, vec![], Ty::Void);
+    let entry = f.add_block("entry");
+    let mut b = Builder::new(&mut f, entry);
+    // seed = nv_seed + 1; nv_seed = seed (slow flash write); ready = 1.
+    let nv = b.global_addr(SEED_NV);
+    let old = b.load_volatile(nv, Ty::I32);
+    let one = b.const_i32(1);
+    let new = b.add(old, one);
+    b.store_volatile(nv, new);
+    let ram = b.global_addr(SEED_RAM);
+    b.store_volatile(ram, new);
+    let ready = b.global_addr(SEED_READY);
+    let flag = b.const_i32(1);
+    b.store_volatile(ready, flag);
+    b.ret(None);
+    f
+}
+
+fn build_delay(max_nops: u32) -> Function {
+    let mut f = Function::new(DELAY_FN, vec![], Ty::Void);
+    let entry = f.add_block("entry");
+    let init = f.add_block("init");
+    let step = f.add_block("step");
+    let header = f.add_block("header");
+    let body = f.add_block("body");
+    let exit = f.add_block("exit");
+
+    let mut b = Builder::new(&mut f, entry);
+    // Lazy seed init: the first invocation pays the flash write.
+    let ready_p = b.global_addr(SEED_READY);
+    let ready = b.load_volatile(ready_p, Ty::I32);
+    let zero = b.const_i32(0);
+    let is_cold = b.icmp(Pred::Eq, ready, zero);
+    b.cond_br(is_cold, init, step);
+
+    b.switch_to(init);
+    b.call(SEED_INIT_FN, vec![], Ty::Void);
+    b.br(step);
+
+    // s = (s * A + C) & 0x7FFFFFFF; n = s % max_nops.
+    b.switch_to(step);
+    let seed_p = b.global_addr(SEED_RAM);
+    let s = b.load_volatile(seed_p, Ty::I32);
+    let a = b.const_i32(LCG_A);
+    let mul = b.bin(gd_ir::BinOp::Mul, s, a);
+    let c = b.const_i32(LCG_C);
+    let sum = b.add(mul, c);
+    let mask = b.const_i32(LCG_MASK);
+    let next = b.bin(gd_ir::BinOp::And, sum, mask);
+    b.store_volatile(seed_p, next);
+    // Mask instead of modulo: the M0 has no divider, and a library divide
+    // inside every delay (plus its replicated copy under branch
+    // duplication) would dwarf the delay itself. The mask keeps the count
+    // in 0..2^k, nearest to the requested bound.
+    let mask_bits = (max_nops + 1).next_power_of_two() / 2;
+    let m = b.const_i32(i64::from(mask_bits.max(1) - 1));
+    let n = b.bin(gd_ir::BinOp::And, next, m);
+    b.br(header);
+
+    // Busy loop of n iterations.
+    b.switch_to(header);
+    let i = b.phi(Ty::I32, vec![]);
+    let cond = b.icmp(Pred::Ult, i, n);
+    b.cond_br(cond, body, exit);
+
+    b.switch_to(body);
+    let one = b.const_i32(1);
+    let i2 = b.add(i, one);
+    b.br(header);
+
+    b.switch_to(exit);
+    b.ret(None);
+
+    // Wire the phi now that both incoming values exist.
+    let zero2 = f.const_int(Ty::I32, 0);
+    if let gd_ir::ValueDef::Instr(gd_ir::Instr::Phi { incomings }) = f.value_mut(i) {
+        incomings.push((step, zero2));
+        incomings.push((body, i2));
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Config, Defenses};
+    use gd_ir::{verify_module, Interpreter, RtVal};
+
+    fn module_with_runtime() -> Module {
+        let mut m = Module::new("rt");
+        add_runtime(&mut m, &Config::new(Defenses::ALL));
+        verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{m}"));
+        m
+    }
+
+    #[test]
+    fn runtime_verifies_and_is_idempotent() {
+        let mut m = module_with_runtime();
+        let funcs = m.funcs.len();
+        let globals = m.globals.len();
+        add_runtime(&mut m, &Config::new(Defenses::ALL));
+        assert_eq!(m.funcs.len(), funcs);
+        assert_eq!(m.globals.len(), globals);
+    }
+
+    #[test]
+    fn seed_init_increments_nv_seed() {
+        let m = module_with_runtime();
+        let mut interp = Interpreter::new(&m);
+        interp.run(SEED_INIT_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_eq!(interp.global(SEED_NV), 1);
+        assert_eq!(interp.global(SEED_RAM), 1);
+        assert_eq!(interp.global(SEED_READY), 1);
+        interp.run(SEED_INIT_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_eq!(interp.global(SEED_NV), 2, "each boot advances the seed");
+    }
+
+    #[test]
+    fn delay_advances_the_lcg() {
+        let m = module_with_runtime();
+        let mut interp = Interpreter::new(&m);
+        interp.run(DELAY_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        // Cold call initializes the seed to 1, then steps the LCG once.
+        let expected = (LCG_A + LCG_C) & LCG_MASK;
+        assert_eq!(interp.global(SEED_RAM), expected);
+        assert_eq!(interp.global(SEED_READY), 1);
+        interp.run(DELAY_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        let expected2 = (expected * LCG_A + LCG_C) & LCG_MASK;
+        assert_eq!(interp.global(SEED_RAM), expected2);
+        assert_eq!(interp.global(SEED_NV), 1, "warm calls skip the flash write");
+    }
+
+    #[test]
+    fn delay_sequence_differs_across_boots() {
+        // Two boots (seed-init) produce different first delays.
+        let m = module_with_runtime();
+        let lengths: Vec<i64> = (0..2)
+            .map(|_| {
+                let mut interp = Interpreter::new(&m);
+                interp.run(DELAY_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+                interp.global(SEED_RAM)
+            })
+            .collect();
+        // Same cold seed here (fresh interp each time); with persisted NVM
+        // the seeds differ — modelled in the pipeline harness. Locally we
+        // at least pin the LCG trajectory.
+        assert_eq!(lengths[0], lengths[1]);
+        let mut interp = Interpreter::new(&m);
+        interp.set_global(SEED_NV, 7);
+        interp.run(DELAY_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap();
+        assert_ne!(interp.global(SEED_RAM), lengths[0], "different NV seed, different run");
+    }
+
+    #[test]
+    fn detected_sets_flag_and_parks() {
+        let m = module_with_runtime();
+        let mut interp = Interpreter::new(&m);
+        interp.fuel = 1_000;
+        let err = interp.run(DETECT_FN, &[], &mut |_, _| RtVal::Int(0)).unwrap_err();
+        assert_eq!(err, gd_ir::InterpError::OutOfFuel, "parks forever");
+        assert_eq!(interp.global(DETECT_FLAG), 1, "flag raised before parking");
+    }
+}

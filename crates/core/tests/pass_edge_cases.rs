@@ -1,0 +1,261 @@
+//! Edge-case tests for the defense passes: nested loops, multiple callers,
+//! multiple sensitive accesses per block, and pass interaction order.
+
+use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+use glitch_resistor::{harden, Config, Defenses, Pass, Report};
+
+fn interp_main(m: &gd_ir::Module, detected: &mut u32) -> i64 {
+    let mut interp = Interpreter::new(m);
+    interp.fuel = 10_000_000;
+    let mut hits = 0u32;
+    let r = interp
+        .run("main", &[], &mut |n, _| {
+            if n == "gr_detected" {
+                hits += 1;
+            }
+            RtVal::Int(0)
+        })
+        .unwrap();
+    *detected = hits;
+    r.int()
+}
+
+#[test]
+fn nested_loops_get_hardened_without_breaking() {
+    let src = "
+fn @main() -> i32 {
+entry:
+  br outer
+outer:
+  %i = phi i32 [ 0, entry ], [ %i2, outer.latch ]
+  br inner
+inner:
+  %j = phi i32 [ 0, outer ], [ %j2, inner ]
+  %j2 = add i32 %j, 1
+  %jc = icmp ult i32 %j2, 3
+  br %jc, inner, outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  %ic = icmp ult i32 %i2, 4
+  br %ic, outer, done
+done:
+  %r = mul i32 %i2, 100
+  ret i32 %r
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let report = harden(&mut m, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+    verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+    assert!(report.loops_instrumented >= 2, "both loop exits instrumented");
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 400);
+    assert_eq!(detected, 0);
+}
+
+#[test]
+fn return_codes_rewrite_multiple_callers_consistently() {
+    let src = "
+fn @status(%x: i32) -> i32 {
+entry:
+  %c = icmp eq i32 %x, 9
+  br %c, ok, no
+ok:
+  ret i32 1
+no:
+  ret i32 0
+}
+fn @first() -> i32 {
+entry:
+  %r = call i32 @status(9)
+  %c = icmp eq i32 %r, 1
+  br %c, a, b
+a:
+  ret i32 10
+b:
+  ret i32 20
+}
+fn @second() -> i32 {
+entry:
+  %r = call i32 @status(5)
+  %c = icmp ne i32 %r, 0
+  br %c, a, b
+a:
+  ret i32 30
+b:
+  ret i32 40
+}
+fn @main() -> i32 {
+entry:
+  %x = call i32 @first()
+  %y = call i32 @second()
+  %s = add i32 %x, %y
+  ret i32 %s
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let mut report = Report::default();
+    glitch_resistor::ReturnCodes.run(&mut m, &Config::new(Defenses::RETURNS), &mut report);
+    verify_module(&m).unwrap();
+    // `second` compares against 0 — also rewritten consistently.
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 10 + 40);
+}
+
+#[test]
+fn return_codes_skip_functions_whose_result_escapes() {
+    let src = "
+fn @status() -> i32 {
+entry:
+  ret i32 1
+}
+fn @main() -> i32 {
+entry:
+  %r = call i32 @status()
+  ret i32 %r
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let mut report = Report::default();
+    glitch_resistor::ReturnCodes.run(&mut m, &Config::new(Defenses::RETURNS), &mut report);
+    assert_eq!(report.returns_rewritten, 0, "result flows into a return, not a compare");
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 1);
+}
+
+#[test]
+fn integrity_handles_two_loads_in_one_block() {
+    let src = "
+global @k : i32 = 0x40 sensitive
+fn @main() -> i32 {
+entry:
+  %p = globaladdr @k
+  %a = load i32, %p
+  %b = load i32, %p
+  %s = add i32 %a, %b
+  ret i32 %s
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let report = harden(&mut m, &Config::new(Defenses::INTEGRITY));
+    verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+    assert_eq!(report.loads_checked, 2, "both loads in the block get checks");
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 0x80);
+    assert_eq!(detected, 0);
+
+    // Corrupting the primary after boot is caught at the first check; the
+    // generated gr_detected parks the core (observable as fuel exhaustion
+    // with the detect flag raised).
+    let mut interp = Interpreter::new(&m);
+    interp.fuel = 100_000;
+    interp.set_global("k", 0x41);
+    let err = interp.run("main", &[], &mut |_, _| RtVal::Int(0)).unwrap_err();
+    assert_eq!(err, gd_ir::InterpError::OutOfFuel);
+    assert_eq!(interp.global("__gr_detect_flag"), 1, "detection flag raised");
+}
+
+#[test]
+fn integrity_then_branches_compose_on_the_same_guard() {
+    // The integrity check introduces new cond branches; the branch pass
+    // then instruments those too — double-layered checks must still be
+    // semantics-preserving.
+    let src = "
+global @k : i32 = 5 sensitive
+fn @main() -> i32 {
+entry:
+  %p = globaladdr @k
+  %v = load i32, %p
+  %c = icmp eq i32 %v, 5
+  br %c, yes, no
+yes:
+  ret i32 111
+no:
+  ret i32 222
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let report = harden(&mut m, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+    verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+    assert!(report.loads_checked >= 1);
+    assert!(report.branches_instrumented >= 2, "guard + integrity branch");
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 111);
+    assert_eq!(detected, 0);
+}
+
+#[test]
+fn enum_rewriter_handles_multiple_enums_with_shared_variant_names() {
+    let src = "
+enum A { ZERO, ONE }
+enum B { NIL, UNIT }
+fn @main() -> i32 {
+entry:
+  %x = add i32 A::ONE, 0
+  %y = add i32 B::UNIT, 0
+  %c = icmp eq i32 %x, %y
+  br %c, same, diff
+same:
+  ret i32 1
+diff:
+  ret i32 0
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let mut report = Report::default();
+    glitch_resistor::EnumRewriter.run(&mut m, &Config::new(Defenses::ENUMS), &mut report);
+    verify_module(&m).unwrap();
+    assert_eq!(report.enums_rewritten, 2);
+    // Identical ordinals now map to identical RS codes (same generator) —
+    // by design, like the paper's per-set generation.
+    let a1 = m.enum_def("A").unwrap().value_of(1);
+    let b1 = m.enum_def("B").unwrap().value_of(1);
+    assert_eq!(a1, b1);
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 1);
+}
+
+#[test]
+fn delay_injection_counts_scale_with_cfg_size() {
+    let src = "
+fn @main() -> i32 {
+entry:
+  br a
+a:
+  br b
+b:
+  br c
+c:
+  ret i32 0
+}
+";
+    let mut m = parse_module(src).unwrap();
+    let report = harden(&mut m, &Config::new(Defenses::DELAY));
+    verify_module(&m).unwrap();
+    // entry, a, b end in branches (plus gr_delay's own branch-free blocks
+    // are exempt).
+    assert_eq!(report.delays_injected, 3);
+}
+
+#[test]
+fn hardening_is_stable_under_repetition() {
+    // Running harden twice must not blow up or change behavior (passes are
+    // not strictly idempotent in size, but must stay correct).
+    let src = "
+fn @main() -> i32 {
+entry:
+  %c = icmp eq i32 3, 3
+  br %c, a, b
+a:
+  ret i32 7
+b:
+  ret i32 8
+}
+";
+    let mut m = parse_module(src).unwrap();
+    harden(&mut m, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+    harden(&mut m, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+    verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{}", print_module(&m)));
+    let mut detected = 0;
+    assert_eq!(interp_main(&m, &mut detected), 7);
+    assert_eq!(detected, 0);
+}

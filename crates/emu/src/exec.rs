@@ -1,0 +1,824 @@
+//! The instruction interpreter: fetch, decode, and execute with full
+//! ARMv6-M data-path and flag semantics.
+
+use core::fmt;
+
+use gd_thumb::{decode16, decode32, is_32bit_prefix, AluOp, DecodeError, Instr, Reg, ShiftOp, Width};
+
+use crate::mem::{Access, MemFault, Memory};
+use crate::Cpu;
+
+/// Emulator configuration knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Config {
+    /// Treat the all-zeros halfword as an undefined instruction instead of
+    /// `LSLS r0, r0, #0`. This models the ISA hardening experiment of the
+    /// paper's Figure 2c.
+    pub zero_is_invalid: bool,
+}
+
+/// A one-shot override applied to the next data load — the hook the clock
+/// glitch simulator uses to model bus-level data corruption.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadOverride {
+    /// Replace the loaded value entirely (bus residue).
+    Replace(u32),
+    /// AND a mask into the loaded value (1→0 flips).
+    And(u32),
+    /// OR a mask into the loaded value (0→1 flips).
+    Or(u32),
+}
+
+impl LoadOverride {
+    fn apply(self, value: u32) -> u32 {
+        match self {
+            LoadOverride::Replace(v) => v,
+            LoadOverride::And(m) => value & m,
+            LoadOverride::Or(m) => value | m,
+        }
+    }
+}
+
+/// Why execution stopped without a fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// A `BKPT #imm` was executed.
+    Bkpt(u8),
+    /// An `SVC #imm` was executed (no supervisor is modelled).
+    Svc(u8),
+    /// A `WFI` put the core to sleep.
+    Wfi,
+    /// A `WFE` put the core to sleep.
+    Wfe,
+}
+
+/// A hard fault: execution cannot continue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fault {
+    /// A data or fetch memory fault.
+    Mem(MemFault),
+    /// An undefined instruction was fetched.
+    Undefined {
+        /// Address of the instruction.
+        addr: u32,
+        /// First (or only) halfword.
+        hw: u16,
+        /// Second halfword for 32-bit patterns.
+        hw2: Option<u16>,
+    },
+    /// A branch attempted to enter ARM state (target bit 0 clear).
+    InterworkArm {
+        /// Address of the branching instruction.
+        addr: u32,
+        /// The attempted target.
+        target: u32,
+    },
+}
+
+impl Fault {
+    /// Whether this is a data-read fault (*Bad Read* in the paper).
+    pub fn is_bad_read(&self) -> bool {
+        matches!(self, Fault::Mem(MemFault { access: Access::Read, .. }))
+    }
+
+    /// Whether this is a fetch fault (*Bad Fetch* in the paper).
+    pub fn is_bad_fetch(&self) -> bool {
+        matches!(self, Fault::Mem(MemFault { access: Access::Fetch, .. }))
+    }
+
+    /// Whether this is an undefined-instruction fault.
+    pub fn is_undefined(&self) -> bool {
+        matches!(self, Fault::Undefined { .. })
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::Mem(m) => write!(f, "memory fault: {m}"),
+            Fault::Undefined { addr, hw, hw2: None } => {
+                write!(f, "undefined instruction {hw:#06x} at {addr:#010x}")
+            }
+            Fault::Undefined { addr, hw, hw2: Some(h2) } => {
+                write!(f, "undefined instruction {hw:#06x} {h2:#06x} at {addr:#010x}")
+            }
+            Fault::InterworkArm { addr, target } => {
+                write!(f, "interworking branch to ARM state ({target:#010x}) at {addr:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fault {}
+
+impl From<MemFault> for Fault {
+    fn from(value: MemFault) -> Self {
+        Fault::Mem(value)
+    }
+}
+
+/// Everything observable about one executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// Address the instruction was executed from.
+    pub addr: u32,
+    /// The instruction.
+    pub instr: Instr,
+    /// Size in bytes.
+    pub size: u32,
+    /// The PC after this instruction.
+    pub next_pc: u32,
+    /// Whether control flow was redirected.
+    pub branched: bool,
+    /// Number of data words/bytes loaded.
+    pub loads: u8,
+    /// Number of data words/bytes stored.
+    pub stores: u8,
+    /// The last store performed, as `(address, value)` — used by the
+    /// pipeline simulator to spot GPIO trigger writes.
+    pub store: Option<(u32, u32)>,
+}
+
+/// Result of one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The instruction executed; state advanced.
+    Step(Step),
+    /// Execution stopped (breakpoint, SVC, sleep).
+    Stop {
+        /// Why.
+        reason: StopReason,
+        /// Address of the stopping instruction.
+        addr: u32,
+    },
+}
+
+/// Result of a bounded [`Emu::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Execution stopped cleanly.
+    Stop {
+        /// Why.
+        reason: StopReason,
+        /// Address of the stopping instruction.
+        addr: u32,
+        /// Instructions executed (including the stopping one).
+        steps: u64,
+    },
+    /// Execution faulted.
+    Fault {
+        /// The fault.
+        fault: Fault,
+        /// Instructions executed before the fault.
+        steps: u64,
+    },
+    /// The step budget ran out (e.g. an infinite loop still looping).
+    StepLimit {
+        /// Instructions executed.
+        steps: u64,
+    },
+}
+
+/// The architectural emulator: CPU + memory + program counter.
+///
+/// ```
+/// use gd_emu::{Emu, Perms};
+/// use gd_thumb::asm::assemble;
+///
+/// let mut emu = Emu::new();
+/// emu.mem.map("flash", 0, 0x1000, Perms::RX)?;
+/// let prog = assemble("movs r0, #42\nbkpt #0\n", 0)?;
+/// emu.mem.load(0, &prog.code)?;
+/// emu.set_pc(0);
+/// emu.run(100);
+/// assert_eq!(emu.cpu.reg(gd_thumb::Reg::R0), 42);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Emu {
+    /// Architectural register/flag state.
+    pub cpu: Cpu,
+    /// The memory map.
+    pub mem: Memory,
+    /// Configuration.
+    pub cfg: Config,
+    /// One-shot override for the next data load (fault-injection hook).
+    pub load_override: Option<LoadOverride>,
+    pc: u32,
+    steps: u64,
+}
+
+impl Emu {
+    /// A fresh emulator with an empty memory map.
+    pub fn new() -> Emu {
+        Emu::default()
+    }
+
+    /// A fresh emulator with the given configuration.
+    pub fn with_config(cfg: Config) -> Emu {
+        Emu { cfg, ..Emu::default() }
+    }
+
+    /// Current program counter (address of the next instruction).
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter. Bit 0 (the Thumb bit) is cleared.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc & !1;
+    }
+
+    /// Instructions executed so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Fetches, decodes, and executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] for memory faults, undefined instructions, and
+    /// ARM-interworking attempts.
+    pub fn step(&mut self) -> Result<StepOutcome, Fault> {
+        let addr = self.pc;
+        let hw = self.mem.fetch16(addr)?;
+        let (instr, size) = self.decode(addr, hw)?;
+        self.exec(instr, addr, size)
+    }
+
+    /// Decodes the instruction whose first halfword `hw` was fetched from
+    /// `addr`, fetching a second halfword if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] for undefined patterns or a fetch fault on the
+    /// second halfword.
+    pub fn decode(&mut self, addr: u32, hw: u16) -> Result<(Instr, u32), Fault> {
+        if hw == 0 && self.cfg.zero_is_invalid {
+            return Err(Fault::Undefined { addr, hw, hw2: None });
+        }
+        if is_32bit_prefix(hw) {
+            let hw2 = self.mem.fetch16(addr.wrapping_add(2))?;
+            match decode32(hw, hw2) {
+                Ok(i) => Ok((i, 4)),
+                Err(_) => Err(Fault::Undefined { addr, hw, hw2: Some(hw2) }),
+            }
+        } else {
+            match decode16(hw) {
+                Ok(i) => Ok((i, 2)),
+                Err(DecodeError::Undefined16(_)) | Err(_) => {
+                    Err(Fault::Undefined { addr, hw, hw2: None })
+                }
+            }
+        }
+    }
+
+    /// Runs until a stop, fault, or the step budget is exhausted.
+    pub fn run(&mut self, max_steps: u64) -> RunOutcome {
+        for _ in 0..max_steps {
+            match self.step() {
+                Ok(StepOutcome::Step(_)) => {}
+                Ok(StepOutcome::Stop { reason, addr }) => {
+                    return RunOutcome::Stop { reason, addr, steps: self.steps }
+                }
+                Err(fault) => return RunOutcome::Fault { fault, steps: self.steps },
+            }
+        }
+        RunOutcome::StepLimit { steps: self.steps }
+    }
+
+    fn read_reg(&self, r: Reg, addr: u32) -> u32 {
+        if r == Reg::PC {
+            addr.wrapping_add(4)
+        } else {
+            self.cpu.reg(r)
+        }
+    }
+
+    fn set_nz(&mut self, value: u32) {
+        self.cpu.flags.n = value & 0x8000_0000 != 0;
+        self.cpu.flags.z = value == 0;
+    }
+
+    fn load(&mut self, addr: u32, width: Width) -> Result<u32, Fault> {
+        let raw = match width {
+            Width::Byte => u32::from(self.mem.read8(addr)?),
+            Width::Half => u32::from(self.mem.read16(addr)?),
+            Width::Word => self.mem.read32(addr)?,
+        };
+        let value = match self.load_override.take() {
+            Some(ov) => {
+                let mask = match width {
+                    Width::Byte => 0xFF,
+                    Width::Half => 0xFFFF,
+                    Width::Word => u32::MAX,
+                };
+                ov.apply(raw) & mask
+            }
+            None => raw,
+        };
+        Ok(value)
+    }
+
+    /// Executes an already-decoded instruction at `addr`, advancing the PC.
+    ///
+    /// This is the entry point used by the pipeline simulator, which does
+    /// its own (possibly glitch-corrupted) fetching.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] for memory faults and interworking attempts.
+    #[allow(clippy::too_many_lines)]
+    pub fn exec(&mut self, instr: Instr, addr: u32, size: u32) -> Result<StepOutcome, Fault> {
+        self.steps += 1;
+        let mut step = Step {
+            addr,
+            instr,
+            size,
+            next_pc: addr.wrapping_add(size),
+            branched: false,
+            loads: 0,
+            stores: 0,
+            store: None,
+        };
+        match instr {
+            Instr::ShiftImm { op, rd, rm, imm5 } => {
+                let x = self.read_reg(rm, addr);
+                let (result, carry) = shift_imm(op, x, imm5, self.cpu.flags.c);
+                self.cpu.set_reg(rd, result);
+                self.set_nz(result);
+                self.cpu.flags.c = carry;
+            }
+            Instr::AddReg3 { rd, rn, rm } => {
+                let (r, c, v) =
+                    add_with_carry(self.read_reg(rn, addr), self.read_reg(rm, addr), false);
+                self.cpu.set_reg(rd, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::SubReg3 { rd, rn, rm } => {
+                let (r, c, v) =
+                    add_with_carry(self.read_reg(rn, addr), !self.read_reg(rm, addr), true);
+                self.cpu.set_reg(rd, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::AddImm3 { rd, rn, imm3 } => {
+                let (r, c, v) = add_with_carry(self.read_reg(rn, addr), u32::from(imm3), false);
+                self.cpu.set_reg(rd, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::SubImm3 { rd, rn, imm3 } => {
+                let (r, c, v) = add_with_carry(self.read_reg(rn, addr), !u32::from(imm3), true);
+                self.cpu.set_reg(rd, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::MovImm { rd, imm8 } => {
+                let v = u32::from(imm8);
+                self.cpu.set_reg(rd, v);
+                self.set_nz(v);
+            }
+            Instr::CmpImm { rn, imm8 } => {
+                let (r, c, v) = add_with_carry(self.read_reg(rn, addr), !u32::from(imm8), true);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::AddImm8 { rdn, imm8 } => {
+                let (r, c, v) = add_with_carry(self.read_reg(rdn, addr), u32::from(imm8), false);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::SubImm8 { rdn, imm8 } => {
+                let (r, c, v) = add_with_carry(self.read_reg(rdn, addr), !u32::from(imm8), true);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::Alu { op, rdn, rm } => self.exec_alu(op, rdn, rm, addr),
+            Instr::AddHi { rdn, rm } => {
+                let r = self
+                    .read_reg(rdn, addr)
+                    .wrapping_add(self.read_reg(rm, addr));
+                if rdn == Reg::PC {
+                    step.next_pc = r & !1;
+                    step.branched = true;
+                } else {
+                    self.cpu.set_reg(rdn, r);
+                }
+            }
+            Instr::CmpHi { rn, rm } => {
+                let (r, c, v) =
+                    add_with_carry(self.read_reg(rn, addr), !self.read_reg(rm, addr), true);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            Instr::MovHi { rd, rm } => {
+                let v = self.read_reg(rm, addr);
+                if rd == Reg::PC {
+                    step.next_pc = v & !1;
+                    step.branched = true;
+                } else {
+                    self.cpu.set_reg(rd, v);
+                }
+            }
+            Instr::Bx { rm } | Instr::Blx { rm } => {
+                let target = self.read_reg(rm, addr);
+                if target & 1 == 0 {
+                    return Err(Fault::InterworkArm { addr, target });
+                }
+                if matches!(instr, Instr::Blx { .. }) {
+                    self.cpu.set_reg(Reg::LR, addr.wrapping_add(2) | 1);
+                }
+                step.next_pc = target & !1;
+                step.branched = true;
+            }
+            Instr::LdrLit { rt, imm8 } => {
+                let base = addr.wrapping_add(4) & !3;
+                let v = self.load(base.wrapping_add(u32::from(imm8) * 4), Width::Word)?;
+                self.cpu.set_reg(rt, v);
+                step.loads = 1;
+            }
+            Instr::StoreReg { width, rt, rn, rm } => {
+                let a = self.read_reg(rn, addr).wrapping_add(self.read_reg(rm, addr));
+                let v = self.read_reg(rt, addr);
+                self.store(a, v, width)?;
+                step.stores = 1;
+                step.store = Some((a, v));
+            }
+            Instr::LoadReg { width, rt, rn, rm } => {
+                let a = self.read_reg(rn, addr).wrapping_add(self.read_reg(rm, addr));
+                let v = self.load(a, width)?;
+                self.cpu.set_reg(rt, v);
+                step.loads = 1;
+            }
+            Instr::LdrsbReg { rt, rn, rm } => {
+                let a = self.read_reg(rn, addr).wrapping_add(self.read_reg(rm, addr));
+                let v = self.load(a, Width::Byte)? as i8;
+                self.cpu.set_reg(rt, v as i32 as u32);
+                step.loads = 1;
+            }
+            Instr::LdrshReg { rt, rn, rm } => {
+                let a = self.read_reg(rn, addr).wrapping_add(self.read_reg(rm, addr));
+                let v = self.load(a, Width::Half)? as u16 as i16;
+                self.cpu.set_reg(rt, v as i32 as u32);
+                step.loads = 1;
+            }
+            Instr::StoreImm { width, rt, rn, imm5 } => {
+                let a = self
+                    .read_reg(rn, addr)
+                    .wrapping_add(u32::from(imm5) * width.bytes());
+                let v = self.read_reg(rt, addr);
+                self.store(a, v, width)?;
+                step.stores = 1;
+                step.store = Some((a, v));
+            }
+            Instr::LoadImm { width, rt, rn, imm5 } => {
+                let a = self
+                    .read_reg(rn, addr)
+                    .wrapping_add(u32::from(imm5) * width.bytes());
+                let v = self.load(a, width)?;
+                self.cpu.set_reg(rt, v);
+                step.loads = 1;
+            }
+            Instr::StrSp { rt, imm8 } => {
+                let a = self.cpu.sp().wrapping_add(u32::from(imm8) * 4);
+                let v = self.read_reg(rt, addr);
+                self.store(a, v, Width::Word)?;
+                step.stores = 1;
+                step.store = Some((a, v));
+            }
+            Instr::LdrSp { rt, imm8 } => {
+                let a = self.cpu.sp().wrapping_add(u32::from(imm8) * 4);
+                let v = self.load(a, Width::Word)?;
+                self.cpu.set_reg(rt, v);
+                step.loads = 1;
+            }
+            Instr::Adr { rd, imm8 } => {
+                let base = addr.wrapping_add(4) & !3;
+                self.cpu.set_reg(rd, base.wrapping_add(u32::from(imm8) * 4));
+            }
+            Instr::AddSpImm { rd, imm8 } => {
+                let v = self.cpu.sp().wrapping_add(u32::from(imm8) * 4);
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::AddSp { imm7 } => {
+                let v = self.cpu.sp().wrapping_add(u32::from(imm7) * 4);
+                self.cpu.set_sp(v);
+            }
+            Instr::SubSp { imm7 } => {
+                let v = self.cpu.sp().wrapping_sub(u32::from(imm7) * 4);
+                self.cpu.set_sp(v);
+            }
+            Instr::Sxth { rd, rm } => {
+                let v = self.read_reg(rm, addr) as u16 as i16 as i32 as u32;
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::Sxtb { rd, rm } => {
+                let v = self.read_reg(rm, addr) as u8 as i8 as i32 as u32;
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::Uxth { rd, rm } => {
+                self.cpu.set_reg(rd, self.read_reg(rm, addr) & 0xFFFF);
+            }
+            Instr::Uxtb { rd, rm } => {
+                self.cpu.set_reg(rd, self.read_reg(rm, addr) & 0xFF);
+            }
+            Instr::Rev { rd, rm } => {
+                self.cpu.set_reg(rd, self.read_reg(rm, addr).swap_bytes());
+            }
+            Instr::Rev16 { rd, rm } => {
+                let x = self.read_reg(rm, addr);
+                let v = (x & 0x00FF_00FF) << 8 | (x & 0xFF00_FF00) >> 8;
+                self.cpu.set_reg(rd, v);
+            }
+            Instr::Revsh { rd, rm } => {
+                let x = self.read_reg(rm, addr);
+                let swapped = ((x & 0xFF) << 8 | (x >> 8) & 0xFF) as u16;
+                self.cpu.set_reg(rd, swapped as i16 as i32 as u32);
+            }
+            Instr::Push { rlist, lr } => {
+                let count = rlist.count_ones() + u32::from(lr);
+                let base = self.cpu.sp().wrapping_sub(4 * count);
+                let mut a = base;
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        let v = self.cpu.reg(Reg::new(i).expect("list index < 8"));
+                        self.store(a, v, Width::Word)?;
+                        step.store = Some((a, v));
+                        a += 4;
+                    }
+                }
+                if lr {
+                    let v = self.cpu.lr();
+                    self.store(a, v, Width::Word)?;
+                    step.store = Some((a, v));
+                }
+                self.cpu.set_sp(base);
+                step.stores = count as u8;
+            }
+            Instr::Pop { rlist, pc } => {
+                let count = rlist.count_ones() + u32::from(pc);
+                let mut a = self.cpu.sp();
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        let v = self.load(a, Width::Word)?;
+                        self.cpu.set_reg(Reg::new(i).expect("list index < 8"), v);
+                        a += 4;
+                    }
+                }
+                if pc {
+                    let target = self.load(a, Width::Word)?;
+                    if target & 1 == 0 {
+                        return Err(Fault::InterworkArm { addr, target });
+                    }
+                    step.next_pc = target & !1;
+                    step.branched = true;
+                    a += 4;
+                }
+                self.cpu.set_sp(a);
+                step.loads = count as u8;
+            }
+            Instr::Bkpt { imm8 } => {
+                return Ok(StepOutcome::Stop { reason: StopReason::Bkpt(imm8), addr })
+            }
+            Instr::Hint { hint } => match hint {
+                gd_thumb::Hint::Wfi => {
+                    return Ok(StepOutcome::Stop { reason: StopReason::Wfi, addr })
+                }
+                gd_thumb::Hint::Wfe => {
+                    return Ok(StepOutcome::Stop { reason: StopReason::Wfe, addr })
+                }
+                _ => {}
+            },
+            Instr::Cps { disable } => self.cpu.primask = disable,
+            Instr::Stm { rn, rlist } => {
+                let mut a = self.read_reg(rn, addr);
+                let count = rlist.count_ones();
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        let v = self.cpu.reg(Reg::new(i).expect("list index < 8"));
+                        self.store(a, v, Width::Word)?;
+                        step.store = Some((a, v));
+                        a += 4;
+                    }
+                }
+                self.cpu.set_reg(rn, a);
+                step.stores = count as u8;
+            }
+            Instr::Ldm { rn, rlist } => {
+                let mut a = self.read_reg(rn, addr);
+                let count = rlist.count_ones();
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        let v = self.load(a, Width::Word)?;
+                        self.cpu.set_reg(Reg::new(i).expect("list index < 8"), v);
+                        a += 4;
+                    }
+                }
+                // Writeback unless rn is in the transfer list.
+                if rlist & (1 << rn.index()) == 0 {
+                    self.cpu.set_reg(rn, a);
+                }
+                step.loads = count as u8;
+            }
+            Instr::BCond { cond, offset } => {
+                if cond.holds(self.cpu.flags) {
+                    step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
+                    step.branched = true;
+                }
+            }
+            Instr::Udf { imm8: _ } => {
+                return Err(Fault::Undefined { addr, hw: 0xDE00, hw2: None })
+            }
+            Instr::Svc { imm8 } => {
+                return Ok(StepOutcome::Stop { reason: StopReason::Svc(imm8), addr })
+            }
+            Instr::B { offset } => {
+                step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
+                step.branched = true;
+            }
+            Instr::Bl { offset } => {
+                self.cpu.set_reg(Reg::LR, addr.wrapping_add(4) | 1);
+                step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
+                step.branched = true;
+            }
+        }
+        self.pc = step.next_pc;
+        Ok(StepOutcome::Step(step))
+    }
+
+    fn store(&mut self, addr: u32, value: u32, width: Width) -> Result<(), Fault> {
+        match width {
+            Width::Byte => self.mem.write8(addr, value as u8)?,
+            Width::Half => self.mem.write16(addr, value as u16)?,
+            Width::Word => self.mem.write32(addr, value)?,
+        }
+        Ok(())
+    }
+
+    fn exec_alu(&mut self, op: AluOp, rdn: Reg, rm: Reg, addr: u32) {
+        let a = self.read_reg(rdn, addr);
+        let b = self.read_reg(rm, addr);
+        let c_in = self.cpu.flags.c;
+        match op {
+            AluOp::And | AluOp::Tst => {
+                let r = a & b;
+                if op == AluOp::And {
+                    self.cpu.set_reg(rdn, r);
+                }
+                self.set_nz(r);
+            }
+            AluOp::Eor => {
+                let r = a ^ b;
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+            }
+            AluOp::Orr => {
+                let r = a | b;
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+            }
+            AluOp::Bic => {
+                let r = a & !b;
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+            }
+            AluOp::Mvn => {
+                let r = !b;
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+            }
+            AluOp::Mul => {
+                let r = a.wrapping_mul(b);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+            }
+            AluOp::Lsl | AluOp::Lsr | AluOp::Asr | AluOp::Ror => {
+                let (r, carry) = shift_reg(op, a, b & 0xFF, c_in);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = carry;
+            }
+            AluOp::Adc => {
+                let (r, c, v) = add_with_carry(a, b, c_in);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            AluOp::Sbc => {
+                let (r, c, v) = add_with_carry(a, !b, c_in);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            AluOp::Rsb => {
+                let (r, c, v) = add_with_carry(!b, 0, true);
+                self.cpu.set_reg(rdn, r);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            AluOp::Cmp => {
+                let (r, c, v) = add_with_carry(a, !b, true);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+            AluOp::Cmn => {
+                let (r, c, v) = add_with_carry(a, b, false);
+                self.set_nz(r);
+                self.cpu.flags.c = c;
+                self.cpu.flags.v = v;
+            }
+        }
+    }
+}
+
+/// `AddWithCarry` from the ARM ARM pseudocode: returns (result, carry,
+/// overflow).
+pub fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
+    let unsigned = u64::from(a) + u64::from(b) + u64::from(carry_in);
+    let result = unsigned as u32;
+    let carry = unsigned >> 32 != 0;
+    let signed = i64::from(a as i32) + i64::from(b as i32) + i64::from(carry_in);
+    let overflow = signed != i64::from(result as i32);
+    (result, carry, overflow)
+}
+
+fn shift_imm(op: ShiftOp, x: u32, imm5: u8, c_in: bool) -> (u32, bool) {
+    let n = u32::from(imm5);
+    match op {
+        ShiftOp::Lsl => {
+            if n == 0 {
+                (x, c_in)
+            } else {
+                ((x << n), (x >> (32 - n)) & 1 != 0)
+            }
+        }
+        ShiftOp::Lsr => {
+            if n == 0 {
+                (0, x >> 31 != 0)
+            } else {
+                (x >> n, (x >> (n - 1)) & 1 != 0)
+            }
+        }
+        ShiftOp::Asr => {
+            if n == 0 {
+                let sign = x >> 31 != 0;
+                (if sign { u32::MAX } else { 0 }, sign)
+            } else {
+                (((x as i32) >> n) as u32, ((x as i32) >> (n - 1)) & 1 != 0)
+            }
+        }
+    }
+}
+
+fn shift_reg(op: AluOp, x: u32, amount: u32, c_in: bool) -> (u32, bool) {
+    if amount == 0 {
+        return (x, c_in);
+    }
+    match op {
+        AluOp::Lsl => match amount {
+            1..=31 => (x << amount, (x >> (32 - amount)) & 1 != 0),
+            32 => (0, x & 1 != 0),
+            _ => (0, false),
+        },
+        AluOp::Lsr => match amount {
+            1..=31 => (x >> amount, (x >> (amount - 1)) & 1 != 0),
+            32 => (0, x >> 31 != 0),
+            _ => (0, false),
+        },
+        AluOp::Asr => {
+            if amount < 32 {
+                (((x as i32) >> amount) as u32, ((x as i32) >> (amount - 1)) & 1 != 0)
+            } else {
+                let sign = x >> 31 != 0;
+                (if sign { u32::MAX } else { 0 }, sign)
+            }
+        }
+        AluOp::Ror => {
+            let r = amount % 32;
+            if r == 0 {
+                (x, x >> 31 != 0)
+            } else {
+                let v = x.rotate_right(r);
+                (v, v >> 31 != 0)
+            }
+        }
+        _ => unreachable!("shift_reg only handles shift ops"),
+    }
+}

@@ -1,0 +1,490 @@
+//! End-to-end semantics tests: assemble snippets, run them, check
+//! architectural state against the ARMv6-M ARM.
+
+use gd_emu::{
+    Access, Config, Emu, Fault, FaultKind, LoadOverride, MemFault, Perms, RunOutcome, StopReason,
+};
+use gd_thumb::asm::assemble;
+use gd_thumb::Reg;
+
+const FLASH: u32 = 0x0800_0000;
+const SRAM: u32 = 0x2000_0000;
+
+fn boot(src: &str) -> Emu {
+    boot_with(src, Config::default())
+}
+
+fn boot_with(src: &str, cfg: Config) -> Emu {
+    let mut emu = Emu::with_config(cfg);
+    emu.mem.map("flash", FLASH, 0x4000, Perms::RX).unwrap();
+    emu.mem.map("sram", SRAM, 0x4000, Perms::RW).unwrap();
+    let prog = assemble(src, FLASH).unwrap_or_else(|e| panic!("{e}"));
+    emu.mem.load(FLASH, &prog.code).unwrap();
+    emu.set_pc(FLASH);
+    emu.cpu.set_sp(SRAM + 0x4000);
+    emu
+}
+
+fn run_to_bkpt(emu: &mut Emu) -> u8 {
+    match emu.run(10_000) {
+        RunOutcome::Stop { reason: StopReason::Bkpt(n), .. } => n,
+        other => panic!("expected bkpt, got {other:?}"),
+    }
+}
+
+#[test]
+fn mov_add_sub_flags() {
+    let mut emu = boot("movs r0, #0\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert!(emu.cpu.flags.z);
+    assert!(!emu.cpu.flags.n);
+
+    let mut emu = boot("movs r0, #0\nsubs r0, #1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), u32::MAX);
+    assert!(emu.cpu.flags.n);
+    assert!(!emu.cpu.flags.c, "0 - 1 borrows, so C is clear");
+    assert!(!emu.cpu.flags.v);
+
+    let mut emu = boot("movs r0, #1\nsubs r0, #1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert!(emu.cpu.flags.z);
+    assert!(emu.cpu.flags.c, "1 - 1 does not borrow, so C is set");
+}
+
+#[test]
+fn signed_overflow_on_subtract() {
+    // 0x80000000 - 1 overflows to 0x7FFFFFFF: V set (paper's bvs setup).
+    let mut emu = boot("movs r0, #1\nlsls r0, r0, #31\nsubs r0, #1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0x7FFF_FFFF);
+    assert!(emu.cpu.flags.v);
+    assert!(!emu.cpu.flags.n);
+}
+
+#[test]
+fn adc_and_sbc_propagate_carry() {
+    // 0xFFFFFFFF + 1 = 0 carry-out; then ADC r2, r2 doubles with carry in.
+    let mut emu = boot(
+        "movs r0, #0\nsubs r0, #1\nmovs r1, #1\nadds r0, r0, r1\nmovs r2, #5\nadcs r2, r2\nbkpt #0",
+    );
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0);
+    assert_eq!(emu.cpu.reg(Reg::R2), 11, "5 + 5 + carry");
+
+    // SBC with borrow: 5 - 3 - (1 - C) with C clear → 1.
+    let mut emu = boot("movs r0, #0\nsubs r0, #1\nmovs r1, #5\nmovs r2, #3\nsbcs r1, r2\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 1, "C was cleared by the borrow above");
+}
+
+#[test]
+fn shifts_by_immediate() {
+    let mut emu = boot("movs r0, #1\nlsls r0, r0, #31\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0x8000_0000);
+    assert!(!emu.cpu.flags.c);
+
+    // lsr #0 encodes LSR #32: result 0, carry = bit 31.
+    let mut emu = boot("movs r0, #1\nlsls r0, r0, #31\nlsrs r0, r0, #32\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0);
+    assert!(emu.cpu.flags.c);
+    assert!(emu.cpu.flags.z);
+
+    // asr #32 sign-fills.
+    let mut emu = boot("movs r0, #1\nlsls r0, r0, #31\nasrs r0, r0, #32\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), u32::MAX);
+}
+
+#[test]
+fn shifts_by_register() {
+    let mut emu = boot("movs r0, #0xFF\nmovs r1, #4\nlsls r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0xFF0);
+
+    // Shift by 32 via register: result 0, carry = old bit 0.
+    let mut emu = boot("movs r0, #1\nmovs r1, #32\nlsls r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0);
+    assert!(emu.cpu.flags.c);
+
+    // Shift by 33: result 0, carry clear.
+    let mut emu = boot("movs r0, #1\nmovs r1, #33\nlsls r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0);
+    assert!(!emu.cpu.flags.c);
+
+    // ROR by 8.
+    let mut emu = boot("movs r0, #0xAB\nmovs r1, #8\nrors r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0xAB00_0000);
+    assert!(emu.cpu.flags.c);
+}
+
+#[test]
+fn alu_ops() {
+    let mut emu = boot(
+        "movs r0, #0b1100\nmovs r1, #0b1010\nands r0, r1\nbkpt #0",
+    );
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0b1000);
+
+    let mut emu = boot("movs r0, #0b1100\nmovs r1, #0b1010\neors r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0b0110);
+
+    let mut emu = boot("movs r0, #0b1100\nmovs r1, #0b1010\nbics r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0b0100);
+
+    let mut emu = boot("movs r0, #7\nmovs r1, #6\nmuls r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 42);
+
+    let mut emu = boot("movs r0, #0\nmvns r0, r0\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), u32::MAX);
+    assert!(emu.cpu.flags.n);
+
+    let mut emu = boot("movs r0, #5\nnegs r0, r0\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 5u32.wrapping_neg());
+
+    // TST sets flags without writing the destination.
+    let mut emu = boot("movs r0, #0xF0\nmovs r1, #0x0F\ntst r0, r1\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0xF0);
+    assert!(emu.cpu.flags.z);
+}
+
+#[test]
+fn extension_and_reversal() {
+    let mut emu = boot("movs r0, #0xFF\nsxtb r1, r0\nuxtb r2, r0\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), u32::MAX);
+    assert_eq!(emu.cpu.reg(Reg::R2), 0xFF);
+
+    let mut emu = boot(
+        "ldr r0, =0x12345678\nrev r1, r0\nrev16 r2, r0\nrevsh r3, r0\nbkpt #0",
+    );
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 0x7856_3412);
+    assert_eq!(emu.cpu.reg(Reg::R2), 0x3412_7856);
+    assert_eq!(emu.cpu.reg(Reg::R3), 0x0000_7856);
+
+    let mut emu = boot("ldr r0, =0x1234ABCD\nsxth r1, r0\nuxth r2, r0\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 0xFFFF_ABCD);
+    assert_eq!(emu.cpu.reg(Reg::R2), 0x0000_ABCD);
+}
+
+#[test]
+fn memory_round_trip_through_sram() {
+    let src = "
+        ldr r0, =0x20000010
+        ldr r1, =0xCAFEBABE
+        str r1, [r0]
+        ldr r2, [r0]
+        ldrh r3, [r0]
+        ldrb r4, [r0, #1]
+        bkpt #0
+    ";
+    let mut emu = boot(src);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R2), 0xCAFE_BABE);
+    assert_eq!(emu.cpu.reg(Reg::R3), 0xBABE);
+    assert_eq!(emu.cpu.reg(Reg::R4), 0xBA);
+}
+
+#[test]
+fn sp_relative_and_stack_ops() {
+    let src = "
+        sub sp, #8
+        movs r0, #99
+        str r0, [sp, #4]
+        ldr r1, [sp, #4]
+        add sp, #8
+        bkpt #0
+    ";
+    let mut emu = boot(src);
+    let sp0 = emu.cpu.sp();
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 99);
+    assert_eq!(emu.cpu.sp(), sp0);
+}
+
+#[test]
+fn push_pop_round_trip() {
+    let src = "
+        movs r0, #1
+        movs r1, #2
+        movs r4, #4
+        push {r0, r1, r4}
+        movs r0, #0
+        movs r1, #0
+        movs r4, #0
+        pop {r0, r1, r4}
+        bkpt #0
+    ";
+    let mut emu = boot(src);
+    let sp0 = emu.cpu.sp();
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 1);
+    assert_eq!(emu.cpu.reg(Reg::R1), 2);
+    assert_eq!(emu.cpu.reg(Reg::R4), 4);
+    assert_eq!(emu.cpu.sp(), sp0);
+}
+
+#[test]
+fn bl_and_bx_lr_call_return() {
+    let src = "
+        movs r0, #0
+        bl func
+        adds r0, #1
+        bkpt #0
+    func:
+        adds r0, #10
+        bx lr
+    ";
+    let mut emu = boot(src);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 11);
+}
+
+#[test]
+fn pop_pc_returns() {
+    let src = "
+        bl func
+        bkpt #7
+    func:
+        push {lr}
+        pop {pc}
+    ";
+    let mut emu = boot(src);
+    assert_eq!(run_to_bkpt(&mut emu), 7);
+}
+
+#[test]
+fn stm_ldm_block_transfer() {
+    let src = "
+        ldr r0, =0x20000100
+        movs r1, #0x11
+        movs r2, #0x22
+        stmia r0!, {r1, r2}
+        ldr r0, =0x20000100
+        ldmia r0!, {r3, r4}
+        bkpt #0
+    ";
+    let mut emu = boot(src);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R3), 0x11);
+    assert_eq!(emu.cpu.reg(Reg::R4), 0x22);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0x2000_0108, "ldm writes back");
+}
+
+#[test]
+fn conditional_branches_all_follow_flags() {
+    // For each condition, set flags so the branch is taken: landing on the
+    // fallthrough marker means the branch failed.
+    let cases = [
+        ("movs r0, #0", "beq"),
+        ("movs r0, #1", "bne"),
+        ("movs r0, #0\ncmp r0, #0", "bcs"),
+        ("movs r0, #0\ncmp r0, #1", "bcc"),
+        ("movs r0, #0\nsubs r0, #1", "bmi"),
+        ("movs r0, #0", "bpl"),
+        ("movs r0, #1\nlsls r0, r0, #31\nsubs r0, #1", "bvs"),
+        ("movs r0, #0\nadds r0, #1", "bvc"),
+        ("movs r0, #2\ncmp r0, #1", "bhi"),
+        ("movs r0, #0\ncmp r0, #0", "bls"),
+        ("movs r0, #1\ncmp r0, #0", "bge"),
+        ("movs r0, #0\ncmp r0, #1", "blt"),
+        ("movs r0, #2\ncmp r0, #1", "bgt"),
+        ("movs r0, #0\ncmp r0, #0", "ble"),
+    ];
+    for (setup, branch) in cases {
+        let src = format!("{setup}\n{branch} taken\nbkpt #1\ntaken: bkpt #2\n");
+        let mut emu = boot(&src);
+        assert_eq!(run_to_bkpt(&mut emu), 2, "{branch} should be taken after `{setup}`");
+    }
+}
+
+#[test]
+fn untaken_conditional_falls_through() {
+    let mut emu = boot("movs r0, #1\nbeq taken\nbkpt #1\ntaken: bkpt #2\n");
+    assert_eq!(run_to_bkpt(&mut emu), 1);
+}
+
+#[test]
+fn infinite_loop_hits_step_limit() {
+    let mut emu = boot("loop: b loop\n");
+    assert!(matches!(emu.run(500), RunOutcome::StepLimit { steps: 500 }));
+}
+
+#[test]
+fn bad_read_fault() {
+    let mut emu = boot("ldr r0, =0x40000000\nldr r1, [r0]\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault { fault, .. } => {
+            assert!(fault.is_bad_read());
+            assert!(!fault.is_bad_fetch());
+        }
+        other => panic!("expected fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn unaligned_word_access_faults() {
+    let mut emu = boot("ldr r0, =0x20000001\nldr r1, [r0]\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault {
+            fault: Fault::Mem(MemFault { kind: FaultKind::Unaligned, access: Access::Read, .. }),
+            ..
+        } => {}
+        other => panic!("expected unaligned read, got {other:?}"),
+    }
+}
+
+#[test]
+fn bad_fetch_after_wild_branch() {
+    // mov pc, r0 with r0 pointing into unmapped space.
+    let mut emu = boot("ldr r0, =0x10000000\nmov pc, r0\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault { fault, .. } => assert!(fault.is_bad_fetch()),
+        other => panic!("expected bad fetch, got {other:?}"),
+    }
+}
+
+#[test]
+fn undefined_instruction_faults() {
+    let mut emu = boot(".hword 0xDE00\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault { fault, .. } => assert!(fault.is_undefined()),
+        other => panic!("expected undefined, got {other:?}"),
+    }
+    // An isolated 32-bit prefix followed by a non-BL halfword.
+    let mut emu = boot(".hword 0xF000\n.hword 0x2000\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault { fault, .. } => assert!(fault.is_undefined()),
+        other => panic!("expected undefined, got {other:?}"),
+    }
+}
+
+#[test]
+fn interworking_to_arm_faults() {
+    // bx with bit 0 clear.
+    let mut emu = boot("ldr r0, =0x08000000\nbx r0\nbkpt #0");
+    match emu.run(100) {
+        RunOutcome::Fault { fault: Fault::InterworkArm { .. }, .. } => {}
+        other => panic!("expected interworking fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn svc_and_wfi_stop() {
+    let mut emu = boot("svc #3\n");
+    assert!(matches!(
+        emu.run(10),
+        RunOutcome::Stop { reason: StopReason::Svc(3), .. }
+    ));
+    let mut emu = boot("wfi\n");
+    assert!(matches!(emu.run(10), RunOutcome::Stop { reason: StopReason::Wfi, .. }));
+}
+
+#[test]
+fn zero_halfword_config() {
+    // Default: 0x0000 is LSLS r0, r0, #0 and falls through to the bkpt.
+    let mut emu = boot(".hword 0x0000\nbkpt #0");
+    assert!(matches!(emu.run(10), RunOutcome::Stop { .. }));
+    // Hardened ISA (Figure 2c): 0x0000 is undefined.
+    let mut emu = boot_with(".hword 0x0000\nbkpt #0", Config { zero_is_invalid: true });
+    match emu.run(10) {
+        RunOutcome::Fault { fault, .. } => assert!(fault.is_undefined()),
+        other => panic!("expected undefined, got {other:?}"),
+    }
+}
+
+#[test]
+fn load_override_models_bus_corruption() {
+    let src = "
+        ldr r0, =0x20000020
+        movs r1, #0
+        str r1, [r0]
+        ldr r2, [r0]
+        bkpt #0
+    ";
+    let mut emu = boot(src);
+    // Let the setup run, then arm the override right before the final load.
+    for _ in 0..3 {
+        emu.step().unwrap();
+    }
+    emu.load_override = Some(LoadOverride::Replace(0x55));
+    emu.step().unwrap();
+    assert_eq!(emu.cpu.reg(Reg::R2), 0x55, "the load sees the bus residue");
+    assert_eq!(emu.load_override, None, "override is one-shot");
+    assert_eq!(emu.mem.read32(0x2000_0020).unwrap(), 0, "memory itself is intact");
+}
+
+#[test]
+fn pc_reads_as_instruction_plus_four() {
+    let mut emu = boot("mov r0, pc\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), FLASH + 4);
+
+    // add r0, pc: r0 = 0 + (addr + 4).
+    let mut emu = boot("movs r0, #0\nadd r0, pc\nbkpt #0");
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), FLASH + 2 + 4);
+}
+
+#[test]
+fn adr_loads_aligned_pc_relative_address() {
+    let src = "
+        adr r0, data
+        ldr r1, [r0]
+        bkpt #0
+        .align
+    data:
+        .word 0x11223344
+    ";
+    let mut emu = boot(src);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 0x1122_3344);
+}
+
+#[test]
+fn step_counting() {
+    let mut emu = boot("movs r0, #1\nmovs r1, #2\nbkpt #0");
+    emu.run(100);
+    assert_eq!(emu.steps(), 3, "bkpt counts as a step");
+}
+
+#[test]
+fn blx_register_sets_lr() {
+    let src = "
+        ldr r0, =func_thumb
+        blx r0
+        bkpt #9
+    func:
+        bx lr
+    ";
+    // Manually build the thumb-bit address: func | 1.
+    let mut emu = Emu::new();
+    emu.mem.map("flash", FLASH, 0x1000, Perms::RX).unwrap();
+    emu.mem.map("sram", SRAM, 0x1000, Perms::RW).unwrap();
+    let prog = assemble(&src.replace("func_thumb", "func"), FLASH).unwrap();
+    // Patch the literal to set the Thumb bit.
+    let func = prog.symbols["func"];
+    let mut code = prog.code.clone();
+    let pool = code.len() - 4;
+    code[pool..].copy_from_slice(&(func | 1).to_le_bytes());
+    emu.mem.load(FLASH, &code).unwrap();
+    emu.set_pc(FLASH);
+    emu.cpu.set_sp(SRAM + 0x1000);
+    match emu.run(100) {
+        RunOutcome::Stop { reason: StopReason::Bkpt(9), .. } => {}
+        other => panic!("expected bkpt 9, got {other:?}"),
+    }
+}

@@ -1,0 +1,400 @@
+//! # gd-firmware — the evaluation firmware of the reproduction
+//!
+//! IR programs corresponding to the firmware the paper evaluates
+//! GlitchResistor on (§VII):
+//!
+//! - [`while_not_a`] — the worst-case guard (`while (!a)` over a volatile
+//!   variable) attacked in Table VI;
+//! - [`if_a_eq_success`] — the best-case guard (`if (a == SUCCESS)` over an
+//!   uninitialized enum) attacked in Table VI;
+//! - [`boot`] — a CubeMX-style boot image (HAL init loop, tick counter
+//!   marked sensitive, ENUM + constant-return check functions) measured in
+//!   Tables IV (cycles) and V (bytes).
+//!
+//! All firmware raises the GPIO trigger (a volatile store to
+//! `0x4800_0014`) right before the guarded region, giving the glitcher the
+//! paper's "perfect trigger".
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use gd_ir::{parse_module, Module};
+
+/// `r0` marker returned by `main` when the protected path is reached.
+pub const SUCCESS_MARKER: u32 = 0x00AC_CE55;
+
+/// Marker returned by the boot firmware when initialization completes.
+pub const BOOT_MARKER: u32 = 0x0000_B007;
+
+/// The trigger register (GPIOA ODR).
+pub const TRIGGER_MMIO: u32 = 0x4800_0014;
+
+fn must_parse(src: &str) -> Module {
+    match parse_module(src) {
+        Ok(m) => m,
+        Err(e) => panic!("builtin firmware failed to parse: {e}"),
+    }
+}
+
+/// The Table VI worst case: an infinite `while (!a)` loop over a volatile
+/// global; escaping the loop returns [`SUCCESS_MARKER`].
+pub fn while_not_a() -> Module {
+    must_parse(
+        "
+module while_not_a
+
+global @a : i32 = 0
+
+fn @main() -> i32 {
+entry:
+  %t = inttoptr i32 0x48000014
+  store volatile i32 1, %t
+  br loop
+loop:
+  %p = globaladdr @a
+  %v = load volatile i32, %p
+  %c = icmp eq i32 %v, 0
+  br %c, loop, exit
+exit:
+  ret i32 0xACCE55
+}
+",
+    )
+}
+
+/// The Table VI best case: `if (a == SUCCESS)` over an uninitialized enum
+/// variable initialized to `FAILURE`; the success window is a handful of
+/// cycles. The untaken path parks the core.
+pub fn if_a_eq_success() -> Module {
+    must_parse(
+        "
+module if_a_eq_success
+
+enum Status { FAILURE, SUCCESS }
+global @a : i32 = 0
+
+fn @main() -> i32 {
+entry:
+  %t = inttoptr i32 0x48000014
+  store volatile i32 1, %t
+  %p = globaladdr @a
+  %v = load volatile i32, %p
+  %c = icmp eq i32 %v, Status::SUCCESS
+  br %c, win, lose
+win:
+  ret i32 0xACCE55
+lose:
+  br spin
+spin:
+  br spin
+}
+",
+    )
+}
+
+/// The Table IV/V boot firmware: a CubeMX-shaped image — peripheral
+/// initialization routines, HAL register loops, a sensitive tick counter,
+/// an ENUM status type, and a constant-return check function whose
+/// "success" path is designed to be impossible (`tick == 0` right after
+/// incrementing it).
+///
+/// The peripheral-init functions are synthesized to give the image a
+/// realistic CubeMX footprint (a few KiB of straight-line register
+/// configuration) while booting in roughly the paper's 1,700 cycles.
+pub fn boot() -> Module {
+    let mut src = String::from(
+        "
+module boot
+
+enum BootStatus { FAILURE, SUCCESS }
+global @tick : i32 = 0 sensitive
+global @rcc_cr : i32 = 0
+global @gpio_moder : i32 = 0
+global @uart_out : i32 = 0
+global @flash_acr : i32 = 5
+",
+    );
+    // Peripheral blocks: each init_<p> performs a burst of volatile
+    // configuration stores with derived values, CubeMX-style.
+    let peripherals = [
+        ("rcc", 0x4002_1000u32, 8),
+        ("gpioa", 0x4800_0100, 6),
+        ("usart1", 0x4001_3800, 6),
+        ("systick", 0xE000_E010, 4),
+        ("adc", 0x4001_2400, 6),
+        ("dma", 0x4002_0000, 6),
+        ("exti", 0x4001_0400, 4),
+        ("tim3", 0x4000_0400, 6),
+    ];
+    for (name, base, regs) in peripherals {
+        src.push_str(&format!("\nfn @init_{name}() -> void {{\nentry:\n"));
+        for v in 0..regs {
+            let addr = base + v * 4;
+            // A couple of derived values per register write, like real HAL
+            // code computing masked fields.
+            src.push_str(&format!("  %a{v} = inttoptr i32 {addr:#x}\n"));
+            src.push_str(&format!("  %b{v} = shl i32 {r}, 3\n", r = v + 1));
+            src.push_str(&format!("  %c{v} = or i32 %b{v}, {bits:#x}\n", bits = 0x11 + v));
+            src.push_str(&format!("  store volatile i32 %c{v}, %a{v}\n"));
+        }
+        src.push_str("  ret void\n}\n");
+    }
+    src.push_str(
+        "
+fn @hal_init() -> void {
+entry:
+  call void @init_rcc()
+  call void @init_gpioa()
+  call void @init_usart1()
+  call void @init_systick()
+  call void @init_adc()
+  call void @init_dma()
+  call void @init_exti()
+  call void @init_tim3()
+  br clock
+clock:
+  %i = phi i32 [ 0, entry ], [ %i2, clock ]
+  %p = globaladdr @rcc_cr
+  %v = shl i32 %i, 2
+  %v2 = or i32 %v, 1
+  store volatile i32 %v2, %p
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, 6
+  br %c, clock, gpio
+gpio:
+  %j = phi i32 [ 0, clock ], [ %j2, gpio ]
+  %q = globaladdr @gpio_moder
+  %w = shl i32 1, %j
+  store volatile i32 %w, %q
+  %j2 = add i32 %j, 1
+  %d = icmp ult i32 %j2, 4
+  br %d, gpio, done
+done:
+  ret void
+}
+
+fn @crc_mix(%x: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, join ]
+  %acc = phi i32 [ %x, entry ], [ %acc3, join ]
+  %low = and i32 %acc, 1
+  %sh = lshr i32 %acc, 1
+  %c = icmp ne i32 %low, 0
+  br %c, flip, keep
+flip:
+  %fx = xor i32 %sh, 0xEDB88320
+  br join
+keep:
+  br join
+join:
+  %acc3 = phi i32 [ %fx, flip ], [ %sh, keep ]
+  %i2 = add i32 %i, 1
+  %more = icmp ult i32 %i2, 4
+  br %more, loop, out
+out:
+  ret i32 %acc3
+}
+
+fn @uart_putc(%ch: i32) -> void {
+entry:
+  br wait
+wait:
+  %sr = inttoptr i32 0x40013818
+  %st = load volatile i32, %sr
+  %rdy = and i32 %st, 0x80
+  %c = icmp eq i32 %rdy, 0
+  br %c, wait, send
+send:
+  %dr = inttoptr i32 0x40013828
+  store volatile i32 %ch, %dr
+  ret void
+}
+
+fn @uart_puts_marker() -> void {
+entry:
+  call void @uart_putc(0x47)
+  call void @uart_putc(0x52)
+  call void @uart_putc(0x21)
+  call void @uart_putc(0x0A)
+  ret void
+}
+
+fn @spi_xfer(%out: i32) -> i32 {
+entry:
+  %dr = inttoptr i32 0x4001300C
+  store volatile i32 %out, %dr
+  br wait
+wait:
+  %sr = inttoptr i32 0x40013008
+  %st = load volatile i32, %sr
+  %rdy = and i32 %st, 1
+  %c = icmp eq i32 %rdy, 0
+  br %c, wait, done
+done:
+  %in = load volatile i32, %dr
+  ret i32 %in
+}
+
+fn @i2c_probe(%addrsel: i32) -> i32 {
+entry:
+  %cr = inttoptr i32 0x40005400
+  %v = shl i32 %addrsel, 1
+  %v2 = or i32 %v, 1
+  store volatile i32 %v2, %cr
+  %sr = inttoptr i32 0x40005414
+  %st = load volatile i32, %sr
+  %ack = and i32 %st, 2
+  %c = icmp ne i32 %ack, 0
+  br %c, ok, fail
+ok:
+  ret i32 1
+fail:
+  ret i32 0
+}
+
+fn @delay_ms(%ms: i32) -> void {
+entry:
+  %n = mul i32 %ms, 6000
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, loop ]
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %n
+  br %c, loop, out
+out:
+  ret void
+}
+
+fn @wdt_kick() -> void {
+entry:
+  %kr = inttoptr i32 0x40003000
+  store volatile i32 0xAAAA, %kr
+  ret void
+}
+
+fn @gpio_toggle(%pin: i32) -> void {
+entry:
+  %odr = inttoptr i32 0x48000114
+  %cur = load volatile i32, %odr
+  %bit = shl i32 1, %pin
+  %new = xor i32 %cur, %bit
+  store volatile i32 %new, %odr
+  ret void
+}
+
+fn @checksum_block(%seed: i32, %words: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, loop ]
+  %acc = phi i32 [ %seed, entry ], [ %acc2, loop ]
+  %rot = lshr i32 %acc, 27
+  %sh = shl i32 %acc, 5
+  %mix = or i32 %sh, %rot
+  %acc2 = xor i32 %mix, %i
+  %i2 = add i32 %i, 1
+  %c = icmp ult i32 %i2, %words
+  br %c, loop, out
+out:
+  ret i32 %acc2
+}
+
+fn @check_tick(%t: i32) -> i32 {
+entry:
+  %c = icmp eq i32 %t, 0
+  br %c, zero, nonzero
+zero:
+  ret i32 1
+nonzero:
+  ret i32 0
+}
+
+fn @report(%v: i32) -> void {
+entry:
+  %p = globaladdr @uart_out
+  store volatile i32 %v, %p
+  ret void
+}
+
+fn @main() -> i32 {
+entry:
+  call void @hal_init()
+  %p = globaladdr @tick
+  %v = load i32, %p
+  %v2 = add i32 %v, 1
+  store i32 %v2, %p
+  %crc = call i32 @crc_mix(%v2)
+  %r = call i32 @check_tick(%v2)
+  %c = icmp eq i32 %r, 1
+  br %c, impossible, done
+impossible:
+  call void @report(0xC0DE)
+  br done
+done:
+  call void @report(%crc)
+  ret i32 0xB007
+}
+",
+    );
+    must_parse(&src)
+}
+
+/// All Table VI targets by name.
+pub fn table6_targets() -> Vec<(&'static str, Module)> {
+    vec![("while(!a)", while_not_a()), ("if(a==SUCCESS)", if_a_eq_success())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_ir::verify_module;
+
+    #[test]
+    fn all_firmware_verifies() {
+        for m in [while_not_a(), if_a_eq_success(), boot()] {
+            verify_module(&m).unwrap_or_else(|e| panic!("{e}\n{m}"));
+        }
+    }
+
+    #[test]
+    fn boot_reaches_the_marker_in_the_interpreter() {
+        let m = boot();
+        let mut interp = gd_ir::Interpreter::new(&m);
+        let r = interp
+            .run("main", &[], &mut |_, _| gd_ir::RtVal::Int(0))
+            .unwrap();
+        assert_eq!(r, gd_ir::RtVal::Int(i64::from(BOOT_MARKER)));
+        assert_eq!(interp.global("tick"), 1);
+        assert_ne!(interp.global("uart_out"), 0xC0DE, "impossible path untaken");
+    }
+
+    #[test]
+    fn guards_never_succeed_unglitched() {
+        // while(!a) spins forever.
+        let m = while_not_a();
+        let mut interp = gd_ir::Interpreter::new(&m);
+        interp.fuel = 50_000;
+        let err = interp.run("main", &[], &mut |_, _| gd_ir::RtVal::Int(0)).unwrap_err();
+        assert_eq!(err, gd_ir::InterpError::OutOfFuel);
+
+        // if(a==SUCCESS) parks in the lose path.
+        let m = if_a_eq_success();
+        let mut interp = gd_ir::Interpreter::new(&m);
+        interp.fuel = 50_000;
+        let err = interp.run("main", &[], &mut |_, _| gd_ir::RtVal::Int(0)).unwrap_err();
+        assert_eq!(err, gd_ir::InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn hardened_firmware_still_verifies() {
+        use glitch_resistor::{harden, Config, Defenses};
+        for (name, mut m) in
+            [("guard", while_not_a()), ("enum", if_a_eq_success()), ("boot", boot())]
+        {
+            harden(&mut m, &Config::new(Defenses::ALL));
+            verify_module(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+}

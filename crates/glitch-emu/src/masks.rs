@@ -1,0 +1,113 @@
+//! Enumeration of every k-bit mask over an n-bit word: the C(n, k)
+//! combinations the paper sweeps when perturbing an instruction encoding.
+
+/// Iterator over all n-bit values with exactly `k` bits set, in increasing
+/// numeric order (Gosper's hack).
+///
+/// ```
+/// use gd_glitch_emu::masks::ChooseBits;
+/// let masks: Vec<u32> = ChooseBits::new(4, 2).collect();
+/// assert_eq!(masks, vec![0b0011, 0b0101, 0b0110, 0b1001, 0b1010, 0b1100]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChooseBits {
+    next: Option<u32>,
+    limit: u32,
+}
+
+impl ChooseBits {
+    /// All `n`-bit masks with exactly `k` set bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 31` or `k > n`.
+    pub fn new(n: u32, k: u32) -> ChooseBits {
+        assert!(n <= 31, "mask width limited to 31 bits");
+        assert!(k <= n, "cannot set {k} bits in an {n}-bit word");
+        let limit = 1u32 << n;
+        let first = if k == 0 { 0 } else { (1u32 << k) - 1 };
+        ChooseBits { next: Some(first), limit }
+    }
+
+    /// The number of masks this iterator yields, C(n, k).
+    pub fn count_exact(n: u32, k: u32) -> u64 {
+        let mut result = 1u64;
+        for i in 0..k.min(n - k) {
+            result = result * u64::from(n - i) / (u64::from(i) + 1);
+        }
+        result
+    }
+}
+
+impl Iterator for ChooseBits {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        let current = self.next?;
+        if current >= self.limit {
+            self.next = None;
+            return None;
+        }
+        self.next = if current == 0 {
+            None
+        } else {
+            // Gosper's hack: next integer with the same popcount.
+            let c = current & current.wrapping_neg();
+            let r = current + c;
+            Some((((r ^ current) >> 2) / c) | r)
+        };
+        Some(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bits_yields_only_zero() {
+        assert_eq!(ChooseBits::new(16, 0).collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn all_bits_yields_only_full_mask() {
+        assert_eq!(ChooseBits::new(16, 16).collect::<Vec<_>>(), vec![0xFFFF]);
+    }
+
+    #[test]
+    fn counts_match_binomial() {
+        for k in 0..=16 {
+            let n = ChooseBits::new(16, k).count() as u64;
+            assert_eq!(n, ChooseBits::count_exact(16, k), "C(16, {k})");
+        }
+    }
+
+    #[test]
+    fn whole_space_covered_once() {
+        // Summing C(16, k) over all k enumerates every u16 exactly once.
+        let mut seen = vec![false; 1 << 16];
+        for k in 0..=16 {
+            for mask in ChooseBits::new(16, k) {
+                assert!(!seen[mask as usize], "mask {mask:#06x} yielded twice");
+                seen[mask as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn masks_have_requested_popcount() {
+        for k in [1, 5, 9] {
+            for mask in ChooseBits::new(16, k) {
+                assert_eq!(mask.count_ones(), k);
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_reference_values() {
+        assert_eq!(ChooseBits::count_exact(16, 8), 12_870);
+        assert_eq!(ChooseBits::count_exact(16, 1), 16);
+        assert_eq!(ChooseBits::count_exact(16, 15), 16);
+    }
+}

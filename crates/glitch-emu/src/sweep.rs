@@ -1,0 +1,298 @@
+//! Exhaustive perturbation sweeps and outcome classification (paper §IV,
+//! Figure 2).
+
+use core::fmt;
+
+use gd_emu::{Config, Fault, RunOutcome, StopReason};
+
+use crate::harness::{TestCase, NORMAL_MARKER, NORMAL_REG, SUCCESS_MARKER, SUCCESS_REG};
+use crate::masks::ChooseBits;
+
+/// The direction bits are flipped, matching the paper's fault models:
+/// glitches tend to be unidirectional.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// 1 → 0 flips (`instr AND NOT mask`) — the common effect of voltage
+    /// and clock glitches.
+    And,
+    /// 0 → 1 flips (`instr OR mask`).
+    Or,
+    /// Bidirectional flips (`instr XOR mask`).
+    Xor,
+}
+
+impl Direction {
+    /// Applies a k-bit selection mask to `hw` in this direction.
+    pub fn apply(self, hw: u16, mask: u16) -> u16 {
+        match self {
+            Direction::And => hw & !mask,
+            Direction::Or => hw | mask,
+            Direction::Xor => hw ^ mask,
+        }
+    }
+
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::And => "AND",
+            Direction::Or => "OR",
+            Direction::Xor => "XOR",
+        }
+    }
+}
+
+/// Classification of one perturbed execution, mirroring Figure 2's legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The instruction after the branch executed (the branch was "skipped").
+    Success,
+    /// Execution proceeded normally (the flip did not matter).
+    NoEffect,
+    /// A data access touched unmapped/protected/unaligned memory.
+    BadRead,
+    /// An instruction was fetched from unmapped memory (e.g. a wild branch).
+    BadFetch,
+    /// The perturbed pattern does not decode.
+    InvalidInstruction,
+    /// Anything else (stuck loop, sleep, interworking attempt, odd paths).
+    Failed,
+}
+
+impl Outcome {
+    /// All outcomes in reporting order.
+    pub const ALL: [Outcome; 6] = [
+        Outcome::Success,
+        Outcome::BadRead,
+        Outcome::InvalidInstruction,
+        Outcome::BadFetch,
+        Outcome::Failed,
+        Outcome::NoEffect,
+    ];
+
+    /// The label used in Figure 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Outcome::Success => "Success",
+            Outcome::NoEffect => "No Effect",
+            Outcome::BadRead => "Bad Read",
+            Outcome::BadFetch => "Bad Fetch",
+            Outcome::InvalidInstruction => "Invalid Instruction",
+            Outcome::Failed => "Failed",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Outcome counts for one sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    counts: [u64; 6],
+}
+
+impl Tally {
+    /// Records one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        let idx = Outcome::ALL.iter().position(|o| *o == outcome).expect("all covered");
+        self.counts[idx] += 1;
+    }
+
+    /// Count for one outcome.
+    pub fn count(&self, outcome: Outcome) -> u64 {
+        let idx = Outcome::ALL.iter().position(|o| *o == outcome).expect("all covered");
+        self.counts[idx]
+    }
+
+    /// Total executions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Success rate in percent (0 when empty).
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            100.0 * self.count(Outcome::Success) as f64 / self.total() as f64
+        }
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &Tally) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+}
+
+/// Runs the snippet with `hw` written over the targeted instruction and
+/// classifies the result.
+pub fn run_perturbed(case: &TestCase, hw: u16, cfg: Config) -> Outcome {
+    let mut emu = case.instantiate(hw, cfg);
+    match emu.run(256) {
+        RunOutcome::Stop { reason: StopReason::Bkpt(_), .. } => {
+            let success = emu.cpu.reg(SUCCESS_REG) == SUCCESS_MARKER;
+            let normal = emu.cpu.reg(NORMAL_REG) == NORMAL_MARKER;
+            if success {
+                Outcome::Success
+            } else if normal {
+                Outcome::NoEffect
+            } else {
+                Outcome::Failed
+            }
+        }
+        RunOutcome::Stop { .. } => Outcome::Failed,
+        RunOutcome::StepLimit { .. } => Outcome::Failed,
+        RunOutcome::Fault { fault, .. } => match fault {
+            Fault::Mem(m) => match m.access {
+                gd_emu::Access::Fetch => Outcome::BadFetch,
+                _ => Outcome::BadRead,
+            },
+            Fault::Undefined { .. } => Outcome::InvalidInstruction,
+            Fault::InterworkArm { .. } => Outcome::Failed,
+        },
+    }
+}
+
+/// Sweeps every C(16, k) mask in `direction` over the targeted instruction.
+pub fn sweep_k(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Tally {
+    let hw = case.target_halfword();
+    let mut tally = Tally::default();
+    for mask in ChooseBits::new(16, k) {
+        let perturbed = direction.apply(hw, mask as u16);
+        tally.record(run_perturbed(case, perturbed, cfg));
+    }
+    tally
+}
+
+/// One row of a Figure 2 sweep: results per flipped-bit count.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// The test case name (e.g. `"beq"`).
+    pub name: String,
+    /// `per_k[k]` holds the tally for exactly `k` flipped bits, `k = 0..=16`.
+    pub per_k: Vec<Tally>,
+}
+
+impl SweepResult {
+    /// Tally aggregated over every k ≥ 1 (perturbed executions only).
+    pub fn aggregate(&self) -> Tally {
+        let mut total = Tally::default();
+        for t in self.per_k.iter().skip(1) {
+            total.merge(t);
+        }
+        total
+    }
+
+    /// Success rate in percent over all perturbed executions.
+    pub fn success_rate(&self) -> f64 {
+        self.aggregate().success_rate()
+    }
+}
+
+/// Full sweep over `k = 0..=16` for one case.
+pub fn sweep_case(case: &TestCase, direction: Direction, cfg: Config) -> SweepResult {
+    let per_k = (0..=16).map(|k| sweep_k(case, direction, k, cfg)).collect();
+    SweepResult { name: case.name.clone(), per_k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::branch_case;
+    use gd_thumb::Cond;
+
+    #[test]
+    fn unmodified_is_no_effect() {
+        let case = branch_case(Cond::Eq);
+        let t = sweep_k(&case, Direction::And, 0, Config::default());
+        assert_eq!(t.total(), 1);
+        assert_eq!(t.count(Outcome::NoEffect), 1);
+    }
+
+    #[test]
+    fn clearing_all_bits_succeeds_by_default() {
+        let case = branch_case(Cond::Eq);
+        // k = 16 under AND → 0x0000 → lsls r0, r0, #0 → skip.
+        let t = sweep_k(&case, Direction::And, 16, Config::default());
+        assert_eq!(t.count(Outcome::Success), 1);
+    }
+
+    #[test]
+    fn clearing_all_bits_is_invalid_when_hardened() {
+        let case = branch_case(Cond::Eq);
+        let cfg = Config { zero_is_invalid: true };
+        let t = sweep_k(&case, Direction::And, 16, cfg);
+        assert_eq!(t.count(Outcome::InvalidInstruction), 1);
+    }
+
+    #[test]
+    fn or_toward_all_ones_consumes_next_halfword() {
+        let case = branch_case(Cond::Eq);
+        // k = 16 under OR → 0xFFFF → 32-bit prefix + movs → invalid.
+        let t = sweep_k(&case, Direction::Or, 16, Config::default());
+        assert_eq!(t.count(Outcome::InvalidInstruction), 1);
+    }
+
+    #[test]
+    fn single_bit_and_sweep_matches_manual_classification() {
+        let case = branch_case(Cond::Eq);
+        let t = sweep_k(&case, Direction::And, 1, Config::default());
+        assert_eq!(t.total(), 16);
+        // Flipping a bit that is already zero leaves the branch intact.
+        let hw = case.target_halfword();
+        let zero_bits = u64::from(16 - hw.count_ones());
+        assert!(t.count(Outcome::NoEffect) >= zero_bits);
+    }
+
+    #[test]
+    fn tally_percentages() {
+        let mut t = Tally::default();
+        t.record(Outcome::Success);
+        t.record(Outcome::Failed);
+        t.record(Outcome::Failed);
+        t.record(Outcome::NoEffect);
+        assert_eq!(t.total(), 4);
+        assert!((t.success_rate() - 25.0).abs() < 1e-9);
+        let mut u = Tally::default();
+        u.record(Outcome::Success);
+        t.merge(&u);
+        assert_eq!(t.count(Outcome::Success), 2);
+        assert_eq!(t.total(), 5);
+    }
+
+    /// The paper's headline §IV result, as properties of the sweep shape:
+    /// AND (1→0) flips skip branches far more often than OR (0→1) flips —
+    /// over 60% at high flip counts — while OR success decays toward zero
+    /// as patterns leave the defined encoding space.
+    #[test]
+    fn and_beats_or_on_beq() {
+        let case = branch_case(Cond::Eq);
+        let and = sweep_case(&case, Direction::And, Config::default());
+        let or = sweep_case(&case, Direction::Or, Config::default());
+        assert!(
+            and.success_rate() > 1.5 * or.success_rate(),
+            "AND {:.1}% should dwarf OR {:.1}%",
+            and.success_rate(),
+            or.success_rate()
+        );
+        assert!(
+            and.per_k[11].success_rate() > 60.0,
+            "AND at k=11 reaches the paper's >60% band, got {:.1}%",
+            and.per_k[11].success_rate()
+        );
+        assert!(
+            or.per_k[11].success_rate() < 30.0,
+            "OR at k=11 stays under the paper's 30% band, got {:.1}%",
+            or.per_k[11].success_rate()
+        );
+        // Under AND the curve is monotone toward the all-zeros NOP; under
+        // OR, invalid instructions take over at high k.
+        assert_eq!(and.per_k[16].success_rate(), 100.0);
+        assert_eq!(or.per_k[16].success_rate(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! The firmware image: lowered code plus section layout, symbols, and size
+//! accounting (the data behind paper Table V).
+
+use std::collections::BTreeMap;
+
+use crate::layout::{
+    Section, FLASH_BASE, FLASH_SIZE, GPIO_BASE, GPIO_SIZE, NVM_BASE, NVM_SIZE, PERIPH_BASE,
+    PERIPH_SIZE, SCS_BASE, SCS_SIZE, SHADOW_BASE, SHADOW_SIZE, SRAM_BASE, SRAM_SIZE, STACK_TOP,
+};
+
+/// Byte sizes of each output section (paper Table V's columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionSizes {
+    /// Code + literal pools + runtime stubs.
+    pub text: u32,
+    /// Initialized globals.
+    pub data: u32,
+    /// Zero-initialized globals.
+    pub bss: u32,
+    /// Integrity shadows.
+    pub shadow: u32,
+    /// Non-volatile data.
+    pub nvm: u32,
+}
+
+impl SectionSizes {
+    /// Total footprint (text + data + bss, the paper's "total" column;
+    /// shadow and nvm are reported separately).
+    pub fn total(&self) -> u32 {
+        self.text + self.data + self.bss
+    }
+}
+
+/// A linked firmware image ready to load into the emulator.
+#[derive(Debug, Clone)]
+pub struct FirmwareImage {
+    /// Code bytes, based at [`FLASH_BASE`].
+    pub text: Vec<u8>,
+    /// Initialized data: `(address, bytes)` records across data/shadow/nvm.
+    pub data: Vec<(u32, Vec<u8>)>,
+    /// Symbol table: functions and globals.
+    pub symbols: BTreeMap<String, u32>,
+    /// Entry point (the `_start` stub).
+    pub entry: u32,
+    /// Section size accounting.
+    pub sizes: SectionSizes,
+    /// Section of each global.
+    pub global_sections: BTreeMap<String, Section>,
+}
+
+impl FirmwareImage {
+    /// Address of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the symbol does not exist — symbol names come from the
+    /// module being compiled, so a miss is a caller bug.
+    pub fn symbol(&self, name: &str) -> u32 {
+        *self
+            .symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown symbol `{name}`"))
+    }
+
+    /// Maps the standard regions and loads the image into `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping/load failures (image too large for a region).
+    pub fn load_into(&self, mem: &mut gd_emu::Memory) -> Result<(), gd_emu::MapError> {
+        use gd_emu::Perms;
+        mem.map("flash", FLASH_BASE, FLASH_SIZE, Perms::RX)?;
+        // NVM is readable and writable (writes are slow; the pipeline model
+        // charges them), and never executable.
+        mem.map("nvm", NVM_BASE, NVM_SIZE, Perms::RW)?;
+        mem.map("sram", SRAM_BASE, SRAM_SIZE, Perms::RW)?;
+        mem.map("shadow", SHADOW_BASE, SHADOW_SIZE, Perms::RW)?;
+        mem.map("gpio", GPIO_BASE, GPIO_SIZE, Perms::RW)?;
+        mem.map("periph", PERIPH_BASE, PERIPH_SIZE, Perms::RW)?;
+        mem.map("scs", SCS_BASE, SCS_SIZE, Perms::RW)?;
+        let fail = |e: gd_emu::MemFault| gd_emu::MapError::other(format!("image overflows region: {e}"));
+        mem.load(FLASH_BASE, &self.text).map_err(fail)?;
+        for (addr, bytes) in &self.data {
+            mem.load(*addr, bytes).map_err(fail)?;
+        }
+        Ok(())
+    }
+
+    /// Builds a fresh emulator with this image loaded, PC at the entry and
+    /// SP at the stack top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image does not fit the standard memory map.
+    pub fn boot_emu(&self) -> gd_emu::Emu {
+        let mut emu = gd_emu::Emu::new();
+        self.load_into(&mut emu.mem).expect("image fits the standard memory map");
+        emu.set_pc(self.entry);
+        emu.cpu.set_sp(STACK_TOP);
+        emu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_total() {
+        let s = SectionSizes { text: 100, data: 8, bss: 32, shadow: 8, nvm: 4 };
+        assert_eq!(s.total(), 140);
+    }
+}

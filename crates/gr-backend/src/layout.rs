@@ -1,0 +1,98 @@
+//! The target memory map: an STM32F0-style layout.
+//!
+//! | Region | Base | Size | Holds |
+//! |---|---|---|---|
+//! | flash  | `0x0800_0000` | 60 KiB | `.text` (code + literal pools) |
+//! | nvm    | `0x0800_F000` | 4 KiB  | non-volatile data (the delay seed); writable but *slow* |
+//! | sram   | `0x2000_0000` | 14 KiB | `.data`, `.bss`, stack |
+//! | shadow | `0x2000_3800` | 2 KiB  | integrity shadows (`*__integrity`), physically separated from their primaries |
+//! | gpio   | `0x4800_0000` | 1 KiB  | trigger port (writes observable by the glitcher) |
+//!
+//! The *shadow* region realizes the paper's requirement that integrity
+//! copies are "allocated in a separate region of memory to ensure that
+//! [they are] not physically co-located with the initial variable"
+//! (§VI-B-a). The *nvm* region gives flash-seed writes somewhere to go; the
+//! pipeline model charges them the documented multi-thousand-cycle cost.
+
+/// Flash (code) base address.
+pub const FLASH_BASE: u32 = 0x0800_0000;
+/// Flash size in bytes.
+pub const FLASH_SIZE: u32 = 0xF000;
+/// Non-volatile data base (top flash page).
+pub const NVM_BASE: u32 = 0x0800_F000;
+/// Non-volatile data size.
+pub const NVM_SIZE: u32 = 0x1000;
+/// SRAM base address.
+pub const SRAM_BASE: u32 = 0x2000_0000;
+/// SRAM size available for `.data`/`.bss`/stack.
+pub const SRAM_SIZE: u32 = 0x3800;
+/// Shadow-region base (second SRAM bank).
+pub const SHADOW_BASE: u32 = 0x2000_3800;
+/// Shadow-region size.
+pub const SHADOW_SIZE: u32 = 0x800;
+/// Initial stack pointer (top of primary SRAM).
+pub const STACK_TOP: u32 = SRAM_BASE + SRAM_SIZE;
+/// GPIO (trigger) port base.
+pub const GPIO_BASE: u32 = 0x4800_0000;
+/// GPIO region size.
+pub const GPIO_SIZE: u32 = 0x400;
+/// The output-data register the trigger writes (GPIOA ODR).
+pub const GPIO_ODR: u32 = GPIO_BASE + 0x14;
+/// APB peripheral window (RCC, USART, ADC, DMA, EXTI, timers).
+pub const PERIPH_BASE: u32 = 0x4000_0000;
+/// APB peripheral window size.
+pub const PERIPH_SIZE: u32 = 0x0002_2000;
+/// System control space (SysTick, NVIC).
+pub const SCS_BASE: u32 = 0xE000_E000;
+/// System control space size.
+pub const SCS_SIZE: u32 = 0x1000;
+
+/// Section a global is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Section {
+    /// Initialized RAM data.
+    Data,
+    /// Zero-initialized RAM data.
+    Bss,
+    /// Integrity shadows.
+    Shadow,
+    /// Non-volatile (slow-write) data.
+    Nvm,
+}
+
+/// Assigns a global to a section by the conventions shared with
+/// `glitch-resistor`: `*__integrity` shadows go to [`Section::Shadow`],
+/// `__gr_nv_*` to [`Section::Nvm`], everything else to `.data`/`.bss` by
+/// initializer.
+pub fn section_of(name: &str, init: i64) -> Section {
+    if name.ends_with("__integrity") {
+        Section::Shadow
+    } else if name.starts_with("__gr_nv_") {
+        Section::Nvm
+    } else if init == 0 {
+        Section::Bss
+    } else {
+        Section::Data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the layout invariants
+    fn regions_do_not_overlap() {
+        assert!(FLASH_BASE + FLASH_SIZE <= NVM_BASE);
+        assert!(SRAM_BASE + SRAM_SIZE <= SHADOW_BASE);
+        assert_eq!(STACK_TOP, SHADOW_BASE, "stack tops out below the shadow bank");
+    }
+
+    #[test]
+    fn section_assignment() {
+        assert_eq!(section_of("tick", 0), Section::Bss);
+        assert_eq!(section_of("tick", 5), Section::Data);
+        assert_eq!(section_of("tick__integrity", -6), Section::Shadow);
+        assert_eq!(section_of("__gr_nv_seed", 0), Section::Nvm);
+    }
+}

@@ -1,0 +1,832 @@
+//! Lowering IR modules to Thumb-1 machine code.
+//!
+//! The code generator is deliberately simple and predictable — every IR
+//! value lives in a stack slot, operands are loaded into `r0`/`r1`,
+//! results stored back — because the evaluation cares about *faithful,
+//! measurable* behavior under fault injection, not peak performance. This
+//! also mirrors the paper's choice of `-Og` ("a worst case size").
+
+use std::collections::{BTreeMap, HashMap};
+
+use gd_ir::{
+    BinOp, BlockId, Function, Instr as Ir, Module, Pred, Terminator, Ty, ValueDef, ValueId,
+};
+use gd_thumb::{asm, Cond, Instr, Reg, ShiftOp, Width};
+
+use crate::image::{FirmwareImage, SectionSizes};
+use crate::layout::{section_of, Section, FLASH_BASE, NVM_BASE, SHADOW_BASE, SRAM_BASE};
+
+/// Errors produced while lowering a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LowerError {
+    /// A call passes more than four arguments (r0–r3 ABI).
+    TooManyArgs {
+        /// Callee name.
+        callee: String,
+        /// Argument count.
+        count: usize,
+    },
+    /// A function's frame exceeds the SP-relative addressing range.
+    FrameTooLarge {
+        /// Function name.
+        func: String,
+        /// Frame size in bytes.
+        bytes: u32,
+    },
+    /// A branch target is out of range (function too large).
+    BranchOutOfRange {
+        /// Function name.
+        func: String,
+    },
+    /// A literal-pool reference is out of range (function too large).
+    LiteralOutOfRange {
+        /// Function name.
+        func: String,
+    },
+    /// A call references a function with no definition and no lowering.
+    UnknownCallee {
+        /// Callee name.
+        name: String,
+    },
+    /// The module does not define the entry function.
+    NoEntry {
+        /// The expected entry name.
+        name: String,
+    },
+}
+
+impl core::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LowerError::TooManyArgs { callee, count } => {
+                write!(f, "call to @{callee} passes {count} arguments (max 4)")
+            }
+            LowerError::FrameTooLarge { func, bytes } => {
+                write!(f, "@{func}: frame of {bytes} bytes exceeds sp-relative range")
+            }
+            LowerError::BranchOutOfRange { func } => {
+                write!(f, "@{func}: branch target out of range")
+            }
+            LowerError::LiteralOutOfRange { func } => {
+                write!(f, "@{func}: literal pool out of range")
+            }
+            LowerError::UnknownCallee { name } => write!(f, "unknown callee @{name}"),
+            LowerError::NoEntry { name } => write!(f, "entry function @{name} not defined"),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Compiles `module` into a firmware image with `entry_fn` as the program
+/// entry (called from the generated `_start` stub).
+///
+/// # Errors
+///
+/// Returns [`LowerError`] for ABI and range violations; see the enum.
+pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerError> {
+    if module.func(entry_fn).is_none() {
+        return Err(LowerError::NoEntry { name: entry_fn.to_owned() });
+    }
+
+    // ---- Globals: assign addresses per section. ----
+    let mut symbols = BTreeMap::new();
+    let mut global_sections = BTreeMap::new();
+    let mut data_records: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut cursors: HashMap<Section, u32> = HashMap::from([
+        (Section::Data, SRAM_BASE),
+        (Section::Shadow, SHADOW_BASE),
+        (Section::Nvm, NVM_BASE),
+    ]);
+    let mut sizes = SectionSizes::default();
+    // .data first, then .bss behind it in SRAM.
+    let mut ordered: Vec<&gd_ir::Global> = module.globals.iter().collect();
+    ordered.sort_by_key(|g| section_of(&g.name, g.init) == Section::Bss);
+    let mut bss_start = None;
+    for g in ordered {
+        let section = section_of(&g.name, g.init);
+        let size = g.ty.size().max(4); // word-align every global
+        let cursor = match section {
+            Section::Bss => {
+                let c = cursors.get_mut(&Section::Data).expect("data cursor");
+                bss_start.get_or_insert(*c);
+                c
+            }
+            s => cursors.get_mut(&s).expect("section cursor"),
+        };
+        let addr = (*cursor + 3) & !3;
+        *cursor = addr + size;
+        symbols.insert(g.name.clone(), addr);
+        global_sections.insert(g.name.clone(), section);
+        match section {
+            Section::Data => sizes.data += size,
+            Section::Bss => sizes.bss += size,
+            Section::Shadow => sizes.shadow += size,
+            Section::Nvm => sizes.nvm += size,
+        }
+        // Every global gets an explicit record — including zero initializers,
+        // because startup code zeroes .bss on real boards while physical
+        // SRAM powers up holding garbage.
+        let width = g.ty.size() as usize;
+        let bytes = (g.init as u64).to_le_bytes()[..width].to_vec();
+        data_records.push((addr, bytes));
+    }
+
+    // ---- Text: _start stub, functions, helper routines, call patching. ----
+    let mut text: Vec<u8> = Vec::new();
+    let mut call_fixups: Vec<(usize, String)> = Vec::new();
+
+    // _start: bl <entry>; bkpt #0.
+    symbols.insert("_start".to_owned(), FLASH_BASE);
+    call_fixups.push((0, entry_fn.to_owned()));
+    Instr::Bl { offset: 0 }.encode().write_to(&mut text);
+    Instr::Bkpt { imm8: 0 }.encode().write_to(&mut text);
+
+    let needs_div = module.funcs.iter().any(|f| {
+        f.value_ids().any(|v| {
+            matches!(
+                f.value(v),
+                ValueDef::Instr(Ir::Bin { op: BinOp::Udiv | BinOp::Urem, .. })
+            )
+        })
+    });
+
+    for func in &module.funcs {
+        // Word-align function starts (keeps literal pools simple).
+        while !text.len().is_multiple_of(4) {
+            Instr::NOP.encode().write_to(&mut text);
+        }
+        let base = FLASH_BASE + text.len() as u32;
+        symbols.insert(func.name.clone(), base);
+        let lowered = FnLowering::lower(func, &symbols)?;
+        let fn_start = (base - FLASH_BASE) as usize;
+        for (off, callee) in lowered.call_fixups {
+            call_fixups.push((fn_start + off, callee));
+        }
+        text.extend_from_slice(&lowered.code);
+    }
+
+    if needs_div {
+        while !text.len().is_multiple_of(4) {
+            Instr::NOP.encode().write_to(&mut text);
+        }
+        let base = FLASH_BASE + text.len() as u32;
+        let helpers = asm::assemble(DIV_HELPERS, base)
+            .expect("division helpers assemble");
+        for (name, addr) in &helpers.symbols {
+            symbols.insert(name.clone(), *addr);
+        }
+        text.extend_from_slice(&helpers.code);
+    }
+
+    // Patch calls now that every function has an address.
+    for (site, callee) in call_fixups {
+        let target =
+            *symbols.get(&callee).ok_or(LowerError::UnknownCallee { name: callee.clone() })?;
+        let site_addr = FLASH_BASE + site as u32;
+        let offset = target as i64 - i64::from(site_addr + 4);
+        let enc = Instr::Bl { offset: offset as i32 }
+            .try_encode()
+            .map_err(|_| LowerError::BranchOutOfRange { func: callee })?;
+        let bytes = enc.to_bytes();
+        text[site..site + 4].copy_from_slice(&bytes);
+    }
+
+    sizes.text = text.len() as u32;
+    Ok(FirmwareImage {
+        text,
+        data: data_records,
+        symbols,
+        entry: FLASH_BASE,
+        sizes,
+        global_sections,
+    })
+}
+
+/// Restoring shift-subtract division, zero-divisor semantics matching the
+/// IR interpreter (`x/0 = 0`, `x%0 = x`).
+const DIV_HELPERS: &str = "
+__gr_udiv:
+    cmp r1, #0
+    bne udiv_go
+    movs r0, #0
+    bx lr
+udiv_go:
+    b __gr_udivmod
+__gr_urem:
+    cmp r1, #0
+    beq urem_same
+    push {lr}
+    bl __gr_udivmod
+    mov r0, r2
+    pop {pc}
+urem_same:
+    bx lr
+__gr_udivmod:
+    movs r2, #0
+    movs r3, #32
+udm_loop:
+    adds r0, r0, r0
+    adcs r2, r2
+    cmp r2, r1
+    bcc udm_skip
+    subs r2, r2, r1
+    adds r0, #1
+udm_skip:
+    subs r3, #1
+    bne udm_loop
+    bx lr
+";
+
+#[derive(Debug)]
+struct FnLowering {
+    code: Vec<u8>,
+    call_fixups: Vec<(usize, String)>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LocalFixup {
+    B { block: BlockId },
+}
+
+struct Ctx<'m> {
+    func: &'m Function,
+    code: Vec<u8>,
+    slots: HashMap<ValueId, u32>,
+    allocas: HashMap<ValueId, u32>,
+    frame: u32,
+    temp_base: u32,
+    block_offsets: Vec<Option<u32>>,
+    local_fixups: Vec<(usize, LocalFixup)>,
+    call_fixups: Vec<(usize, String)>,
+    literals: Vec<(usize, u32)>,
+    fused: HashMap<ValueId, ()>,
+}
+
+impl FnLowering {
+    fn lower(
+        func: &Function,
+        symbols: &BTreeMap<String, u32>,
+    ) -> Result<FnLowering, LowerError> {
+        let mut ctx = Ctx::new(func)?;
+        ctx.emit_prologue()?;
+        for bb in func.block_ids() {
+            ctx.block_offsets[bb.index()] = Some(ctx.code.len() as u32);
+            ctx.lower_block(bb, symbols)?;
+        }
+        ctx.patch_local_fixups()?;
+        ctx.emit_literal_pool()?;
+        Ok(FnLowering { code: ctx.code, call_fixups: ctx.call_fixups })
+    }
+}
+
+fn cond_of(pred: Pred) -> Cond {
+    match pred {
+        Pred::Eq => Cond::Eq,
+        Pred::Ne => Cond::Ne,
+        Pred::Ult => Cond::Cc,
+        Pred::Ule => Cond::Ls,
+        Pred::Ugt => Cond::Hi,
+        Pred::Uge => Cond::Cs,
+        Pred::Slt => Cond::Lt,
+        Pred::Sle => Cond::Le,
+        Pred::Sgt => Cond::Gt,
+        Pred::Sge => Cond::Ge,
+    }
+}
+
+impl<'m> Ctx<'m> {
+    fn new(func: &'m Function) -> Result<Ctx<'m>, LowerError> {
+        // Frame: [phi temps][alloca storage][value slots].
+        let max_phis = func
+            .block_ids()
+            .map(|bb| {
+                func.block(bb)
+                    .instrs
+                    .iter()
+                    .filter(|&&id| matches!(func.value(id), ValueDef::Instr(Ir::Phi { .. })))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0) as u32;
+        let mut allocas = HashMap::new();
+        let mut off = max_phis * 4;
+        for id in func.value_ids() {
+            if let ValueDef::Instr(Ir::Alloca { ty }) = func.value(id) {
+                allocas.insert(id, off);
+                off += ty.size().max(4);
+            }
+        }
+        let mut slots = HashMap::new();
+        for id in func.value_ids() {
+            let needs_slot = match func.value(id) {
+                ValueDef::Param { .. } => true,
+                ValueDef::Instr(_) => func.ty(id) != Ty::Void,
+                ValueDef::Const { .. } => false,
+            };
+            if needs_slot {
+                slots.insert(id, off);
+                off += 4;
+            }
+        }
+        let frame = (off + 7) & !7; // 8-byte aligned frame
+        if frame > 1016 {
+            return Err(LowerError::FrameTooLarge { func: func.name.clone(), bytes: frame });
+        }
+        Ok(Ctx {
+            func,
+            code: Vec::new(),
+            slots,
+            allocas,
+            frame,
+            temp_base: 0,
+            block_offsets: vec![None; func.block_count()],
+            local_fixups: Vec::new(),
+            call_fixups: Vec::new(),
+            literals: Vec::new(),
+            fused: HashMap::new(),
+        })
+    }
+
+    fn emit(&mut self, i: Instr) {
+        i.encode().write_to(&mut self.code);
+    }
+
+    fn emit_prologue(&mut self) -> Result<(), LowerError> {
+        self.emit(Instr::Push { rlist: 0, lr: true });
+        let mut left = self.frame;
+        while left > 0 {
+            let step = left.min(508);
+            self.emit(Instr::SubSp { imm7: (step / 4) as u8 });
+            left -= step;
+        }
+        // Spill parameters from r0..r3 into their slots.
+        for (i, _) in self.func.params.iter().enumerate().take(4) {
+            let id = self.func.param(i);
+            self.store_slot(Reg::new(i as u8).expect("param reg"), id)?;
+        }
+        if self.func.params.len() > 4 {
+            return Err(LowerError::TooManyArgs {
+                callee: self.func.name.clone(),
+                count: self.func.params.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn emit_epilogue(&mut self) {
+        let mut left = self.frame;
+        while left > 0 {
+            let step = left.min(508);
+            self.emit(Instr::AddSp { imm7: (step / 4) as u8 });
+            left -= step;
+        }
+        self.emit(Instr::Pop { rlist: 0, pc: true });
+    }
+
+    fn slot_of(&self, v: ValueId) -> Result<u32, LowerError> {
+        self.slots
+            .get(&v)
+            .copied()
+            .ok_or_else(|| LowerError::FrameTooLarge { func: self.func.name.clone(), bytes: 0 })
+    }
+
+    fn load_slot(&mut self, reg: Reg, v: ValueId) -> Result<(), LowerError> {
+        let off = self.slot_of(v)?;
+        self.sp_access(reg, off, true)
+    }
+
+    fn store_slot(&mut self, reg: Reg, v: ValueId) -> Result<(), LowerError> {
+        let off = self.slot_of(v)?;
+        self.sp_access(reg, off, false)
+    }
+
+    fn sp_access(&mut self, reg: Reg, off: u32, load: bool) -> Result<(), LowerError> {
+        if !off.is_multiple_of(4) || off / 4 > 255 {
+            return Err(LowerError::FrameTooLarge {
+                func: self.func.name.clone(),
+                bytes: off,
+            });
+        }
+        let imm8 = (off / 4) as u8;
+        self.emit(if load {
+            Instr::LdrSp { rt: reg, imm8 }
+        } else {
+            Instr::StrSp { rt: reg, imm8 }
+        });
+        Ok(())
+    }
+
+    /// Materializes a value (constant or slot) into `reg`.
+    fn load_val(&mut self, reg: Reg, v: ValueId) -> Result<(), LowerError> {
+        match self.func.value(v) {
+            ValueDef::Const { value, .. } => {
+                let masked = mask_ty(self.func.ty(v), *value);
+                self.emit_const(reg, masked);
+                Ok(())
+            }
+            _ => self.load_slot(reg, v),
+        }
+    }
+
+    /// Loads `value` into `reg` with the cheapest available sequence.
+    fn emit_const(&mut self, reg: Reg, value: u32) {
+        if value <= 255 {
+            self.emit(Instr::MovImm { rd: reg, imm8: value as u8 });
+            return;
+        }
+        // value = imm8 << shift?
+        let tz = value.trailing_zeros();
+        if value >> tz <= 255 {
+            self.emit(Instr::MovImm { rd: reg, imm8: (value >> tz) as u8 });
+            self.emit(Instr::ShiftImm { op: ShiftOp::Lsl, rd: reg, rm: reg, imm5: tz as u8 });
+            return;
+        }
+        if !value <= 255 {
+            self.emit(Instr::MovImm { rd: reg, imm8: !value as u8 });
+            self.emit(Instr::Alu { op: gd_thumb::AluOp::Mvn, rdn: reg, rm: reg });
+            return;
+        }
+        // Literal pool.
+        let site = self.code.len();
+        self.literals.push((site, value));
+        self.emit(Instr::LdrLit { rt: reg, imm8: 0 });
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_block(
+        &mut self,
+        bb: BlockId,
+        symbols: &BTreeMap<String, u32>,
+    ) -> Result<(), LowerError> {
+        let instrs = self.func.block(bb).instrs.clone();
+        let term = self.func.block(bb).term.clone().expect("verified function");
+
+        // Fusion: an icmp immediately consumed (only) by this block's
+        // cond-br need not materialize a boolean.
+        let mut fused_cmp: Option<(ValueId, Pred, ValueId, ValueId)> = None;
+        if let Terminator::CondBr { cond, then_bb, else_bb } = &term {
+            if let ValueDef::Instr(Ir::Icmp { pred, lhs, rhs }) = self.func.value(*cond) {
+                let in_block = instrs.last() == Some(cond);
+                let phi_free = !self.has_phis(*then_bb) && !self.has_phis(*else_bb);
+                if in_block && phi_free && self.use_count(*cond) == 1 {
+                    fused_cmp = Some((*cond, *pred, *lhs, *rhs));
+                    self.fused.insert(*cond, ());
+                }
+            }
+        }
+
+        for id in instrs {
+            if self.fused.contains_key(&id) {
+                continue;
+            }
+            self.lower_instr(id, symbols)?;
+        }
+
+        match term {
+            Terminator::Ret { value } => {
+                if let Some(v) = value {
+                    self.load_val(Reg::R0, v)?;
+                }
+                self.emit_epilogue();
+            }
+            Terminator::Br { target } => {
+                self.emit_phi_moves(bb, target)?;
+                self.branch_to(target);
+            }
+            Terminator::CondBr { cond, then_bb, else_bb } => {
+                if let Some((_, pred, lhs, rhs)) = fused_cmp {
+                    self.load_val(Reg::R0, lhs)?;
+                    self.load_val(Reg::R1, rhs)?;
+                    self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Cmp,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    });
+                    self.cond_branch_to(cond_of(pred), then_bb);
+                    self.branch_to(else_bb);
+                } else {
+                    self.load_val(Reg::R0, cond)?;
+                    self.emit(Instr::CmpImm { rn: Reg::R0, imm8: 0 });
+                    // beq → else stub (cond false).
+                    let else_stub = self.code.len();
+                    self.emit(Instr::BCond { cond: Cond::Eq, offset: 0 }); // patched below
+                    self.emit_phi_moves(bb, then_bb)?;
+                    self.branch_to(then_bb);
+                    let here = self.code.len() as i32;
+                    let patch = Instr::BCond {
+                        cond: Cond::Eq,
+                        offset: here - (else_stub as i32 + 4),
+                    }
+                    .try_encode()
+                    .map_err(|_| LowerError::BranchOutOfRange {
+                        func: self.func.name.clone(),
+                    })?;
+                    self.code[else_stub..else_stub + 2].copy_from_slice(&patch.to_bytes());
+                    self.emit_phi_moves(bb, else_bb)?;
+                    self.branch_to(else_bb);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn has_phis(&self, bb: BlockId) -> bool {
+        self.func
+            .block(bb)
+            .instrs
+            .iter()
+            .any(|&id| matches!(self.func.value(id), ValueDef::Instr(Ir::Phi { .. })))
+    }
+
+    fn use_count(&self, v: ValueId) -> usize {
+        let mut count = 0;
+        for id in self.func.value_ids() {
+            if let ValueDef::Instr(i) = self.func.value(id) {
+                count += i.operands().iter().filter(|&&o| o == v).count();
+            }
+        }
+        for bb in self.func.block_ids() {
+            match &self.func.block(bb).term {
+                Some(Terminator::CondBr { cond, .. }) if *cond == v => count += 1,
+                Some(Terminator::Ret { value: Some(r) }) if *r == v => count += 1,
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Parallel phi copies for the edge `pred → succ` through temp slots.
+    fn emit_phi_moves(&mut self, pred: BlockId, succ: BlockId) -> Result<(), LowerError> {
+        let mut moves: Vec<(ValueId, ValueId)> = Vec::new(); // (phi, incoming)
+        for &id in &self.func.block(succ).instrs {
+            if let ValueDef::Instr(Ir::Phi { incomings }) = self.func.value(id) {
+                if let Some((_, v)) = incomings.iter().find(|(b, _)| *b == pred) {
+                    moves.push((id, *v));
+                }
+            }
+        }
+        // Phase 1: read all sources into temps.
+        for (i, (_, src)) in moves.iter().enumerate() {
+            self.load_val(Reg::R0, *src)?;
+            let off = self.temp_base + i as u32 * 4;
+            self.sp_access(Reg::R0, off, false)?;
+        }
+        // Phase 2: write temps into phi slots.
+        for (i, (phi, _)) in moves.iter().enumerate() {
+            let off = self.temp_base + i as u32 * 4;
+            self.sp_access(Reg::R0, off, true)?;
+            self.store_slot(Reg::R0, *phi)?;
+        }
+        Ok(())
+    }
+
+    fn branch_to(&mut self, target: BlockId) {
+        self.local_fixups
+            .push((self.code.len(), LocalFixup::B { block: target }));
+        self.emit(Instr::B { offset: 0 });
+    }
+
+    fn cond_branch_to(&mut self, cond: Cond, target: BlockId) {
+        // b<cond> over an unconditional hop so that conditional branches get
+        // the full ±2 KiB range.
+        self.emit(Instr::BCond { cond, offset: 0 }); // skip the next B: offset 0 = pc+4... patched as +0? No: target is the B below's end.
+        let skip_site = self.code.len() - 2;
+        self.local_fixups
+            .push((self.code.len(), LocalFixup::B { block: target }));
+        self.emit(Instr::B { offset: 0 });
+        // Patch b<cond> to jump over the B (to the instruction after it).
+        let after = self.code.len() as i32;
+        let enc = Instr::BCond { cond: cond.invert(), offset: after - (skip_site as i32 + 4) }
+            .encode()
+            .to_bytes();
+        self.code[skip_site..skip_site + 2].copy_from_slice(&enc);
+    }
+
+    fn patch_local_fixups(&mut self) -> Result<(), LowerError> {
+        for (site, LocalFixup::B { block }) in std::mem::take(&mut self.local_fixups) {
+            let target =
+                self.block_offsets[block.index()].expect("all blocks emitted") as i32;
+            let enc = Instr::B { offset: target - (site as i32 + 4) }
+                .try_encode()
+                .map_err(|_| LowerError::BranchOutOfRange { func: self.func.name.clone() })?;
+            self.code[site..site + 2].copy_from_slice(&enc.to_bytes());
+        }
+        Ok(())
+    }
+
+    fn emit_literal_pool(&mut self) -> Result<(), LowerError> {
+        if self.literals.is_empty() {
+            return Ok(());
+        }
+        if !self.code.len().is_multiple_of(4) {
+            self.emit(Instr::NOP);
+        }
+        // Deduplicate values.
+        let mut entries: Vec<u32> = Vec::new();
+        let sites = std::mem::take(&mut self.literals);
+        let mut placements: Vec<(usize, usize)> = Vec::new(); // (site, entry idx)
+        for (site, value) in sites {
+            let idx = entries.iter().position(|&e| e == value).unwrap_or_else(|| {
+                entries.push(value);
+                entries.len() - 1
+            });
+            placements.push((site, idx));
+        }
+        let pool_base = self.code.len() as u32;
+        for value in &entries {
+            self.code.extend_from_slice(&value.to_le_bytes());
+        }
+        for (site, idx) in placements {
+            let entry_addr = pool_base + idx as u32 * 4;
+            let pc_base = (site as u32 + 4) & !3;
+            let delta = entry_addr as i64 - i64::from(pc_base);
+            if delta < 0 || delta % 4 != 0 || delta / 4 > 255 {
+                return Err(LowerError::LiteralOutOfRange { func: self.func.name.clone() });
+            }
+            // Preserve the destination register of the placeholder.
+            let hw = u16::from_le_bytes([self.code[site], self.code[site + 1]]);
+            let rt = Reg::new(((hw >> 8) & 7) as u8).expect("low register");
+            let enc = Instr::LdrLit { rt, imm8: (delta / 4) as u8 }.encode().to_bytes();
+            self.code[site..site + 2].copy_from_slice(&enc);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn lower_instr(
+        &mut self,
+        id: ValueId,
+        symbols: &BTreeMap<String, u32>,
+    ) -> Result<(), LowerError> {
+        let ValueDef::Instr(instr) = self.func.value(id).clone() else {
+            unreachable!("blocks hold instructions");
+        };
+        let ty = self.func.ty(id);
+        match instr {
+            Ir::Phi { .. } => {} // handled on edges
+            Ir::Bin { op, lhs, rhs } => {
+                self.load_val(Reg::R0, lhs)?;
+                self.load_val(Reg::R1, rhs)?;
+                match op {
+                    BinOp::Add => self.emit(Instr::AddReg3 {
+                        rd: Reg::R0,
+                        rn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Sub => self.emit(Instr::SubReg3 {
+                        rd: Reg::R0,
+                        rn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Mul => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Mul,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::And => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::And,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Or => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Orr,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Xor => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Eor,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Shl => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Lsl,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Lshr => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Lsr,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Ashr => self.emit(Instr::Alu {
+                        op: gd_thumb::AluOp::Asr,
+                        rdn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::Udiv => {
+                        self.call_helper("__gr_udiv");
+                    }
+                    BinOp::Urem => {
+                        self.call_helper("__gr_urem");
+                    }
+                }
+                self.mask_reg(Reg::R0, ty);
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Icmp { pred, lhs, rhs } => {
+                self.load_val(Reg::R0, lhs)?;
+                self.load_val(Reg::R1, rhs)?;
+                self.emit(Instr::Alu { op: gd_thumb::AluOp::Cmp, rdn: Reg::R0, rm: Reg::R1 });
+                // cmp; b<cond> Ltrue; movs r0,#0; b Lend; Ltrue: movs r0,#1.
+                self.emit(Instr::BCond { cond: cond_of(pred), offset: 2 });
+                self.emit(Instr::MovImm { rd: Reg::R0, imm8: 0 });
+                self.emit(Instr::B { offset: 0 });
+                self.emit(Instr::MovImm { rd: Reg::R0, imm8: 1 });
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Not { arg } => {
+                self.load_val(Reg::R0, arg)?;
+                self.emit(Instr::Alu { op: gd_thumb::AluOp::Mvn, rdn: Reg::R0, rm: Reg::R0 });
+                self.mask_reg(Reg::R0, ty);
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::IntToPtr { arg } => {
+                self.load_val(Reg::R0, arg)?;
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Cast { arg, to } => {
+                self.load_val(Reg::R0, arg)?;
+                self.mask_reg(Reg::R0, to);
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Alloca { .. } => {
+                let off = self.allocas[&id];
+                if !off.is_multiple_of(4) || off / 4 > 255 {
+                    return Err(LowerError::FrameTooLarge {
+                        func: self.func.name.clone(),
+                        bytes: off,
+                    });
+                }
+                self.emit(Instr::AddSpImm { rd: Reg::R0, imm8: (off / 4) as u8 });
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Load { ptr, ty: loaded, .. } => {
+                self.load_val(Reg::R0, ptr)?;
+                let width = width_of(loaded);
+                self.emit(Instr::LoadImm { width, rt: Reg::R0, rn: Reg::R0, imm5: 0 });
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Store { ptr, value, .. } => {
+                self.load_val(Reg::R0, value)?;
+                self.load_val(Reg::R1, ptr)?;
+                let width = width_of(self.func.ty(value));
+                self.emit(Instr::StoreImm { width, rt: Reg::R0, rn: Reg::R1, imm5: 0 });
+            }
+            Ir::GlobalAddr { name } => {
+                let addr = *symbols
+                    .get(&name)
+                    .ok_or(LowerError::UnknownCallee { name: name.clone() })?;
+                self.emit_const(Reg::R0, addr);
+                self.store_slot(Reg::R0, id)?;
+            }
+            Ir::Call { callee, args } => {
+                if args.len() > 4 {
+                    return Err(LowerError::TooManyArgs { callee, count: args.len() });
+                }
+                for (i, arg) in args.iter().enumerate() {
+                    self.load_val(Reg::new(i as u8).expect("arg reg"), *arg)?;
+                }
+                self.call_helper(&callee);
+                if ty != Ty::Void {
+                    self.store_slot(Reg::R0, id)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn call_helper(&mut self, callee: &str) {
+        self.call_fixups.push((self.code.len(), callee.to_owned()));
+        self.emit(Instr::Bl { offset: 0 });
+    }
+
+    fn mask_reg(&mut self, reg: Reg, ty: Ty) {
+        match ty {
+            Ty::I8 => self.emit(Instr::Uxtb { rd: reg, rm: reg }),
+            Ty::I16 => self.emit(Instr::Uxth { rd: reg, rm: reg }),
+            Ty::I1 => {
+                self.emit(Instr::MovImm { rd: Reg::R2, imm8: 1 });
+                self.emit(Instr::Alu { op: gd_thumb::AluOp::And, rdn: reg, rm: Reg::R2 });
+            }
+            _ => {}
+        }
+    }
+}
+
+fn width_of(ty: Ty) -> Width {
+    match ty {
+        Ty::I1 | Ty::I8 => Width::Byte,
+        Ty::I16 => Width::Half,
+        _ => Width::Word,
+    }
+}
+
+fn mask_ty(ty: Ty, v: i64) -> u32 {
+    match ty {
+        Ty::I1 => (v & 1) as u32,
+        Ty::I8 => (v & 0xFF) as u32,
+        Ty::I16 => (v & 0xFFFF) as u32,
+        _ => v as u32,
+    }
+}

@@ -1,0 +1,350 @@
+//! Control-flow analyses: predecessors, reverse postorder, dominator tree
+//! (Cooper–Harvey–Kennedy), and natural-loop detection.
+
+use std::collections::BTreeSet;
+
+use crate::core::{BlockId, Function};
+
+/// The control-flow graph of one function, with derived orderings.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// absent.
+    pub rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Cfg {
+        let n = func.block_count();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for bb in func.block_ids() {
+            if let Some(term) = &func.block(bb).term {
+                for succ in term.successors() {
+                    succs[bb.index()].push(succ);
+                    preds[succ.index()].push(bb);
+                }
+            }
+        }
+        // Postorder DFS from the entry.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        if n > 0 {
+            let mut stack = vec![(func.entry(), 0usize)];
+            visited[func.entry().index()] = true;
+            while let Some((bb, child)) = stack.pop() {
+                let children = &succs[bb.index()];
+                if child < children.len() {
+                    stack.push((bb, child + 1));
+                    let next = children[child];
+                    if !visited[next.index()] {
+                        visited[next.index()] = true;
+                        stack.push((next, 0));
+                    }
+                } else {
+                    postorder.push(bb);
+                }
+            }
+        }
+        let rpo: Vec<BlockId> = postorder.into_iter().rev().collect();
+        let mut rpo_index = vec![None; n];
+        for (i, bb) in rpo.iter().enumerate() {
+            rpo_index[bb.index()] = Some(i as u32);
+        }
+        Cfg { preds, succs, rpo, rpo_index }
+    }
+
+    /// Predecessors of a block.
+    pub fn preds(&self, bb: BlockId) -> &[BlockId] {
+        &self.preds[bb.index()]
+    }
+
+    /// Successors of a block.
+    pub fn succs(&self, bb: BlockId) -> &[BlockId] {
+        &self.succs[bb.index()]
+    }
+
+    /// Whether the block is reachable from the entry.
+    pub fn reachable(&self, bb: BlockId) -> bool {
+        self.rpo_index[bb.index()].is_some()
+    }
+}
+
+/// An immediate-dominator tree.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+}
+
+impl DomTree {
+    /// Computes dominators with the Cooper–Harvey–Kennedy iterative
+    /// algorithm over the reverse postorder.
+    pub fn compute(func: &Function, cfg: &Cfg) -> DomTree {
+        let n = func.block_count();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        if n == 0 || cfg.rpo.is_empty() {
+            return DomTree { idom };
+        }
+        let entry = cfg.rpo[0];
+        idom[entry.index()] = Some(entry);
+        let index_of = |bb: BlockId| cfg.rpo_index[bb.index()];
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bb in cfg.rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &pred in cfg.preds(bb) {
+                    if idom[pred.index()].is_none() {
+                        continue; // unreachable or not yet processed
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(current) => intersect(&idom, &index_of, pred, current),
+                    });
+                }
+                if let Some(nd) = new_idom {
+                    if idom[bb.index()] != Some(nd) {
+                        idom[bb.index()] = Some(nd);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // The entry's idom is conventionally itself; normalize to None for
+        // a cleaner API.
+        idom[entry.index()] = None;
+        DomTree { idom }
+    }
+
+    /// Immediate dominator (`None` for the entry and unreachable blocks).
+    pub fn idom(&self, bb: BlockId) -> Option<BlockId> {
+        self.idom[bb.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    index_of: &impl Fn(BlockId) -> Option<u32>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    // Walk both up the tree until they meet; comparison is by RPO index
+    // (smaller index = closer to the entry).
+    loop {
+        let (ia, ib) = match (index_of(a), index_of(b)) {
+            (Some(x), Some(y)) => (x, y),
+            _ => return a, // unreachable operands cannot occur for CHK inputs
+        };
+        if ia == ib {
+            return a;
+        }
+        if ia > ib {
+            a = idom[a.index()].expect("non-entry block has idom during intersect");
+        } else {
+            b = idom[b.index()].expect("non-entry block has idom during intersect");
+        }
+    }
+}
+
+/// A natural loop: a back edge `latch → header` where the header dominates
+/// the latch, plus the set of blocks in the loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header.
+    pub header: BlockId,
+    /// The source of the back edge.
+    pub latch: BlockId,
+    /// Every block in the loop (including header and latch).
+    pub body: BTreeSet<BlockId>,
+}
+
+impl NaturalLoop {
+    /// Whether `bb` belongs to this loop.
+    pub fn contains(&self, bb: BlockId) -> bool {
+        self.body.contains(&bb)
+    }
+}
+
+/// Finds all natural loops of `func`. Loops sharing a header appear as
+/// separate entries (one per back edge).
+pub fn natural_loops(func: &Function, cfg: &Cfg, dom: &DomTree) -> Vec<NaturalLoop> {
+    let mut loops = Vec::new();
+    for bb in func.block_ids() {
+        if !cfg.reachable(bb) {
+            continue;
+        }
+        for &succ in cfg.succs(bb) {
+            if dom.dominates(succ, bb) {
+                // Back edge bb → succ; flood fill backwards from the latch.
+                let header = succ;
+                let latch = bb;
+                let mut body: BTreeSet<BlockId> = [header, latch].into_iter().collect();
+                let mut stack = vec![latch];
+                while let Some(cur) = stack.pop() {
+                    if cur == header {
+                        continue;
+                    }
+                    for &p in cfg.preds(cur) {
+                        if body.insert(p) {
+                            stack.push(p);
+                        }
+                    }
+                }
+                loops.push(NaturalLoop { header, latch, body });
+            }
+        }
+    }
+    loops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::core::{Pred, Ty};
+
+    /// entry → header; header → (body | exit); body → header.
+    fn loop_func() -> Function {
+        let mut f = Function::new("spin", vec![Ty::Ptr], Ty::Void);
+        let entry = f.add_block("entry");
+        let header = f.add_block("header");
+        let body = f.add_block("body");
+        let exit = f.add_block("exit");
+        let p = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        b.br(header);
+        b.switch_to(header);
+        let v = b.load_volatile(p, Ty::I32);
+        let zero = b.const_i32(0);
+        let c = b.icmp(Pred::Ne, v, zero);
+        b.cond_br(c, body, exit);
+        b.switch_to(body);
+        b.br(header);
+        b.switch_to(exit);
+        b.ret(None);
+        f
+    }
+
+    #[test]
+    fn cfg_edges() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        let header = f.block_by_name("header").unwrap();
+        let body = f.block_by_name("body").unwrap();
+        let entry = f.block_by_name("entry").unwrap();
+        let exit = f.block_by_name("exit").unwrap();
+        assert_eq!(cfg.succs(header), &[body, exit]);
+        let mut preds = cfg.preds(header).to_vec();
+        preds.sort();
+        assert_eq!(preds, vec![entry, body]);
+        assert_eq!(cfg.rpo[0], entry);
+        assert!(cfg.reachable(exit));
+    }
+
+    #[test]
+    fn dominators_of_diamond() {
+        // entry → (a | b) → join.
+        let mut f = Function::new("d", vec![Ty::I32], Ty::Void);
+        let entry = f.add_block("entry");
+        let a = f.add_block("a");
+        let b_bb = f.add_block("b");
+        let join = f.add_block("join");
+        let p = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        let zero = b.const_i32(0);
+        let c = b.icmp(Pred::Eq, p, zero);
+        b.cond_br(c, a, b_bb);
+        b.switch_to(a);
+        b.br(join);
+        b.switch_to(b_bb);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(None);
+
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        assert_eq!(dom.idom(entry), None);
+        assert_eq!(dom.idom(a), Some(entry));
+        assert_eq!(dom.idom(b_bb), Some(entry));
+        assert_eq!(dom.idom(join), Some(entry), "join's idom skips the arms");
+        assert!(dom.dominates(entry, join));
+        assert!(!dom.dominates(a, join));
+        assert!(dom.dominates(join, join));
+    }
+
+    #[test]
+    fn natural_loop_detection() {
+        let f = loop_func();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let loops = natural_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        let l = &loops[0];
+        assert_eq!(l.header, f.block_by_name("header").unwrap());
+        assert_eq!(l.latch, f.block_by_name("body").unwrap());
+        assert_eq!(l.body.len(), 2);
+        assert!(!l.contains(f.block_by_name("exit").unwrap()));
+    }
+
+    #[test]
+    fn self_loop() {
+        let mut f = Function::new("s", vec![Ty::Ptr], Ty::Void);
+        let entry = f.add_block("entry");
+        let spin = f.add_block("spin");
+        let exit = f.add_block("exit");
+        let p = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        b.br(spin);
+        b.switch_to(spin);
+        let v = b.load_volatile(p, Ty::I32);
+        let zero = b.const_i32(0);
+        let c = b.icmp(Pred::Eq, v, zero);
+        b.cond_br(c, spin, exit);
+        b.switch_to(exit);
+        b.ret(None);
+
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&f, &cfg);
+        let loops = natural_loops(&f, &cfg, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, spin);
+        assert_eq!(loops[0].latch, spin);
+        assert_eq!(loops[0].body.len(), 1);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_flagged() {
+        let mut f = Function::new("u", vec![], Ty::Void);
+        let entry = f.add_block("entry");
+        let orphan = f.add_block("orphan");
+        let mut b = Builder::new(&mut f, entry);
+        b.ret(None);
+        b.switch_to(orphan);
+        b.ret(None);
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.reachable(entry));
+        assert!(!cfg.reachable(orphan));
+        let dom = DomTree::compute(&f, &cfg);
+        assert_eq!(dom.idom(orphan), None);
+        assert!(!dom.dominates(entry, orphan));
+    }
+}

@@ -1,0 +1,833 @@
+//! Core IR data model: types, values, instructions, blocks, functions,
+//! modules.
+//!
+//! The IR is a small typed SSA form shaped after the LLVM subset that
+//! GlitchResistor's passes reason about: integer arithmetic, comparisons,
+//! (volatile) loads and stores, calls, conditional branches, phis, and
+//! module-level globals / enum definitions.
+
+use core::fmt;
+
+/// A first-class IR type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// Boolean (comparison results).
+    I1,
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// Pointer (to any of the integer types; loads/stores carry the width).
+    Ptr,
+    /// No value (function returns, stores).
+    Void,
+}
+
+impl Ty {
+    /// Size in bytes when stored in memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Ty::Void`], which has no storage.
+    pub fn size(self) -> u32 {
+        match self {
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 | Ty::Ptr => 4,
+            Ty::Void => panic!("void has no size"),
+        }
+    }
+
+    /// Whether this is an integer type (including `i1`).
+    pub fn is_int(self) -> bool {
+        matches!(self, Ty::I1 | Ty::I8 | Ty::I16 | Ty::I32)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Ty::I1 => "i1",
+            Ty::I8 => "i8",
+            Ty::I16 => "i16",
+            Ty::I32 => "i32",
+            Ty::Ptr => "ptr",
+            Ty::Void => "void",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Identifier of a value inside one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub(crate) u32);
+
+impl ValueId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of a basic block inside one function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Binary integer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Logical shift right.
+    Lshr,
+    /// Arithmetic shift right.
+    Ashr,
+    /// Unsigned division (0 divisor yields 0, embedded-style).
+    Udiv,
+    /// Unsigned remainder (0 divisor yields the dividend).
+    Urem,
+}
+
+impl BinOp {
+    /// The text-format mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Lshr => "lshr",
+            BinOp::Ashr => "ashr",
+            BinOp::Udiv => "udiv",
+            BinOp::Urem => "urem",
+        }
+    }
+
+    /// All operations (text-format parsing).
+    pub const ALL: [BinOp; 11] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Lshr,
+        BinOp::Ashr,
+        BinOp::Udiv,
+        BinOp::Urem,
+    ];
+}
+
+/// Comparison predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+    /// Signed greater-than.
+    Sgt,
+    /// Signed greater-or-equal.
+    Sge,
+}
+
+impl Pred {
+    /// The predicate `p'` with `a p' b ⇔ !(a p b)`.
+    pub fn negate(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Ne,
+            Pred::Ne => Pred::Eq,
+            Pred::Ult => Pred::Uge,
+            Pred::Ule => Pred::Ugt,
+            Pred::Ugt => Pred::Ule,
+            Pred::Uge => Pred::Ult,
+            Pred::Slt => Pred::Sge,
+            Pred::Sle => Pred::Sgt,
+            Pred::Sgt => Pred::Sle,
+            Pred::Sge => Pred::Slt,
+        }
+    }
+
+    /// The predicate `p'` with `a p' b ⇔ b p a`.
+    pub fn swap(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Eq,
+            Pred::Ne => Pred::Ne,
+            Pred::Ult => Pred::Ugt,
+            Pred::Ule => Pred::Uge,
+            Pred::Ugt => Pred::Ult,
+            Pred::Uge => Pred::Ule,
+            Pred::Slt => Pred::Sgt,
+            Pred::Sle => Pred::Sge,
+            Pred::Sgt => Pred::Slt,
+            Pred::Sge => Pred::Sle,
+        }
+    }
+
+    /// The text-format mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Pred::Eq => "eq",
+            Pred::Ne => "ne",
+            Pred::Ult => "ult",
+            Pred::Ule => "ule",
+            Pred::Ugt => "ugt",
+            Pred::Uge => "uge",
+            Pred::Slt => "slt",
+            Pred::Sle => "sle",
+            Pred::Sgt => "sgt",
+            Pred::Sge => "sge",
+        }
+    }
+
+    /// All predicates (text-format parsing).
+    pub const ALL: [Pred; 10] = [
+        Pred::Eq,
+        Pred::Ne,
+        Pred::Ult,
+        Pred::Ule,
+        Pred::Ugt,
+        Pred::Uge,
+        Pred::Slt,
+        Pred::Sle,
+        Pred::Sgt,
+        Pred::Sge,
+    ];
+}
+
+/// A non-terminator instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// Binary arithmetic/logic on same-typed integers.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Comparison producing an `i1`.
+    Icmp {
+        /// Predicate.
+        pred: Pred,
+        /// Left operand.
+        lhs: ValueId,
+        /// Right operand.
+        rhs: ValueId,
+    },
+    /// Bitwise complement.
+    Not {
+        /// Operand.
+        arg: ValueId,
+    },
+    /// Integer width change.
+    Cast {
+        /// Operand.
+        arg: ValueId,
+        /// Destination type (truncation or zero-extension).
+        to: Ty,
+    },
+    /// Reinterpret an `i32` as a pointer (MMIO access, e.g. the GPIO
+    /// trigger register).
+    IntToPtr {
+        /// Operand (an `i32` address).
+        arg: ValueId,
+    },
+    /// Stack slot allocation; yields a pointer.
+    Alloca {
+        /// Pointee type.
+        ty: Ty,
+    },
+    /// Memory load.
+    Load {
+        /// Pointer operand.
+        ptr: ValueId,
+        /// Loaded type.
+        ty: Ty,
+        /// Volatile loads are never duplicated or elided by passes.
+        volatile: bool,
+    },
+    /// Memory store (no result).
+    Store {
+        /// Pointer operand.
+        ptr: ValueId,
+        /// Stored value.
+        value: ValueId,
+        /// Volatile stores are never duplicated or elided by passes.
+        volatile: bool,
+    },
+    /// Address of a module global; yields a pointer.
+    GlobalAddr {
+        /// Global name (no `@` sigil).
+        name: String,
+    },
+    /// Direct call by name.
+    Call {
+        /// Callee name (no `@` sigil).
+        callee: String,
+        /// Arguments.
+        args: Vec<ValueId>,
+    },
+    /// SSA phi node (must be at the head of its block).
+    Phi {
+        /// `(predecessor, value)` incomings.
+        incomings: Vec<(BlockId, ValueId)>,
+    },
+}
+
+impl Instr {
+    /// The value operands of this instruction.
+    pub fn operands(&self) -> Vec<ValueId> {
+        match self {
+            Instr::Bin { lhs, rhs, .. } | Instr::Icmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Instr::Not { arg } | Instr::Cast { arg, .. } | Instr::IntToPtr { arg } => vec![*arg],
+            Instr::Load { ptr, .. } => vec![*ptr],
+            Instr::Store { ptr, value, .. } => vec![*ptr, *value],
+            Instr::Call { args, .. } => args.clone(),
+            Instr::Phi { incomings } => incomings.iter().map(|(_, v)| *v).collect(),
+            Instr::Alloca { .. } | Instr::GlobalAddr { .. } => vec![],
+        }
+    }
+
+    /// Rewrites every operand equal to `from` into `to`.
+    pub fn replace_operand(&mut self, from: ValueId, to: ValueId) {
+        let swap = |v: &mut ValueId| {
+            if *v == from {
+                *v = to;
+            }
+        };
+        match self {
+            Instr::Bin { lhs, rhs, .. } | Instr::Icmp { lhs, rhs, .. } => {
+                swap(lhs);
+                swap(rhs);
+            }
+            Instr::Not { arg } | Instr::Cast { arg, .. } | Instr::IntToPtr { arg } => swap(arg),
+            Instr::Load { ptr, .. } => swap(ptr),
+            Instr::Store { ptr, value, .. } => {
+                swap(ptr);
+                swap(value);
+            }
+            Instr::Call { args, .. } => args.iter_mut().for_each(swap),
+            Instr::Phi { incomings } => incomings.iter_mut().for_each(|(_, v)| swap(v)),
+            Instr::Alloca { .. } | Instr::GlobalAddr { .. } => {}
+        }
+    }
+
+    /// Whether passes may duplicate this instruction. The paper excludes
+    /// volatile accesses, calls, and phis from branch-condition replication
+    /// (§VI-B): they may have side effects or change between evaluations.
+    pub fn replicable(&self) -> bool {
+        match self {
+            Instr::Load { volatile, .. } => !volatile,
+            Instr::Store { .. } | Instr::Call { .. } | Instr::Phi { .. } => false,
+            Instr::Alloca { .. } => false,
+            _ => true,
+        }
+    }
+}
+
+/// A block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional branch.
+    Br {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Two-way conditional branch on an `i1`.
+    CondBr {
+        /// Condition value.
+        cond: ValueId,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Ret {
+        /// Returned value (`None` for void functions).
+        value: Option<ValueId>,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Br { target } => vec![*target],
+            Terminator::CondBr { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// Rewrites successor `from` into `to`.
+    pub fn replace_successor(&mut self, from: BlockId, to: BlockId) {
+        match self {
+            Terminator::Br { target } => {
+                if *target == from {
+                    *target = to;
+                }
+            }
+            Terminator::CondBr { then_bb, else_bb, .. } => {
+                if *then_bb == from {
+                    *then_bb = to;
+                }
+                if *else_bb == from {
+                    *else_bb = to;
+                }
+            }
+            Terminator::Ret { .. } => {}
+        }
+    }
+}
+
+/// How a value is defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValueDef {
+    /// A function parameter.
+    Param {
+        /// Zero-based parameter index.
+        index: u32,
+    },
+    /// An integer constant.
+    Const {
+        /// The value, sign-extended to `i64`.
+        value: i64,
+        /// Optional provenance: this constant came from expanding an enum
+        /// variant — the hook the ENUM rewriter needs, standing in for the
+        /// Clang AST information the paper's source-level rewriter uses.
+        enum_ref: Option<EnumRef>,
+    },
+    /// An instruction result (or effect, for `void`-typed instructions).
+    Instr(Instr),
+}
+
+/// Provenance of a constant that came from an enum variant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnumRef {
+    /// The enum's name.
+    pub enum_name: String,
+    /// Index of the variant within the enum.
+    pub variant: u32,
+}
+
+/// A basic block: named, with ordered instructions and one terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Block label (unique within the function).
+    pub name: String,
+    /// Instruction values in execution order.
+    pub instrs: Vec<ValueId>,
+    /// The terminator (`None` only while under construction).
+    pub term: Option<Terminator>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name (no `@` sigil).
+    pub name: String,
+    /// Parameter types (parameter values are created automatically).
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+    values: Vec<(ValueDef, Ty)>,
+    blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Creates an empty function; parameters get values `v0..vN`.
+    pub fn new(name: &str, params: Vec<Ty>, ret: Ty) -> Function {
+        let values = params
+            .iter()
+            .enumerate()
+            .map(|(i, ty)| (ValueDef::Param { index: i as u32 }, *ty))
+            .collect();
+        Function { name: name.to_owned(), params, ret, values, blocks: Vec::new() }
+    }
+
+    /// The value for parameter `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn param(&self, index: usize) -> ValueId {
+        assert!(index < self.params.len(), "parameter index out of range");
+        ValueId(index as u32)
+    }
+
+    /// Appends a new empty block.
+    pub fn add_block(&mut self, name: &str) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block { name: name.to_owned(), instrs: Vec::new(), term: None });
+        id
+    }
+
+    /// The entry block (the first added).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a function with no blocks.
+    pub fn entry(&self) -> BlockId {
+        assert!(!self.blocks.is_empty(), "function has no blocks");
+        BlockId(0)
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// All block ids in creation order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Immutable block access.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable block access.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Looks a block up by label.
+    pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
+        self.blocks
+            .iter()
+            .position(|b| b.name == name)
+            .map(|i| BlockId(i as u32))
+    }
+
+    /// Number of values (params + constants + instruction results).
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All value ids in creation order.
+    pub fn value_ids(&self) -> impl Iterator<Item = ValueId> {
+        (0..self.values.len() as u32).map(ValueId)
+    }
+
+    /// The definition of a value.
+    pub fn value(&self, id: ValueId) -> &ValueDef {
+        &self.values[id.index()].0
+    }
+
+    /// Mutable definition access (passes rewriting operands).
+    pub fn value_mut(&mut self, id: ValueId) -> &mut ValueDef {
+        &mut self.values[id.index()].0
+    }
+
+    /// The type of a value.
+    pub fn ty(&self, id: ValueId) -> Ty {
+        self.values[id.index()].1
+    }
+
+    /// Interns a plain integer constant.
+    pub fn const_int(&mut self, ty: Ty, value: i64) -> ValueId {
+        self.intern_const(ty, value, None)
+    }
+
+    /// Interns a constant carrying enum provenance.
+    pub fn const_enum(&mut self, ty: Ty, value: i64, enum_ref: EnumRef) -> ValueId {
+        self.intern_const(ty, value, Some(enum_ref))
+    }
+
+    fn intern_const(&mut self, ty: Ty, value: i64, enum_ref: Option<EnumRef>) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push((ValueDef::Const { value, enum_ref }, ty));
+        id
+    }
+
+    /// Creates an instruction value without inserting it into a block.
+    /// Builders and passes insert the id into `block.instrs` themselves.
+    pub fn create_instr(&mut self, instr: Instr, ty: Ty) -> ValueId {
+        let id = ValueId(self.values.len() as u32);
+        self.values.push((ValueDef::Instr(instr), ty));
+        id
+    }
+
+    /// Replaces every use of `from` with `to` across instructions and
+    /// terminators ("replace all uses with").
+    pub fn replace_all_uses(&mut self, from: ValueId, to: ValueId) {
+        for i in 0..self.values.len() {
+            if let (ValueDef::Instr(instr), _) = &mut self.values[i] {
+                instr.replace_operand(from, to);
+            }
+        }
+        for block in &mut self.blocks {
+            if let Some(Terminator::CondBr { cond, .. }) = &mut block.term {
+                if *cond == from {
+                    *cond = to;
+                }
+            }
+            if let Some(Terminator::Ret { value: Some(v) }) = &mut block.term {
+                if *v == from {
+                    *v = to;
+                }
+            }
+        }
+    }
+
+    /// All `Ret` values in the function.
+    pub fn return_values(&self) -> Vec<Option<ValueId>> {
+        self.blocks
+            .iter()
+            .filter_map(|b| match &b.term {
+                Some(Terminator::Ret { value }) => Some(*value),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// A module-level global variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Global {
+    /// Name (no `@` sigil).
+    pub name: String,
+    /// Stored type.
+    pub ty: Ty,
+    /// Initial value (zero-initialized when 0; placed in `.data` otherwise).
+    pub init: i64,
+    /// Marked sensitive by the developer → protected by the data-integrity
+    /// defense (paper §VI-B-a).
+    pub sensitive: bool,
+}
+
+/// A C-style enum definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Variants: name plus explicit initializer if the source gave one.
+    pub variants: Vec<(String, Option<i64>)>,
+}
+
+impl EnumDef {
+    /// Whether every variant is uninitialized — the only enums the rewriter
+    /// touches (paper §VI-A-a).
+    pub fn fully_uninitialized(&self) -> bool {
+        self.variants.iter().all(|(_, init)| init.is_none())
+    }
+
+    /// The C-semantics value of a variant: explicit initializer, or previous
+    /// value + 1 (starting from 0).
+    pub fn value_of(&self, variant: u32) -> i64 {
+        let mut value = -1i64;
+        for (i, (_, init)) in self.variants.iter().enumerate() {
+            value = init.unwrap_or(value + 1);
+            if i as u32 == variant {
+                return value;
+            }
+        }
+        panic!("variant index {variant} out of range for enum {}", self.name);
+    }
+}
+
+/// An external function declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternDecl {
+    /// Name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Ty>,
+    /// Return type.
+    pub ret: Ty,
+}
+
+/// A compilation unit: globals, enums, extern declarations, functions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Global variables.
+    pub globals: Vec<Global>,
+    /// Enum definitions.
+    pub enums: Vec<EnumDef>,
+    /// External declarations (resolved at link/lowering time).
+    pub externs: Vec<ExternDecl>,
+    /// Function definitions.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new(name: &str) -> Module {
+        Module { name: name.to_owned(), ..Module::default() }
+    }
+
+    /// Adds a global, returning its name for convenience.
+    pub fn add_global(&mut self, global: Global) {
+        self.globals.push(global);
+    }
+
+    /// Looks up a global by name.
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Looks up a function by name.
+    pub fn func(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function mutably by name.
+    pub fn func_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.funcs.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up an enum by name.
+    pub fn enum_def(&self, name: &str) -> Option<&EnumDef> {
+        self.enums.iter().find(|e| e.name == name)
+    }
+
+    /// The signature (params, ret) of a callee: function or extern.
+    pub fn signature(&self, name: &str) -> Option<(Vec<Ty>, Ty)> {
+        if let Some(f) = self.func(name) {
+            return Some((f.params.clone(), f.ret));
+        }
+        self.externs
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| (e.params.clone(), e.ret))
+    }
+
+    /// Declares an external function (idempotent).
+    pub fn declare_extern(&mut self, name: &str, params: Vec<Ty>, ret: Ty) {
+        if !self.externs.iter().any(|e| e.name == name) {
+            self.externs.push(ExternDecl { name: name.to_owned(), params, ret });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes() {
+        assert_eq!(Ty::I8.size(), 1);
+        assert_eq!(Ty::I16.size(), 2);
+        assert_eq!(Ty::I32.size(), 4);
+        assert_eq!(Ty::Ptr.size(), 4);
+        assert!(Ty::I1.is_int());
+        assert!(!Ty::Ptr.is_int());
+    }
+
+    #[test]
+    fn pred_negate_covers_all() {
+        for p in Pred::ALL {
+            assert_ne!(p, p.negate());
+            assert_eq!(p, p.negate().negate());
+        }
+    }
+
+    #[test]
+    fn enum_c_semantics_values() {
+        let e = EnumDef {
+            name: "status".into(),
+            variants: vec![
+                ("A".into(), None),
+                ("B".into(), Some(10)),
+                ("C".into(), None),
+            ],
+        };
+        assert_eq!(e.value_of(0), 0);
+        assert_eq!(e.value_of(1), 10);
+        assert_eq!(e.value_of(2), 11);
+        assert!(!e.fully_uninitialized());
+    }
+
+    #[test]
+    fn function_value_bookkeeping() {
+        let mut f = Function::new("f", vec![Ty::I32, Ty::I32], Ty::I32);
+        assert_eq!(f.value_count(), 2);
+        let a = f.param(0);
+        let b = f.param(1);
+        let c = f.const_int(Ty::I32, 7);
+        let add = f.create_instr(Instr::Bin { op: BinOp::Add, lhs: a, rhs: c }, Ty::I32);
+        let bb = f.add_block("entry");
+        f.block_mut(bb).instrs.push(add);
+        f.block_mut(bb).term = Some(Terminator::Ret { value: Some(add) });
+        assert_eq!(f.ty(add), Ty::I32);
+        assert_eq!(f.entry(), bb);
+
+        // RAUW rewires the operand and the return.
+        f.replace_all_uses(add, b);
+        assert_eq!(f.return_values(), vec![Some(b)]);
+    }
+
+    #[test]
+    fn replace_operand_and_successor() {
+        let mut i = Instr::Bin { op: BinOp::Xor, lhs: ValueId(1), rhs: ValueId(1) };
+        i.replace_operand(ValueId(1), ValueId(9));
+        assert_eq!(i.operands(), vec![ValueId(9), ValueId(9)]);
+
+        let mut t = Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        t.replace_successor(BlockId(2), BlockId(5));
+        assert_eq!(t.successors(), vec![BlockId(1), BlockId(5)]);
+    }
+
+    #[test]
+    fn replicability_matches_paper_exclusions() {
+        assert!(Instr::Bin { op: BinOp::Add, lhs: ValueId(0), rhs: ValueId(1) }.replicable());
+        assert!(Instr::Load { ptr: ValueId(0), ty: Ty::I32, volatile: false }.replicable());
+        assert!(!Instr::Load { ptr: ValueId(0), ty: Ty::I32, volatile: true }.replicable());
+        assert!(!Instr::Call { callee: "f".into(), args: vec![] }.replicable());
+        assert!(!Instr::Phi { incomings: vec![] }.replicable());
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new("test");
+        m.add_global(Global { name: "tick".into(), ty: Ty::I32, init: 0, sensitive: true });
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        m.declare_extern("gr_detected", vec![], Ty::Void);
+        assert_eq!(m.externs.len(), 1);
+        assert!(m.global("tick").unwrap().sensitive);
+        assert_eq!(m.signature("gr_detected"), Some((vec![], Ty::Void)));
+        assert_eq!(m.signature("nope"), None);
+    }
+}

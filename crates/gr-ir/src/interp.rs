@@ -1,0 +1,592 @@
+//! A reference interpreter for the IR.
+//!
+//! Used throughout the test suite to show that defense passes are
+//! *semantics-preserving*: a module must compute the same results before
+//! and after instrumentation (the inserted checks never fire without a
+//! fault).
+
+use core::fmt;
+
+use crate::core::{BinOp, Function, Instr, Module, Pred, Terminator, Ty, ValueDef, ValueId};
+
+/// A runtime value: an integer or a pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtVal {
+    /// An integer (width tracked by the IR type system).
+    Int(i64),
+    /// A pointer to a global (by module index).
+    GlobalPtr(usize),
+    /// A pointer to an alloca slot (by interpreter slot index).
+    SlotPtr(usize),
+    /// A raw address (MMIO); the interpreter cannot dereference these.
+    RawPtr(u32),
+}
+
+impl RtVal {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics on pointers.
+    pub fn int(self) -> i64 {
+        match self {
+            RtVal::Int(v) => v,
+            other => panic!("expected integer, got {other:?}"),
+        }
+    }
+}
+
+/// Handler invoked for calls to external declarations.
+pub type ExternHandler<'a> = dyn FnMut(&str, &[RtVal]) -> RtVal + 'a;
+
+/// Interpreter failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// Function not found in the module.
+    UnknownFunction(String),
+    /// Execution exceeded the fuel budget (infinite loop guard).
+    OutOfFuel,
+    /// An integer was used where a pointer was needed (or vice versa).
+    BadPointer(String),
+    /// A value was read before being computed (verifier should prevent).
+    Uninitialized(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnknownFunction(n) => write!(f, "unknown function @{n}"),
+            InterpError::OutOfFuel => f.write_str("out of fuel"),
+            InterpError::BadPointer(m) => write!(f, "bad pointer: {m}"),
+            InterpError::Uninitialized(m) => write!(f, "uninitialized value: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The interpreter: module-level memory plus a fuel budget.
+///
+/// ```
+/// use gd_ir::{parse_module, Interpreter, RtVal};
+///
+/// let m = parse_module(
+///     "fn @triple(%x: i32) -> i32 {\n\
+///      entry:\n  %1 = mul i32 %x, 3\n  ret i32 %1\n}\n",
+/// )?;
+/// let mut interp = Interpreter::new(&m);
+/// let r = interp.run("triple", &[RtVal::Int(7)], &mut |_, _| RtVal::Int(0))?;
+/// assert_eq!(r, RtVal::Int(21));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    /// Current global values, index-aligned with `module.globals`.
+    pub globals: Vec<i64>,
+    slots: Vec<i64>,
+    /// Remaining instruction budget.
+    pub fuel: u64,
+    /// Names of extern functions called, in order.
+    pub extern_calls: Vec<String>,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter with globals at their initial values and a
+    /// default fuel budget of one million instructions.
+    pub fn new(module: &'m Module) -> Interpreter<'m> {
+        Interpreter {
+            module,
+            globals: module.globals.iter().map(|g| g.init).collect(),
+            slots: Vec::new(),
+            fuel: 1_000_000,
+            extern_calls: Vec::new(),
+        }
+    }
+
+    /// Reads a global by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn global(&self, name: &str) -> i64 {
+        let idx = self
+            .module
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("unknown global @{name}"));
+        self.globals[idx]
+    }
+
+    /// Writes a global by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global does not exist.
+    pub fn set_global(&mut self, name: &str, value: i64) {
+        let idx = self
+            .module
+            .globals
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("unknown global @{name}"));
+        self.globals[idx] = value;
+    }
+
+    /// Calls `name` with `args`; extern calls go to `handler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError`] for unknown functions, fuel exhaustion, and
+    /// pointer misuse.
+    pub fn run(
+        &mut self,
+        name: &str,
+        args: &[RtVal],
+        handler: &mut dyn FnMut(&str, &[RtVal]) -> RtVal,
+    ) -> Result<RtVal, InterpError> {
+        let func = self
+            .module
+            .func(name)
+            .ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
+        self.exec(func, args, handler)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec(
+        &mut self,
+        func: &Function,
+        args: &[RtVal],
+        handler: &mut dyn FnMut(&str, &[RtVal]) -> RtVal,
+    ) -> Result<RtVal, InterpError> {
+        let mut locals: Vec<Option<RtVal>> = vec![None; func.value_count()];
+        // Pre-populate params and constants.
+        for id in func.value_ids() {
+            match func.value(id) {
+                ValueDef::Param { index } => {
+                    locals[id.index()] = Some(*args.get(*index as usize).unwrap_or(&RtVal::Int(0)));
+                }
+                ValueDef::Const { value, .. } => {
+                    locals[id.index()] = Some(RtVal::Int(*value));
+                }
+                ValueDef::Instr(_) => {}
+            }
+        }
+        let read = |locals: &[Option<RtVal>], v: ValueId| -> Result<RtVal, InterpError> {
+            locals[v.index()]
+                .ok_or_else(|| InterpError::Uninitialized(format!("%{}", v.index())))
+        };
+
+        let mut prev = None;
+        let mut cur = func.entry();
+        loop {
+            // Terminators cost fuel too, so empty self-loops still halt.
+            self.fuel = self.fuel.checked_sub(1).ok_or(InterpError::OutOfFuel)?;
+            // Phis evaluate simultaneously from the edge.
+            let block = func.block(cur);
+            let mut phi_updates = Vec::new();
+            for &id in &block.instrs {
+                if let ValueDef::Instr(Instr::Phi { incomings }) = func.value(id) {
+                    let from = prev.ok_or_else(|| {
+                        InterpError::Uninitialized(format!(
+                            "phi %{} in entry block",
+                            id.index()
+                        ))
+                    })?;
+                    let (_, v) = incomings
+                        .iter()
+                        .find(|(bb, _)| *bb == from)
+                        .ok_or_else(|| {
+                            InterpError::Uninitialized(format!(
+                                "phi %{} missing incoming",
+                                id.index()
+                            ))
+                        })?;
+                    phi_updates.push((id, read(&locals, *v)?));
+                } else {
+                    break;
+                }
+            }
+            for (id, v) in phi_updates {
+                locals[id.index()] = Some(v);
+            }
+
+            for &id in &block.instrs {
+                self.fuel = self.fuel.checked_sub(1).ok_or(InterpError::OutOfFuel)?;
+                let ValueDef::Instr(instr) = func.value(id) else { unreachable!() };
+                let result: Option<RtVal> = match instr {
+                    Instr::Phi { .. } => None, // handled above
+                    Instr::Bin { op, lhs, rhs } => {
+                        let ty = func.ty(id);
+                        let a = read(&locals, *lhs)?.int();
+                        let b = read(&locals, *rhs)?.int();
+                        Some(RtVal::Int(eval_bin(*op, ty, a, b)))
+                    }
+                    Instr::Icmp { pred, lhs, rhs } => {
+                        let ty = func.ty(*lhs);
+                        let a = read(&locals, *lhs)?.int();
+                        let b = read(&locals, *rhs)?.int();
+                        Some(RtVal::Int(i64::from(eval_icmp(*pred, ty, a, b))))
+                    }
+                    Instr::Not { arg } => {
+                        let ty = func.ty(id);
+                        let a = read(&locals, *arg)?.int();
+                        Some(RtVal::Int(mask(ty, !a)))
+                    }
+                    Instr::IntToPtr { arg } => {
+                        let a = read(&locals, *arg)?.int();
+                        Some(RtVal::RawPtr(a as u32))
+                    }
+                    Instr::Cast { arg, to } => {
+                        let a = read(&locals, *arg)?.int();
+                        Some(RtVal::Int(mask(*to, a)))
+                    }
+                    Instr::Alloca { .. } => {
+                        self.slots.push(0);
+                        Some(RtVal::SlotPtr(self.slots.len() - 1))
+                    }
+                    Instr::Load { ptr, ty, .. } => {
+                        let raw = match read(&locals, *ptr)? {
+                            RtVal::GlobalPtr(i) => self.globals[i],
+                            RtVal::SlotPtr(i) => self.slots[i],
+                            RtVal::RawPtr(_) => 0, // MMIO reads as zero here
+                            RtVal::Int(v) => {
+                                return Err(InterpError::BadPointer(format!(
+                                    "load through integer {v}"
+                                )))
+                            }
+                        };
+                        Some(RtVal::Int(mask(*ty, raw)))
+                    }
+                    Instr::Store { ptr, value, .. } => {
+                        let v = read(&locals, *value)?.int();
+                        match read(&locals, *ptr)? {
+                            RtVal::GlobalPtr(i) => self.globals[i] = v,
+                            RtVal::SlotPtr(i) => self.slots[i] = v,
+                            RtVal::RawPtr(_) => {} // MMIO writes are dropped here
+                            RtVal::Int(x) => {
+                                return Err(InterpError::BadPointer(format!(
+                                    "store through integer {x}"
+                                )))
+                            }
+                        }
+                        None
+                    }
+                    Instr::GlobalAddr { name } => {
+                        let idx = self
+                            .module
+                            .globals
+                            .iter()
+                            .position(|g| g.name == *name)
+                            .ok_or_else(|| {
+                                InterpError::BadPointer(format!("unknown global @{name}"))
+                            })?;
+                        Some(RtVal::GlobalPtr(idx))
+                    }
+                    Instr::Call { callee, args: call_args } => {
+                        let mut vals = Vec::with_capacity(call_args.len());
+                        for a in call_args {
+                            vals.push(read(&locals, *a)?);
+                        }
+                        if let Some(inner) = self.module.func(callee) {
+                            Some(self.exec(inner, &vals, handler)?)
+                        } else {
+                            self.extern_calls.push(callee.clone());
+                            Some(handler(callee, &vals))
+                        }
+                    }
+                };
+                if let Some(v) = result {
+                    locals[id.index()] = Some(v);
+                }
+            }
+
+            match block.term.as_ref().expect("verified function") {
+                Terminator::Br { target } => {
+                    prev = Some(cur);
+                    cur = *target;
+                }
+                Terminator::CondBr { cond, then_bb, else_bb } => {
+                    let c = read(&locals, *cond)?.int();
+                    prev = Some(cur);
+                    cur = if c != 0 { *then_bb } else { *else_bb };
+                }
+                Terminator::Ret { value } => {
+                    return Ok(match value {
+                        Some(v) => read(&locals, *v)?,
+                        None => RtVal::Int(0),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Zero-extends `v` to the width of `ty` (the canonical in-register form).
+fn mask(ty: Ty, v: i64) -> i64 {
+    match ty {
+        Ty::I1 => v & 1,
+        Ty::I8 => v & 0xFF,
+        Ty::I16 => v & 0xFFFF,
+        Ty::I32 | Ty::Ptr => v & 0xFFFF_FFFF,
+        Ty::Void => 0,
+    }
+}
+
+fn sext(ty: Ty, v: i64) -> i64 {
+    match ty {
+        Ty::I1 => {
+            if v & 1 != 0 {
+                -1
+            } else {
+                0
+            }
+        }
+        Ty::I8 => v as u8 as i8 as i64,
+        Ty::I16 => v as u16 as i16 as i64,
+        _ => v as u32 as i32 as i64,
+    }
+}
+
+fn eval_bin(op: BinOp, ty: Ty, a: i64, b: i64) -> i64 {
+    let (ua, ub) = (mask(ty, a) as u64, mask(ty, b) as u64);
+    let bits = ty.size() * 8;
+    let raw = match op {
+        BinOp::Add => ua.wrapping_add(ub),
+        BinOp::Sub => ua.wrapping_sub(ub),
+        BinOp::Mul => ua.wrapping_mul(ub),
+        BinOp::And => ua & ub,
+        BinOp::Or => ua | ub,
+        BinOp::Xor => ua ^ ub,
+        BinOp::Shl => {
+            if ub >= u64::from(bits) {
+                0
+            } else {
+                ua << ub
+            }
+        }
+        BinOp::Lshr => {
+            if ub >= u64::from(bits) {
+                0
+            } else {
+                ua >> ub
+            }
+        }
+        BinOp::Ashr => {
+            let sa = sext(ty, a);
+            if ub >= u64::from(bits) {
+                if sa < 0 {
+                    u64::MAX
+                } else {
+                    0
+                }
+            } else {
+                (sa >> ub) as u64
+            }
+        }
+        // Embedded-friendly total division: /0 → 0, %0 → dividend.
+        BinOp::Udiv => ua.checked_div(ub).unwrap_or(0),
+        BinOp::Urem => {
+            if ub == 0 {
+                ua
+            } else {
+                ua % ub
+            }
+        }
+    };
+    mask(ty, raw as i64)
+}
+
+fn eval_icmp(pred: Pred, ty: Ty, a: i64, b: i64) -> bool {
+    let (ua, ub) = (mask(ty, a) as u64, mask(ty, b) as u64);
+    let (sa, sb) = (sext(ty, a), sext(ty, b));
+    match pred {
+        Pred::Eq => ua == ub,
+        Pred::Ne => ua != ub,
+        Pred::Ult => ua < ub,
+        Pred::Ule => ua <= ub,
+        Pred::Ugt => ua > ub,
+        Pred::Uge => ua >= ub,
+        Pred::Slt => sa < sb,
+        Pred::Sle => sa <= sb,
+        Pred::Sgt => sa > sb,
+        Pred::Sge => sa >= sb,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_module;
+
+    fn run(src: &str, func: &str, args: &[i64]) -> i64 {
+        let m = parse_module(src).unwrap();
+        crate::verify::verify_module(&m).unwrap();
+        let mut i = Interpreter::new(&m);
+        let args: Vec<RtVal> = args.iter().map(|&v| RtVal::Int(v)).collect();
+        i.run(func, &args, &mut |_, _| RtVal::Int(0)).unwrap().int()
+    }
+
+    #[test]
+    fn arithmetic_and_width_wrapping() {
+        let src = "
+fn @f(%a: i32, %b: i32) -> i32 {
+entry:
+  %1 = add i32 %a, %b
+  ret i32 %1
+}
+";
+        assert_eq!(run(src, "f", &[2, 3]), 5);
+        assert_eq!(run(src, "f", &[0xFFFF_FFFF, 1]), 0, "i32 wraps");
+
+        let src8 = "
+fn @f(%a: i8) -> i8 {
+entry:
+  %1 = add i8 %a, 1
+  ret i8 %1
+}
+";
+        assert_eq!(run(src8, "f", &[255]), 0, "i8 wraps");
+    }
+
+    #[test]
+    fn signed_vs_unsigned_compare() {
+        let src = "
+fn @slt(%a: i32, %b: i32) -> i1 {
+entry:
+  %1 = icmp slt i32 %a, %b
+  ret i1 %1
+}
+";
+        assert_eq!(run(src, "slt", &[0xFFFF_FFFF, 0]), 1, "-1 < 0 signed");
+        let src = "
+fn @ult(%a: i32, %b: i32) -> i1 {
+entry:
+  %1 = icmp ult i32 %a, %b
+  ret i1 %1
+}
+";
+        assert_eq!(run(src, "ult", &[0xFFFF_FFFF, 0]), 0, "0xFFFFFFFF > 0 unsigned");
+    }
+
+    #[test]
+    fn loops_with_phi() {
+        let src = "
+fn @sum(%n: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, loop ]
+  %acc = phi i32 [ 0, entry ], [ %acc2, loop ]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %c = icmp ule i32 %i2, %n
+  br %c, loop, done
+done:
+  ret i32 %acc2
+}
+";
+        assert_eq!(run(src, "sum", &[5]), 1 + 2 + 3 + 4 + 5);
+    }
+
+    #[test]
+    fn globals_and_allocas() {
+        let src = "
+global @g : i32 = 10
+fn @f(%x: i32) -> i32 {
+entry:
+  %p = globaladdr @g
+  %v = load i32, %p
+  %s = alloca i32
+  store i32 %x, %s
+  %w = load i32, %s
+  %r = add i32 %v, %w
+  store i32 %r, %p
+  ret i32 %r
+}
+";
+        let m = parse_module(src).unwrap();
+        let mut i = Interpreter::new(&m);
+        let r = i.run("f", &[RtVal::Int(7)], &mut |_, _| RtVal::Int(0)).unwrap().int();
+        assert_eq!(r, 17);
+        assert_eq!(i.global("g"), 17, "store to the global persists");
+    }
+
+    #[test]
+    fn internal_and_external_calls() {
+        let src = "
+declare @ext(i32) -> i32
+fn @helper(%x: i32) -> i32 {
+entry:
+  %1 = mul i32 %x, 2
+  ret i32 %1
+}
+fn @main(%x: i32) -> i32 {
+entry:
+  %1 = call i32 @helper(%x)
+  %2 = call i32 @ext(%1)
+  ret i32 %2
+}
+";
+        let m = parse_module(src).unwrap();
+        let mut i = Interpreter::new(&m);
+        let r = i
+            .run("main", &[RtVal::Int(21)], &mut |name, args| {
+                assert_eq!(name, "ext");
+                RtVal::Int(args[0].int() + 1)
+            })
+            .unwrap()
+            .int();
+        assert_eq!(r, 43);
+        assert_eq!(i.extern_calls, vec!["ext"]);
+    }
+
+    #[test]
+    fn fuel_stops_infinite_loops() {
+        let src = "
+fn @spin() -> void {
+entry:
+  br entry
+}
+";
+        let m = parse_module(src).unwrap();
+        let mut i = Interpreter::new(&m);
+        i.fuel = 1000;
+        let err = i.run("spin", &[], &mut |_, _| RtVal::Int(0)).unwrap_err();
+        assert_eq!(err, InterpError::OutOfFuel);
+    }
+
+    #[test]
+    fn not_and_cast() {
+        let src = "
+fn @f(%x: i32) -> i32 {
+entry:
+  %1 = not i32 %x
+  ret i32 %1
+}
+";
+        assert_eq!(run(src, "f", &[0]), 0xFFFF_FFFF);
+        let src = "
+fn @f(%x: i32) -> i8 {
+entry:
+  %1 = cast i32 %x to i8
+  ret i8 %1
+}
+";
+        assert_eq!(run(src, "f", &[0x1234]), 0x34);
+    }
+
+    #[test]
+    fn division_is_total() {
+        let src = "
+fn @f(%a: i32, %b: i32) -> i32 {
+entry:
+  %1 = udiv i32 %a, %b
+  ret i32 %1
+}
+";
+        assert_eq!(run(src, "f", &[10, 3]), 3);
+        assert_eq!(run(src, "f", &[10, 0]), 0, "division by zero yields 0");
+    }
+}

@@ -1,0 +1,41 @@
+//! # gd-ir — a small typed SSA IR (the LLVM-subset substrate)
+//!
+//! GlitchResistor's defenses are compiler passes. This crate provides the
+//! compiler infrastructure they run on: a typed SSA IR with exactly the
+//! constructs the paper's passes reason about — conditional branches,
+//! (volatile) loads and stores, calls, phis, enum-provenance constants —
+//! plus the supporting analyses (CFG, dominators, natural loops), a
+//! verifier, a reference interpreter, and a round-tripping text format.
+//!
+//! ```
+//! use gd_ir::parse_module;
+//!
+//! let m = parse_module(
+//!     "fn @double(%x: i32) -> i32 {\n\
+//!      entry:\n  %1 = add i32 %x, %x\n  ret i32 %1\n}\n",
+//! )?;
+//! assert_eq!(m.funcs.len(), 1);
+//! # Ok::<(), gd_ir::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod analysis;
+mod builder;
+mod core;
+mod interp;
+mod parse;
+mod print;
+mod verify;
+
+pub use analysis::{natural_loops, Cfg, DomTree, NaturalLoop};
+pub use builder::Builder;
+pub use core::{
+    BinOp, Block, BlockId, EnumDef, EnumRef, ExternDecl, Function, Global, Instr, Module, Pred,
+    Terminator, Ty, ValueDef, ValueId,
+};
+pub use interp::{ExternHandler, InterpError, Interpreter, RtVal};
+pub use parse::{parse_module, ParseError};
+pub use print::{print_function, print_module};
+pub use verify::{verify_function, verify_module, VerifyError};

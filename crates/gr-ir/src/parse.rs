@@ -1,0 +1,775 @@
+//! Textual IR input: parses the format emitted by [`crate::print`].
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::core::{
+    BinOp, BlockId, EnumDef, EnumRef, ExternDecl, Function, Global, Instr, Module, Pred,
+    Terminator, Ty, ValueId,
+};
+
+/// Error produced while parsing IR text, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line (0 for end-of-input errors).
+    pub line: usize,
+    /// Explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IR parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a module from its textual form.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] for malformed syntax, unknown types/opcodes, and
+/// references to undefined values, blocks, or enums.
+pub fn parse_module(text: &str) -> Result<Module, ParseError> {
+    Parser::new(text).module()
+}
+
+struct Parser<'t> {
+    lines: Vec<(usize, &'t str)>,
+    pos: usize,
+}
+
+struct FnCtx {
+    values: HashMap<String, ValueId>,
+    blocks: HashMap<String, BlockId>,
+    /// (line, block, kind, textual instruction, pre-created result slot).
+    pending: Vec<(usize, BlockId, PendingKind, String, Option<ValueId>)>,
+}
+
+enum PendingKind {
+    Instr,
+    Term,
+}
+
+/// Result type of a producing instruction, read off the annotation — enough
+/// to pre-create placeholder values so later lines can reference them
+/// (forward references, phi back-edges).
+fn result_ty(line: usize, body: &str) -> Result<Ty, ParseError> {
+    let mut words = body.split_whitespace();
+    let opcode = words.next().unwrap_or_default();
+    if BinOp::ALL.iter().any(|o| o.mnemonic() == opcode) {
+        return parse_ty(line, words.next().unwrap_or_default());
+    }
+    match opcode {
+        "icmp" => Ok(Ty::I1),
+        "inttoptr" => Ok(Ty::Ptr),
+        "alloca" | "globaladdr" => {
+            if opcode == "alloca" {
+                parse_ty(line, words.next().unwrap_or_default())?;
+            }
+            Ok(Ty::Ptr)
+        }
+        "not" | "phi" | "call" => parse_ty(line, words.next().unwrap_or_default()),
+        "load" => {
+            let mut w = words.peekable();
+            let first = w.next().unwrap_or_default();
+            let tytext = if first == "volatile" { w.next().unwrap_or_default() } else { first };
+            parse_ty(line, tytext.trim_end_matches(','))
+        }
+        "cast" => {
+            let to = body.rsplit(" to ").next().unwrap_or_default();
+            parse_ty(line, to.trim())
+        }
+        other => Err(Parser::err(line, format!("unknown opcode `{other}`"))),
+    }
+}
+
+impl<'t> Parser<'t> {
+    fn new(text: &'t str) -> Parser<'t> {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let l = l.split(';').next().unwrap_or("");
+                (i + 1, l.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'t str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'t str)> {
+        let item = self.peek();
+        self.pos += 1;
+        item
+    }
+
+    fn err(line: usize, msg: impl Into<String>) -> ParseError {
+        ParseError { line, msg: msg.into() }
+    }
+
+    fn module(&mut self) -> Result<Module, ParseError> {
+        let mut module = Module::default();
+        while let Some((line, text)) = self.peek() {
+            if let Some(rest) = text.strip_prefix("module ") {
+                module.name = rest.trim().to_owned();
+                self.pos += 1;
+            } else if text.starts_with("global ") {
+                module.globals.push(self.global(line, text)?);
+                self.pos += 1;
+            } else if text.starts_with("enum ") {
+                module.enums.push(self.enum_def(line, text)?);
+                self.pos += 1;
+            } else if text.starts_with("declare ") {
+                module.externs.push(self.extern_decl(line, text)?);
+                self.pos += 1;
+            } else if text.starts_with("fn ") {
+                let f = self.function(&module)?;
+                module.funcs.push(f);
+            } else {
+                return Err(Self::err(line, format!("unexpected `{text}`")));
+            }
+        }
+        Ok(module)
+    }
+
+    fn global(&self, line: usize, text: &str) -> Result<Global, ParseError> {
+        // global @name : ty = init [sensitive]
+        let rest = text.strip_prefix("global ").expect("caller checked");
+        let (name, rest) = rest
+            .split_once(':')
+            .ok_or_else(|| Self::err(line, "expected `:` in global"))?;
+        let name = name
+            .trim()
+            .strip_prefix('@')
+            .ok_or_else(|| Self::err(line, "global name needs `@`"))?
+            .to_owned();
+        let (ty, rest) = rest
+            .split_once('=')
+            .ok_or_else(|| Self::err(line, "expected `=` in global"))?;
+        let ty = parse_ty(line, ty.trim())?;
+        let mut parts = rest.split_whitespace();
+        let init: i64 = parts
+            .next()
+            .and_then(parse_int)
+            .ok_or_else(|| Self::err(line, "bad global initializer"))?;
+        let sensitive = match parts.next() {
+            None => false,
+            Some("sensitive") => true,
+            Some(other) => return Err(Self::err(line, format!("unexpected `{other}`"))),
+        };
+        Ok(Global { name, ty, init, sensitive })
+    }
+
+    fn enum_def(&self, line: usize, text: &str) -> Result<EnumDef, ParseError> {
+        // enum Name { A, B = 3, C }
+        let rest = text.strip_prefix("enum ").expect("caller checked");
+        let (name, rest) = rest
+            .split_once('{')
+            .ok_or_else(|| Self::err(line, "expected `{` in enum"))?;
+        let body = rest
+            .strip_suffix('}')
+            .ok_or_else(|| Self::err(line, "expected `}` closing enum"))?;
+        let mut variants = Vec::new();
+        for part in body.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some((vname, init)) = part.split_once('=') {
+                let value = parse_int(init.trim())
+                    .ok_or_else(|| Self::err(line, format!("bad initializer `{init}`")))?;
+                variants.push((vname.trim().to_owned(), Some(value)));
+            } else {
+                variants.push((part.to_owned(), None));
+            }
+        }
+        Ok(EnumDef { name: name.trim().to_owned(), variants })
+    }
+
+    fn extern_decl(&self, line: usize, text: &str) -> Result<ExternDecl, ParseError> {
+        // declare @name(ty, ty) -> ty
+        let rest = text.strip_prefix("declare ").expect("caller checked");
+        let (sig, ret) = rest
+            .split_once("->")
+            .ok_or_else(|| Self::err(line, "expected `->` in declare"))?;
+        let (name, params) = sig
+            .split_once('(')
+            .ok_or_else(|| Self::err(line, "expected `(` in declare"))?;
+        let name = name
+            .trim()
+            .strip_prefix('@')
+            .ok_or_else(|| Self::err(line, "extern name needs `@`"))?
+            .to_owned();
+        let params = params
+            .trim()
+            .strip_suffix(')')
+            .ok_or_else(|| Self::err(line, "expected `)` in declare"))?;
+        let params = params
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|t| parse_ty(line, t))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ExternDecl { name, params, ret: parse_ty(line, ret.trim())? })
+    }
+
+    fn function(&mut self, module: &Module) -> Result<Function, ParseError> {
+        let (line, header) = self.next().expect("caller checked");
+        // fn @name(%0: ty, ...) -> ty {
+        let rest = header
+            .strip_prefix("fn ")
+            .and_then(|r| r.trim_end().strip_suffix('{'))
+            .ok_or_else(|| Self::err(line, "malformed function header"))?;
+        let (sig, ret) = rest
+            .split_once("->")
+            .ok_or_else(|| Self::err(line, "expected `->` in function header"))?;
+        let (name, params_text) = sig
+            .split_once('(')
+            .ok_or_else(|| Self::err(line, "expected `(` in function header"))?;
+        let name = name
+            .trim()
+            .strip_prefix('@')
+            .ok_or_else(|| Self::err(line, "function name needs `@`"))?;
+        let params_text = params_text
+            .trim()
+            .strip_suffix(')')
+            .ok_or_else(|| Self::err(line, "expected `)` in function header"))?;
+        let mut param_names = Vec::new();
+        let mut param_tys = Vec::new();
+        for p in params_text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (pname, pty) = p
+                .split_once(':')
+                .ok_or_else(|| Self::err(line, "parameter needs `name: ty`"))?;
+            let pname = pname
+                .trim()
+                .strip_prefix('%')
+                .ok_or_else(|| Self::err(line, "parameter name needs `%`"))?;
+            param_names.push(pname.to_owned());
+            param_tys.push(parse_ty(line, pty.trim())?);
+        }
+        let ret = parse_ty(line, ret.trim())?;
+        let mut func = Function::new(name, param_tys, ret);
+        let mut ctx = FnCtx {
+            values: param_names
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (n.clone(), func.param(i)))
+                .collect(),
+            blocks: HashMap::new(),
+            pending: Vec::new(),
+        };
+
+        // Pass 1: structure — blocks and raw lines.
+        let mut current: Option<BlockId> = None;
+        loop {
+            let (line, text) = self
+                .next()
+                .ok_or_else(|| Self::err(0, "unexpected end of input inside function"))?;
+            if text == "}" {
+                break;
+            }
+            if let Some(label) = text.strip_suffix(':') {
+                let bb = func.add_block(label.trim());
+                if ctx.blocks.insert(label.trim().to_owned(), bb).is_some() {
+                    return Err(Self::err(line, format!("duplicate block `{label}`")));
+                }
+                current = Some(bb);
+                continue;
+            }
+            let bb =
+                current.ok_or_else(|| Self::err(line, "instruction before first block label"))?;
+            let kind = if text.starts_with("br ") || text.starts_with("ret") {
+                PendingKind::Term
+            } else {
+                PendingKind::Instr
+            };
+            // Pre-create a placeholder value for producing instructions so
+            // forward references (e.g. phi back-edges) resolve.
+            let slot = match (&kind, text.split_once('=')) {
+                (PendingKind::Instr, Some((dest, body)))
+                    if dest.trim_start().starts_with('%') =>
+                {
+                    let name = dest.trim().trim_start_matches('%').to_owned();
+                    let ty = result_ty(line, body.trim())?;
+                    let id = func
+                        .create_instr(Instr::GlobalAddr { name: "<pending>".into() }, ty);
+                    if ctx.values.insert(name.clone(), id).is_some() {
+                        return Err(Self::err(line, format!("value `%{name}` redefined")));
+                    }
+                    Some(id)
+                }
+                _ => None,
+            };
+            ctx.pending.push((line, bb, kind, text.to_owned(), slot));
+        }
+
+        // Pass 2: instructions, now that every block label is known. Values
+        // are defined strictly top-to-bottom, matching printer output.
+        for i in 0..ctx.pending.len() {
+            let line = ctx.pending[i].0;
+            let bb = ctx.pending[i].1;
+            let text = ctx.pending[i].3.clone();
+            let slot = ctx.pending[i].4;
+            match ctx.pending[i].2 {
+                PendingKind::Instr => {
+                    self.instr(line, &text, bb, slot, &mut func, &mut ctx, module)?
+                }
+                PendingKind::Term => {
+                    self.terminator(line, &text, bb, &mut func, &mut ctx, module)?
+                }
+            }
+        }
+        Ok(func)
+    }
+
+    #[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+    fn instr(
+        &self,
+        line: usize,
+        text: &str,
+        bb: BlockId,
+        slot: Option<ValueId>,
+        func: &mut Function,
+        ctx: &mut FnCtx,
+        module: &Module,
+    ) -> Result<(), ParseError> {
+        let body = match text.split_once('=') {
+            Some((d, b)) if d.trim_start().starts_with('%') => b.trim(),
+            _ => text.trim(),
+        };
+        let mut words = body.split_whitespace();
+        let opcode = words.next().ok_or_else(|| Self::err(line, "empty instruction"))?;
+        let rest = body[opcode.len()..].trim();
+
+        let (instr, ty): (Instr, Ty) = if let Some(op) =
+            BinOp::ALL.iter().find(|o| o.mnemonic() == opcode)
+        {
+            // add i32 %a, %b
+            let (ty, args) = rest
+                .split_once(' ')
+                .ok_or_else(|| Self::err(line, "binop needs a type"))?;
+            let ty = parse_ty(line, ty)?;
+            let (lhs, rhs) = split2(line, args)?;
+            let lhs = self.operand(line, &lhs, ty, func, ctx, module)?;
+            let rhs = self.operand(line, &rhs, ty, func, ctx, module)?;
+            (Instr::Bin { op: *op, lhs, rhs }, ty)
+        } else {
+            match opcode {
+                "icmp" => {
+                    // icmp eq i32 %a, 0
+                    let mut parts = rest.splitn(3, ' ');
+                    let pred_text = parts.next().unwrap_or_default();
+                    let pred = Pred::ALL
+                        .iter()
+                        .find(|p| p.mnemonic() == pred_text)
+                        .ok_or_else(|| Self::err(line, format!("bad predicate `{pred_text}`")))?;
+                    let ty = parse_ty(line, parts.next().unwrap_or_default())?;
+                    let (lhs, rhs) = split2(line, parts.next().unwrap_or_default())?;
+                    let lhs = self.operand(line, &lhs, ty, func, ctx, module)?;
+                    let rhs = self.operand(line, &rhs, ty, func, ctx, module)?;
+                    (Instr::Icmp { pred: *pred, lhs, rhs }, Ty::I1)
+                }
+                "not" => {
+                    let (ty, arg) =
+                        rest.split_once(' ').ok_or_else(|| Self::err(line, "not needs a type"))?;
+                    let ty = parse_ty(line, ty)?;
+                    let arg = self.operand(line, arg.trim(), ty, func, ctx, module)?;
+                    (Instr::Not { arg }, ty)
+                }
+                "cast" => {
+                    // cast i32 %a to i8
+                    let (from_part, to_part) = rest
+                        .split_once(" to ")
+                        .ok_or_else(|| Self::err(line, "cast needs `to`"))?;
+                    let (fty, arg) = from_part
+                        .split_once(' ')
+                        .ok_or_else(|| Self::err(line, "cast needs a source type"))?;
+                    let fty = parse_ty(line, fty)?;
+                    let to = parse_ty(line, to_part.trim())?;
+                    let arg = self.operand(line, arg.trim(), fty, func, ctx, module)?;
+                    (Instr::Cast { arg, to }, to)
+                }
+                "alloca" => (Instr::Alloca { ty: parse_ty(line, rest)? }, Ty::Ptr),
+                "inttoptr" => {
+                    let (ty, arg) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| Self::err(line, "inttoptr needs `i32 value`"))?;
+                    let ty = parse_ty(line, ty)?;
+                    let arg = self.operand(line, arg.trim(), ty, func, ctx, module)?;
+                    (Instr::IntToPtr { arg }, Ty::Ptr)
+                }
+                "load" => {
+                    // load [volatile] i32, %p
+                    let (spec, ptr) = rest
+                        .split_once(',')
+                        .ok_or_else(|| Self::err(line, "load needs `, ptr`"))?;
+                    let (volatile, tytext) = match spec.trim().strip_prefix("volatile ") {
+                        Some(t) => (true, t),
+                        None => (false, spec.trim()),
+                    };
+                    let ty = parse_ty(line, tytext.trim())?;
+                    let ptr = self.operand(line, ptr.trim(), Ty::Ptr, func, ctx, module)?;
+                    (Instr::Load { ptr, ty, volatile }, ty)
+                }
+                "store" => {
+                    // store [volatile] i32 %v, %p
+                    let (spec, ptr) = rest
+                        .split_once(',')
+                        .ok_or_else(|| Self::err(line, "store needs `, ptr`"))?;
+                    let (volatile, valtext) = match spec.trim().strip_prefix("volatile ") {
+                        Some(t) => (true, t),
+                        None => (false, spec.trim()),
+                    };
+                    let (ty, v) = valtext
+                        .split_once(' ')
+                        .ok_or_else(|| Self::err(line, "store needs `ty value`"))?;
+                    let ty = parse_ty(line, ty)?;
+                    let value = self.operand(line, v.trim(), ty, func, ctx, module)?;
+                    let ptr = self.operand(line, ptr.trim(), Ty::Ptr, func, ctx, module)?;
+                    (Instr::Store { ptr, value, volatile }, Ty::Void)
+                }
+                "globaladdr" => {
+                    let name = rest
+                        .trim()
+                        .strip_prefix('@')
+                        .ok_or_else(|| Self::err(line, "globaladdr needs `@name`"))?;
+                    (Instr::GlobalAddr { name: name.to_owned() }, Ty::Ptr)
+                }
+                "call" => {
+                    // call i32 @f(%a, 3) | call void @f()
+                    let (ty, callpart) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| Self::err(line, "call needs a return type"))?;
+                    let ty = parse_ty(line, ty)?;
+                    let (callee, args_text) = callpart
+                        .trim()
+                        .split_once('(')
+                        .ok_or_else(|| Self::err(line, "call needs `(`"))?;
+                    let callee = callee
+                        .trim()
+                        .strip_prefix('@')
+                        .ok_or_else(|| Self::err(line, "callee needs `@`"))?;
+                    let args_text = args_text
+                        .strip_suffix(')')
+                        .ok_or_else(|| Self::err(line, "call needs `)`"))?;
+                    let sig = module.signature(callee);
+                    let mut args = Vec::new();
+                    for (i, a) in args_text
+                        .split(',')
+                        .map(str::trim)
+                        .filter(|s| !s.is_empty())
+                        .enumerate()
+                    {
+                        let aty = sig
+                            .as_ref()
+                            .and_then(|(p, _)| p.get(i).copied())
+                            .unwrap_or(Ty::I32);
+                        args.push(self.operand(line, a, aty, func, ctx, module)?);
+                    }
+                    (Instr::Call { callee: callee.to_owned(), args }, ty)
+                }
+                "phi" => {
+                    // phi i32 [ %a, entry ], [ 0, loop ]
+                    let (ty, rest2) = rest
+                        .split_once(' ')
+                        .ok_or_else(|| Self::err(line, "phi needs a type"))?;
+                    let ty = parse_ty(line, ty)?;
+                    let mut incomings = Vec::new();
+                    for part in rest2.split("],").map(|p| p.trim().trim_matches(['[', ']'])) {
+                        if part.is_empty() {
+                            continue;
+                        }
+                        let (v, label) = part
+                            .split_once(',')
+                            .ok_or_else(|| Self::err(line, "phi arm needs `value, label`"))?;
+                        let value = self.operand(line, v.trim(), ty, func, ctx, module)?;
+                        let block = *ctx.blocks.get(label.trim()).ok_or_else(|| {
+                            Self::err(line, format!("unknown block `{}`", label.trim()))
+                        })?;
+                        incomings.push((block, value));
+                    }
+                    (Instr::Phi { incomings }, ty)
+                }
+                other => return Err(Self::err(line, format!("unknown opcode `{other}`"))),
+            }
+        };
+        let id = match slot {
+            Some(id) => {
+                *func.value_mut(id) = crate::core::ValueDef::Instr(instr);
+                debug_assert_eq!(func.ty(id), ty, "pre-scanned type matches");
+                id
+            }
+            None => func.create_instr(instr, ty),
+        };
+        func.block_mut(bb).instrs.push(id);
+        Ok(())
+    }
+
+    fn terminator(
+        &self,
+        line: usize,
+        text: &str,
+        bb: BlockId,
+        func: &mut Function,
+        ctx: &mut FnCtx,
+        module: &Module,
+    ) -> Result<(), ParseError> {
+        let term = if let Some(rest) = text.strip_prefix("br ") {
+            let parts: Vec<&str> = rest.split(',').map(str::trim).collect();
+            match parts.as_slice() {
+                [label] => {
+                    let target = *ctx
+                        .blocks
+                        .get(*label)
+                        .ok_or_else(|| Self::err(line, format!("unknown block `{label}`")))?;
+                    Terminator::Br { target }
+                }
+                [cond, t, e] => {
+                    let cond = self.operand(line, cond, Ty::I1, func, ctx, module)?;
+                    let then_bb = *ctx
+                        .blocks
+                        .get(*t)
+                        .ok_or_else(|| Self::err(line, format!("unknown block `{t}`")))?;
+                    let else_bb = *ctx
+                        .blocks
+                        .get(*e)
+                        .ok_or_else(|| Self::err(line, format!("unknown block `{e}`")))?;
+                    Terminator::CondBr { cond, then_bb, else_bb }
+                }
+                _ => return Err(Self::err(line, "br takes 1 or 3 operands")),
+            }
+        } else if text == "ret void" {
+            Terminator::Ret { value: None }
+        } else if let Some(rest) = text.strip_prefix("ret ") {
+            let (ty, v) = rest
+                .split_once(' ')
+                .ok_or_else(|| Self::err(line, "ret needs `ty value` or `void`"))?;
+            let ty = parse_ty(line, ty)?;
+            let value = self.operand(line, v.trim(), ty, func, ctx, module)?;
+            Terminator::Ret { value: Some(value) }
+        } else {
+            return Err(Self::err(line, format!("unknown terminator `{text}`")));
+        };
+        let block = func.block_mut(bb);
+        if block.term.is_some() {
+            return Err(Self::err(line, format!("block `{}` has two terminators", block.name)));
+        }
+        block.term = Some(term);
+        Ok(())
+    }
+
+    fn operand(
+        &self,
+        line: usize,
+        text: &str,
+        ty: Ty,
+        func: &mut Function,
+        ctx: &FnCtx,
+        module: &Module,
+    ) -> Result<ValueId, ParseError> {
+        let text = text.trim();
+        if let Some(name) = text.strip_prefix('%') {
+            return ctx
+                .values
+                .get(name)
+                .copied()
+                .ok_or_else(|| Self::err(line, format!("unknown value `%{name}`")));
+        }
+        if let Some(value) = parse_int(text) {
+            return Ok(func.const_int(ty, value));
+        }
+        // Enum reference: Name::Variant (by name or index).
+        if let Some((ename, variant)) = text.split_once("::") {
+            let e = module
+                .enum_def(ename)
+                .ok_or_else(|| Self::err(line, format!("unknown enum `{ename}`")))?;
+            let idx = match variant.parse::<u32>() {
+                Ok(i) => i,
+                Err(_) => e
+                    .variants
+                    .iter()
+                    .position(|(n, _)| n == variant)
+                    .ok_or_else(|| Self::err(line, format!("unknown variant `{variant}`")))?
+                    as u32,
+            };
+            if idx as usize >= e.variants.len() {
+                return Err(Self::err(line, format!("variant index {idx} out of range")));
+            }
+            let value = e.value_of(idx);
+            let er = EnumRef { enum_name: ename.to_owned(), variant: idx };
+            return Ok(func.const_enum(ty, value, er));
+        }
+        Err(Self::err(line, format!("cannot parse operand `{text}`")))
+    }
+}
+
+fn split2(line: usize, text: &str) -> Result<(String, String), ParseError> {
+    text.split_once(',')
+        .map(|(a, b)| (a.trim().to_owned(), b.trim().to_owned()))
+        .ok_or_else(|| Parser::err(line, "expected two comma-separated operands"))
+}
+
+fn parse_ty(line: usize, text: &str) -> Result<Ty, ParseError> {
+    match text {
+        "i1" => Ok(Ty::I1),
+        "i8" => Ok(Ty::I8),
+        "i16" => Ok(Ty::I16),
+        "i32" => Ok(Ty::I32),
+        "ptr" => Ok(Ty::Ptr),
+        "void" => Ok(Ty::Void),
+        other => Err(Parser::err(line, format!("unknown type `{other}`"))),
+    }
+}
+
+fn parse_int(text: &str) -> Option<i64> {
+    let (neg, digits) = match text.strip_prefix('-') {
+        Some(d) => (true, d),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
+        digits.parse().ok()?
+    } else {
+        return None;
+    };
+    Some(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::print_module;
+
+    const EXAMPLE: &str = r"
+module demo
+
+enum Status { FAILURE, SUCCESS }
+global @tick : i32 = 0 sensitive
+declare @gr_detected() -> void
+
+fn @check(%a: i32) -> i32 {
+entry:
+  %1 = icmp eq i32 %a, Status::SUCCESS
+  br %1, then, else
+then:
+  %2 = add i32 %a, 1
+  ret i32 %2
+else:
+  call void @gr_detected()
+  ret i32 0
+}
+";
+
+    #[test]
+    fn parses_the_example() {
+        let m = parse_module(EXAMPLE).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.enums.len(), 1);
+        assert!(m.global("tick").unwrap().sensitive);
+        assert_eq!(m.externs.len(), 1);
+        let f = m.func("check").unwrap();
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.ret, Ty::I32);
+    }
+
+    #[test]
+    fn round_trips_through_printer() {
+        let m = parse_module(EXAMPLE).unwrap();
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).unwrap();
+        let printed2 = print_module(&m2);
+        assert_eq!(printed, printed2, "print∘parse is a fixed point");
+    }
+
+    #[test]
+    fn enum_reference_computes_c_value() {
+        let m = parse_module(EXAMPLE).unwrap();
+        let f = m.func("check").unwrap();
+        // The icmp's rhs constant should be SUCCESS = 1 with provenance.
+        let entry = f.block_by_name("entry").unwrap();
+        let icmp = f.block(entry).instrs[0];
+        let crate::core::ValueDef::Instr(Instr::Icmp { rhs, .. }) = f.value(icmp) else {
+            panic!("expected icmp");
+        };
+        let crate::core::ValueDef::Const { value, enum_ref: Some(er) } = f.value(*rhs) else {
+            panic!("expected enum constant");
+        };
+        assert_eq!(*value, 1);
+        assert_eq!(er.variant, 1);
+    }
+
+    #[test]
+    fn volatile_loads_round_trip() {
+        let src = "
+fn @spin(%p: ptr) -> void {
+entry:
+  br header
+header:
+  %1 = load volatile i32, %p
+  %2 = icmp ne i32 %1, 0
+  br %2, header, exit
+exit:
+  store volatile i32 42, %p
+  ret void
+}
+";
+        let m = parse_module(src).unwrap();
+        let printed = print_module(&m);
+        assert!(printed.contains("load volatile i32, %0"));
+        assert!(printed.contains("store volatile i32 42"));
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(print_module(&m2), printed);
+    }
+
+    #[test]
+    fn phi_round_trips() {
+        let src = "
+fn @count(%n: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %1 = phi i32 [ 0, entry ], [ %2, loop ]
+  %2 = add i32 %1, 1
+  %3 = icmp ult i32 %2, %n
+  br %3, loop, done
+done:
+  ret i32 %2
+}
+";
+        let m = parse_module(src).unwrap();
+        let printed = print_module(&m);
+        let m2 = parse_module(&printed).unwrap();
+        assert_eq!(print_module(&m2), printed);
+    }
+
+    #[test]
+    fn errors_have_lines() {
+        let err = parse_module("fn @f() -> i32 {\nentry:\n  %1 = bogus i32 %x\n}\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.msg.contains("unknown opcode"));
+        let err = parse_module("fn @f() -> i32 {\nentry:\n  ret i32 %nope\n}\n").unwrap_err();
+        assert!(err.msg.contains("unknown value"));
+        let err = parse_module("wibble\n").unwrap_err();
+        assert!(err.msg.contains("unexpected"));
+    }
+
+    #[test]
+    fn forward_block_references_work() {
+        let src = "
+fn @f(%c: i1) -> void {
+entry:
+  br %c, later, exit
+later:
+  br exit
+exit:
+  ret void
+}
+";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.func("f").unwrap().block_count(), 3);
+    }
+}

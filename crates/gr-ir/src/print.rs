@@ -1,0 +1,192 @@
+//! Textual IR output. The format round-trips through [`crate::parse`].
+
+use core::fmt;
+use std::fmt::Write as _;
+
+use crate::core::{Function, Instr, Module, Terminator, Ty, ValueDef, ValueId};
+
+fn operand(func: &Function, v: ValueId) -> String {
+    match func.value(v) {
+        ValueDef::Const { value, enum_ref: None } => value.to_string(),
+        ValueDef::Const { enum_ref: Some(er), .. } => {
+            format!("{}::{}", er.enum_name, er.variant)
+        }
+        _ => format!("%{}", v.index()),
+    }
+}
+
+fn print_instr(func: &Function, id: ValueId, out: &mut String) {
+    let ValueDef::Instr(instr) = func.value(id) else {
+        panic!("block lists a non-instruction value");
+    };
+    let ty = func.ty(id);
+    let op = |v: &ValueId| operand(func, *v);
+    let line = match instr {
+        Instr::Bin { op: bop, lhs, rhs } => {
+            format!("%{} = {} {ty} {}, {}", id.index(), bop.mnemonic(), op(lhs), op(rhs))
+        }
+        Instr::Icmp { pred, lhs, rhs } => {
+            let opnd_ty = func.ty(*lhs);
+            format!(
+                "%{} = icmp {} {opnd_ty} {}, {}",
+                id.index(),
+                pred.mnemonic(),
+                op(lhs),
+                op(rhs)
+            )
+        }
+        Instr::Not { arg } => format!("%{} = not {ty} {}", id.index(), op(arg)),
+        Instr::Cast { arg, to } => {
+            let from = func.ty(*arg);
+            format!("%{} = cast {from} {} to {to}", id.index(), op(arg))
+        }
+        Instr::IntToPtr { arg } => format!("%{} = inttoptr i32 {}", id.index(), op(arg)),
+        Instr::Alloca { ty: pointee } => format!("%{} = alloca {pointee}", id.index()),
+        Instr::Load { ptr, ty: loaded, volatile } => {
+            let v = if *volatile { "volatile " } else { "" };
+            format!("%{} = load {v}{loaded}, {}", id.index(), op(ptr))
+        }
+        Instr::Store { ptr, value, volatile } => {
+            let v = if *volatile { "volatile " } else { "" };
+            let ty = func.ty(*value);
+            format!("store {v}{ty} {}, {}", op(value), op(ptr))
+        }
+        Instr::GlobalAddr { name } => format!("%{} = globaladdr @{name}", id.index()),
+        Instr::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(&op).collect();
+            if ty == Ty::Void {
+                format!("call void @{callee}({})", args.join(", "))
+            } else {
+                format!("%{} = call {ty} @{callee}({})", id.index(), args.join(", "))
+            }
+        }
+        Instr::Phi { incomings } => {
+            let parts: Vec<String> = incomings
+                .iter()
+                .map(|(bb, v)| format!("[ {}, {} ]", op(v), func.block(*bb).name))
+                .collect();
+            format!("%{} = phi {ty} {}", id.index(), parts.join(", "))
+        }
+    };
+    let _ = writeln!(out, "  {line}");
+}
+
+fn print_terminator(func: &Function, term: &Terminator, out: &mut String) {
+    let line = match term {
+        Terminator::Br { target } => format!("br {}", func.block(*target).name),
+        Terminator::CondBr { cond, then_bb, else_bb } => format!(
+            "br {}, {}, {}",
+            operand(func, *cond),
+            func.block(*then_bb).name,
+            func.block(*else_bb).name
+        ),
+        Terminator::Ret { value: Some(v) } => format!("ret {} {}", func.ty(*v), operand(func, *v)),
+        Terminator::Ret { value: None } => "ret void".to_owned(),
+    };
+    let _ = writeln!(out, "  {line}");
+}
+
+/// Prints one function in the text format.
+pub fn print_function(func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, ty)| format!("%{i}: {ty}"))
+        .collect();
+    let _ = writeln!(out, "fn @{}({}) -> {} {{", func.name, params.join(", "), func.ret);
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        let _ = writeln!(out, "{}:", block.name);
+        for &id in &block.instrs {
+            print_instr(func, id, &mut out);
+        }
+        if let Some(term) = &block.term {
+            print_terminator(func, term, &mut out);
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Prints a whole module in the text format.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    if !module.name.is_empty() {
+        let _ = writeln!(out, "module {}", module.name);
+        out.push('\n');
+    }
+    for e in &module.enums {
+        let variants: Vec<String> = e
+            .variants
+            .iter()
+            .map(|(n, init)| match init {
+                Some(v) => format!("{n} = {v}"),
+                None => n.clone(),
+            })
+            .collect();
+        let _ = writeln!(out, "enum {} {{ {} }}", e.name, variants.join(", "));
+    }
+    for g in &module.globals {
+        let sens = if g.sensitive { " sensitive" } else { "" };
+        let _ = writeln!(out, "global @{} : {} = {}{}", g.name, g.ty, g.init, sens);
+    }
+    for x in &module.externs {
+        let params: Vec<String> = x.params.iter().map(Ty::to_string).collect();
+        let _ = writeln!(out, "declare @{}({}) -> {}", x.name, params.join(", "), x.ret);
+    }
+    if !(module.enums.is_empty() && module.globals.is_empty() && module.externs.is_empty()) {
+        out.push('\n');
+    }
+    for (i, f) in module.funcs.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(f));
+    }
+    out
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_module(self))
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print_function(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::Builder;
+    use crate::core::{Function, Pred, Ty};
+
+    #[test]
+    fn prints_a_readable_function() {
+        let mut f = Function::new("is_zero", vec![Ty::I32], Ty::I32);
+        let entry = f.add_block("entry");
+        let then_bb = f.add_block("then");
+        let else_bb = f.add_block("else");
+        let p = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        let zero = b.const_i32(0);
+        let c = b.icmp(Pred::Eq, p, zero);
+        b.cond_br(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        let one = b.const_i32(1);
+        b.ret(Some(one));
+        b.switch_to(else_bb);
+        let z = b.const_i32(0);
+        b.ret(Some(z));
+
+        let text = f.to_string();
+        assert!(text.contains("fn @is_zero(%0: i32) -> i32 {"));
+        assert!(text.contains("icmp eq i32 %0, 0"));
+        assert!(text.contains("br %2, then, else"));
+        assert!(text.contains("ret i32 1"));
+    }
+}

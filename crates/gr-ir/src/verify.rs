@@ -1,0 +1,464 @@
+//! The IR verifier: structural and type well-formedness, plus SSA dominance.
+//!
+//! Passes run the verifier after every transformation in tests, so a defense
+//! pass that produces malformed IR fails loudly instead of miscompiling.
+
+use core::fmt;
+use std::collections::HashMap;
+
+use crate::analysis::{Cfg, DomTree};
+use crate::core::{Function, Instr, Module, Terminator, Ty, ValueDef, ValueId};
+
+/// A verification failure, with the function and a description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    /// Function name.
+    pub func: String,
+    /// What is wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "verification of @{} failed: {}", self.func, self.msg)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies every function in a module, plus cross-references (globals,
+/// call signatures, enum refs).
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for func in &module.funcs {
+        verify_function(func, Some(module))?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function; `module` enables cross-reference checks.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+#[allow(clippy::too_many_lines)]
+pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), VerifyError> {
+    let fail = |msg: String| Err(VerifyError { func: func.name.clone(), msg });
+
+    if func.block_count() == 0 {
+        return fail("function has no blocks".into());
+    }
+
+    // Every block terminated; block names unique.
+    let mut names = HashMap::new();
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        if block.term.is_none() {
+            return fail(format!("block `{}` lacks a terminator", block.name));
+        }
+        if names.insert(block.name.clone(), bb).is_some() {
+            return fail(format!("duplicate block name `{}`", block.name));
+        }
+    }
+
+    // Map: instruction value → (block, position); ensure single placement.
+    let mut placement: HashMap<ValueId, (crate::core::BlockId, usize)> = HashMap::new();
+    for bb in func.block_ids() {
+        for (pos, &id) in func.block(bb).instrs.iter().enumerate() {
+            if !matches!(func.value(id), ValueDef::Instr(_)) {
+                return fail(format!("block `{}` lists non-instruction %{}", func.block(bb).name, id.index()));
+            }
+            if placement.insert(id, (bb, pos)).is_some() {
+                return fail(format!("%{} placed twice", id.index()));
+            }
+        }
+    }
+
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+
+    // Type and dominance checks per instruction.
+    for bb in func.block_ids() {
+        let block = func.block(bb);
+        for (pos, &id) in block.instrs.iter().enumerate() {
+            let ValueDef::Instr(instr) = func.value(id) else { unreachable!() };
+            let ty = func.ty(id);
+            let check_int_same = |a: ValueId, b: ValueId| -> Result<(), VerifyError> {
+                if !func.ty(a).is_int() || func.ty(a) != func.ty(b) {
+                    return Err(VerifyError {
+                        func: func.name.clone(),
+                        msg: format!(
+                            "%{}: operands %{}:{} and %{}:{} must be same-typed integers",
+                            id.index(),
+                            a.index(),
+                            func.ty(a),
+                            b.index(),
+                            func.ty(b)
+                        ),
+                    });
+                }
+                Ok(())
+            };
+            match instr {
+                Instr::Bin { lhs, rhs, .. } => {
+                    check_int_same(*lhs, *rhs)?;
+                    if ty != func.ty(*lhs) {
+                        return fail(format!("%{}: result type mismatch", id.index()));
+                    }
+                }
+                Instr::Icmp { lhs, rhs, .. } => {
+                    check_int_same(*lhs, *rhs)?;
+                    if ty != Ty::I1 {
+                        return fail(format!("%{}: icmp must yield i1", id.index()));
+                    }
+                }
+                Instr::Not { arg } => {
+                    if !func.ty(*arg).is_int() || ty != func.ty(*arg) {
+                        return fail(format!("%{}: not needs matching int types", id.index()));
+                    }
+                }
+                Instr::IntToPtr { arg } => {
+                    if func.ty(*arg) != Ty::I32 || ty != Ty::Ptr {
+                        return fail(format!("%{}: inttoptr needs i32 → ptr", id.index()));
+                    }
+                }
+                Instr::Cast { arg, to } => {
+                    if !func.ty(*arg).is_int() || !to.is_int() || ty != *to {
+                        return fail(format!("%{}: cast needs int→int", id.index()));
+                    }
+                }
+                Instr::Alloca { ty: pointee } => {
+                    if ty != Ty::Ptr || *pointee == Ty::Void {
+                        return fail(format!("%{}: alloca yields ptr to a sized type", id.index()));
+                    }
+                }
+                Instr::Load { ptr, ty: loaded, .. } => {
+                    if func.ty(*ptr) != Ty::Ptr {
+                        return fail(format!("%{}: load pointer must be ptr", id.index()));
+                    }
+                    if ty != *loaded || !loaded.is_int() {
+                        return fail(format!("%{}: load type mismatch", id.index()));
+                    }
+                }
+                Instr::Store { ptr, value, .. } => {
+                    if func.ty(*ptr) != Ty::Ptr {
+                        return fail(format!("%{}: store pointer must be ptr", id.index()));
+                    }
+                    if !func.ty(*value).is_int() {
+                        return fail(format!("%{}: stored value must be integer", id.index()));
+                    }
+                    if ty != Ty::Void {
+                        return fail(format!("%{}: store has no result", id.index()));
+                    }
+                }
+                Instr::GlobalAddr { name } => {
+                    if ty != Ty::Ptr {
+                        return fail(format!("%{}: globaladdr yields ptr", id.index()));
+                    }
+                    if let Some(m) = module {
+                        if m.global(name).is_none() {
+                            return fail(format!("%{}: unknown global @{name}", id.index()));
+                        }
+                    }
+                }
+                Instr::Call { callee, args } => {
+                    if let Some(m) = module {
+                        let Some((params, ret)) = m.signature(callee) else {
+                            return fail(format!("%{}: unknown callee @{callee}", id.index()));
+                        };
+                        if params.len() != args.len() {
+                            return fail(format!(
+                                "%{}: @{callee} takes {} args, got {}",
+                                id.index(),
+                                params.len(),
+                                args.len()
+                            ));
+                        }
+                        for (a, p) in args.iter().zip(params.iter()) {
+                            if func.ty(*a) != *p {
+                                return fail(format!(
+                                    "%{}: argument type {} ≠ parameter type {p}",
+                                    id.index(),
+                                    func.ty(*a)
+                                ));
+                            }
+                        }
+                        if ty != ret {
+                            return fail(format!("%{}: call result type mismatch", id.index()));
+                        }
+                    }
+                }
+                Instr::Phi { incomings } => {
+                    // Phis live at the head of the block (possibly several).
+                    let head = block.instrs[..pos].iter().all(|&prev| {
+                        matches!(func.value(prev), ValueDef::Instr(Instr::Phi { .. }))
+                    });
+                    if !head {
+                        return fail(format!("%{}: phi not at block head", id.index()));
+                    }
+                    let mut preds: Vec<_> = cfg.preds(bb).to_vec();
+                    preds.sort_unstable();
+                    preds.dedup();
+                    let mut inc: Vec<_> = incomings.iter().map(|(b, _)| *b).collect();
+                    inc.sort_unstable();
+                    inc.dedup();
+                    if inc != preds {
+                        return fail(format!(
+                            "%{}: phi incomings do not match predecessors of `{}`",
+                            id.index(),
+                            block.name
+                        ));
+                    }
+                    for (_, v) in incomings {
+                        if func.ty(*v) != ty {
+                            return fail(format!("%{}: phi incoming type mismatch", id.index()));
+                        }
+                    }
+                }
+            }
+
+            // Dominance: each instruction operand must be defined before
+            // use. Unreachable blocks (dead code after returns) are exempt,
+            // as in LLVM.
+            if !matches!(instr, Instr::Phi { .. }) && cfg.reachable(bb) {
+                for op in instr.operands() {
+                    if let Some(err) = check_dominance(func, &placement, &dom, op, bb, pos) {
+                        return fail(err);
+                    }
+                }
+            }
+        }
+
+        // Terminator checks.
+        match func.block(bb).term.as_ref().expect("checked above") {
+            Terminator::CondBr { cond, .. } => {
+                if func.ty(*cond) != Ty::I1 {
+                    return fail(format!("condbr condition in `{}` must be i1", block.name));
+                }
+                let pos = func.block(bb).instrs.len();
+                if cfg.reachable(bb) {
+                    if let Some(err) = check_dominance(func, &placement, &dom, *cond, bb, pos) {
+                        return fail(err);
+                    }
+                }
+            }
+            Terminator::Ret { value } => {
+                match (value, func.ret) {
+                    (None, Ty::Void) => {}
+                    (Some(v), ret) if func.ty(*v) == ret => {
+                        let pos = func.block(bb).instrs.len();
+                        if cfg.reachable(bb) {
+                            if let Some(err) =
+                                check_dominance(func, &placement, &dom, *v, bb, pos)
+                            {
+                                return fail(err);
+                            }
+                        }
+                    }
+                    _ => return fail(format!("return type mismatch in `{}`", block.name)),
+                }
+            }
+            Terminator::Br { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+fn check_dominance(
+    func: &Function,
+    placement: &HashMap<ValueId, (crate::core::BlockId, usize)>,
+    dom: &DomTree,
+    op: ValueId,
+    use_bb: crate::core::BlockId,
+    use_pos: usize,
+) -> Option<String> {
+    match func.value(op) {
+        ValueDef::Param { .. } | ValueDef::Const { .. } => None,
+        ValueDef::Instr(_) => {
+            let Some(&(def_bb, def_pos)) = placement.get(&op) else {
+                return Some(format!("%{} used but not placed in any block", op.index()));
+            };
+            let ok = if def_bb == use_bb {
+                def_pos < use_pos
+            } else {
+                dom.dominates(def_bb, use_bb)
+            };
+            if ok {
+                None
+            } else {
+                Some(format!(
+                    "%{} does not dominate its use in `{}`",
+                    op.index(),
+                    func.block(use_bb).name
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::core::{BinOp, Global, Pred};
+    use crate::parse::parse_module;
+
+    #[test]
+    fn valid_module_passes() {
+        let m = parse_module(
+            "
+global @g : i32 = 5
+declare @ext(i32) -> void
+
+fn @f(%a: i32) -> i32 {
+entry:
+  %1 = globaladdr @g
+  %2 = load i32, %1
+  %3 = add i32 %a, %2
+  call void @ext(%3)
+  ret i32 %3
+}
+",
+        )
+        .unwrap();
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn missing_terminator_rejected() {
+        let mut f = Function::new("f", vec![], Ty::Void);
+        f.add_block("entry");
+        let err = verify_function(&f, None).unwrap_err();
+        assert!(err.msg.contains("lacks a terminator"));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut f = Function::new("f", vec![Ty::I32, Ty::I8], Ty::Void);
+        let bb = f.add_block("entry");
+        let a = f.param(0);
+        let b = f.param(1);
+        let mut builder = Builder::new(&mut f, bb);
+        builder.bin(BinOp::Add, a, b);
+        builder.ret(None);
+        let err = verify_function(&f, None).unwrap_err();
+        assert!(err.msg.contains("same-typed"));
+    }
+
+    #[test]
+    fn use_before_def_rejected() {
+        // %2 uses %1 but appears before it in the block.
+        let mut f = Function::new("f", vec![Ty::I32], Ty::I32);
+        let bb = f.add_block("entry");
+        let a = f.param(0);
+        let one = f.const_int(Ty::I32, 1);
+        let v1 = f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: a, rhs: one }, Ty::I32);
+        let v2 = f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: v1, rhs: one }, Ty::I32);
+        f.block_mut(bb).instrs.push(v2);
+        f.block_mut(bb).instrs.push(v1);
+        f.block_mut(bb).term = Some(Terminator::Ret { value: Some(v2) });
+        let err = verify_function(&f, None).unwrap_err();
+        assert!(err.msg.contains("dominate"), "{}", err.msg);
+    }
+
+    #[test]
+    fn cross_block_dominance_enforced() {
+        // Value defined in the `then` arm used in the join block.
+        let mut f = Function::new("f", vec![Ty::I32], Ty::I32);
+        let entry = f.add_block("entry");
+        let then_bb = f.add_block("then");
+        let join = f.add_block("join");
+        let a = f.param(0);
+        let mut b = Builder::new(&mut f, entry);
+        let zero = b.const_i32(0);
+        let c = b.icmp(Pred::Eq, a, zero);
+        b.cond_br(c, then_bb, join);
+        b.switch_to(then_bb);
+        let one = b.const_i32(1);
+        let x = b.add(a, one);
+        b.br(join);
+        b.switch_to(join);
+        b.ret(Some(x));
+        let err = verify_function(&f, None).unwrap_err();
+        assert!(err.msg.contains("dominate"), "{}", err.msg);
+    }
+
+    #[test]
+    fn phi_incomings_must_match_preds() {
+        let src = "
+fn @f(%c: i1) -> i32 {
+entry:
+  br %c, a, b
+a:
+  br join
+b:
+  br join
+join:
+  %1 = phi i32 [ 1, a ]
+  ret i32 %1
+}
+";
+        let m = parse_module(src).unwrap();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("predecessors"), "{}", err.msg);
+    }
+
+    #[test]
+    fn unknown_global_and_callee_rejected() {
+        let mut m = crate::core::Module::new("t");
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let bb = f.add_block("entry");
+        let mut b = Builder::new(&mut f, bb);
+        b.global_addr("nope");
+        b.ret(None);
+        m.funcs.push(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("unknown global"));
+
+        let mut m = crate::core::Module::new("t");
+        m.add_global(Global { name: "g".into(), ty: Ty::I32, init: 0, sensitive: false });
+        let mut f = Function::new("f", vec![], Ty::Void);
+        let bb = f.add_block("entry");
+        let mut b = Builder::new(&mut f, bb);
+        b.call("missing", vec![], Ty::Void);
+        b.ret(None);
+        m.funcs.push(f);
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("unknown callee"));
+    }
+
+    #[test]
+    fn call_arity_checked() {
+        let src = "
+declare @ext(i32, i32) -> void
+fn @f() -> void {
+entry:
+  call void @ext(1)
+  ret void
+}
+";
+        let m = parse_module(src).unwrap();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("takes 2 args"));
+    }
+
+    #[test]
+    fn condbr_needs_i1() {
+        let src = "
+fn @f(%x: i32) -> void {
+entry:
+  br %x, a, b
+a:
+  ret void
+b:
+  ret void
+}
+";
+        let m = parse_module(src).unwrap();
+        let err = verify_module(&m).unwrap_err();
+        assert!(err.msg.contains("must be i1"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Cycle cost model for a Cortex-M0-style 3-stage core at 48 MHz.
+
+use gd_thumb::Instr;
+
+/// Per-class cycle costs. Defaults follow the Cortex-M0 technical reference
+/// (single-cycle ALU and multiplier, 2-cycle loads/stores, 3-cycle taken
+/// branches) plus a large constant for non-volatile-memory programming —
+/// the flash write behind the delay defense's Table IV constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Single-transfer load cost.
+    pub load: u32,
+    /// Single-transfer store cost.
+    pub store: u32,
+    /// Additional cycles when a branch redirects the pipeline.
+    pub taken_branch_penalty: u32,
+    /// `BL` cost.
+    pub bl: u32,
+    /// `BX`/`BLX` cost.
+    pub bx: u32,
+    /// Multiply cost (M0 ships the single-cycle multiplier option).
+    pub mul: u32,
+    /// Cycles charged for a store into the NVM (flash) region — erase +
+    /// program time at 48 MHz dominates the delay defense's boot constant.
+    pub nvm_write: u32,
+}
+
+impl Default for Timing {
+    fn default() -> Timing {
+        Timing {
+            load: 2,
+            store: 2,
+            taken_branch_penalty: 2,
+            bl: 4,
+            bx: 3,
+            mul: 1,
+            nvm_write: 177_000,
+        }
+    }
+}
+
+impl Timing {
+    /// The base cost of `instr` assuming branches fall through; the
+    /// pipeline adds [`Timing::taken_branch_penalty`] when a redirect
+    /// actually happens, and swaps NVM store costs by address.
+    pub fn base_cycles(&self, instr: Instr) -> u32 {
+        use gd_thumb::Instr as I;
+        match instr {
+            I::LdrLit { .. }
+            | I::LoadReg { .. }
+            | I::LdrsbReg { .. }
+            | I::LdrshReg { .. }
+            | I::LoadImm { .. }
+            | I::LdrSp { .. } => self.load,
+            I::StoreReg { .. } | I::StoreImm { .. } | I::StrSp { .. } => self.store,
+            I::Push { rlist, lr } => 1 + rlist.count_ones() + u32::from(lr),
+            I::Pop { rlist, pc } => {
+                1 + rlist.count_ones()
+                    + if pc { 1 + self.taken_branch_penalty + 1 } else { 0 }
+            }
+            I::Stm { rlist, .. } | I::Ldm { rlist, .. } => 1 + rlist.count_ones(),
+            I::Alu { op: gd_thumb::AluOp::Mul, .. } => self.mul,
+            I::Bl { .. } => self.bl,
+            I::Bx { .. } | I::Blx { .. } => self.bx,
+            I::B { .. } => 1, // penalty added on redirect
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_thumb::{Cond, Reg, Width};
+
+    #[test]
+    fn reference_costs() {
+        let t = Timing::default();
+        assert_eq!(t.base_cycles(Instr::MovImm { rd: Reg::R0, imm8: 1 }), 1);
+        assert_eq!(
+            t.base_cycles(Instr::LoadImm {
+                width: Width::Byte,
+                rt: Reg::R3,
+                rn: Reg::R3,
+                imm5: 0
+            }),
+            2
+        );
+        assert_eq!(t.base_cycles(Instr::CmpImm { rn: Reg::R3, imm8: 0 }), 1);
+        // The paper's loop: mov(1) + adds(1) + ldrb(2) + cmp(1) + taken
+        // beq(1+2) = 8 cycles.
+        let beq = Instr::BCond { cond: Cond::Eq, offset: -8 };
+        assert_eq!(t.base_cycles(beq) + t.taken_branch_penalty, 3);
+        assert_eq!(t.base_cycles(Instr::Push { rlist: 0b1111, lr: true }), 6);
+        assert_eq!(t.base_cycles(Instr::Bl { offset: 0 }), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! Arithmetic over GF(2⁸) with the conventional primitive polynomial
+//! x⁸ + x⁴ + x³ + x² + 1 (0x11D), as used by standard Reed–Solomon codes.
+
+/// The field, exposing arithmetic through table-driven operations.
+///
+/// Tables are built once at construction; the type is cheap to share.
+///
+/// ```
+/// use gd_rs_ecc::Gf256;
+/// let gf = Gf256::new();
+/// let a = 0x57;
+/// let b = 0x83;
+/// let p = gf.mul(a, b);
+/// assert_eq!(gf.div(p, b), a);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Gf256 {
+    exp: [u8; 512],
+    log: [u8; 256],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Gf256::new()
+    }
+}
+
+impl Gf256 {
+    /// The primitive polynomial (without the x⁸ term overflow bit kept).
+    pub const PRIMITIVE: u16 = 0x11D;
+
+    /// Builds the exp/log tables for the generator α = 2.
+    pub fn new() -> Gf256 {
+        let mut exp = [0u8; 512];
+        let mut log = [0u8; 256];
+        let mut x: u16 = 1;
+        for (i, slot) in exp.iter_mut().enumerate().take(255) {
+            *slot = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= Self::PRIMITIVE;
+            }
+        }
+        // Duplicate so that exp[a + b] works without modular reduction.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { exp, log }
+    }
+
+    /// Addition (and subtraction): XOR in characteristic 2.
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Multiplication.
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[usize::from(self.log[a as usize]) + usize::from(self.log[b as usize])]
+        }
+    }
+
+    /// Division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            let diff =
+                255 + usize::from(self.log[a as usize]) - usize::from(self.log[b as usize]);
+            self.exp[diff % 255]
+        }
+    }
+
+    /// α raised to `power` (mod 255 exponent arithmetic).
+    pub fn alpha_pow(&self, power: u32) -> u8 {
+        self.exp[(power % 255) as usize]
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0`.
+    pub fn inv(&self, a: u8) -> u8 {
+        self.div(1, a)
+    }
+
+    /// Evaluates a polynomial (highest-degree coefficient first) at `x`
+    /// using Horner's rule.
+    pub fn poly_eval(&self, poly: &[u8], x: u8) -> u8 {
+        poly.iter().fold(0, |acc, &c| self.mul(acc, x) ^ c)
+    }
+
+    /// Multiplies two polynomials (highest-degree first).
+    pub fn poly_mul(&self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        let mut out = vec![0u8; a.len() + b.len() - 1];
+        for (i, &ca) in a.iter().enumerate() {
+            for (j, &cb) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ca, cb);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multiplication_agrees_with_carryless_reference() {
+        // Slow bitwise reference multiply-and-reduce.
+        fn slow_mul(mut a: u16, mut b: u16) -> u8 {
+            let mut p: u16 = 0;
+            while b != 0 {
+                if b & 1 != 0 {
+                    p ^= a;
+                }
+                a <<= 1;
+                if a & 0x100 != 0 {
+                    a ^= Gf256::PRIMITIVE;
+                }
+                b >>= 1;
+            }
+            p as u8
+        }
+        let gf = Gf256::new();
+        for a in (0u16..256).step_by(7) {
+            for b in (0u16..256).step_by(5) {
+                assert_eq!(gf.mul(a as u8, b as u8), slow_mul(a, b), "{a} * {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn field_axioms_hold_on_samples() {
+        let gf = Gf256::new();
+        for a in [1u8, 2, 7, 0x53, 0xFF] {
+            assert_eq!(gf.mul(a, gf.inv(a)), 1, "a * a⁻¹ = 1 for {a}");
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(a, 0), 0);
+        }
+        // Distributivity samples.
+        for (a, b, c) in [(3u8, 5u8, 250u8), (0x80, 0x1D, 0x42)] {
+            assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        }
+    }
+
+    #[test]
+    fn alpha_powers_cycle_with_period_255() {
+        let gf = Gf256::new();
+        assert_eq!(gf.alpha_pow(0), 1);
+        assert_eq!(gf.alpha_pow(1), 2);
+        assert_eq!(gf.alpha_pow(255), 1);
+        assert_eq!(gf.alpha_pow(256), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        Gf256::new().div(1, 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = Gf256::new();
+        // p(x) = x² + 1 at x = 2 → 4 ^ 1 = 5 (carryless).
+        assert_eq!(gf.poly_eval(&[1, 0, 1], 2), 5);
+        assert_eq!(gf.poly_eval(&[1], 0x42), 1);
+        assert_eq!(gf.poly_eval(&[], 7), 0);
+    }
+
+    #[test]
+    fn poly_mul_matches_eval() {
+        let gf = Gf256::new();
+        let a = [3u8, 0, 7];
+        let b = [1u8, 5];
+        let prod = gf.poly_mul(&a, &b);
+        for x in [0u8, 1, 2, 0x35, 0xEE] {
+            assert_eq!(
+                gf.poly_eval(&prod, x),
+                gf.mul(gf.poly_eval(&a, x), gf.poly_eval(&b, x)),
+                "evaluation homomorphism at {x}"
+            );
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # gd-rs-ecc — Reed–Solomon codes for constant diversification
+//!
+//! The substrate behind GlitchResistor's *constant diversification* defenses
+//! (paper §VI-A): ENUM values and return codes are replaced with
+//! Reed–Solomon parity words so that valid constants sit at least 8 bit
+//! flips apart — a glitch that corrupts one valid value almost never lands
+//! on another.
+//!
+//! ```
+//! use gd_rs_ecc::{diversified_constants, min_pairwise_distance};
+//! let values = diversified_constants(8);
+//! assert!(min_pairwise_distance(&values) >= 8);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod gf256;
+mod rs;
+
+pub use gf256::Gf256;
+pub use rs::{diversified_constants, min_pairwise_distance, RsEncoder};

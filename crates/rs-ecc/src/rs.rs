@@ -1,0 +1,237 @@
+//! Systematic Reed–Solomon encoding over GF(2⁸), plus the constant
+//! diversification scheme of GlitchResistor (paper §VI-A): ENUM and return
+//! values are replaced with RS parity words so that the minimum pairwise
+//! Hamming distance between any two valid values is large, making it
+//! unlikely that bit flips turn one valid value into another.
+
+use crate::gf256::Gf256;
+
+/// A Reed–Solomon encoder with a fixed number of parity symbols.
+///
+/// ```
+/// use gd_rs_ecc::RsEncoder;
+/// let rs = RsEncoder::new(4);
+/// let codeword = rs.encode(&[0x00, 0x01]);
+/// assert_eq!(codeword.len(), 6); // 2 message + 4 parity bytes
+/// assert!(rs.check(&codeword));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RsEncoder {
+    gf: Gf256,
+    generator: Vec<u8>,
+    nsym: usize,
+}
+
+impl RsEncoder {
+    /// Creates an encoder producing `nsym` parity bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nsym` is 0 or ≥ 255.
+    pub fn new(nsym: usize) -> RsEncoder {
+        assert!(nsym > 0 && nsym < 255, "parity length must be in 1..255");
+        let gf = Gf256::new();
+        // g(x) = Π (x − αⁱ) for i in 0..nsym.
+        let mut generator = vec![1u8];
+        for i in 0..nsym {
+            generator = gf.poly_mul(&generator, &[1, gf.alpha_pow(i as u32)]);
+        }
+        RsEncoder { gf, generator, nsym }
+    }
+
+    /// Number of parity bytes appended per message.
+    pub fn parity_len(&self) -> usize {
+        self.nsym
+    }
+
+    /// The generator polynomial, highest-degree coefficient first.
+    pub fn generator(&self) -> &[u8] {
+        &self.generator
+    }
+
+    /// Computes the parity bytes for `msg` (polynomial remainder of
+    /// `msg · xⁿ` by the generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `msg.len() + nsym > 255` (code length bound).
+    pub fn parity(&self, msg: &[u8]) -> Vec<u8> {
+        assert!(msg.len() + self.nsym <= 255, "codeword exceeds GF(256) block length");
+        let mut rem = vec![0u8; self.nsym];
+        for &byte in msg {
+            let factor = byte ^ rem[0];
+            rem.rotate_left(1);
+            rem[self.nsym - 1] = 0;
+            if factor != 0 {
+                for (r, &g) in rem.iter_mut().zip(self.generator[1..].iter()) {
+                    *r ^= self.gf.mul(g, factor);
+                }
+            }
+        }
+        rem
+    }
+
+    /// Systematic encoding: message followed by parity.
+    pub fn encode(&self, msg: &[u8]) -> Vec<u8> {
+        let mut out = msg.to_vec();
+        out.extend(self.parity(msg));
+        out
+    }
+
+    /// Whether `codeword` is a valid codeword (all syndromes zero).
+    pub fn check(&self, codeword: &[u8]) -> bool {
+        self.syndromes(codeword).iter().all(|&s| s == 0)
+    }
+
+    /// The `nsym` syndromes of a codeword (non-zero ⇒ corrupted).
+    pub fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
+        (0..self.nsym)
+            .map(|i| self.gf.poly_eval(codeword, self.gf.alpha_pow(i as u32)))
+            .collect()
+    }
+}
+
+/// Generates `count` diversified 32-bit constants, exactly as GlitchResistor
+/// configures its ENUM rewriter: a 2-byte message (the ordinal, starting at
+/// 1) with a 4-byte ECC, using the **parity bytes** as the program constant.
+///
+/// The resulting set has a minimum pairwise Hamming distance of at least 8
+/// for any set size the tool meets in practice.
+///
+/// ```
+/// use gd_rs_ecc::diversified_constants;
+/// let values = diversified_constants(4);
+/// assert_eq!(values.len(), 4);
+/// // No duplicates, and far apart bit-wise:
+/// for (i, a) in values.iter().enumerate() {
+///     for b in &values[i + 1..] {
+///         assert!((a ^ b).count_ones() >= 8);
+///     }
+/// }
+/// ```
+///
+/// # Panics
+///
+/// Panics if `count` is 0 or exceeds the 2-byte message space (65 535).
+pub fn diversified_constants(count: u32) -> Vec<u32> {
+    assert!(count > 0, "at least one constant");
+    assert!(count <= 0xFFFF, "2-byte message space exhausted");
+    let rs = RsEncoder::new(4);
+    (1..=count)
+        .map(|i| {
+            let msg = (i as u16).to_be_bytes();
+            let parity = rs.parity(&msg);
+            u32::from_be_bytes([parity[0], parity[1], parity[2], parity[3]])
+        })
+        .collect()
+}
+
+/// The minimum pairwise Hamming distance of a set of 32-bit values.
+///
+/// Returns `u32::MAX` for sets smaller than two.
+pub fn min_pairwise_distance(values: &[u32]) -> u32 {
+    let mut min = u32::MAX;
+    for (i, a) in values.iter().enumerate() {
+        for b in &values[i + 1..] {
+            min = min.min((a ^ b).count_ones());
+        }
+    }
+    min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parity_makes_valid_codewords() {
+        let rs = RsEncoder::new(4);
+        for msg in [[0u8, 1], [0xAB, 0xCD], [0xFF, 0xFF], [0, 0]] {
+            let cw = rs.encode(&msg);
+            assert!(rs.check(&cw), "codeword for {msg:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_breaks_syndromes() {
+        let rs = RsEncoder::new(4);
+        let cw = rs.encode(&[0x12, 0x34]);
+        for byte in 0..cw.len() {
+            for bit in 0..8 {
+                let mut bad = cw.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(!rs.check(&bad), "single flip at {byte}:{bit} must be detected");
+            }
+        }
+    }
+
+    #[test]
+    fn up_to_nsym_flips_detected() {
+        // RS(n, k) with nsym parity symbols detects any ≤ nsym symbol errors.
+        let rs = RsEncoder::new(4);
+        let cw = rs.encode(&[0x55, 0xAA]);
+        let mut bad = cw.clone();
+        bad[0] ^= 0x01;
+        bad[2] ^= 0x80;
+        bad[4] ^= 0xFF;
+        bad[5] ^= 0x10;
+        assert!(!rs.check(&bad));
+    }
+
+    #[test]
+    fn generator_has_roots_at_alpha_powers() {
+        let rs = RsEncoder::new(6);
+        let gf = Gf256::new();
+        for i in 0..6 {
+            assert_eq!(gf.poly_eval(rs.generator(), gf.alpha_pow(i)), 0);
+        }
+        assert_eq!(rs.generator().len(), 7);
+        assert_eq!(rs.parity_len(), 6);
+    }
+
+    #[test]
+    fn diversified_constants_distance_small_sets() {
+        // Typical ENUM sizes: the paper claims a minimum pairwise Hamming
+        // distance of 8 for its configuration.
+        for count in [2u32, 3, 4, 8, 16, 64] {
+            let values = diversified_constants(count);
+            let d = min_pairwise_distance(&values);
+            assert!(d >= 8, "count={count}: distance {d} < 8");
+        }
+    }
+
+    #[test]
+    fn diversified_constants_distance_from_zero_and_ones() {
+        // Values should also sit far from the "lazy" constants 0 and !0 a
+        // glitch drives registers toward.
+        let values = diversified_constants(16);
+        for v in &values {
+            assert!(v.count_ones() >= 4, "{v:#010x} too close to zero");
+            assert!(v.count_zeros() >= 4, "{v:#010x} too close to all-ones");
+        }
+    }
+
+    #[test]
+    fn diversified_constants_deterministic_and_distinct() {
+        let a = diversified_constants(32);
+        let b = diversified_constants(32);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "all constants distinct");
+    }
+
+    #[test]
+    fn min_distance_helper() {
+        assert_eq!(min_pairwise_distance(&[]), u32::MAX);
+        assert_eq!(min_pairwise_distance(&[7]), u32::MAX);
+        assert_eq!(min_pairwise_distance(&[0b1111, 0b1100]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "parity length")]
+    fn zero_parity_rejected() {
+        RsEncoder::new(0);
+    }
+}

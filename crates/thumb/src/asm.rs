@@ -1,0 +1,891 @@
+//! A two-pass text assembler for Thumb-1 (the Keystone substitute).
+//!
+//! Accepts the canonical syntax printed by [`fmt`](crate::fmt), plus labels,
+//! `ldr rX, =value` literal-pool loads, and a handful of data directives:
+//!
+//! ```text
+//! loop:                     ; labels end with ':'
+//!     ldr   r3, =0xD3B9AEC6 ; literal pools are emitted at .pool / end
+//!     cmp   r2, r3
+//!     bne   loop            ; branch targets may be labels or .+N/.-N
+//!     .word 0xdeadbeef      ; .word/.hword/.byte/.space/.align/.pool
+//! ```
+//!
+//! ```
+//! use gd_thumb::asm::assemble;
+//! let prog = assemble("movs r0, #170\nbkpt #0\n", 0x0800_0000)?;
+//! assert_eq!(prog.code, vec![0xAA, 0x20, 0x00, 0xBE]);
+//! # Ok::<(), gd_thumb::asm::AsmError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::instr::{AluOp, Hint, ShiftOp, Width};
+use crate::{Cond, Instr, Reg};
+
+/// An assembled program: raw code bytes plus the symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Little-endian machine code.
+    pub code: Vec<u8>,
+    /// Label name → absolute address.
+    pub symbols: BTreeMap<String, u32>,
+    /// Address of the first byte of `code`.
+    pub origin: u32,
+}
+
+impl Program {
+    /// Absolute address of a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] if the label was never defined.
+    pub fn symbol(&self, name: &str) -> Result<u32, AsmError> {
+        self.symbols.get(name).copied().ok_or_else(|| AsmError {
+            line: 0,
+            msg: format!("undefined symbol `{name}`"),
+        })
+    }
+
+    /// End address (origin + code length).
+    pub fn end(&self) -> u32 {
+        self.origin + self.code.len() as u32
+    }
+}
+
+/// Error produced while assembling, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number (0 for whole-program errors).
+    pub line: usize,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.msg)
+        } else {
+            write!(f, "assembly error at line {}: {}", self.line, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    /// `[base]`, `[base, #imm]` or `[base, reg]`.
+    Mem { base: Reg, imm: Option<i64>, index: Option<Reg> },
+    /// `{r0, r1, lr}` — low-register bits plus whether lr/pc was present.
+    RegList { rlist: u8, special: bool },
+    /// `=value` or `=label`.
+    Lit(LitValue),
+    /// `.+N` / `.-N`.
+    Rel(i32),
+    Label(String),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum LitValue {
+    Imm(u32),
+    Label(String),
+}
+
+#[derive(Debug, Clone)]
+enum Target {
+    Label(String),
+    Rel(i32),
+}
+
+#[derive(Debug, Clone)]
+enum BranchKind {
+    B,
+    BCond(Cond),
+    Bl,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Instr(Instr),
+    Branch { kind: BranchKind, target: Target },
+    Adr { rd: Reg, target: Target },
+    /// `ldr rt, =lit` — patched to an `LdrLit` at fix-up time.
+    LitLoad { rt: Reg, slot: usize },
+    Data(Vec<u8>),
+    /// A pool slot holding one 32-bit literal (value resolved in pass 2).
+    PoolEntry(usize),
+}
+
+struct PendingLiteral {
+    value: LitValue,
+    /// Pool-entry address, assigned when the pool is flushed.
+    addr: Option<u32>,
+}
+
+/// Assembles `src` at `origin`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending line for syntax errors, unknown
+/// mnemonics, out-of-range immediates or branch targets, and undefined or
+/// duplicate labels.
+pub fn assemble(src: &str, origin: u32) -> Result<Program, AsmError> {
+    let mut asm = Asm {
+        origin,
+        addr: origin,
+        items: Vec::new(),
+        symbols: BTreeMap::new(),
+        literals: Vec::new(),
+        unflushed: Vec::new(),
+    };
+    for (idx, raw) in src.lines().enumerate() {
+        asm.line(idx + 1, raw)?;
+    }
+    if !asm.unflushed.is_empty() {
+        asm.flush_pool();
+    }
+    asm.emit()
+}
+
+struct Asm {
+    origin: u32,
+    addr: u32,
+    items: Vec<(usize, u32, Item)>,
+    symbols: BTreeMap<String, u32>,
+    literals: Vec<PendingLiteral>,
+    unflushed: Vec<usize>,
+}
+
+impl Asm {
+    fn push(&mut self, line: usize, item: Item) {
+        let size = match &item {
+            Item::Instr(i) => i.size(),
+            Item::Branch { kind: BranchKind::Bl, .. } => 4,
+            Item::Branch { .. } | Item::Adr { .. } | Item::LitLoad { .. } => 2,
+            Item::Data(bytes) => bytes.len() as u32,
+            Item::PoolEntry(_) => 4,
+        };
+        self.items.push((line, self.addr, item));
+        self.addr += size;
+    }
+
+    fn flush_pool(&mut self) {
+        if !self.addr.is_multiple_of(4) {
+            self.push(0, Item::Data(vec![0, 0]));
+        }
+        let pending = std::mem::take(&mut self.unflushed);
+        for slot in pending {
+            self.literals[slot].addr = Some(self.addr);
+            self.push(0, Item::PoolEntry(slot));
+        }
+    }
+
+    fn line(&mut self, line: usize, raw: &str) -> Result<(), AsmError> {
+        let mut text = raw;
+        for marker in [";", "//", "@"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        // Leading labels (possibly several).
+        while let Some(pos) = text.find(':') {
+            let (label, rest) = text.split_at(pos);
+            let label = label.trim();
+            if !is_ident(label) {
+                break;
+            }
+            if self.symbols.insert(label.to_owned(), self.addr).is_some() {
+                return Err(AsmError { line, msg: format!("duplicate label `{label}`") });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            return Ok(());
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            return self.directive(line, directive);
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(pos) => (&text[..pos], text[pos..].trim()),
+            None => (text, ""),
+        };
+        let ops = parse_operands(line, rest)?;
+        let item = build(line, &mnemonic.to_ascii_lowercase(), &ops, self)?;
+        self.push(line, item);
+        Ok(())
+    }
+
+    fn directive(&mut self, line: usize, directive: &str) -> Result<(), AsmError> {
+        let (name, rest) = match directive.find(char::is_whitespace) {
+            Some(pos) => (&directive[..pos], directive[pos..].trim()),
+            None => (directive, ""),
+        };
+        let args: Vec<&str> =
+            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        match name {
+            "word" => {
+                let mut bytes = Vec::new();
+                for arg in &args {
+                    let v = parse_imm(line, arg)?;
+                    bytes.extend_from_slice(&(v as u32).to_le_bytes());
+                }
+                if !self.addr.is_multiple_of(4) {
+                    self.push(line, Item::Data(vec![0, 0]));
+                }
+                self.push(line, Item::Data(bytes));
+            }
+            "hword" => {
+                let mut bytes = Vec::new();
+                for arg in &args {
+                    let v = parse_imm(line, arg)?;
+                    bytes.extend_from_slice(&(v as u16).to_le_bytes());
+                }
+                self.push(line, Item::Data(bytes));
+            }
+            "byte" => {
+                let mut bytes = Vec::new();
+                for arg in &args {
+                    bytes.push(parse_imm(line, arg)? as u8);
+                }
+                self.push(line, Item::Data(bytes));
+            }
+            "space" => {
+                let n = parse_imm(line, args.first().copied().unwrap_or("0"))? as usize;
+                self.push(line, Item::Data(vec![0; n]));
+            }
+            "align" => {
+                if !self.addr.is_multiple_of(4) {
+                    self.push(line, Item::Data(vec![0; (4 - self.addr % 4) as usize]));
+                }
+            }
+            "pool" => self.flush_pool(),
+            other => {
+                return Err(AsmError { line, msg: format!("unknown directive `.{other}`") })
+            }
+        }
+        Ok(())
+    }
+
+    fn emit(self) -> Result<Program, AsmError> {
+        let Asm { origin, symbols, items, literals, .. } = self;
+        let resolve = |line: usize, target: &Target, pc: u32| -> Result<i32, AsmError> {
+            match target {
+                Target::Rel(off) => Ok(*off),
+                Target::Label(name) => {
+                    let addr = symbols.get(name).ok_or_else(|| AsmError {
+                        line,
+                        msg: format!("undefined label `{name}`"),
+                    })?;
+                    Ok(*addr as i64 as i32 - pc as i32)
+                }
+            }
+        };
+        let mut code = Vec::new();
+        for (line, addr, item) in &items {
+            let line = *line;
+            let err = |msg: String| AsmError { line, msg };
+            match item {
+                Item::Instr(i) => {
+                    i.try_encode().map_err(|e| err(e.to_string()))?.write_to(&mut code)
+                }
+                Item::Branch { kind, target } => {
+                    let off = resolve(line, target, addr + 4)?;
+                    let instr = match kind {
+                        BranchKind::B => Instr::B { offset: off },
+                        BranchKind::BCond(c) => Instr::BCond { cond: *c, offset: off },
+                        BranchKind::Bl => Instr::Bl { offset: off },
+                    };
+                    instr.try_encode().map_err(|e| err(e.to_string()))?.write_to(&mut code);
+                }
+                Item::Adr { rd, target } => {
+                    let base = (addr + 4) & !3;
+                    let off = resolve(line, target, base)?;
+                    if off < 0 || off % 4 != 0 || off > 1020 {
+                        return Err(err(format!("adr target out of range (offset {off})")));
+                    }
+                    Instr::Adr { rd: *rd, imm8: (off / 4) as u8 }
+                        .try_encode()
+                        .map_err(|e| err(e.to_string()))?
+                        .write_to(&mut code);
+                }
+                Item::LitLoad { rt, slot } => {
+                    let entry = literals[*slot]
+                        .addr
+                        .expect("pool flushed before emit assigns every slot");
+                    let base = (addr + 4) & !3;
+                    let off = entry as i64 - i64::from(base);
+                    if off < 0 || off % 4 != 0 || off > 1020 {
+                        return Err(err(format!(
+                            "literal pool out of range for load at {addr:#x} (offset {off})"
+                        )));
+                    }
+                    Instr::LdrLit { rt: *rt, imm8: (off / 4) as u8 }
+                        .try_encode()
+                        .map_err(|e| err(e.to_string()))?
+                        .write_to(&mut code);
+                }
+                Item::Data(bytes) => code.extend_from_slice(bytes),
+                Item::PoolEntry(slot) => {
+                    let value = match &literals[*slot].value {
+                        LitValue::Imm(v) => *v,
+                        LitValue::Label(name) => *symbols.get(name).ok_or_else(|| {
+                            err(format!("undefined label `{name}` in literal"))
+                        })?,
+                    };
+                    code.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+        }
+        Ok(Program { code, symbols, origin })
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+fn parse_imm(line: usize, text: &str) -> Result<i64, AsmError> {
+    let text = text.trim().trim_start_matches('#');
+    let (neg, digits) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
+    {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = digits.strip_prefix("0b") {
+        i64::from_str_radix(bin, 2)
+    } else {
+        digits.parse()
+    }
+    .map_err(|_| AsmError { line, msg: format!("invalid immediate `{text}`") })?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_operands(line: usize, text: &str) -> Result<Vec<Operand>, AsmError> {
+    let mut ops = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let (op, remaining) = parse_one_operand(line, rest)?;
+        ops.push(op);
+        rest = remaining.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.is_empty() {
+            return Err(AsmError { line, msg: format!("expected `,` before `{rest}`") });
+        }
+    }
+    Ok(ops)
+}
+
+fn parse_one_operand(line: usize, text: &str) -> Result<(Operand, &str), AsmError> {
+    let err = |msg: String| AsmError { line, msg };
+    if let Some(rest) = text.strip_prefix('[') {
+        let close = rest.find(']').ok_or_else(|| err("missing `]`".into()))?;
+        let inner = &rest[..close];
+        let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+        let base: Reg =
+            parts[0].parse().map_err(|_| err(format!("invalid base register `{}`", parts[0])))?;
+        let (imm, index) = match parts.len() {
+            1 => (None, None),
+            2 => {
+                if parts[1].starts_with('#') || parts[1].starts_with('-') {
+                    (Some(parse_imm(line, parts[1])?), None)
+                } else {
+                    let idx: Reg = parts[1]
+                        .parse()
+                        .map_err(|_| err(format!("invalid index register `{}`", parts[1])))?;
+                    (None, Some(idx))
+                }
+            }
+            _ => return Err(err(format!("too many fields in `[{inner}]`"))),
+        };
+        return Ok((Operand::Mem { base, imm, index }, &rest[close + 1..]));
+    }
+    if let Some(rest) = text.strip_prefix('{') {
+        let close = rest.find('}').ok_or_else(|| err("missing `}`".into()))?;
+        let inner = &rest[..close];
+        let mut rlist = 0u8;
+        let mut special = false;
+        for part in inner.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some((lo, hi)) = part.split_once('-') {
+                let lo: Reg = lo.trim().parse().map_err(|_| err(format!("bad range `{part}`")))?;
+                let hi: Reg = hi.trim().parse().map_err(|_| err(format!("bad range `{part}`")))?;
+                if !lo.is_low() || !hi.is_low() || lo > hi {
+                    return Err(err(format!("bad register range `{part}`")));
+                }
+                for i in lo.index()..=hi.index() {
+                    rlist |= 1 << i;
+                }
+            } else {
+                let reg: Reg =
+                    part.parse().map_err(|_| err(format!("invalid register `{part}`")))?;
+                if reg.is_low() {
+                    rlist |= 1 << reg.index();
+                } else if reg == Reg::LR || reg == Reg::PC {
+                    special = true;
+                } else {
+                    return Err(err(format!("register `{part}` not allowed in list")));
+                }
+            }
+        }
+        return Ok((Operand::RegList { rlist, special }, &rest[close + 1..]));
+    }
+    // Single token (up to a comma).
+    let end = text.find(',').unwrap_or(text.len());
+    let token = text[..end].trim();
+    let rest = &text[end..];
+    if token.starts_with('#') || token.starts_with('-') || token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return Ok((Operand::Imm(parse_imm(line, token)?), rest));
+    }
+    if let Some(lit) = token.strip_prefix('=') {
+        let value = if lit.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+            LitValue::Imm(parse_imm(line, lit)? as u32)
+        } else {
+            LitValue::Label(lit.to_owned())
+        };
+        return Ok((Operand::Lit(value), rest));
+    }
+    if let Some(relative) = token.strip_prefix('.') {
+        if relative.starts_with('+') || relative.starts_with('-') {
+            let off = relative
+                .parse::<i32>()
+                .map_err(|_| err(format!("invalid relative target `{token}`")))?;
+            return Ok((Operand::Rel(off), rest));
+        }
+    }
+    if let Ok(reg) = token.parse::<Reg>() {
+        return Ok((Operand::Reg(reg), rest));
+    }
+    // `rN!` (write-back marker on stm/ldm base registers).
+    if let Some(bare) = token.strip_suffix('!') {
+        if let Ok(reg) = bare.parse::<Reg>() {
+            return Ok((Operand::Reg(reg), rest));
+        }
+    }
+    if is_ident(token) {
+        return Ok((Operand::Label(token.to_owned()), rest));
+    }
+    Err(err(format!("cannot parse operand `{token}`")))
+}
+
+fn target_of(line: usize, op: &Operand) -> Result<Target, AsmError> {
+    match op {
+        Operand::Label(name) => Ok(Target::Label(name.clone())),
+        Operand::Rel(off) => Ok(Target::Rel(*off)),
+        other => Err(AsmError { line, msg: format!("expected branch target, got {other:?}") }),
+    }
+}
+
+fn low_reg(line: usize, op: &Operand) -> Result<Reg, AsmError> {
+    match op {
+        Operand::Reg(r) if r.is_low() => Ok(*r),
+        other => Err(AsmError { line, msg: format!("expected low register, got {other:?}") }),
+    }
+}
+
+fn any_reg(line: usize, op: &Operand) -> Result<Reg, AsmError> {
+    match op {
+        Operand::Reg(r) => Ok(*r),
+        other => Err(AsmError { line, msg: format!("expected register, got {other:?}") }),
+    }
+}
+
+fn scaled(line: usize, value: i64, scale: i64, max: i64, what: &str) -> Result<u8, AsmError> {
+    if value % scale != 0 || value < 0 || value / scale > max {
+        return Err(AsmError {
+            line,
+            msg: format!("{what} offset {value} not a multiple of {scale} in 0..={}", max * scale),
+        });
+    }
+    Ok((value / scale) as u8)
+}
+
+#[allow(clippy::too_many_lines)]
+fn build(line: usize, mnemonic: &str, ops: &[Operand], asm: &mut Asm) -> Result<Item, AsmError> {
+    use Operand as O;
+    let err = |msg: String| AsmError { line, msg };
+    let instr = |i: Instr| Ok(Item::Instr(i));
+
+    // Conditional branches: b<cond>.
+    if let Some(cond_text) = mnemonic.strip_prefix('b') {
+        if let Ok(cond) = cond_text.parse::<Cond>() {
+            let [target] = ops else {
+                return Err(err(format!("`{mnemonic}` takes one target")));
+            };
+            return Ok(Item::Branch {
+                kind: BranchKind::BCond(cond),
+                target: target_of(line, target)?,
+            });
+        }
+    }
+
+    // Simple ALU register ops (format 4).
+    let alu = |op: AluOp| -> Result<Item, AsmError> {
+        let [d, m] = ops else {
+            return Err(err(format!("`{mnemonic}` takes two registers")));
+        };
+        Ok(Item::Instr(Instr::Alu { op, rdn: low_reg(line, d)?, rm: low_reg(line, m)? }))
+    };
+
+    match (mnemonic, ops) {
+        ("b", [t]) => Ok(Item::Branch { kind: BranchKind::B, target: target_of(line, t)? }),
+        ("bl", [t]) => Ok(Item::Branch { kind: BranchKind::Bl, target: target_of(line, t)? }),
+        ("bx", [m]) => instr(Instr::Bx { rm: any_reg(line, m)? }),
+        ("blx", [m]) => instr(Instr::Blx { rm: any_reg(line, m)? }),
+        ("adr", [d, O::Imm(v)]) => instr(Instr::Adr {
+            rd: low_reg(line, d)?,
+            imm8: scaled(line, *v, 4, 255, "adr")?,
+        }),
+        ("adr", [d, t]) => {
+            Ok(Item::Adr { rd: low_reg(line, d)?, target: target_of(line, t)? })
+        }
+        ("movs", [d, O::Imm(v)]) => {
+            let v = u8::try_from(*v).map_err(|_| err(format!("movs immediate {v} > 255")))?;
+            instr(Instr::MovImm { rd: low_reg(line, d)?, imm8: v })
+        }
+        ("movs", [d, O::Reg(m)]) if m.is_low() => {
+            instr(Instr::ShiftImm { op: ShiftOp::Lsl, rd: low_reg(line, d)?, rm: *m, imm5: 0 })
+        }
+        ("mov", [d, m]) => instr(Instr::MovHi { rd: any_reg(line, d)?, rm: any_reg(line, m)? }),
+        ("cmp", [n, O::Imm(v)]) => {
+            let v = u8::try_from(*v).map_err(|_| err(format!("cmp immediate {v} > 255")))?;
+            instr(Instr::CmpImm { rn: low_reg(line, n)?, imm8: v })
+        }
+        ("cmp", [n, O::Reg(m)]) => {
+            let rn = any_reg(line, n)?;
+            if rn.is_low() && m.is_low() {
+                instr(Instr::Alu { op: AluOp::Cmp, rdn: rn, rm: *m })
+            } else {
+                instr(Instr::CmpHi { rn, rm: *m })
+            }
+        }
+        ("adds", [d, n, O::Reg(m)]) => instr(Instr::AddReg3 {
+            rd: low_reg(line, d)?,
+            rn: low_reg(line, n)?,
+            rm: *m,
+        }),
+        ("adds", [d, n, O::Imm(v)]) => {
+            let v = u8::try_from(*v).ok().filter(|v| *v < 8);
+            let imm3 = v.ok_or_else(|| err("adds 3-operand immediate must be 0-7".into()))?;
+            instr(Instr::AddImm3 { rd: low_reg(line, d)?, rn: low_reg(line, n)?, imm3 })
+        }
+        ("adds", [d, O::Imm(v)]) => {
+            let v = u8::try_from(*v).map_err(|_| err(format!("adds immediate {v} > 255")))?;
+            instr(Instr::AddImm8 { rdn: low_reg(line, d)?, imm8: v })
+        }
+        ("subs", [d, n, O::Reg(m)]) => instr(Instr::SubReg3 {
+            rd: low_reg(line, d)?,
+            rn: low_reg(line, n)?,
+            rm: *m,
+        }),
+        ("subs", [d, n, O::Imm(v)]) => {
+            let v = u8::try_from(*v).ok().filter(|v| *v < 8);
+            let imm3 = v.ok_or_else(|| err("subs 3-operand immediate must be 0-7".into()))?;
+            instr(Instr::SubImm3 { rd: low_reg(line, d)?, rn: low_reg(line, n)?, imm3 })
+        }
+        ("subs", [d, O::Imm(v)]) => {
+            let v = u8::try_from(*v).map_err(|_| err(format!("subs immediate {v} > 255")))?;
+            instr(Instr::SubImm8 { rdn: low_reg(line, d)?, imm8: v })
+        }
+        ("add", [O::Reg(r), O::Imm(v)]) | ("add", [O::Reg(r), O::Reg(Reg::SP), O::Imm(v)])
+            if *r == Reg::SP =>
+        {
+            instr(Instr::AddSp { imm7: scaled(line, *v, 4, 127, "add sp")? })
+        }
+        ("sub", [O::Reg(r), O::Imm(v)]) | ("sub", [O::Reg(r), O::Reg(Reg::SP), O::Imm(v)])
+            if *r == Reg::SP =>
+        {
+            instr(Instr::SubSp { imm7: scaled(line, *v, 4, 127, "sub sp")? })
+        }
+        ("add", [d, O::Reg(Reg::SP), O::Imm(v)]) => instr(Instr::AddSpImm {
+            rd: low_reg(line, d)?,
+            imm8: scaled(line, *v, 4, 255, "add rd, sp")?,
+        }),
+        ("add", [d, m]) => instr(Instr::AddHi { rdn: any_reg(line, d)?, rm: any_reg(line, m)? }),
+        ("lsls" | "lsrs" | "asrs", [d, m, O::Imm(v)]) => {
+            let op = match mnemonic {
+                "lsls" => ShiftOp::Lsl,
+                "lsrs" => ShiftOp::Lsr,
+                _ => ShiftOp::Asr,
+            };
+            // lsr/asr encode a shift of 32 as imm5 = 0; lsl cannot shift by 32.
+            let imm5 = match (op, *v) {
+                (ShiftOp::Lsl, 0..=31) => *v as u8,
+                (ShiftOp::Lsr | ShiftOp::Asr, 32) => 0,
+                (ShiftOp::Lsr | ShiftOp::Asr, 1..=31) => *v as u8,
+                _ => return Err(err(format!("shift amount {v} out of range"))),
+            };
+            instr(Instr::ShiftImm { op, rd: low_reg(line, d)?, rm: low_reg(line, m)?, imm5 })
+        }
+        ("lsls", [_, _]) => alu(AluOp::Lsl),
+        ("lsrs", [_, _]) => alu(AluOp::Lsr),
+        ("asrs", [_, _]) => alu(AluOp::Asr),
+        ("ands", _) => alu(AluOp::And),
+        ("eors", _) => alu(AluOp::Eor),
+        ("adcs", _) => alu(AluOp::Adc),
+        ("sbcs", _) => alu(AluOp::Sbc),
+        ("rors", _) => alu(AluOp::Ror),
+        ("tst", _) => alu(AluOp::Tst),
+        ("rsbs", [d, m]) => alu_pair(line, AluOp::Rsb, d, m),
+        ("rsbs", [d, m, O::Imm(0)]) => alu_pair(line, AluOp::Rsb, d, m),
+        ("negs", [d, m]) => alu_pair(line, AluOp::Rsb, d, m),
+        ("cmn", _) => alu(AluOp::Cmn),
+        ("orrs", _) => alu(AluOp::Orr),
+        ("muls", [d, m]) => alu_pair(line, AluOp::Mul, d, m),
+        ("muls", [d, m, d2]) if d == d2 => alu_pair(line, AluOp::Mul, d, m),
+        ("bics", _) => alu(AluOp::Bic),
+        ("mvns", _) => alu(AluOp::Mvn),
+        ("sxth", [d, m]) => instr(Instr::Sxth { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("sxtb", [d, m]) => instr(Instr::Sxtb { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("uxth", [d, m]) => instr(Instr::Uxth { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("uxtb", [d, m]) => instr(Instr::Uxtb { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("rev", [d, m]) => instr(Instr::Rev { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("rev16", [d, m]) => instr(Instr::Rev16 { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("revsh", [d, m]) => instr(Instr::Revsh { rd: low_reg(line, d)?, rm: low_reg(line, m)? }),
+        ("push", [O::RegList { rlist, special }]) => {
+            instr(Instr::Push { rlist: *rlist, lr: *special })
+        }
+        ("pop", [O::RegList { rlist, special }]) => {
+            instr(Instr::Pop { rlist: *rlist, pc: *special })
+        }
+        ("stmia" | "stm", [n, O::RegList { rlist, special: false }]) => {
+            instr(Instr::Stm { rn: low_reg(line, n)?, rlist: *rlist })
+        }
+        ("ldmia" | "ldm", [n, O::RegList { rlist, special: false }]) => {
+            instr(Instr::Ldm { rn: low_reg(line, n)?, rlist: *rlist })
+        }
+        ("bkpt", [O::Imm(v)]) => instr(Instr::Bkpt { imm8: *v as u8 }),
+        ("udf", [O::Imm(v)]) => instr(Instr::Udf { imm8: *v as u8 }),
+        ("svc", [O::Imm(v)]) => instr(Instr::Svc { imm8: *v as u8 }),
+        ("nop", []) => instr(Instr::NOP),
+        ("yield", []) => instr(Instr::Hint { hint: Hint::Yield }),
+        ("wfe", []) => instr(Instr::Hint { hint: Hint::Wfe }),
+        ("wfi", []) => instr(Instr::Hint { hint: Hint::Wfi }),
+        ("sev", []) => instr(Instr::Hint { hint: Hint::Sev }),
+        ("cpsie", _) => instr(Instr::Cps { disable: false }),
+        ("cpsid", _) => instr(Instr::Cps { disable: true }),
+        ("ldr", [t, O::Lit(value)]) => {
+            let rt = low_reg(line, t)?;
+            let slot = asm.literals.len();
+            asm.literals.push(PendingLiteral { value: value.clone(), addr: None });
+            asm.unflushed.push(slot);
+            Ok(Item::LitLoad { rt, slot })
+        }
+        ("ldr" | "ldrb" | "ldrh" | "str" | "strb" | "strh", [t, O::Mem { base, imm, index }]) => {
+            let rt = low_reg(line, t)?;
+            let load = mnemonic.starts_with("ldr");
+            let width = match mnemonic.as_bytes()[3..].first() {
+                Some(b'b') => Width::Byte,
+                Some(b'h') => Width::Half,
+                _ => Width::Word,
+            };
+            if let Some(rm) = index {
+                let i = if load {
+                    Instr::LoadReg { width, rt, rn: *base, rm: *rm }
+                } else {
+                    Instr::StoreReg { width, rt, rn: *base, rm: *rm }
+                };
+                return instr(i);
+            }
+            let offset = imm.unwrap_or(0);
+            if *base == Reg::SP {
+                if width != Width::Word {
+                    return Err(err("sp-relative access must be word-sized".into()));
+                }
+                let imm8 = scaled(line, offset, 4, 255, "sp-relative")?;
+                return instr(if load {
+                    Instr::LdrSp { rt, imm8 }
+                } else {
+                    Instr::StrSp { rt, imm8 }
+                });
+            }
+            if *base == Reg::PC {
+                if !load || width != Width::Word {
+                    return Err(err("pc-relative access must be `ldr`".into()));
+                }
+                let imm8 = scaled(line, offset, 4, 255, "pc-relative")?;
+                return instr(Instr::LdrLit { rt, imm8 });
+            }
+            let scale = i64::from(width.bytes());
+            let imm5 = scaled(line, offset, scale, 31, "load/store")?;
+            instr(if load {
+                Instr::LoadImm { width, rt, rn: *base, imm5 }
+            } else {
+                Instr::StoreImm { width, rt, rn: *base, imm5 }
+            })
+        }
+        ("ldrsb", [t, O::Mem { base, index: Some(rm), .. }]) => {
+            instr(Instr::LdrsbReg { rt: low_reg(line, t)?, rn: *base, rm: *rm })
+        }
+        ("ldrsh", [t, O::Mem { base, index: Some(rm), .. }]) => {
+            instr(Instr::LdrshReg { rt: low_reg(line, t)?, rn: *base, rm: *rm })
+        }
+        _ => Err(err(format!("cannot assemble `{mnemonic}` with operands {ops:?}"))),
+    }
+}
+
+fn alu_pair(line: usize, op: AluOp, d: &Operand, m: &Operand) -> Result<Item, AsmError> {
+    Ok(Item::Instr(Instr::Alu { op, rdn: low_reg(line, d)?, rm: low_reg(line, m)? }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode16;
+
+    fn one(src: &str) -> Instr {
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.code.len(), 2, "{src}");
+        decode16(u16::from_le_bytes([prog.code[0], prog.code[1]])).unwrap()
+    }
+
+    #[test]
+    fn basic_instructions() {
+        assert_eq!(one("movs r0, #0xAA"), Instr::MovImm { rd: Reg::R0, imm8: 0xAA });
+        assert_eq!(one("mov r3, sp"), Instr::MovHi { rd: Reg::R3, rm: Reg::SP });
+        assert_eq!(one("adds r3, #7"), Instr::AddImm8 { rdn: Reg::R3, imm8: 7 });
+        assert_eq!(
+            one("ldrb r3, [r3]"),
+            Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 }
+        );
+        assert_eq!(one("cmp r3, #0"), Instr::CmpImm { rn: Reg::R3, imm8: 0 });
+        assert_eq!(one("cmp r2, r3"), Instr::Alu { op: AluOp::Cmp, rdn: Reg::R2, rm: Reg::R3 });
+        assert_eq!(one("cmp r8, r3"), Instr::CmpHi { rn: Reg::R8, rm: Reg::R3 });
+        assert_eq!(one("bx lr"), Instr::Bx { rm: Reg::LR });
+        assert_eq!(one("push {r4-r6, lr}"), Instr::Push { rlist: 0b0111_0000, lr: true });
+        assert_eq!(one("add sp, #8"), Instr::AddSp { imm7: 2 });
+        assert_eq!(one("sub sp, sp, #8"), Instr::SubSp { imm7: 2 });
+        assert_eq!(one("add r1, sp, #8"), Instr::AddSpImm { rd: Reg::R1, imm8: 2 });
+        assert_eq!(one("str r0, [sp, #4]"), Instr::StrSp { rt: Reg::R0, imm8: 1 });
+        assert_eq!(
+            one("ldr r2, [r1, r0]"),
+            Instr::LoadReg { width: Width::Word, rt: Reg::R2, rn: Reg::R1, rm: Reg::R0 }
+        );
+        assert_eq!(
+            one("strh r2, [r1, #4]"),
+            Instr::StoreImm { width: Width::Half, rt: Reg::R2, rn: Reg::R1, imm5: 2 }
+        );
+        assert_eq!(one("movs r1, r2"), one("lsls r1, r2, #0"));
+        assert_eq!(one("negs r0, r1"), Instr::Alu { op: AluOp::Rsb, rdn: Reg::R0, rm: Reg::R1 });
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let src = "
+        loop:
+            cmp r3, #0
+            beq loop
+            b done
+        done:
+            bkpt #0
+        ";
+        let prog = assemble(src, 0x1000).unwrap();
+        assert_eq!(prog.symbols["loop"], 0x1000);
+        assert_eq!(prog.symbols["done"], 0x1006);
+        // beq loop: at 0x1002, PC 0x1006, target 0x1000 → offset −6.
+        let beq = decode16(u16::from_le_bytes([prog.code[2], prog.code[3]])).unwrap();
+        assert_eq!(beq, Instr::BCond { cond: Cond::Eq, offset: -6 });
+        // b done: at 0x1004, PC 0x1008, target 0x1006 → offset −2.
+        let b = decode16(u16::from_le_bytes([prog.code[4], prog.code[5]])).unwrap();
+        assert_eq!(b, Instr::B { offset: -2 });
+    }
+
+    #[test]
+    fn relative_targets() {
+        assert_eq!(one("beq .+6"), Instr::BCond { cond: Cond::Eq, offset: 6 });
+        assert_eq!(one("b .-4"), Instr::B { offset: -4 });
+    }
+
+    #[test]
+    fn literal_pool_load() {
+        let src = "
+            ldr r3, =0xD3B9AEC6
+            bkpt #0
+        ";
+        let prog = assemble(src, 0).unwrap();
+        // ldr(2) + bkpt(2) + pool(4) = 8 bytes.
+        assert_eq!(prog.code.len(), 8);
+        assert_eq!(&prog.code[4..8], &0xD3B9_AEC6u32.to_le_bytes());
+        let ldr = decode16(u16::from_le_bytes([prog.code[0], prog.code[1]])).unwrap();
+        // Load at 0, PC base (0+4)&!3 = 4, pool at 4 → imm8 = 0.
+        assert_eq!(ldr, Instr::LdrLit { rt: Reg::R3, imm8: 0 });
+    }
+
+    #[test]
+    fn literal_pool_alignment_padding() {
+        let src = "
+            ldr r0, =0x11223344
+            nop
+            nop
+        ";
+        let prog = assemble(src, 0).unwrap();
+        // 3 halfwords then 2 bytes padding then the word.
+        assert_eq!(prog.code.len(), 12);
+        assert_eq!(&prog.code[8..12], &0x1122_3344u32.to_le_bytes());
+    }
+
+    #[test]
+    fn literal_label_reference() {
+        let src = "
+            ldr r0, =target
+            bkpt #0
+        target:
+            nop
+        ";
+        let prog = assemble(src, 0x2000).unwrap();
+        let target = prog.symbols["target"];
+        let pool_bytes: [u8; 4] = prog.code[prog.code.len() - 4..].try_into().unwrap();
+        assert_eq!(u32::from_le_bytes(pool_bytes), target);
+    }
+
+    #[test]
+    fn data_directives() {
+        let prog = assemble(".hword 0x1234\n.word 0xAABBCCDD\n.byte 1, 2\n", 0).unwrap();
+        assert_eq!(prog.code[..2], [0x34, 0x12]);
+        // .word aligns to 4 first.
+        assert_eq!(&prog.code[4..8], &0xAABB_CCDDu32.to_le_bytes());
+        assert_eq!(&prog.code[8..10], &[1, 2]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = assemble("nop\nbogus r1\n", 0).unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = assemble("movs r0, #300\n", 0).unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = assemble("b nowhere\n", 0).unwrap_err();
+        assert!(err.msg.contains("undefined label"));
+        let err = assemble("x: nop\nx: nop\n", 0).unwrap_err();
+        assert!(err.msg.contains("duplicate label"));
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let prog = assemble("nop ; trailing\n// full line\n@ gas style\nnop\n", 0).unwrap();
+        assert_eq!(prog.code.len(), 4);
+    }
+
+    #[test]
+    fn bl_assembles_to_four_bytes() {
+        let src = "
+            bl func
+            bkpt #0
+        func:
+            bx lr
+        ";
+        let prog = assemble(src, 0).unwrap();
+        assert_eq!(prog.code.len(), 8);
+        let (instr, size) = crate::decode::decode_bytes(&prog.code).unwrap();
+        // bl at 0, PC 4, target 6 → offset +2.
+        assert_eq!((instr, size), (Instr::Bl { offset: 2 }, 4));
+    }
+}

@@ -1,0 +1,313 @@
+//! Condition codes for Thumb conditional branches.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// Snapshot of the four APSR condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry (no borrow for subtractions).
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let bit = |b: bool, ch: char| if b { ch } else { '-' };
+        write!(
+            f,
+            "{}{}{}{}",
+            bit(self.n, 'N'),
+            bit(self.z, 'Z'),
+            bit(self.c, 'C'),
+            bit(self.v, 'V')
+        )
+    }
+}
+
+/// One of the fourteen usable Thumb condition codes.
+///
+/// The encodings `0b1110` and `0b1111` are not conditions in the 16-bit
+/// conditional-branch space: they select the permanently-undefined
+/// instruction and `SVC` respectively, so they are deliberately absent here.
+///
+/// ```
+/// use gd_thumb::{Cond, Flags};
+/// let flags = Flags { z: true, ..Flags::default() };
+/// assert!(Cond::Eq.holds(flags));
+/// assert!(!Cond::Ne.holds(flags));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Equal (`Z == 1`).
+    Eq = 0b0000,
+    /// Not equal (`Z == 0`).
+    Ne = 0b0001,
+    /// Carry set / unsigned higher-or-same (`C == 1`).
+    Cs = 0b0010,
+    /// Carry clear / unsigned lower (`C == 0`).
+    Cc = 0b0011,
+    /// Minus / negative (`N == 1`).
+    Mi = 0b0100,
+    /// Plus / positive-or-zero (`N == 0`).
+    Pl = 0b0101,
+    /// Overflow set (`V == 1`).
+    Vs = 0b0110,
+    /// Overflow clear (`V == 0`).
+    Vc = 0b0111,
+    /// Unsigned higher (`C == 1 && Z == 0`).
+    Hi = 0b1000,
+    /// Unsigned lower-or-same (`C == 0 || Z == 1`).
+    Ls = 0b1001,
+    /// Signed greater-or-equal (`N == V`).
+    Ge = 0b1010,
+    /// Signed less-than (`N != V`).
+    Lt = 0b1011,
+    /// Signed greater-than (`Z == 0 && N == V`).
+    Gt = 0b1100,
+    /// Signed less-or-equal (`Z == 1 || N != V`).
+    Le = 0b1101,
+}
+
+impl Cond {
+    /// All fourteen condition codes in encoding order.
+    pub const ALL: [Cond; 14] = [
+        Cond::Eq,
+        Cond::Ne,
+        Cond::Cs,
+        Cond::Cc,
+        Cond::Mi,
+        Cond::Pl,
+        Cond::Vs,
+        Cond::Vc,
+        Cond::Hi,
+        Cond::Ls,
+        Cond::Ge,
+        Cond::Lt,
+        Cond::Gt,
+        Cond::Le,
+    ];
+
+    /// Decodes the 4-bit condition field.
+    ///
+    /// Returns `None` for `0b1110`/`0b1111`, which are not conditions.
+    pub const fn from_bits(bits: u8) -> Option<Cond> {
+        if bits < 14 {
+            // SAFETY-free rebuild: a match keeps this fully safe code.
+            Some(match bits {
+                0b0000 => Cond::Eq,
+                0b0001 => Cond::Ne,
+                0b0010 => Cond::Cs,
+                0b0011 => Cond::Cc,
+                0b0100 => Cond::Mi,
+                0b0101 => Cond::Pl,
+                0b0110 => Cond::Vs,
+                0b0111 => Cond::Vc,
+                0b1000 => Cond::Hi,
+                0b1001 => Cond::Ls,
+                0b1010 => Cond::Ge,
+                0b1011 => Cond::Lt,
+                0b1100 => Cond::Gt,
+                _ => Cond::Le,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The 4-bit encoding of this condition.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether the condition passes under the given flags.
+    pub const fn holds(self, f: Flags) -> bool {
+        match self {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Cs => f.c,
+            Cond::Cc => !f.c,
+            Cond::Mi => f.n,
+            Cond::Pl => !f.n,
+            Cond::Vs => f.v,
+            Cond::Vc => !f.v,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+            Cond::Ge => f.n == f.v,
+            Cond::Lt => f.n != f.v,
+            Cond::Gt => !f.z && f.n == f.v,
+            Cond::Le => f.z || f.n != f.v,
+        }
+    }
+
+    /// The condition that holds exactly when `self` does not.
+    pub const fn invert(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Cs => Cond::Cc,
+            Cond::Cc => Cond::Cs,
+            Cond::Mi => Cond::Pl,
+            Cond::Pl => Cond::Mi,
+            Cond::Vs => Cond::Vc,
+            Cond::Vc => Cond::Vs,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+            Cond::Ge => Cond::Lt,
+            Cond::Lt => Cond::Ge,
+            Cond::Gt => Cond::Le,
+            Cond::Le => Cond::Gt,
+        }
+    }
+
+    /// The assembly mnemonic suffix (`"eq"`, `"ne"`, …).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Cs => "cs",
+            Cond::Cc => "cc",
+            Cond::Mi => "mi",
+            Cond::Pl => "pl",
+            Cond::Vs => "vs",
+            Cond::Vc => "vc",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+            Cond::Ge => "ge",
+            Cond::Lt => "lt",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing a condition mnemonic fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCondError {
+    text: String,
+}
+
+impl fmt::Display for ParseCondError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid condition code `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseCondError {}
+
+impl FromStr for Cond {
+    type Err = ParseCondError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        // "hs"/"lo" are the architecture's preferred aliases for cs/cc.
+        let canonical = match lower.as_str() {
+            "hs" => "cs",
+            "lo" => "cc",
+            other => other,
+        };
+        Cond::ALL
+            .iter()
+            .copied()
+            .find(|c| c.mnemonic() == canonical)
+            .ok_or_else(|| ParseCondError { text: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_flags() -> impl Iterator<Item = Flags> {
+        (0u8..16).map(|bits| Flags {
+            n: bits & 1 != 0,
+            z: bits & 2 != 0,
+            c: bits & 4 != 0,
+            v: bits & 8 != 0,
+        })
+    }
+
+    #[test]
+    fn bits_round_trip() {
+        for cond in Cond::ALL {
+            assert_eq!(Cond::from_bits(cond.bits()), Some(cond));
+        }
+        assert_eq!(Cond::from_bits(0b1110), None);
+        assert_eq!(Cond::from_bits(0b1111), None);
+    }
+
+    #[test]
+    fn invert_is_logical_negation() {
+        for cond in Cond::ALL {
+            for flags in all_flags() {
+                assert_eq!(
+                    cond.holds(flags),
+                    !cond.invert().holds(flags),
+                    "{cond} vs {} under {flags}",
+                    cond.invert()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invert_is_involutive() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.invert().invert(), cond);
+        }
+    }
+
+    #[test]
+    fn paired_conditions_partition_flag_space() {
+        // eq/ne, cs/cc, mi/pl, vs/vc, hi/ls, ge/lt, gt/le are complements;
+        // exactly one of each pair holds for every flag combination.
+        for flags in all_flags() {
+            let holding = Cond::ALL.iter().filter(|c| c.holds(flags)).count();
+            assert_eq!(holding, 7, "exactly half the conditions hold: {flags}");
+        }
+    }
+
+    #[test]
+    fn semantics_spot_checks() {
+        let f = |n, z, c, v| Flags { n, z, c, v };
+        assert!(Cond::Hi.holds(f(false, false, true, false)));
+        assert!(!Cond::Hi.holds(f(false, true, true, false)));
+        assert!(Cond::Ge.holds(f(true, false, false, true)));
+        assert!(Cond::Lt.holds(f(true, false, false, false)));
+        assert!(Cond::Gt.holds(f(false, false, false, false)));
+        assert!(Cond::Le.holds(f(false, true, false, false)));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("hs".parse::<Cond>().unwrap(), Cond::Cs);
+        assert_eq!("lo".parse::<Cond>().unwrap(), Cond::Cc);
+        assert_eq!("GE".parse::<Cond>().unwrap(), Cond::Ge);
+        assert!("al".parse::<Cond>().is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for cond in Cond::ALL {
+            assert_eq!(cond.to_string().parse::<Cond>().unwrap(), cond);
+        }
+    }
+
+    #[test]
+    fn flags_display() {
+        let f = Flags { n: true, z: false, c: true, v: false };
+        assert_eq!(f.to_string(), "N-C-");
+    }
+}

@@ -1,0 +1,417 @@
+//! Instruction decoding: machine-code bits → [`Instr`].
+//!
+//! The decoder is *total* over the 16-bit space: every halfword either
+//! decodes to exactly one [`Instr`] whose [`encode`](Instr::try_encode) is
+//! the original halfword, or is classified as undefined / needing a second
+//! halfword. This totality is what lets the glitch-emulation framework
+//! (paper §IV) mutate arbitrary bits of an instruction and observe exactly
+//! what the perturbed pattern means.
+
+use core::fmt;
+
+use crate::instr::{AluOp, Hint, ShiftOp, Width};
+use crate::{Cond, Instr, Reg};
+
+/// Error returned when a bit pattern is not a defined instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodeError {
+    /// A 16-bit pattern with no defined meaning (UNDEFINED or UNPREDICTABLE).
+    Undefined16(u16),
+    /// A 32-bit pattern with no defined meaning in ARMv6-M.
+    Undefined32(u16, u16),
+    /// The halfword is the first half of a 32-bit instruction; call
+    /// [`decode32`] with the following halfword.
+    Incomplete(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Undefined16(hw) => write!(f, "undefined 16-bit instruction {hw:#06x}"),
+            DecodeError::Undefined32(a, b) => {
+                write!(f, "undefined 32-bit instruction {a:#06x} {b:#06x}")
+            }
+            DecodeError::Incomplete(hw) => {
+                write!(f, "halfword {hw:#06x} is a 32-bit prefix and needs its second half")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Whether `hw` opens a 32-bit instruction (`0b11101`/`0b11110`/`0b11111`
+/// in its top five bits).
+pub const fn is_32bit_prefix(hw: u16) -> bool {
+    hw >> 11 >= 0b11101
+}
+
+const fn sext(value: u16, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value as i32) << shift) >> shift
+}
+
+/// Decodes one 16-bit instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Incomplete`] if `hw` opens a 32-bit instruction and
+/// [`DecodeError::Undefined16`] if the pattern has no defined meaning.
+pub fn decode16(hw: u16) -> Result<Instr, DecodeError> {
+    let undef = Err(DecodeError::Undefined16(hw));
+    let rd = Reg::low(hw & 7);
+    let rm3 = Reg::low((hw >> 3) & 7);
+    let rm6 = Reg::low((hw >> 6) & 7);
+    let imm5 = ((hw >> 6) & 0x1F) as u8;
+    let imm8 = (hw & 0xFF) as u8;
+    let r8 = Reg::low((hw >> 8) & 7);
+
+    let instr = match hw >> 12 {
+        0b0000 | 0b0001 => match (hw >> 11) & 3 {
+            0b00 => Instr::ShiftImm { op: ShiftOp::Lsl, rd, rm: rm3, imm5 },
+            0b01 => Instr::ShiftImm { op: ShiftOp::Lsr, rd, rm: rm3, imm5 },
+            0b10 => Instr::ShiftImm { op: ShiftOp::Asr, rd, rm: rm3, imm5 },
+            _ => {
+                let imm3 = ((hw >> 6) & 7) as u8;
+                match (hw >> 9) & 3 {
+                    0b00 => Instr::AddReg3 { rd, rn: rm3, rm: rm6 },
+                    0b01 => Instr::SubReg3 { rd, rn: rm3, rm: rm6 },
+                    0b10 => Instr::AddImm3 { rd, rn: rm3, imm3 },
+                    _ => Instr::SubImm3 { rd, rn: rm3, imm3 },
+                }
+            }
+        },
+        0b0010 | 0b0011 => match (hw >> 11) & 3 {
+            0b00 => Instr::MovImm { rd: r8, imm8 },
+            0b01 => Instr::CmpImm { rn: r8, imm8 },
+            0b10 => Instr::AddImm8 { rdn: r8, imm8 },
+            _ => Instr::SubImm8 { rdn: r8, imm8 },
+        },
+        0b0100 => {
+            if hw >> 10 == 0b010000 {
+                let op = AluOp::from_bits(((hw >> 6) & 0xF) as u8);
+                Instr::Alu { op, rdn: rd, rm: rm3 }
+            } else if hw >> 10 == 0b010001 {
+                let rm = Reg::any((hw >> 3) & 0xF);
+                let rdn = Reg::any((hw >> 4) & 0b1000 | hw & 0b111);
+                match (hw >> 8) & 3 {
+                    0b00 => Instr::AddHi { rdn, rm },
+                    0b01 => Instr::CmpHi { rn: rdn, rm },
+                    0b10 => Instr::MovHi { rd: rdn, rm },
+                    _ => {
+                        // BX/BLX: bits 2..0 are (0)(0)(0).
+                        if hw & 0b111 != 0 {
+                            return undef;
+                        }
+                        if hw & (1 << 7) == 0 {
+                            Instr::Bx { rm }
+                        } else {
+                            Instr::Blx { rm }
+                        }
+                    }
+                }
+            } else {
+                Instr::LdrLit { rt: r8, imm8 }
+            }
+        }
+        0b0101 => {
+            let (rt, rn, rm) = (rd, rm3, rm6);
+            match (hw >> 9) & 7 {
+                0b000 => Instr::StoreReg { width: Width::Word, rt, rn, rm },
+                0b001 => Instr::StoreReg { width: Width::Half, rt, rn, rm },
+                0b010 => Instr::StoreReg { width: Width::Byte, rt, rn, rm },
+                0b011 => Instr::LdrsbReg { rt, rn, rm },
+                0b100 => Instr::LoadReg { width: Width::Word, rt, rn, rm },
+                0b101 => Instr::LoadReg { width: Width::Half, rt, rn, rm },
+                0b110 => Instr::LoadReg { width: Width::Byte, rt, rn, rm },
+                _ => Instr::LdrshReg { rt, rn, rm },
+            }
+        }
+        0b0110 | 0b0111 => {
+            let width = if hw & (1 << 12) == 0 { Width::Word } else { Width::Byte };
+            if hw & (1 << 11) == 0 {
+                Instr::StoreImm { width, rt: rd, rn: rm3, imm5 }
+            } else {
+                Instr::LoadImm { width, rt: rd, rn: rm3, imm5 }
+            }
+        }
+        0b1000 => {
+            if hw & (1 << 11) == 0 {
+                Instr::StoreImm { width: Width::Half, rt: rd, rn: rm3, imm5 }
+            } else {
+                Instr::LoadImm { width: Width::Half, rt: rd, rn: rm3, imm5 }
+            }
+        }
+        0b1001 => {
+            if hw & (1 << 11) == 0 {
+                Instr::StrSp { rt: r8, imm8 }
+            } else {
+                Instr::LdrSp { rt: r8, imm8 }
+            }
+        }
+        0b1010 => {
+            if hw & (1 << 11) == 0 {
+                Instr::Adr { rd: r8, imm8 }
+            } else {
+                Instr::AddSpImm { rd: r8, imm8 }
+            }
+        }
+        0b1011 => return decode_misc(hw),
+        0b1100 => {
+            let rlist = imm8;
+            if rlist == 0 {
+                return undef;
+            }
+            if hw & (1 << 11) == 0 {
+                Instr::Stm { rn: r8, rlist }
+            } else {
+                Instr::Ldm { rn: r8, rlist }
+            }
+        }
+        0b1101 => match (hw >> 8) & 0xF {
+            0b1110 => Instr::Udf { imm8 },
+            0b1111 => Instr::Svc { imm8 },
+            bits => {
+                let cond = Cond::from_bits(bits as u8).expect("covered 1110/1111 above");
+                Instr::BCond { cond, offset: sext(hw & 0xFF, 8) << 1 }
+            }
+        },
+        0b1110
+            if hw & (1 << 11) == 0 => {
+                Instr::B { offset: sext(hw & 0x7FF, 11) << 1 }
+            }
+        _ => return Err(DecodeError::Incomplete(hw)),
+    };
+    Ok(instr)
+}
+
+fn decode_misc(hw: u16) -> Result<Instr, DecodeError> {
+    let undef = Err(DecodeError::Undefined16(hw));
+    let rd = Reg::low(hw & 7);
+    let rm = Reg::low((hw >> 3) & 7);
+    let instr = match (hw >> 8) & 0xF {
+        0b0000 => {
+            let imm7 = (hw & 0x7F) as u8;
+            if hw & (1 << 7) == 0 {
+                Instr::AddSp { imm7 }
+            } else {
+                Instr::SubSp { imm7 }
+            }
+        }
+        0b0010 => match (hw >> 6) & 3 {
+            0b00 => Instr::Sxth { rd, rm },
+            0b01 => Instr::Sxtb { rd, rm },
+            0b10 => Instr::Uxth { rd, rm },
+            _ => Instr::Uxtb { rd, rm },
+        },
+        0b0100 | 0b0101 => {
+            let rlist = (hw & 0xFF) as u8;
+            let lr = hw & (1 << 8) != 0;
+            if rlist == 0 && !lr {
+                return undef;
+            }
+            Instr::Push { rlist, lr }
+        }
+        0b1100 | 0b1101 => {
+            let rlist = (hw & 0xFF) as u8;
+            let pc = hw & (1 << 8) != 0;
+            if rlist == 0 && !pc {
+                return undef;
+            }
+            Instr::Pop { rlist, pc }
+        }
+        0b0110 => match hw {
+            0xB662 => Instr::Cps { disable: false },
+            0xB672 => Instr::Cps { disable: true },
+            _ => return undef,
+        },
+        0b1010 => match (hw >> 6) & 3 {
+            0b00 => Instr::Rev { rd, rm },
+            0b01 => Instr::Rev16 { rd, rm },
+            0b11 => Instr::Revsh { rd, rm },
+            _ => return undef,
+        },
+        0b1110 => Instr::Bkpt { imm8: (hw & 0xFF) as u8 },
+        0b1111 => {
+            // Hints: opB (bits 3..0) must be zero; allocated opA are 0..=4.
+            if hw & 0xF != 0 {
+                return undef;
+            }
+            let hint = match (hw >> 4) & 0xF {
+                0 => Hint::Nop,
+                1 => Hint::Yield,
+                2 => Hint::Wfe,
+                3 => Hint::Wfi,
+                4 => Hint::Sev,
+                _ => return undef,
+            };
+            Instr::Hint { hint }
+        }
+        _ => return undef,
+    };
+    Ok(instr)
+}
+
+/// Decodes a 32-bit instruction from its two halfwords.
+///
+/// ARMv6-M defines only `BL` in the 32-bit space reachable from Thumb-1 code
+/// (the system instructions `MSR`/`MRS`/barriers are out of scope for this
+/// model and decode as undefined).
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Undefined32`] when the pair is not a `BL`, and
+/// [`DecodeError::Undefined16`] when `hw1` is not a 32-bit prefix at all.
+pub fn decode32(hw1: u16, hw2: u16) -> Result<Instr, DecodeError> {
+    if !is_32bit_prefix(hw1) {
+        return Err(DecodeError::Undefined16(hw1));
+    }
+    // BL T1: hw1 = 11110 S imm10, hw2 = 11 J1 1 J2 imm11.
+    if hw1 >> 11 == 0b11110 && hw2 & 0xD000 == 0xD000 {
+        let s = u32::from((hw1 >> 10) & 1);
+        let imm10 = u32::from(hw1 & 0x3FF);
+        let j1 = u32::from((hw2 >> 13) & 1);
+        let j2 = u32::from((hw2 >> 11) & 1);
+        let imm11 = u32::from(hw2 & 0x7FF);
+        let i1 = !(j1 ^ s) & 1;
+        let i2 = !(j2 ^ s) & 1;
+        let raw = s << 23 | i1 << 22 | i2 << 21 | imm10 << 11 | imm11;
+        let half = ((raw as i32) << 8) >> 8; // sign-extend 24 bits
+        return Ok(Instr::Bl { offset: half << 1 });
+    }
+    Err(DecodeError::Undefined32(hw1, hw2))
+}
+
+/// Decodes the instruction at the start of `bytes` (little-endian halfwords).
+///
+/// Returns the instruction and its size in bytes.
+///
+/// # Errors
+///
+/// Propagates [`DecodeError`]; a 32-bit prefix with fewer than four bytes
+/// available yields [`DecodeError::Incomplete`].
+pub fn decode_bytes(bytes: &[u8]) -> Result<(Instr, u32), DecodeError> {
+    let hw1 = match bytes {
+        [a, b, ..] => u16::from_le_bytes([*a, *b]),
+        _ => return Err(DecodeError::Undefined16(0)),
+    };
+    if is_32bit_prefix(hw1) {
+        let hw2 = match bytes {
+            [_, _, c, d, ..] => u16::from_le_bytes([*c, *d]),
+            _ => return Err(DecodeError::Incomplete(hw1)),
+        };
+        decode32(hw1, hw2).map(|i| (i, 4))
+    } else {
+        decode16(hw1).map(|i| (i, 2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Encoding;
+
+    /// The keystone property for the glitch emulator: every halfword either
+    /// decodes canonically (encode(decode(hw)) == hw) or is classified.
+    #[test]
+    fn exhaustive_round_trip() {
+        let mut defined = 0u32;
+        let mut undefined = 0u32;
+        let mut prefixes = 0u32;
+        for hw in 0..=u16::MAX {
+            match decode16(hw) {
+                Ok(instr) => {
+                    defined += 1;
+                    let enc = instr
+                        .try_encode()
+                        .unwrap_or_else(|e| panic!("decoded {instr:?} from {hw:#06x}: {e}"));
+                    assert_eq!(
+                        enc,
+                        Encoding::Half(hw),
+                        "round trip failed for {hw:#06x} → {instr:?}"
+                    );
+                }
+                Err(DecodeError::Incomplete(_)) => prefixes += 1,
+                Err(DecodeError::Undefined16(_)) => undefined += 1,
+                Err(e) => panic!("unexpected error {e} for {hw:#06x}"),
+            }
+        }
+        // The three 32-bit prefix groups cover exactly 3 * 2^11 halfwords.
+        assert_eq!(prefixes, 3 * 2048);
+        // Sanity: the huge majority of the space is defined.
+        assert!(defined > 55_000, "defined = {defined}");
+        assert_eq!(defined + undefined + prefixes, 65_536);
+    }
+
+    #[test]
+    fn bl_round_trip_sweep() {
+        for offset in
+            [-(1 << 24), -4096, -256, -4, -2, 0, 2, 4, 62, 4096, (1 << 24) - 2]
+        {
+            let enc = Instr::Bl { offset }.encode();
+            let Encoding::Pair(a, b) = enc else { panic!("BL must be 32-bit") };
+            assert_eq!(decode32(a, b), Ok(Instr::Bl { offset }), "offset {offset}");
+        }
+    }
+
+    #[test]
+    fn all_zero_halfword_is_mov_like_shift() {
+        // 0x0000 = LSLS r0, r0, #0: the ISA's de-facto NOP that glitched
+        // branches decay into (paper §IV).
+        assert_eq!(
+            decode16(0),
+            Ok(Instr::ShiftImm { op: ShiftOp::Lsl, rd: Reg::R0, rm: Reg::R0, imm5: 0 })
+        );
+    }
+
+    #[test]
+    fn all_ones_halfword_is_bl_suffix_alone() {
+        // 0xFFFF is the second half of a BL; alone it is a 32-bit prefix.
+        assert_eq!(decode16(0xFFFF), Err(DecodeError::Incomplete(0xFFFF)));
+    }
+
+    #[test]
+    fn undefined_patterns() {
+        assert!(matches!(decode16(0xDE00), Ok(Instr::Udf { imm8: 0 })));
+        // CBZ (ARMv7-M) space is undefined here.
+        assert_eq!(decode16(0xB100), Err(DecodeError::Undefined16(0xB100)));
+        // Hint with nonzero opB (IT in v7) is undefined.
+        assert_eq!(decode16(0xBF01), Err(DecodeError::Undefined16(0xBF01)));
+        // BX with nonzero low bits is unpredictable → undefined.
+        assert_eq!(decode16(0x4771), Err(DecodeError::Undefined16(0x4771)));
+        // Empty register lists.
+        assert_eq!(decode16(0xB400), Err(DecodeError::Undefined16(0xB400)));
+        assert_eq!(decode16(0xC800), Err(DecodeError::Undefined16(0xC800)));
+    }
+
+    #[test]
+    fn decode32_rejects_non_bl() {
+        assert!(matches!(decode32(0xE800, 0x0000), Err(DecodeError::Undefined32(_, _))));
+        assert!(matches!(decode32(0xF000, 0x0000), Err(DecodeError::Undefined32(_, _))));
+        assert!(matches!(decode32(0x2000, 0x0000), Err(DecodeError::Undefined16(_))));
+    }
+
+    #[test]
+    fn decode_bytes_sizes() {
+        let (i, n) = decode_bytes(&[0xAA, 0x20]).unwrap();
+        assert_eq!((i, n), (Instr::MovImm { rd: Reg::R0, imm8: 0xAA }, 2));
+        let (i, n) = decode_bytes(&[0x00, 0xF0, 0x00, 0xF8]).unwrap();
+        assert_eq!((i, n), (Instr::Bl { offset: 0 }, 4));
+        assert_eq!(decode_bytes(&[0x00, 0xF0]), Err(DecodeError::Incomplete(0xF000)));
+        assert!(decode_bytes(&[0xAA]).is_err());
+    }
+
+    #[test]
+    fn reference_decodings_from_paper() {
+        // The paper quotes `beq #6` ≈ 0b1101_0000_0000_0011 (imm8 = 3).
+        assert_eq!(decode16(0xD003), Ok(Instr::BCond { cond: Cond::Eq, offset: 6 }));
+        // Table I instruction stream.
+        assert_eq!(decode16(0x466B), Ok(Instr::MovHi { rd: Reg::R3, rm: Reg::SP }));
+        assert_eq!(decode16(0x3307), Ok(Instr::AddImm8 { rdn: Reg::R3, imm8: 7 }));
+        assert_eq!(
+            decode16(0x781B),
+            Ok(Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 })
+        );
+        assert_eq!(decode16(0x2B00), Ok(Instr::CmpImm { rn: Reg::R3, imm8: 0 }));
+    }
+}

@@ -1,0 +1,370 @@
+//! Instruction encoding: [`Instr`] → machine-code bits.
+
+use core::fmt;
+
+use crate::instr::Width;
+use crate::{Instr, Reg};
+
+/// The machine-code form of one instruction: a single halfword, or the
+/// halfword pair of a 32-bit `BL`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Encoding {
+    /// A 16-bit instruction.
+    Half(u16),
+    /// A 32-bit instruction as (first, second) halfwords in stream order.
+    Pair(u16, u16),
+}
+
+impl Encoding {
+    /// The first (or only) halfword.
+    pub const fn halfword(self) -> u16 {
+        match self {
+            Encoding::Half(h) => h,
+            Encoding::Pair(h, _) => h,
+        }
+    }
+
+    /// Size in bytes (2 or 4).
+    pub const fn size(self) -> u32 {
+        match self {
+            Encoding::Half(_) => 2,
+            Encoding::Pair(_, _) => 4,
+        }
+    }
+
+    /// Appends the little-endian bytes of this encoding to `out`.
+    pub fn write_to(self, out: &mut Vec<u8>) {
+        match self {
+            Encoding::Half(h) => out.extend_from_slice(&h.to_le_bytes()),
+            Encoding::Pair(a, b) => {
+                out.extend_from_slice(&a.to_le_bytes());
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+    }
+
+    /// The little-endian bytes of this encoding.
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4);
+        self.write_to(&mut out);
+        out
+    }
+}
+
+/// Error returned when an [`Instr`] holds a field outside its encodable range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncodeError {
+    instr: Instr,
+    reason: &'static str,
+}
+
+impl EncodeError {
+    /// The offending instruction.
+    pub fn instr(&self) -> &Instr {
+        &self.instr
+    }
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot encode {:?}: {}", self.instr, self.reason)
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn low(r: Reg) -> Result<u16, &'static str> {
+    if r.is_low() {
+        Ok(u16::from(r.index()))
+    } else {
+        Err("register must be r0-r7")
+    }
+}
+
+fn imm_max(v: u8, max: u8) -> Result<u16, &'static str> {
+    if v <= max {
+        Ok(u16::from(v))
+    } else {
+        Err("immediate out of range")
+    }
+}
+
+fn branch_imm(offset: i32, bits: u32) -> Result<u16, &'static str> {
+    if offset % 2 != 0 {
+        return Err("branch offset must be even");
+    }
+    let half = offset / 2;
+    let min = -(1i32 << (bits - 1));
+    let max = (1i32 << (bits - 1)) - 1;
+    if half < min || half > max {
+        return Err("branch offset out of range");
+    }
+    Ok((half as u16) & ((1u16 << bits) - 1))
+}
+
+impl Instr {
+    /// Encodes the instruction, validating every field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EncodeError`] when a register field needs a low register but
+    /// holds a high one, an immediate exceeds its bit-width, or a branch
+    /// offset is odd or out of range.
+    pub fn try_encode(self) -> Result<Encoding, EncodeError> {
+        let fail = |reason| EncodeError { instr: self, reason };
+        let half = self.encode_inner().map_err(fail)?;
+        Ok(half)
+    }
+
+    /// Encodes the instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a field is out of range; see [`Instr::try_encode`] for a
+    /// fallible variant.
+    pub fn encode(self) -> Encoding {
+        match self.try_encode() {
+            Ok(e) => e,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn encode_inner(self) -> Result<Encoding, &'static str> {
+        use Encoding::Half;
+        let enc = match self {
+            Instr::ShiftImm { op, rd, rm, imm5 } => {
+                let op = op as u16;
+                Half(op << 11 | imm_max(imm5, 31)? << 6 | low(rm)? << 3 | low(rd)?)
+            }
+            Instr::AddReg3 { rd, rn, rm } => {
+                Half(0b0001100 << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rd)?)
+            }
+            Instr::SubReg3 { rd, rn, rm } => {
+                Half(0b0001101 << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rd)?)
+            }
+            Instr::AddImm3 { rd, rn, imm3 } => {
+                Half(0b0001110 << 9 | imm_max(imm3, 7)? << 6 | low(rn)? << 3 | low(rd)?)
+            }
+            Instr::SubImm3 { rd, rn, imm3 } => {
+                Half(0b0001111 << 9 | imm_max(imm3, 7)? << 6 | low(rn)? << 3 | low(rd)?)
+            }
+            Instr::MovImm { rd, imm8 } => Half(0b00100 << 11 | low(rd)? << 8 | u16::from(imm8)),
+            Instr::CmpImm { rn, imm8 } => Half(0b00101 << 11 | low(rn)? << 8 | u16::from(imm8)),
+            Instr::AddImm8 { rdn, imm8 } => Half(0b00110 << 11 | low(rdn)? << 8 | u16::from(imm8)),
+            Instr::SubImm8 { rdn, imm8 } => Half(0b00111 << 11 | low(rdn)? << 8 | u16::from(imm8)),
+            Instr::Alu { op, rdn, rm } => {
+                Half(0b010000 << 10 | u16::from(op.bits()) << 6 | low(rm)? << 3 | low(rdn)?)
+            }
+            Instr::AddHi { rdn, rm } => Half(hi_reg(0b00, rdn, rm)),
+            Instr::CmpHi { rn, rm } => Half(hi_reg(0b01, rn, rm)),
+            Instr::MovHi { rd, rm } => Half(hi_reg(0b10, rd, rm)),
+            Instr::Bx { rm } => Half(0b010001110 << 7 | u16::from(rm.index()) << 3),
+            Instr::Blx { rm } => Half(0b010001111 << 7 | u16::from(rm.index()) << 3),
+            Instr::LdrLit { rt, imm8 } => Half(0b01001 << 11 | low(rt)? << 8 | u16::from(imm8)),
+            Instr::StoreReg { width, rt, rn, rm } => {
+                let op = match width {
+                    Width::Word => 0b000,
+                    Width::Half => 0b001,
+                    Width::Byte => 0b010,
+                };
+                Half(0b0101 << 12 | op << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rt)?)
+            }
+            Instr::LdrsbReg { rt, rn, rm } => {
+                Half(0b0101 << 12 | 0b011 << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rt)?)
+            }
+            Instr::LoadReg { width, rt, rn, rm } => {
+                let op = match width {
+                    Width::Word => 0b100,
+                    Width::Half => 0b101,
+                    Width::Byte => 0b110,
+                };
+                Half(0b0101 << 12 | op << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rt)?)
+            }
+            Instr::LdrshReg { rt, rn, rm } => {
+                Half(0b0101 << 12 | 0b111 << 9 | low(rm)? << 6 | low(rn)? << 3 | low(rt)?)
+            }
+            Instr::StoreImm { width, rt, rn, imm5 } => {
+                let imm = imm_max(imm5, 31)?;
+                match width {
+                    Width::Word => Half(0b01100 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                    Width::Byte => Half(0b01110 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                    Width::Half => Half(0b10000 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                }
+            }
+            Instr::LoadImm { width, rt, rn, imm5 } => {
+                let imm = imm_max(imm5, 31)?;
+                match width {
+                    Width::Word => Half(0b01101 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                    Width::Byte => Half(0b01111 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                    Width::Half => Half(0b10001 << 11 | imm << 6 | low(rn)? << 3 | low(rt)?),
+                }
+            }
+            Instr::StrSp { rt, imm8 } => Half(0b10010 << 11 | low(rt)? << 8 | u16::from(imm8)),
+            Instr::LdrSp { rt, imm8 } => Half(0b10011 << 11 | low(rt)? << 8 | u16::from(imm8)),
+            Instr::Adr { rd, imm8 } => Half(0b10100 << 11 | low(rd)? << 8 | u16::from(imm8)),
+            Instr::AddSpImm { rd, imm8 } => Half(0b10101 << 11 | low(rd)? << 8 | u16::from(imm8)),
+            Instr::AddSp { imm7 } => Half(0b101100000 << 7 | imm_max(imm7, 127)?),
+            Instr::SubSp { imm7 } => Half(0b101100001 << 7 | imm_max(imm7, 127)?),
+            Instr::Sxth { rd, rm } => Half(0b1011001000 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Sxtb { rd, rm } => Half(0b1011001001 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Uxth { rd, rm } => Half(0b1011001010 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Uxtb { rd, rm } => Half(0b1011001011 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Rev { rd, rm } => Half(0b1011101000 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Rev16 { rd, rm } => Half(0b1011101001 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Revsh { rd, rm } => Half(0b1011101011 << 6 | low(rm)? << 3 | low(rd)?),
+            Instr::Push { rlist, lr } => {
+                if rlist == 0 && !lr {
+                    return Err("push with empty register list");
+                }
+                Half(0b1011010 << 9 | u16::from(lr) << 8 | u16::from(rlist))
+            }
+            Instr::Pop { rlist, pc } => {
+                if rlist == 0 && !pc {
+                    return Err("pop with empty register list");
+                }
+                Half(0b1011110 << 9 | u16::from(pc) << 8 | u16::from(rlist))
+            }
+            Instr::Bkpt { imm8 } => Half(0b10111110 << 8 | u16::from(imm8)),
+            Instr::Hint { hint } => Half(0b10111111 << 8 | u16::from(hint as u8) << 4),
+            Instr::Cps { disable } => Half(if disable { 0xB672 } else { 0xB662 }),
+            Instr::Stm { rn, rlist } => {
+                if rlist == 0 {
+                    return Err("stm with empty register list");
+                }
+                Half(0b11000 << 11 | low(rn)? << 8 | u16::from(rlist))
+            }
+            Instr::Ldm { rn, rlist } => {
+                if rlist == 0 {
+                    return Err("ldm with empty register list");
+                }
+                Half(0b11001 << 11 | low(rn)? << 8 | u16::from(rlist))
+            }
+            Instr::BCond { cond, offset } => {
+                Half(0b1101 << 12 | u16::from(cond.bits()) << 8 | branch_imm(offset, 8)?)
+            }
+            Instr::Udf { imm8 } => Half(0b11011110 << 8 | u16::from(imm8)),
+            Instr::Svc { imm8 } => Half(0b11011111 << 8 | u16::from(imm8)),
+            Instr::B { offset } => Half(0b11100 << 11 | branch_imm(offset, 11)?),
+            Instr::Bl { offset } => {
+                if offset % 2 != 0 {
+                    return Err("branch offset must be even");
+                }
+                let half = offset / 2;
+                if !(-(1 << 23)..(1 << 23)).contains(&half) {
+                    return Err("branch offset out of range");
+                }
+                let half = half as u32;
+                let s = (half >> 23) & 1;
+                let i1 = (half >> 22) & 1;
+                let i2 = (half >> 21) & 1;
+                let imm10 = (half >> 11) & 0x3FF;
+                let imm11 = half & 0x7FF;
+                let j1 = (i1 ^ 1) ^ s;
+                let j2 = (i2 ^ 1) ^ s;
+                let hw1 = 0b11110 << 11 | (s as u16) << 10 | imm10 as u16;
+                let hw2 =
+                    0b11 << 14 | (j1 as u16) << 13 | 1 << 12 | (j2 as u16) << 11 | imm11 as u16;
+                Encoding::Pair(hw1, hw2)
+            }
+        };
+        Ok(enc)
+    }
+}
+
+fn hi_reg(op: u16, rdn: Reg, rm: Reg) -> u16 {
+    let d = u16::from(rdn.index());
+    let m = u16::from(rm.index());
+    0b010001 << 10 | op << 8 | (d >> 3) << 7 | m << 3 | (d & 0b111)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AluOp, Cond, ShiftOp};
+
+    #[test]
+    fn reference_encodings() {
+        // Encodings cross-checked against the ARMv6-M ARM.
+        let cases: Vec<(Instr, u16)> = vec![
+            (Instr::MovImm { rd: Reg::R0, imm8: 0xAA }, 0x20AA),
+            (Instr::AddImm8 { rdn: Reg::R3, imm8: 7 }, 0x3307),
+            (Instr::CmpImm { rn: Reg::R3, imm8: 0 }, 0x2B00),
+            (Instr::SubImm8 { rdn: Reg::R1, imm8: 1 }, 0x3901),
+            (
+                Instr::ShiftImm { op: ShiftOp::Lsl, rd: Reg::R0, rm: Reg::R0, imm5: 0 },
+                0x0000,
+            ),
+            (
+                Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 },
+                0x781B,
+            ),
+            (
+                Instr::LoadImm { width: Width::Word, rt: Reg::R2, rn: Reg::R1, imm5: 4 },
+                0x690A,
+            ),
+            (Instr::MovHi { rd: Reg::R3, rm: Reg::SP }, 0x466B),
+            (Instr::Bx { rm: Reg::LR }, 0x4770),
+            (Instr::BCond { cond: Cond::Eq, offset: 6 }, 0xD003),
+            (Instr::BCond { cond: Cond::Ne, offset: -8 }, 0xD1FC),
+            (Instr::B { offset: -4 }, 0xE7FE),
+            (Instr::Push { rlist: 0b1001_0000, lr: true }, 0xB590),
+            (Instr::Pop { rlist: 0b1001_0000, pc: true }, 0xBD90),
+            (Instr::NOP, 0xBF00),
+            (Instr::Bkpt { imm8: 0xAB }, 0xBEAB),
+            (Instr::Svc { imm8: 1 }, 0xDF01),
+            (Instr::LdrSp { rt: Reg::R0, imm8: 2 }, 0x9802),
+            (Instr::StrSp { rt: Reg::R0, imm8: 2 }, 0x9002),
+            (Instr::AddSp { imm7: 2 }, 0xB002),
+            (Instr::SubSp { imm7: 2 }, 0xB082),
+            (Instr::Alu { op: AluOp::Cmp, rdn: Reg::R2, rm: Reg::R3 }, 0x429A),
+            (Instr::Alu { op: AluOp::Mvn, rdn: Reg::R0, rm: Reg::R1 }, 0x43C8),
+            (Instr::LdrLit { rt: Reg::R3, imm8: 1 }, 0x4B01),
+            (Instr::Uxtb { rd: Reg::R1, rm: Reg::R2 }, 0xB2D1),
+            (Instr::Stm { rn: Reg::R0, rlist: 0b110 }, 0xC006),
+            (Instr::Ldm { rn: Reg::R0, rlist: 0b110 }, 0xC806),
+            (Instr::Udf { imm8: 0 }, 0xDE00),
+            (Instr::Cps { disable: true }, 0xB672),
+        ];
+        for (instr, expected) in cases {
+            assert_eq!(
+                instr.encode(),
+                Encoding::Half(expected),
+                "{instr:?} should encode to {expected:#06x}"
+            );
+        }
+    }
+
+    #[test]
+    fn bl_reference_encoding() {
+        // BL with offset 0 → F000 F800 (classic "bl .+4").
+        assert_eq!(Instr::Bl { offset: 0 }.encode(), Encoding::Pair(0xF000, 0xF800));
+        // Negative offset exercises the S/J1/J2 inversion.
+        assert_eq!(Instr::Bl { offset: -4 }.encode(), Encoding::Pair(0xF7FF, 0xFFFE));
+    }
+
+    #[test]
+    fn rejects_out_of_range_fields() {
+        assert!(Instr::AddImm3 { rd: Reg::R0, rn: Reg::R0, imm3: 8 }.try_encode().is_err());
+        assert!(Instr::ShiftImm { op: ShiftOp::Lsl, rd: Reg::R0, rm: Reg::R0, imm5: 32 }
+            .try_encode()
+            .is_err());
+        assert!(Instr::AddSp { imm7: 128 }.try_encode().is_err());
+        assert!(Instr::MovImm { rd: Reg::R8, imm8: 0 }.try_encode().is_err());
+        assert!(Instr::BCond { cond: Cond::Eq, offset: 3 }.try_encode().is_err());
+        assert!(Instr::BCond { cond: Cond::Eq, offset: 256 }.try_encode().is_err());
+        assert!(Instr::BCond { cond: Cond::Eq, offset: -258 }.try_encode().is_err());
+        assert!(Instr::B { offset: 2048 }.try_encode().is_err());
+        assert!(Instr::Bl { offset: 1 << 25 }.try_encode().is_err());
+        assert!(Instr::Push { rlist: 0, lr: false }.try_encode().is_err());
+        assert!(Instr::Stm { rn: Reg::R0, rlist: 0 }.try_encode().is_err());
+    }
+
+    #[test]
+    fn encoding_bytes_are_little_endian() {
+        let enc = Instr::MovImm { rd: Reg::R0, imm8: 0xAA }.encode();
+        assert_eq!(enc.to_bytes(), vec![0xAA, 0x20]);
+        let bl = Instr::Bl { offset: 0 }.encode();
+        assert_eq!(bl.to_bytes(), vec![0x00, 0xF0, 0x00, 0xF8]);
+        assert_eq!(bl.size(), 4);
+    }
+}

@@ -1,0 +1,423 @@
+//! The instruction model: every 16-bit Thumb-1 (ARMv6-M) instruction, plus
+//! the 32-bit `BL`.
+//!
+//! The model is deliberately *structural*: each variant corresponds to one
+//! encoding, so [`encode`](crate::encode) and [`decode`](crate::decode)
+//! round-trip exactly. Branch offsets are stored as **byte offsets relative
+//! to the PC value seen by the instruction** (the instruction address plus
+//! four), exactly as the hardware computes targets.
+
+use crate::{Cond, Reg};
+
+/// A data-processing operation from the Thumb "format 4" ALU group
+/// (`010000 op₄ Rm Rdn`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum AluOp {
+    /// Bitwise AND, flag-setting.
+    And = 0b0000,
+    /// Bitwise exclusive OR, flag-setting.
+    Eor = 0b0001,
+    /// Logical shift left by register.
+    Lsl = 0b0010,
+    /// Logical shift right by register.
+    Lsr = 0b0011,
+    /// Arithmetic shift right by register.
+    Asr = 0b0100,
+    /// Add with carry.
+    Adc = 0b0101,
+    /// Subtract with carry (borrow).
+    Sbc = 0b0110,
+    /// Rotate right by register.
+    Ror = 0b0111,
+    /// Bitwise test (`AND` discarding the result).
+    Tst = 0b1000,
+    /// Reverse subtract from zero (`NEG`).
+    Rsb = 0b1001,
+    /// Compare (`SUB` discarding the result).
+    Cmp = 0b1010,
+    /// Compare negative (`ADD` discarding the result).
+    Cmn = 0b1011,
+    /// Bitwise inclusive OR, flag-setting.
+    Orr = 0b1100,
+    /// Multiply, flag-setting (N and Z only).
+    Mul = 0b1101,
+    /// Bit clear (`AND NOT`), flag-setting.
+    Bic = 0b1110,
+    /// Bitwise NOT, flag-setting.
+    Mvn = 0b1111,
+}
+
+impl AluOp {
+    /// All sixteen ALU operations in encoding order.
+    pub const ALL: [AluOp; 16] = [
+        AluOp::And,
+        AluOp::Eor,
+        AluOp::Lsl,
+        AluOp::Lsr,
+        AluOp::Asr,
+        AluOp::Adc,
+        AluOp::Sbc,
+        AluOp::Ror,
+        AluOp::Tst,
+        AluOp::Rsb,
+        AluOp::Cmp,
+        AluOp::Cmn,
+        AluOp::Orr,
+        AluOp::Mul,
+        AluOp::Bic,
+        AluOp::Mvn,
+    ];
+
+    /// Decodes the 4-bit opcode field.
+    pub const fn from_bits(bits: u8) -> AluOp {
+        Self::ALL[(bits & 0xF) as usize]
+    }
+
+    /// The 4-bit opcode of this operation.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// The assembly mnemonic (`"ands"`, `"cmp"`, …).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::And => "ands",
+            AluOp::Eor => "eors",
+            AluOp::Lsl => "lsls",
+            AluOp::Lsr => "lsrs",
+            AluOp::Asr => "asrs",
+            AluOp::Adc => "adcs",
+            AluOp::Sbc => "sbcs",
+            AluOp::Ror => "rors",
+            AluOp::Tst => "tst",
+            AluOp::Rsb => "rsbs",
+            AluOp::Cmp => "cmp",
+            AluOp::Cmn => "cmn",
+            AluOp::Orr => "orrs",
+            AluOp::Mul => "muls",
+            AluOp::Bic => "bics",
+            AluOp::Mvn => "mvns",
+        }
+    }
+
+    /// Whether the operation discards its result (compare/test family).
+    pub const fn discards_result(self) -> bool {
+        matches!(self, AluOp::Tst | AluOp::Cmp | AluOp::Cmn)
+    }
+}
+
+/// An immediate-shift opcode (`000 op₂ imm5 Rm Rd`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum ShiftOp {
+    /// Logical shift left.
+    Lsl = 0b00,
+    /// Logical shift right.
+    Lsr = 0b01,
+    /// Arithmetic shift right.
+    Asr = 0b10,
+}
+
+impl ShiftOp {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftOp::Lsl => "lsls",
+            ShiftOp::Lsr => "lsrs",
+            ShiftOp::Asr => "asrs",
+        }
+    }
+}
+
+/// Memory access width for load/store instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// One byte.
+    Byte,
+    /// Two bytes.
+    Half,
+    /// Four bytes.
+    Word,
+}
+
+impl Width {
+    /// Access size in bytes.
+    pub const fn bytes(self) -> u32 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+        }
+    }
+}
+
+/// A hint instruction from the `1011 1111 opA 0000` space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Hint {
+    /// No operation.
+    Nop = 0,
+    /// Yield to other hardware threads.
+    Yield = 1,
+    /// Wait for event.
+    Wfe = 2,
+    /// Wait for interrupt.
+    Wfi = 3,
+    /// Send event.
+    Sev = 4,
+}
+
+impl Hint {
+    /// The assembly mnemonic.
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            Hint::Nop => "nop",
+            Hint::Yield => "yield",
+            Hint::Wfe => "wfe",
+            Hint::Wfi => "wfi",
+            Hint::Sev => "sev",
+        }
+    }
+}
+
+/// A decoded Thumb instruction.
+///
+/// Every variant maps to exactly one canonical encoding; see
+/// [`Instr::encode`](crate::encode) for the bit layouts. Offsets in branch
+/// variants are byte offsets from the PC (instruction address + 4).
+///
+/// ```
+/// use gd_thumb::{Instr, Reg};
+/// let add = Instr::AddImm8 { rdn: Reg::R3, imm8: 7 };
+/// assert_eq!(add.encode().halfword(), 0x3307);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variant fields are named after the architectural fields
+pub enum Instr {
+    // ----- Format 1: shift by immediate -----
+    /// `LSLS/LSRS/ASRS Rd, Rm, #imm5`.
+    ShiftImm { op: ShiftOp, rd: Reg, rm: Reg, imm5: u8 },
+
+    // ----- Format 2: three-register / small-immediate add & subtract -----
+    /// `ADDS Rd, Rn, Rm`.
+    AddReg3 { rd: Reg, rn: Reg, rm: Reg },
+    /// `SUBS Rd, Rn, Rm`.
+    SubReg3 { rd: Reg, rn: Reg, rm: Reg },
+    /// `ADDS Rd, Rn, #imm3`.
+    AddImm3 { rd: Reg, rn: Reg, imm3: u8 },
+    /// `SUBS Rd, Rn, #imm3`.
+    SubImm3 { rd: Reg, rn: Reg, imm3: u8 },
+
+    // ----- Format 3: move/compare/add/subtract 8-bit immediate -----
+    /// `MOVS Rd, #imm8`.
+    MovImm { rd: Reg, imm8: u8 },
+    /// `CMP Rn, #imm8`.
+    CmpImm { rn: Reg, imm8: u8 },
+    /// `ADDS Rdn, #imm8`.
+    AddImm8 { rdn: Reg, imm8: u8 },
+    /// `SUBS Rdn, #imm8`.
+    SubImm8 { rdn: Reg, imm8: u8 },
+
+    // ----- Format 4: register-to-register ALU -----
+    /// One of the sixteen `010000`-group operations on low registers.
+    Alu { op: AluOp, rdn: Reg, rm: Reg },
+
+    // ----- Format 5: high-register operations and branch-exchange -----
+    /// `ADD Rdn, Rm` (high registers allowed, flags unaffected).
+    AddHi { rdn: Reg, rm: Reg },
+    /// `CMP Rn, Rm` (high registers allowed).
+    CmpHi { rn: Reg, rm: Reg },
+    /// `MOV Rd, Rm` (high registers allowed, flags unaffected).
+    MovHi { rd: Reg, rm: Reg },
+    /// `BX Rm`: branch and exchange instruction set.
+    Bx { rm: Reg },
+    /// `BLX Rm`: branch with link and exchange.
+    Blx { rm: Reg },
+
+    // ----- Format 6: PC-relative load -----
+    /// `LDR Rt, [PC, #imm8*4]` (literal-pool load).
+    LdrLit { rt: Reg, imm8: u8 },
+
+    // ----- Formats 7/8: load/store with register offset -----
+    /// `STR/STRH/STRB Rt, [Rn, Rm]`.
+    StoreReg { width: Width, rt: Reg, rn: Reg, rm: Reg },
+    /// `LDR/LDRH/LDRB Rt, [Rn, Rm]`.
+    LoadReg { width: Width, rt: Reg, rn: Reg, rm: Reg },
+    /// `LDRSB Rt, [Rn, Rm]` (load signed byte).
+    LdrsbReg { rt: Reg, rn: Reg, rm: Reg },
+    /// `LDRSH Rt, [Rn, Rm]` (load signed halfword).
+    LdrshReg { rt: Reg, rn: Reg, rm: Reg },
+
+    // ----- Formats 9/10: load/store with immediate offset -----
+    /// `STR/STRH/STRB Rt, [Rn, #imm5*scale]` — scale is the access width.
+    StoreImm { width: Width, rt: Reg, rn: Reg, imm5: u8 },
+    /// `LDR/LDRH/LDRB Rt, [Rn, #imm5*scale]`.
+    LoadImm { width: Width, rt: Reg, rn: Reg, imm5: u8 },
+
+    // ----- Format 11: SP-relative load/store -----
+    /// `STR Rt, [SP, #imm8*4]`.
+    StrSp { rt: Reg, imm8: u8 },
+    /// `LDR Rt, [SP, #imm8*4]`.
+    LdrSp { rt: Reg, imm8: u8 },
+
+    // ----- Format 12: load address -----
+    /// `ADR Rd, #imm8*4` (`ADD Rd, PC, #imm`).
+    Adr { rd: Reg, imm8: u8 },
+    /// `ADD Rd, SP, #imm8*4`.
+    AddSpImm { rd: Reg, imm8: u8 },
+
+    // ----- Format 13: adjust stack pointer -----
+    /// `ADD SP, #imm7*4`.
+    AddSp { imm7: u8 },
+    /// `SUB SP, #imm7*4`.
+    SubSp { imm7: u8 },
+
+    // ----- Sign/zero extension (ARMv6-M) -----
+    /// `SXTH Rd, Rm`.
+    Sxth { rd: Reg, rm: Reg },
+    /// `SXTB Rd, Rm`.
+    Sxtb { rd: Reg, rm: Reg },
+    /// `UXTH Rd, Rm`.
+    Uxth { rd: Reg, rm: Reg },
+    /// `UXTB Rd, Rm`.
+    Uxtb { rd: Reg, rm: Reg },
+
+    // ----- Byte-reversal (ARMv6-M) -----
+    /// `REV Rd, Rm`: byte-reverse word.
+    Rev { rd: Reg, rm: Reg },
+    /// `REV16 Rd, Rm`: byte-reverse each halfword.
+    Rev16 { rd: Reg, rm: Reg },
+    /// `REVSH Rd, Rm`: byte-reverse low halfword, sign-extend.
+    Revsh { rd: Reg, rm: Reg },
+
+    // ----- Format 14: push/pop -----
+    /// `PUSH {rlist[, lr]}` — bit *i* of `rlist` selects `r<i>`.
+    Push { rlist: u8, lr: bool },
+    /// `POP {rlist[, pc]}`.
+    Pop { rlist: u8, pc: bool },
+
+    // ----- Miscellaneous -----
+    /// `BKPT #imm8`: software breakpoint.
+    Bkpt { imm8: u8 },
+    /// A hint (`NOP`, `WFI`, …).
+    Hint { hint: Hint },
+    /// `CPSIE i` / `CPSID i`: interrupt enable/disable.
+    Cps { disable: bool },
+
+    // ----- Format 15: multiple load/store -----
+    /// `STMIA Rn!, {rlist}`.
+    Stm { rn: Reg, rlist: u8 },
+    /// `LDMIA Rn!, {rlist}` (writeback unless `rn` is in the list).
+    Ldm { rn: Reg, rlist: u8 },
+
+    // ----- Format 16/17: conditional branch, UDF, SVC -----
+    /// `B<cond> <label>` — `offset` is in bytes from PC, even, −256..=254.
+    BCond { cond: Cond, offset: i32 },
+    /// Permanently undefined (`cond == 0b1110`).
+    Udf { imm8: u8 },
+    /// `SVC #imm8`: supervisor call (`cond == 0b1111`).
+    Svc { imm8: u8 },
+
+    // ----- Format 18: unconditional branch -----
+    /// `B <label>` — `offset` is in bytes from PC, even, −2048..=2046.
+    B { offset: i32 },
+
+    // ----- 32-bit branch-with-link (ARMv6-M T1) -----
+    /// `BL <label>` — `offset` is in bytes from PC, even, ±16 MiB.
+    Bl { offset: i32 },
+}
+
+impl Instr {
+    /// Convenience constructor for the canonical NOP.
+    pub const NOP: Instr = Instr::Hint { hint: Hint::Nop };
+
+    /// Size of the instruction in bytes (2, or 4 for `BL`).
+    pub const fn size(self) -> u32 {
+        match self {
+            Instr::Bl { .. } => 4,
+            _ => 2,
+        }
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub const fn is_branch(self) -> bool {
+        matches!(
+            self,
+            Instr::BCond { .. }
+                | Instr::B { .. }
+                | Instr::Bl { .. }
+                | Instr::Bx { .. }
+                | Instr::Blx { .. }
+                | Instr::Pop { pc: true, .. }
+        )
+    }
+
+    /// Whether this instruction reads from memory.
+    pub const fn is_load(self) -> bool {
+        matches!(
+            self,
+            Instr::LdrLit { .. }
+                | Instr::LoadReg { .. }
+                | Instr::LdrsbReg { .. }
+                | Instr::LdrshReg { .. }
+                | Instr::LoadImm { .. }
+                | Instr::LdrSp { .. }
+                | Instr::Pop { .. }
+                | Instr::Ldm { .. }
+        )
+    }
+
+    /// Whether this instruction writes to memory.
+    pub const fn is_store(self) -> bool {
+        matches!(
+            self,
+            Instr::StoreReg { .. }
+                | Instr::StoreImm { .. }
+                | Instr::StrSp { .. }
+                | Instr::Push { .. }
+                | Instr::Stm { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_op_round_trip() {
+        for op in AluOp::ALL {
+            assert_eq!(AluOp::from_bits(op.bits()), op);
+        }
+    }
+
+    #[test]
+    fn alu_discard_set() {
+        let discarding: Vec<_> = AluOp::ALL.iter().filter(|o| o.discards_result()).collect();
+        assert_eq!(discarding, [&AluOp::Tst, &AluOp::Cmp, &AluOp::Cmn]);
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Half.bytes(), 2);
+        assert_eq!(Width::Word.bytes(), 4);
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Instr::NOP.size(), 2);
+        assert_eq!(Instr::Bl { offset: 0 }.size(), 4);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::B { offset: 0 }.is_branch());
+        assert!(Instr::Pop { rlist: 1, pc: true }.is_branch());
+        assert!(!Instr::Pop { rlist: 1, pc: false }.is_branch());
+        assert!(Instr::LdrSp { rt: Reg::R0, imm8: 0 }.is_load());
+        assert!(Instr::Push { rlist: 0xFF, lr: true }.is_store());
+        assert!(!Instr::NOP.is_load());
+    }
+}

@@ -1,0 +1,45 @@
+//! # gd-thumb — the ARMv6-M Thumb-1 instruction set, modelled completely
+//!
+//! This crate is the ISA substrate for the *Glitching Demystified* (DSN
+//! 2021) reproduction. It provides:
+//!
+//! - a structural instruction model ([`Instr`]) covering every 16-bit
+//!   Thumb-1 instruction plus the 32-bit `BL`;
+//! - a validating [encoder](Instr::try_encode) and a **total**
+//!   [decoder](decode::decode16) over the 16-bit space — every halfword
+//!   either decodes canonically or is classified as undefined / a 32-bit
+//!   prefix, which is exactly what exhaustive bit-flip experiments
+//!   (paper §IV, Figure 2) need;
+//! - a two-pass text [assembler](asm::assemble) with labels and literal
+//!   pools (the Keystone substitute) and a [disassembler](fmt::disassemble)
+//!   (the Capstone substitute).
+//!
+//! ```
+//! use gd_thumb::{asm::assemble, decode::decode16, Cond, Instr};
+//!
+//! let prog = assemble("loop: cmp r3, #0\nbeq loop\n", 0)?;
+//! let beq = u16::from_le_bytes([prog.code[2], prog.code[3]]);
+//! assert_eq!(decode16(beq)?, Instr::BCond { cond: Cond::Eq, offset: -6 });
+//!
+//! // Glitch a bit: clearing the top bit of BEQ turns it into a store.
+//! let corrupted = decode16(beq & !0x8000)?;
+//! assert!(corrupted.is_store());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod asm;
+mod cond;
+pub mod decode;
+mod encode;
+pub mod fmt;
+mod instr;
+mod reg;
+
+pub use cond::{Cond, Flags, ParseCondError};
+pub use decode::{decode16, decode32, decode_bytes, is_32bit_prefix, DecodeError};
+pub use encode::{EncodeError, Encoding};
+pub use instr::{AluOp, Hint, Instr, ShiftOp, Width};
+pub use reg::{ParseRegError, Reg};

@@ -1,0 +1,193 @@
+//! Core register file names for the ARMv6-M (Thumb-1) register set.
+
+use core::fmt;
+use core::str::FromStr;
+
+/// One of the sixteen core registers `r0`–`r15`.
+///
+/// `r13`/`r14`/`r15` carry their architectural aliases `sp`, `lr` and `pc`.
+/// The type is a thin validated wrapper so that instruction constructors can
+/// never name a register outside the file.
+///
+/// ```
+/// use gd_thumb::Reg;
+/// assert_eq!(Reg::SP.index(), 13);
+/// assert_eq!("r3".parse::<Reg>()?, Reg::R3);
+/// # Ok::<(), gd_thumb::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+#[allow(missing_docs)] // the sixteen architectural register names
+impl Reg {
+    pub const R0: Reg = Reg(0);
+    pub const R1: Reg = Reg(1);
+    pub const R2: Reg = Reg(2);
+    pub const R3: Reg = Reg(3);
+    pub const R4: Reg = Reg(4);
+    pub const R5: Reg = Reg(5);
+    pub const R6: Reg = Reg(6);
+    pub const R7: Reg = Reg(7);
+    pub const R8: Reg = Reg(8);
+    pub const R9: Reg = Reg(9);
+    pub const R10: Reg = Reg(10);
+    pub const R11: Reg = Reg(11);
+    pub const R12: Reg = Reg(12);
+    /// Stack pointer (`r13`).
+    pub const SP: Reg = Reg(13);
+    /// Link register (`r14`).
+    pub const LR: Reg = Reg(14);
+    /// Program counter (`r15`).
+    pub const PC: Reg = Reg(15);
+
+    /// Builds a register from its index.
+    ///
+    /// Returns `None` when `index > 15`.
+    pub const fn new(index: u8) -> Option<Reg> {
+        if index < 16 {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// Builds a low register (`r0`–`r7`) from a 3-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 7`; callers pass masked instruction fields.
+    pub(crate) const fn low(bits: u16) -> Reg {
+        assert!(bits < 8, "low register field wider than 3 bits");
+        Reg(bits as u8)
+    }
+
+    /// Builds any register from a 4-bit field.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 15`; callers pass masked instruction fields.
+    pub(crate) const fn any(bits: u16) -> Reg {
+        assert!(bits < 16, "register field wider than 4 bits");
+        Reg(bits as u8)
+    }
+
+    /// The register index, `0..=15`.
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is a low register (`r0`–`r7`), encodable in 3 bits.
+    pub const fn is_low(self) -> bool {
+        self.0 < 8
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..16).map(Reg)
+    }
+
+    /// Iterates over the eight low registers in index order.
+    pub fn lows() -> impl Iterator<Item = Reg> {
+        (0..8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            13 => f.write_str("sp"),
+            14 => f.write_str("lr"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.trim().to_ascii_lowercase();
+        let err = || ParseRegError { text: s.to_owned() };
+        match lower.as_str() {
+            "sp" | "r13" => Ok(Reg::SP),
+            "lr" | "r14" => Ok(Reg::LR),
+            "pc" | "r15" => Ok(Reg::PC),
+            _ => {
+                let digits = lower.strip_prefix('r').ok_or_else(err)?;
+                let index: u8 = digits.parse().map_err(|_| err())?;
+                Reg::new(index).ok_or_else(err)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve_to_indices() {
+        assert_eq!(Reg::SP.index(), 13);
+        assert_eq!(Reg::LR.index(), 14);
+        assert_eq!(Reg::PC.index(), 15);
+    }
+
+    #[test]
+    fn display_uses_aliases() {
+        assert_eq!(Reg::R4.to_string(), "r4");
+        assert_eq!(Reg::SP.to_string(), "sp");
+        assert_eq!(Reg::LR.to_string(), "lr");
+        assert_eq!(Reg::PC.to_string(), "pc");
+    }
+
+    #[test]
+    fn parse_round_trips_display() {
+        for reg in Reg::all() {
+            assert_eq!(reg.to_string().parse::<Reg>().unwrap(), reg);
+        }
+    }
+
+    #[test]
+    fn parse_numeric_aliases() {
+        assert_eq!("r13".parse::<Reg>().unwrap(), Reg::SP);
+        assert_eq!("R2".parse::<Reg>().unwrap(), Reg::R2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("r16".parse::<Reg>().is_err());
+        assert!("x1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("r".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn low_register_predicate() {
+        assert!(Reg::R7.is_low());
+        assert!(!Reg::R8.is_low());
+        assert!(!Reg::SP.is_low());
+        assert_eq!(Reg::lows().count(), 8);
+        assert_eq!(Reg::all().count(), 16);
+    }
+
+    #[test]
+    fn new_bounds() {
+        assert_eq!(Reg::new(15), Some(Reg::PC));
+        assert_eq!(Reg::new(16), None);
+    }
+}

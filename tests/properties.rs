@@ -1,0 +1,203 @@
+//! Property-based tests across the stack: codec round-trips, differential
+//! execution of generated programs, and semantics preservation under
+//! hardening.
+
+use gd_ir::{parse_module, print_module, verify_module, Interpreter, RtVal};
+use glitching_demystified::prelude::*;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Thumb codec properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Any defined halfword re-encodes to itself (the glitch emulator's
+    /// correctness hinges on this canonicity).
+    #[test]
+    fn decode_encode_canonical(hw: u16) {
+        if let Ok(instr) = gd_thumb::decode16(hw) {
+            prop_assert_eq!(instr.encode(), gd_thumb::Encoding::Half(hw));
+        }
+    }
+
+    /// Disassembling a defined instruction and re-assembling it yields the
+    /// original encoding (text round trip).
+    #[test]
+    fn disasm_asm_round_trip(hw: u16) {
+        // Skip branches: their textual form (`beq .+6`) is origin-relative
+        // and covered by dedicated tests.
+        if let Ok(instr) = gd_thumb::decode16(hw) {
+            if instr.is_branch() || matches!(instr, gd_thumb::Instr::BCond { .. }) {
+                return Ok(());
+            }
+            let text = instr.to_string();
+            let prog = gd_thumb::asm::assemble(&text, 0)
+                .unwrap_or_else(|e| panic!("`{text}` failed to re-assemble: {e}"));
+            prop_assert_eq!(&prog.code, &hw.to_le_bytes(), "{}", text);
+        }
+    }
+
+    /// AND-direction perturbation never sets bits; OR never clears them.
+    #[test]
+    fn perturbation_directions(hw: u16, mask: u16) {
+        use gd_glitch_emu::Direction;
+        let anded = Direction::And.apply(hw, mask);
+        let orred = Direction::Or.apply(hw, mask);
+        prop_assert_eq!(anded & hw, anded, "AND only clears");
+        prop_assert_eq!(orred | hw, orred, "OR only sets");
+        prop_assert_eq!(Direction::Xor.apply(hw, mask), hw ^ mask);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reed–Solomon properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Every systematic codeword checks; any single byte flip is caught.
+    #[test]
+    fn rs_detects_any_single_byte_error(m0: u8, m1: u8, pos in 0usize..6, flip in 1u8..=255) {
+        let rs = gd_rs_ecc::RsEncoder::new(4);
+        let cw = rs.encode(&[m0, m1]);
+        prop_assert!(rs.check(&cw));
+        let mut bad = cw.clone();
+        bad[pos] ^= flip;
+        prop_assert!(!rs.check(&bad));
+    }
+
+    /// Diversified constant sets keep their pairwise distance guarantee.
+    #[test]
+    fn rs_constants_keep_distance(count in 2u32..64) {
+        let values = gd_rs_ecc::diversified_constants(count);
+        prop_assert!(gd_rs_ecc::min_pairwise_distance(&values) >= 8);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated-program differential execution
+// ---------------------------------------------------------------------
+
+/// A tiny random straight-line program over two variables, in IR text.
+fn arb_program() -> impl Strategy<Value = String> {
+    let op = prop::sample::select(vec!["add", "sub", "mul", "and", "or", "xor"]);
+    let step = (op, 0u8..2, prop::num::i64::ANY.prop_map(|v| v & 0xFFFF));
+    prop::collection::vec(step, 1..12).prop_map(|steps| {
+        let mut body = String::new();
+        let mut names = ["%x".to_owned(), "%y".to_owned()];
+        for (i, (op, which, c)) in steps.into_iter().enumerate() {
+            let lhs = &names[usize::from(which)];
+            body.push_str(&format!("  %v{i} = {op} i32 {lhs}, {c}\n"));
+            names[usize::from(which)] = format!("%v{i}");
+        }
+        format!(
+            "fn @main() -> i32 {{\nentry:\n  %x = add i32 3, 0\n  %y = add i32 5, 0\n{body}  %r = xor i32 {}, {}\n  ret i32 %r\n}}\n",
+            names[0], names[1]
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compiled code and the reference interpreter agree on every random
+    /// straight-line program.
+    #[test]
+    fn native_matches_interpreter(src in arb_program()) {
+        let module = parse_module(&src).unwrap();
+        verify_module(&module).unwrap();
+        let mut interp = Interpreter::new(&module);
+        let expected =
+            interp.run("main", &[], &mut |_, _| RtVal::Int(0)).unwrap().int() as u32;
+
+        let image = compile(&module, "main").unwrap();
+        let mut emu = image.boot_emu();
+        emu.run(1_000_000);
+        prop_assert_eq!(emu.cpu.reg(Reg::R0), expected, "{}", src);
+    }
+
+    /// Hardening never changes the computed result of a clean run.
+    #[test]
+    fn hardening_preserves_semantics(src in arb_program()) {
+        let module = parse_module(&src).unwrap();
+        let mut interp = Interpreter::new(&module);
+        let expected =
+            interp.run("main", &[], &mut |_, _| RtVal::Int(0)).unwrap().int() as u32;
+
+        let mut hardened = module.clone();
+        harden(&mut hardened, &Config::new(Defenses::ALL_EXCEPT_DELAY));
+        verify_module(&hardened).unwrap();
+        let image = compile(&hardened, "main").unwrap();
+        let mut emu = image.boot_emu();
+        emu.run(2_000_000);
+        prop_assert_eq!(emu.cpu.reg(Reg::R0), expected, "{}", src);
+    }
+
+    /// The IR text format is a fixed point of print ∘ parse.
+    #[test]
+    fn ir_print_parse_fixed_point(src in arb_program()) {
+        let module = parse_module(&src).unwrap();
+        let printed = print_module(&module);
+        let reparsed = parse_module(&printed).unwrap();
+        prop_assert_eq!(print_module(&reparsed), printed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fault-model invariants
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// The violation landscape is a pure function of its inputs.
+    #[test]
+    fn fault_landscape_deterministic(w in -49i8..=49, o in -49i8..=49) {
+        let m = FaultModel::default();
+        prop_assert_eq!(m.severity(w, o), m.severity(w, o));
+        prop_assert!((0.0..=1.0).contains(&m.severity(w, o)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Robustness: random byte soup must never panic the emulator
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Executing arbitrary bytes produces a classified outcome, never a
+    /// panic — the glitch experiments depend on this totality.
+    #[test]
+    fn emulator_survives_byte_soup(code in prop::collection::vec(any::<u8>(), 2..256)) {
+        let mut emu = gd_emu::Emu::new();
+        emu.mem.map("flash", 0, 0x1000, gd_emu::Perms::RX).unwrap();
+        emu.mem.map("sram", 0x2000_0000, 0x1000, gd_emu::Perms::RW).unwrap();
+        emu.mem.load(0, &code).unwrap();
+        emu.set_pc(0);
+        emu.cpu.set_sp(0x2000_0FF8);
+        let _ = emu.run(2_000); // outcome irrelevant; absence of panic is the property
+    }
+
+    /// The pipeline wrapper is equally total, including under random
+    /// injected faults.
+    #[test]
+    fn pipeline_survives_byte_soup_with_faults(
+        code in prop::collection::vec(any::<u8>(), 2..128),
+        masks in prop::collection::vec(any::<u16>(), 1..8),
+    ) {
+        let mut emu = gd_emu::Emu::new();
+        emu.mem.map("flash", 0, 0x1000, gd_emu::Perms::RX).unwrap();
+        emu.mem.map("sram", 0x2000_0000, 0x1000, gd_emu::Perms::RW).unwrap();
+        emu.mem.load(0, &code).unwrap();
+        emu.set_pc(0);
+        emu.cpu.set_sp(0x2000_0FF8);
+        let mut pipe = gd_pipeline::Pipeline::new(emu);
+        let mut i = 0usize;
+        let _ = pipe.run_with(2_000, |_| {
+            i = (i + 1) % masks.len();
+            if i % 3 == 0 {
+                vec![gd_pipeline::StageFault::CorruptExec { and_mask: masks[i] }]
+            } else {
+                Vec::new()
+            }
+        });
+    }
+}
