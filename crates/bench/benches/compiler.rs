@@ -1,47 +1,25 @@
 //! Benchmarks of the GlitchResistor compilation pipeline itself: parse,
 //! harden (all defenses), and lower the boot firmware to machine code.
 
-use core::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
-/// Short, stable sampling so `cargo bench --workspace` stays in CI budget.
-fn config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(20)
-}
+use gd_bench::timing::Harness;
 use glitch_resistor::{harden, Config, Defenses};
-use std::hint::black_box;
 
-fn bench_compile(c: &mut Criterion) {
-    c.bench_function("compiler/build_boot_module", |b| {
-        b.iter(|| black_box(gd_firmware::boot()))
-    });
+fn bench_compile(h: &Harness) {
+    h.bench("compiler/build_boot_module", gd_firmware::boot);
     let module = gd_firmware::boot();
-    c.bench_function("compiler/harden_all", |b| {
-        b.iter(|| {
-            let mut m = module.clone();
-            black_box(harden(&mut m, &Config::new(Defenses::ALL)))
-        })
+    h.bench("compiler/harden_all", || {
+        let mut m = module.clone();
+        harden(&mut m, &Config::new(Defenses::ALL))
     });
     let mut hardened = module.clone();
     harden(&mut hardened, &Config::new(Defenses::ALL));
-    c.bench_function("compiler/lower_hardened_boot", |b| {
-        b.iter(|| black_box(gd_backend::compile(&hardened, "main").unwrap()))
-    });
-    c.bench_function("compiler/verify_hardened_boot", |b| {
-        b.iter(|| {
-            gd_ir::verify_module(&hardened).unwrap();
-            black_box(())
-        })
+    h.bench("compiler/lower_hardened_boot", || gd_backend::compile(&hardened, "main").unwrap());
+    h.bench("compiler/verify_hardened_boot", || {
+        gd_ir::verify_module(&hardened).unwrap();
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_compile
+fn main() {
+    let h = Harness::from_env();
+    bench_compile(&h);
 }
-criterion_main!(benches);

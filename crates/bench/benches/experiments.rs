@@ -2,28 +2,18 @@
 //! one Table I-style glitch attempt, one pipeline spin, and the fault-model
 //! severity landscape.
 
-use core::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
-/// Short, stable sampling so `cargo bench --workspace` stays in CI budget.
-fn config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(20)
-}
+use gd_bench::timing::Harness;
 use std::hint::black_box;
 
-fn bench_fig2(c: &mut Criterion) {
+fn bench_fig2(h: &Harness) {
     use gd_glitch_emu::{branch_case, sweep_k, Direction};
     let case = branch_case(gd_thumb::Cond::Eq);
-    c.bench_function("fig2/sweep_beq_k2_and", |b| {
-        b.iter(|| black_box(sweep_k(&case, Direction::And, 2, gd_emu::Config::default())))
+    h.bench("fig2/sweep_beq_k2_and", || {
+        sweep_k(&case, Direction::And, 2, gd_emu::Config::default())
     });
 }
 
-fn bench_attack(c: &mut Criterion) {
+fn bench_attack(h: &Harness) {
     use gd_chipwhisperer::{
         run_attack, targets, AttackSpec, Device, FaultModel, GlitchParams, SuccessCheck,
     };
@@ -31,47 +21,34 @@ fn bench_attack(c: &mut Criterion) {
     let model = FaultModel::default();
     let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 600 };
     // An in-region point (runs the whole boot + glitch + aftermath).
-    c.bench_function("chipwhisperer/attack_in_region", |b| {
-        let mut boot = 0u64;
-        b.iter(|| {
-            boot += 1;
-            black_box(run_attack(
-                &dev,
-                &model,
-                GlitchParams::single(4, 12, -18),
-                boot,
-                &spec,
-                None,
-            ))
-        })
+    let mut boot = 0u64;
+    h.bench("chipwhisperer/attack_in_region", || {
+        boot += 1;
+        run_attack(&dev, &model, GlitchParams::single(4, 12, -18), boot, &spec, None)
     });
-    c.bench_function("chipwhisperer/severity_grid", |b| {
-        b.iter(|| {
-            let mut acc = 0.0f64;
-            for w in -49i8..=49 {
-                for o in -49i8..=49 {
-                    acc += model.severity(black_box(w), black_box(o));
-                }
+    h.bench("chipwhisperer/severity_grid", || {
+        let mut acc = 0.0f64;
+        for w in -49i8..=49 {
+            for o in -49i8..=49 {
+                acc += model.severity(black_box(w), black_box(o));
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
 }
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(h: &Harness) {
     use gd_chipwhisperer::{targets, Device};
     let dev = Device::from_asm(targets::WHILE_A).unwrap();
-    c.bench_function("pipeline/spin_10k_cycles", |b| {
-        b.iter(|| {
-            let mut pipe = dev.boot();
-            black_box(pipe.run(10_000))
-        })
+    h.bench("pipeline/spin_10k_cycles", || {
+        let mut pipe = dev.boot();
+        pipe.run(10_000)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_fig2, bench_attack, bench_pipeline
+fn main() {
+    let h = Harness::from_env();
+    bench_fig2(&h);
+    bench_attack(&h);
+    bench_pipeline(&h);
 }
-criterion_main!(benches);

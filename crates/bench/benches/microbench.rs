@@ -1,71 +1,47 @@
 //! Microbenchmarks of the substrates: decoder throughput, emulator step
 //! rate, and Reed–Solomon constant generation.
 
-use core::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
-
-/// Short, stable sampling so `cargo bench --workspace` stays in CI budget.
-fn config() -> Criterion {
-    Criterion::default()
-        .warm_up_time(Duration::from_millis(500))
-        .measurement_time(Duration::from_secs(2))
-        .sample_size(20)
-}
+use gd_bench::timing::Harness;
 use std::hint::black_box;
 
-fn bench_decoder(c: &mut Criterion) {
-    c.bench_function("thumb/decode16_full_space", |b| {
-        b.iter(|| {
-            let mut defined = 0u32;
-            for hw in 0..=u16::MAX {
-                if gd_thumb::decode16(black_box(hw)).is_ok() {
-                    defined += 1;
-                }
+fn bench_decoder(h: &Harness) {
+    h.bench("thumb/decode16_full_space", || {
+        let mut defined = 0u32;
+        for hw in 0..=u16::MAX {
+            if gd_thumb::decode16(black_box(hw)).is_ok() {
+                defined += 1;
             }
-            black_box(defined)
-        })
+        }
+        defined
     });
-    c.bench_function("thumb/encode_branch", |b| {
-        b.iter(|| {
-            let i = gd_thumb::Instr::BCond { cond: gd_thumb::Cond::Eq, offset: black_box(6) };
-            black_box(i.encode())
-        })
+    h.bench("thumb/encode_branch", || {
+        let i = gd_thumb::Instr::BCond { cond: gd_thumb::Cond::Eq, offset: black_box(6) };
+        i.encode()
     });
 }
 
-fn bench_emulator(c: &mut Criterion) {
+fn bench_emulator(h: &Harness) {
     use gd_emu::{Emu, Perms};
     use gd_thumb::asm::assemble;
-    let prog = assemble(
-        "loop:\n  adds r0, #1\n  cmp r0, #0\n  bne loop\n  bkpt #0\n",
-        0,
-    )
-    .unwrap();
-    c.bench_function("emu/step_loop_10k", |b| {
-        b.iter(|| {
-            let mut emu = Emu::new();
-            emu.mem.map("flash", 0, 0x1000, Perms::RX).unwrap();
-            emu.mem.load(0, &prog.code).unwrap();
-            emu.set_pc(0);
-            black_box(emu.run(10_000))
-        })
+    let prog = assemble("loop:\n  adds r0, #1\n  cmp r0, #0\n  bne loop\n  bkpt #0\n", 0).unwrap();
+    h.bench("emu/step_loop_10k", || {
+        let mut emu = Emu::new();
+        emu.mem.map("flash", 0, 0x1000, Perms::RX).unwrap();
+        emu.mem.load(0, &prog.code).unwrap();
+        emu.set_pc(0);
+        emu.run(10_000)
     });
 }
 
-fn bench_rs_ecc(c: &mut Criterion) {
-    c.bench_function("rs_ecc/diversify_16_constants", |b| {
-        b.iter(|| black_box(gd_rs_ecc::diversified_constants(black_box(16))))
-    });
+fn bench_rs_ecc(h: &Harness) {
+    h.bench("rs_ecc/diversify_16_constants", || gd_rs_ecc::diversified_constants(black_box(16)));
     let rs = gd_rs_ecc::RsEncoder::new(4);
-    c.bench_function("rs_ecc/encode_2_byte_message", |b| {
-        b.iter(|| black_box(rs.encode(black_box(&[0x12, 0x34]))))
-    });
+    h.bench("rs_ecc/encode_2_byte_message", || rs.encode(black_box(&[0x12, 0x34])));
 }
 
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_decoder, bench_emulator, bench_rs_ecc
+fn main() {
+    let h = Harness::from_env();
+    bench_decoder(&h);
+    bench_emulator(&h);
+    bench_rs_ecc(&h);
 }
-criterion_main!(benches);

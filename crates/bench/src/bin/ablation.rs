@@ -77,8 +77,7 @@ fn main() {
         let image = compile(&m, "main").expect("firmware lowers");
         let device = Device::from_image(&image);
         let (total, suc, det, crash) = campaign(&device, &model);
-        let det_rate =
-            if det + suc == 0 { 0.0 } else { 100.0 * det as f64 / (det + suc) as f64 };
+        let det_rate = if det + suc == 0 { 0.0 } else { 100.0 * det as f64 / (det + suc) as f64 };
         println!(
             "{name:<16} {total:>9} {suc:>10} {:>10.3}% {det:>9} {det_rate:>10.1}% {crash:>10}",
             100.0 * suc as f64 / total.max(1) as f64

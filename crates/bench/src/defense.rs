@@ -140,6 +140,14 @@ pub struct Table6Block {
 }
 
 /// Runs the full Table VI.
+///
+/// Each (attack, defense-set) cell is an independent ~100k-attempt
+/// campaign, so the six cells per target fan out across [`gd_exec`]
+/// workers. *Within* a cell, [`run_cell`] stays strictly serial: it
+/// threads NVM (the random-delay seed) from attempt to attempt like a
+/// campaign against one physical board, a cross-attempt dependency that
+/// cannot be partitioned. Row order is fixed, so output is byte-identical
+/// to the serial driver.
 pub fn table6(model: &FaultModel) -> Vec<Table6Block> {
     let attacks = [Attack::Single, Attack::Long, Attack::Window10];
     gd_firmware::table6_targets()
@@ -147,11 +155,13 @@ pub fn table6(model: &FaultModel) -> Vec<Table6Block> {
         .map(|(target, module)| {
             let all = hardened_device(&module, Defenses::ALL);
             let nodelay = hardened_device(&module, Defenses::ALL_EXCEPT_DELAY);
-            let mut rows = Vec::new();
-            for attack in attacks {
-                rows.push((attack, "All", run_cell(&all, model, attack)));
-                rows.push((attack, "All\\Delay", run_cell(&nodelay, model, attack)));
-            }
+            let cells: Vec<(Attack, &'static str, &Device)> = attacks
+                .iter()
+                .flat_map(|&attack| [(attack, "All", &all), (attack, "All\\Delay", &nodelay)])
+                .collect();
+            let rows = gd_exec::par_map(&cells, |&(attack, label, device)| {
+                (attack, label, run_cell(device, model, attack))
+            });
             Table6Block { target, rows }
         })
         .collect()
@@ -212,14 +222,8 @@ mod tests {
             for (w, o) in [(12i8, -18i8), (11, -17), (13, -19), (-34, 22), (-35, 23)] {
                 boot += 1;
                 cell.total += 1;
-                let attempt = run_attack(
-                    device,
-                    model,
-                    GlitchParams::single(cycle, w, o),
-                    boot,
-                    &spec,
-                    None,
-                );
+                let attempt =
+                    run_attack(device, model, GlitchParams::single(cycle, w, o), boot, &spec, None);
                 match attempt.outcome {
                     AttackOutcome::Success => cell.successes += 1,
                     AttackOutcome::Detected => cell.detections += 1,

@@ -30,11 +30,14 @@ impl Panel {
 }
 
 /// Runs one panel. `conds` limits the sweep (tests use a subset).
+///
+/// The per-branch sweeps are independent 2¹⁶-execution jobs, so they fan
+/// out across [`gd_exec`] workers; results come back in `conds` order,
+/// keeping the printed panel byte-identical to a serial run. (The inner
+/// mask-space fan-out in [`sweep_case`] detects the nesting and stays
+/// serial inside each worker.)
 pub fn panel(label: &'static str, direction: Direction, cfg: Config, conds: &[Cond]) -> Panel {
-    let sweeps = conds
-        .iter()
-        .map(|&c| sweep_case(&branch_case(c), direction, cfg))
-        .collect();
+    let sweeps = gd_exec::par_map(conds, |&c| sweep_case(&branch_case(c), direction, cfg));
     Panel { label, sweeps }
 }
 
@@ -46,12 +49,7 @@ pub fn run_all() -> Vec<Panel> {
     vec![
         panel("AND (2a)", Direction::And, Config::default(), &all),
         panel("OR (2b)", Direction::Or, Config::default(), &all),
-        panel(
-            "AND, 0x0000 invalid (2c)",
-            Direction::And,
-            Config { zero_is_invalid: true },
-            &all,
-        ),
+        panel("AND, 0x0000 invalid (2c)", Direction::And, Config { zero_is_invalid: true }, &all),
         panel("XOR (discussed in §IV)", Direction::Xor, Config::default(), &all),
     ]
 }
@@ -125,12 +123,7 @@ mod tests {
         let conds = [Cond::Eq, Cond::Ne];
         let and = panel("AND", Direction::And, Config::default(), &conds);
         let or = panel("OR", Direction::Or, Config::default(), &conds);
-        let and0 = panel(
-            "AND0",
-            Direction::And,
-            Config { zero_is_invalid: true },
-            &conds,
-        );
+        let and0 = panel("AND0", Direction::And, Config { zero_is_invalid: true }, &conds);
         assert!(and.overall_success() > or.overall_success());
         // Figure 2c: making 0x0000 invalid barely moves the AND rate.
         let delta = (and.overall_success() - and0.overall_success()).abs();

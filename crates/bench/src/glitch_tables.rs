@@ -81,21 +81,11 @@ pub fn print_table1_row(row: &Table1Row, annotations: &[String]) {
     for (cycle, cell) in &row.cells {
         total_s += cell.successes;
         total_a += cell.attempts;
-        let mut hist: Vec<String> = cell
-            .post_mortem
-            .iter()
-            .map(|(v, n)| format!("{v:#x}={n}"))
-            .collect();
+        let mut hist: Vec<String> =
+            cell.post_mortem.iter().map(|(v, n)| format!("{v:#x}={n}")).collect();
         hist.truncate(6);
-        let instr = annotations
-            .get(*cycle as usize)
-            .map(String::as_str)
-            .unwrap_or("");
-        println!(
-            "{cycle:<6} {instr:<22} {:>9}   {}",
-            cell.successes,
-            hist.join(" ")
-        );
+        let instr = annotations.get(*cycle as usize).map(String::as_str).unwrap_or("");
+        println!("{cycle:<6} {instr:<22} {:>9}   {}", cell.successes, hist.join(" "));
     }
     println!(
         "total  {:<22} {total_s:>9}   ({} of {} attempts)",
@@ -194,12 +184,14 @@ pub fn table3(model: &FaultModel) -> Vec<Table3Row> {
         .map(|(name, src)| {
             let dev = Device::from_asm(&src).expect("guard assembles");
             let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 1_200 };
-            let mut cells = Vec::new();
-            for len in 10..=20u32 {
+            // The eleven glitch lengths are independent single-start scans:
+            // fan them out, keeping length order for byte-identical output.
+            let lens: Vec<u32> = (10..=20).collect();
+            let cells = gd_exec::par_map(&lens, |&len| {
                 let scanned = scan_grid(&dev, model, 0..1, len, &spec, None);
                 let (_, cell) = scanned.into_iter().next().expect("one start cycle");
-                cells.push((len, cell));
-            }
+                (len, cell)
+            });
             Table3Row { name, cells }
         })
         .collect()

@@ -11,7 +11,8 @@
 //! | `table7` binary | Table VII | `table7` |
 //! | `search` binary | §V-B tuning | `search` |
 //!
-//! Criterion benches covering the hot paths live in `benches/`.
+//! Dependency-free timing benches covering the hot paths live in
+//! `benches/`, built on the [`timing`] harness.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -21,3 +22,4 @@ pub mod fig2;
 pub mod glitch_tables;
 pub mod overhead;
 pub mod report;
+pub mod timing;

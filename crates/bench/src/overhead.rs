@@ -88,10 +88,7 @@ pub fn measure_boot(defenses: Defenses) -> Table4Row {
 
 /// Runs Table IV for every configuration.
 pub fn table4() -> Vec<Table4Row> {
-    configurations()
-        .into_iter()
-        .map(|(name, d)| Table4Row { name, ..measure_boot(d) })
-        .collect()
+    configurations().into_iter().map(|(name, d)| Table4Row { name, ..measure_boot(d) }).collect()
 }
 
 /// Prints Table IV in the paper's layout.

@@ -1,0 +1,129 @@
+//! A dependency-free wall-clock micro-benchmark harness (the Criterion
+//! substitute — the workspace must build fully offline).
+//!
+//! Methodology: after a short warm-up, each benchmark is run for `N`
+//! samples (default 20, `GD_BENCH_SAMPLES` overrides); every sample
+//! executes enough iterations to span a fixed time budget and reports
+//! the mean per-iteration time; the harness prints the **median** of the
+//! samples, with min/max for spread. Medians over fixed-budget samples
+//! track Criterion's point estimates closely while needing nothing but
+//! `std::time::Instant`.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark runner with a fixed sampling plan.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    samples: usize,
+    sample_budget: Duration,
+    warmup: Duration,
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness {
+            samples: 20,
+            sample_budget: Duration::from_millis(100),
+            warmup: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Harness {
+    /// The default plan (20 samples × 100 ms, 500 ms warm-up), with the
+    /// sample count overridable via `GD_BENCH_SAMPLES`.
+    pub fn from_env() -> Harness {
+        let mut h = Harness::default();
+        if let Ok(v) = std::env::var("GD_BENCH_SAMPLES") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    h.samples = n;
+                }
+            }
+        }
+        h
+    }
+
+    /// Times `f`, printing `name` with the median per-iteration time.
+    ///
+    /// The closure's return value is passed through [`std::hint::black_box`]
+    /// so the measured work cannot be optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm up: fill caches, trigger lazy init, settle the clock.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+
+        // Calibrate the per-sample iteration count from one timed run.
+        let once = Instant::now();
+        std::hint::black_box(f());
+        let t1 = once.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.sample_budget.as_nanos() / t1.as_nanos()).clamp(1, u128::from(u32::MAX)) as u32;
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed() / iters
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{name:<40} median {:>10}   [min {:>10}, max {:>10}]   ({} samples x {iters} iters)",
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            self.samples,
+        );
+    }
+}
+
+/// Renders a duration with an SI unit chosen for 3–4 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(999)), "999 ns");
+        assert_eq!(fmt_duration(Duration::from_nanos(1_500)), "1.50 us");
+        assert_eq!(fmt_duration(Duration::from_micros(2_500)), "2.50 ms");
+        assert_eq!(fmt_duration(Duration::from_millis(3_250)), "3.25 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure_and_terminates() {
+        // A fast plan so the unit test stays quick.
+        let h = Harness {
+            samples: 3,
+            sample_budget: Duration::from_micros(200),
+            warmup: Duration::from_micros(200),
+        };
+        let mut runs = 0u64;
+        h.bench("timing/self_test", || {
+            runs += 1;
+            runs
+        });
+        assert!(runs > 3, "warm-up + samples actually executed ({runs} runs)");
+    }
+}

@@ -269,11 +269,7 @@ impl Parser {
                             break;
                         }
                         let vname = self.expect_ident()?;
-                        let init = if self.eat_punct("=") {
-                            Some(self.const_int()?)
-                        } else {
-                            None
-                        };
+                        let init = if self.eat_punct("=") { Some(self.const_int()?) } else { None };
                         variants.push((vname, init));
                         if !self.eat_punct(",") {
                             self.expect_punct("}")?;
@@ -479,12 +475,13 @@ impl Parser {
         if self.eat_ident("for") {
             self.expect_punct("(")?;
             let init = if self.eat_punct(";") { None } else { Some(Box::new(self.statement()?)) };
-            let cond =
-                if self.eat_punct(";") { Expr::Int(1) } else {
-                    let c = self.expression()?;
-                    self.expect_punct(";")?;
-                    c
-                };
+            let cond = if self.eat_punct(";") {
+                Expr::Int(1)
+            } else {
+                let c = self.expression()?;
+                self.expect_punct(";")?;
+                c
+            };
             let step = if self.eat_punct(")") {
                 None
             } else {
@@ -532,7 +529,9 @@ impl Parser {
                     let value = self.expression()?;
                     Stmt::Assign { target: LValue::Var(name), value }
                 }
-                Tok::Punct(op @ ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>=")) => {
+                Tok::Punct(
+                    op @ ("+=" | "-=" | "*=" | "/=" | "%=" | "&=" | "|=" | "^=" | "<<=" | ">>="),
+                ) => {
                     let bin: &'static str = &op[..op.len() - 1];
                     self.pos += 2;
                     let rhs = self.expression()?;
@@ -731,8 +730,9 @@ int main(void) {
 
     #[test]
     fn for_keeps_its_structure() {
-        let prog = parse("int f(void) { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }")
-            .unwrap();
+        let prog =
+            parse("int f(void) { int s = 0; for (int i = 0; i < 4; i++) { s += i; } return s; }")
+                .unwrap();
         let body = &prog.funcs[0].body;
         assert!(matches!(body[0], Stmt::Decl { .. }));
         let Stmt::For { init, step, .. } = &body[1] else { panic!("{body:?}") };
@@ -762,12 +762,8 @@ int main(void) {
             "int f(void) { int v = *(volatile int *)0x40000000; *(volatile int *)0x40000004 = v; return v; }",
         )
         .unwrap();
-        let Stmt::Decl { init: Some(Expr::Mmio(_)), .. } = &prog.funcs[0].body[0] else {
-            panic!()
-        };
-        let Stmt::Assign { target: LValue::Mmio(_), .. } = &prog.funcs[0].body[1] else {
-            panic!()
-        };
+        let Stmt::Decl { init: Some(Expr::Mmio(_)), .. } = &prog.funcs[0].body[0] else { panic!() };
+        let Stmt::Assign { target: LValue::Mmio(_), .. } = &prog.funcs[0].body[1] else { panic!() };
     }
 
     #[test]

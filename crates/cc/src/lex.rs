@@ -113,8 +113,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>, CcError> {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_hexdigit() {
                     i += 1;
                 }
-                let v = i64::from_str_radix(&src[start + 2..i], 16)
-                    .map_err(|_| CcError { line, msg: format!("bad hex literal `{}`", &src[start..i]) })?;
+                let v = i64::from_str_radix(&src[start + 2..i], 16).map_err(|_| CcError {
+                    line,
+                    msg: format!("bad hex literal `{}`", &src[start..i]),
+                })?;
                 out.push(Token { kind: Tok::Int(v), line });
             } else {
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -209,21 +211,15 @@ mod tests {
 
     #[test]
     fn multichar_operators_win() {
-        assert_eq!(kinds("a<<=1"), vec![
-            Tok::Ident("a".into()),
-            Tok::Punct("<<="),
-            Tok::Int(1),
-        ]);
-        assert_eq!(kinds("a<b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Punct("<"),
-            Tok::Ident("b".into()),
-        ]);
-        assert_eq!(kinds("a!=b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Punct("!="),
-            Tok::Ident("b".into()),
-        ]);
+        assert_eq!(kinds("a<<=1"), vec![Tok::Ident("a".into()), Tok::Punct("<<="), Tok::Int(1),]);
+        assert_eq!(
+            kinds("a<b"),
+            vec![Tok::Ident("a".into()), Tok::Punct("<"), Tok::Ident("b".into()),]
+        );
+        assert_eq!(
+            kinds("a!=b"),
+            vec![Tok::Ident("a".into()), Tok::Punct("!="), Tok::Ident("b".into()),]
+        );
     }
 
     #[test]

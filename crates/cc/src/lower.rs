@@ -3,13 +3,9 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use gd_ir::{
-    BinOp, BlockId, Builder, EnumDef, Function, Global, Module, Pred, Ty, ValueId,
-};
+use gd_ir::{BinOp, BlockId, Builder, EnumDef, Function, Global, Module, Pred, Ty, ValueId};
 
-use crate::ast::{
-    enum_constant_ref, parse, CFunc, CProgram, CType, Expr, LValue, Stmt,
-};
+use crate::ast::{enum_constant_ref, parse, CFunc, CProgram, CType, Expr, LValue, Stmt};
 use crate::lex::CcError;
 
 /// Compilation options.
@@ -133,11 +129,8 @@ fn lower_function(
         .globals
         .iter()
         .map(|g| {
-            let volatile = prog
-                .globals
-                .iter()
-                .find(|cg| cg.name == g.name)
-                .is_some_and(|cg| cg.volatile);
+            let volatile =
+                prog.globals.iter().find(|cg| cg.name == g.name).is_some_and(|cg| cg.volatile);
             (g.name.clone(), (g.ty, volatile))
         })
         .collect();
@@ -451,8 +444,8 @@ fn lower_expr(lw: &mut Lowerer<'_>, expr: &Expr) -> Result<ValueId, CcError> {
                 return Ok(promote(lw, v));
             }
             if let Some((ename, variant)) = enum_constant_ref(lw.prog, name) {
-                let value = crate::ast::enum_constant_value(lw.prog, name)
-                    .expect("ref implies value");
+                let value =
+                    crate::ast::enum_constant_value(lw.prog, name).expect("ref implies value");
                 return Ok(lw.func.const_enum(
                     Ty::I32,
                     value,

@@ -74,9 +74,7 @@ impl Device {
     /// Panics if the firmware does not fit the standard memory map.
     pub fn boot_with_nvm(&self, nvm: Option<&[u8]>) -> Pipeline {
         let mut emu = Emu::new();
-        emu.mem
-            .map("flash", layout::FLASH_BASE, layout::FLASH_SIZE, Perms::RX)
-            .expect("fresh map");
+        emu.mem.map("flash", layout::FLASH_BASE, layout::FLASH_SIZE, Perms::RX).expect("fresh map");
         emu.mem.map("nvm", layout::NVM_BASE, layout::NVM_SIZE, Perms::RW).expect("fresh map");
         emu.mem.map("sram", layout::SRAM_BASE, layout::SRAM_SIZE, Perms::RW).expect("fresh map");
         emu.mem
@@ -91,8 +89,7 @@ impl Device {
         // so wild loads (corrupted addresses) read realistic junk instead
         // of convenient zeros. Firmware data records overwrite their part.
         let mut rng = crate::rng::Rng::new(0x5AA5_0FF0);
-        let garbage: Vec<u8> =
-            (0..layout::SRAM_SIZE).map(|_| rng.next_u64() as u8).collect();
+        let garbage: Vec<u8> = (0..layout::SRAM_SIZE).map(|_| rng.next_u64() as u8).collect();
         emu.mem.load(layout::SRAM_BASE, &garbage).expect("sram mapped");
         emu.mem.load(layout::FLASH_BASE, &self.text).expect("firmware fits flash");
         for (addr, bytes) in &self.data {
@@ -112,10 +109,7 @@ impl Device {
     ///
     /// Panics if the pipeline was not booted from a [`Device`].
     pub fn snapshot_nvm(pipe: &Pipeline) -> Vec<u8> {
-        pipe.emu
-            .mem
-            .peek(layout::NVM_BASE, layout::NVM_SIZE)
-            .expect("nvm region mapped")
+        pipe.emu.mem.peek(layout::NVM_BASE, layout::NVM_SIZE).expect("nvm region mapped")
     }
 }
 
@@ -129,10 +123,7 @@ mod tests {
         let dev = Device::from_asm("movs r0, #7\nbkpt #1\n").unwrap();
         let mut pipe = dev.boot();
         let end = pipe.run(100);
-        assert!(matches!(
-            end,
-            RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(1), .. }
-        ));
+        assert!(matches!(end, RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(1), .. }));
         assert_eq!(pipe.emu.cpu.reg(gd_thumb::Reg::R0), 7);
     }
 
@@ -166,10 +157,7 @@ mod tests {
         let dev = Device::from_image(&image);
         let mut pipe = dev.boot();
         let end = pipe.run(10_000);
-        assert!(matches!(
-            end,
-            RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(0), .. }
-        ));
+        assert!(matches!(end, RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(0), .. }));
         assert_eq!(pipe.emu.cpu.reg(gd_thumb::Reg::R0), 3);
     }
 }

@@ -116,12 +116,8 @@ impl FaultModel {
         }
         // Fault occurrence is parameter-deterministic: the same (w, o, g)
         // point behaves consistently across attempts (a real "sweet spot").
-        let occur = hash_words(&[
-            self.seed,
-            params.width as u64 & 0xFF,
-            params.offset as u64 & 0xFF,
-            g,
-        ]);
+        let occur =
+            hash_words(&[self.seed, params.width as u64 & 0xFF, params.offset as u64 & 0xFF, g]);
         let occur_roll = (occur >> 8) as f64 / (1u64 << 56) as f64;
         if occur_roll >= severity * self.peak_fault_rate {
             return Vec::new();
@@ -161,9 +157,7 @@ impl FaultModel {
                     StageFault::CorruptExec { and_mask: rng.and_mask16(heavy) },
                     StageFault::CorruptFetch { and_mask: rng.and_mask16(heavy) },
                 ],
-                400..=549 => vec![StageFault::CorruptFetch {
-                    and_mask: rng.and_mask16(heavy),
-                }],
+                400..=549 => vec![StageFault::CorruptFetch { and_mask: rng.and_mask16(heavy) }],
                 550..=649 => vec![
                     StageFault::Skip,
                     StageFault::CorruptFetch { and_mask: rng.and_mask16(heavy) },
@@ -291,9 +285,7 @@ mod tests {
         }
         // Whether a fault happens at all must not depend on the boot nonce.
         let occurs: Vec<bool> = (0..8)
-            .map(|boot| {
-                !m.faults_at(&GlitchParams::single(3, 12, -18), 3, &w, boot).is_empty()
-            })
+            .map(|boot| !m.faults_at(&GlitchParams::single(3, 12, -18), 3, &w, boot).is_empty())
             .collect();
         assert!(occurs.windows(2).all(|p| p[0] == p[1]), "{occurs:?}");
     }
@@ -321,10 +313,7 @@ mod tests {
             }
         }
         let rate = f64::from(faults) / 9801.0;
-        assert!(
-            (0.005..0.10).contains(&rate),
-            "a few percent of the grid faults, got {rate:.4}"
-        );
+        assert!((0.005..0.10).contains(&rate), "a few percent of the grid faults, got {rate:.4}");
     }
 
     #[test]

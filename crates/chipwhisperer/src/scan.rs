@@ -112,7 +112,7 @@ pub fn run_attack(
 
 /// Counts per outcome, plus the Table I-style post-mortem histogram of a
 /// chosen register among successes.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CellCounts {
     /// Attempts made.
     pub attempts: u64,
@@ -201,9 +201,64 @@ pub fn scan_single(
     scan_grid(device, model, cycles, 1, spec, post_reg)
 }
 
+/// Grid points per worker chunk: one full width row of the 99×99 scan.
+/// In-region attempts each boot the device, so a row is tens of
+/// microseconds at minimum — coarse enough to amortize dispatch, fine
+/// enough to split a scan across any worker count.
+const GRID_CHUNK: usize = 99;
+
 /// Scans the grid with a repeated (long) glitch of `repeat` cycles
 /// starting at each cycle in `starts`.
+///
+/// The width×offset grid at each start cycle is fanned out across
+/// [`gd_exec`] workers. Every attempt seeds its per-boot noise from a
+/// *position-derived* boot counter (`start_index × grid + point_index`),
+/// reproducing the serial implementation's sequential numbering exactly,
+/// so the parallel scan is bit-for-bit identical to [`scan_grid_serial`]
+/// at any `GD_THREADS`. Campaigns that thread NVM state between attempts
+/// carry cross-attempt dependencies and deliberately do **not** route
+/// through here (see `defense`/`search` callers).
 pub fn scan_grid(
+    device: &Device,
+    model: &FaultModel,
+    starts: core::ops::Range<u32>,
+    repeat: u32,
+    spec: &AttackSpec,
+    post_reg: Option<Reg>,
+) -> Vec<(u32, CellCounts)> {
+    let grid = full_grid();
+    let mut out = Vec::new();
+    for (start_idx, start) in starts.enumerate() {
+        let boot_base = start_idx as u64 * grid.len() as u64;
+        let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
+            let mut cell = CellCounts::default();
+            for (j, &(width, offset)) in chunk.items.iter().enumerate() {
+                let boot = boot_base + (chunk.start + j) as u64 + 1;
+                // Out-of-region points cannot fault: count them as clean
+                // attempts without booting (a 20× scan speedup).
+                if model.severity(width, offset) == 0.0 {
+                    cell.record(AttackOutcome::NoEffect, None);
+                    continue;
+                }
+                let params = GlitchParams { ext_offset: start, repeat, width, offset };
+                let attempt = run_attack(device, model, params, boot, spec, None);
+                let reg = post_reg.map(|r| attempt.pipe.emu.cpu.reg(r));
+                cell.record(attempt.outcome, reg);
+            }
+            cell
+        });
+        let mut cell = CellCounts::default();
+        for partial in &partials {
+            cell.merge(partial);
+        }
+        out.push((start, cell));
+    }
+    out
+}
+
+/// The serial reference implementation of [`scan_grid`] — kept for the
+/// differential tests that pin the parallel scan to it byte for byte.
+pub fn scan_grid_serial(
     device: &Device,
     model: &FaultModel,
     starts: core::ops::Range<u32>,
@@ -218,8 +273,6 @@ pub fn scan_grid(
         let mut cell = CellCounts::default();
         for &(width, offset) in &grid {
             boot += 1;
-            // Out-of-region points cannot fault: count them as clean
-            // attempts without booting (a 20× scan speedup).
             if model.severity(width, offset) == 0.0 {
                 cell.record(AttackOutcome::NoEffect, None);
                 continue;
@@ -238,7 +291,7 @@ pub fn scan_grid(
 /// trigger twice (two identical loops); the same glitch parameters apply
 /// after each trigger. *Partial* means the first loop was escaped but not
 /// the second; *full* means both.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MultiCell {
     /// Attempts made.
     pub attempts: u64,
@@ -248,8 +301,21 @@ pub struct MultiCell {
     pub full: u64,
 }
 
+impl MultiCell {
+    /// Merges another cell (counts are additive).
+    pub fn merge(&mut self, other: &MultiCell) {
+        self.attempts += other.attempts;
+        self.partial += other.partial;
+        self.full += other.full;
+    }
+}
+
 /// Runs the multi-glitch scan. The firmware must raise the trigger before
 /// each loop; reaching the second trigger proves the first glitch worked.
+///
+/// Parallelized like [`scan_grid`]: the grid fans out across workers
+/// with position-derived boot numbering, and per-chunk cells merge in
+/// input order, so output matches the serial loop exactly.
 pub fn scan_multi(
     device: &Device,
     model: &FaultModel,
@@ -258,23 +324,30 @@ pub fn scan_multi(
 ) -> Vec<(u32, MultiCell)> {
     let grid = full_grid();
     let mut out = Vec::new();
-    let mut boot = 0u64;
-    for cycle in cycles {
+    for (cycle_idx, cycle) in cycles.enumerate() {
+        let boot_base = cycle_idx as u64 * grid.len() as u64;
+        let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
+            let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
+            for (j, &(width, offset)) in chunk.items.iter().enumerate() {
+                let boot = boot_base + (chunk.start + j) as u64 + 1;
+                cell.attempts += 1;
+                if model.severity(width, offset) == 0.0 {
+                    continue;
+                }
+                let params = GlitchParams::single(cycle, width, offset);
+                let attempt = run_attack(device, model, params, boot, spec, None);
+                let triggers = attempt.pipe.trigger_cycles().len();
+                match attempt.outcome {
+                    AttackOutcome::Success => cell.full += 1,
+                    _ if triggers >= 2 => cell.partial += 1,
+                    _ => {}
+                }
+            }
+            cell
+        });
         let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
-        for &(width, offset) in &grid {
-            boot += 1;
-            cell.attempts += 1;
-            if model.severity(width, offset) == 0.0 {
-                continue;
-            }
-            let params = GlitchParams::single(cycle, width, offset);
-            let attempt = run_attack(device, model, params, boot, spec, None);
-            let triggers = attempt.pipe.trigger_cycles().len();
-            match attempt.outcome {
-                AttackOutcome::Success => cell.full += 1,
-                _ if triggers >= 2 => cell.partial += 1,
-                _ => {}
-            }
+        for partial in &partials {
+            cell.merge(partial);
         }
         out.push((cycle, cell));
     }
@@ -295,14 +368,8 @@ mod tests {
         let dev = Device::from_asm(targets::WHILE_NOT_A).unwrap();
         let model = FaultModel::default();
         // (0, 0) is outside the violation region.
-        let attempt = run_attack(
-            &dev,
-            &model,
-            GlitchParams::single(0, 0, 0),
-            1,
-            &quick_spec(),
-            None,
-        );
+        let attempt =
+            run_attack(&dev, &model, GlitchParams::single(0, 0, 0), 1, &quick_spec(), None);
         assert_eq!(attempt.outcome, AttackOutcome::NoEffect);
     }
 
@@ -326,6 +393,52 @@ mod tests {
         let hist: u64 = scans.iter().flat_map(|(_, c)| c.post_mortem.values()).sum();
         let succ: u64 = scans.iter().map(|(_, c)| c.successes).sum();
         assert_eq!(hist, succ, "each success records the comparator register");
+    }
+
+    /// The tentpole guarantee on the rig side: the parallel grid scan —
+    /// position-derived boot numbering included — reproduces the serial
+    /// scan exactly, post-mortem histograms and all.
+    #[test]
+    fn parallel_scan_matches_serial() {
+        let dev = Device::from_asm(targets::WHILE_NOT_A).unwrap();
+        let model = FaultModel::default();
+        let par = scan_grid(&dev, &model, 3..6, 1, &quick_spec(), Some(Reg::R3));
+        let ser = scan_grid_serial(&dev, &model, 3..6, 1, &quick_spec(), Some(Reg::R3));
+        assert_eq!(par, ser);
+    }
+
+    /// Same guarantee for the multi-glitch scan, against an inline serial
+    /// re-derivation (the production serial path no longer exists).
+    #[test]
+    fn parallel_multi_scan_matches_serial() {
+        let dev = Device::from_asm(&targets::while_not_a_doubled()).unwrap();
+        let model = FaultModel::default();
+        let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 1_200 };
+        let par = scan_multi(&dev, &model, 4..6, &spec);
+
+        let grid = full_grid();
+        let mut ser = Vec::new();
+        let mut boot = 0u64;
+        for cycle in 4..6u32 {
+            let mut cell = MultiCell::default();
+            for &(width, offset) in &grid {
+                boot += 1;
+                cell.attempts += 1;
+                if model.severity(width, offset) == 0.0 {
+                    continue;
+                }
+                let params = GlitchParams::single(cycle, width, offset);
+                let attempt = run_attack(&dev, &model, params, boot, &spec, None);
+                let triggers = attempt.pipe.trigger_cycles().len();
+                match attempt.outcome {
+                    AttackOutcome::Success => cell.full += 1,
+                    _ if triggers >= 2 => cell.partial += 1,
+                    _ => {}
+                }
+            }
+            ser.push((cycle, cell));
+        }
+        assert_eq!(par, ser);
     }
 
     #[test]

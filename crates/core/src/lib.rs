@@ -180,8 +180,7 @@ halt:
         ] {
             let mut m = parse_module(FIRMWARE).unwrap();
             harden(&mut m, &Config::new(d));
-            verify_module(&m)
-                .unwrap_or_else(|e| panic!("{name}: {e}\n{}", print_module(&m)));
+            verify_module(&m).unwrap_or_else(|e| panic!("{name}: {e}\n{}", print_module(&m)));
         }
     }
 
@@ -226,9 +225,6 @@ y:
         harden(&mut m, &Config::new(Defenses::ALL));
         let delay = m.func("gr_delay").unwrap();
         let text = gd_ir::print_function(delay);
-        assert!(
-            text.contains("gr_detected"),
-            "gr_delay's own branches are duplicated:\n{text}"
-        );
+        assert!(text.contains("gr_detected"), "gr_delay's own branches are duplicated:\n{text}");
     }
 }

@@ -165,10 +165,8 @@ pub fn clone_chain(func: &mut Function, v: ValueId, target: BlockId) -> (ValueId
 pub fn detect_trampoline(func: &mut Function, cont: BlockId) -> BlockId {
     let name = format!("gr.detect{}", func.block_count());
     let bb = func.add_block(&name);
-    let call = func.create_instr(
-        Instr::Call { callee: DETECT_FN.to_owned(), args: vec![] },
-        Ty::Void,
-    );
+    let call =
+        func.create_instr(Instr::Call { callee: DETECT_FN.to_owned(), args: vec![] }, Ty::Void);
     func.block_mut(bb).instrs.push(call);
     func.block_mut(bb).term = Some(Terminator::Br { target: cont });
     bb

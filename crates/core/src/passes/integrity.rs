@@ -73,11 +73,7 @@ impl Pass for DataIntegrity {
                         Instr::Store { ptr, value, .. } => {
                             if let Some(name) = global_of(func, *ptr) {
                                 if let Some(ty) = is_sensitive(&name) {
-                                    sites.push((
-                                        bb,
-                                        pos,
-                                        Site::Store { name, value: *value, ty },
-                                    ));
+                                    sites.push((bb, pos, Site::Store { name, value: *value, ty }));
                                 }
                             }
                         }
@@ -142,12 +138,8 @@ fn split_and_check(
     func.block_mut(cont).instrs = tail;
     func.block_mut(cont).term = old_term;
     // Successor phis must now name `cont` as predecessor instead of `bb`.
-    let succs: Vec<BlockId> = func
-        .block(cont)
-        .term
-        .as_ref()
-        .map(|t| t.successors())
-        .unwrap_or_default();
+    let succs: Vec<BlockId> =
+        func.block(cont).term.as_ref().map(|t| t.successors()).unwrap_or_default();
     for succ in succs {
         crate::pass::retarget_phis(func, succ, bb, cont);
     }
@@ -156,17 +148,13 @@ fn split_and_check(
     let shadow = format!("{name}{INTEGRITY_SUFFIX}");
     let addr = func.create_instr(Instr::GlobalAddr { name: shadow }, Ty::Ptr);
     let sv = func.create_instr(Instr::Load { ptr: addr, ty, volatile: true }, ty);
-    let xor = func.create_instr(
-        Instr::Bin { op: gd_ir::BinOp::Xor, lhs: loaded, rhs: sv },
-        ty,
-    );
+    let xor = func.create_instr(Instr::Bin { op: gd_ir::BinOp::Xor, lhs: loaded, rhs: sv }, ty);
     let ones = func.const_int(ty, all_ones(ty));
     let ok = func.create_instr(Instr::Icmp { pred: Pred::Eq, lhs: xor, rhs: ones }, Ty::I1);
     let block = func.block_mut(bb);
     block.instrs.extend([addr, sv, xor, ok]);
     let detect = detect_trampoline(func, cont);
-    func.block_mut(bb).term =
-        Some(Terminator::CondBr { cond: ok, then_bb: cont, else_bb: detect });
+    func.block_mut(bb).term = Some(Terminator::CondBr { cond: ok, then_bb: cont, else_bb: detect });
 }
 
 #[cfg(test)]

@@ -39,11 +39,8 @@ impl Pass for ReturnCodes {
                 continue;
             }
             let codes = diversified_constants(consts.len() as u32);
-            let mapping: BTreeMap<i64, i64> = consts
-                .iter()
-                .copied()
-                .zip(codes.iter().map(|&c| i64::from(c)))
-                .collect();
+            let mapping: BTreeMap<i64, i64> =
+                consts.iter().copied().zip(codes.iter().map(|&c| i64::from(c))).collect();
             rewrite_returns(module.func_mut(&name).expect("candidate"), &mapping);
             rewrite_callers(module, &name, &mapping);
             report.returns_rewritten += 1;
@@ -54,9 +51,9 @@ impl Pass for ReturnCodes {
 fn returns_only_constants(func: &Function) -> bool {
     let rets = func.return_values();
     !rets.is_empty()
-        && rets.iter().all(|r| {
-            matches!(r, Some(v) if matches!(func.value(*v), ValueDef::Const { .. }))
-        })
+        && rets
+            .iter()
+            .all(|r| matches!(r, Some(v) if matches!(func.value(*v), ValueDef::Const { .. })))
 }
 
 fn distinct_return_constants(func: &Function) -> Vec<i64> {

@@ -3,7 +3,9 @@
 
 use core::fmt;
 
-use gd_thumb::{decode16, decode32, is_32bit_prefix, AluOp, DecodeError, Instr, Reg, ShiftOp, Width};
+use gd_thumb::{
+    decode16, decode32, is_32bit_prefix, AluOp, DecodeError, Instr, Reg, ShiftOp, Width,
+};
 
 use crate::mem::{Access, MemFault, Memory};
 use crate::Cpu;
@@ -407,9 +409,7 @@ impl Emu {
             }
             Instr::Alu { op, rdn, rm } => self.exec_alu(op, rdn, rm, addr),
             Instr::AddHi { rdn, rm } => {
-                let r = self
-                    .read_reg(rdn, addr)
-                    .wrapping_add(self.read_reg(rm, addr));
+                let r = self.read_reg(rdn, addr).wrapping_add(self.read_reg(rm, addr));
                 if rdn == Reg::PC {
                     step.next_pc = r & !1;
                     step.branched = true;
@@ -476,18 +476,14 @@ impl Emu {
                 step.loads = 1;
             }
             Instr::StoreImm { width, rt, rn, imm5 } => {
-                let a = self
-                    .read_reg(rn, addr)
-                    .wrapping_add(u32::from(imm5) * width.bytes());
+                let a = self.read_reg(rn, addr).wrapping_add(u32::from(imm5) * width.bytes());
                 let v = self.read_reg(rt, addr);
                 self.store(a, v, width)?;
                 step.stores = 1;
                 step.store = Some((a, v));
             }
             Instr::LoadImm { width, rt, rn, imm5 } => {
-                let a = self
-                    .read_reg(rn, addr)
-                    .wrapping_add(u32::from(imm5) * width.bytes());
+                let a = self.read_reg(rn, addr).wrapping_add(u32::from(imm5) * width.bytes());
                 let v = self.load(a, width)?;
                 self.cpu.set_reg(rt, v);
                 step.loads = 1;
@@ -639,9 +635,7 @@ impl Emu {
                     step.branched = true;
                 }
             }
-            Instr::Udf { imm8: _ } => {
-                return Err(Fault::Undefined { addr, hw: 0xDE00, hw2: None })
-            }
+            Instr::Udf { imm8: _ } => return Err(Fault::Undefined { addr, hw: 0xDE00, hw2: None }),
             Instr::Svc { imm8 } => {
                 return Ok(StepOutcome::Stop { reason: StopReason::Svc(imm8), addr })
             }

@@ -200,9 +200,7 @@ impl Memory {
         for r in &self.regions {
             let rend = u64::from(r.base) + r.data.len() as u64;
             if u64::from(base) < rend && u64::from(r.base) < end {
-                return Err(MapError {
-                    msg: format!("region `{name}` overlaps `{}`", r.name),
-                });
+                return Err(MapError { msg: format!("region `{name}` overlaps `{}`", r.name) });
             }
         }
         self.regions.push(Region { name: name.to_owned(), base, perms, data });
@@ -228,11 +226,11 @@ impl Memory {
     pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemFault> {
         for (i, b) in bytes.iter().enumerate() {
             let a = addr.wrapping_add(i as u32);
-            let region = self
-                .regions
-                .iter_mut()
-                .find(|r| r.contains(a))
-                .ok_or(MemFault { addr: a, access: Access::Write, kind: FaultKind::Unmapped })?;
+            let region = self.regions.iter_mut().find(|r| r.contains(a)).ok_or(MemFault {
+                addr: a,
+                access: Access::Write,
+                kind: FaultKind::Unmapped,
+            })?;
             region.data[(a - region.base) as usize] = *b;
         }
         Ok(())
@@ -247,9 +245,11 @@ impl Memory {
         let mut out = Vec::with_capacity(len as usize);
         for i in 0..len {
             let a = addr.wrapping_add(i);
-            let region = self
-                .region_at(a)
-                .ok_or(MemFault { addr: a, access: Access::Read, kind: FaultKind::Unmapped })?;
+            let region = self.region_at(a).ok_or(MemFault {
+                addr: a,
+                access: Access::Read,
+                kind: FaultKind::Unmapped,
+            })?;
             out.push(region.data[(a - region.base) as usize]);
         }
         Ok(out)

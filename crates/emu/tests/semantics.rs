@@ -125,9 +125,7 @@ fn shifts_by_register() {
 
 #[test]
 fn alu_ops() {
-    let mut emu = boot(
-        "movs r0, #0b1100\nmovs r1, #0b1010\nands r0, r1\nbkpt #0",
-    );
+    let mut emu = boot("movs r0, #0b1100\nmovs r1, #0b1010\nands r0, r1\nbkpt #0");
     run_to_bkpt(&mut emu);
     assert_eq!(emu.cpu.reg(Reg::R0), 0b1000);
 
@@ -166,9 +164,7 @@ fn extension_and_reversal() {
     assert_eq!(emu.cpu.reg(Reg::R1), u32::MAX);
     assert_eq!(emu.cpu.reg(Reg::R2), 0xFF);
 
-    let mut emu = boot(
-        "ldr r0, =0x12345678\nrev r1, r0\nrev16 r2, r0\nrevsh r3, r0\nbkpt #0",
-    );
+    let mut emu = boot("ldr r0, =0x12345678\nrev r1, r0\nrev16 r2, r0\nrevsh r3, r0\nbkpt #0");
     run_to_bkpt(&mut emu);
     assert_eq!(emu.cpu.reg(Reg::R1), 0x7856_3412);
     assert_eq!(emu.cpu.reg(Reg::R2), 0x3412_7856);
@@ -385,10 +381,7 @@ fn interworking_to_arm_faults() {
 #[test]
 fn svc_and_wfi_stop() {
     let mut emu = boot("svc #3\n");
-    assert!(matches!(
-        emu.run(10),
-        RunOutcome::Stop { reason: StopReason::Svc(3), .. }
-    ));
+    assert!(matches!(emu.run(10), RunOutcome::Stop { reason: StopReason::Svc(3), .. }));
     let mut emu = boot("wfi\n");
     assert!(matches!(emu.run(10), RunOutcome::Stop { reason: StopReason::Wfi, .. }));
 }

@@ -362,9 +362,7 @@ mod tests {
     fn boot_reaches_the_marker_in_the_interpreter() {
         let m = boot();
         let mut interp = gd_ir::Interpreter::new(&m);
-        let r = interp
-            .run("main", &[], &mut |_, _| gd_ir::RtVal::Int(0))
-            .unwrap();
+        let r = interp.run("main", &[], &mut |_, _| gd_ir::RtVal::Int(0)).unwrap();
         assert_eq!(r, gd_ir::RtVal::Int(i64::from(BOOT_MARKER)));
         assert_eq!(interp.global("tick"), 1);
         assert_ne!(interp.global("uart_out"), 0xC0DE, "impossible path untaken");

@@ -34,17 +34,9 @@ pub struct SkipCase {
 #[derive(Debug, Clone, Copy)]
 enum Effect {
     /// Register must equal `normal` after execution; `skipped` when missing.
-    Reg {
-        reg: Reg,
-        normal: u32,
-        skipped: u32,
-    },
+    Reg { reg: Reg, normal: u32, skipped: u32 },
     /// Word at the probe address must equal `normal`.
-    Mem {
-        addr: u32,
-        normal: u32,
-        skipped: u32,
-    },
+    Mem { addr: u32, normal: u32, skipped: u32 },
 }
 
 const FLASH: u32 = 0x0800_0000;
@@ -175,15 +167,23 @@ impl SkipCase {
         u16::from_le_bytes([self.program.code[off], self.program.code[off + 1]])
     }
 
-    /// Sweeps every C(16, k) AND mask for `k = 1..=16`.
+    /// Sweeps every C(16, k) mask for `k = 1..=16`, fanned out across
+    /// [`gd_exec`] workers (the full 2¹⁶ − 1 perturbed executions per
+    /// case make this the hot loop of the `fig2_ext` driver).
     pub fn sweep(&self, direction: Direction, cfg: Config) -> Tally {
         let hw = self.target_halfword();
-        let mut tally = Tally::default();
-        for k in 1..=16u32 {
-            for mask in ChooseBits::new(16, k) {
+        let masks: Vec<u32> = (1..=16u32).flat_map(|k| ChooseBits::new(16, k)).collect();
+        let partials = gd_exec::par_map_chunks(&masks, 256, |chunk| {
+            let mut tally = Tally::default();
+            for &mask in chunk.items {
                 let perturbed = direction.apply(hw, mask as u16);
                 tally.record(self.run(perturbed, cfg));
             }
+            tally
+        });
+        let mut tally = Tally::default();
+        for partial in &partials {
+            tally.merge(partial);
         }
         tally
     }

@@ -54,16 +54,10 @@ impl TestCase {
     /// dozen bytes; this cannot happen for cases built by this crate).
     pub fn instantiate(&self, hw: u16, cfg: Config) -> Emu {
         let mut emu = Emu::with_config(cfg);
-        emu.mem
-            .map("flash", FLASH_BASE, 0x1000, Perms::RX)
-            .expect("fresh memory map");
-        emu.mem
-            .map("sram", SRAM_BASE, SRAM_SIZE, Perms::RW)
-            .expect("fresh memory map");
+        emu.mem.map("flash", FLASH_BASE, 0x1000, Perms::RX).expect("fresh memory map");
+        emu.mem.map("sram", SRAM_BASE, SRAM_SIZE, Perms::RW).expect("fresh memory map");
         emu.mem.load(self.program.origin, &self.program.code).expect("snippet fits flash");
-        emu.mem
-            .load(self.target_addr, &hw.to_le_bytes())
-            .expect("target inside snippet");
+        emu.mem.load(self.target_addr, &hw.to_le_bytes()).expect("target inside snippet");
         emu.set_pc(self.program.origin);
         emu.cpu.set_sp(SRAM_BASE + SRAM_SIZE);
         emu
@@ -204,9 +198,6 @@ mod tests {
         let case = branch_case(Cond::Eq);
         let mut emu = case.instantiate(0x0000, Config::default());
         // 0x0000 = lsls r0, r0, #0 → falls through → success path.
-        assert!(matches!(
-            emu.run(100),
-            RunOutcome::Stop { reason: StopReason::Bkpt(1), .. }
-        ));
+        assert!(matches!(emu.run(100), RunOutcome::Stop { reason: StopReason::Bkpt(1), .. }));
     }
 }

@@ -25,4 +25,6 @@ pub mod masks;
 pub mod sweep;
 
 pub use harness::{all_branch_cases, branch_case, flag_setup, TestCase};
-pub use sweep::{run_perturbed, sweep_case, sweep_k, Direction, Outcome, SweepResult, Tally};
+pub use sweep::{
+    run_perturbed, sweep_case, sweep_k, sweep_k_serial, Direction, Outcome, SweepResult, Tally,
+};

@@ -158,8 +158,39 @@ pub fn run_perturbed(case: &TestCase, hw: u16, cfg: Config) -> Outcome {
     }
 }
 
-/// Sweeps every C(16, k) mask in `direction` over the targeted instruction.
+/// Masks per worker chunk in [`sweep_k`]. Each perturbed execution costs
+/// a few microseconds, so chunks of this size amortize dispatch while
+/// still splitting C(16, 8) = 12,870 masks into dozens of work units.
+const MASK_CHUNK: usize = 256;
+
+/// Sweeps every C(16, k) mask in `direction` over the targeted
+/// instruction, fanning the mask space out across [`gd_exec`] workers.
+///
+/// Each perturbed execution boots a fresh emulator, so trials are
+/// independent; per-chunk [`Tally`]s are merged in mask order, and since
+/// tally merging is associative the result is identical to the serial
+/// sweep bit for bit (see `parallel_sweep_matches_serial` below).
 pub fn sweep_k(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Tally {
+    let hw = case.target_halfword();
+    let masks: Vec<u32> = ChooseBits::new(16, k).collect();
+    let partials = gd_exec::par_map_chunks(&masks, MASK_CHUNK, |chunk| {
+        let mut tally = Tally::default();
+        for &mask in chunk.items {
+            let perturbed = direction.apply(hw, mask as u16);
+            tally.record(run_perturbed(case, perturbed, cfg));
+        }
+        tally
+    });
+    let mut tally = Tally::default();
+    for partial in &partials {
+        tally.merge(partial);
+    }
+    tally
+}
+
+/// The serial reference implementation of [`sweep_k`] — kept for the
+/// differential tests that pin parallel output to it byte for byte.
+pub fn sweep_k_serial(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Tally {
     let hw = case.target_halfword();
     let mut tally = Tally::default();
     for mask in ChooseBits::new(16, k) {
@@ -247,6 +278,20 @@ mod tests {
         let hw = case.target_halfword();
         let zero_bits = u64::from(16 - hw.count_ones());
         assert!(t.count(Outcome::NoEffect) >= zero_bits);
+    }
+
+    /// The tentpole guarantee: the fan-out over the mask space returns
+    /// exactly what the serial loop returns, for every k and direction.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let case = branch_case(Cond::Ne);
+        for direction in [Direction::And, Direction::Or, Direction::Xor] {
+            for k in [0u32, 1, 2, 7, 8, 15, 16] {
+                let par = sweep_k(&case, direction, k, Config::default());
+                let ser = sweep_k_serial(&case, direction, k, Config::default());
+                assert_eq!(par, ser, "{direction:?} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -56,10 +56,7 @@ impl FirmwareImage {
     /// Panics when the symbol does not exist — symbol names come from the
     /// module being compiled, so a miss is a caller bug.
     pub fn symbol(&self, name: &str) -> u32 {
-        *self
-            .symbols
-            .get(name)
-            .unwrap_or_else(|| panic!("unknown symbol `{name}`"))
+        *self.symbols.get(name).unwrap_or_else(|| panic!("unknown symbol `{name}`"))
     }
 
     /// Maps the standard regions and loads the image into `mem`.
@@ -78,7 +75,8 @@ impl FirmwareImage {
         mem.map("gpio", GPIO_BASE, GPIO_SIZE, Perms::RW)?;
         mem.map("periph", PERIPH_BASE, PERIPH_SIZE, Perms::RW)?;
         mem.map("scs", SCS_BASE, SCS_SIZE, Perms::RW)?;
-        let fail = |e: gd_emu::MemFault| gd_emu::MapError::other(format!("image overflows region: {e}"));
+        let fail =
+            |e: gd_emu::MemFault| gd_emu::MapError::other(format!("image overflows region: {e}"));
         mem.load(FLASH_BASE, &self.text).map_err(fail)?;
         for (addr, bytes) in &self.data {
             mem.load(*addr, bytes).map_err(fail)?;

@@ -144,10 +144,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
 
     let needs_div = module.funcs.iter().any(|f| {
         f.value_ids().any(|v| {
-            matches!(
-                f.value(v),
-                ValueDef::Instr(Ir::Bin { op: BinOp::Udiv | BinOp::Urem, .. })
-            )
+            matches!(f.value(v), ValueDef::Instr(Ir::Bin { op: BinOp::Udiv | BinOp::Urem, .. }))
         })
     });
 
@@ -171,8 +168,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
             Instr::NOP.encode().write_to(&mut text);
         }
         let base = FLASH_BASE + text.len() as u32;
-        let helpers = asm::assemble(DIV_HELPERS, base)
-            .expect("division helpers assemble");
+        let helpers = asm::assemble(DIV_HELPERS, base).expect("division helpers assemble");
         for (name, addr) in &helpers.symbols {
             symbols.insert(name.clone(), *addr);
         }
@@ -264,10 +260,7 @@ struct Ctx<'m> {
 }
 
 impl FnLowering {
-    fn lower(
-        func: &Function,
-        symbols: &BTreeMap<String, u32>,
-    ) -> Result<FnLowering, LowerError> {
+    fn lower(func: &Function, symbols: &BTreeMap<String, u32>) -> Result<FnLowering, LowerError> {
         let mut ctx = Ctx::new(func)?;
         ctx.emit_prologue()?;
         for bb in func.block_ids() {
@@ -403,10 +396,7 @@ impl<'m> Ctx<'m> {
 
     fn sp_access(&mut self, reg: Reg, off: u32, load: bool) -> Result<(), LowerError> {
         if !off.is_multiple_of(4) || off / 4 > 255 {
-            return Err(LowerError::FrameTooLarge {
-                func: self.func.name.clone(),
-                bytes: off,
-            });
+            return Err(LowerError::FrameTooLarge { func: self.func.name.clone(), bytes: off });
         }
         let imm8 = (off / 4) as u8;
         self.emit(if load {
@@ -498,11 +488,7 @@ impl<'m> Ctx<'m> {
                 if let Some((_, pred, lhs, rhs)) = fused_cmp {
                     self.load_val(Reg::R0, lhs)?;
                     self.load_val(Reg::R1, rhs)?;
-                    self.emit(Instr::Alu {
-                        op: gd_thumb::AluOp::Cmp,
-                        rdn: Reg::R0,
-                        rm: Reg::R1,
-                    });
+                    self.emit(Instr::Alu { op: gd_thumb::AluOp::Cmp, rdn: Reg::R0, rm: Reg::R1 });
                     self.cond_branch_to(cond_of(pred), then_bb);
                     self.branch_to(else_bb);
                 } else {
@@ -514,14 +500,12 @@ impl<'m> Ctx<'m> {
                     self.emit_phi_moves(bb, then_bb)?;
                     self.branch_to(then_bb);
                     let here = self.code.len() as i32;
-                    let patch = Instr::BCond {
-                        cond: Cond::Eq,
-                        offset: here - (else_stub as i32 + 4),
-                    }
-                    .try_encode()
-                    .map_err(|_| LowerError::BranchOutOfRange {
-                        func: self.func.name.clone(),
-                    })?;
+                    let patch =
+                        Instr::BCond { cond: Cond::Eq, offset: here - (else_stub as i32 + 4) }
+                            .try_encode()
+                            .map_err(|_| LowerError::BranchOutOfRange {
+                                func: self.func.name.clone(),
+                            })?;
                     self.code[else_stub..else_stub + 2].copy_from_slice(&patch.to_bytes());
                     self.emit_phi_moves(bb, else_bb)?;
                     self.branch_to(else_bb);
@@ -582,8 +566,7 @@ impl<'m> Ctx<'m> {
     }
 
     fn branch_to(&mut self, target: BlockId) {
-        self.local_fixups
-            .push((self.code.len(), LocalFixup::B { block: target }));
+        self.local_fixups.push((self.code.len(), LocalFixup::B { block: target }));
         self.emit(Instr::B { offset: 0 });
     }
 
@@ -592,8 +575,7 @@ impl<'m> Ctx<'m> {
         // the full ±2 KiB range.
         self.emit(Instr::BCond { cond, offset: 0 }); // skip the next B: offset 0 = pc+4... patched as +0? No: target is the B below's end.
         let skip_site = self.code.len() - 2;
-        self.local_fixups
-            .push((self.code.len(), LocalFixup::B { block: target }));
+        self.local_fixups.push((self.code.len(), LocalFixup::B { block: target }));
         self.emit(Instr::B { offset: 0 });
         // Patch b<cond> to jump over the B (to the instruction after it).
         let after = self.code.len() as i32;
@@ -605,8 +587,7 @@ impl<'m> Ctx<'m> {
 
     fn patch_local_fixups(&mut self) -> Result<(), LowerError> {
         for (site, LocalFixup::B { block }) in std::mem::take(&mut self.local_fixups) {
-            let target =
-                self.block_offsets[block.index()].expect("all blocks emitted") as i32;
+            let target = self.block_offsets[block.index()].expect("all blocks emitted") as i32;
             let enc = Instr::B { offset: target - (site as i32 + 4) }
                 .try_encode()
                 .map_err(|_| LowerError::BranchOutOfRange { func: self.func.name.clone() })?;
@@ -669,16 +650,12 @@ impl<'m> Ctx<'m> {
                 self.load_val(Reg::R0, lhs)?;
                 self.load_val(Reg::R1, rhs)?;
                 match op {
-                    BinOp::Add => self.emit(Instr::AddReg3 {
-                        rd: Reg::R0,
-                        rn: Reg::R0,
-                        rm: Reg::R1,
-                    }),
-                    BinOp::Sub => self.emit(Instr::SubReg3 {
-                        rd: Reg::R0,
-                        rn: Reg::R0,
-                        rm: Reg::R1,
-                    }),
+                    BinOp::Add => {
+                        self.emit(Instr::AddReg3 { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 })
+                    }
+                    BinOp::Sub => {
+                        self.emit(Instr::SubReg3 { rd: Reg::R0, rn: Reg::R0, rm: Reg::R1 })
+                    }
                     BinOp::Mul => self.emit(Instr::Alu {
                         op: gd_thumb::AluOp::Mul,
                         rdn: Reg::R0,
@@ -774,9 +751,8 @@ impl<'m> Ctx<'m> {
                 self.emit(Instr::StoreImm { width, rt: Reg::R0, rn: Reg::R1, imm5: 0 });
             }
             Ir::GlobalAddr { name } => {
-                let addr = *symbols
-                    .get(&name)
-                    .ok_or(LowerError::UnknownCallee { name: name.clone() })?;
+                let addr =
+                    *symbols.get(&name).ok_or(LowerError::UnknownCallee { name: name.clone() })?;
                 self.emit_const(Reg::R0, addr);
                 self.store_slot(Reg::R0, id)?;
             }

@@ -38,9 +38,7 @@ fn differential(src: &str) -> u32 {
 #[test]
 fn constants_and_arithmetic() {
     assert_eq!(
-        differential(
-            "fn @main() -> i32 {\nentry:\n  %1 = add i32 40, 2\n  ret i32 %1\n}\n"
-        ),
+        differential("fn @main() -> i32 {\nentry:\n  %1 = add i32 40, 2\n  ret i32 %1\n}\n"),
         42
     );
     assert_eq!(
@@ -61,9 +59,7 @@ fn big_constants_come_from_the_literal_pool() {
     );
     // Shifted-immediate and inverted-immediate shortcuts.
     assert_eq!(
-        differential(
-            "fn @main() -> i32 {\nentry:\n  %1 = add i32 0x1FE000, 0\n  ret i32 %1\n}\n"
-        ),
+        differential("fn @main() -> i32 {\nentry:\n  %1 = add i32 0x1FE000, 0\n  ret i32 %1\n}\n"),
         0x1FE000
     );
     assert_eq!(
@@ -393,8 +389,5 @@ entry:
 #[test]
 fn missing_entry_is_an_error() {
     let m = parse_module("fn @f() -> void {\nentry:\n  ret void\n}\n").unwrap();
-    assert!(matches!(
-        compile(&m, "main"),
-        Err(gd_backend::LowerError::NoEntry { .. })
-    ));
+    assert!(matches!(compile(&m, "main"), Err(gd_backend::LowerError::NoEntry { .. })));
 }

@@ -179,11 +179,7 @@ impl<'f> Builder<'f> {
 
     fn terminate(&mut self, term: Terminator) {
         let block = self.func.block_mut(self.block);
-        assert!(
-            block.term.is_none(),
-            "block `{}` already terminated",
-            block.name
-        );
+        assert!(block.term.is_none(), "block `{}` already terminated", block.name);
         block.term = Some(term);
     }
 }
@@ -216,10 +212,7 @@ mod tests {
 
         assert_eq!(f.block_count(), 4);
         assert_eq!(f.block(header).instrs.len(), 2, "load + icmp (const is not an instr)");
-        assert!(matches!(
-            f.block(header).term,
-            Some(Terminator::CondBr { .. })
-        ));
+        assert!(matches!(f.block(header).term, Some(Terminator::CondBr { .. })));
     }
 
     #[test]

@@ -533,10 +533,7 @@ impl Function {
 
     /// Looks a block up by label.
     pub fn block_by_name(&self, name: &str) -> Option<BlockId> {
-        self.blocks
-            .iter()
-            .position(|b| b.name == name)
-            .map(|i| BlockId(i as u32))
+        self.blocks.iter().position(|b| b.name == name).map(|i| BlockId(i as u32))
     }
 
     /// Number of values (params + constants + instruction results).
@@ -728,10 +725,7 @@ impl Module {
         if let Some(f) = self.func(name) {
             return Some((f.params.clone(), f.ret));
         }
-        self.externs
-            .iter()
-            .find(|e| e.name == name)
-            .map(|e| (e.params.clone(), e.ret))
+        self.externs.iter().find(|e| e.name == name).map(|e| (e.params.clone(), e.ret))
     }
 
     /// Declares an external function (idempotent).
@@ -768,11 +762,7 @@ mod tests {
     fn enum_c_semantics_values() {
         let e = EnumDef {
             name: "status".into(),
-            variants: vec![
-                ("A".into(), None),
-                ("B".into(), Some(10)),
-                ("C".into(), None),
-            ],
+            variants: vec![("A".into(), None), ("B".into(), Some(10)), ("C".into(), None)],
         };
         assert_eq!(e.value_of(0), 0);
         assert_eq!(e.value_of(1), 10);
@@ -805,7 +795,8 @@ mod tests {
         i.replace_operand(ValueId(1), ValueId(9));
         assert_eq!(i.operands(), vec![ValueId(9), ValueId(9)]);
 
-        let mut t = Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
+        let mut t =
+            Terminator::CondBr { cond: ValueId(0), then_bb: BlockId(1), else_bb: BlockId(2) };
         t.replace_successor(BlockId(2), BlockId(5));
         assert_eq!(t.successors(), vec![BlockId(1), BlockId(5)]);
     }

@@ -146,10 +146,8 @@ impl<'m> Interpreter<'m> {
         args: &[RtVal],
         handler: &mut dyn FnMut(&str, &[RtVal]) -> RtVal,
     ) -> Result<RtVal, InterpError> {
-        let func = self
-            .module
-            .func(name)
-            .ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
+        let func =
+            self.module.func(name).ok_or_else(|| InterpError::UnknownFunction(name.to_owned()))?;
         self.exec(func, args, handler)
     }
 
@@ -174,8 +172,7 @@ impl<'m> Interpreter<'m> {
             }
         }
         let read = |locals: &[Option<RtVal>], v: ValueId| -> Result<RtVal, InterpError> {
-            locals[v.index()]
-                .ok_or_else(|| InterpError::Uninitialized(format!("%{}", v.index())))
+            locals[v.index()].ok_or_else(|| InterpError::Uninitialized(format!("%{}", v.index())))
         };
 
         let mut prev = None;
@@ -189,20 +186,11 @@ impl<'m> Interpreter<'m> {
             for &id in &block.instrs {
                 if let ValueDef::Instr(Instr::Phi { incomings }) = func.value(id) {
                     let from = prev.ok_or_else(|| {
-                        InterpError::Uninitialized(format!(
-                            "phi %{} in entry block",
-                            id.index()
-                        ))
+                        InterpError::Uninitialized(format!("phi %{} in entry block", id.index()))
                     })?;
-                    let (_, v) = incomings
-                        .iter()
-                        .find(|(bb, _)| *bb == from)
-                        .ok_or_else(|| {
-                            InterpError::Uninitialized(format!(
-                                "phi %{} missing incoming",
-                                id.index()
-                            ))
-                        })?;
+                    let (_, v) = incomings.iter().find(|(bb, _)| *bb == from).ok_or_else(|| {
+                        InterpError::Uninitialized(format!("phi %{} missing incoming", id.index()))
+                    })?;
                     phi_updates.push((id, read(&locals, *v)?));
                 } else {
                     break;
@@ -274,14 +262,10 @@ impl<'m> Interpreter<'m> {
                         None
                     }
                     Instr::GlobalAddr { name } => {
-                        let idx = self
-                            .module
-                            .globals
-                            .iter()
-                            .position(|g| g.name == *name)
-                            .ok_or_else(|| {
-                                InterpError::BadPointer(format!("unknown global @{name}"))
-                            })?;
+                        let idx =
+                            self.module.globals.iter().position(|g| g.name == *name).ok_or_else(
+                                || InterpError::BadPointer(format!("unknown global @{name}")),
+                            )?;
                         Some(RtVal::GlobalPtr(idx))
                     }
                     Instr::Call { callee, args: call_args } => {

@@ -141,17 +141,15 @@ impl<'t> Parser<'t> {
     fn global(&self, line: usize, text: &str) -> Result<Global, ParseError> {
         // global @name : ty = init [sensitive]
         let rest = text.strip_prefix("global ").expect("caller checked");
-        let (name, rest) = rest
-            .split_once(':')
-            .ok_or_else(|| Self::err(line, "expected `:` in global"))?;
+        let (name, rest) =
+            rest.split_once(':').ok_or_else(|| Self::err(line, "expected `:` in global"))?;
         let name = name
             .trim()
             .strip_prefix('@')
             .ok_or_else(|| Self::err(line, "global name needs `@`"))?
             .to_owned();
-        let (ty, rest) = rest
-            .split_once('=')
-            .ok_or_else(|| Self::err(line, "expected `=` in global"))?;
+        let (ty, rest) =
+            rest.split_once('=').ok_or_else(|| Self::err(line, "expected `=` in global"))?;
         let ty = parse_ty(line, ty.trim())?;
         let mut parts = rest.split_whitespace();
         let init: i64 = parts
@@ -169,12 +167,10 @@ impl<'t> Parser<'t> {
     fn enum_def(&self, line: usize, text: &str) -> Result<EnumDef, ParseError> {
         // enum Name { A, B = 3, C }
         let rest = text.strip_prefix("enum ").expect("caller checked");
-        let (name, rest) = rest
-            .split_once('{')
-            .ok_or_else(|| Self::err(line, "expected `{` in enum"))?;
-        let body = rest
-            .strip_suffix('}')
-            .ok_or_else(|| Self::err(line, "expected `}` closing enum"))?;
+        let (name, rest) =
+            rest.split_once('{').ok_or_else(|| Self::err(line, "expected `{` in enum"))?;
+        let body =
+            rest.strip_suffix('}').ok_or_else(|| Self::err(line, "expected `}` closing enum"))?;
         let mut variants = Vec::new();
         for part in body.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             if let Some((vname, init)) = part.split_once('=') {
@@ -191,12 +187,10 @@ impl<'t> Parser<'t> {
     fn extern_decl(&self, line: usize, text: &str) -> Result<ExternDecl, ParseError> {
         // declare @name(ty, ty) -> ty
         let rest = text.strip_prefix("declare ").expect("caller checked");
-        let (sig, ret) = rest
-            .split_once("->")
-            .ok_or_else(|| Self::err(line, "expected `->` in declare"))?;
-        let (name, params) = sig
-            .split_once('(')
-            .ok_or_else(|| Self::err(line, "expected `(` in declare"))?;
+        let (sig, ret) =
+            rest.split_once("->").ok_or_else(|| Self::err(line, "expected `->` in declare"))?;
+        let (name, params) =
+            sig.split_once('(').ok_or_else(|| Self::err(line, "expected `(` in declare"))?;
         let name = name
             .trim()
             .strip_prefix('@')
@@ -239,9 +233,8 @@ impl<'t> Parser<'t> {
         let mut param_names = Vec::new();
         let mut param_tys = Vec::new();
         for p in params_text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
-            let (pname, pty) = p
-                .split_once(':')
-                .ok_or_else(|| Self::err(line, "parameter needs `name: ty`"))?;
+            let (pname, pty) =
+                p.split_once(':').ok_or_else(|| Self::err(line, "parameter needs `name: ty`"))?;
             let pname = pname
                 .trim()
                 .strip_prefix('%')
@@ -288,13 +281,10 @@ impl<'t> Parser<'t> {
             // Pre-create a placeholder value for producing instructions so
             // forward references (e.g. phi back-edges) resolve.
             let slot = match (&kind, text.split_once('=')) {
-                (PendingKind::Instr, Some((dest, body)))
-                    if dest.trim_start().starts_with('%') =>
-                {
+                (PendingKind::Instr, Some((dest, body))) if dest.trim_start().starts_with('%') => {
                     let name = dest.trim().trim_start_matches('%').to_owned();
                     let ty = result_ty(line, body.trim())?;
-                    let id = func
-                        .create_instr(Instr::GlobalAddr { name: "<pending>".into() }, ty);
+                    let id = func.create_instr(Instr::GlobalAddr { name: "<pending>".into() }, ty);
                     if ctx.values.insert(name.clone(), id).is_some() {
                         return Err(Self::err(line, format!("value `%{name}` redefined")));
                     }
@@ -347,9 +337,8 @@ impl<'t> Parser<'t> {
             BinOp::ALL.iter().find(|o| o.mnemonic() == opcode)
         {
             // add i32 %a, %b
-            let (ty, args) = rest
-                .split_once(' ')
-                .ok_or_else(|| Self::err(line, "binop needs a type"))?;
+            let (ty, args) =
+                rest.split_once(' ').ok_or_else(|| Self::err(line, "binop needs a type"))?;
             let ty = parse_ty(line, ty)?;
             let (lhs, rhs) = split2(line, args)?;
             let lhs = self.operand(line, &lhs, ty, func, ctx, module)?;
@@ -456,25 +445,19 @@ impl<'t> Parser<'t> {
                         .ok_or_else(|| Self::err(line, "call needs `)`"))?;
                     let sig = module.signature(callee);
                     let mut args = Vec::new();
-                    for (i, a) in args_text
-                        .split(',')
-                        .map(str::trim)
-                        .filter(|s| !s.is_empty())
-                        .enumerate()
+                    for (i, a) in
+                        args_text.split(',').map(str::trim).filter(|s| !s.is_empty()).enumerate()
                     {
-                        let aty = sig
-                            .as_ref()
-                            .and_then(|(p, _)| p.get(i).copied())
-                            .unwrap_or(Ty::I32);
+                        let aty =
+                            sig.as_ref().and_then(|(p, _)| p.get(i).copied()).unwrap_or(Ty::I32);
                         args.push(self.operand(line, a, aty, func, ctx, module)?);
                     }
                     (Instr::Call { callee: callee.to_owned(), args }, ty)
                 }
                 "phi" => {
                     // phi i32 [ %a, entry ], [ 0, loop ]
-                    let (ty, rest2) = rest
-                        .split_once(' ')
-                        .ok_or_else(|| Self::err(line, "phi needs a type"))?;
+                    let (ty, rest2) =
+                        rest.split_once(' ').ok_or_else(|| Self::err(line, "phi needs a type"))?;
                     let ty = parse_ty(line, ty)?;
                     let mut incomings = Vec::new();
                     for part in rest2.split("],").map(|p| p.trim().trim_matches(['[', ']'])) {
@@ -628,8 +611,7 @@ fn parse_int(text: &str) -> Option<i64> {
         Some(d) => (true, d),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
-    {
+    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
         i64::from_str_radix(hex, 16).ok()?
     } else if digits.chars().all(|c| c.is_ascii_digit()) && !digits.is_empty() {
         digits.parse().ok()?

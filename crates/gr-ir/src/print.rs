@@ -27,13 +27,7 @@ fn print_instr(func: &Function, id: ValueId, out: &mut String) {
         }
         Instr::Icmp { pred, lhs, rhs } => {
             let opnd_ty = func.ty(*lhs);
-            format!(
-                "%{} = icmp {} {opnd_ty} {}, {}",
-                id.index(),
-                pred.mnemonic(),
-                op(lhs),
-                op(rhs)
-            )
+            format!("%{} = icmp {} {opnd_ty} {}, {}", id.index(), pred.mnemonic(), op(lhs), op(rhs))
         }
         Instr::Not { arg } => format!("%{} = not {ty} {}", id.index(), op(arg)),
         Instr::Cast { arg, to } => {
@@ -89,12 +83,8 @@ fn print_terminator(func: &Function, term: &Terminator, out: &mut String) {
 /// Prints one function in the text format.
 pub fn print_function(func: &Function) -> String {
     let mut out = String::new();
-    let params: Vec<String> = func
-        .params
-        .iter()
-        .enumerate()
-        .map(|(i, ty)| format!("%{i}: {ty}"))
-        .collect();
+    let params: Vec<String> =
+        func.params.iter().enumerate().map(|(i, ty)| format!("%{i}: {ty}")).collect();
     let _ = writeln!(out, "fn @{}({}) -> {} {{", func.name, params.join(", "), func.ret);
     for bb in func.block_ids() {
         let block = func.block(bb);

@@ -69,7 +69,11 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), V
     for bb in func.block_ids() {
         for (pos, &id) in func.block(bb).instrs.iter().enumerate() {
             if !matches!(func.value(id), ValueDef::Instr(_)) {
-                return fail(format!("block `{}` lists non-instruction %{}", func.block(bb).name, id.index()));
+                return fail(format!(
+                    "block `{}` lists non-instruction %{}",
+                    func.block(bb).name,
+                    id.index()
+                ));
             }
             if placement.insert(id, (bb, pos)).is_some() {
                 return fail(format!("%{} placed twice", id.index()));
@@ -245,22 +249,18 @@ pub fn verify_function(func: &Function, module: Option<&Module>) -> Result<(), V
                     }
                 }
             }
-            Terminator::Ret { value } => {
-                match (value, func.ret) {
-                    (None, Ty::Void) => {}
-                    (Some(v), ret) if func.ty(*v) == ret => {
-                        let pos = func.block(bb).instrs.len();
-                        if cfg.reachable(bb) {
-                            if let Some(err) =
-                                check_dominance(func, &placement, &dom, *v, bb, pos)
-                            {
-                                return fail(err);
-                            }
+            Terminator::Ret { value } => match (value, func.ret) {
+                (None, Ty::Void) => {}
+                (Some(v), ret) if func.ty(*v) == ret => {
+                    let pos = func.block(bb).instrs.len();
+                    if cfg.reachable(bb) {
+                        if let Some(err) = check_dominance(func, &placement, &dom, *v, bb, pos) {
+                            return fail(err);
                         }
                     }
-                    _ => return fail(format!("return type mismatch in `{}`", block.name)),
                 }
-            }
+                _ => return fail(format!("return type mismatch in `{}`", block.name)),
+            },
             Terminator::Br { .. } => {}
         }
     }
@@ -281,11 +281,8 @@ fn check_dominance(
             let Some(&(def_bb, def_pos)) = placement.get(&op) else {
                 return Some(format!("%{} used but not placed in any block", op.index()));
             };
-            let ok = if def_bb == use_bb {
-                def_pos < use_pos
-            } else {
-                dom.dominates(def_bb, use_bb)
-            };
+            let ok =
+                if def_bb == use_bb { def_pos < use_pos } else { dom.dominates(def_bb, use_bb) };
             if ok {
                 None
             } else {
@@ -355,8 +352,10 @@ entry:
         let bb = f.add_block("entry");
         let a = f.param(0);
         let one = f.const_int(Ty::I32, 1);
-        let v1 = f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: a, rhs: one }, Ty::I32);
-        let v2 = f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: v1, rhs: one }, Ty::I32);
+        let v1 =
+            f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: a, rhs: one }, Ty::I32);
+        let v2 =
+            f.create_instr(crate::core::Instr::Bin { op: BinOp::Add, lhs: v1, rhs: one }, Ty::I32);
         f.block_mut(bb).instrs.push(v2);
         f.block_mut(bb).instrs.push(v1);
         f.block_mut(bb).term = Some(Terminator::Ret { value: Some(v2) });

@@ -184,14 +184,8 @@ impl Pipeline {
             addr,
             instr,
             raw: hw,
-            since_trigger: self
-                .trigger_cycles
-                .last()
-                .map(|t| self.cycle.saturating_sub(*t)),
-            since_first_trigger: self
-                .trigger_cycles
-                .first()
-                .map(|t| self.cycle.saturating_sub(*t)),
+            since_trigger: self.trigger_cycles.last().map(|t| self.cycle.saturating_sub(*t)),
+            since_first_trigger: self.trigger_cycles.first().map(|t| self.cycle.saturating_sub(*t)),
         };
 
         let mut exec_hw = hw;
@@ -211,11 +205,8 @@ impl Pipeline {
         }
 
         // Re-decode if the in-flight encoding changed.
-        let (instr, size) = if exec_hw == hw {
-            (instr, size)
-        } else {
-            self.emu.decode(addr, exec_hw)?
-        };
+        let (instr, size) =
+            if exec_hw == hw { (instr, size) } else { self.emu.decode(addr, exec_hw)? };
 
         self.retired += 1;
         if skip {
@@ -442,13 +433,8 @@ mod tests {
     #[test]
     fn reset_fault_ends_the_run() {
         let mut p = boot("loop: b loop");
-        let end = p.run_with(1_000, |w| {
-            if w.start >= 30 {
-                vec![StageFault::Reset]
-            } else {
-                Vec::new()
-            }
-        });
+        let end =
+            p.run_with(1_000, |w| if w.start >= 30 { vec![StageFault::Reset] } else { Vec::new() });
         assert_eq!(end, RunEnd::Reset);
     }
 }

@@ -55,8 +55,7 @@ impl Timing {
             I::StoreReg { .. } | I::StoreImm { .. } | I::StrSp { .. } => self.store,
             I::Push { rlist, lr } => 1 + rlist.count_ones() + u32::from(lr),
             I::Pop { rlist, pc } => {
-                1 + rlist.count_ones()
-                    + if pc { 1 + self.taken_branch_penalty + 1 } else { 0 }
+                1 + rlist.count_ones() + if pc { 1 + self.taken_branch_penalty + 1 } else { 0 }
             }
             I::Stm { rlist, .. } | I::Ldm { rlist, .. } => 1 + rlist.count_ones(),
             I::Alu { op: gd_thumb::AluOp::Mul, .. } => self.mul,
@@ -78,12 +77,7 @@ mod tests {
         let t = Timing::default();
         assert_eq!(t.base_cycles(Instr::MovImm { rd: Reg::R0, imm8: 1 }), 1);
         assert_eq!(
-            t.base_cycles(Instr::LoadImm {
-                width: Width::Byte,
-                rt: Reg::R3,
-                rn: Reg::R3,
-                imm5: 0
-            }),
+            t.base_cycles(Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 }),
             2
         );
         assert_eq!(t.base_cycles(Instr::CmpImm { rn: Reg::R3, imm8: 0 }), 1);

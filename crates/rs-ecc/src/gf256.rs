@@ -73,8 +73,7 @@ impl Gf256 {
         if a == 0 {
             0
         } else {
-            let diff =
-                255 + usize::from(self.log[a as usize]) - usize::from(self.log[b as usize]);
+            let diff = 255 + usize::from(self.log[a as usize]) - usize::from(self.log[b as usize]);
             self.exp[diff % 255]
         }
     }

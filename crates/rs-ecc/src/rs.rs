@@ -85,9 +85,7 @@ impl RsEncoder {
 
     /// The `nsym` syndromes of a codeword (non-zero ⇒ corrupted).
     pub fn syndromes(&self, codeword: &[u8]) -> Vec<u8> {
-        (0..self.nsym)
-            .map(|i| self.gf.poly_eval(codeword, self.gf.alpha_pow(i as u32)))
-            .collect()
+        (0..self.nsym).map(|i| self.gf.poly_eval(codeword, self.gf.alpha_pow(i as u32))).collect()
     }
 }
 

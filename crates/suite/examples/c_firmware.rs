@@ -37,7 +37,11 @@ int main(void) {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // C → IR.
     let mut module = compile_c(FIRMWARE_C)?;
-    println!("compiled C firmware: {} functions, {} globals", module.funcs.len(), module.globals.len());
+    println!(
+        "compiled C firmware: {} functions, {} globals",
+        module.funcs.len(),
+        module.globals.len()
+    );
 
     // Harden (every defense) and lower to Thumb-1.
     let report = harden(&mut module, &Config::new(Defenses::ALL));

@@ -58,14 +58,8 @@ open:
     let mut outcomes = std::collections::BTreeMap::<String, u32>::new();
     for boot in 0..2_000u64 {
         let cycle = ((boot % 25) * 4) as u32;
-        let attempt = run_attack(
-            &device,
-            &model,
-            GlitchParams::single(cycle, 12, -18),
-            boot,
-            &spec,
-            None,
-        );
+        let attempt =
+            run_attack(&device, &model, GlitchParams::single(cycle, 12, -18), boot, &spec, None);
         *outcomes.entry(format!("{:?}", attempt.outcome)).or_default() += 1;
     }
     println!("2,000 single-glitch attempts against the hardened guard:");

@@ -55,10 +55,7 @@ fn hardened_firmware_authorizes_legitimate_token() {
         let mut pipe = device.boot();
         let end = pipe.run(2_000_000);
         assert!(
-            matches!(
-                end,
-                gd_pipeline::RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(0), .. }
-            ),
+            matches!(end, gd_pipeline::RunEnd::Stop { reason: gd_emu::StopReason::Bkpt(0), .. }),
             "{defenses:?}: {end:?}"
         );
         assert_eq!(pipe.emu.cpu.reg(Reg::R0), 0xACCE55, "{defenses:?}");
@@ -166,13 +163,8 @@ fn diversified_constants_survive_compilation() {
     // … and it is literally present in the image (a literal-pool word).
     let bytes = allowed.to_le_bytes();
     let found = image.text.windows(4).any(|w| w == bytes);
-    let authorize_codes = module
-        .func("authorize")
-        .unwrap()
-        .return_values()
-        .into_iter()
-        .flatten()
-        .count();
+    let authorize_codes =
+        module.func("authorize").unwrap().return_values().into_iter().flatten().count();
     assert_eq!(authorize_codes, 2);
     // Either the enum constant or an RS return code must land in text.
     assert!(found || image.sizes.text > 0);

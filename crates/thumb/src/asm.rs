@@ -42,10 +42,10 @@ impl Program {
     ///
     /// Returns [`AsmError`] if the label was never defined.
     pub fn symbol(&self, name: &str) -> Result<u32, AsmError> {
-        self.symbols.get(name).copied().ok_or_else(|| AsmError {
-            line: 0,
-            msg: format!("undefined symbol `{name}`"),
-        })
+        self.symbols
+            .get(name)
+            .copied()
+            .ok_or_else(|| AsmError { line: 0, msg: format!("undefined symbol `{name}`") })
     }
 
     /// End address (origin + code length).
@@ -80,9 +80,16 @@ enum Operand {
     Reg(Reg),
     Imm(i64),
     /// `[base]`, `[base, #imm]` or `[base, reg]`.
-    Mem { base: Reg, imm: Option<i64>, index: Option<Reg> },
+    Mem {
+        base: Reg,
+        imm: Option<i64>,
+        index: Option<Reg>,
+    },
     /// `{r0, r1, lr}` — low-register bits plus whether lr/pc was present.
-    RegList { rlist: u8, special: bool },
+    RegList {
+        rlist: u8,
+        special: bool,
+    },
     /// `=value` or `=label`.
     Lit(LitValue),
     /// `.+N` / `.-N`.
@@ -112,10 +119,19 @@ enum BranchKind {
 #[derive(Debug, Clone)]
 enum Item {
     Instr(Instr),
-    Branch { kind: BranchKind, target: Target },
-    Adr { rd: Reg, target: Target },
+    Branch {
+        kind: BranchKind,
+        target: Target,
+    },
+    Adr {
+        rd: Reg,
+        target: Target,
+    },
     /// `ldr rt, =lit` — patched to an `LdrLit` at fix-up time.
-    LitLoad { rt: Reg, slot: usize },
+    LitLoad {
+        rt: Reg,
+        slot: usize,
+    },
     Data(Vec<u8>),
     /// A pool slot holding one 32-bit literal (value resolved in pass 2).
     PoolEntry(usize),
@@ -226,8 +242,7 @@ impl Asm {
             Some(pos) => (&directive[..pos], directive[pos..].trim()),
             None => (directive, ""),
         };
-        let args: Vec<&str> =
-            rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+        let args: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
         match name {
             "word" => {
                 let mut bytes = Vec::new();
@@ -265,9 +280,7 @@ impl Asm {
                 }
             }
             "pool" => self.flush_pool(),
-            other => {
-                return Err(AsmError { line, msg: format!("unknown directive `.{other}`") })
-            }
+            other => return Err(AsmError { line, msg: format!("unknown directive `.{other}`") }),
         }
         Ok(())
     }
@@ -315,9 +328,8 @@ impl Asm {
                         .write_to(&mut code);
                 }
                 Item::LitLoad { rt, slot } => {
-                    let entry = literals[*slot]
-                        .addr
-                        .expect("pool flushed before emit assigns every slot");
+                    let entry =
+                        literals[*slot].addr.expect("pool flushed before emit assigns every slot");
                     let base = (addr + 4) & !3;
                     let off = entry as i64 - i64::from(base);
                     if off < 0 || off % 4 != 0 || off > 1020 {
@@ -334,9 +346,9 @@ impl Asm {
                 Item::PoolEntry(slot) => {
                     let value = match &literals[*slot].value {
                         LitValue::Imm(v) => *v,
-                        LitValue::Label(name) => *symbols.get(name).ok_or_else(|| {
-                            err(format!("undefined label `{name}` in literal"))
-                        })?,
+                        LitValue::Label(name) => *symbols
+                            .get(name)
+                            .ok_or_else(|| err(format!("undefined label `{name}` in literal")))?,
                     };
                     code.extend_from_slice(&value.to_le_bytes());
                 }
@@ -358,15 +370,15 @@ fn parse_imm(line: usize, text: &str) -> Result<i64, AsmError> {
         Some(rest) => (true, rest),
         None => (false, text),
     };
-    let value = if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X"))
-    {
-        i64::from_str_radix(hex, 16)
-    } else if let Some(bin) = digits.strip_prefix("0b") {
-        i64::from_str_radix(bin, 2)
-    } else {
-        digits.parse()
-    }
-    .map_err(|_| AsmError { line, msg: format!("invalid immediate `{text}`") })?;
+    let value =
+        if let Some(hex) = digits.strip_prefix("0x").or_else(|| digits.strip_prefix("0X")) {
+            i64::from_str_radix(hex, 16)
+        } else if let Some(bin) = digits.strip_prefix("0b") {
+            i64::from_str_radix(bin, 2)
+        } else {
+            digits.parse()
+        }
+        .map_err(|_| AsmError { line, msg: format!("invalid immediate `{text}`") })?;
     Ok(if neg { -value } else { value })
 }
 
@@ -443,7 +455,10 @@ fn parse_one_operand(line: usize, text: &str) -> Result<(Operand, &str), AsmErro
     let end = text.find(',').unwrap_or(text.len());
     let token = text[..end].trim();
     let rest = &text[end..];
-    if token.starts_with('#') || token.starts_with('-') || token.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+    if token.starts_with('#')
+        || token.starts_with('-')
+        || token.chars().next().is_some_and(|c| c.is_ascii_digit())
+    {
         return Ok((Operand::Imm(parse_imm(line, token)?), rest));
     }
     if let Some(lit) = token.strip_prefix('=') {
@@ -541,13 +556,10 @@ fn build(line: usize, mnemonic: &str, ops: &[Operand], asm: &mut Asm) -> Result<
         ("bl", [t]) => Ok(Item::Branch { kind: BranchKind::Bl, target: target_of(line, t)? }),
         ("bx", [m]) => instr(Instr::Bx { rm: any_reg(line, m)? }),
         ("blx", [m]) => instr(Instr::Blx { rm: any_reg(line, m)? }),
-        ("adr", [d, O::Imm(v)]) => instr(Instr::Adr {
-            rd: low_reg(line, d)?,
-            imm8: scaled(line, *v, 4, 255, "adr")?,
-        }),
-        ("adr", [d, t]) => {
-            Ok(Item::Adr { rd: low_reg(line, d)?, target: target_of(line, t)? })
+        ("adr", [d, O::Imm(v)]) => {
+            instr(Instr::Adr { rd: low_reg(line, d)?, imm8: scaled(line, *v, 4, 255, "adr")? })
         }
+        ("adr", [d, t]) => Ok(Item::Adr { rd: low_reg(line, d)?, target: target_of(line, t)? }),
         ("movs", [d, O::Imm(v)]) => {
             let v = u8::try_from(*v).map_err(|_| err(format!("movs immediate {v} > 255")))?;
             instr(Instr::MovImm { rd: low_reg(line, d)?, imm8: v })
@@ -568,11 +580,9 @@ fn build(line: usize, mnemonic: &str, ops: &[Operand], asm: &mut Asm) -> Result<
                 instr(Instr::CmpHi { rn, rm: *m })
             }
         }
-        ("adds", [d, n, O::Reg(m)]) => instr(Instr::AddReg3 {
-            rd: low_reg(line, d)?,
-            rn: low_reg(line, n)?,
-            rm: *m,
-        }),
+        ("adds", [d, n, O::Reg(m)]) => {
+            instr(Instr::AddReg3 { rd: low_reg(line, d)?, rn: low_reg(line, n)?, rm: *m })
+        }
         ("adds", [d, n, O::Imm(v)]) => {
             let v = u8::try_from(*v).ok().filter(|v| *v < 8);
             let imm3 = v.ok_or_else(|| err("adds 3-operand immediate must be 0-7".into()))?;
@@ -582,11 +592,9 @@ fn build(line: usize, mnemonic: &str, ops: &[Operand], asm: &mut Asm) -> Result<
             let v = u8::try_from(*v).map_err(|_| err(format!("adds immediate {v} > 255")))?;
             instr(Instr::AddImm8 { rdn: low_reg(line, d)?, imm8: v })
         }
-        ("subs", [d, n, O::Reg(m)]) => instr(Instr::SubReg3 {
-            rd: low_reg(line, d)?,
-            rn: low_reg(line, n)?,
-            rm: *m,
-        }),
+        ("subs", [d, n, O::Reg(m)]) => {
+            instr(Instr::SubReg3 { rd: low_reg(line, d)?, rn: low_reg(line, n)?, rm: *m })
+        }
         ("subs", [d, n, O::Imm(v)]) => {
             let v = u8::try_from(*v).ok().filter(|v| *v < 8);
             let imm3 = v.ok_or_else(|| err("subs 3-operand immediate must be 0-7".into()))?;

@@ -176,10 +176,7 @@ pub fn decode16(hw: u16) -> Result<Instr, DecodeError> {
                 Instr::BCond { cond, offset: sext(hw & 0xFF, 8) << 1 }
             }
         },
-        0b1110
-            if hw & (1 << 11) == 0 => {
-                Instr::B { offset: sext(hw & 0x7FF, 11) << 1 }
-            }
+        0b1110 if hw & (1 << 11) == 0 => Instr::B { offset: sext(hw & 0x7FF, 11) << 1 },
         _ => return Err(DecodeError::Incomplete(hw)),
     };
     Ok(instr)
@@ -345,9 +342,7 @@ mod tests {
 
     #[test]
     fn bl_round_trip_sweep() {
-        for offset in
-            [-(1 << 24), -4096, -256, -4, -2, 0, 2, 4, 62, 4096, (1 << 24) - 2]
-        {
+        for offset in [-(1 << 24), -4096, -256, -4, -2, 0, 2, 4, 62, 4096, (1 << 24) - 2] {
             let enc = Instr::Bl { offset }.encode();
             let Encoding::Pair(a, b) = enc else { panic!("BL must be 32-bit") };
             assert_eq!(decode32(a, b), Ok(Instr::Bl { offset }), "offset {offset}");

@@ -290,18 +290,9 @@ mod tests {
             (Instr::AddImm8 { rdn: Reg::R3, imm8: 7 }, 0x3307),
             (Instr::CmpImm { rn: Reg::R3, imm8: 0 }, 0x2B00),
             (Instr::SubImm8 { rdn: Reg::R1, imm8: 1 }, 0x3901),
-            (
-                Instr::ShiftImm { op: ShiftOp::Lsl, rd: Reg::R0, rm: Reg::R0, imm5: 0 },
-                0x0000,
-            ),
-            (
-                Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 },
-                0x781B,
-            ),
-            (
-                Instr::LoadImm { width: Width::Word, rt: Reg::R2, rn: Reg::R1, imm5: 4 },
-                0x690A,
-            ),
+            (Instr::ShiftImm { op: ShiftOp::Lsl, rd: Reg::R0, rm: Reg::R0, imm5: 0 }, 0x0000),
+            (Instr::LoadImm { width: Width::Byte, rt: Reg::R3, rn: Reg::R3, imm5: 0 }, 0x781B),
+            (Instr::LoadImm { width: Width::Word, rt: Reg::R2, rn: Reg::R1, imm5: 4 }, 0x690A),
             (Instr::MovHi { rd: Reg::R3, rm: Reg::SP }, 0x466B),
             (Instr::Bx { rm: Reg::LR }, 0x4770),
             (Instr::BCond { cond: Cond::Eq, offset: 6 }, 0xD003),

@@ -95,9 +95,7 @@ impl fmt::Display for Instr {
             }
             Instr::Bkpt { imm8 } => write!(f, "bkpt #{imm8}"),
             Instr::Hint { hint } => f.write_str(hint.mnemonic()),
-            Instr::Cps { disable } => {
-                f.write_str(if disable { "cpsid i" } else { "cpsie i" })
-            }
+            Instr::Cps { disable } => f.write_str(if disable { "cpsid i" } else { "cpsie i" }),
             Instr::Stm { rn, rlist } => {
                 write!(f, "stmia {rn}!, ")?;
                 reg_list(f, rlist, None)

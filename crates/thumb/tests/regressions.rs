@@ -1,0 +1,41 @@
+//! Named regression tests promoted from the retired
+//! `tests/properties.proptest-regressions` seed file.
+//!
+//! Both halfwords were historical codec round-trip failures found by
+//! randomized testing; they stay pinned here as explicit unit tests so
+//! the exact encodings are re-checked on every run, with no dependency
+//! on a recorded-seed side file.
+
+use gd_thumb::{decode16, Encoding};
+
+/// `hw = 0xA000` (seed "hw = 40960"): `adr r0, …` with a zero word
+/// offset — the ADR/ADD-to-PC form whose immediate scaling once broke
+/// the decode → encode round trip.
+#[test]
+fn regression_0xa000_adr_round_trips() {
+    let hw: u16 = 0xA000;
+    let instr = decode16(hw).expect("0xA000 is a defined ADR encoding");
+    assert_eq!(instr.encode(), Encoding::Half(hw), "decode→encode canonicity for {hw:#06x}");
+
+    // The text round trip that failed historically: print, re-assemble,
+    // compare bytes.
+    let text = instr.to_string();
+    let prog = gd_thumb::asm::assemble(&text, 0)
+        .unwrap_or_else(|e| panic!("`{text}` failed to re-assemble: {e}"));
+    assert_eq!(prog.code, hw.to_le_bytes(), "`{text}` reassembles to {hw:#06x}");
+}
+
+/// `hw = 0x0800` (seed "hw = 2048"): shift-immediate with a zero
+/// `imm5` — the LSR #32 special case whose immediate once round-tripped
+/// to the wrong encoding.
+#[test]
+fn regression_0x0800_shift_immediate_round_trips() {
+    let hw: u16 = 0x0800;
+    let instr = decode16(hw).expect("0x0800 is a defined shift-immediate encoding");
+    assert_eq!(instr.encode(), Encoding::Half(hw), "decode→encode canonicity for {hw:#06x}");
+
+    let text = instr.to_string();
+    let prog = gd_thumb::asm::assemble(&text, 0)
+        .unwrap_or_else(|e| panic!("`{text}` failed to re-assemble: {e}"));
+    assert_eq!(prog.code, hw.to_le_bytes(), "`{text}` reassembles to {hw:#06x}");
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Tier-1 gate: formatting, a release build, and the full workspace test
+# suite, all offline. The workspace has zero external dependencies, so
+# this runs on a machine with no network and no registry cache.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test --offline (workspace)"
+cargo test --offline -q
+
+echo "==> OK"
