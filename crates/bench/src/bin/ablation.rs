@@ -1,7 +1,10 @@
 //! Ablation study: Table VI only reports *All* and *All\Delay*; this
 //! extension measures each defense's individual contribution against the
 //! worst-case `while(!a)` guard under a single-glitch campaign, answering
-//! which mechanism buys which part of the protection.
+//! which mechanism buys which part of the protection. `--check` diffs the
+//! output against `results/ablation.txt`.
+
+use std::process::ExitCode;
 
 use gd_backend::compile;
 use gd_chipwhisperer::{
@@ -50,7 +53,7 @@ fn campaign(device: &Device, model: &FaultModel) -> (u64, u64, u64, u64) {
     (total, successes, detections, crashes)
 }
 
-fn main() {
+fn regenerate() {
     let model = FaultModel::default();
     let module = gd_firmware::while_not_a();
     let configs: Vec<(&str, Defenses)> = vec![
@@ -88,4 +91,8 @@ fn main() {
          closes the exit edge; the delay defense converts residual successes into\n\
          detections by de-aligning the attack window, as §VII argues)"
     );
+}
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("ablation.txt", &[], regenerate)
 }

@@ -1,8 +1,15 @@
 //! Regenerates Figure 2: exhaustive bit-flip sweeps over every Thumb
 //! conditional branch under the AND / OR / AND-with-invalid-zero models.
+//! A thin client of the campaign engine; `--check` diffs the output
+//! against `results/fig2.txt`.
 
-fn main() {
-    for panel in gd_bench::fig2::run_all() {
-        gd_bench::fig2::print_panel(&panel);
-    }
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("fig2.txt", &[], || {
+        let result = gd_campaign::Engine::ephemeral()
+            .run(&gd_campaign::CampaignSpec::fig2())
+            .expect("campaign runs");
+        print!("{}", result.text);
+    })
 }

@@ -1,13 +1,16 @@
 //! Extension experiment: Figure 2's exhaustive sweep applied to whole
 //! instruction *classes* (ALU, compare, load, store), testing the paper's
 //! §V observation — memory operations are far more fault-prone than pure
-//! register manipulation — at the encoding level.
+//! register manipulation — at the encoding level. `--check` diffs the
+//! output against `results/fig2_ext.txt`.
+
+use std::process::ExitCode;
 
 use gd_emu::Config;
 use gd_glitch_emu::ext::instruction_classes;
 use gd_glitch_emu::{Direction, Outcome};
 
-fn main() {
+fn regenerate() {
     gd_bench::report::heading("Extension — instruction-class skippability (1→0 flips)");
     println!(
         "{:<10} {:<16} {:>8} {:>9} {:>9} {:>9} {:>9}",
@@ -32,4 +35,8 @@ fn main() {
         "\n(\"skip\" = execution completed but the instruction's effect is missing;\n\
          note how memory classes trade skips for faults, as in the paper's §V)"
     );
+}
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("fig2_ext.txt", &[], regenerate)
 }

@@ -1,16 +1,19 @@
 //! Firmware inspector: compile an evaluation firmware with a chosen defense
 //! configuration and dump its annotated disassembly, symbols, and section
-//! sizes.
+//! sizes. `--check` diffs the default `guard all` dump against
+//! `results/gdump_guard_all.txt`.
 //!
 //! ```text
 //! cargo run -p gd-bench --release --bin gdump -- boot all
 //! cargo run -p gd-bench --release --bin gdump -- guard none
 //! ```
 
+use std::process::ExitCode;
+
 use gd_backend::compile;
 use glitch_resistor::{harden, Config, Defenses};
 
-fn main() {
+fn regenerate() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = args.first().map(String::as_str).unwrap_or("guard");
     let cfg = args.get(1).map(String::as_str).unwrap_or("all");
@@ -56,4 +59,8 @@ fn main() {
             println!(";   {addr:08x}  {name}");
         }
     }
+}
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("gdump_guard_all.txt", &["guard", "all"], regenerate)
 }

@@ -1,12 +1,15 @@
 //! Reproduces the §V-B experiment: automatically tuning glitch parameters
 //! to a 10-out-of-10 reliable configuration, reporting attempts and the
-//! bench wall-clock they correspond to.
+//! bench wall-clock they correspond to. `--check` diffs the output
+//! against `results/search.txt`.
+
+use std::process::ExitCode;
 
 use gd_chipwhisperer::{
     find_reliable_params, targets, AttackSpec, Device, FaultModel, SuccessCheck,
 };
 
-fn main() {
+fn regenerate() {
     let model = FaultModel::default();
     let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 600 };
     for (name, src) in [
@@ -27,4 +30,8 @@ fn main() {
         }
         println!("bench time: {:.1} minutes (at 95 ms/attempt)", report.minutes());
     }
+}
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("search.txt", &[], regenerate)
 }

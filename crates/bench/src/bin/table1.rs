@@ -1,18 +1,15 @@
 //! Regenerates Table I: single-glitch scans (8 cycles × 9,801 parameter
 //! combinations) against the three §V loop guards, with post-mortems.
+//! A thin client of the campaign engine; `--check` diffs the output
+//! against `results/table1.txt`.
 
-use gd_chipwhisperer::FaultModel;
+use std::process::ExitCode;
 
-fn main() {
-    let model = FaultModel::default();
-    let rows = gd_bench::glitch_tables::table1(&model);
-    for row in rows {
-        let (_, src) = gd_chipwhisperer::targets::table1_guards()
-            .into_iter()
-            .find(|(n, _)| *n == row.name)
-            .expect("guard exists");
-        let dev = gd_chipwhisperer::Device::from_asm(src).expect("guard assembles");
-        let notes = gd_bench::glitch_tables::cycle_annotations(&dev, 8);
-        gd_bench::glitch_tables::print_table1_row(&row, &notes);
-    }
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table1.txt", &[], || {
+        let result = gd_campaign::Engine::ephemeral()
+            .run(&gd_campaign::CampaignSpec::table1())
+            .expect("campaign runs");
+        print!("{}", result.text);
+    })
 }

@@ -1,10 +1,14 @@
 //! Regenerates Table II: multi-glitch (two identical back-to-back loops),
-//! partial vs full success per cycle.
+//! partial vs full success per cycle. A thin client of the campaign
+//! engine; `--check` diffs the output against `results/table2.txt`.
 
-use gd_chipwhisperer::FaultModel;
+use std::process::ExitCode;
 
-fn main() {
-    let model = FaultModel::default();
-    let rows = gd_bench::glitch_tables::table2(&model);
-    gd_bench::glitch_tables::print_table2(&rows);
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table2.txt", &[], || {
+        let result = gd_campaign::Engine::ephemeral()
+            .run(&gd_campaign::CampaignSpec::table2())
+            .expect("campaign runs");
+        print!("{}", result.text);
+    })
 }

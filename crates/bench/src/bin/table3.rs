@@ -1,10 +1,14 @@
 //! Regenerates Table III: long glitches (0..10 through 0..20 cycles)
-//! against the doubled loop guards.
+//! against the doubled loop guards. A thin client of the campaign
+//! engine; `--check` diffs the output against `results/table3.txt`.
 
-use gd_chipwhisperer::FaultModel;
+use std::process::ExitCode;
 
-fn main() {
-    let model = FaultModel::default();
-    let rows = gd_bench::glitch_tables::table3(&model);
-    gd_bench::glitch_tables::print_table3(&rows);
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table3.txt", &[], || {
+        let result = gd_campaign::Engine::ephemeral()
+            .run(&gd_campaign::CampaignSpec::table3())
+            .expect("campaign runs");
+        print!("{}", result.text);
+    })
 }

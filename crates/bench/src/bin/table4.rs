@@ -1,6 +1,11 @@
 //! Regenerates Table IV: boot-time overhead (clock cycles) per defense.
+//! `--check` diffs the output against `results/table4.txt`.
 
-fn main() {
-    let rows = gd_bench::overhead::table4();
-    gd_bench::overhead::print_table4(&rows);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table4.txt", &[], || {
+        let rows = gd_bench::overhead::table4();
+        gd_bench::overhead::print_table4(&rows);
+    })
 }

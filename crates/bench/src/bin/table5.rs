@@ -1,6 +1,11 @@
 //! Regenerates Table V: firmware size overhead (bytes) per defense.
+//! `--check` diffs the output against `results/table5.txt`.
 
-fn main() {
-    let rows = gd_bench::overhead::table5();
-    gd_bench::overhead::print_table5(&rows);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table5.txt", &[], || {
+        let rows = gd_bench::overhead::table5();
+        gd_bench::overhead::print_table5(&rows);
+    })
 }

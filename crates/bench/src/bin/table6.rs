@@ -1,10 +1,15 @@
 //! Regenerates Table VI: hardened-firmware effectiveness under single,
 //! long, and windowed glitch campaigns (107,811 / 98,010 attempts each).
+//! A thin client of the campaign engine; `--check` diffs the output
+//! against `results/table6.txt`.
 
-use gd_chipwhisperer::FaultModel;
+use std::process::ExitCode;
 
-fn main() {
-    let model = FaultModel::default();
-    let blocks = gd_bench::defense::table6(&model);
-    gd_bench::defense::print_table6(&blocks);
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table6.txt", &[], || {
+        let result = gd_campaign::Engine::ephemeral()
+            .run(&gd_campaign::CampaignSpec::table6())
+            .expect("campaign runs");
+        print!("{}", result.text);
+    })
 }

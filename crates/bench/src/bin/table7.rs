@@ -1,12 +1,17 @@
 //! Regenerates Table VII: the qualitative comparison with prior
-//! software-based glitching defenses.
+//! software-based glitching defenses. `--check` diffs the output against
+//! `results/table7.txt`.
+
+use std::process::ExitCode;
 
 use glitch_resistor::related;
 
-fn main() {
-    gd_bench::report::heading("Table VII — software-based defense comparison");
-    println!("{}", related::TABLE_HEADER);
-    for row in related::comparison() {
-        println!("{row}");
-    }
+fn main() -> ExitCode {
+    gd_bench::selfcheck::main("table7.txt", &[], || {
+        gd_bench::report::heading("Table VII — software-based defense comparison");
+        println!("{}", related::TABLE_HEADER);
+        for row in related::comparison() {
+            println!("{row}");
+        }
+    })
 }

@@ -11,15 +11,22 @@
 //! | `table7` binary | Table VII | `table7` |
 //! | `search` binary | §V-B tuning | `search` |
 //!
+//! The campaign-shardable workload harnesses ([`fig2`],
+//! [`glitch_tables`], [`defense`], [`report`]) live in [`gd_campaign`]
+//! and are re-exported here unchanged; the `fig2`/`table1`–`table3`/
+//! `table6` binaries are thin clients of [`gd_campaign::Engine`]. Every
+//! binary also accepts `--check` ([`selfcheck`]): regenerate the
+//! artifact, diff it against the committed golden file under `results/`,
+//! and exit non-zero on drift.
+//!
 //! Dependency-free timing benches covering the hot paths live in
 //! `benches/`, built on the [`timing`] harness.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
-pub mod defense;
-pub mod fig2;
-pub mod glitch_tables;
+pub use gd_campaign::{defense, fig2, glitch_tables, report};
+
 pub mod overhead;
-pub mod report;
+pub mod selfcheck;
 pub mod timing;

@@ -1,6 +1,10 @@
 //! Table VI: the effectiveness of GlitchResistor's defenses against
 //! single, long, and windowed-long glitch attacks on real (compiled,
-//! hardened) firmware.
+//! hardened) firmware. (Moved here from `gd-bench` so the campaign
+//! engine can shard and serve the workload; `gd_bench::defense`
+//! re-exports this module.)
+
+use std::fmt::Write as _;
 
 use gd_backend::compile;
 use gd_chipwhisperer::{
@@ -49,7 +53,7 @@ impl Attack {
 }
 
 /// Aggregated results for one (target, defense, attack) cell of Table VI.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DefenseCell {
     /// Total attempts.
     pub total: u64,
@@ -167,27 +171,40 @@ pub fn table6(model: &FaultModel) -> Vec<Table6Block> {
         .collect()
 }
 
-/// Prints Table VI in the paper's layout.
-pub fn print_table6(blocks: &[Table6Block]) {
-    for block in blocks {
-        crate::report::heading(&format!("Table VI — defenses vs {}", block.target));
-        println!(
-            "{:<10} {:<10} {:>9} {:>10} {:>12} {:>11} {:>10}",
-            "Attack", "Defenses", "Total", "Successes", "Succ. rate", "Detections", "Det. rate"
-        );
-        for (attack, cfg, cell) in &block.rows {
-            println!(
-                "{:<10} {:<10} {:>9} {:>10} {:>11.5}% {:>11} {:>9.1}%",
-                attack.label(),
-                cfg,
-                cell.total,
-                cell.successes,
-                cell.success_rate(),
-                cell.detections,
-                cell.detection_rate()
-            );
-        }
+/// Renders one Table VI block in the paper's layout.
+pub fn render_table6_block(block: &Table6Block) -> String {
+    let mut out = crate::report::heading_str(&format!("Table VI — defenses vs {}", block.target));
+    writeln!(
+        out,
+        "{:<10} {:<10} {:>9} {:>10} {:>12} {:>11} {:>10}",
+        "Attack", "Defenses", "Total", "Successes", "Succ. rate", "Detections", "Det. rate"
+    )
+    .unwrap();
+    for (attack, cfg, cell) in &block.rows {
+        writeln!(
+            out,
+            "{:<10} {:<10} {:>9} {:>10} {:>11.5}% {:>11} {:>9.1}%",
+            attack.label(),
+            cfg,
+            cell.total,
+            cell.successes,
+            cell.success_rate(),
+            cell.detections,
+            cell.detection_rate()
+        )
+        .unwrap();
     }
+    out
+}
+
+/// Renders the full Table VI.
+pub fn render_table6(blocks: &[Table6Block]) -> String {
+    blocks.iter().map(render_table6_block).collect()
+}
+
+/// Prints Table VI (legacy CLI surface over [`render_table6`]).
+pub fn print_table6(blocks: &[Table6Block]) {
+    print!("{}", render_table6(blocks));
 }
 
 /// The unprotected baseline for the same targets (contextual row).

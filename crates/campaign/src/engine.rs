@@ -1,0 +1,397 @@
+//! The campaign engine: shards a spec, fans the shards out over
+//! [`gd_exec`], merges the results in plan order, and — when given a
+//! store directory — persists completed shards as resumable checkpoints
+//! and finished campaigns in a content-addressed cache.
+//!
+//! Store layout (all files are JSON):
+//!
+//! ```text
+//! <store>/cache/<cache-key>.json          completed campaigns
+//! <store>/runs/<checkpoint-key>/shard-<index>.json
+//! ```
+//!
+//! The cache key covers everything that determines output bytes (spec,
+//! firmware image bytes, fault-model constants, seed, shard range); the
+//! checkpoint key additionally strips the shard range, so a partial
+//! campaign's shards seed the full campaign and a killed engine resumes
+//! where it stopped. Thread count is part of neither: output is
+//! bit-identical at any worker count.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::json::{parse, Json};
+use crate::shards::{run_shard, shard_plan, ShardResult, ShardWork};
+use crate::spec::CampaignSpec;
+
+/// Result format version written to cache and checkpoint files.
+pub const RESULT_VERSION: i64 = 1;
+
+/// A completed (possibly partial) campaign: the spec, its content
+/// address, every completed shard in plan order, and the rendered report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The spec that produced this result.
+    pub spec: CampaignSpec,
+    /// The spec's [`CampaignSpec::cache_key`] at run time.
+    pub cache_key: String,
+    /// Completed shard results, in plan order over the selected range.
+    pub shards: Vec<ShardResult>,
+    /// The report text — byte-identical to the legacy serial binary for
+    /// a full-range campaign.
+    pub text: String,
+}
+
+impl CampaignResult {
+    /// The result as a JSON value.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::Int(RESULT_VERSION.into())),
+            ("cache_key", Json::Str(self.cache_key.clone())),
+            ("spec", self.spec.to_json()),
+            ("shards", Json::Arr(self.shards.iter().map(ShardResult::to_json).collect())),
+            ("text", Json::Str(self.text.clone())),
+        ])
+    }
+
+    /// Parses a result back from [`CampaignResult::to_json`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing or ill-typed field.
+    pub fn from_json(v: &Json) -> Result<CampaignResult, String> {
+        let version = v.get("version").and_then(Json::as_i64).ok_or("result: missing `version`")?;
+        if version != RESULT_VERSION {
+            return Err(format!("unsupported result version {version}"));
+        }
+        let cache_key = v
+            .get("cache_key")
+            .and_then(Json::as_str)
+            .ok_or("result: missing `cache_key`")?
+            .to_owned();
+        let spec = CampaignSpec::from_json(v.get("spec").ok_or("result: missing `spec`")?)?;
+        let shards = v
+            .get("shards")
+            .and_then(Json::as_arr)
+            .ok_or("result: missing `shards`")?
+            .iter()
+            .map(ShardResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let text = v.get("text").and_then(Json::as_str).ok_or("result: missing `text`")?.to_owned();
+        Ok(CampaignResult { spec, cache_key, shards, text })
+    }
+
+    /// Parses a result from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates both JSON syntax errors and shape errors as text.
+    pub fn from_json_text(text: &str) -> Result<CampaignResult, String> {
+        CampaignResult::from_json(&parse(text).map_err(|e| e.to_string())?)
+    }
+}
+
+/// Progress of a running campaign, reported to [`Engine::run_with`]
+/// observers as `(done, total)` over the selected shard range.
+pub type ProgressFn<'a> = &'a (dyn Fn(u32, u32) + Sync);
+
+/// The sharded campaign engine. Cheap to construct; all state lives in
+/// the optional store directory.
+#[derive(Debug)]
+pub struct Engine {
+    store: Option<PathBuf>,
+    executed: AtomicU64,
+}
+
+impl Engine {
+    /// An engine with no store: no cache lookups, no checkpoints.
+    pub fn ephemeral() -> Engine {
+        Engine { store: None, executed: AtomicU64::new(0) }
+    }
+
+    /// An engine persisting checkpoints and cached results under `dir`
+    /// (created on demand).
+    pub fn with_store(dir: impl Into<PathBuf>) -> Engine {
+        Engine { store: Some(dir.into()), executed: AtomicU64::new(0) }
+    }
+
+    /// The store directory, if any.
+    pub fn store(&self) -> Option<&Path> {
+        self.store.as_deref()
+    }
+
+    /// How many shards this engine has actually executed (cache and
+    /// checkpoint hits don't count) — the cache-effectiveness probe.
+    pub fn executed(&self) -> u64 {
+        self.executed.load(Ordering::Relaxed)
+    }
+
+    /// Runs a campaign to completion. See [`Engine::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Engine::run_with`].
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignResult, String> {
+        self.run_with(spec, &|_, _| {})
+    }
+
+    /// Runs a campaign to completion, invoking `progress` with
+    /// `(done, total)` counts as shards finish (including shards
+    /// satisfied from checkpoints).
+    ///
+    /// A stored campaign with the same cache key returns immediately;
+    /// otherwise missing shards fan out over [`gd_exec`] (respecting
+    /// `spec.threads` via [`gd_exec::with_threads`]) and each completed
+    /// shard is checkpointed before the merge.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid specs, shard ranges outside the plan, target
+    /// fixtures that do not build, and store I/O errors.
+    pub fn run_with(
+        &self,
+        spec: &CampaignSpec,
+        progress: ProgressFn<'_>,
+    ) -> Result<CampaignResult, String> {
+        spec.validate()?;
+        let plan = shard_plan(spec);
+        let full_total = plan.len() as u32;
+        let (lo, hi) = match spec.shards {
+            None => (0, full_total),
+            Some((lo, hi)) if hi <= full_total => (lo, hi),
+            Some((_, hi)) => {
+                return Err(format!("shard range end {hi} exceeds the plan's {full_total} shards"));
+            }
+        };
+        let selected: Vec<(u32, ShardWork)> = (lo..hi).map(|i| (i, plan[i as usize])).collect();
+        let total = selected.len() as u32;
+        let cache_key = spec.cache_key()?;
+
+        if let Some(hit) = self.cache_lookup(&cache_key) {
+            progress(total, total);
+            return Ok(hit);
+        }
+
+        let ckpt_dir = match &self.store {
+            None => None,
+            Some(dir) => {
+                let d = dir.join("runs").join(spec.checkpoint_key()?);
+                fs::create_dir_all(&d)
+                    .map_err(|e| format!("creating checkpoint dir {}: {e}", d.display()))?;
+                Some(d)
+            }
+        };
+
+        // Resume: adopt every selected shard already checkpointed.
+        let mut done: Vec<(u32, ShardResult)> = Vec::new();
+        if let Some(dir) = &ckpt_dir {
+            for &(index, _) in &selected {
+                if let Some(result) = load_checkpoint(dir, index) {
+                    done.push((index, result));
+                }
+            }
+        }
+        let have: Vec<u32> = done.iter().map(|(i, _)| *i).collect();
+        let missing: Vec<(u32, ShardWork)> =
+            selected.iter().filter(|(i, _)| !have.contains(i)).copied().collect();
+
+        let finished = AtomicU32::new(done.len() as u32);
+        progress(finished.load(Ordering::Relaxed), total);
+
+        let run_one = |&(index, work): &(u32, ShardWork)| {
+            let result = run_shard(spec, &work);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = &ckpt_dir {
+                // Best-effort: a failed checkpoint write costs resumability,
+                // not correctness.
+                if let Err(e) = write_checkpoint(dir, index, &result) {
+                    eprintln!("gd-campaign: checkpoint shard {index}: {e}");
+                }
+            }
+            progress(finished.fetch_add(1, Ordering::Relaxed) + 1, total);
+            result
+        };
+        let fresh: Vec<ShardResult> = match spec.threads {
+            Some(t) => gd_exec::with_threads(t as usize, || gd_exec::par_map(&missing, run_one)),
+            None => gd_exec::par_map(&missing, run_one),
+        };
+
+        done.extend(missing.iter().map(|(i, _)| *i).zip(fresh));
+        done.sort_by_key(|(i, _)| *i);
+        let ordered: Vec<(ShardWork, ShardResult)> =
+            done.into_iter().map(|(i, r)| (plan[i as usize], r)).collect();
+        let text = crate::shards::render(spec, &ordered)?;
+        let result = CampaignResult {
+            spec: spec.clone(),
+            cache_key: cache_key.clone(),
+            shards: ordered.into_iter().map(|(_, r)| r).collect(),
+            text,
+        };
+
+        if let Some(dir) = &self.store {
+            let cache = dir.join("cache");
+            fs::create_dir_all(&cache)
+                .map_err(|e| format!("creating cache dir {}: {e}", cache.display()))?;
+            let body = result
+                .to_json()
+                .to_string_pretty()
+                .map_err(|e| format!("serializing result: {e}"))?;
+            write_atomic(&cache.join(format!("{cache_key}.json")), body.as_bytes())
+                .map_err(|e| format!("writing cached result: {e}"))?;
+        }
+        Ok(result)
+    }
+
+    /// Looks a finished campaign up by its content address. A missing or
+    /// corrupt cache file is a miss (the engine recomputes and rewrites).
+    pub fn cache_lookup(&self, cache_key: &str) -> Option<CampaignResult> {
+        let dir = self.store.as_ref()?;
+        let path = dir.join("cache").join(format!("{cache_key}.json"));
+        let text = fs::read_to_string(path).ok()?;
+        match CampaignResult::from_json_text(&text) {
+            Ok(result) if result.cache_key == cache_key => Some(result),
+            _ => None,
+        }
+    }
+}
+
+fn checkpoint_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("shard-{index:05}.json"))
+}
+
+fn load_checkpoint(dir: &Path, index: u32) -> Option<ShardResult> {
+    let text = fs::read_to_string(checkpoint_path(dir, index)).ok()?;
+    let v = parse(&text).ok()?;
+    // Stale or mismatched files (e.g. a hand-edited store) are skipped,
+    // not trusted: the index recorded inside must match the filename.
+    if v.get("index").and_then(Json::as_u64) != Some(u64::from(index)) {
+        return None;
+    }
+    ShardResult::from_json(v.get("result")?).ok()
+}
+
+fn write_checkpoint(dir: &Path, index: u32, result: &ShardResult) -> Result<(), String> {
+    let body = Json::obj(vec![
+        ("version", Json::Int(RESULT_VERSION.into())),
+        ("index", Json::Int(index.into())),
+        ("result", result.to_json()),
+    ])
+    .to_string_pretty()
+    .map_err(|e| e.to_string())?;
+    write_atomic(&checkpoint_path(dir, index), body.as_bytes()).map_err(|e| e.to_string())
+}
+
+/// Writes via a sibling temp file + rename, so readers (and a campaign
+/// resuming after a kill) never observe a torn file.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.to_path_buf();
+    tmp.set_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gd-campaign-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A 3-shard Figure 2 slice: big enough to exercise sharding and
+    /// resume, small enough (three real branch sweeps, ~0.5 s unoptimized)
+    /// to run everywhere.
+    fn small_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::fig2();
+        spec.shards = Some((0, 3));
+        spec
+    }
+
+    #[test]
+    fn identical_resubmission_is_a_cache_hit() {
+        let store = tmp_store("cache");
+        let spec = small_spec();
+        let engine = Engine::with_store(&store);
+        let first = engine.run(&spec).unwrap();
+        assert_eq!(engine.executed(), 3, "three shards ran");
+        let second = engine.run(&spec).unwrap();
+        assert_eq!(engine.executed(), 3, "the resubmission ran nothing");
+        assert_eq!(second, first);
+        // A fresh engine (a restarted process) hits the same cache file.
+        let engine2 = Engine::with_store(&store);
+        assert_eq!(engine2.run(&spec).unwrap(), first);
+        assert_eq!(engine2.executed(), 0);
+        let _ = fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn partial_campaigns_checkpoint_and_the_wider_campaign_resumes() {
+        let store = tmp_store("resume");
+        let spec = small_spec();
+        let mut partial = spec.clone();
+        partial.shards = Some((0, 2));
+        let engine = Engine::with_store(&store);
+        let part = engine.run(&partial).unwrap();
+        assert_eq!(part.shards.len(), 2);
+        assert_eq!(engine.executed(), 2);
+        // A *restarted* engine (fresh process state, same store) finds the
+        // two checkpointed shards and runs only the third — the checkpoint
+        // key strips the shard range, so partial runs seed wider ones.
+        let engine2 = Engine::with_store(&store);
+        let full = engine2.run(&spec).unwrap();
+        assert_eq!(engine2.executed(), 1, "only the missing shard ran");
+        assert_eq!(full.shards.len(), 3);
+        // The resumed run is indistinguishable from a cold run.
+        let cold = Engine::ephemeral().run(&spec).unwrap();
+        assert_eq!(full.text, cold.text);
+        assert_eq!(full.shards, cold.shards);
+        let _ = fs::remove_dir_all(&store);
+    }
+
+    #[test]
+    fn progress_counts_reach_the_total_and_results_round_trip() {
+        use std::sync::Mutex;
+        let spec = small_spec();
+        let seen: Mutex<Vec<(u32, u32)>> = Mutex::new(Vec::new());
+        let engine = Engine::ephemeral();
+        let result = engine
+            .run_with(&spec, &|done, total| seen.lock().unwrap().push((done, total)))
+            .unwrap();
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.first(), Some(&(0, 3)));
+        assert_eq!(seen.last(), Some(&(3, 3)));
+        let text = result.to_json().to_string_pretty().unwrap();
+        assert_eq!(CampaignResult::from_json_text(&text).unwrap(), result);
+    }
+
+    #[test]
+    fn shard_range_beyond_the_plan_is_rejected() {
+        let mut spec = small_spec();
+        spec.shards = Some((0, 99));
+        let err = Engine::ephemeral().run(&spec).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_cache_and_checkpoints_are_recomputed_not_trusted() {
+        let store = tmp_store("corrupt");
+        let spec = small_spec();
+        let engine = Engine::with_store(&store);
+        let good = engine.run(&spec).unwrap();
+        // Corrupt the cache file: the next run must recompute.
+        let cache = store.join("cache").join(format!("{}.json", good.cache_key));
+        fs::write(&cache, b"{ truncated").unwrap();
+        // Corrupt one checkpoint: only that shard re-runs.
+        let ckpt_dir = store.join("runs").join(spec.checkpoint_key().unwrap());
+        fs::write(checkpoint_path(&ckpt_dir, 1), b"not json").unwrap();
+        let engine2 = Engine::with_store(&store);
+        let again = engine2.run(&spec).unwrap();
+        assert_eq!(engine2.executed(), 1, "one corrupt checkpoint re-ran");
+        assert_eq!(again, good);
+        let _ = fs::remove_dir_all(&store);
+    }
+}

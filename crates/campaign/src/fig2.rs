@@ -1,6 +1,10 @@
 //! Figure 2: exhaustive bit-flip sweeps over every Thumb conditional
 //! branch, under the AND (1→0), OR (0→1), and AND-with-`0x0000`-invalid
-//! fault models.
+//! fault models. (Moved here from `gd-bench` so the campaign engine can
+//! shard and serve the workload; `gd_bench::fig2` re-exports this
+//! module.)
+
+use std::fmt::Write as _;
 
 use gd_emu::Config;
 use gd_glitch_emu::{branch_case, sweep_case, Direction, Outcome, SweepResult};
@@ -29,6 +33,17 @@ impl Panel {
     }
 }
 
+/// The four published panel configurations, in output order: label,
+/// flip direction, emulator config.
+pub fn panel_configs() -> Vec<(&'static str, Direction, Config)> {
+    vec![
+        ("AND (2a)", Direction::And, Config::default()),
+        ("OR (2b)", Direction::Or, Config::default()),
+        ("AND, 0x0000 invalid (2c)", Direction::And, Config { zero_is_invalid: true }),
+        ("XOR (discussed in §IV)", Direction::Xor, Config::default()),
+    ]
+}
+
 /// Runs one panel. `conds` limits the sweep (tests use a subset).
 ///
 /// The per-branch sweeps are independent 2¹⁶-execution jobs, so they fan
@@ -46,40 +61,38 @@ pub fn panel(label: &'static str, direction: Direction, cfg: Config, conds: &[Co
 /// those of and and or").
 pub fn run_all() -> Vec<Panel> {
     let all = Cond::ALL;
-    vec![
-        panel("AND (2a)", Direction::And, Config::default(), &all),
-        panel("OR (2b)", Direction::Or, Config::default(), &all),
-        panel("AND, 0x0000 invalid (2c)", Direction::And, Config { zero_is_invalid: true }, &all),
-        panel("XOR (discussed in §IV)", Direction::Xor, Config::default(), &all),
-    ]
+    panel_configs().into_iter().map(|(label, dir, cfg)| panel(label, dir, cfg, &all)).collect()
 }
 
-/// Prints a panel in Figure 2's structure: success-rate-by-k series plus
+/// Renders a panel in Figure 2's structure: success-rate-by-k series plus
 /// the failure histogram.
-pub fn print_panel(p: &Panel) {
-    crate::report::heading(&format!("Figure 2 — {}", p.label));
-    print!("{:<6}", "instr");
+pub fn render_panel(p: &Panel) -> String {
+    let mut out = crate::report::heading_str(&format!("Figure 2 — {}", p.label));
+    write!(out, "{:<6}", "instr").unwrap();
     for k in 0..=16 {
-        print!(" {k:>5}");
+        write!(out, " {k:>5}").unwrap();
     }
-    println!("   (success % by number of flipped bits)");
+    writeln!(out, "   (success % by number of flipped bits)").unwrap();
     for s in &p.sweeps {
-        print!("{:<6}", s.name);
+        write!(out, "{:<6}", s.name).unwrap();
         for t in &s.per_k {
-            print!(" {:>5.1}", t.success_rate());
+            write!(out, " {:>5.1}", t.success_rate()).unwrap();
         }
-        println!();
+        writeln!(out).unwrap();
     }
-    println!();
-    println!(
+    writeln!(out).unwrap();
+    writeln!(
+        out,
         "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
         "instr", "Success", "BadRead", "Invalid", "BadFetch", "Failed", "NoEffect"
-    );
+    )
+    .unwrap();
     for s in &p.sweeps {
         let agg = s.aggregate();
         let total = agg.total().max(1) as f64;
         let f = |o: Outcome| 100.0 * agg.count(o) as f64 / total;
-        println!(
+        writeln!(
+            out,
             "{:<6} {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}% {:>8.2}%",
             s.name,
             f(Outcome::Success),
@@ -88,9 +101,16 @@ pub fn print_panel(p: &Panel) {
             f(Outcome::BadFetch),
             f(Outcome::Failed),
             f(Outcome::NoEffect),
-        );
+        )
+        .unwrap();
     }
-    println!("overall success: {:.2}%", p.overall_success());
+    writeln!(out, "overall success: {:.2}%", p.overall_success()).unwrap();
+    out
+}
+
+/// Prints a panel (legacy CLI surface over [`render_panel`]).
+pub fn print_panel(p: &Panel) {
+    print!("{}", render_panel(p));
 }
 
 #[cfg(test)]

@@ -1,5 +1,9 @@
 //! Tables I–III: single-, multi-, and long-glitch scans against the three
-//! §V loop guards on the simulated ChipWhisperer rig.
+//! §V loop guards on the simulated ChipWhisperer rig. (Moved here from
+//! `gd-bench` so the campaign engine can shard and serve the workloads;
+//! `gd_bench::glitch_tables` re-exports this module.)
+
+use std::fmt::Write as _;
 
 use gd_chipwhisperer::{
     scan_grid, scan_multi, scan_single, AttackSpec, CellCounts, Device, FaultModel, MultiCell,
@@ -45,6 +49,17 @@ pub fn guard_spec() -> AttackSpec {
     AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: GUARD_BUDGET }
 }
 
+/// The comparator register Table I post-mortems record for a given guard:
+/// the complex guard compares r2 against r3; the simple guards keep the
+/// loaded value in r3.
+pub fn post_mortem_reg(guard_name: &str) -> Reg {
+    if guard_name.contains('!') || guard_name == "while(a)" {
+        Reg::R3
+    } else {
+        Reg::R2
+    }
+}
+
 /// Table I: per-cycle single-glitch successes with comparator post-mortems.
 pub struct Table1Row {
     /// Guard name.
@@ -59,23 +74,23 @@ pub fn table1(model: &FaultModel) -> Vec<Table1Row> {
         .into_iter()
         .map(|(name, src)| {
             let dev = Device::from_asm(src).expect("guard assembles");
-            // The complex guard compares r2 against r3; the simple guards
-            // keep the loaded value in r3.
-            let reg = if name.contains('!') || name == "while(a)" { Reg::R3 } else { Reg::R2 };
+            let reg = post_mortem_reg(name);
             let cells = scan_single(&dev, model, 0..8, &guard_spec(), Some(reg));
             Table1Row { name, cells }
         })
         .collect()
 }
 
-/// Prints a Table I row in the paper's layout (cycle → instruction →
+/// Renders a Table I row in the paper's layout (cycle → instruction →
 /// successes → comparator post-mortem).
-pub fn print_table1_row(row: &Table1Row, annotations: &[String]) {
-    crate::report::heading(&format!("Table I — single glitch vs {}", row.name));
-    println!(
+pub fn render_table1_row(row: &Table1Row, annotations: &[String]) -> String {
+    let mut out = crate::report::heading_str(&format!("Table I — single glitch vs {}", row.name));
+    writeln!(
+        out,
         "{:<6} {:<22} {:>9}   post-mortem (register=count)",
         "cycle", "instruction", "successes"
-    );
+    )
+    .unwrap();
     let mut total_s = 0u64;
     let mut total_a = 0u64;
     for (cycle, cell) in &row.cells {
@@ -85,14 +100,22 @@ pub fn print_table1_row(row: &Table1Row, annotations: &[String]) {
             cell.post_mortem.iter().map(|(v, n)| format!("{v:#x}={n}")).collect();
         hist.truncate(6);
         let instr = annotations.get(*cycle as usize).map(String::as_str).unwrap_or("");
-        println!("{cycle:<6} {instr:<22} {:>9}   {}", cell.successes, hist.join(" "));
+        writeln!(out, "{cycle:<6} {instr:<22} {:>9}   {}", cell.successes, hist.join(" ")).unwrap();
     }
-    println!(
+    writeln!(
+        out,
         "total  {:<22} {total_s:>9}   ({} of {} attempts)",
         "",
         crate::report::pct(total_s, total_a),
         total_a
-    );
+    )
+    .unwrap();
+    out
+}
+
+/// Prints a Table I row (legacy CLI surface over [`render_table1_row`]).
+pub fn print_table1_row(row: &Table1Row, annotations: &[String]) {
+    print!("{}", render_table1_row(row, annotations));
 }
 
 /// Table II: multi-glitch (two identical back-to-back loops).
@@ -103,64 +126,72 @@ pub struct Table2Row {
     pub cells: Vec<(u32, MultiCell)>,
 }
 
+/// The per-attempt spec for the doubled guards (twice the loop, twice the
+/// budget).
+pub fn doubled_spec() -> AttackSpec {
+    AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 1_200 }
+}
+
 /// Runs Table II over glitch cycles 0..8.
 pub fn table2(model: &FaultModel) -> Vec<Table2Row> {
-    let targets = [
-        ("while(!a)", gd_chipwhisperer::targets::while_not_a_doubled()),
-        ("while(a)", gd_chipwhisperer::targets::while_a_doubled()),
-        ("while(a!=0xD3B9AEC6)", gd_chipwhisperer::targets::while_a_ne_const_doubled()),
-    ];
-    targets
+    crate::spec::doubled_guards()
         .into_iter()
         .map(|(name, src)| {
             let dev = Device::from_asm(&src).expect("guard assembles");
-            let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 1_200 };
-            let cells = scan_multi(&dev, model, 0..8, &spec);
+            let cells = scan_multi(&dev, model, 0..8, &doubled_spec());
             Table2Row { name, cells }
         })
         .collect()
 }
 
-/// Prints Table II in the paper's layout.
-pub fn print_table2(rows: &[Table2Row]) {
-    crate::report::heading("Table II — multi-glitch (partial vs full)");
-    print!("{:<6}", "cycle");
+/// Renders Table II in the paper's layout.
+pub fn render_table2(rows: &[Table2Row]) -> String {
+    let mut out = crate::report::heading_str("Table II — multi-glitch (partial vs full)");
+    write!(out, "{:<6}", "cycle").unwrap();
     for r in rows {
-        print!(" | {:^21}", r.name);
+        write!(out, " | {:^21}", r.name).unwrap();
     }
-    println!();
-    print!("{:<6}", "");
+    writeln!(out).unwrap();
+    write!(out, "{:<6}", "").unwrap();
     for _ in rows {
-        print!(" | {:>10} {:>10}", "partial", "full");
+        write!(out, " | {:>10} {:>10}", "partial", "full").unwrap();
     }
-    println!();
+    writeln!(out).unwrap();
     for i in 0..rows[0].cells.len() {
-        print!("{:<6}", rows[0].cells[i].0);
+        write!(out, "{:<6}", rows[0].cells[i].0).unwrap();
         for r in rows {
             let c = &r.cells[i];
-            print!(" | {:>10} {:>10}", c.1.partial, c.1.full);
+            write!(out, " | {:>10} {:>10}", c.1.partial, c.1.full).unwrap();
         }
-        println!();
+        writeln!(out).unwrap();
     }
-    print!("total ");
+    write!(out, "total ").unwrap();
     for r in rows {
         let partial: u64 = r.cells.iter().map(|c| c.1.partial).sum();
         let full: u64 = r.cells.iter().map(|c| c.1.full).sum();
-        print!(" | {partial:>10} {full:>10}");
+        write!(out, " | {partial:>10} {full:>10}").unwrap();
     }
-    println!();
-    print!("rate  ");
+    writeln!(out).unwrap();
+    write!(out, "rate  ").unwrap();
     for r in rows {
         let attempts: u64 = r.cells.iter().map(|c| c.1.attempts).sum();
         let partial: u64 = r.cells.iter().map(|c| c.1.partial).sum();
         let full: u64 = r.cells.iter().map(|c| c.1.full).sum();
-        print!(
+        write!(
+            out,
             " | {:>10} {:>10}",
             crate::report::pct(partial, attempts),
             crate::report::pct(full, attempts)
-        );
+        )
+        .unwrap();
     }
-    println!();
+    writeln!(out).unwrap();
+    out
+}
+
+/// Prints Table II (legacy CLI surface over [`render_table2`]).
+pub fn print_table2(rows: &[Table2Row]) {
+    print!("{}", render_table2(rows));
 }
 
 /// Table III: long glitches (0..N contiguous cycles) against the doubled
@@ -174,21 +205,15 @@ pub struct Table3Row {
 
 /// Runs Table III: glitch lengths 10..=20 from cycle 0.
 pub fn table3(model: &FaultModel) -> Vec<Table3Row> {
-    let targets = [
-        ("while(!a)", gd_chipwhisperer::targets::while_not_a_doubled()),
-        ("while(a)", gd_chipwhisperer::targets::while_a_doubled()),
-        ("while(a!=0xD3B9AEC6)", gd_chipwhisperer::targets::while_a_ne_const_doubled()),
-    ];
-    targets
+    crate::spec::doubled_guards()
         .into_iter()
         .map(|(name, src)| {
             let dev = Device::from_asm(&src).expect("guard assembles");
-            let spec = AttackSpec { success: SuccessCheck::Bkpt(1), max_cycles: 1_200 };
             // The eleven glitch lengths are independent single-start scans:
             // fan them out, keeping length order for byte-identical output.
             let lens: Vec<u32> = (10..=20).collect();
             let cells = gd_exec::par_map(&lens, |&len| {
-                let scanned = scan_grid(&dev, model, 0..1, len, &spec, None);
+                let scanned = scan_grid(&dev, model, 0..1, len, &doubled_spec(), None);
                 let (_, cell) = scanned.into_iter().next().expect("one start cycle");
                 (len, cell)
             });
@@ -197,26 +222,32 @@ pub fn table3(model: &FaultModel) -> Vec<Table3Row> {
         .collect()
 }
 
-/// Prints Table III in the paper's layout.
-pub fn print_table3(rows: &[Table3Row]) {
-    crate::report::heading("Table III — long glitch successes (cycles 0..N)");
-    print!("{:<8}", "cycles");
+/// Renders Table III in the paper's layout.
+pub fn render_table3(rows: &[Table3Row]) -> String {
+    let mut out = crate::report::heading_str("Table III — long glitch successes (cycles 0..N)");
+    write!(out, "{:<8}", "cycles").unwrap();
     for r in rows {
-        print!(" {:>22}", r.name);
+        write!(out, " {:>22}", r.name).unwrap();
     }
-    println!();
+    writeln!(out).unwrap();
     for i in 0..rows[0].cells.len() {
-        print!("0-{:<6}", rows[0].cells[i].0);
+        write!(out, "0-{:<6}", rows[0].cells[i].0).unwrap();
         for r in rows {
-            print!(" {:>22}", r.cells[i].1.successes);
+            write!(out, " {:>22}", r.cells[i].1.successes).unwrap();
         }
-        println!();
+        writeln!(out).unwrap();
     }
-    print!("{:<8}", "total");
+    write!(out, "{:<8}", "total").unwrap();
     for r in rows {
         let s: u64 = r.cells.iter().map(|c| c.1.successes).sum();
         let a: u64 = r.cells.iter().map(|c| c.1.attempts).sum();
-        print!(" {:>14} ({})", s, crate::report::pct(s, a));
+        write!(out, " {:>14} ({})", s, crate::report::pct(s, a)).unwrap();
     }
-    println!();
+    writeln!(out).unwrap();
+    out
+}
+
+/// Prints Table III (legacy CLI surface over [`render_table3`]).
+pub fn print_table3(rows: &[Table3Row]) {
+    print!("{}", render_table3(rows));
 }

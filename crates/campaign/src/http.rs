@@ -1,0 +1,229 @@
+//! A minimal HTTP/1.1 layer over [`std::net::TcpStream`] — just enough
+//! protocol for the campaign service and its tests, with hard limits on
+//! header and body sizes. One request per connection (`Connection:
+//! close` semantics); no chunked encoding, no keep-alive, no TLS.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted request-line + header bytes.
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Maximum accepted request body bytes (campaign specs are small).
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path with the query string split off (`/campaigns/3`).
+    pub path: String,
+    /// Raw query string after `?`, or empty.
+    pub query: String,
+    /// Header name/value pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a (lowercase) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one request from `stream`.
+///
+/// # Errors
+///
+/// Returns a message suitable for a 400 response: malformed request
+/// line, over-limit head or body, or an unreadable socket.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise up to the blank line; BufReader keeps this cheap.
+    while !head.ends_with(b"\r\n\r\n") {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => return Err("connection closed mid-header".into()),
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(format!("reading request head: {e}")),
+        }
+        if head.len() > MAX_HEAD {
+            return Err("request head exceeds limit".into());
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_uppercase();
+    let target = parts.next().ok_or("request line lacks a path")?;
+    let version = parts.next().ok_or("request line lacks a version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version}"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_owned(), q.to_owned()),
+        None => (target.to_owned(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        headers.push((name.trim().to_lowercase(), value.trim().to_owned()));
+    }
+    let mut request = Request { method, path, query, headers, body: Vec::new() };
+    if let Some(len) = request.header("content-length") {
+        let len: usize = len.parse().map_err(|_| "bad Content-Length")?;
+        if len > MAX_BODY {
+            return Err("request body exceeds limit".into());
+        }
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).map_err(|e| format!("reading body: {e}"))?;
+        request.body = body;
+    }
+    Ok(request)
+}
+
+/// Writes a complete response and flushes. Errors are returned for the
+/// caller to log; the connection is closed either way.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        _ => "Internal Server Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// A one-shot client request (the test harness and the CLI use this;
+/// no external HTTP client exists in the workspace).
+///
+/// # Errors
+///
+/// Returns a message on connection failure or a malformed response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let body = body.unwrap_or("");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .map_err(|e| format!("sending request: {e}"))?;
+    stream.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("reading status: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).map_err(|e| format!("reading headers: {e}"))?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader.read_exact(&mut buf).map_err(|e| format!("reading body: {e}"))?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf).map_err(|e| format!("reading body: {e}"))?;
+            buf
+        }
+    };
+    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips a request through a real socket pair: the client side
+    /// uses [`request`], the server side [`read_request`] +
+    /// [`write_response`].
+    #[test]
+    fn request_response_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/campaigns");
+            assert_eq!(req.query, "format=text");
+            assert_eq!(req.body, b"{\"x\":1}");
+            write_response(&mut stream, 202, "application/json", b"{\"id\":7}").unwrap();
+        });
+        let (status, body) =
+            request(&addr, "POST", "/campaigns?format=text", Some("{\"x\":1}")).unwrap();
+        server.join().unwrap();
+        assert_eq!((status, body.as_str()), (202, "{\"id\":7}"));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        for raw in
+            ["\r\n\r\n", "GET\r\n\r\n", "GET / SPDY/3\r\n\r\n", "GET / HTTP/1.1\r\nbad\r\n\r\n"]
+        {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(raw.as_bytes()).unwrap();
+            let (mut stream, _) = listener.accept().unwrap();
+            assert!(read_request(&mut stream).is_err(), "{raw:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        write!(client, "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1).unwrap();
+        let (mut stream, _) = listener.accept().unwrap();
+        let err = read_request(&mut stream).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+    }
+}

@@ -1,0 +1,374 @@
+//! The campaign service: a small HTTP/1.1 front-end over [`Engine`]
+//! with a bounded job queue and graceful shutdown.
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `POST /campaigns` | body = spec JSON; enqueue; `202 {"id": n}` or `429` when the queue is full |
+//! | `GET /campaigns/{id}` | job status: `queued` / `running` (+ shard progress) / `done` / `failed` |
+//! | `GET /campaigns/{id}/results` | the finished result as JSON, or with `?format=text` the exact legacy report bytes |
+//! | `POST /shutdown` | stop accepting, finish the running campaign, drop queued jobs |
+//!
+//! One accept thread handles requests serially (every request is a
+//! cheap in-memory operation) and one worker thread runs campaigns one
+//! at a time — campaign *internals* already saturate the machine via
+//! [`gd_exec`], so service-level concurrency would only thrash.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::engine::{CampaignResult, Engine};
+use crate::http::{read_request, write_response, Request};
+use crate::json::Json;
+use crate::shards::shard_plan;
+use crate::spec::CampaignSpec;
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see [`Server::addr`]).
+    pub addr: String,
+    /// Engine store directory (`None` = no cache, no checkpoints).
+    pub store: Option<PathBuf>,
+    /// Maximum *queued* campaigns (the running one not counted); further
+    /// submissions get `429 Too Many Requests`.
+    pub queue_limit: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig { addr: "127.0.0.1:0".into(), store: None, queue_limit: 16 }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct JobRecord {
+    spec: CampaignSpec,
+    state: JobState,
+    done: u32,
+    total: u32,
+    result: Option<CampaignResult>,
+}
+
+#[derive(Debug, Default)]
+struct ServiceState {
+    next_id: u64,
+    queue: VecDeque<u64>,
+    jobs: BTreeMap<u64, JobRecord>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    engine: Engine,
+    queue_limit: usize,
+    shutdown: AtomicBool,
+    state: Mutex<ServiceState>,
+    wake: Condvar,
+}
+
+/// A running campaign service. Dropping the handle leaks the threads;
+/// call [`Server::shutdown`] for an orderly stop.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the accept and worker threads, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let listener =
+            TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let engine = match &config.store {
+            Some(dir) => Engine::with_store(dir),
+            None => Engine::ephemeral(),
+        };
+        let inner = Arc::new(Inner {
+            engine,
+            queue_limit: config.queue_limit,
+            shutdown: AtomicBool::new(false),
+            state: Mutex::new(ServiceState::default()),
+            wake: Condvar::new(),
+        });
+        let worker = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || worker_loop(&inner))
+        };
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || accept_loop(&listener, &inner))
+        };
+        Ok(Server { addr, accept: Some(accept), worker: Some(worker) })
+    }
+
+    /// The actually bound address (resolves an ephemeral port request).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stops accepting, lets the in-flight campaign
+    /// finish (its checkpoints and cache entry are written), drops
+    /// queued jobs, and joins both threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shutdown request cannot be delivered or a thread
+    /// panicked.
+    pub fn shutdown(self) -> Result<(), String> {
+        crate::http::request(&self.addr.to_string(), "POST", "/shutdown", None)?;
+        self.join()
+    }
+
+    /// Blocks until the service stops (an HTTP `POST /shutdown` arrives)
+    /// and joins both threads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a service thread panicked.
+    pub fn join(mut self) -> Result<(), String> {
+        for handle in [self.accept.take(), self.worker.take()].into_iter().flatten() {
+            handle.join().map_err(|_| "service thread panicked")?;
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let (id, spec) = {
+            let mut state = inner.state.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(id) = state.queue.pop_front() {
+                    let job = state.jobs.get_mut(&id).expect("queued job exists");
+                    job.state = JobState::Running;
+                    break (id, job.spec.clone());
+                }
+                let (next, _) = inner.wake.wait_timeout(state, Duration::from_millis(200)).unwrap();
+                state = next;
+            }
+        };
+        let progress = |done: u32, total: u32| {
+            let mut state = inner.state.lock().unwrap();
+            if let Some(job) = state.jobs.get_mut(&id) {
+                job.done = done;
+                job.total = total;
+            }
+        };
+        let outcome = inner.engine.run_with(&spec, &progress);
+        let mut state = inner.state.lock().unwrap();
+        if let Some(job) = state.jobs.get_mut(&id) {
+            match outcome {
+                Ok(result) => {
+                    job.state = JobState::Done;
+                    job.result = Some(result);
+                }
+                Err(e) => job.state = JobState::Failed(e),
+            }
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        if inner.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        let Ok((mut stream, _)) = listener.accept() else { continue };
+        // A stalled client must not wedge the single accept thread.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+        match read_request(&mut stream) {
+            Ok(request) => {
+                let (status, content_type, body) = route(inner, &request);
+                let _ = write_response(&mut stream, status, &content_type, &body);
+            }
+            Err(e) => {
+                let body = error_json(&e);
+                let _ = write_response(&mut stream, 400, "application/json", &body);
+            }
+        }
+    }
+}
+
+fn error_json(message: &str) -> Vec<u8> {
+    Json::obj(vec![("error", Json::Str(message.into()))])
+        .to_string_compact()
+        .expect("error body serializes")
+        .into_bytes()
+}
+
+fn json_body(v: &Json) -> Vec<u8> {
+    v.to_string_compact().expect("response body serializes").into_bytes()
+}
+
+type Response = (u16, String, Vec<u8>);
+
+fn route(inner: &Inner, request: &Request) -> Response {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["campaigns"]) => submit(inner, &request.body),
+        ("GET", ["campaigns", id]) => with_job(inner, id, status_response),
+        ("GET", ["campaigns", id, "results"]) => {
+            let as_text = request.query.split('&').any(|kv| kv == "format=text");
+            with_job(inner, id, |job| results_response(job, as_text))
+        }
+        ("POST", ["shutdown"]) => {
+            inner.shutdown.store(true, Ordering::Relaxed);
+            inner.wake.notify_all();
+            ok_json(&Json::obj(vec![("ok", Json::Bool(true))]))
+        }
+        (_, ["campaigns", ..]) | (_, ["shutdown"]) => {
+            (405, "application/json".into(), error_json("method not allowed"))
+        }
+        _ => (404, "application/json".into(), error_json("no such route")),
+    }
+}
+
+fn ok_json(v: &Json) -> Response {
+    (200, "application/json".into(), json_body(v))
+}
+
+fn submit(inner: &Inner, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, "application/json".into(), error_json("body is not UTF-8")),
+    };
+    let spec = match CampaignSpec::from_json_text(text) {
+        Ok(s) => s,
+        Err(e) => return (400, "application/json".into(), error_json(&e)),
+    };
+    // Size the progress denominator up front so `queued` status already
+    // reports the shard total.
+    let full = shard_plan(&spec).len() as u32;
+    let total = match spec.shards {
+        Some((lo, hi)) if hi <= full => hi - lo,
+        Some((_, hi)) => {
+            let e = format!("shard range end {hi} exceeds the plan's {full} shards");
+            return (400, "application/json".into(), error_json(&e));
+        }
+        None => full,
+    };
+    let mut state = inner.state.lock().unwrap();
+    if state.queue.len() >= inner.queue_limit {
+        return (429, "application/json".into(), error_json("queue full, retry later"));
+    }
+    let id = state.next_id;
+    state.next_id += 1;
+    state
+        .jobs
+        .insert(id, JobRecord { spec, state: JobState::Queued, done: 0, total, result: None });
+    state.queue.push_back(id);
+    inner.wake.notify_all();
+    (
+        202,
+        "application/json".into(),
+        json_body(&Json::obj(vec![
+            ("id", Json::Int(id.into())),
+            ("url", Json::Str(format!("/campaigns/{id}"))),
+        ])),
+    )
+}
+
+fn with_job(inner: &Inner, id: &str, f: impl Fn(&JobRecord) -> Response) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return (404, "application/json".into(), error_json("campaign ids are integers"));
+    };
+    let state = inner.state.lock().unwrap();
+    match state.jobs.get(&id) {
+        Some(job) => f(job),
+        None => (404, "application/json".into(), error_json("no such campaign")),
+    }
+}
+
+fn status_response(job: &JobRecord) -> Response {
+    let (label, error) = match &job.state {
+        JobState::Queued => ("queued", None),
+        JobState::Running => ("running", None),
+        JobState::Done => ("done", None),
+        JobState::Failed(e) => ("failed", Some(e.clone())),
+    };
+    let mut fields = vec![
+        ("state", Json::Str(label.into())),
+        ("done", Json::Int(job.done.into())),
+        ("total", Json::Int(job.total.into())),
+        ("workload", Json::Str(job.spec.workload.kind().into())),
+    ];
+    if let Some(e) = error {
+        fields.push(("error", Json::Str(e)));
+    }
+    ok_json(&Json::obj(fields))
+}
+
+fn results_response(job: &JobRecord, as_text: bool) -> Response {
+    match (&job.state, &job.result) {
+        (JobState::Done, Some(result)) => {
+            if as_text {
+                (200, "text/plain; charset=utf-8".into(), result.text.clone().into_bytes())
+            } else {
+                ok_json(&result.to_json())
+            }
+        }
+        (JobState::Failed(e), _) => {
+            (404, "application/json".into(), error_json(&format!("campaign failed: {e}")))
+        }
+        _ => (404, "application/json".into(), error_json("campaign not finished")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::request;
+
+    /// Control-plane behavior that needs no campaign work: routing,
+    /// validation, and shutdown. (Full campaigns over HTTP live in the
+    /// `e2e_http` integration test.)
+    #[test]
+    fn control_plane_routes_validate_and_shut_down() {
+        let server = Server::start(ServerConfig::default()).unwrap();
+        let addr = server.addr().to_string();
+
+        let (status, body) = request(&addr, "GET", "/campaigns/0", None).unwrap();
+        assert_eq!(status, 404, "{body}");
+        let (status, _) = request(&addr, "GET", "/campaigns/not-a-number", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = request(&addr, "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) = request(&addr, "DELETE", "/campaigns/1", None).unwrap();
+        assert_eq!(status, 405);
+
+        let (status, body) = request(&addr, "POST", "/campaigns", Some("{not json")).unwrap();
+        assert_eq!(status, 400, "{body}");
+        let bad_spec = r#"{"version":1,"workload":{"kind":"table9"}}"#;
+        let (status, body) = request(&addr, "POST", "/campaigns", Some(bad_spec)).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("table9"), "{body}");
+        let bad_range =
+            r#"{"version":1,"workload":{"kind":"table1"},"shards":[0,999]}"#.to_string();
+        let (status, body) = request(&addr, "POST", "/campaigns", Some(&bad_range)).unwrap();
+        assert_eq!(status, 400);
+        assert!(body.contains("exceeds"), "{body}");
+
+        server.shutdown().unwrap();
+    }
+}

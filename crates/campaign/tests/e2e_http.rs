@@ -1,0 +1,104 @@
+//! End-to-end smoke test for the campaign service: boot the HTTP server
+//! on an ephemeral port, submit the published Table I campaign, poll it
+//! to completion, and require the text rendering fetched over HTTP to be
+//! byte-identical to the committed `results/table1.txt`. A second test
+//! exercises the bounded-queue 429 backpressure path.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use gd_campaign::http::request;
+use gd_campaign::json::parse;
+use gd_campaign::service::{Server, ServerConfig};
+use gd_campaign::CampaignSpec;
+
+fn golden(name: &str) -> String {
+    let path = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results")).join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+fn submit(addr: &str, spec: &CampaignSpec) -> (u16, String) {
+    let body = spec.to_json_text().expect("spec serializes");
+    request(addr, "POST", "/campaigns", Some(&body)).expect("POST /campaigns")
+}
+
+/// Poll `GET /campaigns/{id}` until the job leaves the queue/run states.
+fn await_done(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    loop {
+        let (status, body) =
+            request(addr, "GET", &format!("/campaigns/{id}"), None).expect("GET /campaigns/{id}");
+        assert_eq!(status, 200, "status poll: {body}");
+        let doc = parse(&body).expect("status is JSON");
+        match doc.get("state").and_then(|s| s.as_str()) {
+            Some("done") => return,
+            Some("failed") => panic!("campaign failed: {body}"),
+            Some(_) => {}
+            None => panic!("malformed status: {body}"),
+        }
+        assert!(Instant::now() < deadline, "campaign did not finish in time");
+        std::thread::sleep(Duration::from_millis(100));
+    }
+}
+
+#[test]
+fn table1_served_over_http_matches_the_committed_results() {
+    // Release builds (the path scripts/ci.sh runs) submit the FULL
+    // published Table I and require the served bytes to equal the
+    // committed golden file. Debug builds make the same end-to-end
+    // golden comparison on the full Figure 2 campaign instead — an
+    // unoptimized Table I costs about a minute, Figure 2 about ten
+    // seconds, and both exercise every layer (real shards over
+    // `gd_exec`, merge, HTTP).
+    let (spec, expected) = if cfg!(debug_assertions) {
+        (CampaignSpec::fig2(), golden("fig2.txt"))
+    } else {
+        (CampaignSpec::table1(), golden("table1.txt"))
+    };
+
+    let server = Server::start(ServerConfig::default()).expect("server starts");
+    let addr = server.addr().to_string();
+
+    let (status, body) = submit(&addr, &spec);
+    assert_eq!(status, 202, "submission accepted: {body}");
+    let doc = parse(&body).expect("submission response is JSON");
+    let id = doc.get("id").and_then(|v| v.as_u64()).expect("response carries an id");
+
+    await_done(&addr, &id.to_string());
+
+    let (status, text) =
+        request(&addr, "GET", &format!("/campaigns/{id}/results?format=text"), None)
+            .expect("GET results");
+    assert_eq!(status, 200);
+    assert_eq!(text, expected, "Table I over HTTP drifted from the expected rendering");
+
+    // The JSON view of the same campaign parses and carries the identical text.
+    let (status, body) = request(&addr, "GET", &format!("/campaigns/{id}/results"), None)
+        .expect("GET results (JSON)");
+    assert_eq!(status, 200);
+    let result = gd_campaign::CampaignResult::from_json_text(&body).expect("result JSON parses");
+    assert_eq!(result.text, expected);
+
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn a_full_queue_returns_429_backpressure() {
+    // With a zero-length queue every submission is turned away with 429
+    // before any work is admitted — the deterministic backpressure case.
+    let server = Server::start(ServerConfig { queue_limit: 0, ..ServerConfig::default() })
+        .expect("server starts");
+    let addr = server.addr().to_string();
+
+    let mut spec = CampaignSpec::table1();
+    spec.shards = Some((0, 1));
+    let (status, body) = submit(&addr, &spec);
+    assert_eq!(status, 429, "zero-capacity queue rejects: {body}");
+    let doc = parse(&body).expect("429 body is JSON");
+    assert!(
+        doc.get("error").and_then(|e| e.as_str()).unwrap_or("").contains("queue full"),
+        "429 explains itself: {body}"
+    );
+
+    server.shutdown().expect("clean shutdown");
+}

@@ -1,0 +1,191 @@
+//! Property tests for the dependency-free JSON codec, built on the
+//! workspace's deterministic [`gd_exec::check`] harness: serialize →
+//! parse round-trips over randomly generated documents, plus adversarial
+//! inputs (truncations, mutations, malformed structures) that must
+//! return errors — never panic, never loop.
+
+use gd_campaign::json::{parse, Json};
+use gd_campaign::spec::{CampaignSpec, ModelSpec, Workload};
+use gd_exec::check::{cases, Rng};
+
+/// A random JSON document of bounded depth. Leans on every variant:
+/// exact integers at the u64/i64 extremes, shortest-round-trip floats,
+/// strings with escapes and non-ASCII, nested arrays and objects.
+fn random_json(rng: &mut Rng, depth: usize) -> Json {
+    let leaf_only = depth == 0;
+    match rng.usize(0, if leaf_only { 5 } else { 7 }) {
+        0 => Json::Null,
+        1 => Json::Bool(rng.bool()),
+        2 => match rng.usize(0, 4) {
+            0 => Json::Int(rng.i64().into()),
+            1 => Json::Int(u64::MAX.into()),
+            2 => Json::Int(i128::from(i64::MIN)),
+            _ => Json::Int(rng.range(0, 1 << 53).into()),
+        },
+        3 => {
+            // Finite doubles only (the serializer rejects NaN/inf); build
+            // from small parts so interesting exponents appear.
+            let mantissa = rng.i64() >> rng.usize(0, 48);
+            let exp = rng.usize(0, 61) as i32 - 30;
+            Json::Num(mantissa as f64 * 2f64.powi(exp))
+        }
+        4 => Json::Str(random_string(rng)),
+        5 => Json::Arr(rng.vec(0, 5, |r| random_json(r, depth - 1))),
+        _ => {
+            // Objects need distinct keys — the parser rejects duplicates.
+            let n = rng.usize(0, 5);
+            Json::Obj(
+                (0..n)
+                    .map(|i| (format!("k{i}_{}", random_string(rng)), random_json(rng, depth - 1)))
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn random_string(rng: &mut Rng) -> String {
+    let pool: &[char] = &[
+        'a',
+        'Z',
+        '0',
+        ' ',
+        '"',
+        '\\',
+        '/',
+        '\n',
+        '\t',
+        '\u{0}',
+        '\u{7f}',
+        'é',
+        '§',
+        '🧪',
+        '\u{10FFFF}',
+    ];
+    rng.vec(0, 8, |r| *r.choose(pool)).into_iter().collect()
+}
+
+#[test]
+fn compact_serialization_round_trips() {
+    cases(256, "compact round-trip", |rng| {
+        let doc = random_json(rng, 4);
+        let text = doc.to_string_compact().expect("finite documents serialize");
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparsing {text:?}: {e}"));
+        assert_eq!(back, doc, "through {text:?}");
+    });
+}
+
+#[test]
+fn pretty_serialization_round_trips() {
+    cases(256, "pretty round-trip", |rng| {
+        let doc = random_json(rng, 3);
+        let text = doc.to_string_pretty().expect("finite documents serialize");
+        let back = parse(&text).unwrap_or_else(|e| panic!("reparsing {text:?}: {e}"));
+        assert_eq!(back, doc, "through {text:?}");
+    });
+}
+
+#[test]
+fn truncated_documents_never_panic() {
+    cases(512, "truncation safety", |rng| {
+        let doc = random_json(rng, 3);
+        let text = doc.to_string_compact().expect("serializes");
+        let mut cut = rng.usize(0, text.len() + 1);
+        while !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        // A prefix may still be valid JSON ("12" from "123"); the
+        // property under test is absence of panics and hangs, with the
+        // harness converting any panic into a named failing case.
+        let _ = parse(&text[..cut]);
+    });
+}
+
+#[test]
+fn mutated_documents_never_panic() {
+    cases(512, "mutation safety", |rng| {
+        let doc = random_json(rng, 3);
+        let mut bytes = doc.to_string_compact().expect("serializes").into_bytes();
+        if bytes.is_empty() {
+            return;
+        }
+        for _ in 0..rng.usize(1, 4) {
+            let i = rng.usize(0, bytes.len());
+            bytes[i] = rng.u8();
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            let _ = parse(&text);
+        }
+    });
+}
+
+#[test]
+fn adversarial_inputs_error_cleanly() {
+    // The public-API complement of the unit suite inside the codec:
+    // truncated structures, bad escapes, duplicate keys, and pathological
+    // nesting all surface as errors with positions, not panics.
+    for text in [
+        "",
+        "{",
+        "[1, 2",
+        "\"unterminated",
+        "{\"a\":}",
+        "{\"a\":1,\"a\":2}",
+        "{\"nested\":{\"a\":1,\"a\":2}}",
+        "\"bad \\x escape\"",
+        "\"lone surrogate \\ud800\"",
+        "[1] trailing",
+        "nul\u{0}l",
+        "1e999999",
+    ] {
+        let err = parse(text).expect_err(text);
+        let _ = err.to_string();
+    }
+    let deep = "[".repeat(200_000);
+    assert!(parse(&deep).is_err(), "unclosed deep nesting errors");
+    let deep_closed = format!("{}{}", "[".repeat(100_000), "]".repeat(100_000));
+    assert!(parse(&deep_closed).is_err(), "depth cap holds even for balanced nesting");
+}
+
+/// Random-but-valid campaign specs round-trip through the codec, and the
+/// cache key is invariant under re-serialization.
+#[test]
+fn campaign_specs_round_trip() {
+    cases(128, "spec round-trip", |rng| {
+        let workload = match rng.usize(0, 5) {
+            0 => Workload::Fig2,
+            1 => {
+                let lo = rng.range(0, 8) as u32;
+                Workload::Table1 { cycles: (lo, lo + 1 + rng.range(0, 8) as u32) }
+            }
+            2 => {
+                let lo = rng.range(0, 8) as u32;
+                Workload::Table2 { cycles: (lo, lo + 1 + rng.range(0, 8) as u32) }
+            }
+            3 => {
+                let lo = rng.range(1, 30) as u32;
+                Workload::Table3 { lens: (lo, lo + 1 + rng.range(0, 10) as u32) }
+            }
+            _ => Workload::Table6,
+        };
+        let spec = CampaignSpec {
+            workload,
+            model: ModelSpec {
+                seed: rng.u64(),
+                peak_fault_rate: rng.range(0, 1000) as f64 / 1000.0,
+                bit_clear_min: rng.range(0, 500) as f64 / 1000.0,
+                bit_clear_span: rng.range(0, 500) as f64 / 1000.0,
+            },
+            threads: if rng.bool() { Some(rng.range(1, 64) as u32) } else { None },
+            shards: if rng.bool() {
+                let lo = rng.range(0, 10) as u32;
+                Some((lo, lo + 1 + rng.range(0, 10) as u32))
+            } else {
+                None
+            },
+        };
+        let text = spec.to_json_text().expect("specs serialize");
+        let back = CampaignSpec::from_json_text(&text)
+            .unwrap_or_else(|e| panic!("reparsing spec {text}: {e}"));
+        assert_eq!(back, spec, "through {text}");
+    });
+}

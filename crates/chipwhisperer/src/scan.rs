@@ -226,34 +226,55 @@ pub fn scan_grid(
     spec: &AttackSpec,
     post_reg: Option<Reg>,
 ) -> Vec<(u32, CellCounts)> {
+    starts
+        .enumerate()
+        .map(|(start_idx, start)| {
+            (start, scan_cell(device, model, start, start_idx as u64, repeat, spec, post_reg))
+        })
+        .collect()
+}
+
+/// Scans the full 99×99 grid for **one** start cycle of a larger scan.
+///
+/// `start_index` is the cell's position within that larger scan: per-boot
+/// noise is seeded from `start_index × 9801 + point_index`, reproducing
+/// the sequential boot numbering of a serial multi-cycle scan exactly.
+/// [`scan_grid`] is simply this function mapped over its start range, so
+/// a distributed driver (the campaign engine shards at cell granularity)
+/// produces bytes identical to the monolithic scan.
+pub fn scan_cell(
+    device: &Device,
+    model: &FaultModel,
+    start: u32,
+    start_index: u64,
+    repeat: u32,
+    spec: &AttackSpec,
+    post_reg: Option<Reg>,
+) -> CellCounts {
     let grid = full_grid();
-    let mut out = Vec::new();
-    for (start_idx, start) in starts.enumerate() {
-        let boot_base = start_idx as u64 * grid.len() as u64;
-        let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
-            let mut cell = CellCounts::default();
-            for (j, &(width, offset)) in chunk.items.iter().enumerate() {
-                let boot = boot_base + (chunk.start + j) as u64 + 1;
-                // Out-of-region points cannot fault: count them as clean
-                // attempts without booting (a 20× scan speedup).
-                if model.severity(width, offset) == 0.0 {
-                    cell.record(AttackOutcome::NoEffect, None);
-                    continue;
-                }
-                let params = GlitchParams { ext_offset: start, repeat, width, offset };
-                let attempt = run_attack(device, model, params, boot, spec, None);
-                let reg = post_reg.map(|r| attempt.pipe.emu.cpu.reg(r));
-                cell.record(attempt.outcome, reg);
-            }
-            cell
-        });
+    let boot_base = start_index * grid.len() as u64;
+    let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
         let mut cell = CellCounts::default();
-        for partial in &partials {
-            cell.merge(partial);
+        for (j, &(width, offset)) in chunk.items.iter().enumerate() {
+            let boot = boot_base + (chunk.start + j) as u64 + 1;
+            // Out-of-region points cannot fault: count them as clean
+            // attempts without booting (a 20× scan speedup).
+            if model.severity(width, offset) == 0.0 {
+                cell.record(AttackOutcome::NoEffect, None);
+                continue;
+            }
+            let params = GlitchParams { ext_offset: start, repeat, width, offset };
+            let attempt = run_attack(device, model, params, boot, spec, None);
+            let reg = post_reg.map(|r| attempt.pipe.emu.cpu.reg(r));
+            cell.record(attempt.outcome, reg);
         }
-        out.push((start, cell));
+        cell
+    });
+    let mut cell = CellCounts::default();
+    for partial in &partials {
+        cell.merge(partial);
     }
-    out
+    cell
 }
 
 /// The serial reference implementation of [`scan_grid`] — kept for the
@@ -322,36 +343,50 @@ pub fn scan_multi(
     cycles: core::ops::Range<u32>,
     spec: &AttackSpec,
 ) -> Vec<(u32, MultiCell)> {
+    cycles
+        .enumerate()
+        .map(|(cycle_idx, cycle)| {
+            (cycle, scan_multi_cell(device, model, cycle, cycle_idx as u64, spec))
+        })
+        .collect()
+}
+
+/// One cell of a multi-glitch scan, with the same position-derived boot
+/// numbering contract as [`scan_cell`]: `cycle_index` is the cell's
+/// position within the enclosing scan.
+pub fn scan_multi_cell(
+    device: &Device,
+    model: &FaultModel,
+    cycle: u32,
+    cycle_index: u64,
+    spec: &AttackSpec,
+) -> MultiCell {
     let grid = full_grid();
-    let mut out = Vec::new();
-    for (cycle_idx, cycle) in cycles.enumerate() {
-        let boot_base = cycle_idx as u64 * grid.len() as u64;
-        let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
-            let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
-            for (j, &(width, offset)) in chunk.items.iter().enumerate() {
-                let boot = boot_base + (chunk.start + j) as u64 + 1;
-                cell.attempts += 1;
-                if model.severity(width, offset) == 0.0 {
-                    continue;
-                }
-                let params = GlitchParams::single(cycle, width, offset);
-                let attempt = run_attack(device, model, params, boot, spec, None);
-                let triggers = attempt.pipe.trigger_cycles().len();
-                match attempt.outcome {
-                    AttackOutcome::Success => cell.full += 1,
-                    _ if triggers >= 2 => cell.partial += 1,
-                    _ => {}
-                }
-            }
-            cell
-        });
+    let boot_base = cycle_index * grid.len() as u64;
+    let partials = gd_exec::par_map_chunks(&grid, GRID_CHUNK, |chunk| {
         let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
-        for partial in &partials {
-            cell.merge(partial);
+        for (j, &(width, offset)) in chunk.items.iter().enumerate() {
+            let boot = boot_base + (chunk.start + j) as u64 + 1;
+            cell.attempts += 1;
+            if model.severity(width, offset) == 0.0 {
+                continue;
+            }
+            let params = GlitchParams::single(cycle, width, offset);
+            let attempt = run_attack(device, model, params, boot, spec, None);
+            let triggers = attempt.pipe.trigger_cycles().len();
+            match attempt.outcome {
+                AttackOutcome::Success => cell.full += 1,
+                _ if triggers >= 2 => cell.partial += 1,
+                _ => {}
+            }
         }
-        out.push((cycle, cell));
+        cell
+    });
+    let mut cell = MultiCell { attempts: 0, partial: 0, full: 0 };
+    for partial in &partials {
+        cell.merge(partial);
     }
-    out
+    cell
 }
 
 #[cfg(test)]

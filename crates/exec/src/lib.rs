@@ -16,8 +16,13 @@
 //!   the per-item work is pure.
 //! * **Bounded workers** — the worker count comes from the `GD_THREADS`
 //!   environment variable, defaulting to
-//!   [`std::thread::available_parallelism`]. `GD_THREADS=1` (or a single
-//!   chunk) short-circuits to a plain serial loop on the caller's thread.
+//!   [`std::thread::available_parallelism`]. An invalid value (zero or
+//!   non-numeric) is rejected loudly instead of silently falling back —
+//!   a typo'd `GD_THREADS=O1` must not quietly change the worker count.
+//!   `GD_THREADS=1` (or a single chunk) short-circuits to a plain serial
+//!   loop on the caller's thread, and [`with_threads`] pins the count
+//!   programmatically for a scope (the campaign engine uses this for
+//!   per-spec thread overrides).
 //! * **Panic propagation that names the failing chunk** — a panicking
 //!   worker aborts the fan-out and the panic is re-raised on the caller
 //!   with the chunk index and item range attached.
@@ -54,19 +59,64 @@ use std::thread;
 thread_local! {
     /// Set inside fan-out workers so nested calls stay serial.
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Scoped programmatic worker-count override (see [`with_threads`]).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
 }
 
-/// The worker count used by [`par_map_chunks`]: `GD_THREADS` when set to
-/// a positive integer, otherwise [`std::thread::available_parallelism`]
-/// (1 if even that is unavailable).
+/// Validates a `GD_THREADS` value: a positive integer worker count.
+///
+/// # Errors
+///
+/// Returns a message naming the offending value when it is zero, empty,
+/// or not an integer.
+pub fn parse_threads(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err("GD_THREADS must be a positive integer, got 0".into()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("GD_THREADS must be a positive integer, got {value:?}")),
+    }
+}
+
+/// The worker count used by [`par_map_chunks`]: the innermost
+/// [`with_threads`] override if one is active, else `GD_THREADS`, else
+/// [`std::thread::available_parallelism`] (1 if even that is unavailable).
+///
+/// # Panics
+///
+/// Panics when `GD_THREADS` is set but invalid (zero or non-numeric):
+/// a mistyped thread count must surface, not silently change the worker
+/// pool. Validate user input up front with [`parse_threads`].
 pub fn threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
     match std::env::var("GD_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
+        Ok(v) => match parse_threads(&v) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
         },
         Err(_) => default_threads(),
     }
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread, ignoring
+/// `GD_THREADS`. The override is scoped (restored even on unwind) and
+/// thread-local: fan-outs started by `f` use `n` workers, unrelated
+/// threads are unaffected.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "with_threads requires a positive worker count");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n))));
+    f()
 }
 
 fn default_threads() -> usize {
@@ -278,10 +328,61 @@ mod tests {
         let saved = std::env::var("GD_THREADS").ok();
         std::env::set_var("GD_THREADS", "3");
         assert_eq!(threads(), 3);
-        std::env::set_var("GD_THREADS", "not-a-number");
-        assert!(threads() >= 1, "garbage falls back to a sane default");
-        std::env::set_var("GD_THREADS", "0");
-        assert!(threads() >= 1, "zero falls back to a sane default");
+        std::env::set_var("GD_THREADS", " 8 ");
+        assert_eq!(threads(), 8, "surrounding whitespace is tolerated");
+        match saved {
+            Some(v) => std::env::set_var("GD_THREADS", v),
+            None => std::env::remove_var("GD_THREADS"),
+        }
+    }
+
+    #[test]
+    fn invalid_gd_threads_is_rejected_loudly() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("GD_THREADS").ok();
+        for bad in ["0", "not-a-number", "", "-2", "1.5"] {
+            std::env::set_var("GD_THREADS", bad);
+            let result = catch_unwind(threads);
+            let payload = result.expect_err(&format!("GD_THREADS={bad:?} must be rejected"));
+            let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+            assert!(
+                msg.contains("GD_THREADS must be a positive integer"),
+                "error names the variable and the constraint: {msg}"
+            );
+        }
+        match saved {
+            Some(v) => std::env::set_var("GD_THREADS", v),
+            None => std::env::remove_var("GD_THREADS"),
+        }
+    }
+
+    #[test]
+    fn parse_threads_validates() {
+        assert_eq!(parse_threads("4"), Ok(4));
+        assert_eq!(parse_threads("  16\n"), Ok(16));
+        for bad in ["0", "", "four", "-1", "3.0", "0x10"] {
+            let err = parse_threads(bad).expect_err(bad);
+            assert!(err.contains("GD_THREADS"), "{err}");
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let saved = std::env::var("GD_THREADS").ok();
+        std::env::set_var("GD_THREADS", "3");
+        assert_eq!(threads(), 3);
+        let (inner, nested) = with_threads(7, || (threads(), with_threads(2, threads)));
+        assert_eq!((inner, nested), (7, 2), "overrides nest innermost-wins");
+        assert_eq!(threads(), 3, "the override is scoped");
+        // The override beats even an invalid env var (already validated
+        // input must not be re-rejected)...
+        std::env::set_var("GD_THREADS", "garbage");
+        assert_eq!(with_threads(5, threads), 5);
+        // ...and is restored on unwind.
+        let _ = catch_unwind(|| with_threads(9, || panic!("boom")));
+        std::env::set_var("GD_THREADS", "4");
+        assert_eq!(threads(), 4, "unwinding clears the override");
         match saved {
             Some(v) => std::env::set_var("GD_THREADS", v),
             None => std::env::remove_var("GD_THREADS"),

@@ -95,6 +95,18 @@ pub struct Tally {
 }
 
 impl Tally {
+    /// Rebuilds a tally from raw per-outcome counts, ordered as
+    /// [`Outcome::ALL`]. The inverse of [`Tally::counts`]; used by result
+    /// stores that serialize tallies.
+    pub fn from_counts(counts: [u64; 6]) -> Tally {
+        Tally { counts }
+    }
+
+    /// Raw per-outcome counts, ordered as [`Outcome::ALL`].
+    pub fn counts(&self) -> [u64; 6] {
+        self.counts
+    }
+
     /// Records one outcome.
     pub fn record(&mut self, outcome: Outcome) {
         let idx = Outcome::ALL.iter().position(|o| *o == outcome).expect("all covered");
@@ -201,7 +213,7 @@ pub fn sweep_k_serial(case: &TestCase, direction: Direction, k: u32, cfg: Config
 }
 
 /// One row of a Figure 2 sweep: results per flipped-bit count.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SweepResult {
     /// The test case name (e.g. `"beq"`).
     pub name: String,

@@ -41,7 +41,9 @@
 //!
 //! The `gd-bench` crate regenerates every table and figure of the paper;
 //! see `EXPERIMENTS.md` at the repository root for paper-vs-measured
-//! results.
+//! results. The `gd-campaign` crate (re-exported as [`campaign`]) runs
+//! the same workloads as sharded, checkpointed campaigns with a
+//! content-addressed result cache, behind an HTTP service.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -78,6 +80,9 @@ pub use gd_firmware as firmware;
 
 /// The C-subset frontend (the Clang substitute).
 pub use gd_cc as cc;
+
+/// The sharded campaign engine, result store, and HTTP service.
+pub use gd_campaign as campaign;
 
 /// The most common imports in one place.
 pub mod prelude {

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Tier-1 gate: formatting, a release build, and the full workspace test
-# suite, all offline. The workspace has zero external dependencies, so
-# this runs on a machine with no network and no registry cache.
+# Tier-1 gate: formatting, a warnings-denied release build, the full
+# workspace test suite, and experiment self-checks, all offline. The
+# workspace has zero external dependencies, so this runs on a machine
+# with no network and no registry cache.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -9,10 +10,25 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo build --release --offline (RUSTFLAGS=-Dwarnings)"
+RUSTFLAGS=-Dwarnings cargo build --release --offline
 
 echo "==> cargo test --offline (workspace)"
 cargo test --offline -q
+
+# Experiment binaries must regenerate their committed golden outputs
+# byte for byte. table1 goes through the campaign engine (and therefore
+# the sharded path); fig2 covers the emulation-side sweeps.
+echo "==> table1 --check"
+./target/release/table1 --check
+
+echo "==> fig2 --check"
+./target/release/fig2 --check
+
+# End-to-end smoke test of the campaign service: boot the HTTP server on
+# an ephemeral port, submit Table I, and require the bytes served back
+# to equal results/table1.txt exactly.
+echo "==> campaign service e2e (Table I over HTTP)"
+cargo test --release --offline -q -p gd-campaign --test e2e_http
 
 echo "==> OK"
