@@ -95,10 +95,15 @@ fn run() -> Result<ExitCode, String> {
             if !args.is_empty() {
                 return Ok(usage());
             }
-            let config = ServerConfig { addr, store: store.map(Into::into), queue_limit };
+            let config = ServerConfig {
+                addr,
+                store: store.map(Into::into),
+                queue_limit,
+                ..ServerConfig::default()
+            };
             let server = Server::start(config)?;
             println!("gd-campaign: serving on http://{}", server.addr());
-            println!("gd-campaign: POST /shutdown to stop");
+            println!("gd-campaign: GET /metrics for Prometheus metrics, POST /shutdown to stop");
             // The accept thread owns the lifecycle from here; park until
             // a shutdown request lands and the threads wind down.
             server.join()?;

@@ -20,6 +20,9 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use gd_obs::Timer;
 
 use crate::json::{parse, Json};
 use crate::shards::{run_shard, shard_plan, ShardResult, ShardWork};
@@ -92,6 +95,53 @@ impl CampaignResult {
     }
 }
 
+/// `gd_obs` handles for the engine, registered eagerly at engine
+/// construction so `/metrics` exposes the families (at zero) before the
+/// first campaign runs.
+struct EngineMetrics {
+    /// `gd_campaign_cache_hits_total`
+    cache_hits: Arc<gd_obs::Counter>,
+    /// `gd_campaign_cache_misses_total`
+    cache_misses: Arc<gd_obs::Counter>,
+    /// `gd_campaign_checkpoint_loads_total`
+    checkpoint_loads: Arc<gd_obs::Counter>,
+    /// `gd_campaign_shards_executed_total`
+    shards_executed: Arc<gd_obs::Counter>,
+    /// `gd_campaign_shard_ms`
+    shard_ms: Arc<gd_obs::Histogram>,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        cache_hits: gd_obs::counter(
+            "gd_campaign_cache_hits_total",
+            "campaigns satisfied from the content-addressed result cache",
+            &[],
+        ),
+        cache_misses: gd_obs::counter(
+            "gd_campaign_cache_misses_total",
+            "store-backed campaigns that had to (re)compute",
+            &[],
+        ),
+        checkpoint_loads: gd_obs::counter(
+            "gd_campaign_checkpoint_loads_total",
+            "shards adopted from checkpoints instead of recomputing",
+            &[],
+        ),
+        shards_executed: gd_obs::counter(
+            "gd_campaign_shards_executed_total",
+            "shards actually executed (cache and checkpoint hits excluded)",
+            &[],
+        ),
+        shard_ms: gd_obs::histogram(
+            "gd_campaign_shard_ms",
+            "wall time per executed shard in milliseconds",
+            &[],
+        ),
+    })
+}
+
 /// Progress of a running campaign, reported to [`Engine::run_with`]
 /// observers as `(done, total)` over the selected shard range.
 pub type ProgressFn<'a> = &'a (dyn Fn(u32, u32) + Sync);
@@ -107,12 +157,14 @@ pub struct Engine {
 impl Engine {
     /// An engine with no store: no cache lookups, no checkpoints.
     pub fn ephemeral() -> Engine {
+        let _ = engine_metrics();
         Engine { store: None, executed: AtomicU64::new(0) }
     }
 
     /// An engine persisting checkpoints and cached results under `dir`
     /// (created on demand).
     pub fn with_store(dir: impl Into<PathBuf>) -> Engine {
+        let _ = engine_metrics();
         Engine { store: Some(dir.into()), executed: AtomicU64::new(0) }
     }
 
@@ -168,9 +220,15 @@ impl Engine {
         let total = selected.len() as u32;
         let cache_key = spec.cache_key()?;
 
+        let metrics = engine_metrics();
         if let Some(hit) = self.cache_lookup(&cache_key) {
+            metrics.cache_hits.inc();
+            gd_obs::debug!("gd_campaign::engine", "cache hit", key = cache_key, shards = total);
             progress(total, total);
             return Ok(hit);
+        }
+        if self.store.is_some() {
+            metrics.cache_misses.inc();
         }
 
         let ckpt_dir = match &self.store {
@@ -192,6 +250,7 @@ impl Engine {
                 }
             }
         }
+        metrics.checkpoint_loads.add(done.len() as u64);
         let have: Vec<u32> = done.iter().map(|(i, _)| *i).collect();
         let missing: Vec<(u32, ShardWork)> =
             selected.iter().filter(|(i, _)| !have.contains(i)).copied().collect();
@@ -200,13 +259,21 @@ impl Engine {
         progress(finished.load(Ordering::Relaxed), total);
 
         let run_one = |&(index, work): &(u32, ShardWork)| {
+            let timer = Timer::start();
             let result = run_shard(spec, &work);
+            metrics.shard_ms.observe(timer.elapsed_ms());
+            metrics.shards_executed.inc();
             self.executed.fetch_add(1, Ordering::Relaxed);
             if let Some(dir) = &ckpt_dir {
                 // Best-effort: a failed checkpoint write costs resumability,
                 // not correctness.
                 if let Err(e) = write_checkpoint(dir, index, &result) {
-                    eprintln!("gd-campaign: checkpoint shard {index}: {e}");
+                    gd_obs::warn!(
+                        "gd_campaign::engine",
+                        "checkpoint write failed",
+                        shard = index,
+                        error = e,
+                    );
                 }
             }
             progress(finished.fetch_add(1, Ordering::Relaxed) + 1, total);

@@ -1,15 +1,33 @@
 //! A minimal HTTP/1.1 layer over [`std::net::TcpStream`] — just enough
 //! protocol for the campaign service and its tests, with hard limits on
-//! header and body sizes. One request per connection (`Connection:
-//! close` semantics); no chunked encoding, no keep-alive, no TLS.
+//! header and body sizes and hard *deadlines* on both directions. One
+//! request per connection (`Connection: close` semantics); no chunked
+//! encoding, no keep-alive, no TLS.
+//!
+//! Deadlines are overall, not per-read: a client dribbling one header
+//! byte per socket-timeout window must not hold the service's single
+//! accept thread (the "slowloris" failure PR 3 fixed), so
+//! [`read_request_deadline`] re-arms the socket timeout with the
+//! *remaining* budget before every read and fails with
+//! [`RequestError::Timeout`] — which the service answers with `408`.
+//! Symmetrically, [`request_timeout`] bounds connect, send, and receive
+//! on the client side so a wedged server cannot hang a caller (the CLI
+//! and `Server::shutdown` both go through it).
 
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Maximum accepted request-line + header bytes.
 pub const MAX_HEAD: usize = 16 * 1024;
 /// Maximum accepted request body bytes (campaign specs are small).
 pub const MAX_BODY: usize = 1024 * 1024;
+/// Overall server-side deadline [`read_request`] applies across the
+/// whole head + body read.
+pub const DEFAULT_READ_DEADLINE: Duration = Duration::from_secs(30);
+/// Overall client-side deadline [`request`] applies across connect,
+/// send, and the whole response read.
+pub const DEFAULT_CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -33,36 +51,107 @@ impl Request {
     }
 }
 
-/// Reads one request from `stream`.
+/// Why a request could not be read — the split decides the status code:
+/// timeouts get `408`, everything else `400`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RequestError {
+    /// The overall read deadline elapsed before a full request arrived.
+    Timeout(String),
+    /// The bytes that did arrive are not an acceptable request.
+    Malformed(String),
+}
+
+impl RequestError {
+    /// The human-readable description (what goes in the error body).
+    pub fn message(&self) -> &str {
+        match self {
+            RequestError::Timeout(m) | RequestError::Malformed(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Sets the socket read timeout to the time left until `deadline`, or
+/// fails with [`RequestError::Timeout`] when none is left. Re-arming
+/// before every read is what turns the per-read socket timeout into an
+/// overall deadline.
+fn arm_read(stream: &TcpStream, deadline: Instant, what: &str) -> Result<(), RequestError> {
+    let remaining = deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| RequestError::Timeout(format!("timed out reading the request {what}")))?;
+    stream
+        .set_read_timeout(Some(remaining))
+        .map_err(|e| RequestError::Malformed(format!("arming read timeout: {e}")))
+}
+
+/// Reads one request from `stream` with the default
+/// [`DEFAULT_READ_DEADLINE`]. See [`read_request_deadline`].
 ///
 /// # Errors
 ///
-/// Returns a message suitable for a 400 response: malformed request
-/// line, over-limit head or body, or an unreadable socket.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Same conditions as [`read_request_deadline`].
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, RequestError> {
+    read_request_deadline(stream, DEFAULT_READ_DEADLINE)
+}
+
+/// Reads one request from `stream`, enforcing `limit` as an overall
+/// deadline across the head *and* body reads.
+///
+/// # Errors
+///
+/// [`RequestError::Timeout`] when the deadline elapses first (a 408);
+/// [`RequestError::Malformed`] for a bad request line, over-limit head
+/// or body, or an unreadable socket (a 400).
+pub fn read_request_deadline(
+    stream: &mut TcpStream,
+    limit: Duration,
+) -> Result<Request, RequestError> {
+    let deadline = Instant::now() + limit;
     let mut reader = BufReader::new(stream);
     let mut head = Vec::new();
     // Read byte-wise up to the blank line; BufReader keeps this cheap.
     while !head.ends_with(b"\r\n\r\n") {
+        arm_read(reader.get_ref(), deadline, "head")?;
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
-            Ok(0) => return Err("connection closed mid-header".into()),
+            Ok(0) => return Err(RequestError::Malformed("connection closed mid-header".into())),
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(format!("reading request head: {e}")),
+            Err(e) if is_timeout(&e) => {
+                return Err(RequestError::Timeout("timed out reading the request head".into()));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(RequestError::Malformed(format!("reading request head: {e}"))),
         }
         if head.len() > MAX_HEAD {
-            return Err("request head exceeds limit".into());
+            return Err(RequestError::Malformed("request head exceeds limit".into()));
         }
     }
-    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8")?;
+    let head = String::from_utf8(head)
+        .map_err(|_| RequestError::Malformed("request head is not UTF-8".into()))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_uppercase();
-    let target = parts.next().ok_or("request line lacks a path")?;
-    let version = parts.next().ok_or("request line lacks a version")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_uppercase();
+    let target =
+        parts.next().ok_or_else(|| RequestError::Malformed("request line lacks a path".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line lacks a version".into()))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version}"));
+        return Err(RequestError::Malformed(format!("unsupported protocol {version}")));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), q.to_owned()),
@@ -73,17 +162,36 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line.split_once(':').ok_or("malformed header line")?;
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| RequestError::Malformed("malformed header line".into()))?;
         headers.push((name.trim().to_lowercase(), value.trim().to_owned()));
     }
     let mut request = Request { method, path, query, headers, body: Vec::new() };
     if let Some(len) = request.header("content-length") {
-        let len: usize = len.parse().map_err(|_| "bad Content-Length")?;
+        let len: usize =
+            len.parse().map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
         if len > MAX_BODY {
-            return Err("request body exceeds limit".into());
+            return Err(RequestError::Malformed("request body exceeds limit".into()));
         }
+        // A dribbled body must hit the same overall deadline as the
+        // head, so no single read_exact: loop with the remaining budget.
         let mut body = vec![0u8; len];
-        reader.read_exact(&mut body).map_err(|e| format!("reading body: {e}"))?;
+        let mut filled = 0;
+        while filled < len {
+            arm_read(reader.get_ref(), deadline, "body")?;
+            match reader.read(&mut body[filled..]) {
+                Ok(0) => {
+                    return Err(RequestError::Malformed("connection closed mid-body".into()));
+                }
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) => {
+                    return Err(RequestError::Timeout("timed out reading the request body".into()));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(RequestError::Malformed(format!("reading body: {e}"))),
+            }
+        }
         request.body = body;
     }
     Ok(request)
@@ -103,6 +211,8 @@ pub fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
         429 => "Too Many Requests",
         _ => "Internal Server Error",
     };
@@ -116,19 +226,66 @@ pub fn write_response(
     stream.flush()
 }
 
-/// A one-shot client request (the test harness and the CLI use this;
-/// no external HTTP client exists in the workspace).
+/// Time left until `deadline` on the client side, as an error message
+/// containing "timed out" when the budget is spent.
+fn client_remaining(deadline: Instant, what: &str) -> Result<Duration, String> {
+    deadline
+        .checked_duration_since(Instant::now())
+        .filter(|d| !d.is_zero())
+        .ok_or_else(|| format!("request timed out {what}"))
+}
+
+fn client_read_err(e: &std::io::Error, what: &str) -> String {
+    if is_timeout(e) {
+        format!("request timed out reading the {what}")
+    } else {
+        format!("reading {what}: {e}")
+    }
+}
+
+/// A one-shot client request with the default
+/// [`DEFAULT_CLIENT_TIMEOUT`]. See [`request_timeout`].
 ///
 /// # Errors
 ///
-/// Returns a message on connection failure or a malformed response.
+/// Same conditions as [`request_timeout`].
 pub fn request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> Result<(u16, String), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    request_timeout(addr, method, path, body, DEFAULT_CLIENT_TIMEOUT)
+}
+
+/// A one-shot client request (the test harness, the CLI, and
+/// `Server::shutdown` use this; no external HTTP client exists in the
+/// workspace). `timeout` is an overall deadline covering connect, send,
+/// and the response read — a wedged or silent server fails the call
+/// instead of blocking it forever.
+///
+/// # Errors
+///
+/// Returns a message on connection failure, deadline expiry (the
+/// message contains "timed out"), or a malformed response.
+pub fn request_timeout(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    let deadline = Instant::now() + timeout;
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolving {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolving {addr}: no usable address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connecting to {addr}: {e}"))?;
+    let remaining = client_remaining(deadline, "connecting")?;
+    stream.set_write_timeout(Some(remaining)).map_err(|e| e.to_string())?;
+    stream.set_read_timeout(Some(remaining)).map_err(|e| e.to_string())?;
     let body = body.unwrap_or("");
     write!(
         stream,
@@ -138,9 +295,15 @@ pub fn request(
     )
     .map_err(|e| format!("sending request: {e}"))?;
     stream.flush().map_err(|e| e.to_string())?;
+
+    let arm = |stream: &TcpStream, what: &str| -> Result<(), String> {
+        let remaining = client_remaining(deadline, what)?;
+        stream.set_read_timeout(Some(remaining)).map_err(|e| e.to_string())
+    };
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
-    reader.read_line(&mut status_line).map_err(|e| format!("reading status: {e}"))?;
+    arm(reader.get_ref(), "awaiting the status line")?;
+    reader.read_line(&mut status_line).map_err(|e| client_read_err(&e, "status line"))?;
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
@@ -149,7 +312,8 @@ pub fn request(
     let mut content_length: Option<usize> = None;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line).map_err(|e| format!("reading headers: {e}"))?;
+        arm(reader.get_ref(), "awaiting headers")?;
+        reader.read_line(&mut line).map_err(|e| client_read_err(&e, "headers"))?;
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -160,15 +324,16 @@ pub fn request(
             }
         }
     }
+    arm(reader.get_ref(), "awaiting the body")?;
     let body = match content_length {
         Some(len) => {
             let mut buf = vec![0u8; len];
-            reader.read_exact(&mut buf).map_err(|e| format!("reading body: {e}"))?;
+            reader.read_exact(&mut buf).map_err(|e| client_read_err(&e, "body"))?;
             buf
         }
         None => {
             let mut buf = Vec::new();
-            reader.read_to_end(&mut buf).map_err(|e| format!("reading body: {e}"))?;
+            reader.read_to_end(&mut buf).map_err(|e| client_read_err(&e, "body"))?;
             buf
         }
     };
@@ -212,7 +377,11 @@ mod tests {
             let mut client = TcpStream::connect(addr).unwrap();
             client.write_all(raw.as_bytes()).unwrap();
             let (mut stream, _) = listener.accept().unwrap();
-            assert!(read_request(&mut stream).is_err(), "{raw:?} must be rejected");
+            let err = read_request(&mut stream).expect_err(raw);
+            assert!(
+                matches!(err, RequestError::Malformed(_)),
+                "{raw:?} is malformed, not a timeout: {err:?}"
+            );
         }
     }
 
@@ -224,6 +393,84 @@ mod tests {
         write!(client, "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1).unwrap();
         let (mut stream, _) = listener.accept().unwrap();
         let err = read_request(&mut stream).unwrap_err();
-        assert!(err.contains("exceeds"), "{err}");
+        assert!(err.message().contains("exceeds"), "{err}");
+    }
+
+    /// The slowloris regression: pre-fix, only a *per-read* timeout
+    /// existed, so a client feeding one byte per window could hold the
+    /// accept thread for hours. With the overall deadline the read must
+    /// fail as a Timeout in roughly the deadline, not the dribble total.
+    #[test]
+    fn dribbled_header_bytes_hit_the_overall_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dribbler = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            // ~2 s of one byte per 50 ms — each write easily inside any
+            // per-read window, the total far beyond the 300 ms deadline.
+            for byte in b"GET / HTTP/1.1\r\nx-slow: 1\r\n".iter().cycle().take(40) {
+                if client.write_all(&[*byte]).is_err() {
+                    break; // server gave up on us, as it should
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let err = read_request_deadline(&mut stream, Duration::from_millis(300)).unwrap_err();
+        let elapsed = started.elapsed();
+        assert!(matches!(err, RequestError::Timeout(_)), "a dribble is a timeout: {err:?}");
+        assert!(
+            elapsed < Duration::from_secs(1),
+            "the deadline bounds the read (took {elapsed:?}, dribble runs ~2 s)"
+        );
+        drop(stream);
+        dribbler.join().unwrap();
+    }
+
+    /// Same deadline, dribbled through the *body* phase: a well-formed
+    /// head followed by a Content-Length the client never delivers.
+    #[test]
+    fn dribbled_body_bytes_hit_the_overall_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let dribbler = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n").unwrap();
+            for _ in 0..40 {
+                if client.write_all(b"x").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let started = Instant::now();
+        let err = read_request_deadline(&mut stream, Duration::from_millis(300)).unwrap_err();
+        assert!(matches!(err, RequestError::Timeout(_)), "{err:?}");
+        assert!(started.elapsed() < Duration::from_secs(1));
+        drop(stream);
+        dribbler.join().unwrap();
+    }
+
+    /// The hung-shutdown regression: pre-fix, the client set no
+    /// timeouts, so a server that accepts and then never responds hung
+    /// the caller (and `Server::shutdown`) forever.
+    #[test]
+    fn client_times_out_against_a_server_that_never_responds() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept and hold the connection open, never writing a byte.
+        let silent = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let started = Instant::now();
+        let err = request_timeout(&addr, "POST", "/shutdown", None, Duration::from_millis(300))
+            .unwrap_err();
+        assert!(err.contains("timed out"), "{err}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "the deadline bounds the call: {:?}",
+            started.elapsed()
+        );
+        drop(silent.join().unwrap());
     }
 }

@@ -1,31 +1,49 @@
 //! The campaign service: a small HTTP/1.1 front-end over [`Engine`]
-//! with a bounded job queue and graceful shutdown.
+//! with a bounded job queue, graceful shutdown, and a Prometheus
+//! metrics endpoint.
 //!
 //! | Route | Effect |
 //! |---|---|
 //! | `POST /campaigns` | body = spec JSON; enqueue; `202 {"id": n}` or `429` when the queue is full |
-//! | `GET /campaigns/{id}` | job status: `queued` / `running` (+ shard progress) / `done` / `failed` |
-//! | `GET /campaigns/{id}/results` | the finished result as JSON, or with `?format=text` the exact legacy report bytes |
+//! | `GET /campaigns/{id}` | job status: `queued` / `running` (+ shard progress) / `done` / `failed`, with `elapsed_ms` |
+//! | `GET /campaigns/{id}/results` | the finished result as JSON, or with `?format=text` the exact legacy report bytes; `409` + the failure message for a failed campaign, `404` only for unknown ids |
+//! | `GET /metrics` | every `gd_obs` metric family in the Prometheus text format |
 //! | `POST /shutdown` | stop accepting, finish the running campaign, drop queued jobs |
 //!
 //! One accept thread handles requests serially (every request is a
 //! cheap in-memory operation) and one worker thread runs campaigns one
 //! at a time — campaign *internals* already saturate the machine via
-//! [`gd_exec`], so service-level concurrency would only thrash.
+//! [`gd_exec`], so service-level concurrency would only thrash. The
+//! accept thread is therefore the availability bottleneck, and it
+//! defends itself: an overall per-request read deadline (`408` for
+//! slow-dribbling clients), a write timeout on responses, and a short
+//! back-off when `accept` itself fails persistently (e.g. EMFILE)
+//! instead of a 100 % CPU error spin.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use gd_obs::Timer;
 
 use crate::engine::{CampaignResult, Engine};
-use crate::http::{read_request, write_response, Request};
+use crate::http::{read_request_deadline, write_response, Request, RequestError};
 use crate::json::Json;
 use crate::shards::shard_plan;
 use crate::spec::CampaignSpec;
+
+/// How long the accept thread sleeps after a failed `accept` before
+/// retrying — long enough to stop an EMFILE error loop from pinning a
+/// core, short enough to be invisible when the condition clears.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
+
+/// Default overall deadline for delivering the `POST /shutdown` request
+/// in [`Server::shutdown`].
+const SHUTDOWN_REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -37,11 +55,90 @@ pub struct ServerConfig {
     /// Maximum *queued* campaigns (the running one not counted); further
     /// submissions get `429 Too Many Requests`.
     pub queue_limit: usize,
+    /// Overall deadline for reading one request (head + body). A client
+    /// that dribbles bytes slower than this gets `408` and its
+    /// connection closed, instead of wedging the accept thread.
+    pub read_deadline: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> ServerConfig {
-        ServerConfig { addr: "127.0.0.1:0".into(), store: None, queue_limit: 16 }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            store: None,
+            queue_limit: 16,
+            read_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// `gd_obs` handles for the service, registered eagerly at
+/// [`Server::start`] so `/metrics` exposes the families before traffic.
+struct ServiceMetrics {
+    /// `gd_campaign_queue_depth`
+    queue_depth: Arc<gd_obs::Gauge>,
+    /// `gd_http_429_total`
+    rejected: Arc<gd_obs::Counter>,
+    /// `gd_http_request_timeouts_total`
+    read_timeouts: Arc<gd_obs::Counter>,
+    /// `gd_http_accept_errors_total`
+    accept_errors: Arc<gd_obs::Counter>,
+    /// `gd_campaign_duration_ms`
+    campaign_ms: Arc<gd_obs::Histogram>,
+}
+
+fn service_metrics() -> &'static ServiceMetrics {
+    static METRICS: OnceLock<ServiceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ServiceMetrics {
+        queue_depth: gd_obs::gauge(
+            "gd_campaign_queue_depth",
+            "campaigns waiting in the service queue (the running one not counted)",
+            &[],
+        ),
+        rejected: gd_obs::counter(
+            "gd_http_429_total",
+            "submissions rejected with 429 because the queue was full",
+            &[],
+        ),
+        read_timeouts: gd_obs::counter(
+            "gd_http_request_timeouts_total",
+            "requests dropped with 408 for exceeding the overall read deadline",
+            &[],
+        ),
+        accept_errors: gd_obs::counter(
+            "gd_http_accept_errors_total",
+            "listener accept failures (each is followed by a short back-off)",
+            &[],
+        ),
+        campaign_ms: gd_obs::histogram(
+            "gd_campaign_duration_ms",
+            "wall time per campaign run by the service worker, milliseconds",
+            &[],
+        ),
+    })
+}
+
+/// Counts one served request under its route *pattern* (so label
+/// cardinality stays bounded regardless of ids probed) and status.
+fn record_request(route: &str, status: u16) {
+    gd_obs::counter(
+        "gd_http_requests_total",
+        "HTTP requests served, by route pattern and status",
+        &[("route", route), ("status", &status.to_string())],
+    )
+    .inc();
+}
+
+/// The bounded-cardinality route label for a request path.
+fn route_label(path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match segments.as_slice() {
+        ["campaigns"] => "/campaigns",
+        ["campaigns", _] => "/campaigns/{id}",
+        ["campaigns", _, "results"] => "/campaigns/{id}/results",
+        ["shutdown"] => "/shutdown",
+        ["metrics"] => "/metrics",
+        _ => "other",
     }
 }
 
@@ -60,6 +157,10 @@ struct JobRecord {
     done: u32,
     total: u32,
     result: Option<CampaignResult>,
+    /// When the worker picked the job up (None while queued).
+    started: Option<Instant>,
+    /// Final wall time, frozen when the job completes or fails.
+    duration_ms: Option<u64>,
 }
 
 #[derive(Debug, Default)]
@@ -73,6 +174,7 @@ struct ServiceState {
 struct Inner {
     engine: Engine,
     queue_limit: usize,
+    read_deadline: Duration,
     shutdown: AtomicBool,
     state: Mutex<ServiceState>,
     wake: Condvar,
@@ -97,6 +199,7 @@ impl Server {
         let listener =
             TcpListener::bind(&config.addr).map_err(|e| format!("binding {}: {e}", config.addr))?;
         let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        let _ = service_metrics();
         let engine = match &config.store {
             Some(dir) => Engine::with_store(dir),
             None => Engine::ephemeral(),
@@ -104,6 +207,7 @@ impl Server {
         let inner = Arc::new(Inner {
             engine,
             queue_limit: config.queue_limit,
+            read_deadline: config.read_deadline,
             shutdown: AtomicBool::new(false),
             state: Mutex::new(ServiceState::default()),
             wake: Condvar::new(),
@@ -116,6 +220,7 @@ impl Server {
             let inner = Arc::clone(&inner);
             std::thread::spawn(move || accept_loop(&listener, &inner))
         };
+        gd_obs::info!("gd_campaign::service", "serving", addr = addr);
         Ok(Server { addr, accept: Some(accept), worker: Some(worker) })
     }
 
@@ -126,14 +231,29 @@ impl Server {
 
     /// Graceful shutdown: stops accepting, lets the in-flight campaign
     /// finish (its checkpoints and cache entry are written), drops
-    /// queued jobs, and joins both threads.
+    /// queued jobs, and joins both threads. The shutdown request itself
+    /// is bounded by a default deadline; use [`Server::shutdown_within`]
+    /// to supply your own.
     ///
     /// # Errors
     ///
-    /// Fails when the shutdown request cannot be delivered or a thread
-    /// panicked.
+    /// Fails when the shutdown request cannot be delivered in time or a
+    /// thread panicked.
     pub fn shutdown(self) -> Result<(), String> {
-        crate::http::request(&self.addr.to_string(), "POST", "/shutdown", None)?;
+        self.shutdown_within(SHUTDOWN_REQUEST_TIMEOUT)
+    }
+
+    /// [`Server::shutdown`] with a caller-supplied deadline on
+    /// *delivering* the shutdown request (the join still waits for the
+    /// in-flight campaign, which is the graceful contract). A wedged
+    /// accept thread therefore fails this call instead of hanging it.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shutdown request cannot be delivered within
+    /// `timeout` or a thread panicked.
+    pub fn shutdown_within(self, timeout: Duration) -> Result<(), String> {
+        crate::http::request_timeout(&self.addr.to_string(), "POST", "/shutdown", None, timeout)?;
         self.join()
     }
 
@@ -152,6 +272,7 @@ impl Server {
 }
 
 fn worker_loop(inner: &Inner) {
+    let metrics = service_metrics();
     loop {
         let (id, spec) = {
             let mut state = inner.state.lock().unwrap();
@@ -160,8 +281,10 @@ fn worker_loop(inner: &Inner) {
                     return;
                 }
                 if let Some(id) = state.queue.pop_front() {
+                    metrics.queue_depth.set(state.queue.len() as i64);
                     let job = state.jobs.get_mut(&id).expect("queued job exists");
                     job.state = JobState::Running;
+                    job.started = Some(Instant::now());
                     break (id, job.spec.clone());
                 }
                 let (next, _) = inner.wake.wait_timeout(state, Duration::from_millis(200)).unwrap();
@@ -175,36 +298,88 @@ fn worker_loop(inner: &Inner) {
                 job.total = total;
             }
         };
+        let timer = Timer::start();
         let outcome = inner.engine.run_with(&spec, &progress);
+        let elapsed_ms = timer.elapsed_ms();
+        metrics.campaign_ms.observe(elapsed_ms);
         let mut state = inner.state.lock().unwrap();
         if let Some(job) = state.jobs.get_mut(&id) {
+            job.duration_ms = Some(elapsed_ms);
             match outcome {
                 Ok(result) => {
+                    gd_obs::info!(
+                        "gd_campaign::service",
+                        "campaign done",
+                        id = id,
+                        elapsed_ms = elapsed_ms,
+                    );
                     job.state = JobState::Done;
                     job.result = Some(result);
                 }
-                Err(e) => job.state = JobState::Failed(e),
+                Err(e) => {
+                    gd_obs::warn!(
+                        "gd_campaign::service",
+                        "campaign failed",
+                        id = id,
+                        elapsed_ms = elapsed_ms,
+                        error = e,
+                    );
+                    job.state = JobState::Failed(e);
+                }
             }
         }
     }
 }
 
 fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    let metrics = service_metrics();
     loop {
         if inner.shutdown.load(Ordering::Relaxed) {
             return;
         }
-        let Ok((mut stream, _)) = listener.accept() else { continue };
-        // A stalled client must not wedge the single accept thread.
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-        match read_request(&mut stream) {
+        // A persistent accept error (EMFILE, ENFILE, …) must degrade to
+        // a paced retry loop, not a 100 % CPU spin.
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                metrics.accept_errors.inc();
+                gd_obs::warn!("gd_campaign::service", "accept failed; backing off", error = e);
+                std::thread::sleep(ACCEPT_BACKOFF);
+                continue;
+            }
+        };
+        // A stalled reader must not wedge response writes either.
+        let _ = stream.set_write_timeout(Some(inner.read_deadline));
+        match read_request_deadline(&mut stream, inner.read_deadline) {
             Ok(request) => {
                 let (status, content_type, body) = route(inner, &request);
+                record_request(route_label(&request.path), status);
+                gd_obs::debug!(
+                    "gd_campaign::service",
+                    "request",
+                    method = request.method,
+                    path = request.path,
+                    status = status,
+                );
                 let _ = write_response(&mut stream, status, &content_type, &body);
             }
             Err(e) => {
-                let body = error_json(&e);
-                let _ = write_response(&mut stream, 400, "application/json", &body);
+                let status = match &e {
+                    RequestError::Timeout(_) => {
+                        metrics.read_timeouts.inc();
+                        408
+                    }
+                    RequestError::Malformed(_) => 400,
+                };
+                record_request("unparsed", status);
+                gd_obs::debug!(
+                    "gd_campaign::service",
+                    "request rejected",
+                    status = status,
+                    error = e.message(),
+                );
+                let body = error_json(e.message());
+                let _ = write_response(&mut stream, status, "application/json", &body);
             }
         }
     }
@@ -232,12 +407,17 @@ fn route(inner: &Inner, request: &Request) -> Response {
             let as_text = request.query.split('&').any(|kv| kv == "format=text");
             with_job(inner, id, |job| results_response(job, as_text))
         }
+        ("GET", ["metrics"]) => (
+            200,
+            gd_obs::prom::CONTENT_TYPE.into(),
+            gd_obs::global().render_prometheus().into_bytes(),
+        ),
         ("POST", ["shutdown"]) => {
             inner.shutdown.store(true, Ordering::Relaxed);
             inner.wake.notify_all();
             ok_json(&Json::obj(vec![("ok", Json::Bool(true))]))
         }
-        (_, ["campaigns", ..]) | (_, ["shutdown"]) => {
+        (_, ["campaigns", ..]) | (_, ["shutdown"]) | (_, ["metrics"]) => {
             (405, "application/json".into(), error_json("method not allowed"))
         }
         _ => (404, "application/json".into(), error_json("no such route")),
@@ -270,14 +450,25 @@ fn submit(inner: &Inner, body: &[u8]) -> Response {
     };
     let mut state = inner.state.lock().unwrap();
     if state.queue.len() >= inner.queue_limit {
+        service_metrics().rejected.inc();
         return (429, "application/json".into(), error_json("queue full, retry later"));
     }
     let id = state.next_id;
     state.next_id += 1;
-    state
-        .jobs
-        .insert(id, JobRecord { spec, state: JobState::Queued, done: 0, total, result: None });
+    state.jobs.insert(
+        id,
+        JobRecord {
+            spec,
+            state: JobState::Queued,
+            done: 0,
+            total,
+            result: None,
+            started: None,
+            duration_ms: None,
+        },
+    );
     state.queue.push_back(id);
+    service_metrics().queue_depth.set(state.queue.len() as i64);
     inner.wake.notify_all();
     (
         202,
@@ -300,6 +491,19 @@ fn with_job(inner: &Inner, id: &str, f: impl Fn(&JobRecord) -> Response) -> Resp
     }
 }
 
+/// Wall time the job has consumed: still ticking while running, frozen
+/// at completion, zero while queued.
+fn job_elapsed_ms(job: &JobRecord) -> u64 {
+    match (&job.state, job.started, job.duration_ms) {
+        (JobState::Queued, ..) => 0,
+        (JobState::Running, Some(started), _) => {
+            u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX)
+        }
+        (_, _, Some(frozen)) => frozen,
+        _ => 0,
+    }
+}
+
 fn status_response(job: &JobRecord) -> Response {
     let (label, error) = match &job.state {
         JobState::Queued => ("queued", None),
@@ -311,6 +515,7 @@ fn status_response(job: &JobRecord) -> Response {
         ("state", Json::Str(label.into())),
         ("done", Json::Int(job.done.into())),
         ("total", Json::Int(job.total.into())),
+        ("elapsed_ms", Json::Int(i64::try_from(job_elapsed_ms(job)).unwrap_or(i64::MAX).into())),
         ("workload", Json::Str(job.spec.workload.kind().into())),
     ];
     if let Some(e) = error {
@@ -328,8 +533,10 @@ fn results_response(job: &JobRecord, as_text: bool) -> Response {
                 ok_json(&result.to_json())
             }
         }
+        // A failed campaign is a *known* id with a definite outcome —
+        // 409 with the failure, never the 404 reserved for unknown ids.
         (JobState::Failed(e), _) => {
-            (404, "application/json".into(), error_json(&format!("campaign failed: {e}")))
+            (409, "application/json".into(), error_json(&format!("campaign failed: {e}")))
         }
         _ => (404, "application/json".into(), error_json("campaign not finished")),
     }
@@ -341,8 +548,9 @@ mod tests {
     use crate::http::request;
 
     /// Control-plane behavior that needs no campaign work: routing,
-    /// validation, and shutdown. (Full campaigns over HTTP live in the
-    /// `e2e_http` integration test.)
+    /// validation, metrics exposition, and shutdown. (Full campaigns
+    /// over HTTP live in the `e2e_http` integration test; failure paths
+    /// in `service_failures`.)
     #[test]
     fn control_plane_routes_validate_and_shut_down() {
         let server = Server::start(ServerConfig::default()).unwrap();
@@ -355,6 +563,8 @@ mod tests {
         let (status, _) = request(&addr, "GET", "/nope", None).unwrap();
         assert_eq!(status, 404);
         let (status, _) = request(&addr, "DELETE", "/campaigns/1", None).unwrap();
+        assert_eq!(status, 405);
+        let (status, _) = request(&addr, "DELETE", "/metrics", None).unwrap();
         assert_eq!(status, 405);
 
         let (status, body) = request(&addr, "POST", "/campaigns", Some("{not json")).unwrap();
@@ -369,6 +579,28 @@ mod tests {
         assert_eq!(status, 400);
         assert!(body.contains("exceeds"), "{body}");
 
+        // The metrics route serves the Prometheus text format, and the
+        // traffic above is already visible in it, labeled by pattern.
+        let (status, text) = request(&addr, "GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(text.contains("# TYPE gd_http_requests_total counter"), "{text}");
+        assert!(
+            text.contains(r#"gd_http_requests_total{route="/campaigns/{id}",status="404"}"#),
+            "ids are collapsed to a pattern label: {text}"
+        );
+        assert!(text.contains("# TYPE gd_campaign_queue_depth gauge"), "{text}");
+
         server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn route_labels_have_bounded_cardinality() {
+        assert_eq!(route_label("/campaigns"), "/campaigns");
+        assert_eq!(route_label("/campaigns/17"), "/campaigns/{id}");
+        assert_eq!(route_label("/campaigns/xyz/results"), "/campaigns/{id}/results");
+        assert_eq!(route_label("/metrics"), "/metrics");
+        assert_eq!(route_label("/shutdown"), "/shutdown");
+        assert_eq!(route_label("/a/b/c/d"), "other");
+        assert_eq!(route_label("/"), "other");
     }
 }

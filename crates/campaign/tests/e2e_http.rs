@@ -30,6 +30,10 @@ fn await_done(addr: &str, id: &str) {
             request(addr, "GET", &format!("/campaigns/{id}"), None).expect("GET /campaigns/{id}");
         assert_eq!(status, 200, "status poll: {body}");
         let doc = parse(&body).expect("status is JSON");
+        assert!(
+            doc.get("elapsed_ms").and_then(|v| v.as_i64()).is_some(),
+            "status always carries elapsed_ms: {body}"
+        );
         match doc.get("state").and_then(|s| s.as_str()) {
             Some("done") => return,
             Some("failed") => panic!("campaign failed: {body}"),
@@ -78,6 +82,37 @@ fn table1_served_over_http_matches_the_committed_results() {
     assert_eq!(status, 200);
     let result = gd_campaign::CampaignResult::from_json_text(&body).expect("result JSON parses");
     assert_eq!(result.text, expected);
+
+    // The campaign above must have left its trail on /metrics: request
+    // counters, the per-shard wall-time histogram, the engine's cache
+    // counters (registered eagerly, zero without a store), and the
+    // executor's chunk counters. scripts/ci.sh relies on this scrape as
+    // its metrics-presence gate after the Table I run.
+    let (status, metrics) = request(&addr, "GET", "/metrics", None).expect("GET /metrics");
+    assert_eq!(status, 200);
+    for family in [
+        "# TYPE gd_http_requests_total counter",
+        "# TYPE gd_campaign_shard_ms histogram",
+        "# TYPE gd_campaign_duration_ms histogram",
+        "# TYPE gd_campaign_cache_hits_total counter",
+        "# TYPE gd_campaign_cache_misses_total counter",
+        "# TYPE gd_campaign_queue_depth gauge",
+        "# TYPE gd_exec_chunks_executed_total counter",
+        "# TYPE gd_exec_worker_busy_us_total counter",
+    ] {
+        assert!(metrics.contains(family), "missing {family:?} in:\n{metrics}");
+    }
+    assert!(
+        metrics.contains(r#"gd_http_requests_total{route="/campaigns/{id}",status="200"}"#),
+        "the polls above are counted under their route pattern:\n{metrics}"
+    );
+    let shard_count: u64 = metrics
+        .lines()
+        .find(|l| l.starts_with("gd_campaign_shard_ms_count"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("shard histogram has a count sample");
+    assert!(shard_count >= 1, "the campaign's shards were observed:\n{metrics}");
 
     server.shutdown().expect("clean shutdown");
 }

@@ -144,9 +144,12 @@ pub fn cases_seeded(base: u64, count: u64, name: &str, mut property: impl FnMut(
         let seed = case_seed(base, case);
         let mut rng = Rng::new(seed);
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
-            eprintln!(
-                "property `{name}` failed at case {case}/{count} (seed {seed:#018x}); \
-                 rerun with gd_exec::check::Rng::new({seed:#x}) to reproduce"
+            gd_obs::error!(
+                "gd_exec::check",
+                "property failed; rerun with gd_exec::check::Rng::new(seed) to reproduce",
+                property = name,
+                case = format_args!("{case}/{count}"),
+                seed = format_args!("{seed:#018x}"),
             );
             resume_unwind(payload);
         }

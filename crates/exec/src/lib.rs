@@ -53,8 +53,42 @@ use std::any::Any;
 use std::cell::Cell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread;
+
+use gd_obs::Timer;
+
+/// `gd_obs` handles for the fan-out hot path, registered once (the
+/// per-chunk cost is a relaxed atomic add).
+struct ExecMetrics {
+    /// `gd_exec_chunks_executed_total`
+    chunks: Arc<gd_obs::Counter>,
+    /// `gd_exec_serial_fallbacks_total`
+    serial_fallbacks: Arc<gd_obs::Counter>,
+    /// `gd_exec_worker_busy_us_total`
+    busy_us: Arc<gd_obs::Counter>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ExecMetrics {
+        chunks: gd_obs::counter(
+            "gd_exec_chunks_executed_total",
+            "chunks executed by par_map_chunks, serial or parallel",
+            &[],
+        ),
+        serial_fallbacks: gd_obs::counter(
+            "gd_exec_serial_fallbacks_total",
+            "par_map_chunks calls that ran serially (one worker, one chunk, or nested fan-out)",
+            &[],
+        ),
+        busy_us: gd_obs::counter(
+            "gd_exec_worker_busy_us_total",
+            "microseconds fan-out workers (or the serial path) spent executing chunks",
+            &[],
+        ),
+    })
+}
 
 thread_local! {
     /// Set inside fan-out workers so nested calls stay serial.
@@ -157,12 +191,18 @@ where
     assert!(chunk_size > 0, "chunk_size must be positive");
     let n_chunks = items.len().div_ceil(chunk_size);
     let workers = threads().min(n_chunks);
+    let metrics = exec_metrics();
     if workers <= 1 || IN_WORKER.with(Cell::get) {
-        return items
+        metrics.serial_fallbacks.inc();
+        let timer = Timer::start();
+        let out = items
             .chunks(chunk_size)
             .enumerate()
             .map(|(i, c)| f(&Chunk { start: i * chunk_size, items: c }))
             .collect();
+        metrics.chunks.add(n_chunks as u64);
+        metrics.busy_us.add(timer.elapsed_us());
+        return out;
     }
 
     let next = AtomicUsize::new(0);
@@ -177,6 +217,11 @@ where
             .map(|_| {
                 s.spawn(|| {
                     IN_WORKER.with(|w| w.set(true));
+                    // Workers never idle — they pull chunks until the
+                    // counter is exhausted and exit — so lifetime is
+                    // busy-time.
+                    let timer = Timer::start();
+                    let mut executed = 0u64;
                     let mut out = Vec::new();
                     loop {
                         if abort.load(Ordering::Relaxed) {
@@ -190,7 +235,10 @@ where
                         let end = (start + chunk_size).min(items.len());
                         let chunk = Chunk { start, items: &items[start..end] };
                         match catch_unwind(AssertUnwindSafe(|| f(&chunk))) {
-                            Ok(r) => out.push((i, r)),
+                            Ok(r) => {
+                                executed += 1;
+                                out.push((i, r));
+                            }
                             Err(payload) => {
                                 abort.store(true, Ordering::Relaxed);
                                 let mut slot = failure.lock().unwrap();
@@ -201,6 +249,8 @@ where
                             }
                         }
                     }
+                    metrics.chunks.add(executed);
+                    metrics.busy_us.add(timer.elapsed_us());
                     out
                 })
             })
@@ -214,7 +264,12 @@ where
     if let Some((i, payload)) = failure.into_inner().unwrap() {
         let start = i * chunk_size;
         let end = (start + chunk_size).min(items.len());
-        eprintln!("gd-exec: chunk {i} (items {start}..{end}) panicked; propagating");
+        gd_obs::error!(
+            "gd_exec",
+            "chunk panicked; propagating",
+            chunk = i,
+            items = format_args!("{start}..{end}"),
+        );
         resume_unwind(payload);
     }
 
@@ -414,6 +469,26 @@ mod tests {
         });
         let expect: Vec<u32> = outer.iter().map(|&x| (x + 1) * (x + 2) / 2).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn fan_out_metrics_accumulate() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let metrics = exec_metrics();
+        let (chunks0, serial0) = (metrics.chunks.get(), metrics.serial_fallbacks.get());
+        let items: Vec<u32> = (0..64).collect();
+        // Parallel: 8 chunks across 2 workers, all counted.
+        let _ = with_threads(2, || par_map_chunks(&items, 8, |c| c.items.len()));
+        assert!(metrics.chunks.get() >= chunks0 + 8, "parallel chunks counted");
+        // Serial fallback: one worker, same chunk count.
+        let _ = with_threads(1, || par_map_chunks(&items, 8, |c| c.items.len()));
+        assert!(metrics.serial_fallbacks.get() >= serial0 + 1, "serial fallback counted");
+        assert!(metrics.chunks.get() >= chunks0 + 16, "serial chunks counted too");
+        // Busy-time is timing-dependent; the counter only has to exist
+        // and be monotone (it may legitimately read 0 µs here).
+        let busy = metrics.busy_us.get();
+        let _ = with_threads(2, || par_map_chunks(&items, 8, |c| c.items.len()));
+        assert!(metrics.busy_us.get() >= busy);
     }
 
     #[test]

@@ -1,0 +1,405 @@
+//! The metric registry: named families of counters, gauges, and
+//! log2-bucket histograms, each series addressed by a label set.
+//!
+//! Updates are single relaxed atomic operations; registration (name +
+//! label lookup under a mutex) is the only slow path, so hot code
+//! registers once — typically in a `OnceLock` static — and clones the
+//! returned `Arc` handle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of finite histogram bucket bounds: `2^0 .. 2^30`.
+pub const FINITE_BUCKETS: usize = 31;
+
+/// A histogram over non-negative integer observations (pick one unit —
+/// ms, us, bytes — and encode it in the metric name) with fixed log2
+/// bucket upper bounds `1, 2, 4, …, 2^30` plus `+Inf`. Two relaxed
+/// atomic adds per observation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; FINITE_BUCKETS + 1],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// The index of the smallest bucket whose upper bound holds `v`
+/// (`FINITE_BUCKETS` = the `+Inf` bucket).
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    // ceil(log2(v)) for v >= 2; values past 2^30 land in +Inf.
+    let exp = (64 - (v - 1).leading_zeros()) as usize;
+    exp.min(FINITE_BUCKETS)
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Non-cumulative per-bucket counts (the last entry is `+Inf`).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// The finite bucket upper bounds, in order.
+    pub fn bounds() -> impl Iterator<Item = u64> {
+        (0..FINITE_BUCKETS as u32).map(|i| 1u64 << i)
+    }
+}
+
+/// What a family's series hold. Kind mismatches on re-registration are
+/// programmer errors and panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Monotonic counter (name should end in `_total`).
+    Counter,
+    /// Up/down gauge.
+    Gauge,
+    /// Log2-bucket histogram.
+    Histogram,
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+pub(crate) struct Family {
+    pub(crate) kind: Kind,
+    pub(crate) help: String,
+    /// Keyed by the rendered `{label="value",…}` string so exposition
+    /// order is deterministic.
+    series: BTreeMap<String, Series>,
+}
+
+/// A set of metric families. Most code uses the process-wide [`global`]
+/// registry; tests construct private ones.
+#[derive(Debug, Default)]
+pub struct Registry {
+    pub(crate) families: Mutex<BTreeMap<String, Family>>,
+}
+
+/// Renders a label set as it appears in the exposition format:
+/// `{a="x",b="y"}`, or the empty string for no labels. Values are
+/// escaped per the Prometheus text format.
+pub(crate) fn label_key(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+impl Registry {
+    /// An empty registry.
+    pub const fn new() -> Registry {
+        Registry { families: Mutex::new(BTreeMap::new()) }
+    }
+
+    fn series(&self, kind: Kind, name: &str, help: &str, labels: &[(&str, &str)]) -> Series {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let mut families = self.families.lock().unwrap();
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            kind,
+            help: help.to_owned(),
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name} already registered as {:?}, requested {kind:?}",
+            family.kind
+        );
+        family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| match kind {
+                Kind::Counter => Series::Counter(Arc::default()),
+                Kind::Gauge => Series::Gauge(Arc::default()),
+                Kind::Histogram => Series::Histogram(Arc::default()),
+            })
+            .clone()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `name` is malformed or already registered with a
+    /// different kind.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.series(Kind::Counter, name, help, labels) {
+            Series::Counter(c) => c,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.series(Kind::Gauge, name, help, labels) {
+            Series::Gauge(g) => g,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Registry::counter`].
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        match self.series(Kind::Histogram, name, help, labels) {
+            Series::Histogram(h) => h,
+            _ => unreachable!("kind checked above"),
+        }
+    }
+
+    /// Visits every series, for the encoder: family name, help, kind,
+    /// rendered label key, and a value snapshot.
+    pub(crate) fn visit(&self, mut f: impl FnMut(&str, &str, Kind, &str, Snapshot)) {
+        let families = self.families.lock().unwrap();
+        for (name, family) in families.iter() {
+            for (labels, series) in &family.series {
+                let snap = match series {
+                    Series::Counter(c) => Snapshot::Counter(c.get()),
+                    Series::Gauge(g) => Snapshot::Gauge(g.get()),
+                    Series::Histogram(h) => {
+                        Snapshot::Histogram { buckets: h.bucket_counts(), sum: h.sum() }
+                    }
+                };
+                f(name, &family.help, family.kind, labels, snap);
+            }
+        }
+    }
+}
+
+/// A point-in-time value of one series, as handed to the encoder.
+#[derive(Debug)]
+pub(crate) enum Snapshot {
+    Counter(u64),
+    Gauge(i64),
+    Histogram { buckets: Vec<u64>, sum: u64 },
+}
+
+/// The process-wide registry (what [`counter`], [`gauge`],
+/// [`histogram`], and the service's `/metrics` route use).
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// [`Registry::counter`] on the [`global`] registry.
+pub fn counter(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter(name, help, labels)
+}
+
+/// [`Registry::gauge`] on the [`global`] registry.
+pub fn gauge(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge(name, help, labels)
+}
+
+/// [`Registry::histogram`] on the [`global`] registry.
+pub fn histogram(name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram(name, help, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_share_series_by_label() {
+        let r = Registry::new();
+        let a = r.counter("hits_total", "hits", &[("route", "/x")]);
+        let b = r.counter("hits_total", "hits", &[("route", "/x")]);
+        let other = r.counter("hits_total", "hits", &[("route", "/y")]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3, "same name+labels is the same series");
+        assert_eq!(other.get(), 0, "different labels are a different series");
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let r = Registry::new();
+        let g = r.gauge("depth", "queue depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.add(10);
+        assert_eq!(g.get(), 13);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative_at_the_edges() {
+        // Bound cases: v <= 1 in bucket 0, exact powers stay in their
+        // own bucket, one past a power spills to the next.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 30), 30);
+        assert_eq!(bucket_index((1 << 30) + 1), FINITE_BUCKETS, "overflow goes to +Inf");
+        assert_eq!(bucket_index(u64::MAX), FINITE_BUCKETS);
+
+        let h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 0u64.wrapping_add(1 + 2 + 3 + 4 + 1000).wrapping_add(u64::MAX));
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 2, "0 and 1");
+        assert_eq!(counts[1], 1, "2");
+        assert_eq!(counts[2], 2, "3 and 4");
+        assert_eq!(counts[10], 1, "1000 <= 1024");
+        assert_eq!(counts[FINITE_BUCKETS], 1, "u64::MAX in +Inf");
+    }
+
+    #[test]
+    fn histogram_bounds_double() {
+        let bounds: Vec<u64> = Histogram::bounds().collect();
+        assert_eq!(bounds.len(), FINITE_BUCKETS);
+        assert_eq!(bounds[0], 1);
+        assert_eq!(bounds[30], 1 << 30);
+        for w in bounds.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn label_keys_escape_and_order_deterministically() {
+        assert_eq!(label_key(&[]), "");
+        assert_eq!(label_key(&[("a", "x"), ("b", "y")]), r#"{a="x",b="y"}"#);
+        assert_eq!(label_key(&[("m", "say \"hi\"\\\n")]), "{m=\"say \\\"hi\\\"\\\\\\n\"}");
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "a thing", &[]);
+        let _ = r.gauge("thing", "a thing", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_panic() {
+        let _ = Registry::new().counter("9lives", "", &[]);
+    }
+
+    #[test]
+    fn updates_are_safe_across_threads() {
+        let r = Registry::new();
+        let c = r.counter("races_total", "", &[]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8_000);
+    }
+}

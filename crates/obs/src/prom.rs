@@ -1,0 +1,139 @@
+//! Prometheus text exposition (format version 0.0.4) for a
+//! [`Registry`]: `# HELP` / `# TYPE` headers per family, one sample
+//! line per series, and the cumulative `_bucket`/`_sum`/`_count`
+//! expansion for histograms.
+
+use std::fmt::Write;
+
+use crate::metrics::{Histogram, Kind, Registry, Snapshot};
+
+/// The Content-Type a `/metrics` endpoint should serve.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Splices an `le` label into a rendered label key (`{a="x"}` →
+/// `{a="x",le="2"}`).
+fn with_le(labels: &str, le: &str) -> String {
+    if labels.is_empty() {
+        format!("{{le=\"{le}\"}}")
+    } else {
+        format!("{},le=\"{le}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+impl Registry {
+    /// Renders every family in the Prometheus text format. Families and
+    /// series appear in lexicographic order, so output is deterministic
+    /// for a given metric state.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        self.visit(|name, help, kind, labels, snap| {
+            if name != last_family {
+                let type_name = match kind {
+                    Kind::Counter => "counter",
+                    Kind::Gauge => "gauge",
+                    Kind::Histogram => "histogram",
+                };
+                if !help.is_empty() {
+                    let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+                }
+                let _ = writeln!(out, "# TYPE {name} {type_name}");
+                last_family = name.to_owned();
+            }
+            match snap {
+                Snapshot::Counter(v) => {
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+                Snapshot::Gauge(v) => {
+                    let _ = writeln!(out, "{name}{labels} {v}");
+                }
+                Snapshot::Histogram { buckets, sum } => {
+                    let mut cumulative = 0u64;
+                    for (bound, count) in Histogram::bounds().zip(&buckets) {
+                        cumulative += *count;
+                        let le = with_le(labels, &bound.to_string());
+                        let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
+                    }
+                    cumulative += buckets.last().copied().unwrap_or(0);
+                    let le = with_le(labels, "+Inf");
+                    let _ = writeln!(out, "{name}_bucket{le} {cumulative}");
+                    let _ = writeln!(out, "{name}_sum{labels} {sum}");
+                    let _ = writeln!(out, "{name}_count{labels} {cumulative}");
+                }
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers_once_per_family() {
+        let r = Registry::new();
+        r.counter("req_total", "requests served", &[("route", "/a")]).add(3);
+        r.counter("req_total", "requests served", &[("route", "/b")]).inc();
+        r.gauge("depth", "queue depth", &[]).set(-2);
+        let text = r.render_prometheus();
+        let expected = "# HELP depth queue depth\n\
+                        # TYPE depth gauge\n\
+                        depth -2\n\
+                        # HELP req_total requests served\n\
+                        # TYPE req_total counter\n\
+                        req_total{route=\"/a\"} 3\n\
+                        req_total{route=\"/b\"} 1\n";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_sum_and_count() {
+        let r = Registry::new();
+        let h = r.histogram("lat_ms", "latency", &[("op", "run")]);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(u64::MAX);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE lat_ms histogram"), "{text}");
+        assert!(text.contains("lat_ms_bucket{op=\"run\",le=\"1\"} 1\n"), "{text}");
+        assert!(text.contains("lat_ms_bucket{op=\"run\",le=\"2\"} 2\n"), "{text}");
+        assert!(text.contains("lat_ms_bucket{op=\"run\",le=\"4\"} 3\n"), "{text}");
+        assert!(
+            text.contains("lat_ms_bucket{op=\"run\",le=\"1073741824\"} 3\n"),
+            "largest finite bucket excludes the overflow: {text}"
+        );
+        assert!(text.contains("lat_ms_bucket{op=\"run\",le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("lat_ms_count{op=\"run\"} 4\n"), "{text}");
+        let sum = 1u64.wrapping_add(2).wrapping_add(3).wrapping_add(u64::MAX);
+        assert!(text.contains(&format!("lat_ms_sum{{op=\"run\"}} {sum}\n")), "{text}");
+    }
+
+    #[test]
+    fn unlabeled_histograms_get_a_bare_le_label() {
+        let r = Registry::new();
+        r.histogram("h", "", &[]).observe(10);
+        let text = r.render_prometheus();
+        assert!(text.contains("h_bucket{le=\"16\"} 1\n"), "{text}");
+        assert!(text.contains("h_bucket{le=\"+Inf\"} 1\n"), "{text}");
+        assert!(!text.contains("# HELP h"), "empty help is omitted: {text}");
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let r = Registry::new();
+        let _ = r.counter("c_total", "line\nbreak \\ slash", &[]);
+        let text = r.render_prometheus();
+        assert!(text.contains("# HELP c_total line\\nbreak \\\\ slash\n"), "{text}");
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(Registry::new().render_prometheus(), "");
+    }
+}

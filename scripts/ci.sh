@@ -26,9 +26,17 @@ echo "==> fig2 --check"
 ./target/release/fig2 --check
 
 # End-to-end smoke test of the campaign service: boot the HTTP server on
-# an ephemeral port, submit Table I, and require the bytes served back
-# to equal results/table1.txt exactly.
-echo "==> campaign service e2e (Table I over HTTP)"
+# an ephemeral port, submit Table I, require the bytes served back to
+# equal results/table1.txt exactly, then scrape GET /metrics and assert
+# the gd-obs metric families (http requests by route/status, the
+# per-shard wall-time histogram, the engine cache counters) are present.
+echo "==> campaign service e2e (Table I over HTTP + /metrics scrape)"
 cargo test --release --offline -q -p gd-campaign --test e2e_http
+
+# Failure-path regressions in release: slowloris dribble -> 408 under
+# the overall read deadline, failed campaign -> 409 (404 stays unknown-
+# id only), and the cache/shard/duration metric families on /metrics.
+echo "==> service failure paths + metrics families"
+cargo test --release --offline -q -p gd-campaign --test service_failures
 
 echo "==> OK"
