@@ -1,0 +1,129 @@
+//! Typed campaign failures — the engine's failure taxonomy.
+//!
+//! The engine retries transient faults internally (shard panics are
+//! quarantined and retried with backoff, torn or corrupt store files
+//! are recomputed, an aborted fan-out is resubmitted), so a
+//! [`CampaignError`] is what remains *after* self-healing gave up. The
+//! taxonomy still matters to callers deciding whether to resubmit:
+//! [`CampaignError::retryable`] splits deterministic failures (an
+//! invalid spec will never validate) from environmental ones (a full
+//! disk may empty, a fault schedule may roll differently).
+
+/// Why a campaign failed. `Display` renders the operator-facing
+/// message (the service serves it verbatim in `409` bodies).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The spec is unusable: validation failed, the shard range exceeds
+    /// the plan, or a target fixture does not build. Deterministic —
+    /// resubmitting the same spec fails the same way.
+    Invalid(String),
+    /// Store I/O the engine could not work around (an uncreatable
+    /// checkpoint directory, an unwritable cache).
+    Store(String),
+    /// The merged shard results could not be rendered into the report.
+    Render(String),
+    /// One shard exhausted its retry budget: every attempt panicked.
+    /// Carries everything an operator needs to triage without a core
+    /// dump: which shard, what it was doing, how often it was tried,
+    /// and the final panic message.
+    ShardFailed {
+        /// Plan index of the failing shard.
+        shard: u32,
+        /// The shard's human-readable work label.
+        label: String,
+        /// Attempts made before giving up (the configured budget).
+        attempts: u32,
+        /// Panic message of the last attempt.
+        cause: String,
+    },
+    /// The executor fan-out itself aborted repeatedly without a single
+    /// new shard completing — worker-level panics struck faster than
+    /// progress could be made.
+    FanoutFailed {
+        /// Consecutive progress-free fan-out passes before giving up.
+        attempts: u32,
+        /// Panic message of the last aborted pass.
+        cause: String,
+    },
+}
+
+impl CampaignError {
+    /// Whether resubmitting the identical campaign could plausibly
+    /// succeed. Spec and render failures are deterministic (fatal);
+    /// store and execution failures depend on the environment.
+    pub fn retryable(&self) -> bool {
+        match self {
+            CampaignError::Invalid(_) | CampaignError::Render(_) => false,
+            CampaignError::Store(_)
+            | CampaignError::ShardFailed { .. }
+            | CampaignError::FanoutFailed { .. } => true,
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Invalid(m) | CampaignError::Store(m) | CampaignError::Render(m) => {
+                f.write_str(m)
+            }
+            CampaignError::ShardFailed { shard, label, attempts, cause } => {
+                write!(f, "shard {shard} ({label}) failed after {attempts} attempts: {cause}")
+            }
+            CampaignError::FanoutFailed { attempts, cause } => {
+                write!(f, "shard fan-out aborted {attempts} times without progress: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The pre-PR-4 engine API returned `Result<_, String>`; existing
+/// callers (the CLI, doc examples) keep working through this.
+impl From<CampaignError> for String {
+    fn from(e: CampaignError) -> String {
+        e.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_shard_attempts_and_cause() {
+        let e = CampaignError::ShardFailed {
+            shard: 17,
+            label: "table1 vdd=3 width=5".into(),
+            attempts: 5,
+            cause: "gd-chaos: injected shard panic".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("shard 17"), "{msg}");
+        assert!(msg.contains("after 5 attempts"), "{msg}");
+        assert!(msg.contains("injected shard panic"), "{msg}");
+        assert!(msg.contains("table1 vdd=3 width=5"), "{msg}");
+    }
+
+    #[test]
+    fn taxonomy_splits_retryable_from_fatal() {
+        assert!(!CampaignError::Invalid("bad spec".into()).retryable());
+        assert!(!CampaignError::Render("merge hole".into()).retryable());
+        assert!(CampaignError::Store("disk full".into()).retryable());
+        assert!(CampaignError::FanoutFailed { attempts: 3, cause: "x".into() }.retryable());
+        let shard = CampaignError::ShardFailed {
+            shard: 0,
+            label: "l".into(),
+            attempts: 1,
+            cause: "c".into(),
+        };
+        assert!(shard.retryable());
+    }
+
+    #[test]
+    fn string_conversion_preserves_the_message() {
+        let s: String = CampaignError::Invalid("shard range end 99 exceeds".into()).into();
+        assert!(s.contains("exceeds"));
+    }
+}

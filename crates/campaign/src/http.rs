@@ -205,6 +205,18 @@ pub fn write_response(
     content_type: &str,
     body: &[u8],
 ) -> std::io::Result<()> {
+    write_response_with(stream, status, content_type, &[], body)
+}
+
+/// [`write_response`] with additional response headers (e.g.
+/// `Retry-After` on a `429`). Names and values are written verbatim.
+pub fn write_response_with(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
     let reason = match status {
         200 => "OK",
         202 => "Accepted",
@@ -216,12 +228,11 @@ pub fn write_response(
         429 => "Too Many Requests",
         _ => "Internal Server Error",
     };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    )?;
+    write!(stream, "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n")?;
+    for (name, value) in extra_headers {
+        write!(stream, "{name}: {value}\r\n")?;
+    }
+    write!(stream, "Content-Length: {}\r\nConnection: close\r\n\r\n", body.len())?;
     stream.write_all(body)?;
     stream.flush()
 }
@@ -275,6 +286,23 @@ pub fn request_timeout(
     body: Option<&str>,
     timeout: Duration,
 ) -> Result<(u16, String), String> {
+    let (status, _, body) = request_timeout_full(addr, method, path, body, timeout)?;
+    Ok((status, body))
+}
+
+/// [`request_timeout`], additionally returning the response headers
+/// (names lowercased) — the retrying client needs `Retry-After`.
+///
+/// # Errors
+///
+/// Same conditions as [`request_timeout`].
+pub fn request_timeout_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> Result<(u16, Vec<(String, String)>, String), String> {
     let deadline = Instant::now() + timeout;
     let sock_addr = addr
         .to_socket_addrs()
@@ -310,6 +338,7 @@ pub fn request_timeout(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("malformed status line {status_line:?}"))?;
     let mut content_length: Option<usize> = None;
+    let mut headers: Vec<(String, String)> = Vec::new();
     loop {
         let mut line = String::new();
         arm(reader.get_ref(), "awaiting headers")?;
@@ -319,9 +348,12 @@ pub fn request_timeout(
             break;
         }
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+            let name = name.trim().to_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                content_length = value.parse().ok();
             }
+            headers.push((name, value));
         }
     }
     arm(reader.get_ref(), "awaiting the body")?;
@@ -337,7 +369,62 @@ pub fn request_timeout(
             buf
         }
     };
-    Ok((status, String::from_utf8_lossy(&body).into_owned()))
+    Ok((status, headers, String::from_utf8_lossy(&body).into_owned()))
+}
+
+/// Ceiling on how long the retrying client honors a `Retry-After` hint
+/// — a hostile or confused server must not park a client for an hour.
+pub const RETRY_AFTER_CAP: Duration = Duration::from_secs(2);
+
+/// Backoff between retries when the server gave no `Retry-After` (grows
+/// linearly with the attempt number).
+const CLIENT_RETRY_STEP: Duration = Duration::from_millis(50);
+
+/// A client request that *retries*: transport errors (connection
+/// refused or dropped mid-response, timeouts) and `429` responses are
+/// retried up to `attempts` total tries. On a `429` the server's
+/// `Retry-After` header sets the pause (capped at [`RETRY_AFTER_CAP`]);
+/// everything else backs off linearly. Any other status — including
+/// errors like `400` or `409`, which retrying cannot cure — returns on
+/// first sight.
+///
+/// # Errors
+///
+/// The last transport error once all attempts are spent.
+pub fn request_with_retries(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    attempts: u32,
+    timeout: Duration,
+) -> Result<(u16, String), String> {
+    assert!(attempts >= 1, "a request needs at least one attempt");
+    let mut last_err = String::new();
+    for attempt in 1..=attempts {
+        match request_timeout_full(addr, method, path, body, timeout) {
+            Ok((429, headers, resp_body)) => {
+                if attempt == attempts {
+                    return Ok((429, resp_body));
+                }
+                let hinted = headers
+                    .iter()
+                    .find(|(k, _)| k == "retry-after")
+                    .and_then(|(_, v)| v.parse::<u64>().ok())
+                    .map(Duration::from_secs)
+                    .unwrap_or(CLIENT_RETRY_STEP);
+                std::thread::sleep(hinted.clamp(Duration::from_millis(20), RETRY_AFTER_CAP));
+            }
+            Ok((status, _, resp_body)) => return Ok((status, resp_body)),
+            Err(e) => {
+                last_err = e;
+                if attempt < attempts {
+                    std::thread::sleep(CLIENT_RETRY_STEP.saturating_mul(attempt));
+                }
+            }
+        }
+    }
+    Err(format!("request failed after {attempts} attempts: {last_err}"))
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@
 
 pub mod defense;
 pub mod engine;
+pub mod error;
 pub mod fig2;
 pub mod glitch_tables;
 pub mod hash;
@@ -44,4 +45,5 @@ pub mod shards;
 pub mod spec;
 
 pub use engine::{CampaignResult, Engine};
+pub use error::CampaignError;
 pub use spec::{CampaignSpec, Workload};

@@ -31,7 +31,9 @@ use std::time::{Duration, Instant};
 use gd_obs::Timer;
 
 use crate::engine::{CampaignResult, Engine};
-use crate::http::{read_request_deadline, write_response, Request, RequestError};
+use crate::http::{
+    read_request_deadline, write_response, write_response_with, Request, RequestError,
+};
 use crate::json::Json;
 use crate::shards::shard_plan;
 use crate::spec::CampaignSpec;
@@ -44,6 +46,11 @@ const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 /// Default overall deadline for delivering the `POST /shutdown` request
 /// in [`Server::shutdown`].
 const SHUTDOWN_REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `Retry-After` value on `429` responses. The queue drains at campaign
+/// speed, so "shortly" is the honest answer; clients with their own
+/// budget can override.
+const RETRY_AFTER_SECS: &str = "1";
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -322,9 +329,10 @@ fn worker_loop(inner: &Inner) {
                         "campaign failed",
                         id = id,
                         elapsed_ms = elapsed_ms,
+                        retryable = e.retryable(),
                         error = e,
                     );
-                    job.state = JobState::Failed(e);
+                    job.state = JobState::Failed(e.to_string());
                 }
             }
         }
@@ -348,6 +356,14 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
                 continue;
             }
         };
+        // Chaos connection sites: a dropped connection models a client
+        // (or middlebox) hanging up before the request is read; a read
+        // delay models a slow network. Clients must survive both.
+        if gd_chaos::connection_dropped() {
+            drop(stream);
+            continue;
+        }
+        gd_chaos::delay_read();
         // A stalled reader must not wedge response writes either.
         let _ = stream.set_write_timeout(Some(inner.read_deadline));
         match read_request_deadline(&mut stream, inner.read_deadline) {
@@ -361,7 +377,11 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
                     path = request.path,
                     status = status,
                 );
-                let _ = write_response(&mut stream, status, &content_type, &body);
+                // A queue-full rejection tells the client *when* to come
+                // back; the built-in client honors it (`request_with_retries`).
+                let extra: &[(&str, &str)] =
+                    if status == 429 { &[("Retry-After", RETRY_AFTER_SECS)] } else { &[] };
+                let _ = write_response_with(&mut stream, status, &content_type, extra, &body);
             }
             Err(e) => {
                 let status = match &e {

@@ -1,0 +1,241 @@
+//! Self-healing under deterministic fault injection — the acceptance
+//! tests for the gd-chaos integration.
+//!
+//! These live in their own test binary (their own process) because a
+//! chaos override is process-global: fault-free tests must never share
+//! a process with an active plan. Within this binary, every test takes
+//! an [`gd_chaos::activate`] or [`gd_chaos::suppress`] guard, which
+//! both scopes its schedule and serializes the tests against each
+//! other.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use gd_campaign::engine::Engine;
+use gd_campaign::error::CampaignError;
+use gd_campaign::http::{request, request_timeout_full, request_with_retries};
+use gd_campaign::service::{Server, ServerConfig};
+use gd_campaign::spec::CampaignSpec;
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gd-chaos-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 3-shard Figure 2 slice — the standard small-but-real campaign.
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::fig2();
+    spec.shards = Some((0, 3));
+    spec
+}
+
+/// Value of a single-series metric in the current Prometheus rendering.
+fn metric_value(name: &str) -> f64 {
+    gd_obs::global()
+        .render_prometheus()
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The tentpole acceptance property: under a schedule whose rates leave
+/// the retry budgets unexhausted, every surviving campaign is
+/// bit-identical to the fault-free result — at any worker count.
+#[test]
+fn surviving_chaos_runs_are_bit_identical_at_every_thread_count() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    // Exec worker panics compound across every nested sweep chunk, so
+    // their rate must be tiny; the shard/store sites can run hot.
+    let plan = gd_chaos::Plan::parse(
+        "1701:engine.shard_panic=0.3,store.torn_write=0.4,store.read_err=0.4,\
+         store.corrupt=0.4,exec.worker_panic=0.002,exec.slow_chunk=0.05",
+    )
+    .unwrap();
+    let store = tmp_store("soak");
+    for (round, threads) in [1u32, 2, 8].into_iter().enumerate() {
+        let mut spec = small_spec();
+        spec.threads = Some(threads);
+        // Each round re-seeds, so the faults land differently; the
+        // persistent store carries checkpoints between rounds, which
+        // exercises the chaos-afflicted *read* paths too.
+        let _chaos = gd_chaos::activate(plan.with_seed(plan.seed() + round as u64));
+        let _ = std::fs::remove_dir_all(store.join("cache"));
+        let result =
+            Engine::with_store(&store).with_shard_attempts(10).run(&spec).expect("run survives");
+        assert_eq!(result.text, baseline.text, "threads={threads}");
+        assert_eq!(result.shards, baseline.shards, "threads={threads}");
+    }
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// A shard that panics on every attempt fails the campaign with a typed
+/// error naming the shard, the attempt count, and the cause — never a
+/// process abort.
+#[test]
+fn exhausted_shard_retries_surface_a_typed_shard_failed_error() {
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("5:engine.shard_panic=1").unwrap());
+    let quarantined_before = metric_value("gd_campaign_shards_quarantined_total");
+    let err = Engine::ephemeral().with_shard_attempts(2).run(&small_spec()).unwrap_err();
+    match &err {
+        CampaignError::ShardFailed { shard, label, attempts, cause } => {
+            assert!(*shard < 3, "a shard of the plan: {shard}");
+            assert!(!label.is_empty());
+            assert_eq!(*attempts, 2, "the configured budget was spent");
+            assert!(cause.starts_with(gd_chaos::PANIC_PREFIX), "{cause}");
+        }
+        other => panic!("expected ShardFailed, got {other:?}"),
+    }
+    assert!(err.retryable(), "an environmental failure invites resubmission");
+    let msg = err.to_string();
+    assert!(msg.contains("after 2 attempts"), "{msg}");
+    assert!(
+        metric_value("gd_campaign_shards_quarantined_total") >= quarantined_before + 2.0,
+        "every panicking attempt is counted"
+    );
+}
+
+/// Worker-level panics (below the per-shard quarantine) abort whole
+/// fan-out passes; when no pass ever completes a shard, the engine
+/// reports FanoutFailed instead of spinning forever.
+#[test]
+fn a_fanout_that_never_progresses_fails_typed_not_forever() {
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("9:exec.worker_panic=1").unwrap());
+    let retries_before = metric_value("gd_campaign_fanout_retries_total");
+    let err = Engine::ephemeral().run(&small_spec()).unwrap_err();
+    match &err {
+        CampaignError::FanoutFailed { attempts, cause } => {
+            assert!(*attempts >= 1);
+            assert!(cause.starts_with(gd_chaos::PANIC_PREFIX), "{cause}");
+        }
+        other => panic!("expected FanoutFailed, got {other:?}"),
+    }
+    assert!(metric_value("gd_campaign_fanout_retries_total") > retries_before);
+}
+
+/// Every store write torn mid-flight: the seal rejects each torn file on
+/// read, the engine recomputes, and the campaign still produces the
+/// fault-free bytes.
+#[test]
+fn universally_torn_store_writes_never_corrupt_results() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    let store = tmp_store("torn-writes");
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("3:store.torn_write=1").unwrap());
+    let failures_before = metric_value("gd_campaign_store_integrity_failures_total");
+    let first = Engine::with_store(&store).run(&small_spec()).unwrap();
+    assert_eq!(first.text, baseline.text);
+    // Everything on disk is torn; a second engine must detect that and
+    // recompute all three shards rather than trust any file.
+    let engine2 = Engine::with_store(&store);
+    let second = engine2.run(&small_spec()).unwrap();
+    assert_eq!(second.text, baseline.text);
+    assert_eq!(engine2.executed(), 3, "no torn file was trusted");
+    assert!(metric_value("gd_campaign_store_integrity_failures_total") > failures_before);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+/// The stuck-shard watchdog flags attempts that outlive the deadline —
+/// any real shard outlives a 1 ms one.
+#[test]
+fn the_watchdog_counts_shards_exceeding_the_deadline() {
+    let _off = gd_chaos::suppress();
+    let stalls_before = metric_value("gd_campaign_watchdog_stalls_total");
+    let mut spec = small_spec();
+    spec.shards = Some((0, 1));
+    Engine::ephemeral().with_watchdog_deadline(Duration::from_millis(1)).run(&spec).unwrap();
+    assert!(
+        metric_value("gd_campaign_watchdog_stalls_total") > stalls_before,
+        "a 1 ms deadline must flag a real shard"
+    );
+}
+
+/// The service reports an exhausted campaign as a 409 whose body names
+/// the shard, the attempts, and the cause — the typed error crosses the
+/// HTTP boundary intact.
+#[test]
+fn the_service_serves_shard_failures_as_409_with_the_full_story() {
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("11:engine.shard_panic=1").unwrap());
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let spec_json = {
+        let mut spec = small_spec();
+        spec.shards = Some((0, 1));
+        spec.to_json().to_string_compact().unwrap()
+    };
+    let (status, body) = request(&addr, "POST", "/campaigns", Some(&spec_json)).unwrap();
+    assert_eq!(status, 202, "{body}");
+    // Five attempts at ~5-80 ms backoff finish well inside this poll.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, body) = request(&addr, "GET", "/campaigns/0", None).unwrap();
+        if body.contains("\"failed\"") {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "campaign never failed: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (status, body) = request(&addr, "GET", "/campaigns/0/results", None).unwrap();
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains("campaign failed"), "{body}");
+    assert!(body.contains("shard 0"), "{body}");
+    assert!(body.contains("after 5 attempts"), "{body}");
+    assert!(body.contains("injected shard panic"), "{body}");
+    server.shutdown().unwrap();
+}
+
+/// Dropped connections and delayed reads on the service side are
+/// absorbed by the retrying client.
+#[test]
+fn the_retrying_client_survives_dropped_connections() {
+    let _chaos = gd_chaos::activate(
+        gd_chaos::Plan::parse("2:http.drop_conn=0.5,http.delay_read=0.5").unwrap(),
+    );
+    let injected_before = metric_value("gd_chaos_injected_total{site=\"http.drop_conn\"}");
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    for _ in 0..4 {
+        let (status, body) =
+            request_with_retries(&addr, "GET", "/metrics", None, 8, Duration::from_secs(5))
+                .expect("retries absorb the drops");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("gd_chaos_injected_total"), "{body}");
+    }
+    assert!(
+        metric_value("gd_chaos_injected_total{site=\"http.drop_conn\"}") > injected_before,
+        "the schedule actually dropped connections"
+    );
+    // Shutdown also rides the retrying client: a drop on the shutdown
+    // request must not leave the server running.
+    let shutdown =
+        request_with_retries(&addr, "POST", "/shutdown", None, 8, Duration::from_secs(5))
+            .expect("shutdown lands despite drops");
+    assert_eq!(shutdown.0, 200);
+    server.join().unwrap();
+}
+
+/// 429 responses carry a Retry-After header (chaos-free, but it shares
+/// the guard-serialized binary since it exercises the same client).
+#[test]
+fn queue_full_rejections_carry_retry_after() {
+    let _off = gd_chaos::suppress();
+    let config = ServerConfig { queue_limit: 0, ..ServerConfig::default() };
+    let server = Server::start(config).unwrap();
+    let addr = server.addr().to_string();
+    let spec_json = small_spec().to_json().to_string_compact().unwrap();
+    // With a zero-length queue every submission is rejected up front.
+    let (status, headers, body) =
+        request_timeout_full(&addr, "POST", "/campaigns", Some(&spec_json), Duration::from_secs(5))
+            .unwrap();
+    assert_eq!(status, 429, "{body}");
+    let retry_after = headers.iter().find(|(k, _)| k == "retry-after");
+    assert_eq!(retry_after.map(|(_, v)| v.as_str()), Some("1"), "{headers:?}");
+    server.shutdown().unwrap();
+}

@@ -99,6 +99,9 @@ fn table1_served_over_http_matches_the_committed_results() {
         "# TYPE gd_campaign_queue_depth gauge",
         "# TYPE gd_exec_chunks_executed_total counter",
         "# TYPE gd_exec_worker_busy_us_total counter",
+        "# TYPE gd_chaos_injected_total counter",
+        "# TYPE gd_campaign_shard_retries histogram",
+        "# TYPE gd_campaign_shards_quarantined_total counter",
     ] {
         assert!(metrics.contains(family), "missing {family:?} in:\n{metrics}");
     }

@@ -198,7 +198,12 @@ where
         let out = items
             .chunks(chunk_size)
             .enumerate()
-            .map(|(i, c)| f(&Chunk { start: i * chunk_size, items: c }))
+            .map(|(i, c)| {
+                // Chaos sites fire on the serial path too; the injected
+                // panic propagates to the caller like any chunk panic.
+                gd_chaos::chunk_started(i);
+                f(&Chunk { start: i * chunk_size, items: c })
+            })
             .collect();
         metrics.chunks.add(n_chunks as u64);
         metrics.busy_us.add(timer.elapsed_us());
@@ -234,7 +239,13 @@ where
                         let start = i * chunk_size;
                         let end = (start + chunk_size).min(items.len());
                         let chunk = Chunk { start, items: &items[start..end] };
-                        match catch_unwind(AssertUnwindSafe(|| f(&chunk))) {
+                        // `gd_chaos::chunk_started` sits inside the
+                        // catch region: an injected worker panic takes
+                        // exactly the path a real `f` panic would.
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            gd_chaos::chunk_started(i);
+                            f(&chunk)
+                        })) {
                             Ok(r) => {
                                 executed += 1;
                                 out.push((i, r));

@@ -1,0 +1,48 @@
+//! Fault-injection behavior of the fan-out (the gd-chaos exec sites).
+//!
+//! These live in their own test binary — and therefore their own
+//! process — because a chaos override is process-global: unit tests
+//! computing fault-free results must never share a process with an
+//! active plan.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use gd_exec::{par_map, par_map_chunks, with_threads};
+
+#[test]
+fn injected_worker_panics_propagate_with_the_chaos_marker() {
+    let _chaos =
+        gd_chaos::activate(gd_chaos::Plan::parse("21:exec.worker_panic=1").expect("valid"));
+    let items: Vec<u32> = (0..64).collect();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(2, || par_map_chunks(&items, 8, |c| c.items.len()))
+    }));
+    let payload = result.expect_err("an injected panic must propagate like a real one");
+    let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+    assert!(msg.starts_with(gd_chaos::PANIC_PREFIX), "marker survives: {msg}");
+    // The serial path injects too (chaos must not hide behind the
+    // worker pool).
+    let serial = catch_unwind(AssertUnwindSafe(|| {
+        with_threads(1, || par_map_chunks(&items, 8, |c| c.items.len()))
+    }));
+    serial.expect_err("serial fan-outs inject as well");
+}
+
+#[test]
+fn injected_slow_chunks_never_change_results() {
+    let _chaos =
+        gd_chaos::activate(gd_chaos::Plan::parse("22:exec.slow_chunk=0.5").expect("valid"));
+    let items: Vec<u64> = (0..257).collect();
+    let out = with_threads(3, || par_map(&items, |&x| x.wrapping_mul(31) ^ 7));
+    let expect: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(31) ^ 7).collect();
+    assert_eq!(out, expect, "scheduling jitter is invisible in the merge");
+}
+
+#[test]
+fn suppression_beats_any_schedule() {
+    let _off = gd_chaos::suppress();
+    let items: Vec<u32> = (0..512).collect();
+    let out = with_threads(4, || par_map(&items, |&x| x + 1));
+    assert_eq!(out.len(), 512);
+    assert_eq!(out[511], 512);
+}
