@@ -23,15 +23,20 @@ pub fn configurations() -> Vec<(&'static str, Defenses)> {
     ]
 }
 
+/// The boot firmware hardened with one configuration, as IR.
+pub fn boot_module(defenses: Defenses) -> gd_ir::Module {
+    let mut m = gd_firmware::boot();
+    harden(&mut m, &Config::new(defenses));
+    m
+}
+
 /// Builds the hardened boot image for one configuration.
 ///
 /// # Panics
 ///
 /// Panics if hardening or lowering fails — the boot firmware is a fixture.
 pub fn boot_image(defenses: Defenses) -> gd_backend::FirmwareImage {
-    let mut m = gd_firmware::boot();
-    harden(&mut m, &Config::new(defenses));
-    compile(&m, "main").expect("boot firmware lowers")
+    compile(&boot_module(defenses), "main").expect("boot firmware lowers")
 }
 
 /// One Table IV row.

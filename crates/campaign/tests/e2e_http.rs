@@ -88,9 +88,25 @@ fn table1_served_over_http_matches_the_committed_results() {
     // counters (registered eagerly, zero without a store), and the
     // executor's chunk counters. scripts/ci.sh relies on this scrape as
     // its metrics-presence gate after the Table I run.
+    // Run the static analyzer in-process first: its findings counters
+    // land in the same global registry the server scrapes, so the lint
+    // family must appear alongside the campaign's own.
+    let mut hardened = gd_firmware::boot();
+    glitch_resistor::harden(
+        &mut hardened,
+        &glitch_resistor::Config::new(glitch_resistor::Defenses::ALL),
+    );
+    let lint_report = gd_lint::LintReport::new(
+        gd_lint::lint_module(&hardened),
+        &gd_lint::Suppressions::default(),
+    );
+    assert!(!lint_report.deny(), "fully hardened boot firmware lints clean");
+    lint_report.record_metrics();
+
     let (status, metrics) = request(&addr, "GET", "/metrics", None).expect("GET /metrics");
     assert_eq!(status, 200);
     for family in [
+        "# TYPE gd_lint_findings_total counter",
         "# TYPE gd_http_requests_total counter",
         "# TYPE gd_campaign_shard_ms histogram",
         "# TYPE gd_campaign_duration_ms histogram",
@@ -116,6 +132,11 @@ fn table1_served_over_http_matches_the_committed_results() {
         .and_then(|v| v.parse().ok())
         .expect("shard histogram has a count sample");
     assert!(shard_count >= 1, "the campaign's shards were observed:\n{metrics}");
+    // One series per catalog lint, all zero on the fully hardened image.
+    for spec in gd_lint::CATALOG.iter().filter(|s| s.id.starts_with("GL01")) {
+        let series = format!("gd_lint_findings_total{{lint=\"{}\"}} 0", spec.id);
+        assert!(metrics.contains(&series), "missing/nonzero {series:?} in:\n{metrics}");
+    }
 
     server.shutdown().expect("clean shutdown");
 }

@@ -48,14 +48,14 @@ pub mod runtime;
 
 pub use config::{Config, Defenses, DelayScope};
 pub use pass::{
-    clone_chain, detect_trampoline, is_runtime_fn, retarget_phis, split_edge, EdgeArm, Pass,
-    Report, DELAY_FN, DETECT_FN, SEED_INIT_FN,
+    clone_chain, detect_trampoline, is_runtime_fn, retarget_phis, run_pass, split_edge, EdgeArm,
+    Pass, PassReport, Report, DELAY_FN, DETECT_FN, SEED_INIT_FN,
 };
 pub use passes::branches::{BranchDuplication, LoopHardening};
 pub use passes::delay::RandomDelay;
 pub use passes::enums::EnumRewriter;
 pub use passes::integrity::{DataIntegrity, INTEGRITY_SUFFIX};
-pub use passes::returns::ReturnCodes;
+pub use passes::returns::{return_code_candidates, ReturnCodes};
 pub use runtime::add_runtime;
 
 use gd_ir::Module;
@@ -69,28 +69,46 @@ use gd_ir::Module;
 /// blocks the other passes introduced, and the runtime itself is hardened
 /// by the redundancy passes.
 pub fn harden(module: &mut Module, config: &Config) -> Report {
-    let mut report = Report::default();
+    harden_with_reports(module, config).0
+}
+
+/// [`harden`], additionally returning the per-pass attribution of the
+/// total counts, in pipeline order. Each pass runs against a fresh
+/// [`Report`]; the total is their [`Report::merge`], so module-level
+/// counts (like `enums_rewritten`) stay attributable even on
+/// multi-function modules. Every pass output is verified in debug builds
+/// (see [`run_pass`]).
+pub fn harden_with_reports(module: &mut Module, config: &Config) -> (Report, Vec<PassReport>) {
+    let mut total = Report::default();
+    let mut passes = Vec::new();
     let d = config.defenses;
     if !d.any() {
-        return report;
+        return (total, passes);
     }
+    let mut run = |pass: &dyn Pass, module: &mut Module| {
+        let pr = run_pass(pass, module, config);
+        total.merge(&pr.counts);
+        passes.push(pr);
+    };
     if d.enums {
-        EnumRewriter.run(module, config, &mut report);
+        run(&EnumRewriter, module);
     }
     if d.returns {
-        ReturnCodes.run(module, config, &mut report);
+        run(&ReturnCodes, module);
     }
     // The runtime goes in before the redundancy passes so they instrument
     // it too (the paper instruments the seed-init code).
     add_runtime(module, config);
+    #[cfg(debug_assertions)]
+    gd_ir::verify_module(module).expect("runtime injection produces valid IR");
     if d.integrity {
-        DataIntegrity.run(module, config, &mut report);
+        run(&DataIntegrity, module);
     }
     if d.branches {
-        BranchDuplication.run(module, config, &mut report);
+        run(&BranchDuplication, module);
     }
     if d.loops {
-        LoopHardening.run(module, config, &mut report);
+        run(&LoopHardening, module);
     }
     if d.delay {
         let entry = module
@@ -101,9 +119,9 @@ pub fn harden(module: &mut Module, config: &Config) -> Report {
             Some("main") => RandomDelay::with_entry("main"),
             _ => RandomDelay::default(),
         };
-        pass.run(module, config, &mut report);
+        run(&pass, module);
     }
-    report
+    (total, passes)
 }
 
 #[cfg(test)]
@@ -181,6 +199,70 @@ halt:
             let mut m = parse_module(FIRMWARE).unwrap();
             harden(&mut m, &Config::new(d));
             verify_module(&m).unwrap_or_else(|e| panic!("{name}: {e}\n{}", print_module(&m)));
+        }
+    }
+
+    #[test]
+    fn per_pass_counts_survive_multi_function_modules() {
+        // FIRMWARE has two functions; module-level work (the enum rewrite)
+        // must be attributed once, not once per function, and the per-pass
+        // breakdown must merge back to exactly the total.
+        let mut m = parse_module(FIRMWARE).unwrap();
+        let (total, passes) = harden_with_reports(&mut m, &Config::new(Defenses::ALL));
+
+        let by_name = |name: &str| {
+            passes
+                .iter()
+                .find(|p| p.pass == name)
+                .unwrap_or_else(|| panic!("pass `{name}` ran"))
+                .counts
+        };
+        assert_eq!(by_name("enum-rewriter").enums_rewritten, 1, "one enum, two functions");
+        assert_eq!(by_name("return-codes").returns_rewritten, 1);
+        assert!(by_name("branch-duplication").branches_instrumented >= 2);
+        assert!(by_name("data-integrity").stores_shadowed >= 1);
+        assert!(by_name("random-delay").delays_injected >= 2);
+
+        // Each counter belongs to exactly one pass: merging the breakdown
+        // reproduces the total, field for field.
+        let mut merged = Report::default();
+        for p in &passes {
+            merged.merge(&p.counts);
+        }
+        assert_eq!(merged, total, "per-pass reports merge back to the total");
+
+        // And no counter leaked into a pass that does not own it.
+        assert_eq!(by_name("enum-rewriter").branches_instrumented, 0);
+        assert_eq!(by_name("branch-duplication").enums_rewritten, 0);
+    }
+
+    #[test]
+    fn passes_annotate_what_they_protected() {
+        let mut m = parse_module(FIRMWARE).unwrap();
+        let (report, _) = harden_with_reports(&mut m, &Config::new(Defenses::ALL));
+        let branch_checks: usize = m.funcs.iter().map(|f| f.guards.branch_checks.len()).sum();
+        let loop_checks: usize = m.funcs.iter().map(|f| f.guards.loop_checks.len()).sum();
+        let shadowed: usize = m.funcs.iter().map(|f| f.guards.shadowed_stores.len()).sum();
+        let checked: usize = m.funcs.iter().map(|f| f.guards.checked_loads.len()).sum();
+        assert_eq!(branch_checks, report.branches_instrumented as usize);
+        assert_eq!(loop_checks, report.loops_instrumented as usize);
+        assert_eq!(shadowed, report.stores_shadowed as usize);
+        assert_eq!(checked, report.loads_checked as usize);
+        // Every annotated site really carries its guard: the check block
+        // re-branches, with the failing arm reaching gr_detected.
+        for f in &m.funcs {
+            for c in f.guards.branch_checks.iter().chain(&f.guards.loop_checks) {
+                assert!(
+                    matches!(f.block(c.site).term, Some(gd_ir::Terminator::CondBr { .. })),
+                    "{}: annotated site keeps its cond-br",
+                    f.name
+                );
+                assert!(
+                    matches!(f.block(c.check).term, Some(gd_ir::Terminator::CondBr { .. })),
+                    "{}: annotated check block re-branches",
+                    f.name
+                );
+            }
         }
     }
 

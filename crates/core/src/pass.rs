@@ -25,16 +25,63 @@ pub struct Report {
 }
 
 impl Report {
-    /// Merges another report's counters into this one.
+    /// Merges another report's counters into this one (saturating — a
+    /// merged report never wraps, however many sub-reports feed it).
     pub fn merge(&mut self, other: &Report) {
-        self.branches_instrumented += other.branches_instrumented;
-        self.loops_instrumented += other.loops_instrumented;
-        self.loads_checked += other.loads_checked;
-        self.stores_shadowed += other.stores_shadowed;
-        self.delays_injected += other.delays_injected;
-        self.returns_rewritten += other.returns_rewritten;
-        self.enums_rewritten += other.enums_rewritten;
+        self.branches_instrumented =
+            self.branches_instrumented.saturating_add(other.branches_instrumented);
+        self.loops_instrumented = self.loops_instrumented.saturating_add(other.loops_instrumented);
+        self.loads_checked = self.loads_checked.saturating_add(other.loads_checked);
+        self.stores_shadowed = self.stores_shadowed.saturating_add(other.stores_shadowed);
+        self.delays_injected = self.delays_injected.saturating_add(other.delays_injected);
+        self.returns_rewritten = self.returns_rewritten.saturating_add(other.returns_rewritten);
+        self.enums_rewritten = self.enums_rewritten.saturating_add(other.enums_rewritten);
     }
+
+    /// Sum of all counters (total instrumentation actions).
+    pub fn total(&self) -> u64 {
+        u64::from(self.branches_instrumented)
+            + u64::from(self.loops_instrumented)
+            + u64::from(self.loads_checked)
+            + u64::from(self.stores_shadowed)
+            + u64::from(self.delays_injected)
+            + u64::from(self.returns_rewritten)
+            + u64::from(self.enums_rewritten)
+    }
+}
+
+/// The counters one pass contributed to a hardening run.
+///
+/// [`crate::harden_with_reports`] runs every pass against a *fresh*
+/// [`Report`] and keeps the per-pass attribution here; the totals are
+/// recovered by [`Report::merge`]. Before this existed, all passes wrote
+/// into one shared report, so module-level counts (e.g.
+/// `enums_rewritten`) could not be told apart from per-function ones
+/// once a multi-function module had been hardened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassReport {
+    /// The pass that produced the counts ([`Pass::name`]).
+    pub pass: &'static str,
+    /// What it instrumented.
+    pub counts: Report,
+}
+
+/// Runs one pass with a fresh report, verifying the module afterwards in
+/// debug builds (a pass that emits invalid IR is a bug caught here, at
+/// the pass boundary, rather than at an arbitrary later consumer).
+///
+/// # Panics
+///
+/// Panics under `debug_assertions` when the pass output fails
+/// [`gd_ir::verify_module`].
+pub fn run_pass(pass: &dyn Pass, module: &mut Module, config: &Config) -> PassReport {
+    let mut counts = Report::default();
+    pass.run(module, config, &mut counts);
+    #[cfg(debug_assertions)]
+    if let Err(e) = gd_ir::verify_module(module) {
+        panic!("pass `{}` produced invalid IR: {e}", pass.name());
+    }
+    PassReport { pass: pass.name(), counts }
 }
 
 /// A module transformation.
@@ -251,5 +298,46 @@ join:
         a.merge(&b);
         assert_eq!(a.branches_instrumented, 3);
         assert_eq!(a.delays_injected, 5);
+    }
+
+    #[test]
+    fn report_merge_saturates_instead_of_wrapping() {
+        let mut a = Report { enums_rewritten: u32::MAX - 1, ..Report::default() };
+        let b = Report { enums_rewritten: 5, ..Report::default() };
+        a.merge(&b);
+        assert_eq!(a.enums_rewritten, u32::MAX);
+    }
+
+    // The auto-verification only fires in debug builds; in release the
+    // broken output would flow through silently, so there is nothing to
+    // assert there.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn broken_pass_output_is_caught_by_run_pass() {
+        use crate::config::Defenses;
+
+        /// A deliberately-broken pass: drops every terminator, leaving
+        /// blocks unterminated (an IR invariant violation).
+        struct ClobberTerminators;
+        impl Pass for ClobberTerminators {
+            fn name(&self) -> &'static str {
+                "clobber-terminators"
+            }
+            fn run(&self, module: &mut Module, _config: &Config, _report: &mut Report) {
+                for f in &mut module.funcs {
+                    for bb in f.block_ids().collect::<Vec<_>>() {
+                        f.block_mut(bb).term = None;
+                    }
+                }
+            }
+        }
+
+        let mut m = parse_module("fn @f() -> void {\nentry:\n  ret void\n}\n").unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_pass(&ClobberTerminators, &mut m, &Config::new(Defenses::NONE))
+        }));
+        let payload = result.expect_err("invalid pass output must panic under debug_assertions");
+        let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("clobber-terminators"), "panic names the pass: {msg}");
     }
 }

@@ -12,8 +12,8 @@
 //! that a glitch wants to force).
 
 use gd_ir::{
-    natural_loops, BlockId, Cfg, DomTree, Function, Instr, Module, Pred, Terminator, Ty, ValueDef,
-    ValueId,
+    natural_loops, BlockId, BranchCheck, Cfg, DomTree, Function, Instr, Module, Pred, Terminator,
+    Ty, ValueDef, ValueId,
 };
 
 use crate::config::Config;
@@ -44,7 +44,10 @@ impl Pass for BranchDuplication {
                 if then_bb == else_bb {
                     continue; // degenerate edge; nothing to protect
                 }
-                instrument_edge(func, bb, cond, then_bb, EdgeArm::Then, Expect::Holds);
+                let (check, detect) =
+                    instrument_edge(func, bb, cond, then_bb, EdgeArm::Then, Expect::Holds);
+                func.guards.branch_checks.push(BranchCheck { site: bb, check });
+                func.guards.guard_blocks.push(detect);
                 report.branches_instrumented += 1;
             }
         }
@@ -81,7 +84,10 @@ impl Pass for LoopHardening {
             edges.sort_by_key(|(bb, _, _)| *bb);
             edges.dedup_by_key(|(bb, _, _)| *bb);
             for (bb, cond, else_bb) in edges {
-                instrument_edge(func, bb, cond, else_bb, EdgeArm::Else, Expect::Fails);
+                let (check, detect) =
+                    instrument_edge(func, bb, cond, else_bb, EdgeArm::Else, Expect::Fails);
+                func.guards.loop_checks.push(BranchCheck { site: bb, check });
+                func.guards.guard_blocks.push(detect);
                 report.loops_instrumented += 1;
             }
         }
@@ -97,7 +103,8 @@ enum Expect {
     Fails,
 }
 
-/// Builds the re-check block on the `from →(arm)→ to` edge.
+/// Builds the re-check block on the `from →(arm)→ to` edge, returning the
+/// check block and its detection trampoline.
 fn instrument_edge(
     func: &mut Function,
     from: BlockId,
@@ -105,7 +112,7 @@ fn instrument_edge(
     to: BlockId,
     arm: EdgeArm,
     expect: Expect,
-) {
+) -> (BlockId, BlockId) {
     // 1. Interpose a check block on the edge.
     let check_bb = split_edge(func, from, to, arm);
 
@@ -141,6 +148,7 @@ fn instrument_edge(
     // `to` gains `detect_bb` as a predecessor; phis that saw `check_bb`
     // must also accept the detect edge with the same values.
     duplicate_phi_edge(func, to, check_bb, detect_bb);
+    (check_bb, detect_bb)
 }
 
 fn push(func: &mut Function, bb: BlockId, instr: Instr, ty: Ty) -> ValueId {

@@ -61,6 +61,9 @@ impl Pass for RandomDelay {
                     Ty::Void,
                 );
                 func.block_mut(bb).instrs.push(call);
+                if !func.guards.delay_blocks.contains(&bb) {
+                    func.guards.delay_blocks.push(bb);
+                }
                 report.delays_injected += 1;
             }
             if Some(func.name.as_str()) == self.entry_function {

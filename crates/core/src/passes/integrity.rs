@@ -73,7 +73,11 @@ impl Pass for DataIntegrity {
                         Instr::Store { ptr, value, .. } => {
                             if let Some(name) = global_of(func, *ptr) {
                                 if let Some(ty) = is_sensitive(&name) {
-                                    sites.push((bb, pos, Site::Store { name, value: *value, ty }));
+                                    sites.push((
+                                        bb,
+                                        pos,
+                                        Site::Store { id, name, value: *value, ty },
+                                    ));
                                 }
                             }
                         }
@@ -85,7 +89,7 @@ impl Pass for DataIntegrity {
             sites.sort_by_key(|(bb, pos, _)| std::cmp::Reverse((*bb, *pos)));
             for (bb, pos, site) in sites {
                 match site {
-                    Site::Store { name, value, ty } => {
+                    Site::Store { id, name, value, ty } => {
                         let shadow = format!("{name}{INTEGRITY_SUFFIX}");
                         let addr = func.create_instr(Instr::GlobalAddr { name: shadow }, Ty::Ptr);
                         let inv = func.create_instr(Instr::Not { arg: value }, ty);
@@ -95,10 +99,13 @@ impl Pass for DataIntegrity {
                         );
                         let instrs = &mut func.block_mut(bb).instrs;
                         instrs.splice(pos + 1..pos + 1, [addr, inv, store]);
+                        func.guards.shadowed_stores.push(id);
                         report.stores_shadowed += 1;
                     }
                     Site::Load { id, name, ty } => {
-                        split_and_check(func, bb, pos, id, &name, ty);
+                        let detect = split_and_check(func, bb, pos, id, &name, ty);
+                        func.guards.checked_loads.push(id);
+                        func.guards.guard_blocks.push(detect);
                         report.loads_checked += 1;
                     }
                 }
@@ -110,7 +117,7 @@ impl Pass for DataIntegrity {
 
 enum Site {
     Load { id: ValueId, name: String, ty: Ty },
-    Store { name: String, value: ValueId, ty: Ty },
+    Store { id: ValueId, name: String, value: ValueId, ty: Ty },
 }
 
 fn global_of(func: &gd_ir::Function, ptr: ValueId) -> Option<String> {
@@ -122,6 +129,7 @@ fn global_of(func: &gd_ir::Function, ptr: ValueId) -> Option<String> {
 
 /// After the load at `(bb, pos)`, loads the shadow, verifies
 /// `v ^ shadow == ¬0`, and branches to a detect trampoline on mismatch.
+/// Returns the trampoline block.
 fn split_and_check(
     func: &mut gd_ir::Function,
     bb: BlockId,
@@ -129,7 +137,7 @@ fn split_and_check(
     loaded: ValueId,
     name: &str,
     ty: Ty,
-) {
+) -> BlockId {
     // Split: everything after the load moves to a continuation block.
     let cont_name = format!("{}.grint{}", func.block(bb).name, func.block_count());
     let cont = func.add_block(&cont_name);
@@ -155,6 +163,7 @@ fn split_and_check(
     block.instrs.extend([addr, sv, xor, ok]);
     let detect = detect_trampoline(func, cont);
     func.block_mut(bb).term = Some(Terminator::CondBr { cond: ok, then_bb: cont, else_bb: detect });
+    detect
 }
 
 #[cfg(test)]

@@ -24,20 +24,7 @@ impl Pass for ReturnCodes {
     }
 
     fn run(&self, module: &mut Module, _config: &Config, report: &mut Report) {
-        let candidates: Vec<String> = module
-            .funcs
-            .iter()
-            .filter(|f| f.ret.is_int() && f.ret.size() == 4)
-            .filter(|f| returns_only_constants(f))
-            .filter(|f| all_uses_are_constant_compares(module, &f.name))
-            .map(|f| f.name.clone())
-            .collect();
-
-        for name in candidates {
-            let consts = distinct_return_constants(module.func(&name).expect("candidate"));
-            if consts.is_empty() {
-                continue;
-            }
+        for (name, consts) in return_code_candidates(module) {
             let codes = diversified_constants(consts.len() as u32);
             let mapping: BTreeMap<i64, i64> =
                 consts.iter().copied().zip(codes.iter().map(|&c| i64::from(c))).collect();
@@ -46,6 +33,23 @@ impl Pass for ReturnCodes {
             report.returns_rewritten += 1;
         }
     }
+}
+
+/// The functions [`ReturnCodes`] would diversify, with their distinct
+/// return constants, in module order. Exposed so static analysis (gd-lint
+/// GL0103) applies the *same* candidate predicate as the transform — the
+/// linter checks the artifact the pass produces, never a parallel
+/// heuristic that could drift.
+pub fn return_code_candidates(module: &Module) -> Vec<(String, Vec<i64>)> {
+    module
+        .funcs
+        .iter()
+        .filter(|f| f.ret.is_int() && f.ret.size() == 4)
+        .filter(|f| returns_only_constants(f))
+        .filter(|f| all_uses_are_constant_compares(module, &f.name))
+        .map(|f| (f.name.clone(), distinct_return_constants(f)))
+        .filter(|(_, consts)| !consts.is_empty())
+        .collect()
 }
 
 fn returns_only_constants(func: &Function) -> bool {

@@ -1,0 +1,215 @@
+//! Static single-bit-flip classification of conditional-branch encodings.
+//!
+//! The dynamic sweeps ([`crate::sweep`]) *execute* every perturbation;
+//! this module applies the same §IV fault model — unidirectional
+//! single-bit flips — to a `B<cond>` encoding **statically**, asking only
+//! what the corrupted halfword *decodes to*. That is exactly what a
+//! static glitch-surface audit needs: for each conditional branch in an
+//! image, how many one-bit faults turn it into its inverse, an
+//! unconditional branch, or a fall-through, without booting an emulator.
+
+use gd_thumb::{decode16, is_32bit_prefix, Cond, Instr};
+
+use crate::sweep::Direction;
+
+/// What a corrupted conditional-branch halfword decodes to, in §IV's
+/// taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlipClass {
+    /// The *inverted* condition with the original offset — the worst
+    /// case: the branch goes the other way on the same comparison.
+    InvertedBranch,
+    /// An unconditional `B` — the branch is always taken (to some
+    /// offset), regardless of the guarding comparison.
+    UnconditionalBranch,
+    /// A non-branch instruction — the guard is effectively skipped and
+    /// execution falls through into the protected region.
+    FallThrough,
+    /// Still a conditional branch, but with an unrelated condition or a
+    /// different offset.
+    OtherConditional,
+    /// Some other control-flow instruction (`BL` half, `BX`, pop-pc…).
+    OtherBranch,
+    /// The first halfword of a 32-bit encoding — behavior depends on the
+    /// following halfword.
+    WidePrefix,
+    /// The pattern does not decode (likely a usage fault on hardware).
+    Undefined,
+}
+
+impl FlipClass {
+    /// Whether this corruption diverts control flow in one of the three
+    /// ways §IV's taxonomy scores against a conditional branch: inverse,
+    /// unconditional, or fall-through.
+    pub fn is_diversion(self) -> bool {
+        matches!(
+            self,
+            FlipClass::InvertedBranch | FlipClass::UnconditionalBranch | FlipClass::FallThrough
+        )
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlipClass::InvertedBranch => "inverted",
+            FlipClass::UnconditionalBranch => "unconditional",
+            FlipClass::FallThrough => "fall-through",
+            FlipClass::OtherConditional => "other-cond",
+            FlipClass::OtherBranch => "other-branch",
+            FlipClass::WidePrefix => "wide-prefix",
+            FlipClass::Undefined => "undefined",
+        }
+    }
+}
+
+/// One unidirectional single-bit flip of a branch encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flip {
+    /// Bit position (0–15).
+    pub bit: u8,
+    /// Flip direction ([`Direction::And`] clears a set bit,
+    /// [`Direction::Or`] sets a clear bit — each bit admits exactly one).
+    pub direction: Direction,
+    /// The corrupted halfword.
+    pub encoding: u16,
+    /// What the corruption decodes to.
+    pub class: FlipClass,
+}
+
+/// The full single-bit flip profile of one `B<cond>` encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BranchFlips {
+    /// The branch's condition.
+    pub cond: Cond,
+    /// The branch's offset.
+    pub offset: i32,
+    /// All 16 unidirectional single-bit flips, in bit order.
+    pub flips: Vec<Flip>,
+}
+
+impl BranchFlips {
+    /// Flips landing in `class`.
+    pub fn count(&self, class: FlipClass) -> usize {
+        self.flips.iter().filter(|f| f.class == class).count()
+    }
+
+    /// Flips that divert control flow (see [`FlipClass::is_diversion`]).
+    pub fn diversions(&self) -> usize {
+        self.flips.iter().filter(|f| f.class.is_diversion()).count()
+    }
+}
+
+/// Computes the single-bit flip profile of `hw`, or `None` when `hw` is
+/// not a conditional branch.
+pub fn branch_flips(hw: u16) -> Option<BranchFlips> {
+    let Ok(Instr::BCond { cond, offset }) = decode16(hw) else {
+        return None;
+    };
+    let flips = (0u8..16)
+        .map(|bit| {
+            let mask = 1u16 << bit;
+            let direction = if hw & mask != 0 { Direction::And } else { Direction::Or };
+            let encoding = direction.apply(hw, mask);
+            Flip { bit, direction, encoding, class: classify(cond, offset, encoding) }
+        })
+        .collect();
+    Some(BranchFlips { cond, offset, flips })
+}
+
+/// Classifies what `encoding` means relative to the original
+/// `B<cond> <offset>`.
+fn classify(cond: Cond, offset: i32, encoding: u16) -> FlipClass {
+    if is_32bit_prefix(encoding) {
+        return FlipClass::WidePrefix;
+    }
+    match decode16(encoding) {
+        Ok(Instr::BCond { cond: c, offset: o }) if c == cond.invert() && o == offset => {
+            FlipClass::InvertedBranch
+        }
+        Ok(Instr::BCond { .. }) => FlipClass::OtherConditional,
+        Ok(Instr::B { .. }) => FlipClass::UnconditionalBranch,
+        Ok(i) if i.is_branch() => FlipClass::OtherBranch,
+        Ok(_) => FlipClass::FallThrough,
+        Err(_) => FlipClass::Undefined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_thumb::asm::assemble;
+
+    fn encoding_of(cond: Cond) -> u16 {
+        let src = format!("target:\nb{cond} target\n");
+        let prog = assemble(&src, 0).unwrap();
+        u16::from_le_bytes([prog.code[0], prog.code[1]])
+    }
+
+    #[test]
+    fn non_branches_have_no_profile() {
+        assert!(branch_flips(0x0000).is_none(), "lsls is not a cond branch");
+        assert!(branch_flips(0xE000).is_none(), "unconditional b is not");
+        assert!(branch_flips(0xBF00).is_none(), "nop is not");
+    }
+
+    #[test]
+    fn every_cond_has_a_single_bit_inverse_flip() {
+        // Cond pairs differ in the low bit of the cond field (bit 8), so
+        // exactly one unidirectional flip yields the inverted branch.
+        for cond in Cond::ALL {
+            let profile = branch_flips(encoding_of(cond)).unwrap();
+            assert_eq!(profile.flips.len(), 16);
+            assert_eq!(
+                profile.count(FlipClass::InvertedBranch),
+                1,
+                "b{cond}: bit 8 flips the polarity"
+            );
+            let inv = profile.flips.iter().find(|f| f.class == FlipClass::InvertedBranch).unwrap();
+            assert_eq!(inv.bit, 8, "b{cond}");
+        }
+    }
+
+    #[test]
+    fn beq_profile_matches_hand_analysis() {
+        let beq = encoding_of(Cond::Eq); // 0xD0xx
+        let profile = branch_flips(beq).unwrap();
+        assert_eq!(profile.cond, Cond::Eq);
+        // Clearing bit 15 (0xD0 → 0x50) lands in the load/store space;
+        // clearing bit 14 (0xD0 → 0x90) likewise — never a branch.
+        for f in &profile.flips {
+            match f.bit {
+                8 => assert_eq!(f.class, FlipClass::InvertedBranch),
+                15 | 14 => assert!(
+                    !matches!(f.class, FlipClass::InvertedBranch | FlipClass::UnconditionalBranch),
+                    "clearing the top bits leaves the branch space: {f:?}"
+                ),
+                _ => {}
+            }
+        }
+        // The And direction is used exactly on the set bits.
+        for f in &profile.flips {
+            let set = beq & (1 << f.bit) != 0;
+            assert_eq!(f.direction == Direction::And, set);
+            assert_ne!(f.encoding, beq, "every flip changes the encoding");
+        }
+    }
+
+    #[test]
+    fn diversions_count_the_three_dangerous_classes() {
+        let profile = branch_flips(encoding_of(Cond::Eq)).unwrap();
+        let by_hand = profile.count(FlipClass::InvertedBranch)
+            + profile.count(FlipClass::UnconditionalBranch)
+            + profile.count(FlipClass::FallThrough);
+        assert_eq!(profile.diversions(), by_hand);
+        assert!(profile.diversions() >= 1, "the inverse flip alone guarantees one");
+    }
+
+    #[test]
+    fn wide_prefix_flips_are_recognized() {
+        // 0xD0xx with bit 13 set becomes 0xF0xx — a 32-bit prefix.
+        let profile = branch_flips(encoding_of(Cond::Eq)).unwrap();
+        let f = profile.flips.iter().find(|f| f.bit == 13).unwrap();
+        assert_eq!(f.direction, Direction::Or);
+        assert_eq!(f.class, FlipClass::WidePrefix);
+    }
+}

@@ -19,11 +19,13 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod classify;
 pub mod ext;
 pub mod harness;
 pub mod masks;
 pub mod sweep;
 
+pub use classify::{branch_flips, BranchFlips, Flip, FlipClass};
 pub use harness::{all_branch_cases, branch_case, flag_setup, TestCase};
 pub use sweep::{
     run_perturbed, sweep_case, sweep_k, sweep_k_serial, Direction, Outcome, SweepResult, Tally,

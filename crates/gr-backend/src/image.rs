@@ -31,6 +31,24 @@ impl SectionSizes {
     }
 }
 
+/// Address range of one routine inside the text section.
+///
+/// `base..code_end` holds instructions; `code_end..end` is the routine's
+/// literal pool (data that must not be decoded as code). Static analyses
+/// scan `base..code_end` and use [`FirmwareImage::symbolize`] to turn
+/// addresses back into `function+offset` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncExtent {
+    /// Routine name (IR function, `_start`, or a `__gr_` helper).
+    pub name: String,
+    /// First instruction address.
+    pub base: u32,
+    /// End of the instruction bytes (start of the literal pool, if any).
+    pub code_end: u32,
+    /// End of the routine including its literal pool.
+    pub end: u32,
+}
+
 /// A linked firmware image ready to load into the emulator.
 #[derive(Debug, Clone)]
 pub struct FirmwareImage {
@@ -46,6 +64,9 @@ pub struct FirmwareImage {
     pub sizes: SectionSizes,
     /// Section of each global.
     pub global_sections: BTreeMap<String, Section>,
+    /// Routine extents in ascending address order (functions, `_start`,
+    /// compiler helpers).
+    pub extents: Vec<FuncExtent>,
 }
 
 impl FirmwareImage {
@@ -57,6 +78,19 @@ impl FirmwareImage {
     /// module being compiled, so a miss is a caller bug.
     pub fn symbol(&self, name: &str) -> u32 {
         *self.symbols.get(name).unwrap_or_else(|| panic!("unknown symbol `{name}`"))
+    }
+
+    /// Resolves a text address to `(routine name, byte offset)`, or `None`
+    /// when `addr` falls outside every routine (alignment padding).
+    pub fn symbolize(&self, addr: u32) -> Option<(&str, u32)> {
+        let idx = self.extents.partition_point(|e| e.base <= addr).checked_sub(1)?;
+        let e = &self.extents[idx];
+        (addr < e.end).then(|| (e.name.as_str(), addr - e.base))
+    }
+
+    /// The extent of a named routine, if it exists.
+    pub fn extent(&self, name: &str) -> Option<&FuncExtent> {
+        self.extents.iter().find(|e| e.name == name)
     }
 
     /// Maps the standard regions and loads the image into `mem`.

@@ -28,6 +28,6 @@ pub mod image;
 pub mod layout;
 mod lower;
 
-pub use image::{FirmwareImage, SectionSizes};
+pub use image::{FirmwareImage, FuncExtent, SectionSizes};
 pub use layout::{Section, GPIO_ODR, STACK_TOP};
 pub use lower::{compile, LowerError};

@@ -13,7 +13,7 @@ use gd_ir::{
 };
 use gd_thumb::{asm, Cond, Instr, Reg, ShiftOp, Width};
 
-use crate::image::{FirmwareImage, SectionSizes};
+use crate::image::{FirmwareImage, FuncExtent, SectionSizes};
 use crate::layout::{section_of, Section, FLASH_BASE, NVM_BASE, SHADOW_BASE, SRAM_BASE};
 
 /// Errors produced while lowering a module.
@@ -135,12 +135,20 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
     // ---- Text: _start stub, functions, helper routines, call patching. ----
     let mut text: Vec<u8> = Vec::new();
     let mut call_fixups: Vec<(usize, String)> = Vec::new();
+    let mut extents: Vec<FuncExtent> = Vec::new();
 
     // _start: bl <entry>; bkpt #0.
     symbols.insert("_start".to_owned(), FLASH_BASE);
     call_fixups.push((0, entry_fn.to_owned()));
     Instr::Bl { offset: 0 }.encode().write_to(&mut text);
     Instr::Bkpt { imm8: 0 }.encode().write_to(&mut text);
+    let start_end = FLASH_BASE + text.len() as u32;
+    extents.push(FuncExtent {
+        name: "_start".to_owned(),
+        base: FLASH_BASE,
+        code_end: start_end,
+        end: start_end,
+    });
 
     let needs_div = module.funcs.iter().any(|f| {
         f.value_ids().any(|v| {
@@ -160,6 +168,12 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
         for (off, callee) in lowered.call_fixups {
             call_fixups.push((fn_start + off, callee));
         }
+        extents.push(FuncExtent {
+            name: func.name.clone(),
+            base,
+            code_end: base + lowered.pool_start as u32,
+            end: base + lowered.code.len() as u32,
+        });
         text.extend_from_slice(&lowered.code);
     }
 
@@ -171,6 +185,20 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
         let helpers = asm::assemble(DIV_HELPERS, base).expect("division helpers assemble");
         for (name, addr) in &helpers.symbols {
             symbols.insert(name.clone(), *addr);
+        }
+        // Only the exported `__gr_` entry points become extents; internal
+        // labels stay inside their owner. The helpers hold no literals.
+        let helpers_end = base + helpers.code.len() as u32;
+        let mut entry_points: Vec<(&String, u32)> = helpers
+            .symbols
+            .iter()
+            .filter(|(n, _)| n.starts_with("__gr_"))
+            .map(|(n, a)| (n, *a))
+            .collect();
+        entry_points.sort_by_key(|&(_, a)| a);
+        for (i, &(name, addr)) in entry_points.iter().enumerate() {
+            let end = entry_points.get(i + 1).map_or(helpers_end, |&(_, a)| a);
+            extents.push(FuncExtent { name: name.clone(), base: addr, code_end: end, end });
         }
         text.extend_from_slice(&helpers.code);
     }
@@ -196,6 +224,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
         entry: FLASH_BASE,
         sizes,
         global_sections,
+        extents,
     })
 }
 
@@ -238,6 +267,8 @@ udm_skip:
 struct FnLowering {
     code: Vec<u8>,
     call_fixups: Vec<(usize, String)>,
+    /// Offset where the literal pool starts (== `code.len()` when empty).
+    pool_start: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -268,8 +299,9 @@ impl FnLowering {
             ctx.lower_block(bb, symbols)?;
         }
         ctx.patch_local_fixups()?;
+        let pool_start = ctx.code.len();
         ctx.emit_literal_pool()?;
-        Ok(FnLowering { code: ctx.code, call_fixups: ctx.call_fixups })
+        Ok(FnLowering { code: ctx.code, call_fixups: ctx.call_fixups, pool_start })
     }
 }
 

@@ -391,3 +391,51 @@ fn missing_entry_is_an_error() {
     let m = parse_module("fn @f() -> void {\nentry:\n  ret void\n}\n").unwrap();
     assert!(matches!(compile(&m, "main"), Err(gd_backend::LowerError::NoEntry { .. })));
 }
+
+#[test]
+fn extents_cover_the_text_section_and_symbolize_resolves() {
+    let src = "
+fn @helper(%a: i32) -> i32 {
+entry:
+  %q = udiv i32 %a, 3
+  %big = add i32 0xD3B9AEC6, %q
+  ret i32 %big
+}
+fn @main() -> i32 {
+entry:
+  %r = call i32 @helper(9)
+  ret i32 %r
+}
+";
+    let m = parse_module(src).unwrap();
+    let image = compile(&m, "main").unwrap();
+
+    // Extents are sorted, non-overlapping, and sit inside .text.
+    let text_end = 0x0800_0000 + image.text.len() as u32;
+    for w in image.extents.windows(2) {
+        assert!(w[0].end <= w[1].base, "{:?} overlaps {:?}", w[0], w[1]);
+    }
+    for e in &image.extents {
+        assert!(e.base <= e.code_end && e.code_end <= e.end, "{e:?}");
+        assert!(e.end <= text_end, "{e:?} outside .text");
+        assert_eq!(e.base, image.symbol(&e.name), "extent base matches symbol");
+    }
+    let names: Vec<&str> = image.extents.iter().map(|e| e.name.as_str()).collect();
+    assert!(names.contains(&"_start"));
+    assert!(names.contains(&"main"));
+    assert!(names.contains(&"helper"));
+    assert!(names.contains(&"__gr_udiv"), "div helper exported: {names:?}");
+    assert!(!names.iter().any(|n| *n == "udiv_go"), "internal labels are not extents");
+
+    // helper uses a wide literal: its pool is non-empty and excluded from code.
+    let helper = image.extent("helper").unwrap();
+    assert!(helper.code_end < helper.end, "literal pool recorded");
+    assert_eq!(helper.end % 4, 0, "pool is word-aligned");
+
+    // symbolize round-trips interior addresses and rejects padding gaps.
+    assert_eq!(image.symbolize(helper.base + 2), Some(("helper", 2)));
+    assert_eq!(image.symbolize(0x0800_0000), Some(("_start", 0)));
+    assert_eq!(image.symbolize(text_end + 4), None, "past the image");
+    let main_ext = image.extent("main").unwrap();
+    assert_eq!(image.symbolize(main_ext.base), Some(("main", 0)));
+}

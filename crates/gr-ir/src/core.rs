@@ -460,6 +460,52 @@ pub struct Block {
     pub term: Option<Terminator>,
 }
 
+/// One branch re-check recorded by a hardening pass: the block whose
+/// conditional branch is protected (`site`) and the interposed block that
+/// re-evaluates the condition in complemented form (`check`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchCheck {
+    /// Block whose conditional branch got the redundant check.
+    pub site: BlockId,
+    /// The interposed re-check block on the protected edge.
+    pub check: BlockId,
+}
+
+/// Guard metadata recorded by instrumentation passes (GlitchResistor's
+/// defenses) describing *what they protected*. Static analyzers read this
+/// instead of reverse-engineering block names, and can cross-check each
+/// entry against the instructions actually present — the annotation says
+/// where a guard claims to be, the IR says whether it really is.
+///
+/// This is in-memory provenance only: it is not part of the text format
+/// and does not survive a print/parse round trip.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GuardInfo {
+    /// Branch-duplication re-checks on taken (then) edges.
+    pub branch_checks: Vec<BranchCheck>,
+    /// Loop-hardening re-checks on loop-exit (else) edges.
+    pub loop_checks: Vec<BranchCheck>,
+    /// Blocks synthesized by hardening passes (re-check and detection
+    /// trampolines). Their terminators are guards, not application
+    /// control flow.
+    pub guard_blocks: Vec<BlockId>,
+    /// Loads of sensitive globals that are integrity-checked.
+    pub checked_loads: Vec<ValueId>,
+    /// Stores to sensitive globals that also update the complement shadow.
+    pub shadowed_stores: Vec<ValueId>,
+    /// Blocks that received a trailing random-delay call.
+    pub delay_blocks: Vec<BlockId>,
+}
+
+impl GuardInfo {
+    /// Whether `bb` was synthesized by a hardening pass.
+    pub fn is_guard_block(&self, bb: BlockId) -> bool {
+        self.guard_blocks.contains(&bb)
+            || self.branch_checks.iter().any(|c| c.check == bb)
+            || self.loop_checks.iter().any(|c| c.check == bb)
+    }
+}
+
 /// A function definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Function {
@@ -469,6 +515,9 @@ pub struct Function {
     pub params: Vec<Ty>,
     /// Return type.
     pub ret: Ty,
+    /// Guard metadata recorded by hardening passes (empty until a pass
+    /// annotates the function).
+    pub guards: GuardInfo,
     values: Vec<(ValueDef, Ty)>,
     blocks: Vec<Block>,
 }
@@ -481,7 +530,14 @@ impl Function {
             .enumerate()
             .map(|(i, ty)| (ValueDef::Param { index: i as u32 }, *ty))
             .collect();
-        Function { name: name.to_owned(), params, ret, values, blocks: Vec::new() }
+        Function {
+            name: name.to_owned(),
+            params,
+            ret,
+            guards: GuardInfo::default(),
+            values,
+            blocks: Vec::new(),
+        }
     }
 
     /// The value for parameter `index`.

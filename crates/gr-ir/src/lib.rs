@@ -32,8 +32,8 @@ mod verify;
 pub use analysis::{natural_loops, Cfg, DomTree, NaturalLoop};
 pub use builder::Builder;
 pub use core::{
-    BinOp, Block, BlockId, EnumDef, EnumRef, ExternDecl, Function, Global, Instr, Module, Pred,
-    Terminator, Ty, ValueDef, ValueId,
+    BinOp, Block, BlockId, BranchCheck, EnumDef, EnumRef, ExternDecl, Function, Global, GuardInfo,
+    Instr, Module, Pred, Terminator, Ty, ValueDef, ValueId,
 };
 pub use interp::{ExternHandler, InterpError, Interpreter, RtVal};
 pub use parse::{parse_module, ParseError};

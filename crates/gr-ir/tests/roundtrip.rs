@@ -1,0 +1,152 @@
+//! Property test: the text format round-trips. For generated modules,
+//! `parse(print(m))` verifies and prints back byte-identically — the
+//! parser and printer agree on every construct the builder can emit.
+
+use gd_exec::check::{cases, Rng};
+use gd_ir::{
+    parse_module, print_module, verify_module, BinOp, Builder, EnumDef, Function, Global, Module,
+    Pred, Ty,
+};
+
+const BIN_OPS: &[BinOp] = &[BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And, BinOp::Or];
+const PREDS: &[Pred] = &[Pred::Eq, Pred::Ne, Pred::Ult, Pred::Sge];
+
+/// Appends `count` straight-line instructions, returning the i32 values
+/// produced so far (params included).
+fn gen_straightline(b: &mut Builder<'_>, pool: &mut Vec<gd_ir::ValueId>, rng: &mut Rng) {
+    for _ in 0..rng.usize(1, 4) {
+        match rng.usize(0, 4) {
+            0 => {
+                let v = b.const_i32(rng.i64() as i32 as i64);
+                pool.push(v);
+            }
+            1 if pool.len() >= 2 => {
+                let (x, y) = (*rng.choose(pool), *rng.choose(pool));
+                let v = b.bin(*rng.choose(BIN_OPS), x, y);
+                pool.push(v);
+            }
+            2 => {
+                let slot = b.alloca(Ty::I32);
+                let val = *rng.choose(pool);
+                if rng.bool() {
+                    b.store(slot, val);
+                } else {
+                    b.store_volatile(slot, val);
+                }
+                let v = b.load(slot, Ty::I32);
+                pool.push(v);
+            }
+            _ => {
+                let v = b.const_i32(i64::from(rng.u8()));
+                pool.push(v);
+            }
+        }
+    }
+}
+
+fn gen_function(index: usize, prior: &[(String, usize)], rng: &mut Rng) -> Function {
+    let n_params = rng.usize(1, 4);
+    let mut func = Function::new(&format!("f{index}"), vec![Ty::I32; n_params], Ty::I32);
+    let entry = func.add_block("entry");
+    let mut pool: Vec<gd_ir::ValueId> = (0..n_params).map(|i| func.param(i)).collect();
+    let mut b = Builder::new(&mut func, entry);
+    gen_straightline(&mut b, &mut pool, rng);
+
+    // Sometimes call an earlier function (keeps the call graph acyclic).
+    if !prior.is_empty() && rng.bool() {
+        let (callee, arity) = rng.choose(prior).clone();
+        let args: Vec<_> = (0..arity).map(|_| *rng.choose(&pool)).collect();
+        let v = b.call(&callee, args, Ty::I32);
+        pool.push(v);
+    }
+
+    match rng.usize(0, 3) {
+        // Straight return.
+        0 => b.ret(Some(*rng.choose(&pool))),
+        // Unconditional branch into a second block.
+        1 => {
+            let next = b.func().add_block("next");
+            b.br(next);
+            b.switch_to(next);
+            gen_straightline(&mut b, &mut pool, rng);
+            b.ret(Some(*rng.choose(&pool)));
+        }
+        // Diamondless conditional: both arms return.
+        _ => {
+            let (x, y) = (*rng.choose(&pool), *rng.choose(&pool));
+            let c = b.icmp(*rng.choose(PREDS), x, y);
+            let yes = b.func().add_block("yes");
+            let no = b.func().add_block("no");
+            b.cond_br(c, yes, no);
+            // Each arm may only use entry-dominated values, so the `no`
+            // arm draws from the pool as it stood at the branch.
+            let at_branch = pool.clone();
+            b.switch_to(yes);
+            gen_straightline(&mut b, &mut pool, rng);
+            b.ret(Some(*rng.choose(&pool)));
+            b.switch_to(no);
+            b.ret(Some(*rng.choose(&at_branch)));
+        }
+    }
+    func
+}
+
+fn gen_module(rng: &mut Rng) -> Module {
+    let mut m = Module::default();
+    for i in 0..rng.usize(0, 3) {
+        let variants = (0..rng.usize(1, 5))
+            .map(|v| (format!("V{v}"), rng.bool().then(|| i64::from(rng.u8()))))
+            .collect();
+        m.enums.push(EnumDef { name: format!("E{i}"), variants });
+    }
+    for i in 0..rng.usize(0, 4) {
+        m.globals.push(Global {
+            name: format!("g{i}"),
+            ty: *rng.choose(&[Ty::I32, Ty::I8]),
+            init: i64::from(rng.u8()),
+            sensitive: rng.bool(),
+        });
+    }
+    let mut prior: Vec<(String, usize)> = Vec::new();
+    for i in 0..rng.usize(1, 4) {
+        let f = gen_function(i, &prior, rng);
+        prior.push((f.name.clone(), f.params.len()));
+        m.funcs.push(f);
+    }
+    m
+}
+
+#[test]
+fn print_parse_roundtrips_generated_modules() {
+    cases(128, "parse(print(m)) round-trips", |rng| {
+        let m = gen_module(rng);
+        verify_module(&m).expect("generated module verifies");
+        let text = print_module(&m);
+        let m2 = parse_module(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        verify_module(&m2).unwrap_or_else(|e| panic!("reparsed verify: {e}\n{text}"));
+
+        // Structure survives.
+        assert_eq!(m2.funcs.len(), m.funcs.len());
+        assert_eq!(m2.enums, m.enums, "enum defs survive verbatim");
+        assert_eq!(m2.globals, m.globals, "globals survive verbatim");
+
+        // Semantics survive: every function computes the same result.
+        // (Value *numbering* may densify — inline constants occupy ids the
+        // printer never names — so the texts are compared one parse later.)
+        for f in &m.funcs {
+            let args: Vec<gd_ir::RtVal> =
+                (0..f.params.len()).map(|i| gd_ir::RtVal::Int(7 * i as i64 + 3)).collect();
+            let run = |module: &Module| {
+                gd_ir::Interpreter::new(module)
+                    .run(&f.name, &args, &mut |_, _| gd_ir::RtVal::Int(0))
+                    .unwrap_or_else(|e| panic!("{}: {e}\n{text}", f.name))
+            };
+            assert_eq!(run(&m), run(&m2), "{} diverges after reparse\n{text}", f.name);
+        }
+
+        // After one normalization the text format is a true fixed point.
+        let text2 = print_module(&m2);
+        let m3 = parse_module(&text2).unwrap_or_else(|e| panic!("{e}\n{text2}"));
+        assert_eq!(print_module(&m3), text2, "parse∘print not idempotent\n{text2}");
+    });
+}

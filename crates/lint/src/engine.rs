@@ -1,0 +1,359 @@
+//! The diagnostics engine: the lint catalog, findings, suppressions, and
+//! the text/JSON renderers.
+//!
+//! Everything here is deliberately deterministic: findings sort into a
+//! total order before rendering, the JSON renderer reuses the campaign
+//! codec's canonical formatting, and lint IDs are stable strings — the
+//! golden report in `results/` must be byte-identical run to run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use gd_campaign::json::Json;
+
+/// How serious a finding is.
+///
+/// Only `Warning` and above trip `--deny`; `Note`s are informational
+/// surface measurements (a conditional branch always *has* a flip
+/// surface, hardened or not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: measured glitch surface, nothing actionable.
+    Note,
+    /// A defense the toolchain could have applied is missing.
+    Warning,
+    /// An inconsistency that indicates a broken hardening pipeline.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A lint's identity: stable ID, default severity, one-line summary.
+#[derive(Debug, Clone, Copy)]
+pub struct LintSpec {
+    /// Stable ID (`GL01xx` = IR missing-defense, `GL02xx` = image surface).
+    pub id: &'static str,
+    /// Default severity of its findings.
+    pub severity: Severity,
+    /// One-line description for `--help` and docs.
+    pub summary: &'static str,
+}
+
+/// Every lint this analyzer knows, in report order.
+pub const CATALOG: &[LintSpec] = &[
+    LintSpec {
+        id: "GL0101",
+        severity: Severity::Warning,
+        summary: "conditional branch without a duplicated complement re-check",
+    },
+    LintSpec {
+        id: "GL0102",
+        severity: Severity::Warning,
+        summary: "loop exit edge without a loop-integrity re-check",
+    },
+    LintSpec {
+        id: "GL0103",
+        severity: Severity::Warning,
+        summary: "constant return codes closer than 8 bits pairwise Hamming distance",
+    },
+    LintSpec {
+        id: "GL0104",
+        severity: Severity::Warning,
+        summary: "trivially glitchable enum constants (0, 1, all-ones, or close pairs)",
+    },
+    LintSpec {
+        id: "GL0105",
+        severity: Severity::Warning,
+        summary: "branching blocks without a trailing random-delay call",
+    },
+    LintSpec {
+        id: "GL0106",
+        severity: Severity::Warning,
+        summary: "store to a sensitive global bypassing the complement shadow",
+    },
+    LintSpec {
+        id: "GL0201",
+        severity: Severity::Note,
+        summary: "single-bit flips that divert a conditional branch (§IV taxonomy)",
+    },
+    LintSpec {
+        id: "GL0202",
+        severity: Severity::Note,
+        summary: "per-function glitch-sensitivity summary",
+    },
+];
+
+/// Looks up a lint in [`CATALOG`].
+pub fn spec(id: &str) -> Option<&'static LintSpec> {
+    CATALOG.iter().find(|s| s.id == id)
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint ID from [`CATALOG`].
+    pub lint: &'static str,
+    /// Severity (normally the lint's default).
+    pub severity: Severity,
+    /// Function (or routine) the finding is about.
+    pub function: String,
+    /// Position within the function: a block label for IR lints, a
+    /// `+0x…` byte offset for image lints, empty for whole-function
+    /// findings.
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Builds a finding with the lint's catalog severity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lint` is not in [`CATALOG`] — lint IDs are
+    /// compile-time constants, so a miss is a bug in the caller.
+    pub fn new(lint: &'static str, function: &str, location: &str, message: String) -> Finding {
+        let spec = spec(lint).unwrap_or_else(|| panic!("unknown lint `{lint}`"));
+        Finding {
+            lint,
+            severity: spec.severity,
+            function: function.to_owned(),
+            location: location.to_owned(),
+            message,
+        }
+    }
+
+    fn sort_key(&self) -> (&'static str, &str, &str, &str) {
+        (self.lint, &self.function, &self.location, &self.message)
+    }
+}
+
+/// Per-function / per-lint suppressions, parsed from `--allow` flags.
+///
+/// Syntax: `--allow GL0105` silences a lint everywhere; `--allow
+/// main:GL0105` silences it in function `main` only.
+#[derive(Debug, Clone, Default)]
+pub struct Suppressions {
+    global: Vec<String>,
+    scoped: Vec<(String, String)>,
+}
+
+impl Suppressions {
+    /// Parses a list of `--allow` arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending argument when a lint ID is unknown (catches
+    /// typos like `GL101`).
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Suppressions, String> {
+        let mut s = Suppressions::default();
+        for arg in args {
+            let arg = arg.as_ref();
+            let (scope, id) = match arg.split_once(':') {
+                Some((f, id)) => (Some(f), id),
+                None => (None, arg),
+            };
+            if spec(id).is_none() {
+                return Err(arg.to_owned());
+            }
+            match scope {
+                Some(f) => s.scoped.push((f.to_owned(), id.to_owned())),
+                None => s.global.push(id.to_owned()),
+            }
+        }
+        Ok(s)
+    }
+
+    /// Whether `finding` is suppressed.
+    pub fn allows(&self, finding: &Finding) -> bool {
+        self.global.iter().any(|id| id == finding.lint)
+            || self.scoped.iter().any(|(f, id)| f == &finding.function && id == finding.lint)
+    }
+}
+
+/// The result of a lint run: findings in a deterministic total order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// Builds a report, applying `suppress` and sorting into report order
+    /// (catalog order, then function, location, message).
+    pub fn new(mut findings: Vec<Finding>, suppress: &Suppressions) -> LintReport {
+        findings.retain(|f| !suppress.allows(f));
+        findings.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        LintReport { findings }
+    }
+
+    /// The findings, in report order.
+    pub fn findings(&self) -> &[Finding] {
+        &self.findings
+    }
+
+    /// Finding count per lint ID, for every catalog lint (zeros included).
+    pub fn counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts: BTreeMap<&'static str, u64> = CATALOG.iter().map(|s| (s.id, 0)).collect();
+        for f in &self.findings {
+            *counts.get_mut(f.lint).expect("catalog lint") += 1;
+        }
+        counts
+    }
+
+    /// Whether `--deny` should fail the run: any warning-or-worse finding.
+    pub fn deny(&self) -> bool {
+        self.findings.iter().any(|f| f.severity >= Severity::Warning)
+    }
+
+    /// Renders the fixed-order text report. `min_detail` controls which
+    /// findings are itemized (counts always cover everything); pass
+    /// [`Severity::Note`] for the full listing.
+    pub fn render_text(&self, min_detail: Severity) -> String {
+        let mut out = String::new();
+        for (id, n) in self.counts() {
+            out.push_str(&format!("{id} {n}\n"));
+        }
+        for f in self.findings.iter().filter(|f| f.severity >= min_detail) {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The report as a [`Json`] value (strict campaign codec).
+    pub fn to_json(&self) -> Json {
+        let counts = self.counts().into_iter().map(|(id, n)| (id, Json::Int(n as i128))).collect();
+        let findings = self
+            .findings
+            .iter()
+            .map(|f| {
+                Json::obj(vec![
+                    ("lint", Json::Str(f.lint.to_owned())),
+                    ("severity", Json::Str(f.severity.label().to_owned())),
+                    ("function", Json::Str(f.function.clone())),
+                    ("location", Json::Str(f.location.clone())),
+                    ("message", Json::Str(f.message.clone())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![("counts", Json::obj(counts)), ("findings", Json::Arr(findings))])
+    }
+
+    /// Renders the strict-JSON report (pretty, stable key order).
+    pub fn render_json(&self) -> String {
+        // Serialization only fails on non-finite numbers; counts are ints.
+        self.to_json().to_string_pretty().expect("finite values serialize")
+    }
+
+    /// Bumps the `gd_lint_findings_total{lint}` counter family — one
+    /// series per catalog lint, so the family is visible even at zero.
+    pub fn record_metrics(&self) {
+        for (id, n) in self.counts() {
+            let c = gd_obs::counter(
+                "gd_lint_findings_total",
+                "Lint findings reported, by lint ID",
+                &[("lint", id)],
+            );
+            c.add(n);
+        }
+    }
+}
+
+impl Finding {
+    /// One fixed-format report line.
+    pub fn render(&self) -> String {
+        let at =
+            if self.location.is_empty() { String::new() } else { format!(" {}", self.location) };
+        format!("{}[{}] @{}{}: {}", self.severity, self.lint, self.function, at, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(lint: &'static str, func: &str, loc: &str) -> Finding {
+        Finding::new(lint, func, loc, format!("{lint} in {func}"))
+    }
+
+    #[test]
+    fn catalog_ids_are_unique_and_ordered() {
+        for w in CATALOG.windows(2) {
+            assert!(w[0].id < w[1].id, "{} before {}", w[0].id, w[1].id);
+        }
+    }
+
+    #[test]
+    fn findings_sort_into_catalog_order() {
+        let report = LintReport::new(
+            vec![f("GL0105", "b", ""), f("GL0101", "z", "entry"), f("GL0101", "a", "entry")],
+            &Suppressions::default(),
+        );
+        let ids: Vec<(&str, &str)> =
+            report.findings().iter().map(|x| (x.lint, x.function.as_str())).collect();
+        assert_eq!(ids, [("GL0101", "a"), ("GL0101", "z"), ("GL0105", "b")]);
+    }
+
+    #[test]
+    fn suppressions_scope_correctly() {
+        let s = Suppressions::parse(&["GL0105", "main:GL0101"]).unwrap();
+        assert!(s.allows(&f("GL0105", "anything", "")));
+        assert!(s.allows(&f("GL0101", "main", "entry")));
+        assert!(!s.allows(&f("GL0101", "other", "entry")));
+        assert!(Suppressions::parse(&["GL9999"]).is_err(), "unknown IDs rejected");
+        assert!(Suppressions::parse(&["main:GL999"]).is_err());
+    }
+
+    #[test]
+    fn deny_triggers_on_warnings_not_notes() {
+        let none = Suppressions::default();
+        assert!(!LintReport::new(vec![f("GL0201", "m", "+0x4")], &none).deny());
+        assert!(LintReport::new(vec![f("GL0101", "m", "entry")], &none).deny());
+        let allow = Suppressions::parse(&["GL0101"]).unwrap();
+        assert!(!LintReport::new(vec![f("GL0101", "m", "entry")], &allow).deny());
+    }
+
+    #[test]
+    fn text_report_counts_all_itemizes_filtered() {
+        let report = LintReport::new(
+            vec![f("GL0101", "m", "entry"), f("GL0201", "m", "+0x4")],
+            &Suppressions::default(),
+        );
+        let text = report.render_text(Severity::Warning);
+        assert!(text.contains("GL0101 1\n"));
+        assert!(text.contains("GL0201 1\n"), "notes still counted: {text}");
+        assert!(text.contains("warning[GL0101] @m entry:"));
+        assert!(!text.contains("note[GL0201]"), "notes not itemized: {text}");
+        let full = report.render_text(Severity::Note);
+        assert!(full.contains("note[GL0201] @m +0x4:"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_the_strict_codec() {
+        let report = LintReport::new(vec![f("GL0103", "status", "")], &Suppressions::default());
+        let text = report.render_json();
+        let parsed = gd_campaign::json::parse(&text).expect("self-produced JSON parses");
+        assert_eq!(
+            parsed.get("counts").and_then(|c| c.get("GL0103")).and_then(Json::as_u64),
+            Some(1)
+        );
+        let arr = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("lint").and_then(Json::as_str), Some("GL0103"));
+    }
+}

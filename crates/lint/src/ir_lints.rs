@@ -1,0 +1,336 @@
+//! IR-level missing-defense lints (`GL01xx`).
+//!
+//! These lints check the **artifact** the GlitchResistor passes produce,
+//! never a parallel heuristic: branch and loop re-checks are read from the
+//! [`gd_ir::GuardInfo`] annotations the passes record, the return-code
+//! candidate set comes from the pass's own exported predicate, and the
+//! delay lint inspects the actual trailing call instruction. On a module
+//! hardened with every defense the whole family reports zero findings;
+//! each disabled defense surfaces as its lint's findings.
+
+use std::collections::BTreeSet;
+
+use gd_ir::{natural_loops, Cfg, DomTree, Function, Instr, Module, Terminator, ValueDef};
+use glitch_resistor::{is_runtime_fn, return_code_candidates, DELAY_FN};
+
+use crate::engine::Finding;
+
+/// Minimum pairwise Hamming distance before constants count as
+/// glitch-distinguishable (the Reed–Solomon encoder guarantees ≥ 8).
+pub const MIN_HAMMING: u32 = 8;
+
+/// Minimum set/clear bit population for a single constant (rules out 0,
+/// 1, 0xFF, all-ones — values one burst glitch can produce).
+pub const MIN_POPCOUNT: u32 = 4;
+
+/// Runs every `GL01xx` lint over `module`.
+pub fn lint_module(module: &Module) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for func in &module.funcs {
+        lint_branches(func, &mut findings);
+        lint_loops(func, &mut findings);
+        lint_delays(func, &mut findings);
+        lint_stores(module, func, &mut findings);
+    }
+    lint_return_codes(module, &mut findings);
+    lint_enums(module, &mut findings);
+    findings
+}
+
+/// GL0101: every application conditional branch must carry a duplicated
+/// complement re-check (recorded by the branch-duplication pass). Blocks
+/// the passes synthesized — re-checks and detection trampolines — are
+/// guards themselves, not application control flow.
+fn lint_branches(func: &Function, findings: &mut Vec<Finding>) {
+    for bb in func.block_ids() {
+        let Some(Terminator::CondBr { then_bb, else_bb, .. }) = func.block(bb).term else {
+            continue;
+        };
+        if then_bb == else_bb || func.guards.is_guard_block(bb) {
+            continue;
+        }
+        if !func.guards.branch_checks.iter().any(|c| c.site == bb) {
+            findings.push(Finding::new(
+                "GL0101",
+                &func.name,
+                &func.block(bb).name,
+                "conditional branch is not duplicated: one glitch flips it undetected".to_owned(),
+            ));
+        }
+    }
+}
+
+/// GL0102: every loop-exit conditional branch must carry a loop-integrity
+/// re-check. The linter recomputes natural loops from the final CFG, so a
+/// pass that *claims* hardening but leaves an exit edge bare is caught.
+fn lint_loops(func: &Function, findings: &mut Vec<Finding>) {
+    let cfg = Cfg::compute(func);
+    let dom = DomTree::compute(func, &cfg);
+    let mut flagged = BTreeSet::new();
+    for lp in natural_loops(func, &cfg, &dom) {
+        for &bb in &lp.body {
+            let Some(Terminator::CondBr { then_bb, else_bb, .. }) = func.block(bb).term else {
+                continue;
+            };
+            let exits = !lp.contains(then_bb) || !lp.contains(else_bb);
+            if !exits || func.guards.is_guard_block(bb) {
+                continue;
+            }
+            if !func.guards.loop_checks.iter().any(|c| c.site == bb) && flagged.insert(bb) {
+                findings.push(Finding::new(
+                    "GL0102",
+                    &func.name,
+                    &func.block(bb).name,
+                    "loop exit edge has no integrity re-check: one glitch escapes the loop"
+                        .to_owned(),
+                ));
+            }
+        }
+    }
+}
+
+/// GL0103: functions the return-code pass would diversify must have
+/// pairwise-distant constants. Reuses the pass's exported candidate
+/// predicate, so linter and transform agree by construction. The runtime's
+/// own helpers are injected after the pass runs and are exempt.
+fn lint_return_codes(module: &Module, findings: &mut Vec<Finding>) {
+    for (name, consts) in return_code_candidates(module) {
+        if is_runtime_fn(&name) {
+            continue;
+        }
+        for i in 0..consts.len() {
+            for j in i + 1..consts.len() {
+                let (a, b) = (consts[i] as u32, consts[j] as u32);
+                let hd = (a ^ b).count_ones();
+                if hd < MIN_HAMMING {
+                    findings.push(Finding::new(
+                        "GL0103",
+                        &name,
+                        "",
+                        format!(
+                            "return codes {a:#x} and {b:#x} are {hd} bit flips apart \
+                             (want ≥ {MIN_HAMMING})"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// GL0104: enum constants a single burst glitch can reach — values with
+/// fewer than [`MIN_POPCOUNT`] set or clear bits (0, 1, 0xFF, …) or pairs
+/// closer than [`MIN_HAMMING`] bit flips.
+fn lint_enums(module: &Module, findings: &mut Vec<Finding>) {
+    for e in &module.enums {
+        let values: Vec<u32> = (0..e.variants.len() as u32).map(|i| e.value_of(i) as u32).collect();
+        let mut weak = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            if v.count_ones() < MIN_POPCOUNT || v.count_zeros() < MIN_POPCOUNT {
+                weak.push(format!("{} = {v:#x}", e.variants[i].0));
+            }
+        }
+        for i in 0..values.len() {
+            for j in i + 1..values.len() {
+                let hd = (values[i] ^ values[j]).count_ones();
+                if hd < MIN_HAMMING {
+                    weak.push(format!(
+                        "{}↔{} only {hd} bit flips apart",
+                        e.variants[i].0, e.variants[j].0
+                    ));
+                }
+            }
+        }
+        if !weak.is_empty() {
+            findings.push(Finding::new(
+                "GL0104",
+                &e.name,
+                "",
+                format!("trivially glitchable enum constants: {}", weak.join(", ")),
+            ));
+        }
+    }
+}
+
+/// GL0105: in a hardened image every branching block ends with a
+/// `gr_delay()` call, so an attacker cannot time a glitch against a fixed
+/// branch offset. This checks the actual trailing instruction, one
+/// finding per function. The runtime itself is exempt (the delay pass
+/// never instruments it — `gr_delay` must not call itself).
+fn lint_delays(func: &Function, findings: &mut Vec<Finding>) {
+    if is_runtime_fn(&func.name) {
+        return;
+    }
+    let mut missing = 0usize;
+    let mut total = 0usize;
+    for bb in func.block_ids() {
+        if !matches!(
+            func.block(bb).term,
+            Some(Terminator::Br { .. }) | Some(Terminator::CondBr { .. })
+        ) {
+            continue;
+        }
+        total += 1;
+        let delayed = func.block(bb).instrs.last().is_some_and(|&last| {
+            matches!(
+                func.value(last),
+                ValueDef::Instr(Instr::Call { callee, .. }) if callee == DELAY_FN
+            )
+        });
+        if !delayed {
+            missing += 1;
+        }
+    }
+    if missing > 0 {
+        findings.push(Finding::new(
+            "GL0105",
+            &func.name,
+            "",
+            format!("{missing} of {total} branching blocks lack a trailing gr_delay() call"),
+        ));
+    }
+}
+
+/// GL0106: every store to a `sensitive` global must be annotated as
+/// shadowed by the data-integrity pass; a bare store lets a glitched
+/// write go undetected at the next checked load.
+fn lint_stores(module: &Module, func: &Function, findings: &mut Vec<Finding>) {
+    for bb in func.block_ids() {
+        for &id in &func.block(bb).instrs {
+            let ValueDef::Instr(Instr::Store { ptr, .. }) = func.value(id) else {
+                continue;
+            };
+            let ValueDef::Instr(Instr::GlobalAddr { name }) = func.value(*ptr) else {
+                continue;
+            };
+            let sensitive = module.globals.iter().any(|g| g.sensitive && &g.name == name);
+            if sensitive && !func.guards.shadowed_stores.contains(&id) {
+                findings.push(Finding::new(
+                    "GL0106",
+                    &func.name,
+                    &func.block(bb).name,
+                    format!("store to sensitive global @{name} bypasses its complement shadow"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_ir::parse_module;
+    use glitch_resistor::{harden, Config, Defenses};
+
+    const SRC: &str = "
+enum Status { FAILURE, SUCCESS }
+global @tick : i32 = 0 sensitive
+
+fn @get_status(%sig: i32) -> i32 {
+entry:
+  %ok = icmp eq i32 %sig, 0x1234
+  br %ok, good, bad
+good:
+  ret i32 1
+bad:
+  ret i32 0
+}
+
+fn @main(%n: i32) -> i32 {
+entry:
+  br loop
+loop:
+  %i = phi i32 [ 0, entry ], [ %i2, loop ]
+  %i2 = add i32 %i, 1
+  %p = globaladdr @tick
+  store i32 %i2, %p
+  %c = icmp ult i32 %i2, %n
+  br %c, loop, done
+done:
+  %r = call i32 @get_status(%n)
+  %ok = icmp eq i32 %r, 1
+  br %ok, yes, no
+yes:
+  ret i32 100
+no:
+  ret i32 200
+}
+";
+
+    fn counts_for(defenses: Defenses) -> std::collections::BTreeMap<&'static str, u64> {
+        let mut m = parse_module(SRC).unwrap();
+        harden(&mut m, &Config::new(defenses));
+        let findings = lint_module(&m);
+        let mut counts = std::collections::BTreeMap::new();
+        for f in &findings {
+            *counts.entry(f.lint).or_insert(0u64) += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn unhardened_module_trips_every_lint() {
+        let counts = counts_for(Defenses::NONE);
+        assert_eq!(counts.get("GL0101"), Some(&3), "{counts:?}");
+        assert_eq!(counts.get("GL0102"), Some(&1), "loop guard: {counts:?}");
+        assert_eq!(counts.get("GL0103"), Some(&1), "get_status 0/1: {counts:?}");
+        assert_eq!(counts.get("GL0104"), Some(&1), "Status enum: {counts:?}");
+        assert_eq!(counts.get("GL0105"), Some(&2), "both functions branch: {counts:?}");
+        assert_eq!(counts.get("GL0106"), Some(&1), "@tick store: {counts:?}");
+    }
+
+    #[test]
+    fn fully_hardened_module_is_clean() {
+        let counts = counts_for(Defenses::ALL);
+        assert!(counts.is_empty(), "all defenses leave nothing to report: {counts:?}");
+    }
+
+    #[test]
+    fn each_defense_silences_exactly_its_lint() {
+        let baseline = counts_for(Defenses::NONE);
+        for (defense, lint) in [
+            (Defenses::LOOPS, "GL0102"),
+            (Defenses::RETURNS, "GL0103"),
+            (Defenses::ENUMS, "GL0104"),
+            (Defenses::INTEGRITY, "GL0106"),
+        ] {
+            let counts = counts_for(defense);
+            assert_eq!(counts.get(lint), None, "{lint} silenced: {counts:?}");
+            for (other, n) in &baseline {
+                if *other != lint && *other != "GL0101" && *other != "GL0105" {
+                    assert_eq!(counts.get(other), Some(n), "{other} unaffected: {counts:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn branch_duplication_silences_gl0101_without_hiding_loops() {
+        let counts = counts_for(Defenses::BRANCHES);
+        assert_eq!(counts.get("GL0101"), None, "{counts:?}");
+        // Loop guards (main's, and the runtime's busy-wait) have their
+        // then-edges re-checked but their exit edges still unprotected.
+        assert!(counts.get("GL0102").is_some_and(|&n| n >= 1), "{counts:?}");
+    }
+
+    #[test]
+    fn delay_alone_silences_gl0105_for_app_code() {
+        let counts = counts_for(Defenses::DELAY);
+        assert_eq!(counts.get("GL0105"), None, "{counts:?}");
+    }
+
+    #[test]
+    fn lints_read_the_artifact_not_the_annotation_alone() {
+        // Strip one annotation from a hardened module: the lint must fire
+        // again, proving it trusts recorded guards only where they exist.
+        let mut m = parse_module(SRC).unwrap();
+        harden(&mut m, &Config::new(Defenses::ALL));
+        let f = m.funcs.iter_mut().find(|f| f.name == "main").unwrap();
+        f.guards.shadowed_stores.clear();
+        let findings = lint_module(&m);
+        assert!(
+            findings.iter().any(|f| f.lint == "GL0106" && f.function == "main"),
+            "cleared annotation resurfaces as a finding"
+        );
+    }
+}

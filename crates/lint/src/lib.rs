@@ -1,0 +1,50 @@
+//! # gd-lint — a glitch-surface static analyzer
+//!
+//! Two lint families over the GlitchResistor toolchain's artifacts:
+//!
+//! - **`GL01xx` (IR)**: missing-defense lints over hardened [`gd_ir`]
+//!   modules. They read the guard annotations the passes record
+//!   ([`gd_ir::GuardInfo`]) and the passes' own candidate predicates, so
+//!   the analyzer and the transforms cannot drift apart. A module
+//!   hardened with every defense lints clean; each disabled defense
+//!   surfaces as findings.
+//! - **`GL02xx` (image)**: glitch-surface measurements over lowered
+//!   [`gd_backend::FirmwareImage`]s — for every conditional branch, the
+//!   sixteen unidirectional single-bit flips of its encoding are
+//!   classified per the paper's §IV taxonomy (inverted / unconditional /
+//!   fall-through), plus a per-routine sensitivity report.
+//!
+//! The engine gives findings stable IDs and a total order, renders fixed
+//! text and strict JSON (the campaign codec), supports per-function
+//! suppressions, and exports `gd_lint_findings_total{lint}` counters.
+//!
+//! ```
+//! use gd_ir::parse_module;
+//! use glitch_resistor::{harden, Config, Defenses};
+//! use gd_lint::{lint_module, LintReport, Suppressions};
+//!
+//! let mut m = parse_module(
+//!     "fn @guard(%a: i32) -> i32 {\n\
+//!      entry:\n  %c = icmp eq i32 %a, 0\n  br %c, ok, no\n\
+//!      ok:\n  ret i32 1\n\
+//!      no:\n  ret i32 0\n}\n",
+//! )?;
+//! let bare = LintReport::new(lint_module(&m), &Suppressions::default());
+//! assert!(bare.deny(), "unhardened branch is flagged");
+//!
+//! harden(&mut m, &Config::new(Defenses::ALL));
+//! let hardened = LintReport::new(lint_module(&m), &Suppressions::default());
+//! assert!(!hardened.deny(), "fully hardened module lints clean");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod engine;
+pub mod image_lints;
+pub mod ir_lints;
+
+pub use engine::{spec, Finding, LintReport, LintSpec, Severity, Suppressions, CATALOG};
+pub use image_lints::{lint_image, FnSensitivity};
+pub use ir_lints::{lint_module, MIN_HAMMING, MIN_POPCOUNT};

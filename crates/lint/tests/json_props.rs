@@ -1,0 +1,61 @@
+//! Property test: whatever findings the engine holds — including
+//! adversarial function names and messages — the JSON renderer's output
+//! re-parses under the strict campaign codec with every field intact.
+
+use gd_campaign::json::{parse, Json};
+use gd_exec::check::{cases, Rng};
+use gd_lint::{Finding, LintReport, Suppressions, CATALOG};
+
+/// Strings that stress the codec's escaping: quotes, backslashes,
+/// control characters, non-ASCII, and the `+0x` location shapes the
+/// image lints emit.
+fn gen_string(rng: &mut Rng) -> String {
+    let pieces: &[&str] = &[
+        "main",
+        "gr_delay",
+        "+0x1c",
+        "done.gr3",
+        "gr.detect7",
+        "a\"b",
+        "tab\there",
+        "new\nline",
+        "back\\slash",
+        "NUL\u{0}",
+        "µ-ctrl",
+        "→",
+        "",
+        "very_long_function_name_with_suffix",
+    ];
+    rng.vec(1, 4, |r| *r.choose(pieces)).concat()
+}
+
+fn gen_finding(rng: &mut Rng) -> Finding {
+    let spec = rng.choose(CATALOG);
+    Finding::new(spec.id, &gen_string(rng), &gen_string(rng), gen_string(rng))
+}
+
+#[test]
+fn rendered_json_reparses_with_every_field_intact() {
+    cases(96, "lint JSON re-parses under the strict codec", |rng| {
+        let findings = rng.vec(0, 12, gen_finding);
+        let report = LintReport::new(findings, &Suppressions::default());
+        let text = report.render_json();
+        let parsed = parse(&text).unwrap_or_else(|e| panic!("codec rejected: {e}\n{text}"));
+
+        // Counts match, for every catalog lint (zeros included).
+        for (id, n) in report.counts() {
+            let got = parsed.get("counts").and_then(|c| c.get(id)).and_then(Json::as_u64);
+            assert_eq!(got, Some(n), "count[{id}]\n{text}");
+        }
+        // Findings survive field-for-field, in order.
+        let arr = parsed.get("findings").and_then(Json::as_arr).expect("findings array");
+        assert_eq!(arr.len(), report.findings().len());
+        for (json, f) in arr.iter().zip(report.findings()) {
+            assert_eq!(json.get("lint").and_then(Json::as_str), Some(f.lint));
+            assert_eq!(json.get("severity").and_then(Json::as_str), Some(f.severity.label()));
+            assert_eq!(json.get("function").and_then(Json::as_str), Some(f.function.as_str()));
+            assert_eq!(json.get("location").and_then(Json::as_str), Some(f.location.as_str()));
+            assert_eq!(json.get("message").and_then(Json::as_str), Some(f.message.as_str()));
+        }
+    });
+}

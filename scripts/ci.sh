@@ -25,11 +25,31 @@ echo "==> table1 --check"
 echo "==> fig2 --check"
 ./target/release/fig2 --check
 
+# Static glitch-surface analysis: the report over all Table IV defense
+# configurations must match the committed golden byte for byte, stay
+# byte-identical across worker counts, and the fully hardened boot image
+# must survive --deny (zero missing-defense findings).
+echo "==> gd-lint --check"
+./target/release/gd-lint --check
+
+echo "==> gd-lint determinism across GD_THREADS=1/2/8"
+GD_THREADS=1 ./target/release/gd-lint > target/lint_boot.t1.txt
+GD_THREADS=2 ./target/release/gd-lint > target/lint_boot.t2.txt
+GD_THREADS=8 ./target/release/gd-lint > target/lint_boot.t8.txt
+cmp target/lint_boot.t1.txt target/lint_boot.t2.txt
+cmp target/lint_boot.t1.txt target/lint_boot.t8.txt
+cmp target/lint_boot.t1.txt results/lint_boot.txt
+rm -f target/lint_boot.t1.txt target/lint_boot.t2.txt target/lint_boot.t8.txt
+
+echo "==> gd-lint --deny on the fully hardened boot image"
+./target/release/gd-lint --deny --config All > /dev/null
+
 # End-to-end smoke test of the campaign service: boot the HTTP server on
 # an ephemeral port, submit Table I, require the bytes served back to
 # equal results/table1.txt exactly, then scrape GET /metrics and assert
 # the gd-obs metric families (http requests by route/status, the
-# per-shard wall-time histogram, the engine cache counters) are present.
+# per-shard wall-time histogram, the engine cache counters, and the
+# linter's gd_lint_findings_total{lint} series) are present.
 echo "==> campaign service e2e (Table I over HTTP + /metrics scrape)"
 cargo test --release --offline -q -p gd-campaign --test e2e_http
 
