@@ -1,0 +1,238 @@
+//! `gd-bench` — the committed benchmark trajectory.
+//!
+//! Measures the hot paths behind Figure 2 (the 2^16-mask perturbation
+//! sweep) and Table I (the glitch parameter scan), on both the
+//! interpreter path and the predecoded fast path, and serializes the
+//! results to `BENCH_fig2.json` / `BENCH_table1.json` at the repo root
+//! (see [`gd_bench::trajectory`] for the schema). Committing each
+//! regeneration gives the repo a performance history next to its output
+//! goldens.
+//!
+//! * `gd-bench` — re-measure and rewrite both files (a new trajectory
+//!   point).
+//! * `gd-bench --check` — re-measure and compare against the committed
+//!   files without touching them: same stage set, fresh medians within
+//!   `GD_BENCH_TOLERANCE` (default 3.0×) of the committed ones, gated
+//!   speedups at their floors. `scripts/ci.sh` runs this with
+//!   `GD_BENCH_SAMPLES=5` as the bench smoke.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gd_bench::glitch_tables::{guard_spec, post_mortem_reg};
+use gd_bench::timing::{fmt_duration, Harness, Measurement};
+use gd_bench::trajectory::{self, Speedup};
+use gd_campaign::json::Json;
+use gd_chipwhisperer::{scan_cell, targets, Device, FaultModel};
+use gd_emu::Config;
+use gd_glitch_emu::masks::ChooseBits;
+use gd_glitch_emu::{
+    all_branch_cases, run_perturbed, sweep_k_serial, Direction, PerturbRunner, Tally,
+};
+
+/// Repo-root path of one trajectory file.
+fn bench_path(artifact: &str) -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join(format!("BENCH_{artifact}.json"))
+}
+
+fn print_measurement(m: &Measurement) {
+    println!(
+        "{:<28} median {:>10}   [min {:>10}, max {:>10}]   ({} samples x {} iters)",
+        m.name,
+        fmt_duration(m.median),
+        fmt_duration(m.min),
+        fmt_duration(m.max),
+        m.samples,
+        m.iters,
+    );
+}
+
+/// Figure 2 hot path: one perturbed trial of the first branch case, and
+/// the exhaustive AND-panel sweep — all 14 cases × 2^16 masks —
+/// interpreter vs predecoded.
+///
+/// Both sweep stages run serially so the ratio measures the fast path
+/// itself (predecode + snapshot replay), not thread scaling; the
+/// parallel `sweep_k` is pinned to the serial one by the differential
+/// tests, so the per-trial win carries over.
+fn bench_fig2(h: &Harness) -> Json {
+    let cases = all_branch_cases();
+    let cfg = Config::default();
+    let direction = Direction::And;
+    let one_case = &cases[0];
+    let one_mask = direction.apply(one_case.target_halfword(), 0x0004);
+
+    let mut stages = Vec::new();
+    stages.push(h.measure("trial/interpreter", || run_perturbed(one_case, one_mask, cfg)));
+    let mut runner = PerturbRunner::new(one_case, cfg);
+    stages.push(h.measure("trial/predecoded", || runner.run(one_mask)));
+    stages.push(h.measure("sweep/interpreter", || {
+        let mut tally = Tally::default();
+        for case in &cases {
+            for k in 0..=16 {
+                tally.merge(&sweep_k_serial(case, direction, k, cfg));
+            }
+        }
+        tally
+    }));
+    stages.push(h.measure("sweep/predecoded", || {
+        // The image builds are inside the closure: a real sweep pays one
+        // per case, so the measured time amortizes them honestly.
+        let mut tally = Tally::default();
+        for case in &cases {
+            let hw = case.target_halfword();
+            let mut runner = PerturbRunner::with_image(case, cfg, case.predecode(cfg));
+            for k in 0..=16 {
+                for mask in ChooseBits::new(16, k) {
+                    tally.record(runner.run(direction.apply(hw, mask as u16)));
+                }
+            }
+        }
+        tally
+    }));
+    for m in &stages {
+        print_measurement(m);
+    }
+    trajectory::doc(
+        "fig2",
+        &stages,
+        &[
+            Speedup {
+                name: "trial",
+                baseline: "trial/interpreter",
+                fast: "trial/predecoded",
+                min_milli: None,
+            },
+            Speedup {
+                name: "sweep",
+                baseline: "sweep/interpreter",
+                fast: "sweep/predecoded",
+                min_milli: Some(5000),
+            },
+        ],
+    )
+}
+
+/// Table I hot path: one full 99×99 scan cell of the first guard at
+/// glitch cycle 0, with device predecoding off vs on. Each in-region
+/// point boots a fresh device, so this also exercises the shared
+/// per-device micro-op table and the cached SRAM power-on image.
+fn bench_table1(h: &Harness) -> Json {
+    let model = FaultModel::default();
+    let (name, src) = targets::table1_guards()[0];
+    let reg = post_mortem_reg(name);
+    let spec = guard_spec();
+    let mut dev_interp = Device::from_asm(src).expect("guard assembles");
+    dev_interp.set_predecode_enabled(false);
+    let dev_fast = Device::from_asm(src).expect("guard assembles");
+
+    let stages = vec![
+        h.measure("scan_cell/interpreter", || {
+            scan_cell(&dev_interp, &model, 0, 0, 1, &spec, Some(reg))
+        }),
+        h.measure("scan_cell/predecoded", || {
+            scan_cell(&dev_fast, &model, 0, 0, 1, &spec, Some(reg))
+        }),
+    ];
+    for m in &stages {
+        print_measurement(m);
+    }
+    trajectory::doc(
+        "table1",
+        &stages,
+        &[Speedup {
+            name: "scan_cell",
+            baseline: "scan_cell/interpreter",
+            fast: "scan_cell/predecoded",
+            min_milli: None,
+        }],
+    )
+}
+
+/// `GD_BENCH_TOLERANCE` (a float multiplier, default 3.0) in milli-units.
+fn tolerance_milli() -> u64 {
+    std::env::var("GD_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|t| t.is_finite() && *t >= 1.0)
+        .map_or(3_000, |t| (t * 1000.0) as u64)
+}
+
+fn check_artifact(artifact: &str, fresh: &Json, tolerance: u64) -> bool {
+    let path = bench_path(artifact);
+    let committed = match std::fs::read_to_string(&path) {
+        Ok(text) => match gd_campaign::json::parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("--check FAILED: {} does not parse: {e:?}", path.display());
+                return false;
+            }
+        },
+        Err(e) => {
+            eprintln!("--check FAILED: cannot read {}: {e}", path.display());
+            return false;
+        }
+    };
+    match trajectory::check(&committed, fresh, tolerance) {
+        Ok(report) => {
+            for line in report {
+                println!("--check {artifact}: {line}");
+            }
+            true
+        }
+        Err(failures) => {
+            for line in failures {
+                eprintln!("--check FAILED {artifact}: {line}");
+            }
+            false
+        }
+    }
+}
+
+fn write_artifact(artifact: &str, doc: &Json) -> bool {
+    let path = bench_path(artifact);
+    let text = match doc.to_string_pretty() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("serializing {artifact}: {e:?}");
+            return false;
+        }
+    };
+    match std::fs::write(&path, text + "\n") {
+        Ok(()) => {
+            println!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("writing {}: {e}", path.display());
+            false
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let check_mode = std::env::args().skip(1).any(|a| a == "--check");
+    let h = Harness::from_env();
+    let docs = [("fig2", bench_fig2(&h)), ("table1", bench_table1(&h))];
+
+    let mut ok = true;
+    if check_mode {
+        let tolerance = tolerance_milli();
+        for (artifact, fresh) in &docs {
+            ok &= check_artifact(artifact, fresh, tolerance);
+        }
+        if ok {
+            println!("--check OK: benchmark trajectory holds");
+        }
+    } else {
+        for (artifact, doc) in &docs {
+            ok &= write_artifact(artifact, doc);
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

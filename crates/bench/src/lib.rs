@@ -31,3 +31,4 @@ pub mod lint;
 pub mod overhead;
 pub mod selfcheck;
 pub mod timing;
+pub mod trajectory;

@@ -11,6 +11,28 @@
 
 use std::time::{Duration, Instant};
 
+/// The sampled result of one benchmark: per-iteration times summarized
+/// as median/min/max over the sample set, plus the sampling plan that
+/// produced them. [`Harness::bench`] prints one; [`Harness::measure`]
+/// returns one for machine-readable consumers (the `gd-bench` binary
+/// serializes these into the committed `BENCH_*.json` trajectory).
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark name as passed to the harness.
+    pub name: String,
+    /// Median per-iteration time across samples (even sample counts
+    /// average the two middle elements).
+    pub median: Duration,
+    /// Fastest sample's per-iteration time.
+    pub min: Duration,
+    /// Slowest sample's per-iteration time.
+    pub max: Duration,
+    /// Number of samples taken.
+    pub samples: usize,
+    /// Iterations per sample (calibrated from the warm-up rate).
+    pub iters: u32,
+}
+
 /// One benchmark runner with a fixed sampling plan.
 #[derive(Debug, Clone)]
 pub struct Harness {
@@ -48,21 +70,43 @@ impl Harness {
     ///
     /// The closure's return value is passed through [`std::hint::black_box`]
     /// so the measured work cannot be optimized away.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
-        // Warm up: fill caches, trigger lazy init, settle the clock.
+    pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) {
+        let m = self.measure(name, f);
+        println!(
+            "{:<40} median {:>10}   [min {:>10}, max {:>10}]   ({} samples x {} iters)",
+            m.name,
+            fmt_duration(m.median),
+            fmt_duration(m.min),
+            fmt_duration(m.max),
+            m.samples,
+            m.iters,
+        );
+    }
+
+    /// Times `f` and returns the summarized [`Measurement`] without
+    /// printing anything.
+    pub fn measure<R>(&self, name: &str, mut f: impl FnMut() -> R) -> Measurement {
+        // Warm up: fill caches, trigger lazy init, settle the clock —
+        // and count the runs, because the warm-up doubles as the
+        // calibration source below. At least one run always happens,
+        // even with a zero warm-up budget.
         let warm_start = Instant::now();
-        while warm_start.elapsed() < self.warmup {
+        let mut warm_runs: u64 = 0;
+        while warm_runs == 0 || warm_start.elapsed() < self.warmup {
             std::hint::black_box(f());
+            warm_runs += 1;
         }
+        let warm_elapsed = warm_start.elapsed().max(Duration::from_nanos(1));
 
-        // Calibrate the per-sample iteration count from one timed run.
-        let once = Instant::now();
-        std::hint::black_box(f());
-        let t1 = once.elapsed().max(Duration::from_nanos(1));
-        let iters =
-            (self.sample_budget.as_nanos() / t1.as_nanos()).clamp(1, u128::from(u32::MAX)) as u32;
+        // Calibrate the per-sample iteration count from the warm-up
+        // loop's aggregate rate: a scheduler hiccup is amortized over
+        // hundreds of runs instead of skewing a single timed run (and
+        // with it every sample).
+        let per_run = (warm_elapsed.as_nanos() / u128::from(warm_runs)).max(1);
+        let iters = (self.sample_budget.as_nanos() / per_run).clamp(1, u128::from(u32::MAX)) as u32;
 
-        let mut per_iter: Vec<Duration> = (0..self.samples)
+        let samples = self.samples.max(1);
+        let mut per_iter: Vec<Duration> = (0..samples)
             .map(|_| {
                 let start = Instant::now();
                 for _ in 0..iters {
@@ -72,16 +116,25 @@ impl Harness {
             })
             .collect();
         per_iter.sort_unstable();
-        let median = per_iter[per_iter.len() / 2];
-        let min = per_iter[0];
-        let max = per_iter[per_iter.len() - 1];
-        println!(
-            "{name:<40} median {:>10}   [min {:>10}, max {:>10}]   ({} samples x {iters} iters)",
-            fmt_duration(median),
-            fmt_duration(min),
-            fmt_duration(max),
-            self.samples,
-        );
+        Measurement {
+            name: name.to_string(),
+            median: median_of(&per_iter),
+            min: per_iter[0],
+            max: per_iter[per_iter.len() - 1],
+            samples,
+            iters,
+        }
+    }
+}
+
+/// Median of an already-sorted, non-empty slice; even lengths average
+/// the two middle elements rather than picking the upper one.
+fn median_of(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
     }
 }
 
@@ -125,5 +178,38 @@ mod tests {
             runs
         });
         assert!(runs > 3, "warm-up + samples actually executed ({runs} runs)");
+    }
+
+    #[test]
+    fn even_sample_median_averages_the_middle_pair() {
+        let sorted: Vec<Duration> = [10u64, 20, 30, 40].map(Duration::from_nanos).into();
+        assert_eq!(median_of(&sorted), Duration::from_nanos(25));
+        assert_eq!(median_of(&sorted[..3]), Duration::from_nanos(20));
+        assert_eq!(median_of(&sorted[..1]), Duration::from_nanos(10));
+    }
+
+    #[test]
+    fn measure_reports_the_sampling_plan() {
+        let h = Harness {
+            samples: 4,
+            sample_budget: Duration::from_micros(200),
+            warmup: Duration::from_micros(200),
+        };
+        let m = h.measure("timing/measure_test", || std::hint::black_box(1u64) + 1);
+        assert_eq!(m.name, "timing/measure_test");
+        assert_eq!(m.samples, 4);
+        assert!(m.iters >= 1);
+        assert!(m.min <= m.median && m.median <= m.max);
+    }
+
+    #[test]
+    fn zero_warmup_still_calibrates() {
+        let h = Harness {
+            samples: 2,
+            sample_budget: Duration::from_micros(50),
+            warmup: Duration::ZERO,
+        };
+        let m = h.measure("timing/zero_warmup", || std::hint::black_box(0u64));
+        assert!(m.iters >= 1);
     }
 }

@@ -1,0 +1,347 @@
+//! Machine-readable benchmark trajectory files (`BENCH_*.json`).
+//!
+//! The `gd-bench` binary serializes [`Measurement`]s into one JSON
+//! document per artifact and commits the result at the repo root; each
+//! regeneration is a new point on the performance trajectory. Times are
+//! **integer nanoseconds** and speedups **integer milli-ratios** (5000 =
+//! 5.00×) so the committed files diff cleanly — no float formatting
+//! drift between toolchains.
+//!
+//! Schema (`"schema": "gd-bench/1"`):
+//!
+//! ```json
+//! {
+//!   "schema": "gd-bench/1",
+//!   "artifact": "fig2",
+//!   "stages": [
+//!     {"name": "...", "median_ns": 0, "min_ns": 0, "max_ns": 0,
+//!      "samples": 0, "iters": 0}
+//!   ],
+//!   "speedups": [
+//!     {"name": "...", "baseline": "<stage>", "fast": "<stage>",
+//!      "ratio_milli": 0, "min_milli": 0}
+//!   ]
+//! }
+//! ```
+//!
+//! `min_milli` is the committed floor for that speedup (omitted when a
+//! pair is informational only); [`check`] enforces it on both the
+//! committed document and, at half strength, on a fresh re-measurement,
+//! so fast-path rot fails CI before it reaches the baseline.
+
+use gd_campaign::json::Json;
+
+use crate::timing::Measurement;
+
+/// Current schema tag.
+pub const SCHEMA: &str = "gd-bench/1";
+
+/// A named speedup between two stages, with an optional committed floor
+/// (milli-ratio) that [`check`] enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct Speedup {
+    /// Label for the pair.
+    pub name: &'static str,
+    /// Stage name of the slow reference.
+    pub baseline: &'static str,
+    /// Stage name of the fast path.
+    pub fast: &'static str,
+    /// Minimum acceptable ratio in milli-units, if gated.
+    pub min_milli: Option<u64>,
+}
+
+/// `baseline / fast` as an integer milli-ratio (5000 = 5.00×).
+pub fn ratio_milli(baseline_ns: u64, fast_ns: u64) -> u64 {
+    let fast = fast_ns.max(1);
+    (u128::from(baseline_ns) * 1000 / u128::from(fast)) as u64
+}
+
+fn stage_json(m: &Measurement) -> Json {
+    Json::obj(vec![
+        ("name", Json::Str(m.name.clone())),
+        ("median_ns", Json::Int(m.median.as_nanos() as i128)),
+        ("min_ns", Json::Int(m.min.as_nanos() as i128)),
+        ("max_ns", Json::Int(m.max.as_nanos() as i128)),
+        ("samples", Json::Int(m.samples as i128)),
+        ("iters", Json::Int(i128::from(m.iters))),
+    ])
+}
+
+/// Builds the document for one artifact from its measurements and
+/// speedup pairs.
+///
+/// # Panics
+///
+/// Panics if a [`Speedup`] names a stage that is not in `stages` — a
+/// bug in the benchmark definition, not in the data.
+pub fn doc(artifact: &str, stages: &[Measurement], speedups: &[Speedup]) -> Json {
+    let find = |name: &str| -> u64 {
+        stages
+            .iter()
+            .find(|m| m.name == name)
+            .unwrap_or_else(|| panic!("speedup references unknown stage {name:?}"))
+            .median
+            .as_nanos() as u64
+    };
+    let speedups_json: Vec<Json> = speedups
+        .iter()
+        .map(|s| {
+            let ratio = ratio_milli(find(s.baseline), find(s.fast));
+            let mut fields = vec![
+                ("name", Json::Str(s.name.to_string())),
+                ("baseline", Json::Str(s.baseline.to_string())),
+                ("fast", Json::Str(s.fast.to_string())),
+                ("ratio_milli", Json::Int(i128::from(ratio))),
+            ];
+            if let Some(min) = s.min_milli {
+                fields.push(("min_milli", Json::Int(i128::from(min))));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    Json::obj(vec![
+        ("schema", Json::Str(SCHEMA.to_string())),
+        ("artifact", Json::Str(artifact.to_string())),
+        ("stages", Json::Arr(stages.iter().map(stage_json).collect())),
+        ("speedups", Json::Arr(speedups_json)),
+    ])
+}
+
+/// `(name, median_ns)` for every stage in a document, in order.
+pub fn stage_medians(doc: &Json) -> Result<Vec<(String, u64)>, String> {
+    let stages = doc
+        .get("stages")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"stages\" array".to_string())?;
+    stages
+        .iter()
+        .map(|s| {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "stage without a \"name\"".to_string())?;
+            let median = s
+                .get("median_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("stage {name:?} without \"median_ns\""))?;
+            Ok((name.to_string(), median))
+        })
+        .collect()
+}
+
+/// `(name, ratio_milli, min_milli)` for every speedup entry, in order.
+pub fn speedup_ratios(doc: &Json) -> Result<Vec<(String, u64, Option<u64>)>, String> {
+    let speedups = doc
+        .get("speedups")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing \"speedups\" array".to_string())?;
+    speedups
+        .iter()
+        .map(|s| {
+            let name = s
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "speedup without a \"name\"".to_string())?;
+            let ratio = s
+                .get("ratio_milli")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("speedup {name:?} without \"ratio_milli\""))?;
+            let min = s.get("min_milli").and_then(Json::as_u64);
+            Ok((name.to_string(), ratio, min))
+        })
+        .collect()
+}
+
+/// Compares a fresh re-measurement against the committed baseline.
+///
+/// Passing means: same schema and artifact, the same stage and speedup
+/// names in the same order, every fresh stage median within
+/// `tolerance_milli`/1000 × the committed median, every gated committed
+/// speedup at or above its floor, and every gated fresh speedup at or
+/// above **half** its floor (re-measurements on a loaded machine get
+/// slack; the committed trajectory does not).
+///
+/// Returns human-readable report lines on success, or the list of
+/// failures.
+pub fn check(
+    committed: &Json,
+    fresh: &Json,
+    tolerance_milli: u64,
+) -> Result<Vec<String>, Vec<String>> {
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+
+    for (doc, which) in [(committed, "committed"), (fresh, "fresh")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SCHEMA) => {}
+            other => failures.push(format!("{which}: schema {other:?}, want {SCHEMA:?}")),
+        }
+    }
+    let artifact = committed.get("artifact").and_then(Json::as_str);
+    if artifact != fresh.get("artifact").and_then(Json::as_str) {
+        failures.push("artifact mismatch between committed and fresh documents".to_string());
+    }
+
+    let base_stages = match stage_medians(committed) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("committed: {e}"));
+            Vec::new()
+        }
+    };
+    let fresh_stages = match stage_medians(fresh) {
+        Ok(s) => s,
+        Err(e) => {
+            failures.push(format!("fresh: {e}"));
+            Vec::new()
+        }
+    };
+    let names = |v: &[(String, u64)]| v.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    if !failures.is_empty() {
+        return Err(failures);
+    }
+    if names(&base_stages) != names(&fresh_stages) {
+        failures.push(format!(
+            "stage set drifted: committed {:?}, fresh {:?}",
+            names(&base_stages),
+            names(&fresh_stages)
+        ));
+        return Err(failures);
+    }
+
+    for ((name, base_ns), (_, fresh_ns)) in base_stages.iter().zip(&fresh_stages) {
+        let limit = u128::from(*base_ns) * u128::from(tolerance_milli) / 1000;
+        if u128::from(*fresh_ns) > limit {
+            failures.push(format!(
+                "{name}: fresh median {fresh_ns} ns exceeds {base_ns} ns × {:.2} tolerance",
+                tolerance_milli as f64 / 1000.0
+            ));
+        } else {
+            report.push(format!(
+                "{name}: fresh median {fresh_ns} ns vs committed {base_ns} ns (within tolerance)"
+            ));
+        }
+    }
+
+    let base_speedups = match speedup_ratios(committed) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("committed: {e}")]),
+    };
+    let fresh_speedups = match speedup_ratios(fresh) {
+        Ok(s) => s,
+        Err(e) => return Err(vec![format!("fresh: {e}")]),
+    };
+    let snames =
+        |v: &[(String, u64, Option<u64>)]| v.iter().map(|(n, _, _)| n.clone()).collect::<Vec<_>>();
+    if snames(&base_speedups) != snames(&fresh_speedups) {
+        failures.push(format!(
+            "speedup set drifted: committed {:?}, fresh {:?}",
+            snames(&base_speedups),
+            snames(&fresh_speedups)
+        ));
+        return Err(failures);
+    }
+    for ((name, base_ratio, min), (_, fresh_ratio, _)) in base_speedups.iter().zip(&fresh_speedups)
+    {
+        if let Some(min) = min {
+            if base_ratio < min {
+                failures.push(format!(
+                    "{name}: committed speedup {base_ratio} milli below floor {min}"
+                ));
+            }
+            if *fresh_ratio < min / 2 {
+                failures.push(format!(
+                    "{name}: fresh speedup {fresh_ratio} milli below half-floor {}",
+                    min / 2
+                ));
+            }
+        }
+        report.push(format!(
+            "{name}: speedup fresh {:.2}x vs committed {:.2}x",
+            *fresh_ratio as f64 / 1000.0,
+            *base_ratio as f64 / 1000.0
+        ));
+    }
+
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    fn m(name: &str, median_ns: u64) -> Measurement {
+        Measurement {
+            name: name.to_string(),
+            median: Duration::from_nanos(median_ns),
+            min: Duration::from_nanos(median_ns / 2),
+            max: Duration::from_nanos(median_ns * 2),
+            samples: 5,
+            iters: 3,
+        }
+    }
+
+    fn sample_doc(slow_ns: u64, fast_ns: u64) -> Json {
+        doc(
+            "fig2",
+            &[m("sweep/interpreter", slow_ns), m("sweep/predecoded", fast_ns)],
+            &[Speedup {
+                name: "sweep",
+                baseline: "sweep/interpreter",
+                fast: "sweep/predecoded",
+                min_milli: Some(5000),
+            }],
+        )
+    }
+
+    #[test]
+    fn doc_round_trips_through_the_codec() {
+        let d = sample_doc(10_000, 1_000);
+        let text = d.to_string_pretty().unwrap();
+        let parsed = gd_campaign::json::parse(&text).unwrap();
+        assert_eq!(stage_medians(&parsed).unwrap()[0], ("sweep/interpreter".to_string(), 10_000));
+        assert_eq!(speedup_ratios(&parsed).unwrap()[0], ("sweep".to_string(), 10_000, Some(5000)));
+    }
+
+    #[test]
+    fn ratio_is_milli_units_and_division_safe() {
+        assert_eq!(ratio_milli(10_000, 1_000), 10_000);
+        assert_eq!(ratio_milli(3_000, 2_000), 1_500);
+        assert_eq!(ratio_milli(5, 0), 5_000, "zero denominator clamps, not panics");
+    }
+
+    #[test]
+    fn check_accepts_identical_documents() {
+        let d = sample_doc(10_000, 1_000);
+        let report = check(&d, &d, 2_000).unwrap();
+        assert!(report.iter().any(|l| l.contains("within tolerance")));
+    }
+
+    #[test]
+    fn check_rejects_median_regressions_beyond_tolerance() {
+        let base = sample_doc(10_000, 1_000);
+        let slow = sample_doc(10_000, 2_500); // fast stage regressed 2.5×
+        let failures = check(&base, &slow, 2_000).unwrap_err();
+        assert!(failures.iter().any(|l| l.contains("sweep/predecoded")), "{failures:?}");
+    }
+
+    #[test]
+    fn check_rejects_a_baseline_below_its_floor() {
+        let base = sample_doc(4_000, 1_000); // only 4× — floor is 5×
+        let failures = check(&base, &base, 2_000).unwrap_err();
+        assert!(failures.iter().any(|l| l.contains("below floor")), "{failures:?}");
+    }
+
+    #[test]
+    fn check_rejects_stage_set_drift() {
+        let base = sample_doc(10_000, 1_000);
+        let other = doc("fig2", &[m("sweep/interpreter", 10_000)], &[]);
+        assert!(check(&base, &other, 2_000).is_err());
+    }
+}

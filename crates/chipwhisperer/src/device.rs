@@ -3,9 +3,10 @@
 //! survives resets (the delay defense's seed lives there).
 
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 use gd_backend::{layout, FirmwareImage};
-use gd_emu::{Emu, Perms};
+use gd_emu::{Emu, Perms, PredecodedImage};
 use gd_pipeline::Pipeline;
 use gd_thumb::asm::{assemble, AsmError};
 
@@ -22,6 +23,12 @@ pub struct Device {
     pub sp: u32,
     /// Symbols (labels / functions / globals).
     pub symbols: BTreeMap<String, u32>,
+    /// Micro-op table for the flash image, built on first boot and shared
+    /// by every subsequent boot (flash contents are identical per boot).
+    predecode: OnceLock<Arc<PredecodedImage>>,
+    /// Whether boots attach the table; disabled for interpreter-path
+    /// baselines in benchmarks.
+    predecode_enabled: bool,
 }
 
 impl Device {
@@ -38,6 +45,8 @@ impl Device {
             entry: layout::FLASH_BASE,
             sp: layout::STACK_TOP,
             symbols: prog.symbols,
+            predecode: OnceLock::new(),
+            predecode_enabled: true,
         })
     }
 
@@ -49,7 +58,18 @@ impl Device {
             entry: image.entry,
             sp: layout::STACK_TOP,
             symbols: image.symbols.clone(),
+            predecode: OnceLock::new(),
+            predecode_enabled: true,
         }
+    }
+
+    /// Enables or disables predecoded dispatch on future boots.
+    ///
+    /// On by default; benchmarks switch it off to time the pure
+    /// interpreter path. The scan results are identical either way (the
+    /// table mirrors live decode), only the speed differs.
+    pub fn set_predecode_enabled(&mut self, enabled: bool) {
+        self.predecode_enabled = enabled;
     }
 
     /// Address of the detection flag, when the firmware has one.
@@ -88,9 +108,7 @@ impl Device {
         // Physical SRAM powers up holding garbage; deterministic noise here
         // so wild loads (corrupted addresses) read realistic junk instead
         // of convenient zeros. Firmware data records overwrite their part.
-        let mut rng = crate::rng::Rng::new(0x5AA5_0FF0);
-        let garbage: Vec<u8> = (0..layout::SRAM_SIZE).map(|_| rng.next_u64() as u8).collect();
-        emu.mem.load(layout::SRAM_BASE, &garbage).expect("sram mapped");
+        emu.mem.load(layout::SRAM_BASE, sram_garbage()).expect("sram mapped");
         emu.mem.load(layout::FLASH_BASE, &self.text).expect("firmware fits flash");
         for (addr, bytes) in &self.data {
             emu.mem.load(*addr, bytes).expect("data fits its region");
@@ -100,7 +118,18 @@ impl Device {
         }
         emu.set_pc(self.entry);
         emu.cpu.set_sp(self.sp);
-        Pipeline::new(emu)
+        let mut pipe = Pipeline::new(emu);
+        if self.predecode_enabled {
+            // Flash bytes (text + flash-resident data records) are the
+            // same every boot, so the table from the first boot serves
+            // all later ones.
+            let image = self.predecode.get_or_init(|| {
+                let flash = pipe.emu.mem.region_at(layout::FLASH_BASE).expect("flash mapped");
+                Arc::new(PredecodedImage::from_region(flash, pipe.emu.cfg))
+            });
+            pipe.set_predecode(Arc::clone(image));
+        }
+        pipe
     }
 
     /// Snapshots the NVM region of a finished run (for the next boot).
@@ -111,6 +140,17 @@ impl Device {
     pub fn snapshot_nvm(pipe: &Pipeline) -> Vec<u8> {
         pipe.emu.mem.peek(layout::NVM_BASE, layout::NVM_SIZE).expect("nvm region mapped")
     }
+}
+
+/// The deterministic SRAM power-on pattern, generated once per process —
+/// every boot reads the same fixed-seed stream, so caching it is
+/// bit-identical to regenerating it.
+fn sram_garbage() -> &'static [u8] {
+    static GARBAGE: OnceLock<Vec<u8>> = OnceLock::new();
+    GARBAGE.get_or_init(|| {
+        let mut rng = crate::rng::Rng::new(0x5AA5_0FF0);
+        (0..layout::SRAM_SIZE).map(|_| rng.next_u64() as u8).collect()
+    })
 }
 
 #[cfg(test)]

@@ -3,15 +3,14 @@
 
 use core::fmt;
 
-use gd_thumb::{
-    decode16, decode32, is_32bit_prefix, AluOp, DecodeError, Instr, Reg, ShiftOp, Width,
-};
+use gd_thumb::{is_32bit_prefix, AluOp, Instr, Reg, ShiftOp, Width};
 
-use crate::mem::{Access, MemFault, Memory};
+use crate::mem::{Access, MemFault, MemSnapshot, Memory};
+use crate::predecode::{classify, PredecodedImage, Slot};
 use crate::Cpu;
 
 /// Emulator configuration knobs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Config {
     /// Treat the all-zeros halfword as an undefined instruction instead of
     /// `LSLS r0, r0, #0`. This models the ISA hardening experiment of the
@@ -210,6 +209,18 @@ pub struct Emu {
     steps: u64,
 }
 
+/// A point-in-time copy of an [`Emu`]'s state, created by
+/// [`Emu::snapshot`] and consumed by [`Emu::restore`].
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    cpu: Cpu,
+    cfg: Config,
+    load_override: Option<LoadOverride>,
+    pc: u32,
+    steps: u64,
+    mem: MemSnapshot,
+}
+
 impl Emu {
     /// A fresh emulator with an empty memory map.
     pub fn new() -> Emu {
@@ -252,27 +263,55 @@ impl Emu {
     /// Decodes the instruction whose first halfword `hw` was fetched from
     /// `addr`, fetching a second halfword if needed.
     ///
+    /// Decode truth lives in [`classify`], shared with
+    /// [`PredecodedImage`] so the cached and live paths cannot drift. The
+    /// two failure modes of a 32-bit encoding stay distinct: a fetch
+    /// fault on the second halfword propagates as [`Fault::Mem`] at
+    /// `addr + 2`, while an undefined 32-bit pattern becomes
+    /// [`Fault::Undefined`] carrying both halfwords.
+    ///
     /// # Errors
     ///
     /// Returns a [`Fault`] for undefined patterns or a fetch fault on the
     /// second halfword.
     pub fn decode(&mut self, addr: u32, hw: u16) -> Result<(Instr, u32), Fault> {
-        if hw == 0 && self.cfg.zero_is_invalid {
-            return Err(Fault::Undefined { addr, hw, hw2: None });
+        let hw2 =
+            if is_32bit_prefix(hw) { Some(self.mem.fetch16(addr.wrapping_add(2))?) } else { None };
+        match classify(hw, hw2, self.cfg) {
+            Slot::Instr { instr, size } => Ok((instr, size)),
+            Slot::Undefined { hw, hw2 } => Err(Fault::Undefined { addr, hw, hw2 }),
+            // classify only defers when a prefix's second halfword is
+            // unknown, and we always fetched it above.
+            Slot::Live => unreachable!("second halfword fetched for 32-bit prefix"),
         }
-        if is_32bit_prefix(hw) {
-            let hw2 = self.mem.fetch16(addr.wrapping_add(2))?;
-            match decode32(hw, hw2) {
-                Ok(i) => Ok((i, 4)),
-                Err(_) => Err(Fault::Undefined { addr, hw, hw2: Some(hw2) }),
-            }
-        } else {
-            match decode16(hw) {
-                Ok(i) => Ok((i, 2)),
-                Err(DecodeError::Undefined16(_)) | Err(_) => {
-                    Err(Fault::Undefined { addr, hw, hw2: None })
-                }
-            }
+    }
+
+    /// Like [`Emu::step`], but dispatching from a predecoded micro-op
+    /// table instead of decoding the fetched halfword.
+    ///
+    /// Addresses outside the image, and slots the image marks
+    /// [`Slot::Live`] (perturbed halfwords, a 32-bit prefix at the image
+    /// edge), fall back to the ordinary fetch/decode path — this is the
+    /// perturbed-address fallback rule the glitch sweeps rely on.
+    ///
+    /// The caller must ensure the image was built from this emulator's
+    /// current memory under the same [`Config`] (perturbed addresses
+    /// excepted, via [`PredecodedImage::invalidate`]); the cached path
+    /// skips the architectural fetch, so stale slots would silently
+    /// diverge from [`Emu::step`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Emu::step`].
+    pub fn step_predecoded(&mut self, image: &PredecodedImage) -> Result<StepOutcome, Fault> {
+        debug_assert_eq!(image.cfg(), self.cfg, "image decoded under a different Config");
+        let addr = self.pc;
+        match image.slot(addr) {
+            Some(Slot::Instr { instr, size }) => self.exec(instr, addr, size),
+            // Live decode reports undefined patterns before `exec` runs,
+            // so the cached arm must not touch the step counter either.
+            Some(Slot::Undefined { hw, hw2 }) => Err(Fault::Undefined { addr, hw, hw2 }),
+            Some(Slot::Live) | None => self.step(),
         }
     }
 
@@ -288,6 +327,58 @@ impl Emu {
             }
         }
         RunOutcome::StepLimit { steps: self.steps }
+    }
+
+    /// [`Emu::run`] over the predecoded dispatch path of
+    /// [`Emu::step_predecoded`].
+    pub fn run_predecoded(&mut self, max_steps: u64, image: &PredecodedImage) -> RunOutcome {
+        for _ in 0..max_steps {
+            match self.step_predecoded(image) {
+                Ok(StepOutcome::Step(_)) => {}
+                Ok(StepOutcome::Stop { reason, addr }) => {
+                    return RunOutcome::Stop { reason, addr, steps: self.steps }
+                }
+                Err(fault) => return RunOutcome::Fault { fault, steps: self.steps },
+            }
+        }
+        RunOutcome::StepLimit { steps: self.steps }
+    }
+
+    /// Captures the full emulator state for later [`Emu::restore`].
+    ///
+    /// Snapshot/restore is the sweep hot loop's alternative to booting a
+    /// fresh emulator per trial: boot once, snapshot, then restore before
+    /// each perturbed run.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cpu: self.cpu.clone(),
+            cfg: self.cfg,
+            load_override: self.load_override,
+            pc: self.pc,
+            steps: self.steps,
+            mem: self.mem.snapshot(),
+        }
+    }
+
+    /// Restores a [`Snapshot`] taken from this emulator.
+    ///
+    /// Register state is always restored; region contents are only copied
+    /// back when the emulated program stored to memory since the snapshot
+    /// (tracked by [`Memory::write_epoch`]). Loader-style writes via
+    /// [`Memory::load`] are deliberately *not* tracked — the sweep loop
+    /// exploits this by re-poking the same target halfword every trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the memory map changed shape since the snapshot (regions
+    /// mapped or unmapped); restore only rolls back contents.
+    pub fn restore(&mut self, snap: &Snapshot) {
+        self.cpu = snap.cpu.clone();
+        self.cfg = snap.cfg;
+        self.load_override = snap.load_override;
+        self.pc = snap.pc;
+        self.steps = snap.steps;
+        self.mem.restore(&snap.mem);
     }
 
     fn read_reg(&self, r: Reg, addr: u32) -> u32 {

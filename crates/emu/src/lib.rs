@@ -42,9 +42,12 @@
 mod cpu;
 mod exec;
 mod mem;
+mod predecode;
 
 pub use cpu::Cpu;
 pub use exec::{
-    add_with_carry, Config, Emu, Fault, LoadOverride, RunOutcome, Step, StepOutcome, StopReason,
+    add_with_carry, Config, Emu, Fault, LoadOverride, RunOutcome, Snapshot, Step, StepOutcome,
+    StopReason,
 };
-pub use mem::{Access, FaultKind, MapError, MemFault, Memory, Perms, Region};
+pub use mem::{Access, FaultKind, MapError, MemFault, MemSnapshot, Memory, Perms, Region};
+pub use predecode::{classify, PredecodedImage, Slot};

@@ -160,6 +160,14 @@ impl std::error::Error for MapError {}
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
     regions: Vec<Region>,
+    write_epoch: u64,
+}
+
+/// A copy of every region's contents, created by [`Memory::snapshot`].
+#[derive(Debug, Clone)]
+pub struct MemSnapshot {
+    data: Vec<Vec<u8>>,
+    write_epoch: u64,
 }
 
 impl Memory {
@@ -220,20 +228,67 @@ impl Memory {
     /// Copies `bytes` into memory at `addr`, ignoring write permissions
     /// (loader-style access).
     ///
+    /// Copies one region-sized chunk at a time rather than scanning the
+    /// region list per byte — firmware loads run once per emulator boot,
+    /// which the sweep engines put on their hot path. Loader writes do
+    /// not advance [`Memory::write_epoch`]; like [`Memory::peek`], this
+    /// is host-side access, not emulated-program activity.
+    ///
     /// # Errors
     ///
-    /// Returns a [`MemFault`] if any byte falls outside mapped memory.
+    /// Returns a [`MemFault`] if any byte falls outside mapped memory;
+    /// bytes before the first unmapped address are already written.
     pub fn load(&mut self, addr: u32, bytes: &[u8]) -> Result<(), MemFault> {
-        for (i, b) in bytes.iter().enumerate() {
-            let a = addr.wrapping_add(i as u32);
+        let mut off = 0usize;
+        while off < bytes.len() {
+            let a = addr.wrapping_add(off as u32);
             let region = self.regions.iter_mut().find(|r| r.contains(a)).ok_or(MemFault {
                 addr: a,
                 access: Access::Write,
                 kind: FaultKind::Unmapped,
             })?;
-            region.data[(a - region.base) as usize] = *b;
+            let start = (a - region.base) as usize;
+            let n = (region.data.len() - start).min(bytes.len() - off);
+            region.data[start..start + n].copy_from_slice(&bytes[off..off + n]);
+            off += n;
         }
         Ok(())
+    }
+
+    /// A counter advanced by every emulated store ([`Memory::write8`] /
+    /// [`Memory::write16`] / [`Memory::write32`]). Loader-style writes
+    /// ([`Memory::load`]) are not counted. [`Memory::restore`] uses it to
+    /// skip copying region contents after store-free runs.
+    pub fn write_epoch(&self) -> u64 {
+        self.write_epoch
+    }
+
+    /// Copies every region's contents for later [`Memory::restore`].
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            data: self.regions.iter().map(|r| r.data.clone()).collect(),
+            write_epoch: self.write_epoch,
+        }
+    }
+
+    /// Rolls region contents back to a snapshot of this memory map.
+    ///
+    /// When no emulated store happened since the snapshot (the write
+    /// epoch is unchanged), the contents are known clean and the copy is
+    /// skipped entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if regions were mapped or resized since the snapshot.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        if self.write_epoch == snap.write_epoch {
+            return;
+        }
+        assert_eq!(self.regions.len(), snap.data.len(), "memory map changed since snapshot");
+        for (region, data) in self.regions.iter_mut().zip(&snap.data) {
+            region.data.copy_from_slice(data);
+        }
+        self.write_epoch = snap.write_epoch;
     }
 
     /// Reads raw bytes, ignoring permissions (debugger-style access).
@@ -322,6 +377,7 @@ impl Memory {
     pub fn write8(&mut self, addr: u32, value: u8) -> Result<(), MemFault> {
         let r = self.access(addr, 1, Access::Write)?;
         r.data[(addr - r.base) as usize] = value;
+        self.write_epoch += 1;
         Ok(())
     }
 
@@ -335,6 +391,7 @@ impl Memory {
         let r = self.access(addr, 2, Access::Write)?;
         let i = (addr - r.base) as usize;
         r.data[i..i + 2].copy_from_slice(&value.to_le_bytes());
+        self.write_epoch += 1;
         Ok(())
     }
 
@@ -348,6 +405,7 @@ impl Memory {
         let r = self.access(addr, 4, Access::Write)?;
         let i = (addr - r.base) as usize;
         r.data[i..i + 4].copy_from_slice(&value.to_le_bytes());
+        self.write_epoch += 1;
         Ok(())
     }
 

@@ -1,0 +1,230 @@
+//! Predecoded micro-op tables: decode every halfword of an image once,
+//! dispatch from the table forever after.
+//!
+//! Exhaustive glitch sweeps execute the same few dozen instructions
+//! millions of times; re-running `decode16`/`decode32` on every step is
+//! the dominant avoidable cost (the bottleneck ARMORY identifies for
+//! exhaustive fault simulation). A [`PredecodedImage`] caches, per
+//! halfword address, either the decoded instruction, the fact that the
+//! pattern is undefined, or a marker that the slot must be decoded live.
+//!
+//! The table mirrors live decode-by-address exactly: each halfword
+//! address gets an *independent* decode, because a glitched control flow
+//! can land in the middle of what was laid out as a 32-bit instruction.
+//! There is deliberately no notion of instruction boundaries.
+//!
+//! The fallback rule: dispatch from the table is only valid while memory
+//! under the image is unchanged. Callers that perturb a halfword (the
+//! sweep's target, a campaign's flip site) must [`PredecodedImage::invalidate`]
+//! that address, which downgrades the affected slots to [`Slot::Live`] so
+//! [`Emu::step_predecoded`](crate::Emu::step_predecoded) decodes them from
+//! memory on every visit.
+
+use gd_thumb::{decode16, decode32, is_32bit_prefix, DecodeError, Instr};
+
+use crate::exec::Config;
+use crate::mem::Region;
+
+/// The predecode of one halfword address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Slot {
+    /// The address decodes to `instr`, `size` bytes long (2 or 4).
+    Instr {
+        /// The decoded instruction.
+        instr: Instr,
+        /// Encoding size in bytes.
+        size: u32,
+    },
+    /// The address holds an undefined pattern; `hw2` carries the second
+    /// halfword for undefined 32-bit encodings.
+    Undefined {
+        /// First (or only) halfword.
+        hw: u16,
+        /// Second halfword for 32-bit patterns.
+        hw2: Option<u16>,
+    },
+    /// Undecidable from the image alone — dispatch must decode live. Used
+    /// for a 32-bit prefix in the image's final halfword (whether the
+    /// second-halfword fetch faults depends on what is mapped after the
+    /// image) and for slots invalidated by a perturbation.
+    Live,
+}
+
+/// Classifies the halfword `hw` under `cfg`, given the following halfword
+/// `hw2` when one exists in the image.
+///
+/// This is the single source of decode truth shared by
+/// [`Emu::decode`](crate::Emu::decode) and [`PredecodedImage`]: both paths
+/// call it, so the table cannot drift from the interpreter.
+///
+/// `hw2` is only consulted when `hw` is a 32-bit prefix; passing `None`
+/// there yields [`Slot::Live`] (the image ends mid-encoding and only a
+/// live fetch can tell a fetch fault from an undefined pattern — the two
+/// cases [`Emu::decode`](crate::Emu::decode) keeps distinct).
+pub fn classify(hw: u16, hw2: Option<u16>, cfg: Config) -> Slot {
+    if hw == 0 && cfg.zero_is_invalid {
+        return Slot::Undefined { hw, hw2: None };
+    }
+    if is_32bit_prefix(hw) {
+        return match hw2 {
+            None => Slot::Live,
+            Some(h2) => match decode32(hw, h2) {
+                Ok(instr) => Slot::Instr { instr, size: 4 },
+                Err(_) => Slot::Undefined { hw, hw2: Some(h2) },
+            },
+        };
+    }
+    match decode16(hw) {
+        Ok(instr) => Slot::Instr { instr, size: 2 },
+        // decode16 reports non-prefix halfwords only as Undefined16; any
+        // other variant here would be a decoder bug.
+        Err(DecodeError::Undefined16(_)) => Slot::Undefined { hw, hw2: None },
+        Err(e) => unreachable!("decode16({hw:#06x}) returned {e:?}"),
+    }
+}
+
+/// A micro-op table covering one contiguous image: one [`Slot`] per
+/// halfword address.
+///
+/// Built once per firmware/snippet, then shared by every trial of a sweep
+/// (clone it per worker; it is plain data). Dispatch through
+/// [`Emu::step_predecoded`](crate::Emu::step_predecoded) is only correct
+/// while the emulator's memory under the image matches the bytes the
+/// table was built from and the emulator runs the same [`Config`] —
+/// perturbed addresses must be [`invalidate`](PredecodedImage::invalidate)d.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PredecodedImage {
+    base: u32,
+    cfg: Config,
+    slots: Vec<Slot>,
+}
+
+impl PredecodedImage {
+    /// Predecodes `bytes` as they would appear at `base` (2-aligned; bit 0
+    /// is ignored). A trailing odd byte is not decodable and is dropped.
+    pub fn from_bytes(base: u32, bytes: &[u8], cfg: Config) -> PredecodedImage {
+        let n = bytes.len() / 2;
+        let hw_at =
+            |i: usize| (i < n).then(|| u16::from_le_bytes([bytes[2 * i], bytes[2 * i + 1]]));
+        let slots = (0..n).map(|i| classify(hw_at(i).expect("i < n"), hw_at(i + 1), cfg)).collect();
+        PredecodedImage { base: base & !1, cfg, slots }
+    }
+
+    /// Predecodes a mapped region's current contents.
+    pub fn from_region(region: &Region, cfg: Config) -> PredecodedImage {
+        PredecodedImage::from_bytes(region.base(), region.data(), cfg)
+    }
+
+    /// First address covered by the table.
+    pub fn base(&self) -> u32 {
+        self.base
+    }
+
+    /// The configuration the table was decoded under.
+    pub fn cfg(&self) -> Config {
+        self.cfg
+    }
+
+    /// Number of halfword slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The slot for `addr`, or `None` when `addr` is odd or outside the
+    /// image (dispatch then falls back to the live path).
+    #[inline]
+    pub fn slot(&self, addr: u32) -> Option<Slot> {
+        if addr & 1 != 0 || addr < self.base {
+            return None;
+        }
+        self.slots.get(((addr - self.base) >> 1) as usize).copied()
+    }
+
+    /// Invalidates every slot whose decode depends on the halfword at
+    /// `addr`: the slot at `addr` itself and the one at `addr - 2`, whose
+    /// cached decode may have consumed `addr`'s halfword as the second
+    /// half of a 32-bit encoding. Both become [`Slot::Live`].
+    pub fn invalidate(&mut self, addr: u32) {
+        let addr = addr & !1;
+        for a in [addr.wrapping_sub(2), addr] {
+            if a >= self.base {
+                let i = ((a - self.base) >> 1) as usize;
+                if let Some(slot) = self.slots.get_mut(i) {
+                    *slot = Slot::Live;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_thumb::Reg;
+
+    const CFG: Config = Config { zero_is_invalid: false };
+
+    #[test]
+    fn caches_both_encoding_sizes() {
+        // movs r0, #1 ; bl <somewhere> (32-bit: 0xF000 0xF800)
+        let bytes = [0x01, 0x20, 0x00, 0xF0, 0x00, 0xF8];
+        let img = PredecodedImage::from_bytes(0x100, &bytes, CFG);
+        assert_eq!(img.len(), 3);
+        assert!(matches!(
+            img.slot(0x100),
+            Some(Slot::Instr { instr: Instr::MovImm { rd: Reg::R0, imm8: 1 }, size: 2 })
+        ));
+        assert!(matches!(img.slot(0x102), Some(Slot::Instr { size: 4, .. })));
+        // The trailing halfword of the bl decodes independently too.
+        assert!(img.slot(0x104).is_some());
+        assert_eq!(img.slot(0x106), None);
+        assert_eq!(img.slot(0x101), None, "odd addresses have no slot");
+        assert_eq!(img.slot(0x0FE), None, "below base");
+    }
+
+    #[test]
+    fn prefix_at_image_end_stays_live() {
+        // A lone 32-bit prefix: the second halfword is out of the image.
+        let bytes = 0xF000u16.to_le_bytes();
+        let img = PredecodedImage::from_bytes(0, &bytes, CFG);
+        assert_eq!(img.slot(0), Some(Slot::Live));
+    }
+
+    #[test]
+    fn zero_halfword_honors_config() {
+        let bytes = [0u8; 2];
+        let img = PredecodedImage::from_bytes(0, &bytes, CFG);
+        assert!(matches!(img.slot(0), Some(Slot::Instr { size: 2, .. })));
+        let img = PredecodedImage::from_bytes(0, &bytes, Config { zero_is_invalid: true });
+        assert_eq!(img.slot(0), Some(Slot::Undefined { hw: 0, hw2: None }));
+    }
+
+    #[test]
+    fn invalidate_downgrades_dependent_slots() {
+        let bytes = [0x01, 0x20, 0x02, 0x20, 0x03, 0x20];
+        let mut img = PredecodedImage::from_bytes(0x100, &bytes, CFG);
+        img.invalidate(0x102);
+        assert_eq!(img.slot(0x100), Some(Slot::Live), "predecessor may embed the halfword");
+        assert_eq!(img.slot(0x102), Some(Slot::Live));
+        assert!(matches!(img.slot(0x104), Some(Slot::Instr { .. })), "successor unaffected");
+    }
+
+    #[test]
+    fn invalidate_at_base_does_not_underflow() {
+        let bytes = [0x01, 0x20];
+        let mut img = PredecodedImage::from_bytes(0, &bytes, CFG);
+        img.invalidate(0);
+        assert_eq!(img.slot(0), Some(Slot::Live));
+    }
+
+    #[test]
+    fn odd_trailing_byte_is_dropped() {
+        let img = PredecodedImage::from_bytes(0, &[0x01, 0x20, 0xFF], CFG);
+        assert_eq!(img.len(), 1);
+    }
+}

@@ -7,7 +7,7 @@
 //! *taken* under normal execution; only a corrupted branch falls through to
 //! the success marker.
 
-use gd_emu::{Config, Emu, Perms};
+use gd_emu::{Config, Emu, Perms, PredecodedImage};
 use gd_thumb::asm::{assemble, Program};
 use gd_thumb::{Cond, Reg};
 
@@ -43,6 +43,19 @@ impl TestCase {
     pub fn target_halfword(&self) -> u16 {
         let off = (self.target_addr - self.program.origin) as usize;
         u16::from_le_bytes([self.program.code[off], self.program.code[off + 1]])
+    }
+
+    /// Predecodes the snippet's whole flash region (original, unperturbed
+    /// bytes) into a micro-op table for the sweep fast path, with the
+    /// targeted instruction already invalidated so every trial decodes
+    /// the perturbed halfword — and its possible 32-bit predecessor —
+    /// live from memory.
+    pub fn predecode(&self, cfg: Config) -> PredecodedImage {
+        let emu = self.instantiate(self.target_halfword(), cfg);
+        let flash = emu.mem.region_at(self.target_addr).expect("target mapped");
+        let mut image = PredecodedImage::from_region(flash, cfg);
+        image.invalidate(self.target_addr);
+        image
     }
 
     /// Builds a fresh emulator with this snippet loaded and `hw` written

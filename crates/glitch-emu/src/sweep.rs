@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use gd_emu::{Config, Fault, RunOutcome, StopReason};
+use gd_emu::{Config, Emu, Fault, PredecodedImage, RunOutcome, Snapshot, StepOutcome, StopReason};
 
 use crate::harness::{TestCase, NORMAL_MARKER, NORMAL_REG, SUCCESS_MARKER, SUCCESS_REG};
 use crate::masks::ChooseBits;
@@ -69,6 +69,20 @@ impl Outcome {
         Outcome::NoEffect,
     ];
 
+    /// Stable index of this outcome in [`Outcome::ALL`] (reporting
+    /// order). Constant-time; the tally hot loop indexes with it instead
+    /// of scanning `ALL`.
+    pub const fn index(self) -> usize {
+        match self {
+            Outcome::Success => 0,
+            Outcome::BadRead => 1,
+            Outcome::InvalidInstruction => 2,
+            Outcome::BadFetch => 3,
+            Outcome::Failed => 4,
+            Outcome::NoEffect => 5,
+        }
+    }
+
     /// The label used in Figure 2.
     pub fn label(self) -> &'static str {
         match self {
@@ -109,14 +123,12 @@ impl Tally {
 
     /// Records one outcome.
     pub fn record(&mut self, outcome: Outcome) {
-        let idx = Outcome::ALL.iter().position(|o| *o == outcome).expect("all covered");
-        self.counts[idx] += 1;
+        self.counts[outcome.index()] += 1;
     }
 
     /// Count for one outcome.
     pub fn count(&self, outcome: Outcome) -> u64 {
-        let idx = Outcome::ALL.iter().position(|o| *o == outcome).expect("all covered");
-        self.counts[idx]
+        self.counts[outcome.index()]
     }
 
     /// Total executions recorded.
@@ -141,11 +153,15 @@ impl Tally {
     }
 }
 
-/// Runs the snippet with `hw` written over the targeted instruction and
-/// classifies the result.
-pub fn run_perturbed(case: &TestCase, hw: u16, cfg: Config) -> Outcome {
-    let mut emu = case.instantiate(hw, cfg);
-    match emu.run(256) {
+/// Step budget per perturbed execution: generous for snippets of a dozen
+/// instructions, small enough to cut stuck loops off quickly.
+const TRIAL_STEPS: u64 = 256;
+
+/// Maps a finished run to its Figure 2 outcome class, reading the marker
+/// registers for clean stops. Shared by the interpreter reference path
+/// and the predecoded fast path so the classification cannot drift.
+fn classify_trial(outcome: RunOutcome, emu: &Emu) -> Outcome {
+    match outcome {
         RunOutcome::Stop { reason: StopReason::Bkpt(_), .. } => {
             let success = emu.cpu.reg(SUCCESS_REG) == SUCCESS_MARKER;
             let normal = emu.cpu.reg(NORMAL_REG) == NORMAL_MARKER;
@@ -170,6 +186,90 @@ pub fn run_perturbed(case: &TestCase, hw: u16, cfg: Config) -> Outcome {
     }
 }
 
+/// Runs the snippet with `hw` written over the targeted instruction and
+/// classifies the result.
+///
+/// This is the interpreter reference: a fresh emulator per trial, live
+/// decode on every step. The sweep engines run [`PerturbRunner`] instead
+/// and the differential tests pin the two paths to each other.
+pub fn run_perturbed(case: &TestCase, hw: u16, cfg: Config) -> Outcome {
+    let mut emu = case.instantiate(hw, cfg);
+    let outcome = emu.run(TRIAL_STEPS);
+    classify_trial(outcome, &emu)
+}
+
+/// The sweep hot path: one booted emulator and one predecoded micro-op
+/// table, replayed for every perturbed halfword of a test case.
+///
+/// The snapshot is taken at the first fetch the perturbation can
+/// influence, not at reset: execution up to the target instruction never
+/// reads the target halfword, so it is identical for every trial and is
+/// paid once at construction instead of 2^16 times. The per-trial step
+/// budget shrinks by the same amount, keeping the total cap — and thus
+/// every step-limit classification — identical to [`run_perturbed`].
+///
+/// Per trial it restores that snapshot (region contents are only copied
+/// back when the previous trial actually stored to memory), pokes the
+/// perturbed halfword over the target, and dispatches from the table —
+/// live decode happens only at the two slots whose meaning the
+/// perturbation can change ([`PredecodedImage::invalidate`]).
+#[derive(Debug)]
+pub struct PerturbRunner {
+    emu: Emu,
+    snap: Snapshot,
+    image: PredecodedImage,
+    target_addr: u32,
+    /// `TRIAL_STEPS` minus the steps already replayed into the snapshot.
+    budget: u64,
+}
+
+impl PerturbRunner {
+    /// Boots `case` once and prepares the snapshot + micro-op table.
+    pub fn new(case: &TestCase, cfg: Config) -> PerturbRunner {
+        PerturbRunner::with_image(case, cfg, case.predecode(cfg))
+    }
+
+    /// Like [`PerturbRunner::new`] with a pre-built (shared) image, as
+    /// produced by [`TestCase::predecode`] — the target address is
+    /// already invalidated there.
+    pub fn with_image(case: &TestCase, cfg: Config, image: PredecodedImage) -> PerturbRunner {
+        let target = case.target_addr;
+        let mut emu = case.instantiate(case.target_halfword(), cfg);
+        // Advance to the target before snapshotting. The stop condition
+        // includes `target - 2`: a 32-bit encoding starting there would
+        // consume the target halfword as its second half, so that fetch
+        // is already perturbable. A stop or fault before the target
+        // (no snippet does this, but the harness accepts arbitrary
+        // programs) falls back to the reset-state snapshot.
+        let mut clean = true;
+        while emu.pc() != target && emu.pc() != target.wrapping_sub(2) && emu.steps() < TRIAL_STEPS
+        {
+            match emu.step() {
+                Ok(StepOutcome::Step(_)) => {}
+                _ => {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if !clean {
+            emu = case.instantiate(case.target_halfword(), cfg);
+        }
+        let budget = TRIAL_STEPS - emu.steps();
+        let snap = emu.snapshot();
+        PerturbRunner { emu, snap, image, target_addr: target, budget }
+    }
+
+    /// Runs one perturbed trial and classifies it. Equivalent to
+    /// [`run_perturbed`] on the same inputs, per the differential tests.
+    pub fn run(&mut self, hw: u16) -> Outcome {
+        self.emu.restore(&self.snap);
+        self.emu.mem.load(self.target_addr, &hw.to_le_bytes()).expect("target mapped");
+        let outcome = self.emu.run_predecoded(self.budget, &self.image);
+        classify_trial(outcome, &self.emu)
+    }
+}
+
 /// Masks per worker chunk in [`sweep_k`]. Each perturbed execution costs
 /// a few microseconds, so chunks of this size amortize dispatch while
 /// still splitting C(16, 8) = 12,870 masks into dozens of work units.
@@ -178,18 +278,33 @@ const MASK_CHUNK: usize = 256;
 /// Sweeps every C(16, k) mask in `direction` over the targeted
 /// instruction, fanning the mask space out across [`gd_exec`] workers.
 ///
-/// Each perturbed execution boots a fresh emulator, so trials are
-/// independent; per-chunk [`Tally`]s are merged in mask order, and since
-/// tally merging is associative the result is identical to the serial
+/// Each worker chunk replays a snapshot through one [`PerturbRunner`]
+/// (predecoded dispatch, no per-trial boot), so trials are independent;
+/// per-chunk [`Tally`]s are merged in mask order, and since tally merging
+/// is associative the result is identical to the serial interpreter
 /// sweep bit for bit (see `parallel_sweep_matches_serial` below).
 pub fn sweep_k(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Tally {
+    sweep_k_with(case, &case.predecode(cfg), direction, k, cfg)
+}
+
+/// [`sweep_k`] with a caller-provided predecoded image, so a full
+/// [`sweep_case`] (and the campaign engine's shards) predecode each test
+/// case exactly once instead of once per k.
+pub fn sweep_k_with(
+    case: &TestCase,
+    image: &PredecodedImage,
+    direction: Direction,
+    k: u32,
+    cfg: Config,
+) -> Tally {
     let hw = case.target_halfword();
     let masks: Vec<u32> = ChooseBits::new(16, k).collect();
     let partials = gd_exec::par_map_chunks(&masks, MASK_CHUNK, |chunk| {
+        let mut runner = PerturbRunner::with_image(case, cfg, image.clone());
         let mut tally = Tally::default();
         for &mask in chunk.items {
             let perturbed = direction.apply(hw, mask as u16);
-            tally.record(run_perturbed(case, perturbed, cfg));
+            tally.record(runner.run(perturbed));
         }
         tally
     });
@@ -200,8 +315,10 @@ pub fn sweep_k(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Ta
     tally
 }
 
-/// The serial reference implementation of [`sweep_k`] — kept for the
-/// differential tests that pin parallel output to it byte for byte.
+/// The serial reference implementation of [`sweep_k`] — a fresh
+/// interpreter-path emulator per trial via [`run_perturbed`], no
+/// predecoding, no snapshots. Kept as the differential oracle that pins
+/// the parallel predecoded output to it byte for byte.
 pub fn sweep_k_serial(case: &TestCase, direction: Direction, k: u32, cfg: Config) -> Tally {
     let hw = case.target_halfword();
     let mut tally = Tally::default();
@@ -237,9 +354,20 @@ impl SweepResult {
     }
 }
 
-/// Full sweep over `k = 0..=16` for one case.
+/// Full sweep over `k = 0..=16` for one case, predecoding the snippet
+/// once and sharing the image across every k.
 pub fn sweep_case(case: &TestCase, direction: Direction, cfg: Config) -> SweepResult {
-    let per_k = (0..=16).map(|k| sweep_k(case, direction, k, cfg)).collect();
+    sweep_case_with(case, &case.predecode(cfg), direction, cfg)
+}
+
+/// [`sweep_case`] with a caller-provided predecoded image.
+pub fn sweep_case_with(
+    case: &TestCase,
+    image: &PredecodedImage,
+    direction: Direction,
+    cfg: Config,
+) -> SweepResult {
+    let per_k = (0..=16).map(|k| sweep_k_with(case, image, direction, k, cfg)).collect();
     SweepResult { name: case.name.clone(), per_k }
 }
 
@@ -303,6 +431,15 @@ mod tests {
                 let ser = sweep_k_serial(&case, direction, k, Config::default());
                 assert_eq!(par, ser, "{direction:?} k={k}");
             }
+        }
+    }
+
+    /// `Outcome::index` is the tally array layout and the serialization
+    /// order of every result store — pin it to `Outcome::ALL`.
+    #[test]
+    fn outcome_index_matches_all_order() {
+        for (i, o) in Outcome::ALL.iter().enumerate() {
+            assert_eq!(o.index(), i, "{o:?}");
         }
     }
 

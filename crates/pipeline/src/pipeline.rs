@@ -8,8 +8,9 @@
 //! corrupt the data bus of a load, force a skip, or brown the core out.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
-use gd_emu::{Emu, Fault, LoadOverride, StepOutcome, StopReason};
+use gd_emu::{Emu, Fault, LoadOverride, PredecodedImage, Slot, StepOutcome, StopReason};
 use gd_thumb::Instr;
 
 use crate::timing::Timing;
@@ -92,6 +93,7 @@ pub struct Pipeline {
     trigger_cycles: Vec<u64>,
     pending_fetch: VecDeque<(usize, u16)>,
     retired: u64,
+    predecode: Option<Arc<PredecodedImage>>,
 }
 
 impl Pipeline {
@@ -104,7 +106,24 @@ impl Pipeline {
             trigger_cycles: Vec::new(),
             pending_fetch: VecDeque::new(),
             retired: 0,
+            predecode: None,
         }
+    }
+
+    /// Attaches a predecoded micro-op table for the firmware image.
+    ///
+    /// Decode is then served from the table whenever the in-flight
+    /// halfword is pristine; any glitch-corrupted halfword (a ripened
+    /// fetch mask, an exec-stage mask) is still decoded live, so injected
+    /// faults see exactly the interpreter semantics. The image must be
+    /// built from this emulator's executable region under its [`Config`]
+    /// (flash is read-only to the emulated program, so it cannot go
+    /// stale at run time).
+    ///
+    /// [`Config`]: gd_emu::Config
+    pub fn set_predecode(&mut self, image: Arc<PredecodedImage>) {
+        debug_assert_eq!(image.cfg(), self.emu.cfg, "image decoded under a different Config");
+        self.predecode = Some(image);
     }
 
     /// Elapsed cycles.
@@ -175,7 +194,19 @@ impl Pipeline {
         });
         hw &= ripe_mask;
 
-        let (instr, size) = self.emu.decode(addr, hw)?;
+        // Pristine halfwords dispatch from the micro-op table when one is
+        // attached; corrupted fetches always decode live.
+        let cached = match &self.predecode {
+            Some(image) if ripe_mask == 0xFFFF => image.slot(addr),
+            _ => None,
+        };
+        let (instr, size) = match cached {
+            Some(Slot::Instr { instr, size }) => (instr, size),
+            // Same fault, at the same pre-window point, as a live decode
+            // failure would raise.
+            Some(Slot::Undefined { hw, hw2 }) => return Err(Fault::Undefined { addr, hw, hw2 }),
+            Some(Slot::Live) | None => self.emu.decode(addr, hw)?,
+        };
         let est = self.timing.base_cycles(instr)
             + if instr.is_branch() { self.timing.taken_branch_penalty } else { 0 };
         let window = Window {

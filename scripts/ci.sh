@@ -44,6 +44,15 @@ rm -f target/lint_boot.t1.txt target/lint_boot.t2.txt target/lint_boot.t8.txt
 echo "==> gd-lint --deny on the fully hardened boot image"
 ./target/release/gd-lint --deny --config All > /dev/null
 
+# Benchmark trajectory smoke: re-measure the fig2 sweep and table1 scan
+# hot paths (few samples — this is a structure/regression gate, not a
+# baseline regeneration) and compare against the committed BENCH_*.json:
+# same stage set, fresh medians within GD_BENCH_TOLERANCE of the
+# committed ones, and the predecoded fig2 sweep holding its committed
+# >= 5x speedup floor.
+echo "==> gd-bench --check (benchmark trajectory)"
+GD_BENCH_SAMPLES=5 ./target/release/gd-bench --check
+
 # End-to-end smoke test of the campaign service: boot the HTTP server on
 # an ephemeral port, submit Table I, require the bytes served back to
 # equal results/table1.txt exactly, then scrape GET /metrics and assert
