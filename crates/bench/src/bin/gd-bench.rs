@@ -1,14 +1,16 @@
 //! `gd-bench` — the committed benchmark trajectory.
 //!
 //! Measures the hot paths behind Figure 2 (the 2^16-mask perturbation
-//! sweep) and Table I (the glitch parameter scan), on both the
+//! sweep), Table I (the glitch parameter scan), and the multifault
+//! campaign (enumeration/pruning plus shard execution), on both the
 //! interpreter path and the predecoded fast path, and serializes the
-//! results to `BENCH_fig2.json` / `BENCH_table1.json` at the repo root
+//! results to `BENCH_fig2.json` / `BENCH_table1.json` /
+//! `BENCH_multifault.json` at the repo root
 //! (see [`gd_bench::trajectory`] for the schema). Committing each
 //! regeneration gives the repo a performance history next to its output
 //! goldens.
 //!
-//! * `gd-bench` — re-measure and rewrite both files (a new trajectory
+//! * `gd-bench` — re-measure and rewrite the files (a new trajectory
 //!   point).
 //! * `gd-bench --check` — re-measure and compare against the committed
 //!   files without touching them: same stage set, fresh medians within
@@ -21,7 +23,7 @@ use std::process::ExitCode;
 
 use gd_bench::glitch_tables::{guard_spec, post_mortem_reg};
 use gd_bench::timing::{fmt_duration, Harness, Measurement};
-use gd_bench::trajectory::{self, Speedup};
+use gd_bench::trajectory::{self, Metric, Speedup};
 use gd_campaign::json::Json;
 use gd_chipwhisperer::{scan_cell, targets, Device, FaultModel};
 use gd_emu::Config;
@@ -150,6 +152,57 @@ fn bench_table1(h: &Harness) -> Json {
     )
 }
 
+/// Multifault hot path: the enumeration/pruning pass over every
+/// registry model, one first-order shard (the single-bit transient
+/// flips), and one second-order pair bucket — plus the campaign's
+/// deterministic pruning rates as exact-match metrics, so the committed
+/// trajectory also gates the redundancy analysis itself (rates must
+/// reproduce bit-for-bit and stay above zero).
+fn bench_multifault(h: &Harness) -> Json {
+    let campaign = gd_faultsim::boot_campaign();
+    let image = &campaign.image;
+    let cfg = campaign.cfg;
+    let stages = vec![
+        h.measure("prune/enumerate", || {
+            let sites = gd_faultsim::sites(image, cfg, &gd_faultsim::SCOPE_FUNCS);
+            let slots = gd_faultsim::halfword_slots(image, &gd_faultsim::SCOPE_FUNCS);
+            gd_faultsim::Registry::standard()
+                .models()
+                .iter()
+                .enumerate()
+                .map(|(i, m)| gd_faultsim::prune_model(i, m.as_ref(), &sites, slots, cfg).pruned())
+                .sum::<u64>()
+        }),
+        h.measure("shard/order1_xor1t", || gd_faultsim::order1_shard(0)),
+        h.measure("shard/order2_bucket", || gd_faultsim::order2_shard(0)),
+    ];
+    for m in &stages {
+        print_measurement(m);
+    }
+    let mut order1 = gd_faultsim::MfStats::default();
+    for model in 0..campaign.per_model.len() {
+        order1.merge(&campaign.order1_stats(model));
+    }
+    let (_, bucket0) = gd_faultsim::order2_shard(0);
+    trajectory::doc_with_metrics(
+        "multifault",
+        &stages,
+        &[],
+        &[
+            Metric {
+                name: "prune/order1_rate",
+                value_milli: order1.pruned_ratio_milli(),
+                min_milli: Some(1),
+            },
+            Metric {
+                name: "prune/order2_bucket0_rate",
+                value_milli: bucket0.pruned_ratio_milli(),
+                min_milli: Some(1),
+            },
+        ],
+    )
+}
+
 /// `GD_BENCH_TOLERANCE` (a float multiplier, default 3.0) in milli-units.
 fn tolerance_milli() -> u64 {
     std::env::var("GD_BENCH_TOLERANCE")
@@ -214,7 +267,11 @@ fn write_artifact(artifact: &str, doc: &Json) -> bool {
 fn main() -> ExitCode {
     let check_mode = std::env::args().skip(1).any(|a| a == "--check");
     let h = Harness::from_env();
-    let docs = [("fig2", bench_fig2(&h)), ("table1", bench_table1(&h))];
+    let docs = [
+        ("fig2", bench_fig2(&h)),
+        ("table1", bench_table1(&h)),
+        ("multifault", bench_multifault(&h)),
+    ];
 
     let mut ok = true;
     if check_mode {

@@ -20,6 +20,9 @@
 //!   "speedups": [
 //!     {"name": "...", "baseline": "<stage>", "fast": "<stage>",
 //!      "ratio_milli": 0, "min_milli": 0}
+//!   ],
+//!   "metrics": [
+//!     {"name": "...", "value_milli": 0, "min_milli": 0}
 //!   ]
 //! }
 //! ```
@@ -28,6 +31,12 @@
 //! pair is informational only); [`check`] enforces it on both the
 //! committed document and, at half strength, on a fresh re-measurement,
 //! so fast-path rot fails CI before it reaches the baseline.
+//!
+//! `metrics` (optional — absent in older documents) carries named
+//! **deterministic** scalars in milli-units, e.g. a campaign's pruning
+//! rate. Unlike stage medians they get no tolerance: [`check`] requires
+//! a fresh re-measurement to reproduce each committed value exactly,
+//! and enforces any `min_milli` floor on both documents.
 
 use gd_campaign::json::Json;
 
@@ -47,6 +56,18 @@ pub struct Speedup {
     /// Stage name of the fast path.
     pub fast: &'static str,
     /// Minimum acceptable ratio in milli-units, if gated.
+    pub min_milli: Option<u64>,
+}
+
+/// A named deterministic scalar (milli-units) committed alongside the
+/// timing stages, with an optional floor that [`check`] enforces.
+#[derive(Debug, Clone, Copy)]
+pub struct Metric {
+    /// Label for the value.
+    pub name: &'static str,
+    /// The value in milli-units.
+    pub value_milli: u64,
+    /// Minimum acceptable value in milli-units, if gated.
     pub min_milli: Option<u64>,
 }
 
@@ -75,6 +96,22 @@ fn stage_json(m: &Measurement) -> Json {
 /// Panics if a [`Speedup`] names a stage that is not in `stages` — a
 /// bug in the benchmark definition, not in the data.
 pub fn doc(artifact: &str, stages: &[Measurement], speedups: &[Speedup]) -> Json {
+    doc_with_metrics(artifact, stages, speedups, &[])
+}
+
+/// Like [`doc`], with deterministic scalar metrics attached. An empty
+/// `metrics` slice omits the array entirely, keeping older documents'
+/// byte layout.
+///
+/// # Panics
+///
+/// Same panic condition as [`doc`].
+pub fn doc_with_metrics(
+    artifact: &str,
+    stages: &[Measurement],
+    speedups: &[Speedup],
+    metrics: &[Metric],
+) -> Json {
     let find = |name: &str| -> u64 {
         stages
             .iter()
@@ -99,12 +136,29 @@ pub fn doc(artifact: &str, stages: &[Measurement], speedups: &[Speedup]) -> Json
             Json::obj(fields)
         })
         .collect();
-    Json::obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str(SCHEMA.to_string())),
         ("artifact", Json::Str(artifact.to_string())),
         ("stages", Json::Arr(stages.iter().map(stage_json).collect())),
         ("speedups", Json::Arr(speedups_json)),
-    ])
+    ];
+    if !metrics.is_empty() {
+        let metrics_json: Vec<Json> = metrics
+            .iter()
+            .map(|m| {
+                let mut entry = vec![
+                    ("name", Json::Str(m.name.to_string())),
+                    ("value_milli", Json::Int(i128::from(m.value_milli))),
+                ];
+                if let Some(min) = m.min_milli {
+                    entry.push(("min_milli", Json::Int(i128::from(min))));
+                }
+                Json::obj(entry)
+            })
+            .collect();
+        fields.push(("metrics", Json::Arr(metrics_json)));
+    }
+    Json::obj(fields)
 }
 
 /// `(name, median_ns)` for every stage in a document, in order.
@@ -152,6 +206,31 @@ pub fn speedup_ratios(doc: &Json) -> Result<Vec<(String, u64, Option<u64>)>, Str
         .collect()
 }
 
+/// `(name, value_milli, min_milli)` for every metric entry, in order.
+/// Documents without a `metrics` array (older schema instances) yield
+/// an empty list.
+pub fn metric_values(doc: &Json) -> Result<Vec<(String, u64, Option<u64>)>, String> {
+    let Some(metrics) = doc.get("metrics") else {
+        return Ok(Vec::new());
+    };
+    let metrics = metrics.as_arr().ok_or_else(|| "\"metrics\" is not an array".to_string())?;
+    metrics
+        .iter()
+        .map(|m| {
+            let name = m
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "metric without a \"name\"".to_string())?;
+            let value = m
+                .get("value_milli")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("metric {name:?} without \"value_milli\""))?;
+            let min = m.get("min_milli").and_then(Json::as_u64);
+            Ok((name.to_string(), value, min))
+        })
+        .collect()
+}
+
 /// Compares a fresh re-measurement against the committed baseline.
 ///
 /// Passing means: same schema and artifact, the same stage and speedup
@@ -159,7 +238,9 @@ pub fn speedup_ratios(doc: &Json) -> Result<Vec<(String, u64, Option<u64>)>, Str
 /// `tolerance_milli`/1000 × the committed median, every gated committed
 /// speedup at or above its floor, and every gated fresh speedup at or
 /// above **half** its floor (re-measurements on a loaded machine get
-/// slack; the committed trajectory does not).
+/// slack; the committed trajectory does not). Deterministic metrics get
+/// no slack at all: a fresh value must equal the committed one, and
+/// gated metrics must sit at or above their floor in both documents.
 ///
 /// Returns human-readable report lines on success, or the list of
 /// failures.
@@ -263,6 +344,42 @@ pub fn check(
         ));
     }
 
+    let base_metrics = match metric_values(committed) {
+        Ok(m) => m,
+        Err(e) => return Err(vec![format!("committed: {e}")]),
+    };
+    let fresh_metrics = match metric_values(fresh) {
+        Ok(m) => m,
+        Err(e) => return Err(vec![format!("fresh: {e}")]),
+    };
+    let mnames =
+        |v: &[(String, u64, Option<u64>)]| v.iter().map(|(n, _, _)| n.clone()).collect::<Vec<_>>();
+    if mnames(&base_metrics) != mnames(&fresh_metrics) {
+        failures.push(format!(
+            "metric set drifted: committed {:?}, fresh {:?}",
+            mnames(&base_metrics),
+            mnames(&fresh_metrics)
+        ));
+        return Err(failures);
+    }
+    for ((name, base_value, min), (_, fresh_value, _)) in base_metrics.iter().zip(&fresh_metrics) {
+        if fresh_value != base_value {
+            failures.push(format!(
+                "{name}: fresh value {fresh_value} milli differs from committed {base_value} \
+                 (deterministic metrics must reproduce exactly)"
+            ));
+            continue;
+        }
+        if let Some(min) = min {
+            if base_value < min {
+                failures
+                    .push(format!("{name}: committed value {base_value} milli below floor {min}"));
+                continue;
+            }
+        }
+        report.push(format!("{name}: {base_value} milli (reproduced exactly)"));
+    }
+
     if failures.is_empty() {
         Ok(report)
     } else {
@@ -343,5 +460,38 @@ mod tests {
         let base = sample_doc(10_000, 1_000);
         let other = doc("fig2", &[m("sweep/interpreter", 10_000)], &[]);
         assert!(check(&base, &other, 2_000).is_err());
+    }
+
+    fn metric_doc(value_milli: u64) -> Json {
+        doc_with_metrics(
+            "multifault",
+            &[m("shard/order1", 10_000)],
+            &[],
+            &[Metric { name: "prune/rate", value_milli, min_milli: Some(1) }],
+        )
+    }
+
+    #[test]
+    fn metrics_round_trip_and_stay_optional() {
+        let with = metric_doc(117);
+        let text = with.to_string_pretty().unwrap();
+        let parsed = gd_campaign::json::parse(&text).unwrap();
+        assert_eq!(metric_values(&parsed).unwrap(), vec![("prune/rate".to_string(), 117, Some(1))]);
+        // Older documents (no metrics array) parse to an empty list.
+        let without = doc("fig2", &[m("sweep/interpreter", 10_000)], &[]);
+        assert_eq!(metric_values(&without).unwrap(), Vec::new());
+        assert!(without.get("metrics").is_none(), "empty metrics stay absent");
+    }
+
+    #[test]
+    fn check_rejects_metric_drift_and_floor_violations() {
+        let base = metric_doc(117);
+        let report = check(&base, &base, 2_000).unwrap();
+        assert!(report.iter().any(|l| l.contains("reproduced exactly")), "{report:?}");
+        let drifted = metric_doc(118);
+        let failures = check(&base, &drifted, 2_000).unwrap_err();
+        assert!(failures.iter().any(|l| l.contains("differs from committed")), "{failures:?}");
+        let floor = check(&metric_doc(0), &metric_doc(0), 2_000).unwrap_err();
+        assert!(floor.iter().any(|l| l.contains("below floor")), "{floor:?}");
     }
 }

@@ -10,7 +10,8 @@
 //! ```
 //!
 //! `<spec.json|workload>` is either a path to a spec file or a bare
-//! workload name (`fig2`, `table1`, `table2`, `table3`, `table6`) for
+//! workload name (`fig2`, `table1`, `table2`, `table3`, `table6`,
+//! `multifault`) for
 //! the published configuration.
 //!
 //! `chaos` is the self-healing acceptance harness: it runs the campaign
@@ -42,6 +43,7 @@ fn load_spec(arg: &str) -> Result<CampaignSpec, String> {
         "table2" => Ok(CampaignSpec::table2()),
         "table3" => Ok(CampaignSpec::table3()),
         "table6" => Ok(CampaignSpec::table6()),
+        "multifault" => Ok(CampaignSpec::multifault()),
         path => {
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("reading spec {path}: {e}"))?;

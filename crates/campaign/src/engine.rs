@@ -179,6 +179,7 @@ fn engine_metrics() -> &'static EngineMetrics {
         // engine's families also shows `gd_chaos_injected_total{site=...}`
         // at zero for every site.
         gd_chaos::register_metrics();
+        gd_faultsim::register_metrics();
         EngineMetrics {
             cache_hits: gd_obs::counter(
                 "gd_campaign_cache_hits_total",

@@ -39,6 +39,7 @@ pub mod glitch_tables;
 pub mod hash;
 pub mod http;
 pub mod json;
+pub mod multifault;
 pub mod report;
 pub mod service;
 pub mod shards;

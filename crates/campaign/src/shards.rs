@@ -82,6 +82,19 @@ pub enum ShardWork {
         /// Index into the defense-set column order (All, All\Delay).
         defense: usize,
     },
+    /// One first-order multifault campaign: every pruned class of one
+    /// registry fault model over `firmware::boot`.
+    MultifaultModel {
+        /// Index into [`gd_faultsim::Registry::standard`].
+        model: usize,
+    },
+    /// One second-order multifault bucket: the distinct-site
+    /// representative pairs whose linear index falls in this bucket
+    /// (mod [`gd_faultsim::O2_BUCKETS`]).
+    MultifaultPairs {
+        /// Bucket index.
+        bucket: u32,
+    },
 }
 
 impl ShardWork {
@@ -106,6 +119,11 @@ impl ShardWork {
                     DEFENSE_SETS[defense].0
                 )
             }
+            ShardWork::MultifaultModel { model } => {
+                let names = gd_faultsim::Registry::standard().names();
+                format!("multifault/{}", names.get(model).copied().unwrap_or("?"))
+            }
+            ShardWork::MultifaultPairs { bucket } => format!("multifault/pairs/bucket{bucket}"),
         }
     }
 }
@@ -153,6 +171,14 @@ pub fn shard_plan(spec: &CampaignSpec) -> Vec<ShardWork> {
                 }
             }
         }
+        Workload::Multifault => {
+            for model in 0..gd_faultsim::Registry::standard().len() {
+                plan.push(ShardWork::MultifaultModel { model });
+            }
+            for bucket in 0..gd_faultsim::O2_BUCKETS {
+                plan.push(ShardWork::MultifaultPairs { bucket });
+            }
+        }
     }
     plan
 }
@@ -179,6 +205,19 @@ pub enum ShardResult {
     },
     /// A Table VI campaign cell.
     Defense(DefenseCell),
+    /// A multifault shard (order-1 model or order-2 pair bucket):
+    /// weighted outcome tally plus the pruning ledger.
+    Multifault {
+        /// Weighted trial outcomes over the shard's whole candidate
+        /// space, in [`gd_glitch_emu::Outcome::ALL`] order.
+        tally: Tally,
+        /// Raw candidates (or candidate pairs) the shard covers.
+        enumerated: u64,
+        /// Candidates resolved without simulation.
+        pruned: u64,
+        /// Trials actually simulated.
+        simulated: u64,
+    },
 }
 
 /// Runs one shard of `spec`'s workload. Pure: depends only on the spec's
@@ -225,6 +264,24 @@ pub fn run_shard(spec: &CampaignSpec, work: &ShardWork) -> ShardResult {
             let (_, module) = gd_firmware::table6_targets().swap_remove(target);
             let device = defense::hardened_device(&module, DEFENSE_SETS[defense].1);
             ShardResult::Defense(defense::run_cell(&device, &model, ATTACKS[attack]))
+        }
+        ShardWork::MultifaultModel { model } => {
+            let (tally, stats) = gd_faultsim::order1_shard(model);
+            ShardResult::Multifault {
+                tally,
+                enumerated: stats.enumerated,
+                pruned: stats.pruned,
+                simulated: stats.simulated,
+            }
+        }
+        ShardWork::MultifaultPairs { bucket } => {
+            let (tally, stats) = gd_faultsim::order2_shard(bucket);
+            ShardResult::Multifault {
+                tally,
+                enumerated: stats.enumerated,
+                pruned: stats.pruned,
+                simulated: stats.simulated,
+            }
         }
     }
 }
@@ -281,6 +338,16 @@ impl ShardResult {
                 ("successes", Json::Int(cell.successes.into())),
                 ("detections", Json::Int(cell.detections.into())),
                 ("crashes", Json::Int(cell.crashes.into())),
+            ]),
+            ShardResult::Multifault { tally, enumerated, pruned, simulated } => Json::obj(vec![
+                ("type", Json::Str("multifault".into())),
+                (
+                    "counts",
+                    Json::Arr(tally.counts().iter().map(|&c| Json::Int(c.into())).collect()),
+                ),
+                ("enumerated", Json::Int((*enumerated).into())),
+                ("pruned", Json::Int((*pruned).into())),
+                ("simulated", Json::Int((*simulated).into())),
             ]),
         }
     }
@@ -365,6 +432,25 @@ impl ShardResult {
                 detections: u("detections")?,
                 crashes: u("crashes")?,
             })),
+            "multifault" => {
+                let items = v
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .ok_or("multifault shard: missing `counts`")?;
+                if items.len() != 6 {
+                    return Err("multifault shard: `counts` must hold 6 entries".into());
+                }
+                let mut counts = [0u64; 6];
+                for (slot, item) in counts.iter_mut().zip(items) {
+                    *slot = item.as_u64().ok_or("multifault shard: count not a u64")?;
+                }
+                Ok(ShardResult::Multifault {
+                    tally: Tally::from_counts(counts),
+                    enumerated: u("enumerated")?,
+                    pruned: u("pruned")?,
+                    simulated: u("simulated")?,
+                })
+            }
             other => Err(format!("shard result: unknown type {other:?}")),
         }
     }
@@ -391,6 +477,7 @@ pub fn render(spec: &CampaignSpec, shards: &[(ShardWork, ShardResult)]) -> Resul
         Workload::Table2 { .. } => render_table2(shards),
         Workload::Table3 { .. } => render_table3(shards),
         Workload::Table6 => render_table6(shards),
+        Workload::Multifault => crate::multifault::render_multifault(shards),
     }
 }
 
@@ -529,6 +616,8 @@ mod tests {
         assert_eq!(shard_plan(&CampaignSpec::table2()).len(), 3 * 8);
         assert_eq!(shard_plan(&CampaignSpec::table3()).len(), 3 * 11);
         assert_eq!(shard_plan(&CampaignSpec::table6()).len(), 2 * 3 * 2);
+        // 6 registry models + 8 pair buckets.
+        assert_eq!(shard_plan(&CampaignSpec::multifault()).len(), 6 + 8);
     }
 
     #[test]
@@ -581,6 +670,12 @@ mod tests {
                 detections: 96,
                 crashes: 1_000,
             }),
+            ShardResult::Multifault {
+                tally: Tally::from_counts([3, 1000, 5, 7, 11, 13]),
+                enumerated: 22_016,
+                pruned: 21_000,
+                simulated: 1_016,
+            },
         ];
         for sample in samples {
             let text = sample.to_json().to_string_compact().unwrap();

@@ -39,6 +39,10 @@ pub enum Workload {
     /// Table VI: the three attack shapes against every hardened firmware
     /// target under All and All\Delay.
     Table6,
+    /// Exhaustive first- and second-order fault campaigns over
+    /// `firmware::boot`: the `gd-faultsim` registry's typed fault spaces
+    /// with architectural-effect pruning.
+    Multifault,
 }
 
 impl Workload {
@@ -50,6 +54,7 @@ impl Workload {
             Workload::Table2 { .. } => "table2",
             Workload::Table3 { .. } => "table3",
             Workload::Table6 => "table6",
+            Workload::Multifault => "multifault",
         }
     }
 }
@@ -146,6 +151,11 @@ impl CampaignSpec {
         CampaignSpec::with_workload(Workload::Table6)
     }
 
+    /// The exhaustive multi-fault campaign over `firmware::boot`.
+    pub fn multifault() -> CampaignSpec {
+        CampaignSpec::with_workload(Workload::Multifault)
+    }
+
     /// Structural validation beyond what parsing enforces.
     ///
     /// # Errors
@@ -163,7 +173,7 @@ impl CampaignSpec {
             Workload::Table1 { cycles } => check_range("cycles", cycles)?,
             Workload::Table2 { cycles } => check_range("cycles", cycles)?,
             Workload::Table3 { lens } => check_range("lens", lens)?,
-            Workload::Fig2 | Workload::Table6 => {}
+            Workload::Fig2 | Workload::Table6 | Workload::Multifault => {}
         }
         if let Some((lo, hi)) = self.shards {
             check_range("shards", (lo, hi))?;
@@ -197,6 +207,7 @@ impl CampaignSpec {
                 Json::obj(vec![("kind", Json::Str("table3".into())), ("lens", range_json(*lens))])
             }
             Workload::Table6 => Json::obj(vec![("kind", Json::Str("table6".into()))]),
+            Workload::Multifault => Json::obj(vec![("kind", Json::Str("multifault".into()))]),
         };
         let mut fields = vec![
             ("version", Json::Int(SPEC_VERSION.into())),
@@ -240,6 +251,7 @@ impl CampaignSpec {
             "table2" => Workload::Table2 { cycles: range_field(w, "cycles", (0, 8))? },
             "table3" => Workload::Table3 { lens: range_field(w, "lens", (10, 21))? },
             "table6" => Workload::Table6,
+            "multifault" => Workload::Multifault,
             other => return Err(format!("unknown workload kind {other:?}")),
         };
         let model = match v.get("model") {
@@ -386,6 +398,16 @@ impl CampaignSpec {
                 }
                 Ok(out)
             }
+            Workload::Multifault => {
+                let image = gd_backend::compile(&gd_firmware::boot(), "main")
+                    .map_err(|e| format!("boot fails to lower: {e}"))?;
+                let mut bytes = image.text.clone();
+                for (addr, data) in &image.data {
+                    bytes.extend_from_slice(&addr.to_le_bytes());
+                    bytes.extend_from_slice(data);
+                }
+                Ok(vec![("boot".to_owned(), bytes)])
+            }
         }
     }
 }
@@ -437,6 +459,7 @@ mod tests {
             CampaignSpec::table2(),
             CampaignSpec::table3(),
             CampaignSpec::table6(),
+            CampaignSpec::multifault(),
         ] {
             let text = spec.to_json_text().unwrap();
             let back = CampaignSpec::from_json_text(&text).unwrap();
@@ -482,6 +505,7 @@ mod tests {
             CampaignSpec::table2(),
             CampaignSpec::table3(),
             CampaignSpec::table6(),
+            CampaignSpec::multifault(),
         ]
         .iter()
         .map(|s| s.cache_key().unwrap())

@@ -118,8 +118,22 @@ fn table1_served_over_http_matches_the_committed_results() {
         "# TYPE gd_chaos_injected_total counter",
         "# TYPE gd_campaign_shard_retries histogram",
         "# TYPE gd_campaign_shards_quarantined_total counter",
+        "# TYPE gd_faultsim_candidates_total counter",
+        "# TYPE gd_faultsim_pruned_total counter",
+        "# TYPE gd_faultsim_simulated_total counter",
+        "# TYPE gd_faultsim_outcomes_total counter",
     ] {
         assert!(metrics.contains(family), "missing {family:?} in:\n{metrics}");
+    }
+    // The multifault inventory rides along with the engine's metrics:
+    // every registry model (and the pair space) is pre-registered with
+    // labelled series even before a multifault campaign runs.
+    for series in [
+        r#"gd_faultsim_candidates_total{model="xor1.t"}"#,
+        r#"gd_faultsim_pruned_total{model="pairs"}"#,
+        r#"gd_faultsim_outcomes_total{model="skip.t",outcome="Success"}"#,
+    ] {
+        assert!(metrics.contains(series), "missing {series:?} in:\n{metrics}");
     }
     assert!(
         metrics.contains(r#"gd_http_requests_total{route="/campaigns/{id}",status="200"}"#),

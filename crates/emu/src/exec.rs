@@ -20,7 +20,7 @@ pub struct Config {
 
 /// A one-shot override applied to the next data load — the hook the clock
 /// glitch simulator uses to model bus-level data corruption.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LoadOverride {
     /// Replace the loaded value entirely (bus residue).
     Replace(u32),
@@ -37,6 +37,73 @@ impl LoadOverride {
             LoadOverride::And(m) => value & m,
             LoadOverride::Or(m) => value | m,
         }
+    }
+}
+
+/// How an injected fault affects the instruction stream at its site.
+///
+/// All three kinds act at the *fetch* of the first halfword: the faulted
+/// site's bytes in memory are never modified, and a second halfword
+/// consumed by a 32-bit encoding is always read from real memory. This
+/// models corruption on the instruction bus (Moro et al.'s EM fault
+/// model) rather than flash rewrites, and it is what makes architectural
+/// pruning sound — the effect of a fault at an address never depends on
+/// which other faults are active elsewhere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InjectKind {
+    /// The fetch returns `hw` instead of the halfword in memory. If `hw`
+    /// is a 32-bit prefix, the second halfword is fetched from memory at
+    /// `addr + 2` as usual.
+    Corrupt {
+        /// The halfword seen by the fetch stage.
+        hw: u16,
+    },
+    /// The instruction at the site is fetched but not executed: the PC
+    /// advances by the encoding's size (2, or 4 for a 32-bit prefix) and
+    /// one step is consumed, as if the instruction were a NOP.
+    Skip,
+    /// The instruction executes normally but its first data load goes
+    /// through the [`LoadOverride`] (data-bus corruption synchronized to
+    /// this fetch). Instructions that perform no load are unaffected.
+    LoadBus(LoadOverride),
+}
+
+/// Whether an injected fault fires once or on every fetch of its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Persistence {
+    /// The fault affects the next fetch of the site only, then disarms —
+    /// a one-cycle glitch.
+    Transient,
+    /// The fault affects every fetch of the site for the rest of the run
+    /// (an I-bus stuck-at; cleared only by [`Emu::clear_injections`] or
+    /// [`Emu::restore`] to a pre-injection snapshot).
+    Permanent,
+}
+
+/// One armed fault at one fetch address — the multi-fault counterpart of
+/// the single-shot [`Emu::load_override`] hook. Applied by [`Emu::step`]
+/// when the PC reaches `addr`; see [`InjectKind`] for the semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Injection {
+    /// Fetch address the fault is tied to (bit 0 ignored).
+    pub addr: u32,
+    /// What the fault does to the fetch.
+    pub kind: InjectKind,
+    /// One-shot or sticky.
+    pub persistence: Persistence,
+    armed: bool,
+}
+
+impl Injection {
+    /// A new, armed injection at `addr`.
+    pub fn new(addr: u32, kind: InjectKind, persistence: Persistence) -> Injection {
+        Injection { addr: addr & !1, kind, persistence, armed: true }
+    }
+
+    /// Whether the injection will still fire ([`Persistence::Transient`]
+    /// faults disarm after their first fetch).
+    pub fn is_armed(&self) -> bool {
+        self.armed
     }
 }
 
@@ -207,6 +274,7 @@ pub struct Emu {
     pub load_override: Option<LoadOverride>,
     pc: u32,
     steps: u64,
+    injections: Vec<Injection>,
 }
 
 /// A point-in-time copy of an [`Emu`]'s state, created by
@@ -219,6 +287,7 @@ pub struct Snapshot {
     pc: u32,
     steps: u64,
     mem: MemSnapshot,
+    injections: Vec<Injection>,
 }
 
 impl Emu {
@@ -247,6 +316,28 @@ impl Emu {
         self.steps
     }
 
+    /// Arms an [`Injection`] (see [`InjectKind`] for fault semantics).
+    ///
+    /// Multiple injections may be armed at once (a multi-fault trial);
+    /// at most one fires per fetch — the first armed entry whose address
+    /// matches the PC, in arming order. Callers dispatching through
+    /// [`Emu::step_predecoded`] must
+    /// [`PredecodedImage::invalidate_range`] every injected site so
+    /// dispatch falls back to the live path where injections apply.
+    pub fn inject(&mut self, injection: Injection) {
+        self.injections.push(injection);
+    }
+
+    /// Disarms and removes every injection.
+    pub fn clear_injections(&mut self) {
+        self.injections.clear();
+    }
+
+    /// The currently registered injections (armed or spent).
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
     /// Fetches, decodes, and executes one instruction.
     ///
     /// # Errors
@@ -254,10 +345,72 @@ impl Emu {
     /// Returns a [`Fault`] for memory faults, undefined instructions, and
     /// ARM-interworking attempts.
     pub fn step(&mut self) -> Result<StepOutcome, Fault> {
+        if !self.injections.is_empty() {
+            if let Some(i) = self.injections.iter().position(|inj| inj.armed && inj.addr == self.pc)
+            {
+                return self.step_injected(i);
+            }
+        }
         let addr = self.pc;
         let hw = self.mem.fetch16(addr)?;
         let (instr, size) = self.decode(addr, hw)?;
         self.exec(instr, addr, size)
+    }
+
+    /// Executes one step with `self.injections[idx]` applied to the fetch.
+    /// Out of line: trials arm at most a couple of injections and visit
+    /// them a handful of times, while the un-injected fast path runs
+    /// millions of steps.
+    #[cold]
+    fn step_injected(&mut self, idx: usize) -> Result<StepOutcome, Fault> {
+        let addr = self.pc;
+        let inj = self.injections[idx];
+        // Disarm before executing: a transient fault happened on this
+        // fetch whether or not the corrupted stream then faults.
+        if inj.persistence == Persistence::Transient {
+            self.injections[idx].armed = false;
+        }
+        match inj.kind {
+            InjectKind::Corrupt { hw } => {
+                let (instr, size) = self.decode(addr, hw)?;
+                self.exec(instr, addr, size)
+            }
+            InjectKind::Skip => {
+                // The skipped encoding's size comes from the prefix bit
+                // alone, so even undecodable patterns skip cleanly; the
+                // fetches still happen, so fetch faults are preserved.
+                let hw = self.mem.fetch16(addr)?;
+                let size = if is_32bit_prefix(hw) {
+                    self.mem.fetch16(addr.wrapping_add(2))?;
+                    4
+                } else {
+                    2
+                };
+                let next_pc = addr.wrapping_add(size);
+                self.steps += 1;
+                self.pc = next_pc;
+                Ok(StepOutcome::Step(Step {
+                    addr,
+                    instr: Instr::Hint { hint: gd_thumb::Hint::Nop },
+                    size,
+                    next_pc,
+                    branched: false,
+                    loads: 0,
+                    stores: 0,
+                    store: None,
+                }))
+            }
+            InjectKind::LoadBus(ov) => {
+                let hw = self.mem.fetch16(addr)?;
+                let (instr, size) = self.decode(addr, hw)?;
+                self.load_override = Some(ov);
+                let out = self.exec(instr, addr, size);
+                // The override is synchronized to this fetch only: drop
+                // it unconsumed rather than let it leak to a later load.
+                self.load_override = None;
+                out
+            }
+        }
     }
 
     /// Decodes the instruction whose first halfword `hw` was fetched from
@@ -357,6 +510,7 @@ impl Emu {
             pc: self.pc,
             steps: self.steps,
             mem: self.mem.snapshot(),
+            injections: self.injections.clone(),
         }
     }
 
@@ -379,6 +533,8 @@ impl Emu {
         self.pc = snap.pc;
         self.steps = snap.steps;
         self.mem.restore(&snap.mem);
+        self.injections.clear();
+        self.injections.extend_from_slice(&snap.injections);
     }
 
     fn read_reg(&self, r: Reg, addr: u32) -> u32 {

@@ -46,8 +46,8 @@ mod predecode;
 
 pub use cpu::Cpu;
 pub use exec::{
-    add_with_carry, Config, Emu, Fault, LoadOverride, RunOutcome, Snapshot, Step, StepOutcome,
-    StopReason,
+    add_with_carry, Config, Emu, Fault, InjectKind, Injection, LoadOverride, Persistence,
+    RunOutcome, Snapshot, Step, StepOutcome, StopReason,
 };
 pub use mem::{Access, FaultKind, MapError, MemFault, MemSnapshot, Memory, Perms, Region};
 pub use predecode::{classify, PredecodedImage, Slot};

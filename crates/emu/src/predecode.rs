@@ -150,15 +150,60 @@ impl PredecodedImage {
     /// cached decode may have consumed `addr`'s halfword as the second
     /// half of a 32-bit encoding. Both become [`Slot::Live`].
     pub fn invalidate(&mut self, addr: u32) {
-        let addr = addr & !1;
-        for a in [addr.wrapping_sub(2), addr] {
-            if a >= self.base {
-                let i = ((a - self.base) >> 1) as usize;
-                if let Some(slot) = self.slots.get_mut(i) {
-                    *slot = Slot::Live;
-                }
-            }
+        self.invalidate_range(addr, 2);
+    }
+
+    /// Invalidates every slot whose decode depends on any byte of
+    /// `[addr, addr + len)`: each halfword the range touches plus each
+    /// one's 32-bit-prefix predecessor — so the downgraded span is
+    /// `[addr - 2, addr + len)`. This is the multi-halfword form of
+    /// [`invalidate`](PredecodedImage::invalidate) that two-fault and
+    /// permanent-corruption trials need: invalidating only one site of a
+    /// wide perturbation would let stale cached micro-ops dispatch over
+    /// the rest.
+    pub fn invalidate_range(&mut self, addr: u32, len: u32) {
+        for slot in self.range_slots(addr, len) {
+            *slot = Slot::Live;
         }
+    }
+
+    /// Restores the slots downgraded by an
+    /// [`invalidate_range`](PredecodedImage::invalidate_range) of the
+    /// same `addr`/`len` from `pristine` — a table built from the
+    /// unperturbed image. Trial loops that invalidate a few sites per
+    /// trial heal them afterwards instead of cloning the whole table.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `pristine` covers a different span or
+    /// was decoded under a different [`Config`].
+    pub fn heal_range(&mut self, pristine: &PredecodedImage, addr: u32, len: u32) {
+        debug_assert_eq!(self.base, pristine.base, "heal source covers a different span");
+        debug_assert_eq!(self.slots.len(), pristine.slots.len());
+        debug_assert_eq!(self.cfg, pristine.cfg, "heal source decoded under a different Config");
+        let (lo, hi) = self.range_indices(addr, len);
+        self.slots[lo..hi].copy_from_slice(&pristine.slots[lo..hi]);
+    }
+
+    /// Slot index bounds `[lo, hi)` covering `[addr - 2, addr + len)`,
+    /// clamped to the table.
+    fn range_indices(&self, addr: u32, len: u32) -> (usize, usize) {
+        if len == 0 {
+            return (0, 0);
+        }
+        let addr = addr & !1;
+        let start = addr.saturating_sub(2).max(self.base);
+        let lo = ((start - self.base) >> 1) as usize;
+        // Exclusive byte end in u64 (addr + len may overflow u32); any
+        // halfword containing a touched byte is included.
+        let end = u64::from(addr) + u64::from(len);
+        let hi = ((end.saturating_sub(u64::from(self.base)) + 1) >> 1) as usize;
+        (lo.min(self.slots.len()), hi.min(self.slots.len()))
+    }
+
+    fn range_slots(&mut self, addr: u32, len: u32) -> impl Iterator<Item = &mut Slot> {
+        let (lo, hi) = self.range_indices(addr, len);
+        self.slots[lo..hi].iter_mut()
     }
 }
 
@@ -226,5 +271,63 @@ mod tests {
     fn odd_trailing_byte_is_dropped() {
         let img = PredecodedImage::from_bytes(0, &[0x01, 0x20, 0xFF], CFG);
         assert_eq!(img.len(), 1);
+    }
+
+    // movs r0,#1 ; movs r0,#2 ; bl (32-bit F000 F800) ; movs r0,#3
+    const RANGE_BYTES: [u8; 10] = [0x01, 0x20, 0x02, 0x20, 0x00, 0xF0, 0x00, 0xF8, 0x03, 0x20];
+
+    #[test]
+    fn invalidate_range_covers_every_touched_halfword_and_the_prefix_predecessor() {
+        let mut img = PredecodedImage::from_bytes(0x100, &RANGE_BYTES, CFG);
+        // Two faults straddling the wide bl: its prefix (0x104) and its
+        // suffix (0x106), invalidated as one 4-byte range.
+        img.invalidate_range(0x104, 4);
+        assert_eq!(img.slot(0x102), Some(Slot::Live), "prefix predecessor downgraded");
+        assert_eq!(img.slot(0x104), Some(Slot::Live));
+        assert_eq!(img.slot(0x106), Some(Slot::Live));
+        assert!(matches!(img.slot(0x100), Some(Slot::Instr { .. })), "before range untouched");
+        assert!(matches!(img.slot(0x108), Some(Slot::Instr { .. })), "after range untouched");
+    }
+
+    #[test]
+    fn invalidate_range_with_odd_length_still_covers_the_last_byte() {
+        let mut img = PredecodedImage::from_bytes(0x100, &RANGE_BYTES, CFG);
+        // Bytes [0x102, 0x105): halfwords 0x102 and 0x104, plus 0x100.
+        img.invalidate_range(0x102, 3);
+        assert_eq!(img.slot(0x100), Some(Slot::Live));
+        assert_eq!(img.slot(0x102), Some(Slot::Live));
+        assert_eq!(img.slot(0x104), Some(Slot::Live));
+        assert_ne!(img.slot(0x106), Some(Slot::Live), "beyond the range stays cached");
+    }
+
+    #[test]
+    fn invalidate_range_of_zero_length_is_a_no_op() {
+        let pristine = PredecodedImage::from_bytes(0x100, &RANGE_BYTES, CFG);
+        let mut img = pristine.clone();
+        img.invalidate_range(0x104, 0);
+        assert_eq!(img, pristine);
+    }
+
+    #[test]
+    fn invalidate_range_clamps_to_the_table() {
+        let mut img = PredecodedImage::from_bytes(0x100, &RANGE_BYTES, CFG);
+        img.invalidate_range(0x0, 0x40); // entirely below base
+        assert!(matches!(img.slot(0x100), Some(Slot::Instr { .. })));
+        img.invalidate_range(0x108, 0x1000); // runs past the end
+        assert_eq!(img.slot(0x108), Some(Slot::Live));
+        img.invalidate_range(u32::MAX - 1, 8); // would overflow u32
+        assert!(matches!(img.slot(0x100), Some(Slot::Instr { .. })));
+    }
+
+    #[test]
+    fn heal_range_restores_exactly_the_invalidated_slots() {
+        let pristine = PredecodedImage::from_bytes(0x100, &RANGE_BYTES, CFG);
+        let mut img = pristine.clone();
+        img.invalidate_range(0x104, 4);
+        img.invalidate_range(0x108, 2);
+        assert_ne!(img, pristine);
+        img.heal_range(&pristine, 0x104, 4);
+        img.heal_range(&pristine, 0x108, 2);
+        assert_eq!(img, pristine, "healing undoes the downgrade slot for slot");
     }
 }

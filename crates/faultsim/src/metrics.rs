@@ -1,0 +1,99 @@
+//! `gd_faultsim_*` metric families: enumeration, pruning, and outcome
+//! counters labelled by fault model.
+
+use std::sync::Arc;
+
+use gd_glitch_emu::{Outcome, Tally};
+use gd_obs::Counter;
+
+use crate::model::Registry;
+
+/// Per-model label set used by the order-2 executor (the pair space is
+/// not one registry model).
+pub const PAIRS_LABEL: &str = "pairs";
+
+fn model_counter(name: &str, help: &str, model: &str) -> Arc<Counter> {
+    gd_obs::counter(name, help, &[("model", model)])
+}
+
+/// Candidate faults enumerated (raw combinatorial space) for `model`.
+pub fn candidates(model: &str) -> Arc<Counter> {
+    model_counter(
+        "gd_faultsim_candidates_total",
+        "candidate faults enumerated before pruning, by fault model",
+        model,
+    )
+}
+
+/// Candidates pruned before simulation for `model`.
+pub fn pruned(model: &str) -> Arc<Counter> {
+    model_counter(
+        "gd_faultsim_pruned_total",
+        "candidate faults pruned by architectural-effect canonicalization, by fault model",
+        model,
+    )
+}
+
+/// Trials actually simulated for `model`.
+pub fn simulated(model: &str) -> Arc<Counter> {
+    model_counter(
+        "gd_faultsim_simulated_total",
+        "fault trials simulated (one canonical representative per class), by fault model",
+        model,
+    )
+}
+
+/// Weighted trial outcomes for `model` and `outcome`.
+pub fn outcomes(model: &str, outcome: Outcome) -> Arc<Counter> {
+    gd_obs::counter(
+        "gd_faultsim_outcomes_total",
+        "weighted fault-trial outcomes, by fault model and outcome class",
+        &[("model", model), ("outcome", outcome.label())],
+    )
+}
+
+/// Adds a weighted tally into the per-outcome counters of `model`.
+pub fn record_tally(model: &str, tally: &Tally) {
+    for o in Outcome::ALL {
+        let n = tally.count(o);
+        if n > 0 {
+            outcomes(model, o).add(n);
+        }
+    }
+}
+
+/// Registers every `gd_faultsim_*` family at zero for the standard
+/// registry (plus the order-2 pair space), so `/metrics` shows the
+/// full inventory before any campaign runs.
+pub fn register_metrics() {
+    let registry = Registry::standard();
+    for name in registry.names().into_iter().chain([PAIRS_LABEL]) {
+        let _ = candidates(name);
+        let _ = pruned(name);
+        let _ = simulated(name);
+        for o in Outcome::ALL {
+            let _ = outcomes(name, o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_exposes_every_family_at_zero() {
+        register_metrics();
+        let text = gd_obs::global().render_prometheus();
+        for family in [
+            "# TYPE gd_faultsim_candidates_total counter",
+            "# TYPE gd_faultsim_pruned_total counter",
+            "# TYPE gd_faultsim_simulated_total counter",
+            "# TYPE gd_faultsim_outcomes_total counter",
+        ] {
+            assert!(text.contains(family), "missing {family:?}");
+        }
+        assert!(text.contains(r#"gd_faultsim_candidates_total{model="xor1.t"}"#));
+        assert!(text.contains(r#"gd_faultsim_outcomes_total{model="pairs",outcome="Success"}"#));
+    }
+}

@@ -1,0 +1,262 @@
+//! Typed fault spaces: concrete fault instances, the model trait, and
+//! the fixed registry of models a campaign enumerates.
+
+use gd_emu::{InjectKind, Injection, LoadOverride, Persistence};
+use gd_glitch_emu::masks::ChooseBits;
+use gd_thumb::Instr;
+
+/// One concrete candidate fault: an [`InjectKind`] armed at one fetch
+/// site with a persistence. The unit the pruning layer canonicalizes and
+/// the runner simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultInstance {
+    /// Fetch address the fault is tied to.
+    pub site: u32,
+    /// The fetch-stage effect.
+    pub kind: InjectKind,
+    /// One fetch or every fetch.
+    pub persistence: Persistence,
+}
+
+impl FaultInstance {
+    /// The armed emulator injection for this instance.
+    pub fn injection(&self) -> Injection {
+        Injection::new(self.site, self.kind, self.persistence)
+    }
+}
+
+/// One instruction-start site of the straight-line walk over a routine:
+/// the enumeration domain of every fault model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteInfo {
+    /// Address of the instruction's first halfword.
+    pub addr: u32,
+    /// That first halfword, as laid out in the image.
+    pub hw: u16,
+    /// The following halfword in the image, when one exists — what a
+    /// 32-bit encoding fetched at `addr` would consume.
+    pub hw2: Option<u16>,
+    /// The decoded instruction at the site.
+    pub instr: Instr,
+    /// Encoding size in bytes (2 or 4).
+    pub size: u32,
+}
+
+/// A typed fault space: everything the campaign knows about one way of
+/// glitching a fetch.
+pub trait FaultModel: Send + Sync {
+    /// Stable short name (appears in results, metrics, and specs),
+    /// e.g. `"xor1.t"`.
+    fn name(&self) -> &'static str;
+
+    /// Number of candidate faults this model defines at *any* halfword
+    /// address — the raw combinatorial space per site, before any
+    /// reachability or decode pruning.
+    fn candidates_per_site(&self) -> u64;
+
+    /// The concrete candidates at one instruction-start site.
+    fn candidates_at(&self, site: &SiteInfo) -> Vec<FaultInstance>;
+}
+
+/// Bidirectional k-bit halfword flips: every XOR mask with exactly
+/// `bits` bits set, applied to the fetched first halfword.
+#[derive(Debug, Clone, Copy)]
+pub struct FlipModel {
+    name: &'static str,
+    bits: u32,
+    persistence: Persistence,
+}
+
+impl FaultModel for FlipModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn candidates_per_site(&self) -> u64 {
+        ChooseBits::new(16, self.bits).count() as u64
+    }
+
+    fn candidates_at(&self, site: &SiteInfo) -> Vec<FaultInstance> {
+        ChooseBits::new(16, self.bits)
+            .map(|mask| FaultInstance {
+                site: site.addr,
+                kind: InjectKind::Corrupt { hw: site.hw ^ mask as u16 },
+                persistence: self.persistence,
+            })
+            .collect()
+    }
+}
+
+/// Instruction skip: the fetch happens but the instruction does not
+/// execute (Moro et al.'s canonical EM effect).
+#[derive(Debug, Clone, Copy)]
+pub struct SkipModel {
+    name: &'static str,
+    persistence: Persistence,
+}
+
+impl FaultModel for SkipModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn candidates_per_site(&self) -> u64 {
+        1
+    }
+
+    fn candidates_at(&self, site: &SiteInfo) -> Vec<FaultInstance> {
+        vec![FaultInstance {
+            site: site.addr,
+            kind: InjectKind::Skip,
+            persistence: self.persistence,
+        }]
+    }
+}
+
+/// Data-bus corruption synchronized to one fetch: the instruction's
+/// first load goes through a [`LoadOverride`].
+#[derive(Debug, Clone, Copy)]
+pub struct BusModel {
+    name: &'static str,
+    over: LoadOverride,
+    persistence: Persistence,
+}
+
+impl FaultModel for BusModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn candidates_per_site(&self) -> u64 {
+        1
+    }
+
+    fn candidates_at(&self, site: &SiteInfo) -> Vec<FaultInstance> {
+        vec![FaultInstance {
+            site: site.addr,
+            kind: InjectKind::LoadBus(self.over),
+            persistence: self.persistence,
+        }]
+    }
+}
+
+/// The fixed, ordered set of fault models a campaign enumerates. Order
+/// is part of every golden artifact and cache key — append, never
+/// reorder.
+pub struct Registry {
+    models: Vec<Box<dyn FaultModel>>,
+}
+
+impl Registry {
+    /// The standard registry: single- and double-bit bidirectional
+    /// flips, instruction skip, and an all-ones data-bus residue, each
+    /// in the persistences the paper's taxonomy distinguishes
+    /// (`.t` = transient/one fetch, `.p` = permanent/every fetch).
+    pub fn standard() -> Registry {
+        Registry {
+            models: vec![
+                Box::new(FlipModel {
+                    name: "xor1.t",
+                    bits: 1,
+                    persistence: Persistence::Transient,
+                }),
+                Box::new(FlipModel {
+                    name: "xor1.p",
+                    bits: 1,
+                    persistence: Persistence::Permanent,
+                }),
+                Box::new(FlipModel {
+                    name: "xor2.t",
+                    bits: 2,
+                    persistence: Persistence::Transient,
+                }),
+                Box::new(SkipModel { name: "skip.t", persistence: Persistence::Transient }),
+                Box::new(SkipModel { name: "skip.p", persistence: Persistence::Permanent }),
+                Box::new(BusModel {
+                    name: "bus.hi.t",
+                    over: LoadOverride::Replace(u32::MAX),
+                    persistence: Persistence::Transient,
+                }),
+            ],
+        }
+    }
+
+    /// The models in registry order.
+    pub fn models(&self) -> &[Box<dyn FaultModel>] {
+        &self.models
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Whether the registry is empty (the standard one never is).
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The model names in registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.models.iter().map(|m| m.name()).collect()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("models", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn site() -> SiteInfo {
+        SiteInfo {
+            addr: 0x100,
+            hw: 0x2001,
+            hw2: Some(0x2002),
+            instr: Instr::MovImm { rd: gd_thumb::Reg::R0, imm8: 1 },
+            size: 2,
+        }
+    }
+
+    #[test]
+    fn standard_registry_order_is_stable() {
+        let reg = Registry::standard();
+        assert_eq!(reg.names(), ["xor1.t", "xor1.p", "xor2.t", "skip.t", "skip.p", "bus.hi.t"]);
+    }
+
+    #[test]
+    fn flip_model_enumerates_choose_k_masks() {
+        let reg = Registry::standard();
+        let s = site();
+        let one = reg.models()[0].candidates_at(&s);
+        assert_eq!(one.len(), 16);
+        assert_eq!(reg.models()[0].candidates_per_site(), 16);
+        let two = reg.models()[2].candidates_at(&s);
+        assert_eq!(two.len(), 120, "C(16, 2)");
+        // Every flip is bidirectional and never the identity.
+        for c in &one {
+            match c.kind {
+                InjectKind::Corrupt { hw } => {
+                    assert_ne!(hw, s.hw);
+                    assert_eq!((hw ^ s.hw).count_ones(), 1);
+                }
+                other => panic!("unexpected kind {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn skip_and_bus_emit_one_candidate_per_site() {
+        let reg = Registry::standard();
+        let s = site();
+        for idx in [3usize, 4, 5] {
+            let c = reg.models()[idx].candidates_at(&s);
+            assert_eq!(c.len(), 1, "{}", reg.models()[idx].name());
+            assert_eq!(c[0].site, s.addr);
+        }
+    }
+}

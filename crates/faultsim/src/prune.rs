@@ -1,0 +1,214 @@
+//! Architectural-effect pruning: canonicalize candidate faults through
+//! the shared decode path and collapse same-effect candidates into
+//! classes, so only one trial per class is simulated while tallies keep
+//! the full space's weights.
+
+use std::collections::HashMap;
+
+use gd_backend::FirmwareImage;
+use gd_emu::{classify, Config, InjectKind, Slot};
+use gd_glitch_emu::Outcome;
+use gd_thumb::Instr;
+
+use crate::model::{FaultInstance, FaultModel, SiteInfo};
+
+/// The straight-line instruction walk over the named routines of an
+/// image: one [`SiteInfo`] per instruction start, in address order.
+///
+/// Literal pools and alignment padding (`[code_end, end)` of each
+/// [`FuncExtent`](gd_backend::FuncExtent)) and mid-instruction halfwords
+/// are excluded: with fetch-stage injection, a fault only fires when the
+/// PC reaches its site, and straight-line execution of the scoped
+/// routines only fetches instruction starts. (Second-order campaigns
+/// inherit this as a static-reachability approximation: a first fault
+/// could in principle redirect the PC into a site the walk skipped.)
+///
+/// # Panics
+///
+/// Panics when a named routine does not exist in the image, or when the
+/// walk runs into bytes that do not decode (lowered code never does).
+pub fn sites(image: &FirmwareImage, cfg: Config, funcs: &[&str]) -> Vec<SiteInfo> {
+    let base = gd_backend::layout::FLASH_BASE;
+    let hw_at = |addr: u32| -> Option<u16> {
+        let off = addr.checked_sub(base)? as usize;
+        let bytes = image.text.get(off..off + 2)?;
+        Some(u16::from_le_bytes([bytes[0], bytes[1]]))
+    };
+    let mut out = Vec::new();
+    for name in funcs {
+        let extent = image.extent(name).unwrap_or_else(|| panic!("unknown routine `{name}`"));
+        let mut addr = extent.base;
+        while addr < extent.code_end {
+            let hw = hw_at(addr).expect("extent lies inside .text");
+            let hw2 = hw_at(addr + 2);
+            match classify(hw, hw2, cfg) {
+                Slot::Instr { instr, size } => {
+                    out.push(SiteInfo { addr, hw, hw2, instr, size });
+                    addr += size;
+                }
+                other => panic!("non-instruction {other:?} at {addr:#010x} inside `{name}`"),
+            }
+        }
+    }
+    out
+}
+
+/// One equivalence class of same-effect faults at one site. All members
+/// produce the same architectural effect; `members[0]` is the canonical
+/// representative a campaign simulates, and the class outcome counts
+/// `members.len()` times in the tallies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultClass {
+    /// The same-effect candidates, canonical representative first.
+    pub members: Vec<FaultInstance>,
+    /// `Some` when the class is statically classified (no simulation
+    /// needed): the fault decodes identically to the original
+    /// instruction, or a bus fault rides an instruction with no load —
+    /// both are *No Effect* by construction.
+    pub outcome: Option<Outcome>,
+}
+
+impl FaultClass {
+    /// The canonical representative.
+    pub fn rep(&self) -> FaultInstance {
+        self.members[0]
+    }
+
+    /// Class size — the weight its outcome carries in tallies.
+    pub fn weight(&self) -> u64 {
+        self.members.len() as u64
+    }
+}
+
+/// The pruned form of one model's fault space over a site list.
+#[derive(Debug, Clone)]
+pub struct ModelClasses {
+    /// Index of the model in its registry.
+    pub model: usize,
+    /// Registry name of the model.
+    pub name: &'static str,
+    /// Equivalence classes in (site, first-candidate) order.
+    pub classes: Vec<FaultClass>,
+    /// Raw candidate count over *every* halfword of the scoped extents
+    /// (pools, padding, and mid-instruction sites included) — the
+    /// unpruned combinatorial space.
+    pub enumerated: u64,
+    /// Classes that require a simulated trial.
+    pub simulated: u64,
+}
+
+impl ModelClasses {
+    /// Candidates removed before simulation: `enumerated` minus the
+    /// simulated representatives.
+    pub fn pruned(&self) -> u64 {
+        self.enumerated - self.simulated
+    }
+}
+
+/// How a candidate fault canonicalizes at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum CanonKey {
+    /// Decodes to this instruction (possibly the original — handled as a
+    /// static class before keying).
+    Decode(Instr, u32),
+    /// Any undefined pattern: the outcome taxonomy ignores the payload
+    /// and execution stops at the fault, so all merge.
+    Undefined,
+    /// Undecidable from the image alone (a 32-bit prefix whose second
+    /// halfword lies outside the text) — kept unmerged.
+    Raw(u16),
+    /// Statically *No Effect*: decodes identically to the original, or a
+    /// load-bus fault on an instruction that performs no load.
+    NoEffect,
+    /// Unique effects that always simulate (skip, live bus faults).
+    Unique(u32),
+}
+
+/// Whether `instr` performs at least one data load (the instructions a
+/// load-bus fault can affect).
+fn loads(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::LdrLit { .. }
+            | Instr::LoadReg { .. }
+            | Instr::LdrsbReg { .. }
+            | Instr::LdrshReg { .. }
+            | Instr::LoadImm { .. }
+            | Instr::LdrSp { .. }
+            | Instr::Ldm { .. }
+            | Instr::Pop { .. }
+    )
+}
+
+fn canon_key(site: &SiteInfo, fault: &FaultInstance, cfg: Config, unique: &mut u32) -> CanonKey {
+    match fault.kind {
+        InjectKind::Corrupt { hw } => match classify(hw, site.hw2, cfg) {
+            Slot::Instr { instr, size } if instr == site.instr && size == site.size => {
+                CanonKey::NoEffect
+            }
+            Slot::Instr { instr, size } => CanonKey::Decode(instr, size),
+            Slot::Undefined { .. } => CanonKey::Undefined,
+            Slot::Live => CanonKey::Raw(hw),
+        },
+        InjectKind::Skip => {
+            *unique += 1;
+            CanonKey::Unique(*unique)
+        }
+        InjectKind::LoadBus(_) => {
+            if loads(&site.instr) {
+                *unique += 1;
+                CanonKey::Unique(*unique)
+            } else {
+                CanonKey::NoEffect
+            }
+        }
+    }
+}
+
+/// Prunes one model's candidate space over `scope_sites`.
+///
+/// Candidates at each site are grouped by their canonical architectural
+/// effect under the shared [`classify`] decode path; one class per
+/// effect survives. The `enumerated` total additionally counts the
+/// sites the walk never visits — `halfword_slots` is the total halfword
+/// count of the scoped extents (pools and padding included), so the
+/// reported pruning ratio reflects the full combinatorial space.
+pub fn prune_model(
+    model_idx: usize,
+    model: &dyn FaultModel,
+    scope_sites: &[SiteInfo],
+    halfword_slots: u64,
+    cfg: Config,
+) -> ModelClasses {
+    let mut classes: Vec<FaultClass> = Vec::new();
+    let mut unique = 0u32;
+    for site in scope_sites {
+        let mut by_key: HashMap<CanonKey, usize> = HashMap::new();
+        for cand in model.candidates_at(site) {
+            let key = canon_key(site, &cand, cfg, &mut unique);
+            match by_key.get(&key) {
+                Some(&idx) => classes[idx].members.push(cand),
+                None => {
+                    by_key.insert(key, classes.len());
+                    let outcome = (key == CanonKey::NoEffect).then_some(Outcome::NoEffect);
+                    classes.push(FaultClass { members: vec![cand], outcome });
+                }
+            }
+        }
+    }
+    let enumerated = model.candidates_per_site() * halfword_slots;
+    let simulated = classes.iter().filter(|c| c.outcome.is_none()).count() as u64;
+    ModelClasses { model: model_idx, name: model.name(), classes, enumerated, simulated }
+}
+
+/// Total halfword slots of the named routines' extents, pools and
+/// padding included — the per-site factor of the raw fault space.
+pub fn halfword_slots(image: &FirmwareImage, funcs: &[&str]) -> u64 {
+    funcs
+        .iter()
+        .map(|name| {
+            let e = image.extent(name).unwrap_or_else(|| panic!("unknown routine `{name}`"));
+            u64::from(e.end - e.base) / 2
+        })
+        .sum()
+}

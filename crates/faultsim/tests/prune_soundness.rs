@@ -1,0 +1,120 @@
+//! Pruning soundness: a pruned fault's simulated outcome must equal its
+//! canonical representative's — sampled over the real boot campaign via
+//! the workspace's deterministic check harness — plus shape and
+//! determinism properties of the shard executors.
+
+use gd_exec::check::cases;
+use gd_faultsim::{boot_campaign, order1_shard, order2_shard, MfStats, O2_BUCKETS};
+use gd_glitch_emu::{Outcome, Tally};
+
+#[test]
+fn clean_boot_is_no_effect() {
+    let campaign = boot_campaign();
+    let mut runner = campaign.runner();
+    assert_eq!(runner.run(&[]), Outcome::NoEffect, "unfaulted boot reaches the marker");
+    assert!(runner.replayed() > 100, "the snapshot skips the HAL bring-up");
+}
+
+/// Every sampled class member simulates to the same outcome as the
+/// class representative — the equivalence the pruning layer claims.
+#[test]
+fn pruned_members_match_their_representative() {
+    let campaign = boot_campaign();
+    let mut runner = campaign.runner();
+    let multi: Vec<_> = campaign
+        .per_model
+        .iter()
+        .flat_map(|mc| mc.classes.iter().filter(|c| c.members.len() > 1))
+        .collect();
+    assert!(!multi.is_empty(), "dedup found multi-member classes");
+    cases(48, "class member ≡ representative", |rng| {
+        let class = multi[rng.usize(0, multi.len())];
+        let member = class.members[rng.usize(1, class.members.len())];
+        let expected = match class.outcome {
+            Some(o) => o,
+            None => runner.run(&[class.rep()]),
+        };
+        assert_eq!(runner.run(&[member]), expected, "member {member:?}");
+    });
+}
+
+/// Statically classified classes (identity decodes, bus faults on
+/// no-load instructions) really are No Effect when simulated.
+#[test]
+fn static_classes_simulate_to_no_effect() {
+    let campaign = boot_campaign();
+    let mut runner = campaign.runner();
+    let static_classes: Vec<_> = campaign
+        .per_model
+        .iter()
+        .flat_map(|mc| mc.classes.iter().filter(|c| c.outcome.is_some()))
+        .collect();
+    assert!(!static_classes.is_empty());
+    cases(24, "static class ≡ no effect", |rng| {
+        let class = static_classes[rng.usize(0, static_classes.len())];
+        let member = class.members[rng.usize(0, class.members.len())];
+        assert_eq!(runner.run(&[member]), Outcome::NoEffect, "member {member:?}");
+    });
+}
+
+/// Second-order soundness: a sampled pair of class members simulates to
+/// the same outcome as the pair of representatives.
+#[test]
+fn pair_members_match_representative_pairs() {
+    let campaign = boot_campaign();
+    let mut runner = campaign.runner();
+    let classes: Vec<_> = campaign
+        .per_model
+        .iter()
+        .flat_map(|mc| mc.classes.iter().filter(|c| c.outcome.is_none()))
+        .collect();
+    cases(32, "pair member ≡ representative pair", |rng| {
+        let a = classes[rng.usize(0, classes.len())];
+        let b = classes[rng.usize(0, classes.len())];
+        if a.rep().site == b.rep().site {
+            return;
+        }
+        let ma = a.members[rng.usize(0, a.members.len())];
+        let mb = b.members[rng.usize(0, b.members.len())];
+        let expected = runner.run(&[a.rep(), b.rep()]);
+        assert_eq!(runner.run(&[ma, mb]), expected, "pair {ma:?} + {mb:?}");
+    });
+}
+
+/// First-order executors: tallies cover the whole enumerated space,
+/// pruning demonstrably reduces simulated trials, and at least one
+/// model compromises the boot check.
+#[test]
+fn order1_shards_cover_the_space_and_prune() {
+    let campaign = boot_campaign();
+    let mut success = 0u64;
+    for model in 0..campaign.per_model.len() {
+        let (tally, stats) = order1_shard(model);
+        assert_eq!(tally.total(), stats.enumerated, "model {model} covers its space");
+        assert_eq!(stats.pruned, stats.enumerated - stats.simulated);
+        assert!(stats.pruned > 0, "model {model} pruned nothing");
+        assert!(stats.simulated > 0, "model {model} simulated nothing");
+        success += tally.count(Outcome::Success);
+    }
+    assert!(success > 0, "some fault reaches the impossible path");
+}
+
+/// Second-order executors: shard results are a partition — identical
+/// totals whatever the bucket, and re-running a bucket is bit-stable.
+#[test]
+fn order2_buckets_partition_the_pair_space() {
+    let mut total = Tally::default();
+    let mut stats = MfStats::default();
+    for bucket in 0..O2_BUCKETS {
+        let (tally, s) = order2_shard(bucket);
+        total.merge(&tally);
+        stats.merge(&s);
+    }
+    assert_eq!(total.total(), stats.enumerated);
+    assert!(stats.simulated > 0);
+    assert!(stats.pruned > 0);
+    let (again, s_again) = order2_shard(0);
+    let (first, s_first) = order2_shard(0);
+    assert_eq!(again, first, "bucket execution is deterministic");
+    assert_eq!(s_again, s_first);
+}

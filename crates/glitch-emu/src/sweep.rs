@@ -83,6 +83,23 @@ impl Outcome {
         }
     }
 
+    /// Maps a hard fault to its outcome class — the fault half of the
+    /// paper's taxonomy, shared by the Figure 2 sweeps and the
+    /// multi-fault campaigns (`gd-faultsim`) so the two engines cannot
+    /// drift: *Bad Fetch* for fetch faults, *Bad Read* for other memory
+    /// faults, *Invalid Instruction* for undefined patterns (whatever
+    /// their payload), *Failed* for interworking attempts.
+    pub fn from_fault(fault: &Fault) -> Outcome {
+        match fault {
+            Fault::Mem(m) => match m.access {
+                gd_emu::Access::Fetch => Outcome::BadFetch,
+                _ => Outcome::BadRead,
+            },
+            Fault::Undefined { .. } => Outcome::InvalidInstruction,
+            Fault::InterworkArm { .. } => Outcome::Failed,
+        }
+    }
+
     /// The label used in Figure 2.
     pub fn label(self) -> &'static str {
         match self {
@@ -124,6 +141,13 @@ impl Tally {
     /// Records one outcome.
     pub fn record(&mut self, outcome: Outcome) {
         self.counts[outcome.index()] += 1;
+    }
+
+    /// Records one outcome `n` times — the weighted form used by pruned
+    /// campaigns, where one simulated representative stands for a whole
+    /// equivalence class of faults.
+    pub fn record_n(&mut self, outcome: Outcome, n: u64) {
+        self.counts[outcome.index()] += n;
     }
 
     /// Count for one outcome.
@@ -175,14 +199,7 @@ fn classify_trial(outcome: RunOutcome, emu: &Emu) -> Outcome {
         }
         RunOutcome::Stop { .. } => Outcome::Failed,
         RunOutcome::StepLimit { .. } => Outcome::Failed,
-        RunOutcome::Fault { fault, .. } => match fault {
-            Fault::Mem(m) => match m.access {
-                gd_emu::Access::Fetch => Outcome::BadFetch,
-                _ => Outcome::BadRead,
-            },
-            Fault::Undefined { .. } => Outcome::InvalidInstruction,
-            Fault::InterworkArm { .. } => Outcome::Failed,
-        },
+        RunOutcome::Fault { fault, .. } => Outcome::from_fault(&fault),
     }
 }
 

@@ -44,12 +44,30 @@ rm -f target/lint_boot.t1.txt target/lint_boot.t2.txt target/lint_boot.t8.txt
 echo "==> gd-lint --deny on the fully hardened boot image"
 ./target/release/gd-lint --deny --config All > /dev/null
 
-# Benchmark trajectory smoke: re-measure the fig2 sweep and table1 scan
-# hot paths (few samples — this is a structure/regression gate, not a
-# baseline regeneration) and compare against the committed BENCH_*.json:
-# same stage set, fresh medians within GD_BENCH_TOLERANCE of the
-# committed ones, and the predecoded fig2 sweep holding its committed
-# >= 5x speedup floor.
+# Exhaustive multi-fault campaign over firmware::boot, through the
+# campaign engine's sharded path: the report (first-order sweeps of
+# every registry fault model plus the second-order pair buckets, with
+# the pruning ledger) must match the committed golden byte for byte and
+# stay byte-identical across worker counts.
+echo "==> gd-multifault --check"
+./target/release/gd-multifault --check
+
+echo "==> gd-multifault determinism across GD_THREADS=1/2/8"
+GD_THREADS=1 ./target/release/gd-multifault > target/multifault_boot.t1.txt
+GD_THREADS=2 ./target/release/gd-multifault > target/multifault_boot.t2.txt
+GD_THREADS=8 ./target/release/gd-multifault > target/multifault_boot.t8.txt
+cmp target/multifault_boot.t1.txt target/multifault_boot.t2.txt
+cmp target/multifault_boot.t1.txt target/multifault_boot.t8.txt
+cmp target/multifault_boot.t1.txt results/multifault_boot.txt
+rm -f target/multifault_boot.t1.txt target/multifault_boot.t2.txt target/multifault_boot.t8.txt
+
+# Benchmark trajectory smoke: re-measure the fig2 sweep, table1 scan,
+# and multifault campaign hot paths (few samples — this is a
+# structure/regression gate, not a baseline regeneration) and compare
+# against the committed BENCH_*.json: same stage set, fresh medians
+# within GD_BENCH_TOLERANCE of the committed ones, the predecoded fig2
+# sweep holding its committed >= 5x speedup floor, and the multifault
+# pruning rates reproducing their committed milli-values exactly.
 echo "==> gd-bench --check (benchmark trajectory)"
 GD_BENCH_SAMPLES=5 ./target/release/gd-bench --check
 
