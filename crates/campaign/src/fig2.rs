@@ -39,7 +39,11 @@ pub fn panel_configs() -> Vec<(&'static str, Direction, Config)> {
     vec![
         ("AND (2a)", Direction::And, Config::default()),
         ("OR (2b)", Direction::Or, Config::default()),
-        ("AND, 0x0000 invalid (2c)", Direction::And, Config { zero_is_invalid: true }),
+        (
+            "AND, 0x0000 invalid (2c)",
+            Direction::And,
+            Config { zero_is_invalid: true, ..Config::default() },
+        ),
         ("XOR (discussed in §IV)", Direction::Xor, Config::default()),
     ]
 }
@@ -143,7 +147,12 @@ mod tests {
         let conds = [Cond::Eq, Cond::Ne];
         let and = panel("AND", Direction::And, Config::default(), &conds);
         let or = panel("OR", Direction::Or, Config::default(), &conds);
-        let and0 = panel("AND0", Direction::And, Config { zero_is_invalid: true }, &conds);
+        let and0 = panel(
+            "AND0",
+            Direction::And,
+            Config { zero_is_invalid: true, ..Config::default() },
+            &conds,
+        );
         assert!(and.overall_success() > or.overall_success());
         // Figure 2c: making 0x0000 invalid barely moves the AND rate.
         let delta = (and.overall_success() - and0.overall_success()).abs();

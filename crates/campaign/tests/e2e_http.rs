@@ -103,6 +103,16 @@ fn table1_served_over_http_matches_the_committed_results() {
     assert!(!lint_report.deny(), "fully hardened boot firmware lints clean");
     lint_report.record_metrics();
 
+    // Same story for the firmware ingester: register its families and
+    // ingest the committed demo dump so the bin-format counters move.
+    gd_ingest::register_metrics();
+    let blob = std::fs::read(PathBuf::from(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../testdata/ingest_demo.bin"
+    )))
+    .expect("committed demo blob");
+    gd_ingest::ingest_bin(&blob, gd_ingest::testimg::DEMO_BASE).expect("demo blob ingests");
+
     let (status, metrics) = request(&addr, "GET", "/metrics", None).expect("GET /metrics");
     assert_eq!(status, 200);
     for family in [
@@ -122,6 +132,10 @@ fn table1_served_over_http_matches_the_committed_results() {
         "# TYPE gd_faultsim_pruned_total counter",
         "# TYPE gd_faultsim_simulated_total counter",
         "# TYPE gd_faultsim_outcomes_total counter",
+        "# TYPE gd_ingest_images_total counter",
+        "# TYPE gd_ingest_text_bytes_total counter",
+        "# TYPE gd_ingest_extents_total counter",
+        "# TYPE gd_ingest_pool_bytes_total counter",
     ] {
         assert!(metrics.contains(family), "missing {family:?} in:\n{metrics}");
     }
@@ -135,6 +149,16 @@ fn table1_served_over_http_matches_the_committed_results() {
     ] {
         assert!(metrics.contains(series), "missing {series:?} in:\n{metrics}");
     }
+    // Both ingest label sets are pre-registered; the bin ingestion above
+    // moved its image counter off zero.
+    assert!(
+        metrics.contains(r#"gd_ingest_images_total{format="bin"} 1"#),
+        "the demo ingestion was counted:\n{metrics}"
+    );
+    assert!(
+        metrics.contains(r#"gd_ingest_images_total{format="elf"} 0"#),
+        "the elf label set is registered at zero:\n{metrics}"
+    );
     assert!(
         metrics.contains(r#"gd_http_requests_total{route="/campaigns/{id}",status="200"}"#),
         "the polls above are counted under their route pattern:\n{metrics}"

@@ -3,7 +3,7 @@
 
 use core::fmt;
 
-use gd_thumb::{is_32bit_prefix, AluOp, Instr, Reg, ShiftOp, Width};
+use gd_thumb::{is_32bit_prefix, thumb_expand_imm_c, AluOp, Instr, Reg, ShiftOp, WideDpOp, Width};
 
 use crate::mem::{Access, MemFault, MemSnapshot, Memory};
 use crate::predecode::{classify, PredecodedImage, Slot};
@@ -16,6 +16,12 @@ pub struct Config {
     /// `LSLS r0, r0, #0`. This models the ISA hardening experiment of the
     /// paper's Figure 2c.
     pub zero_is_invalid: bool,
+    /// Decode the Thumb-2 wide subset
+    /// ([`decode32_wide`](gd_thumb::decode32_wide)) instead of the pure
+    /// ARMv6-M 32-bit space (`BL` only). Off by default: on a Cortex-M0
+    /// every wide encoding except `BL` *is* undefined, and the historical
+    /// goldens pin that behavior. Ingested third-party images enable it.
+    pub wide: bool,
 }
 
 /// A one-shot override applied to the next data load — the hook the clock
@@ -435,17 +441,21 @@ impl Emu {
             Slot::Undefined { hw, hw2 } => Err(Fault::Undefined { addr, hw, hw2 }),
             // classify only defers when a prefix's second halfword is
             // unknown, and we always fetched it above.
-            Slot::Live => unreachable!("second halfword fetched for 32-bit prefix"),
+            Slot::Incomplete { .. } | Slot::Live => {
+                unreachable!("second halfword fetched for 32-bit prefix")
+            }
         }
     }
 
     /// Like [`Emu::step`], but dispatching from a predecoded micro-op
     /// table instead of decoding the fetched halfword.
     ///
-    /// Addresses outside the image, and slots the image marks
-    /// [`Slot::Live`] (perturbed halfwords, a 32-bit prefix at the image
-    /// edge), fall back to the ordinary fetch/decode path — this is the
-    /// perturbed-address fallback rule the glitch sweeps rely on.
+    /// Addresses outside the image, slots the image marks [`Slot::Live`]
+    /// (perturbed halfwords), and [`Slot::Incomplete`] prefixes at the
+    /// image edge fall back to the ordinary fetch/decode path — this is
+    /// the perturbed-address fallback rule the glitch sweeps rely on, and
+    /// what turns an image-edge prefix with nothing mapped after it into
+    /// a fetch fault at `addr + 2` rather than an undefined instruction.
     ///
     /// The caller must ensure the image was built from this emulator's
     /// current memory under the same [`Config`] (perturbed addresses
@@ -464,7 +474,7 @@ impl Emu {
             // Live decode reports undefined patterns before `exec` runs,
             // so the cached arm must not touch the step counter either.
             Some(Slot::Undefined { hw, hw2 }) => Err(Fault::Undefined { addr, hw, hw2 }),
-            Some(Slot::Live) | None => self.step(),
+            Some(Slot::Incomplete { .. }) | Some(Slot::Live) | None => self.step(),
         }
     }
 
@@ -895,6 +905,78 @@ impl Emu {
                 step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
                 step.branched = true;
             }
+            Instr::BW { offset } => {
+                step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
+                step.branched = true;
+            }
+            Instr::BCondW { cond, offset } => {
+                if cond.holds(self.cpu.flags) {
+                    step.next_pc = addr.wrapping_add(4).wrapping_add(offset as u32);
+                    step.branched = true;
+                }
+            }
+            Instr::DpImm { op, s, rn, rd, imm12 } => {
+                let c_in = self.cpu.flags.c;
+                let (imm, imm_c) = thumb_expand_imm_c(imm12, c_in);
+                // The MOV/MVN forms (rn == PC) never read their operand.
+                let a = if rn == Reg::PC { 0 } else { self.read_reg(rn, addr) };
+                // Logical ops take C from the immediate expansion and
+                // leave V alone; arithmetic ops take both from the adder.
+                let (r, c, v) = match op {
+                    WideDpOp::And => (a & imm, imm_c, None),
+                    WideDpOp::Bic => (a & !imm, imm_c, None),
+                    WideDpOp::Orr => (if rn == Reg::PC { imm } else { a | imm }, imm_c, None),
+                    WideDpOp::Orn => (if rn == Reg::PC { !imm } else { a | !imm }, imm_c, None),
+                    WideDpOp::Eor => (a ^ imm, imm_c, None),
+                    WideDpOp::Add => map3(add_with_carry(a, imm, false)),
+                    WideDpOp::Adc => map3(add_with_carry(a, imm, c_in)),
+                    WideDpOp::Sbc => map3(add_with_carry(a, !imm, c_in)),
+                    WideDpOp::Sub => map3(add_with_carry(a, !imm, true)),
+                    WideDpOp::Rsb => map3(add_with_carry(!a, imm, true)),
+                };
+                // rd == PC encodes the compare/test form: flags only.
+                if rd != Reg::PC {
+                    self.cpu.set_reg(rd, r);
+                }
+                if s {
+                    self.set_nz(r);
+                    self.cpu.flags.c = c;
+                    if let Some(v) = v {
+                        self.cpu.flags.v = v;
+                    }
+                }
+            }
+            Instr::MovW { rd, imm16 } => {
+                self.cpu.set_reg(rd, u32::from(imm16));
+            }
+            Instr::MovT { rd, imm16 } => {
+                let r = self.cpu.reg(rd) & 0xFFFF | u32::from(imm16) << 16;
+                self.cpu.set_reg(rd, r);
+            }
+            Instr::LdrW { rt, rn, imm12 } => {
+                let base =
+                    if rn == Reg::PC { addr.wrapping_add(4) & !3 } else { self.read_reg(rn, addr) };
+                let v = self.load(base.wrapping_add(u32::from(imm12)), Width::Word)?;
+                step.loads = 1;
+                if rt == Reg::PC {
+                    // A load into PC is an interworking branch: bit 0
+                    // must select Thumb state, exactly as BX.
+                    if v & 1 == 0 {
+                        return Err(Fault::InterworkArm { addr, target: v });
+                    }
+                    step.next_pc = v & !1;
+                    step.branched = true;
+                } else {
+                    self.cpu.set_reg(rt, v);
+                }
+            }
+            Instr::StrW { rt, rn, imm12 } => {
+                let a = self.read_reg(rn, addr).wrapping_add(u32::from(imm12));
+                let v = self.read_reg(rt, addr);
+                self.store(a, v, Width::Word)?;
+                step.stores = 1;
+                step.store = Some((a, v));
+            }
         }
         self.pc = step.next_pc;
         Ok(StepOutcome::Step(step))
@@ -998,6 +1080,12 @@ pub fn add_with_carry(a: u32, b: u32, carry_in: bool) -> (u32, bool, bool) {
     let signed = i64::from(a as i32) + i64::from(b as i32) + i64::from(carry_in);
     let overflow = signed != i64::from(result as i32);
     (result, carry, overflow)
+}
+
+/// Tags an [`add_with_carry`] result so it slots into the wide
+/// data-processing arm, where logical ops carry `None` for V.
+fn map3((r, c, v): (u32, bool, bool)) -> (u32, bool, Option<bool>) {
+    (r, c, Some(v))
 }
 
 fn shift_imm(op: ShiftOp, x: u32, imm5: u8, c_in: bool) -> (u32, bool) {

@@ -20,7 +20,7 @@
 //! [`Emu::step_predecoded`](crate::Emu::step_predecoded) decodes them from
 //! memory on every visit.
 
-use gd_thumb::{decode16, decode32, is_32bit_prefix, DecodeError, Instr};
+use gd_thumb::{decode16, decode32, decode32_wide, is_32bit_prefix, DecodeError, Instr};
 
 use crate::exec::Config;
 use crate::mem::Region;
@@ -43,10 +43,20 @@ pub enum Slot {
         /// Second halfword for 32-bit patterns.
         hw2: Option<u16>,
     },
-    /// Undecidable from the image alone — dispatch must decode live. Used
-    /// for a 32-bit prefix in the image's final halfword (whether the
-    /// second-halfword fetch faults depends on what is mapped after the
-    /// image) and for slots invalidated by a perturbation.
+    /// A 32-bit prefix in the image's final halfword: the encoding is
+    /// incomplete, not undefined. Dispatch performs the second-halfword
+    /// fetch live, so an unmapped `addr + 2` reports a *fetch fault at
+    /// `addr + 2`* (the fetch-fault/undefined split of
+    /// [`Emu::decode`](crate::Emu::decode)) rather than an undefined
+    /// instruction at `addr`. Kept distinct from [`Slot::Live`] so static
+    /// consumers can tell "image ends mid-encoding" from "slot was
+    /// invalidated by a perturbation".
+    Incomplete {
+        /// The prefix halfword.
+        hw: u16,
+    },
+    /// Undecidable from the table alone — dispatch must decode live. Used
+    /// for slots invalidated by a perturbation.
     Live,
 }
 
@@ -58,17 +68,22 @@ pub enum Slot {
 /// call it, so the table cannot drift from the interpreter.
 ///
 /// `hw2` is only consulted when `hw` is a 32-bit prefix; passing `None`
-/// there yields [`Slot::Live`] (the image ends mid-encoding and only a
-/// live fetch can tell a fetch fault from an undefined pattern — the two
-/// cases [`Emu::decode`](crate::Emu::decode) keeps distinct).
+/// there yields [`Slot::Incomplete`] (the image ends mid-encoding and
+/// only a live fetch can tell a fetch fault at `addr + 2` from an
+/// undefined pattern — the two cases [`Emu::decode`](crate::Emu::decode)
+/// keeps distinct).
+///
+/// The 32-bit space decodes through [`decode32`] (ARMv6-M: `BL` only) or,
+/// when [`Config::wide`] is set, [`decode32_wide`].
 pub fn classify(hw: u16, hw2: Option<u16>, cfg: Config) -> Slot {
     if hw == 0 && cfg.zero_is_invalid {
         return Slot::Undefined { hw, hw2: None };
     }
     if is_32bit_prefix(hw) {
+        let decode = if cfg.wide { decode32_wide } else { decode32 };
         return match hw2 {
-            None => Slot::Live,
-            Some(h2) => match decode32(hw, h2) {
+            None => Slot::Incomplete { hw },
+            Some(h2) => match decode(hw, h2) {
                 Ok(instr) => Slot::Instr { instr, size: 4 },
                 Err(_) => Slot::Undefined { hw, hw2: Some(h2) },
             },
@@ -192,12 +207,20 @@ impl PredecodedImage {
             return (0, 0);
         }
         let addr = addr & !1;
-        let start = addr.saturating_sub(2).max(self.base);
-        let lo = ((start - self.base) >> 1) as usize;
         // Exclusive byte end in u64 (addr + len may overflow u32); any
         // halfword containing a touched byte is included.
         let end = u64::from(addr) + u64::from(len);
-        let hi = ((end.saturating_sub(u64::from(self.base)) + 1) >> 1) as usize;
+        if end <= u64::from(self.base) {
+            // The whole range lies below the table. Bail out before the
+            // saturating arithmetic below: on a zero-base table with
+            // addr < 2 it would otherwise rediscover slot 0 through the
+            // clamped "prefix predecessor" and downgrade it for a range
+            // that never touched the image.
+            return (0, 0);
+        }
+        let start = addr.saturating_sub(2).max(self.base);
+        let lo = ((start - self.base) >> 1) as usize;
+        let hi = ((end - u64::from(self.base) + 1) >> 1) as usize;
         (lo.min(self.slots.len()), hi.min(self.slots.len()))
     }
 
@@ -212,7 +235,7 @@ mod tests {
     use super::*;
     use gd_thumb::Reg;
 
-    const CFG: Config = Config { zero_is_invalid: false };
+    const CFG: Config = Config { zero_is_invalid: false, wide: false };
 
     #[test]
     fn caches_both_encoding_sizes() {
@@ -233,11 +256,26 @@ mod tests {
     }
 
     #[test]
-    fn prefix_at_image_end_stays_live() {
+    fn prefix_at_image_end_is_incomplete_not_undefined() {
         // A lone 32-bit prefix: the second halfword is out of the image.
+        // The slot records the incomplete encoding (dispatch fetches the
+        // second halfword live and faults at addr + 2 when it is
+        // unmapped) instead of conflating it with an undefined pattern.
         let bytes = 0xF000u16.to_le_bytes();
         let img = PredecodedImage::from_bytes(0, &bytes, CFG);
-        assert_eq!(img.slot(0), Some(Slot::Live));
+        assert_eq!(img.slot(0), Some(Slot::Incomplete { hw: 0xF000 }));
+    }
+
+    #[test]
+    fn wide_config_decodes_thumb2_pairs() {
+        // b.w .+0 → F000 B800: undefined under the ARMv6-M decode, a
+        // 4-byte instruction once cfg.wide selects the Thumb-2 subset.
+        let bytes = [0x00, 0xF0, 0x00, 0xB8];
+        let img = PredecodedImage::from_bytes(0x100, &bytes, CFG);
+        assert_eq!(img.slot(0x100), Some(Slot::Undefined { hw: 0xF000, hw2: Some(0xB800) }));
+        let wide = Config { wide: true, ..CFG };
+        let img = PredecodedImage::from_bytes(0x100, &bytes, wide);
+        assert_eq!(img.slot(0x100), Some(Slot::Instr { instr: Instr::BW { offset: 0 }, size: 4 }));
     }
 
     #[test]
@@ -245,7 +283,7 @@ mod tests {
         let bytes = [0u8; 2];
         let img = PredecodedImage::from_bytes(0, &bytes, CFG);
         assert!(matches!(img.slot(0), Some(Slot::Instr { size: 2, .. })));
-        let img = PredecodedImage::from_bytes(0, &bytes, Config { zero_is_invalid: true });
+        let img = PredecodedImage::from_bytes(0, &bytes, Config { zero_is_invalid: true, ..CFG });
         assert_eq!(img.slot(0), Some(Slot::Undefined { hw: 0, hw2: None }));
     }
 
@@ -265,6 +303,27 @@ mod tests {
         let mut img = PredecodedImage::from_bytes(0, &bytes, CFG);
         img.invalidate(0);
         assert_eq!(img.slot(0), Some(Slot::Live));
+    }
+
+    #[test]
+    fn invalidate_range_at_zero_base_does_not_underflow() {
+        let bytes = [0x01, 0x20, 0x02, 0x20];
+        let pristine = PredecodedImage::from_bytes(0, &bytes, CFG);
+        // A range touching byte 0 downgrades exactly slot 0.
+        let mut img = pristine.clone();
+        img.invalidate_range(0, 2);
+        assert_eq!(img.slot(0), Some(Slot::Live));
+        assert!(matches!(img.slot(2), Some(Slot::Instr { .. })));
+        // addr < 2 with a zero length never reaches slot 0 through the
+        // saturating prefix-predecessor arithmetic.
+        let mut img = pristine.clone();
+        img.invalidate_range(1, 0);
+        assert_eq!(img, pristine);
+        // Healing the same underflow-prone range is a no-op too.
+        let mut img = pristine.clone();
+        img.invalidate_range(0, 2);
+        img.heal_range(&pristine, 0, 2);
+        assert_eq!(img, pristine);
     }
 
     #[test]

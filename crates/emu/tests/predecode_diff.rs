@@ -25,7 +25,10 @@ fn emu_with(hw: u16, cfg: Config) -> Emu {
 /// returns for the same bytes, under both configurations.
 #[test]
 fn predecode_matches_live_decode_for_all_halfwords() {
-    for cfg in [Config { zero_is_invalid: false }, Config { zero_is_invalid: true }] {
+    for cfg in [
+        Config { zero_is_invalid: false, ..Config::default() },
+        Config { zero_is_invalid: true, ..Config::default() },
+    ] {
         let mut emu = emu_with(0, cfg);
         for hw in 0..=u16::MAX {
             emu.mem.load(BASE, &hw.to_le_bytes()).expect("mapped");
@@ -44,24 +47,121 @@ fn predecode_matches_live_decode_for_all_halfwords() {
                         "hw={hw:#06x} cfg={cfg:?}"
                     );
                 }
-                Slot::Live => panic!("hw={hw:#06x}: second halfword was available"),
+                Slot::Incomplete { .. } | Slot::Live => {
+                    panic!("hw={hw:#06x}: second halfword was available")
+                }
             }
         }
     }
 }
 
-/// A 32-bit prefix whose second halfword lies outside the image must stay
-/// `Slot::Live`: only a live fetch can tell "fetch fault at addr + 2"
+/// The same exhaustive sweep with the Thumb-2 wide subset enabled: the
+/// table and live decode must agree on every first halfword under
+/// `Config { wide: true }` too.
+#[test]
+fn predecode_matches_live_decode_for_all_halfwords_wide() {
+    let cfg = Config { wide: true, ..Config::default() };
+    let mut emu = emu_with(0, cfg);
+    for hw in 0..=u16::MAX {
+        emu.mem.load(BASE, &hw.to_le_bytes()).expect("mapped");
+        let mut bytes = hw.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&HW2.to_le_bytes());
+        let image = PredecodedImage::from_bytes(BASE, &bytes, cfg);
+        let live = emu.decode(BASE, hw);
+        match image.slot(BASE).expect("covered") {
+            Slot::Instr { instr, size } => assert_eq!(live, Ok((instr, size)), "hw={hw:#06x}"),
+            Slot::Undefined { hw: shw, hw2 } => {
+                assert_eq!(live, Err(Fault::Undefined { addr: BASE, hw: shw, hw2 }), "hw={hw:#06x}")
+            }
+            Slot::Incomplete { .. } | Slot::Live => {
+                panic!("hw={hw:#06x}: second halfword was available")
+            }
+        }
+    }
+}
+
+/// One representative prefix per wide-encoding group, swept against every
+/// possible second halfword: the predecode table and `Emu::decode` must
+/// classify each pair identically under both configurations.
+#[test]
+fn predecode_matches_live_decode_for_all_second_halfwords() {
+    // Groups: BL/B.W/BCond.W/BLX (0xF000, 0xF400), modified-immediate DP
+    // (0xF04F, 0xF1B1), plain-binary MOVW/MOVT (0xF24A, 0xF2C2), wide
+    // load/store (0xF8D3, 0xF8DF, 0xF8C2), and the all-undefined 0b11101
+    // group (0xE800).
+    const PREFIXES: [u16; 10] =
+        [0xE800, 0xF000, 0xF04F, 0xF1B1, 0xF24A, 0xF2C2, 0xF400, 0xF8C2, 0xF8D3, 0xF8DF];
+    for cfg in [Config::default(), Config { wide: true, ..Config::default() }] {
+        let mut emu = emu_with(0, cfg);
+        for hw1 in PREFIXES {
+            assert!(is_32bit_prefix(hw1));
+            emu.mem.load(BASE, &hw1.to_le_bytes()).expect("mapped");
+            for hw2 in 0..=u16::MAX {
+                emu.mem.load(BASE + 2, &hw2.to_le_bytes()).expect("mapped");
+                let mut bytes = hw1.to_le_bytes().to_vec();
+                bytes.extend_from_slice(&hw2.to_le_bytes());
+                let image = PredecodedImage::from_bytes(BASE, &bytes, cfg);
+                let live = emu.decode(BASE, hw1);
+                match image.slot(BASE).expect("covered") {
+                    Slot::Instr { instr, size } => assert_eq!(
+                        live,
+                        Ok((instr, size)),
+                        "hw1={hw1:#06x} hw2={hw2:#06x} cfg={cfg:?}"
+                    ),
+                    Slot::Undefined { hw: shw, hw2: shw2 } => assert_eq!(
+                        live,
+                        Err(Fault::Undefined { addr: BASE, hw: shw, hw2: shw2 }),
+                        "hw1={hw1:#06x} hw2={hw2:#06x} cfg={cfg:?}"
+                    ),
+                    Slot::Incomplete { .. } | Slot::Live => {
+                        panic!("hw1={hw1:#06x} hw2={hw2:#06x}: second halfword was available")
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A 32-bit prefix whose second halfword lies outside the image must
+/// become `Slot::Incomplete` — not `Slot::Undefined` (the image cannot
+/// know the full encoding) and not plain `Slot::Live` (which would
+/// conflate "image ends mid-encoding" with "slot invalidated by a
+/// perturbation"). Only a live fetch can tell "fetch fault at addr + 2"
 /// from "undefined 32-bit pattern".
 #[test]
 fn prefix_at_image_edge_defers_to_live_decode() {
-    let cfg = Config::default();
-    for hw in 0..=u16::MAX {
-        if !is_32bit_prefix(hw) {
-            continue;
+    for cfg in [Config::default(), Config { wide: true, ..Config::default() }] {
+        for hw in 0..=u16::MAX {
+            if !is_32bit_prefix(hw) {
+                continue;
+            }
+            let image = PredecodedImage::from_bytes(BASE, &hw.to_le_bytes(), cfg);
+            assert_eq!(image.slot(BASE), Some(Slot::Incomplete { hw }), "hw={hw:#06x}");
         }
-        let image = PredecodedImage::from_bytes(BASE, &hw.to_le_bytes(), cfg);
-        assert_eq!(image.slot(BASE), Some(Slot::Live), "hw={hw:#06x}");
+    }
+}
+
+/// Image-end boundary, end to end: dispatching through a predecoded image
+/// whose final halfword is a 32-bit prefix falls back to the live path
+/// and raises a fetch fault at `addr + 2` when nothing is mapped there —
+/// not an undefined-instruction fault.
+#[test]
+fn prefix_in_final_halfword_faults_at_next_fetch() {
+    for cfg in [Config::default(), Config { wide: true, ..Config::default() }] {
+        // Flash is exactly 4 bytes: `movs r0, #1` then a bare BL prefix.
+        let code = [0x01, 0x20, 0x00, 0xF0];
+        let mut emu = Emu::with_config(cfg);
+        emu.mem.map("flash", BASE, 4, Perms::RX).expect("fresh map");
+        emu.mem.load(BASE, &code).expect("fits");
+        emu.set_pc(BASE);
+        let image = PredecodedImage::from_bytes(BASE, &code, cfg);
+        assert_eq!(image.slot(BASE + 2), Some(Slot::Incomplete { hw: 0xF000 }));
+        match emu.run_predecoded(10, &image) {
+            RunOutcome::Fault { fault: Fault::Mem(m), .. } => {
+                assert_eq!(m.addr, BASE + 4, "cfg={cfg:?}");
+            }
+            other => panic!("expected fetch fault past the image end, got {other:?}"),
+        }
     }
 }
 

@@ -392,7 +392,8 @@ fn zero_halfword_config() {
     let mut emu = boot(".hword 0x0000\nbkpt #0");
     assert!(matches!(emu.run(10), RunOutcome::Stop { .. }));
     // Hardened ISA (Figure 2c): 0x0000 is undefined.
-    let mut emu = boot_with(".hword 0x0000\nbkpt #0", Config { zero_is_invalid: true });
+    let mut emu =
+        boot_with(".hword 0x0000\nbkpt #0", Config { zero_is_invalid: true, ..Config::default() });
     match emu.run(10) {
         RunOutcome::Fault { fault, .. } => assert!(fault.is_undefined()),
         other => panic!("expected undefined, got {other:?}"),
@@ -479,5 +480,177 @@ fn blx_register_sets_lr() {
     match emu.run(100) {
         RunOutcome::Stop { reason: StopReason::Bkpt(9), .. } => {}
         other => panic!("expected bkpt 9, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thumb-2 wide subset (Config { wide: true }) — the assembler is Thumb-1
+// only, so these boot from encoder output.
+
+fn boot_wide(instrs: &[gd_thumb::Instr]) -> Emu {
+    let mut emu = Emu::with_config(Config { wide: true, ..Config::default() });
+    emu.mem.map("flash", FLASH, 0x4000, Perms::RX).unwrap();
+    emu.mem.map("sram", SRAM, 0x4000, Perms::RW).unwrap();
+    let mut code = Vec::new();
+    for instr in instrs {
+        match instr.try_encode().unwrap_or_else(|e| panic!("{instr}: {e}")) {
+            gd_thumb::Encoding::Half(hw) => code.extend_from_slice(&hw.to_le_bytes()),
+            gd_thumb::Encoding::Pair(hw1, hw2) => {
+                code.extend_from_slice(&hw1.to_le_bytes());
+                code.extend_from_slice(&hw2.to_le_bytes());
+            }
+        }
+    }
+    code.extend_from_slice(&0xBE00u16.to_le_bytes()); // bkpt #0
+    emu.mem.load(FLASH, &code).unwrap();
+    emu.set_pc(FLASH);
+    emu.cpu.set_sp(SRAM + 0x4000);
+    emu
+}
+
+#[test]
+fn wide_branches_take_their_offsets() {
+    use gd_thumb::{Cond, Instr};
+    // b.w over a `movs r0, #1`; landing pad sets r1.
+    let mut emu = boot_wide(&[
+        Instr::BW { offset: 2 },
+        Instr::MovImm { rd: Reg::R0, imm8: 1 },
+        Instr::MovImm { rd: Reg::R1, imm8: 2 },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0);
+    assert_eq!(emu.cpu.reg(Reg::R1), 2);
+
+    // bne.w falls through when Z is set, branches when clear.
+    for (imm8, taken) in [(0u8, false), (1, true)] {
+        let mut emu = boot_wide(&[
+            Instr::MovImm { rd: Reg::R2, imm8 },
+            Instr::BCondW { cond: Cond::Ne, offset: 2 },
+            Instr::MovImm { rd: Reg::R0, imm8: 1 },
+            Instr::MovImm { rd: Reg::R1, imm8: 2 },
+        ]);
+        run_to_bkpt(&mut emu);
+        assert_eq!(emu.cpu.reg(Reg::R0) == 0, taken, "imm8={imm8}");
+        assert_eq!(emu.cpu.reg(Reg::R1), 2);
+    }
+}
+
+#[test]
+fn wide_data_processing_results_and_flags() {
+    use gd_thumb::{Instr, Reg, WideDpOp};
+    // movw/movt build a full 32-bit constant.
+    let mut emu = boot_wide(&[
+        Instr::MovW { rd: Reg::R0, imm16: 0xBEEF },
+        Instr::MovT { rd: Reg::R0, imm16: 0xDEAD },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0xDEAD_BEEF);
+
+    // orr.w with rn = PC is MOV.W: r1 = #0xAB00AB00 (pattern 0b10).
+    // teq.w (rd = PC) against the same value sets Z without writing.
+    let mut emu = boot_wide(&[
+        Instr::DpImm { op: WideDpOp::Orr, s: false, rn: Reg::PC, rd: Reg::R1, imm12: 0x2AB },
+        Instr::DpImm { op: WideDpOp::Eor, s: true, rn: Reg::R1, rd: Reg::PC, imm12: 0x2AB },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R1), 0xAB00_AB00);
+    assert!(emu.cpu.flags.z, "teq.w of equal values sets Z");
+
+    // subs.w producing zero sets Z and C (no borrow); adds.w overflow
+    // sets V: 0x7F800000 + 0x7F800000.
+    let mut emu = boot_wide(&[
+        Instr::MovW { rd: Reg::R2, imm16: 7 },
+        Instr::DpImm { op: WideDpOp::Sub, s: true, rn: Reg::R2, rd: Reg::R3, imm12: 7 },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R3), 0);
+    assert!(emu.cpu.flags.z && emu.cpu.flags.c && !emu.cpu.flags.v);
+
+    let mut emu = boot_wide(&[
+        Instr::DpImm { op: WideDpOp::Orr, s: false, rn: Reg::PC, rd: Reg::R4, imm12: 0x4FF },
+        Instr::DpImm { op: WideDpOp::Add, s: true, rn: Reg::R4, rd: Reg::R4, imm12: 0x4FF },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R4), 0xFF00_0000);
+    assert!(emu.cpu.flags.v, "0x7F800000 + 0x7F800000 overflows signed");
+    assert!(!emu.cpu.flags.c);
+
+    // Logical ops take C from the immediate expansion: #0x80000000 has
+    // bit 31 set, so movs.w updates C even though nothing was shifted.
+    let mut emu = boot_wide(&[Instr::DpImm {
+        op: WideDpOp::Orr,
+        s: true,
+        rn: Reg::PC,
+        rd: Reg::R5,
+        imm12: 0x400,
+    }]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R5), 0x8000_0000);
+    assert!(emu.cpu.flags.c && emu.cpu.flags.n);
+}
+
+#[test]
+fn wide_load_store_round_trip() {
+    use gd_thumb::{Instr, Reg};
+    // Build an SRAM address, store a constant through str.w at a +imm12
+    // offset no narrow encoding reaches, load it back through ldr.w.
+    let mut emu = boot_wide(&[
+        Instr::MovW { rd: Reg::R0, imm16: 0 },
+        Instr::MovT { rd: Reg::R0, imm16: 0x2000 },
+        Instr::MovW { rd: Reg::R1, imm16: 0xC0DE },
+        Instr::StrW { rt: Reg::R1, rn: Reg::R0, imm12: 0x800 },
+        Instr::LdrW { rt: Reg::R2, rn: Reg::R0, imm12: 0x800 },
+    ]);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.mem.read32(SRAM + 0x800).unwrap(), 0xC0DE);
+    assert_eq!(emu.cpu.reg(Reg::R2), 0xC0DE);
+}
+
+#[test]
+fn wide_ldr_literal_and_ldr_to_pc() {
+    use gd_thumb::{Instr, Reg};
+    // ldr.w rt, [pc, #N]: base is Align(PC, 4). Program starts with the
+    // 4-byte load, then bkpt + padding, then a literal at FLASH + 8.
+    let mut emu = Emu::with_config(Config { wide: true, ..Config::default() });
+    emu.mem.map("flash", FLASH, 0x100, Perms::RX).unwrap();
+    let mut code = Vec::new();
+    match (Instr::LdrW { rt: Reg::R0, rn: Reg::PC, imm12: 4 }).try_encode().unwrap() {
+        gd_thumb::Encoding::Pair(a, b) => {
+            code.extend_from_slice(&a.to_le_bytes());
+            code.extend_from_slice(&b.to_le_bytes());
+        }
+        other => panic!("{other:?}"),
+    }
+    code.extend_from_slice(&0xBE00u16.to_le_bytes());
+    code.extend_from_slice(&0xBF00u16.to_le_bytes()); // nop padding to align
+    code.extend_from_slice(&0x1234_5678u32.to_le_bytes());
+    emu.mem.load(FLASH, &code).unwrap();
+    emu.set_pc(FLASH);
+    run_to_bkpt(&mut emu);
+    assert_eq!(emu.cpu.reg(Reg::R0), 0x1234_5678);
+
+    // ldr.w pc, [...] is an interworking branch; an even target faults.
+    let mut emu = boot_wide(&[
+        Instr::MovW { rd: Reg::R0, imm16: 0 },
+        Instr::MovT { rd: Reg::R0, imm16: 0x2000 },
+        Instr::LdrW { rt: Reg::PC, rn: Reg::R0, imm12: 0 },
+    ]);
+    emu.mem.write32(SRAM, FLASH | 1).unwrap();
+    // Exactly the three instructions: movw, movt, ldr.w pc.
+    assert!(matches!(emu.run(3), RunOutcome::StepLimit { steps: 3 }));
+    assert_eq!(emu.pc(), FLASH, "pc-load branched back to the image base");
+
+    // An even target is an interworking fault, exactly as BX.
+    let mut emu = boot_wide(&[
+        Instr::MovW { rd: Reg::R0, imm16: 0 },
+        Instr::MovT { rd: Reg::R0, imm16: 0x2000 },
+        Instr::LdrW { rt: Reg::PC, rn: Reg::R0, imm12: 0 },
+    ]);
+    emu.mem.write32(SRAM, FLASH).unwrap();
+    match emu.run(10) {
+        RunOutcome::Fault { fault: Fault::InterworkArm { target, .. }, .. } => {
+            assert_eq!(target, FLASH);
+        }
+        other => panic!("expected interworking fault, got {other:?}"),
     }
 }

@@ -48,4 +48,4 @@ pub use boot::{boot_campaign, order1_shard, order2_shard, MfStats, O2_BUCKETS, S
 pub use metrics::register_metrics;
 pub use model::{FaultInstance, FaultModel, Registry, SiteInfo};
 pub use prune::{halfword_slots, prune_model, sites, FaultClass, ModelClasses};
-pub use runner::{MultiFaultRunner, MF_TRIAL_STEPS};
+pub use runner::{DivergenceRunner, MultiFaultRunner, MF_TRIAL_STEPS};

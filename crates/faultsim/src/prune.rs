@@ -28,7 +28,7 @@ use crate::model::{FaultInstance, FaultModel, SiteInfo};
 /// Panics when a named routine does not exist in the image, or when the
 /// walk runs into bytes that do not decode (lowered code never does).
 pub fn sites(image: &FirmwareImage, cfg: Config, funcs: &[&str]) -> Vec<SiteInfo> {
-    let base = gd_backend::layout::FLASH_BASE;
+    let base = image.text_base;
     let hw_at = |addr: u32| -> Option<u16> {
         let off = addr.checked_sub(base)? as usize;
         let bytes = image.text.get(off..off + 2)?;
@@ -137,6 +137,7 @@ fn loads(instr: &Instr) -> bool {
             | Instr::LdrSp { .. }
             | Instr::Ldm { .. }
             | Instr::Pop { .. }
+            | Instr::LdrW { .. }
     )
 }
 
@@ -148,7 +149,7 @@ fn canon_key(site: &SiteInfo, fault: &FaultInstance, cfg: Config, unique: &mut u
             }
             Slot::Instr { instr, size } => CanonKey::Decode(instr, size),
             Slot::Undefined { .. } => CanonKey::Undefined,
-            Slot::Live => CanonKey::Raw(hw),
+            Slot::Incomplete { .. } | Slot::Live => CanonKey::Raw(hw),
         },
         InjectKind::Skip => {
             *unique += 1;

@@ -49,8 +49,7 @@ impl MultiFaultRunner {
     pub fn new(image: &FirmwareImage, cfg: Config, scope: &[(u32, u32)]) -> MultiFaultRunner {
         let mut emu = image.boot_emu();
         emu.cfg = cfg;
-        let pristine =
-            PredecodedImage::from_bytes(gd_backend::layout::FLASH_BASE, &image.text, cfg);
+        let pristine = PredecodedImage::from_bytes(image.text_base, &image.text, cfg);
         let in_scope = |pc: u32| scope.iter().any(|&(lo, hi)| pc >= lo && pc < hi);
         let mut clean = true;
         while !in_scope(emu.pc()) && emu.steps() < MF_TRIAL_STEPS {
@@ -127,6 +126,145 @@ impl MultiFaultRunner {
             (Some(_), _) => Outcome::Failed,
             (None, Some(f)) => Outcome::from_fault(&f),
             (None, None) => Outcome::Failed, // step budget exhausted
+        }
+    }
+}
+
+/// What the unfaulted execution of an image does within the trial
+/// budget — the reference a [`DivergenceRunner`] classifies against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Baseline {
+    /// Clean stop with this reason and final `r0`.
+    Stop(StopReason, u32),
+    /// The unfaulted run never stops inside the budget (spin loop).
+    Spin,
+}
+
+/// [`MultiFaultRunner`] generalized to firmware the compiler did not
+/// produce: ingested third-party images have no `uart_out` symbol and no
+/// [`BOOT_MARKER`] convention, so trials classify by *divergence from
+/// the unfaulted baseline* instead.
+///
+/// Construction boots the image, advances to the first scoped fetch,
+/// snapshots, and replays one unfaulted trial to record the baseline.
+/// Each faulted trial then classifies as:
+///
+/// - *Success* when the optional `(address, value)` store watch fires —
+///   the glitch drove a store no honest run performs;
+/// - *No Effect* for a clean stop matching the baseline stop reason and
+///   final `r0` (or, for a spinning baseline, exhausting the budget at
+///   some scoped PC);
+/// - fault classes via [`Outcome::from_fault`];
+/// - *Failed* otherwise (diverged stop, wrong `r0`, stuck when the
+///   baseline finished).
+#[derive(Debug)]
+pub struct DivergenceRunner {
+    emu: Emu,
+    snap: Snapshot,
+    image: PredecodedImage,
+    pristine: PredecodedImage,
+    budget: u64,
+    watch: Option<(u32, u32)>,
+    baseline: Baseline,
+}
+
+impl DivergenceRunner {
+    /// Boots `image`, snapshots at the first fetch within `scope`, and
+    /// records the unfaulted baseline. `watch` is the compromise oracle:
+    /// a `(address, value)` store that only glitched control flow can
+    /// reach.
+    pub fn new(
+        image: &FirmwareImage,
+        cfg: Config,
+        scope: &[(u32, u32)],
+        watch: Option<(u32, u32)>,
+    ) -> DivergenceRunner {
+        let mut emu = image.boot_emu();
+        emu.cfg = cfg;
+        let pristine = PredecodedImage::from_bytes(image.text_base, &image.text, cfg);
+        let in_scope = |pc: u32| scope.iter().any(|&(lo, hi)| pc >= lo && pc < hi);
+        let mut clean = true;
+        while !in_scope(emu.pc()) && emu.steps() < MF_TRIAL_STEPS {
+            match emu.step_predecoded(&pristine) {
+                Ok(StepOutcome::Step(_)) => {}
+                _ => {
+                    clean = false;
+                    break;
+                }
+            }
+        }
+        if !clean {
+            emu = image.boot_emu();
+            emu.cfg = cfg;
+        }
+        let budget = MF_TRIAL_STEPS - emu.steps();
+        let snap = emu.snapshot();
+
+        // One unfaulted replay pins the baseline the trials diverge from.
+        let mut baseline = Baseline::Spin;
+        for _ in 0..budget {
+            match emu.step_predecoded(&pristine) {
+                Ok(StepOutcome::Step(_)) => {}
+                Ok(StepOutcome::Stop { reason, .. }) => {
+                    baseline = Baseline::Stop(reason, emu.cpu.reg(Reg::R0));
+                    break;
+                }
+                Err(f) => panic!("unfaulted baseline faults: {f:?}"),
+            }
+        }
+        emu.restore(&snap);
+        DivergenceRunner { emu, snap, image: pristine.clone(), pristine, budget, watch, baseline }
+    }
+
+    /// Steps already replayed into the snapshot.
+    pub fn replayed(&self) -> u64 {
+        MF_TRIAL_STEPS - self.budget
+    }
+
+    /// Runs one trial with `faults` armed and classifies it against the
+    /// baseline.
+    pub fn run(&mut self, faults: &[FaultInstance]) -> Outcome {
+        self.emu.restore(&self.snap);
+        for f in faults {
+            self.emu.inject(f.injection());
+            self.image.invalidate_range(f.site, 2);
+        }
+        let mut compromised = false;
+        let mut stopped = None;
+        let mut fault = None;
+        for _ in 0..self.budget {
+            match self.emu.step_predecoded(&self.image) {
+                Ok(StepOutcome::Step(s)) => {
+                    if self.watch.is_some() && s.store == self.watch {
+                        compromised = true;
+                    }
+                }
+                Ok(StepOutcome::Stop { reason, .. }) => {
+                    stopped = Some(reason);
+                    break;
+                }
+                Err(f) => {
+                    fault = Some(f);
+                    break;
+                }
+            }
+        }
+        for f in faults {
+            self.image.heal_range(&self.pristine, f.site, 2);
+        }
+        if compromised {
+            return Outcome::Success;
+        }
+        match (stopped, fault, self.baseline) {
+            (Some(reason), _, Baseline::Stop(base, r0))
+                if reason == base && self.emu.cpu.reg(Reg::R0) == r0 =>
+            {
+                Outcome::NoEffect
+            }
+            (Some(_), _, _) => Outcome::Failed,
+            (None, Some(f), _) => Outcome::from_fault(&f),
+            (None, None, Baseline::Spin) => Outcome::NoEffect,
+            (None, None, _) => Outcome::Failed, // budget exhausted, baseline finished
         }
     }
 }

@@ -8,7 +8,7 @@
 //! image, how many one-bit faults turn it into its inverse, an
 //! unconditional branch, or a fall-through, without booting an emulator.
 
-use gd_thumb::{decode16, is_32bit_prefix, Cond, Instr};
+use gd_thumb::{decode16, decode32_wide, is_32bit_prefix, Cond, Instr};
 
 use crate::sweep::Direction;
 
@@ -28,10 +28,26 @@ pub enum FlipClass {
     /// Still a conditional branch, but with an unrelated condition or a
     /// different offset.
     OtherConditional,
-    /// Some other control-flow instruction (`BL` half, `BX`, pop-pc…).
+    /// Some other control-flow instruction (`BX`, pop-pc…).
     OtherBranch,
-    /// The first halfword of a 32-bit encoding — behavior depends on the
-    /// following halfword.
+    /// The flip turned the halfword into a 32-bit prefix and, together
+    /// with the *following* halfword, the pair decodes to a wide branch
+    /// (`BL`, `B.W`, `B<cond>.W`, or a load into PC) — control leaves the
+    /// guarded region, almost always far from the original target.
+    WideBranch,
+    /// The flipped prefix plus the next halfword decode to a wide load
+    /// (`LDR.W`): the guard is skipped *and* a register is clobbered from
+    /// attacker-influenced memory.
+    WideLoad,
+    /// The flipped prefix plus the next halfword decode to some other
+    /// wide instruction (data processing, `STR.W`) — the guard is
+    /// consumed along with its successor, so execution falls through.
+    WideOther,
+    /// The flipped prefix plus the next halfword form an undefined 32-bit
+    /// pattern (a usage fault on hardware).
+    WideUndefined,
+    /// The first halfword of a 32-bit encoding whose second halfword is
+    /// unknown to the caller (image edge, or no context supplied).
     WidePrefix,
     /// The pattern does not decode (likely a usage fault on hardware).
     Undefined,
@@ -56,6 +72,10 @@ impl FlipClass {
             FlipClass::FallThrough => "fall-through",
             FlipClass::OtherConditional => "other-cond",
             FlipClass::OtherBranch => "other-branch",
+            FlipClass::WideBranch => "wide-branch",
+            FlipClass::WideLoad => "wide-load",
+            FlipClass::WideOther => "wide-other",
+            FlipClass::WideUndefined => "wide-undefined",
             FlipClass::WidePrefix => "wide-prefix",
             FlipClass::Undefined => "undefined",
         }
@@ -101,7 +121,22 @@ impl BranchFlips {
 
 /// Computes the single-bit flip profile of `hw`, or `None` when `hw` is
 /// not a conditional branch.
+///
+/// Flips that land in the 32-bit prefix space are reported as the opaque
+/// [`FlipClass::WidePrefix`]; when the halfword *following* the branch is
+/// known, use [`branch_flips_with`] to resolve them to what the resulting
+/// wide instruction actually does.
 pub fn branch_flips(hw: u16) -> Option<BranchFlips> {
+    branch_flips_with(hw, None)
+}
+
+/// [`branch_flips`] with the following halfword supplied: flips into the
+/// 32-bit prefix space classify the *pair* `(flipped, hw2)` through the
+/// wide decoder instead of stopping at [`FlipClass::WidePrefix`].
+///
+/// Pass `None` only when the branch is the last halfword of its code
+/// extent — on hardware the pipeline would fetch whatever lies after it.
+pub fn branch_flips_with(hw: u16, hw2: Option<u16>) -> Option<BranchFlips> {
     let Ok(Instr::BCond { cond, offset }) = decode16(hw) else {
         return None;
     };
@@ -110,17 +145,25 @@ pub fn branch_flips(hw: u16) -> Option<BranchFlips> {
             let mask = 1u16 << bit;
             let direction = if hw & mask != 0 { Direction::And } else { Direction::Or };
             let encoding = direction.apply(hw, mask);
-            Flip { bit, direction, encoding, class: classify(cond, offset, encoding) }
+            Flip { bit, direction, encoding, class: classify(cond, offset, encoding, hw2) }
         })
         .collect();
     Some(BranchFlips { cond, offset, flips })
 }
 
 /// Classifies what `encoding` means relative to the original
-/// `B<cond> <offset>`.
-fn classify(cond: Cond, offset: i32, encoding: u16) -> FlipClass {
+/// `B<cond> <offset>`, resolving prefix flips through `hw2` when known.
+fn classify(cond: Cond, offset: i32, encoding: u16, hw2: Option<u16>) -> FlipClass {
     if is_32bit_prefix(encoding) {
-        return FlipClass::WidePrefix;
+        let Some(hw2) = hw2 else {
+            return FlipClass::WidePrefix;
+        };
+        return match decode32_wide(encoding, hw2) {
+            Ok(i) if i.is_branch() => FlipClass::WideBranch,
+            Ok(i) if i.is_load() => FlipClass::WideLoad,
+            Ok(_) => FlipClass::WideOther,
+            Err(_) => FlipClass::WideUndefined,
+        };
     }
     match decode16(encoding) {
         Ok(Instr::BCond { cond: c, offset: o }) if c == cond.invert() && o == offset => {
@@ -206,10 +249,50 @@ mod tests {
 
     #[test]
     fn wide_prefix_flips_are_recognized() {
-        // 0xD0xx with bit 13 set becomes 0xF0xx — a 32-bit prefix.
+        // 0xD0xx with bit 13 set becomes 0xF0xx — a 32-bit prefix. With
+        // no second halfword supplied, the class stays the opaque
+        // `WidePrefix`.
         let profile = branch_flips(encoding_of(Cond::Eq)).unwrap();
         let f = profile.flips.iter().find(|f| f.bit == 13).unwrap();
         assert_eq!(f.direction, Direction::Or);
         assert_eq!(f.class, FlipClass::WidePrefix);
+    }
+
+    #[test]
+    fn prefix_flips_resolve_through_the_following_halfword() {
+        let beq = encoding_of(Cond::Eq); // 0xD0FE (beq .-4 back at itself)
+        let flip13 = |hw2| {
+            let profile = branch_flips_with(beq, Some(hw2)).unwrap();
+            profile.flips.iter().find(|f| f.bit == 13).unwrap().class
+        };
+        // beq | bit13 = 0xF0FE; what the pair means depends entirely on
+        // the successor halfword the pipeline fetches:
+        assert_eq!(flip13(0xF800), FlipClass::WideBranch, "0xF0FE F800 is BL");
+        assert_eq!(flip13(0xB800), FlipClass::WideBranch, "0xF0FE B800 is B.W");
+        assert_eq!(flip13(0xC000), FlipClass::WideUndefined, "0xF0FE C000 is BLX");
+        // 0xF0FE carries op4 = 0b0111 in the data-processing position —
+        // not an allocated opcode — so any hw2[15] = 0 successor is a
+        // wide usage fault.
+        assert_eq!(flip13(0x0001), FlipClass::WideUndefined);
+        // A flip landing on a *valid* data-processing prefix is
+        // fall-through-like: bcs .+? (0xD240) with bit 13 set is 0xF240,
+        // the MOVW prefix; paired with 0x0100 that is `movw r1, #0`.
+        let bcs = 0xD240;
+        let profile = branch_flips_with(bcs, Some(0x0100)).unwrap();
+        let f = profile.flips.iter().find(|f| f.bit == 13).unwrap();
+        assert_eq!(f.encoding, 0xF240);
+        assert_eq!(f.class, FlipClass::WideOther);
+        // And one in the load/store group resolves to a wide load: bhi
+        // (0xD8DF) with bit 13 set is 0xF8DF, the LDR.W literal prefix.
+        let bhi = 0xD8DF;
+        let profile = branch_flips_with(bhi, Some(0x1000)).unwrap();
+        let f = profile.flips.iter().find(|f| f.bit == 13).unwrap();
+        assert_eq!(f.encoding, 0xF8DF);
+        assert_eq!(f.class, FlipClass::WideLoad, "0xF8DF 1000 is ldr.w r1, [pc]");
+        // None of the wide classes count as §IV diversions, and the
+        // diversion total is independent of the supplied context.
+        let with = branch_flips_with(beq, Some(0xF800)).unwrap();
+        let without = branch_flips(beq).unwrap();
+        assert_eq!(with.diversions(), without.diversions());
     }
 }

@@ -25,7 +25,7 @@ pub mod harness;
 pub mod masks;
 pub mod sweep;
 
-pub use classify::{branch_flips, BranchFlips, Flip, FlipClass};
+pub use classify::{branch_flips, branch_flips_with, BranchFlips, Flip, FlipClass};
 pub use harness::{all_branch_cases, branch_case, flag_setup, TestCase};
 pub use sweep::{
     run_perturbed, sweep_case, sweep_case_with, sweep_k, sweep_k_serial, sweep_k_with, Direction,

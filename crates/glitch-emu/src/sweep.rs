@@ -413,7 +413,7 @@ mod tests {
     #[test]
     fn clearing_all_bits_is_invalid_when_hardened() {
         let case = branch_case(Cond::Eq);
-        let cfg = Config { zero_is_invalid: true };
+        let cfg = Config { zero_is_invalid: true, ..Config::default() };
         let t = sweep_k(&case, Direction::And, 16, cfg);
         assert_eq!(t.count(Outcome::InvalidInstruction), 1);
     }

@@ -12,7 +12,7 @@ fn panels() -> [(Direction, Config); 4] {
     [
         (Direction::And, Config::default()),
         (Direction::Or, Config::default()),
-        (Direction::And, Config { zero_is_invalid: true }),
+        (Direction::And, Config { zero_is_invalid: true, ..Config::default() }),
         (Direction::Xor, Config::default()),
     ]
 }

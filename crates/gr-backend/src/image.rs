@@ -4,8 +4,8 @@
 use std::collections::BTreeMap;
 
 use crate::layout::{
-    Section, FLASH_BASE, FLASH_SIZE, GPIO_BASE, GPIO_SIZE, NVM_BASE, NVM_SIZE, PERIPH_BASE,
-    PERIPH_SIZE, SCS_BASE, SCS_SIZE, SHADOW_BASE, SHADOW_SIZE, SRAM_BASE, SRAM_SIZE, STACK_TOP,
+    Section, FLASH_SIZE, GPIO_BASE, GPIO_SIZE, NVM_BASE, NVM_SIZE, PERIPH_BASE, PERIPH_SIZE,
+    SCS_BASE, SCS_SIZE, SHADOW_BASE, SHADOW_SIZE, SRAM_BASE, SRAM_SIZE, STACK_TOP,
 };
 
 /// Byte sizes of each output section (paper Table V's columns).
@@ -52,8 +52,12 @@ pub struct FuncExtent {
 /// A linked firmware image ready to load into the emulator.
 #[derive(Debug, Clone)]
 pub struct FirmwareImage {
-    /// Code bytes, based at [`FLASH_BASE`].
+    /// Code bytes, based at [`FirmwareImage::text_base`].
     pub text: Vec<u8>,
+    /// Load address of the first text byte. The compiler places text at
+    /// [`FLASH_BASE`]; ingested third-party images carry whatever base
+    /// their vector table or ELF program headers named.
+    pub text_base: u32,
     /// Initialized data: `(address, bytes)` records across data/shadow/nvm.
     pub data: Vec<(u32, Vec<u8>)>,
     /// Symbol table: functions and globals.
@@ -100,7 +104,8 @@ impl FirmwareImage {
     /// Propagates mapping/load failures (image too large for a region).
     pub fn load_into(&self, mem: &mut gd_emu::Memory) -> Result<(), gd_emu::MapError> {
         use gd_emu::Perms;
-        mem.map("flash", FLASH_BASE, FLASH_SIZE, Perms::RX)?;
+        let flash_size = FLASH_SIZE.max((self.text.len() as u32).next_multiple_of(4));
+        mem.map("flash", self.text_base, flash_size, Perms::RX)?;
         // NVM is readable and writable (writes are slow; the pipeline model
         // charges them), and never executable.
         mem.map("nvm", NVM_BASE, NVM_SIZE, Perms::RW)?;
@@ -111,7 +116,7 @@ impl FirmwareImage {
         mem.map("scs", SCS_BASE, SCS_SIZE, Perms::RW)?;
         let fail =
             |e: gd_emu::MemFault| gd_emu::MapError::other(format!("image overflows region: {e}"));
-        mem.load(FLASH_BASE, &self.text).map_err(fail)?;
+        mem.load(self.text_base, &self.text).map_err(fail)?;
         for (addr, bytes) in &self.data {
             mem.load(*addr, bytes).map_err(fail)?;
         }

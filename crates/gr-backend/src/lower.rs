@@ -219,6 +219,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
     sizes.text = text.len() as u32;
     Ok(FirmwareImage {
         text,
+        text_base: FLASH_BASE,
         data: data_records,
         symbols,
         entry: FLASH_BASE,

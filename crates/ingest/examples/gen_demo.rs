@@ -1,0 +1,14 @@
+//! Regenerates `testdata/ingest_demo.bin` from the deterministic
+//! builder. Run after changing `testimg::demo_bin`:
+//!
+//! ```text
+//! cargo run -p gd-ingest --example gen_demo
+//! ```
+
+use std::path::Path;
+
+fn main() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../testdata/ingest_demo.bin");
+    std::fs::write(&path, gd_ingest::testimg::demo_bin()).expect("write demo blob");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,280 @@
+//! A from-scratch minimal ELF32 reader — no external dependencies, no
+//! unsafe, every offset bounds-checked against the input length.
+//!
+//! The subset is exactly what Cortex-M firmware executables need:
+//! little-endian `ET_EXEC` for `EM_ARM`, `PT_LOAD` program headers
+//! (gathered into one contiguous text span), `e_entry` as the entry
+//! point, and — when present — a `SHT_SYMTAB` section whose `STT_FUNC`
+//! symbols seed extent inference with real routine boundaries. Shared
+//! objects, relocations, dynamic linking, big-endian, and ELF64 are out
+//! of scope and rejected with a typed [`IngestError::BadElf`].
+
+use std::collections::BTreeMap;
+
+use gd_backend::layout::STACK_TOP;
+use gd_backend::{FirmwareImage, SectionSizes};
+
+use crate::extents::infer_extents;
+use crate::{metrics, Format, IngestError, Ingested};
+
+/// Largest text span assembled from `PT_LOAD` segments (1 MiB): firmware
+/// images are tiny, and the cap keeps a hostile header from asking for a
+/// 4 GiB allocation.
+pub const MAX_SPAN: u32 = 1 << 20;
+
+fn bad(what: &'static str) -> IngestError {
+    IngestError::BadElf { what }
+}
+
+/// A bounds-checked little-endian field reader.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn bytes(&self, off: u32, len: u32) -> Result<&[u8], IngestError> {
+        let off = off as usize;
+        let len = len as usize;
+        off.checked_add(len)
+            .and_then(|end| self.0.get(off..end))
+            .ok_or(IngestError::Truncated { what: "ELF structure" })
+    }
+
+    fn u16(&self, off: u32) -> Result<u16, IngestError> {
+        let b = self.bytes(off, 2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&self, off: u32) -> Result<u32, IngestError> {
+        let b = self.bytes(off, 4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Ingests a little-endian ARM ELF32 executable.
+///
+/// The text span is the union of all `PT_LOAD` segments, based at the
+/// lowest segment address and zero-filled between segments. The initial
+/// SP comes from a leading vector table when the first loaded word looks
+/// like one (word 1 matches `e_entry`); otherwise the standard stack top
+/// is assumed, since an ELF entry point replaces the reset vector.
+///
+/// # Errors
+///
+/// Rejects inputs failing any structural check: magic, class (ELF32),
+/// little-endian data, `ET_EXEC`, `EM_ARM`, no `PT_LOAD` segments, a
+/// text span over [`MAX_SPAN`], an entry outside the span, or truncated
+/// headers/tables; and [`IngestError::NoCode`] when extent inference
+/// finds nothing decodable.
+pub fn ingest_elf(bytes: &[u8]) -> Result<Ingested, IngestError> {
+    let r = Reader(bytes);
+    if bytes.len() < 52 {
+        return Err(IngestError::Truncated { what: "ELF header" });
+    }
+    if &bytes[0..4] != b"\x7FELF" {
+        return Err(bad("magic"));
+    }
+    if bytes[4] != 1 {
+        return Err(bad("class (need ELF32)"));
+    }
+    if bytes[5] != 1 {
+        return Err(bad("data encoding (need little-endian)"));
+    }
+    if r.u16(16)? != 2 {
+        return Err(bad("type (need ET_EXEC)"));
+    }
+    if r.u16(18)? != 40 {
+        return Err(bad("machine (need EM_ARM)"));
+    }
+    let e_entry = r.u32(24)?;
+    let e_phoff = r.u32(28)?;
+    let e_shoff = r.u32(32)?;
+    let e_phentsize = u32::from(r.u16(42)?);
+    let e_phnum = u32::from(r.u16(44)?);
+    let e_shentsize = u32::from(r.u16(46)?);
+    let e_shnum = u32::from(r.u16(48)?);
+    if e_phnum > 0 && e_phentsize < 32 {
+        return Err(bad("program-header entry size"));
+    }
+
+    // Pass 1 over PT_LOAD segments: find the span.
+    let mut span: Option<(u32, u32)> = None;
+    for i in 0..e_phnum {
+        let ph = e_phoff + i * e_phentsize;
+        if r.u32(ph)? != 1 {
+            continue; // not PT_LOAD
+        }
+        let vaddr = r.u32(ph + 8)?;
+        let filesz = r.u32(ph + 16)?;
+        let vend = vaddr.checked_add(filesz).ok_or(bad("segment wraps the address space"))?;
+        span = Some(match span {
+            None => (vaddr, vend),
+            Some((lo, hi)) => (lo.min(vaddr), hi.max(vend)),
+        });
+    }
+    let Some((base, end)) = span else {
+        return Err(bad("no PT_LOAD segment"));
+    };
+    if end - base > MAX_SPAN {
+        return Err(bad("loaded span too large"));
+    }
+
+    // Pass 2: copy segment bytes into the span (gaps stay zero).
+    let mut text = vec![0u8; (end - base) as usize];
+    for i in 0..e_phnum {
+        let ph = e_phoff + i * e_phentsize;
+        if r.u32(ph)? != 1 {
+            continue;
+        }
+        let offset = r.u32(ph + 4)?;
+        let vaddr = r.u32(ph + 8)?;
+        let filesz = r.u32(ph + 16)?;
+        let src = r.bytes(offset, filesz)?;
+        let dst = (vaddr - base) as usize;
+        text[dst..dst + src.len()].copy_from_slice(src);
+    }
+
+    let entry = e_entry & !1;
+    if entry < base || entry >= end {
+        return Err(bad("entry outside the loaded span"));
+    }
+
+    // STT_FUNC symbols seed extent inference; images without a symtab
+    // fall back to the entry point alone.
+    let mut starts: Vec<(String, u32)> = vec![("reset".to_owned(), entry)];
+    if e_shnum > 0 && e_shentsize >= 40 {
+        for i in 0..e_shnum {
+            let sh = e_shoff + i * e_shentsize;
+            if r.u32(sh + 4)? != 2 {
+                continue; // not SHT_SYMTAB
+            }
+            let symoff = r.u32(sh + 16)?;
+            let symsize = r.u32(sh + 20)?;
+            let link = r.u32(sh + 24)?;
+            if link >= e_shnum {
+                return Err(bad("symtab string-table link"));
+            }
+            let strsh = e_shoff + link * e_shentsize;
+            let stroff = r.u32(strsh + 16)?;
+            let strsize = r.u32(strsh + 20)?;
+            let strtab = r.bytes(stroff, strsize)?;
+            for s in 0..symsize / 16 {
+                let sym = symoff + s * 16;
+                if r.bytes(sym, 16)?[12] & 0xF != 2 {
+                    continue; // not STT_FUNC
+                }
+                let name_off = r.u32(sym)? as usize;
+                let value = r.u32(sym + 4)? & !1;
+                let Some(rest) = strtab.get(name_off..) else { continue };
+                let name_end = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+                let name = String::from_utf8_lossy(&rest[..name_end]).into_owned();
+                if !name.is_empty() && !starts.iter().any(|(_, a)| *a == value) {
+                    starts.push((name, value));
+                } else if !name.is_empty() && value == entry {
+                    // Prefer the symbol's own name for the entry routine.
+                    starts[0].0 = name;
+                }
+            }
+        }
+    }
+
+    let extents = infer_extents(&text, base, &starts);
+    if extents.iter().all(|e| e.code_end == e.base) {
+        return Err(IngestError::NoCode);
+    }
+
+    // A leading vector table (word 1 = the entry, Thumb bit set) supplies
+    // the initial SP, as on a raw dump; otherwise assume the stack top.
+    let sp = match (text.len() >= 8).then(|| {
+        (
+            u32::from_le_bytes([text[0], text[1], text[2], text[3]]),
+            u32::from_le_bytes([text[4], text[5], text[6], text[7]]),
+        )
+    }) {
+        Some((w0, w1)) if w1 == (entry | 1) && w0 != 0 && w0 % 4 == 0 => w0,
+        _ => STACK_TOP,
+    };
+
+    let symbols: BTreeMap<String, u32> = extents.iter().map(|e| (e.name.clone(), e.base)).collect();
+    let sizes = SectionSizes { text: text.len() as u32, ..SectionSizes::default() };
+    let image = FirmwareImage {
+        text,
+        text_base: base,
+        data: Vec::new(),
+        symbols,
+        entry,
+        sizes,
+        global_sections: BTreeMap::new(),
+        extents,
+    };
+    let ingested = Ingested { format: Format::Elf, image, sp };
+    metrics::record(&ingested);
+    Ok(ingested)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testimg;
+
+    #[test]
+    fn demo_elf_ingests_with_symbol_extents() {
+        let ing = ingest_elf(&testimg::demo_elf()).expect("demo ELF ingests");
+        assert_eq!(ing.format, Format::Elf);
+        assert_eq!(ing.image.entry, testimg::DEMO_ENTRY);
+        assert_eq!(ing.image.text_base, testimg::DEMO_BASE);
+        // The leading vector table supplied the SP.
+        assert_eq!(ing.sp, testimg::DEMO_SP);
+        // Symbols split the text into two named extents.
+        let reset = ing.image.extent("reset").expect("reset extent");
+        let check = ing.image.extent("check").expect("check extent");
+        assert_eq!(reset.base, testimg::DEMO_ENTRY);
+        assert_eq!(check.base, testimg::DEMO_BASE + 0x2C);
+        assert_eq!(reset.end, check.base);
+        assert!(check.end > check.code_end, "pool excluded from check");
+    }
+
+    #[test]
+    fn elf_and_bin_ingestion_agree_on_the_demo_pool() {
+        let from_elf = ingest_elf(&testimg::demo_elf()).unwrap();
+        let from_bin = crate::ingest_bin(&testimg::demo_bin(), testimg::DEMO_BASE).unwrap();
+        assert_eq!(from_elf.image.text, from_bin.image.text);
+        assert_eq!(from_elf.pool_bytes(), from_bin.pool_bytes());
+    }
+
+    #[test]
+    fn structural_checks_reject_malformed_inputs() {
+        let good = testimg::demo_elf();
+        let check = |mutate: &dyn Fn(&mut Vec<u8>), what: &str| {
+            let mut v = good.clone();
+            mutate(&mut v);
+            let err = ingest_elf(&v).expect_err(what);
+            assert!(
+                matches!(err, IngestError::BadElf { .. } | IngestError::Truncated { .. }),
+                "{what}: {err:?}"
+            );
+        };
+        check(&|v| v.truncate(20), "truncated header");
+        check(&|v| v[0] = 0, "bad magic");
+        check(&|v| v[4] = 2, "ELF64");
+        check(&|v| v[5] = 2, "big-endian");
+        check(&|v| v[16] = 3, "ET_DYN");
+        check(&|v| v[18] = 62, "not EM_ARM");
+        check(&|v| v[44] = 0, "no program headers at all");
+        // Entry outside the loaded span.
+        check(&|v| v[24..28].copy_from_slice(&0x1234_5678u32.to_le_bytes()), "entry out of span");
+        // Hostile filesz: segment data extends past the file.
+        check(&|v| v[52 + 16..52 + 20].copy_from_slice(&0x0000_FFFFu32.to_le_bytes()), "filesz");
+    }
+
+    #[test]
+    fn elf_without_symbols_still_ingests_from_the_entry() {
+        let elf = testimg::build_elf(
+            &testimg::demo_bin(),
+            testimg::DEMO_BASE,
+            testimg::DEMO_ENTRY | 1,
+            &[],
+        );
+        let ing = ingest_elf(&elf).expect("symbol-free ELF ingests");
+        assert_eq!(ing.image.extents.len(), 1);
+        assert_eq!(ing.image.extents[0].name, "reset");
+    }
+}

@@ -1,0 +1,142 @@
+//! Code-vs-literal-pool extent inference over ingested text.
+//!
+//! Third-party images carry no extent table, but the analyses downstream
+//! (`GL02xx` lints, fault-site walks) must not decode literal pools as
+//! instructions. This module reconstructs
+//! [`FuncExtent`](gd_backend::FuncExtent)s from the only ground truth the
+//! bytes offer: PC-relative load targets. A linear walk from each known
+//! routine start decodes with the Thumb-2 wide decoder and records every
+//! address a `ldr rt, [pc, …]` (narrow or wide) references; the walk's
+//! code region ends at the first referenced pool word, at the next
+//! routine start, or at the first undecodable halfword.
+//!
+//! This is an inference, not a proof: a pool word that happens to decode
+//! and is never PC-referenced (e.g. a jump-table entry) extends the code
+//! region. The committed demo image and the ELF symbol path pin the
+//! cases the experiments rely on.
+
+use std::collections::BTreeSet;
+
+use gd_backend::FuncExtent;
+use gd_thumb::{decode_bytes_wide, Instr, Reg};
+
+/// Pool addresses referenced by `instr` at `addr` (absolute).
+fn pool_refs(instr: &Instr, addr: u32) -> Option<u32> {
+    match *instr {
+        Instr::LdrLit { imm8, .. } => {
+            Some((addr.wrapping_add(4) & !3).wrapping_add(u32::from(imm8) * 4))
+        }
+        Instr::LdrW { rn: Reg::PC, imm12, .. } => {
+            Some((addr.wrapping_add(4) & !3).wrapping_add(u32::from(imm12)))
+        }
+        _ => None,
+    }
+}
+
+/// Infers routine extents for `text` based at `base`.
+///
+/// `starts` are the known routine entries as `(name, address)` pairs —
+/// from ELF `STT_FUNC` symbols, or from the vector table for raw dumps.
+/// They need not be sorted; addresses outside `text` are ignored. Each
+/// extent spans from its start to the next start (or the end of text);
+/// its `code_end` is where the decode walk stopped.
+pub fn infer_extents(text: &[u8], base: u32, starts: &[(String, u32)]) -> Vec<FuncExtent> {
+    let end = base + text.len() as u32;
+    let mut sorted: Vec<(String, u32)> = starts
+        .iter()
+        .filter(|(_, a)| *a >= base && *a < end)
+        .map(|(n, a)| (n.clone(), *a & !1))
+        .collect();
+    sorted.sort_by_key(|&(_, a)| a);
+    sorted.dedup_by_key(|&mut (_, a)| a);
+
+    // Pool addresses accumulate across routines: a pool referenced by an
+    // early routine also terminates a later walk that runs into it.
+    let mut pool: BTreeSet<u32> = BTreeSet::new();
+    let mut extents = Vec::new();
+    for (i, (name, start)) in sorted.iter().enumerate() {
+        let extent_end = sorted.get(i + 1).map_or(end, |&(_, a)| a);
+        let mut addr = *start;
+        while addr + 2 <= extent_end {
+            // Pool words are 4-aligned; the walk stops before any
+            // instruction whose bytes would overlap one.
+            if pool.contains(&(addr & !3)) {
+                break;
+            }
+            let off = (addr - base) as usize;
+            let Ok((instr, size)) = decode_bytes_wide(&text[off..]) else {
+                break;
+            };
+            if addr + size > extent_end {
+                break;
+            }
+            if size == 4 && pool.contains(&(addr.wrapping_add(2) & !3)) {
+                break;
+            }
+            if let Some(target) = pool_refs(&instr, addr) {
+                pool.insert(target & !3);
+            }
+            addr += size;
+        }
+        extents.push(FuncExtent {
+            name: name.clone(),
+            base: *start,
+            code_end: addr,
+            end: extent_end,
+        });
+    }
+    extents
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gd_thumb::asm::assemble;
+
+    const BASE: u32 = 0x0800_0000;
+
+    #[test]
+    fn literal_pool_terminates_the_code_region() {
+        // `ldr r0, =imm` emits a pool word after the code; 0x0000F04F in
+        // the pool *would* decode as (lsls ; wide prefix) if walked.
+        let prog = assemble("entry:\nldr r0, =0xF04F0000\nbx lr\n", BASE).unwrap();
+        let ex = infer_extents(&prog.code, BASE, &[("entry".into(), BASE)]);
+        assert_eq!(ex.len(), 1);
+        assert_eq!(ex[0].base, BASE);
+        assert_eq!(ex[0].end, BASE + prog.code.len() as u32);
+        assert!(ex[0].code_end < ex[0].end, "pool excluded");
+        assert_eq!(ex[0].end - ex[0].code_end, 4, "one pool word");
+    }
+
+    #[test]
+    fn starts_split_contiguous_text_and_clamp_to_text() {
+        let prog = assemble("a:\nnop\nnop\nb:\nnop\nbx lr\n", BASE).unwrap();
+        let starts = vec![
+            ("a".into(), BASE),
+            ("b".into(), BASE + 4),
+            ("ghost".into(), BASE + 0x1000), // outside: ignored
+        ];
+        let ex = infer_extents(&prog.code, BASE, &starts);
+        assert_eq!(ex.len(), 2);
+        assert_eq!((ex[0].base, ex[0].code_end, ex[0].end), (BASE, BASE + 4, BASE + 4));
+        assert_eq!(ex[1].base, BASE + 4);
+        assert_eq!(ex[1].end, BASE + prog.code.len() as u32);
+    }
+
+    #[test]
+    fn undecodable_bytes_stop_the_walk() {
+        // 0xE801 is a 32-bit prefix in the all-undefined 0b11101 group.
+        let mut code = assemble("nop\n", BASE).unwrap().code;
+        code.extend_from_slice(&[0x01, 0xE8, 0x00, 0x00]);
+        let ex = infer_extents(&code, BASE, &[("f".into(), BASE)]);
+        assert_eq!(ex[0].code_end, BASE + 2);
+        assert_eq!(ex[0].end, BASE + 6);
+    }
+
+    #[test]
+    fn thumb_bit_on_starts_is_stripped() {
+        let prog = assemble("nop\nbx lr\n", BASE).unwrap();
+        let ex = infer_extents(&prog.code, BASE, &[("f".into(), BASE | 1)]);
+        assert_eq!(ex[0].base, BASE);
+    }
+}

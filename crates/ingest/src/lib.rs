@@ -1,0 +1,159 @@
+//! # gd-ingest — third-party firmware ingestion
+//!
+//! The rest of the workspace analyzes firmware *it compiled itself*
+//! (`gd-backend` lowering `gd-firmware` IR). This crate closes the loop
+//! the paper's tooling has with real targets: it loads firmware the
+//! compiler never saw — a raw flash dump (`.bin`) or a minimal ELF32
+//! executable — into the same [`gd_backend::FirmwareImage`] the lints
+//! and fault campaigns consume.
+//!
+//! Ingestion has three stages:
+//!
+//! 1. **Container parsing** — [`ingest_bin`] reads a Cortex-M vector
+//!    table (initial SP, Thumb-bit reset vector, handler slots) from a
+//!    raw dump; [`ingest_elf`] is a from-scratch ELF32 reader (no
+//!    external dependencies): little-endian, `EM_ARM`, `PT_LOAD`
+//!    segments, and an optional `SHT_SYMTAB` whose `STT_FUNC` symbols
+//!    name the routines.
+//! 2. **Extent inference** — [`extents::infer_extents`] walks the text
+//!    with the Thumb-2 *wide* decoder ([`gd_thumb::decode32_wide`]) from
+//!    each discovered entry, classifying bytes into code and literal
+//!    pools, so downstream analyses never decode data as instructions.
+//! 3. **Image assembly** — the result is a [`FirmwareImage`] with
+//!    `text_base`, entry point, symbols, and extents filled in, ready
+//!    for `gd-lint`'s `GL02xx` surface lints and `gd-faultsim`'s
+//!    divergence campaigns (which run under
+//!    `Config { wide: true, .. }` because third-party images are free
+//!    to use Thumb-2 encodings the compiler's ARMv6-M subset avoids).
+//!
+//! Trust boundary: ingested bytes are *untrusted input*. Every parser
+//! here returns a typed [`IngestError`] instead of panicking, bounds
+//! every loop by the input length, and never allocates proportional to
+//! anything but the input size.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod elf;
+pub mod extents;
+pub mod metrics;
+pub mod raw;
+pub mod spec;
+pub mod testimg;
+
+use std::fmt;
+
+use gd_backend::FirmwareImage;
+
+pub use elf::ingest_elf;
+pub use metrics::register_metrics;
+pub use raw::ingest_bin;
+pub use spec::IngestSpec;
+
+/// Which container format an image was ingested from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Raw flash dump with a leading vector table.
+    Bin,
+    /// ELF32 executable.
+    Elf,
+}
+
+impl Format {
+    /// Lower-case label used in specs and metric labels.
+    pub fn label(self) -> &'static str {
+        match self {
+            Format::Bin => "bin",
+            Format::Elf => "elf",
+        }
+    }
+}
+
+/// A successfully ingested firmware image.
+#[derive(Debug, Clone)]
+pub struct Ingested {
+    /// The container it came from.
+    pub format: Format,
+    /// The assembled image: `text_base`, entry, symbols, extents.
+    pub image: FirmwareImage,
+    /// Initial stack pointer (vector-table word 0; [`ingest_elf`] images
+    /// without a vector table fall back to the standard stack top).
+    pub sp: u32,
+}
+
+impl Ingested {
+    /// Total literal-pool bytes across all extents.
+    pub fn pool_bytes(&self) -> u32 {
+        self.image.extents.iter().map(|e| e.end - e.code_end).sum()
+    }
+
+    /// The typed spec describing this ingestion (strict-JSON
+    /// serializable; see [`spec`]).
+    pub fn spec(&self) -> IngestSpec {
+        IngestSpec {
+            version: spec::SPEC_VERSION,
+            format: self.format,
+            base: self.image.text_base,
+            entry: self.image.entry,
+            sp: self.sp,
+            text_len: self.image.text.len() as u32,
+            extents: self
+                .image
+                .extents
+                .iter()
+                .map(|e| spec::ExtentSpec {
+                    name: e.name.clone(),
+                    base: e.base,
+                    code_end: e.code_end,
+                    end: e.end,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Why ingestion rejected an input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The input is shorter than the structure it must contain.
+    Truncated {
+        /// What was being read.
+        what: &'static str,
+    },
+    /// The vector table's initial-SP word is not a plausible stack
+    /// pointer (zero or unaligned).
+    BadStackPointer {
+        /// The rejected word.
+        sp: u32,
+    },
+    /// The reset vector is not a Thumb-bit address into the image.
+    BadResetVector {
+        /// The rejected word.
+        vector: u32,
+    },
+    /// An ELF structural check failed.
+    BadElf {
+        /// Which check.
+        what: &'static str,
+    },
+    /// No code bytes survived extent inference.
+    NoCode,
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Truncated { what } => write!(f, "input truncated while reading {what}"),
+            IngestError::BadStackPointer { sp } => {
+                write!(f, "vector table word 0 ({sp:#010x}) is not a stack pointer")
+            }
+            IngestError::BadResetVector { vector } => {
+                write!(f, "reset vector {vector:#010x} is not a Thumb address inside the image")
+            }
+            IngestError::BadElf { what } => write!(f, "not a loadable ARM ELF32: {what}"),
+            IngestError::NoCode => write!(f, "no decodable code found in the image"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}

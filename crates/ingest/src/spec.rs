@@ -1,0 +1,231 @@
+//! Typed ingestion specs: a strict-JSON description of what was loaded
+//! from where — container format, base, entry, stack pointer, text
+//! length, and the inferred extents.
+//!
+//! Parsing is *strict*: unknown keys are rejected, not ignored. A spec
+//! describes untrusted input (see the crate docs), and a key the engine
+//! does not understand means the spec was written by a newer tool or
+//! tampered with — either way, silently dropping it would let two
+//! different descriptions of an image parse identically.
+
+use gd_campaign::json::{parse, Json};
+
+use crate::Format;
+
+/// Spec format version accepted by this reader.
+pub const SPEC_VERSION: i64 = 1;
+
+/// One inferred routine extent, as serialized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentSpec {
+    /// Routine name (`reset`, `handler_N`, or an ELF symbol).
+    pub name: String,
+    /// First instruction address.
+    pub base: u32,
+    /// End of decodable code (start of the literal pool, if any).
+    pub code_end: u32,
+    /// End of the extent (next routine or end of text).
+    pub end: u32,
+}
+
+/// A complete ingestion description, serializable as canonical JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestSpec {
+    /// Spec format version ([`SPEC_VERSION`]).
+    pub version: i64,
+    /// Container format the image came from.
+    pub format: Format,
+    /// Load address of the text bytes.
+    pub base: u32,
+    /// Entry point (Thumb bit stripped).
+    pub entry: u32,
+    /// Initial stack pointer.
+    pub sp: u32,
+    /// Number of text bytes loaded.
+    pub text_len: u32,
+    /// Inferred routine extents, in address order.
+    pub extents: Vec<ExtentSpec>,
+}
+
+fn check_keys(obj: &Json, what: &str, allowed: &[&str]) -> Result<(), String> {
+    let Json::Obj(fields) = obj else {
+        return Err(format!("{what} must be an object"));
+    };
+    for (k, _) in fields {
+        if !allowed.contains(&k.as_str()) {
+            return Err(format!("unknown key {k:?} in {what}"));
+        }
+    }
+    Ok(())
+}
+
+fn u32_field(obj: &Json, name: &str) -> Result<u32, String> {
+    obj.get(name)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or(format!("missing u32 field `{name}`"))
+}
+
+impl IngestSpec {
+    /// The spec as a JSON value (insertion order is fixed, so the
+    /// serialization is canonical).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::Int(self.version.into())),
+            ("format", Json::Str(self.format.label().to_owned())),
+            ("base", Json::Int(self.base.into())),
+            ("entry", Json::Int(self.entry.into())),
+            ("sp", Json::Int(self.sp.into())),
+            ("text_len", Json::Int(self.text_len.into())),
+            (
+                "extents",
+                Json::Arr(
+                    self.extents
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("name", Json::Str(e.name.clone())),
+                                ("base", Json::Int(e.base.into())),
+                                ("code_end", Json::Int(e.code_end.into())),
+                                ("end", Json::Int(e.end.into())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Parses a spec from its JSON value, rejecting unknown keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the missing, ill-typed, or unknown field.
+    pub fn from_json(v: &Json) -> Result<IngestSpec, String> {
+        check_keys(
+            v,
+            "spec",
+            &["version", "format", "base", "entry", "sp", "text_len", "extents"],
+        )?;
+        let version =
+            v.get("version").and_then(Json::as_i64).ok_or("missing integer field `version`")?;
+        if version != SPEC_VERSION {
+            return Err(format!("unsupported spec version {version} (expected {SPEC_VERSION})"));
+        }
+        let format = match v.get("format").and_then(Json::as_str) {
+            Some("bin") => Format::Bin,
+            Some("elf") => Format::Elf,
+            Some(other) => return Err(format!("unknown format {other:?}")),
+            None => return Err("missing string field `format`".into()),
+        };
+        let extents = v
+            .get("extents")
+            .and_then(Json::as_arr)
+            .ok_or("missing array field `extents`")?
+            .iter()
+            .map(|e| {
+                check_keys(e, "extent", &["name", "base", "code_end", "end"])?;
+                Ok(ExtentSpec {
+                    name: e
+                        .get("name")
+                        .and_then(Json::as_str)
+                        .ok_or("missing string field `name`")?
+                        .to_owned(),
+                    base: u32_field(e, "base")?,
+                    code_end: u32_field(e, "code_end")?,
+                    end: u32_field(e, "end")?,
+                })
+            })
+            .collect::<Result<Vec<ExtentSpec>, String>>()?;
+        Ok(IngestSpec {
+            version,
+            format,
+            base: u32_field(v, "base")?,
+            entry: u32_field(v, "entry")?,
+            sp: u32_field(v, "sp")?,
+            text_len: u32_field(v, "text_len")?,
+            extents,
+        })
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates both JSON syntax errors and spec-shape errors as text.
+    pub fn from_json_text(text: &str) -> Result<IngestSpec, String> {
+        let v = parse(text).map_err(|e| e.to_string())?;
+        IngestSpec::from_json(&v)
+    }
+
+    /// Pretty JSON text for reports and on-disk specs.
+    pub fn to_json_text(&self) -> String {
+        self.to_json().to_string_pretty().expect("ingest specs hold no non-finite numbers")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testimg;
+
+    fn demo_spec() -> IngestSpec {
+        crate::ingest_bin(&testimg::demo_bin(), testimg::DEMO_BASE).unwrap().spec()
+    }
+
+    #[test]
+    fn demo_spec_round_trips_through_text() {
+        let spec = demo_spec();
+        let text = spec.to_json_text();
+        let back = IngestSpec::from_json_text(&text).unwrap();
+        assert_eq!(back, spec, "through\n{text}");
+        // Compact form too.
+        let compact = spec.to_json().to_string_compact().unwrap();
+        assert_eq!(IngestSpec::from_json_text(&compact).unwrap(), spec);
+    }
+
+    #[test]
+    fn elf_spec_round_trips() {
+        let spec = crate::ingest_elf(&testimg::demo_elf()).unwrap().spec();
+        assert_eq!(spec.format, Format::Elf);
+        assert_eq!(IngestSpec::from_json_text(&spec.to_json_text()).unwrap(), spec);
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        let mut text = demo_spec().to_json_text();
+        text = text.replacen("\"sp\"", "\"sp_extra\": 1,\n  \"sp\"", 1);
+        let err = IngestSpec::from_json_text(&text).unwrap_err();
+        assert!(err.contains("unknown key \"sp_extra\""), "{err}");
+        // Unknown key nested in an extent.
+        let mut text = demo_spec().to_json_text();
+        text = text.replacen("\"code_end\"", "\"pad\": 0,\n      \"code_end\"", 1);
+        let err = IngestSpec::from_json_text(&text).unwrap_err();
+        assert!(err.contains("unknown key \"pad\""), "{err}");
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected() {
+        for (label, text) in [
+            (
+                "bad version",
+                r#"{"version":2,"format":"bin","base":0,"entry":0,"sp":8,"text_len":0,"extents":[]}"#,
+            ),
+            (
+                "bad format",
+                r#"{"version":1,"format":"hex","base":0,"entry":0,"sp":8,"text_len":0,"extents":[]}"#,
+            ),
+            (
+                "missing sp",
+                r#"{"version":1,"format":"bin","base":0,"entry":0,"text_len":0,"extents":[]}"#,
+            ),
+            ("non-object", r#"[1,2,3]"#),
+            (
+                "u32 overflow",
+                r#"{"version":1,"format":"bin","base":4294967296,"entry":0,"sp":8,"text_len":0,"extents":[]}"#,
+            ),
+        ] {
+            assert!(IngestSpec::from_json_text(text).is_err(), "{label} must be rejected");
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The deterministic demo firmware: a hand-assembled third-party-style
+//! image exercising every ingestion feature — vector table, Thumb-2 wide
+//! encodings (`MOVW`/`MOVT`, `B.W`, `B<cond>.W`, `LDR.W`-class pool
+//! reference, `STR.W`), a narrow/wide mix, a literal pool, and an
+//! *impossible* compromise path that only glitched control flow reaches.
+//!
+//! The builder is byte-deterministic; `testdata/ingest_demo.bin` is its
+//! committed output and a test pins the two identical, so the blob in
+//! git is self-verifying rather than opaque.
+
+use gd_backend::layout::{SRAM_BASE, STACK_TOP};
+use gd_thumb::{Cond, Encoding, Instr, Reg};
+
+/// Load address of the demo image (the standard flash base).
+pub const DEMO_BASE: u32 = 0x0800_0000;
+
+/// Initial stack pointer in the demo's vector table.
+pub const DEMO_SP: u32 = STACK_TOP;
+
+/// Entry point (the reset handler, after the two-word vector table).
+pub const DEMO_ENTRY: u32 = DEMO_BASE + 8;
+
+/// The store only the impossible path performs: `(address, value)` — the
+/// compromise oracle a divergence campaign watches for.
+pub const DEMO_WATCH: (u32, u32) = (SRAM_BASE + 4, 0xC0DE);
+
+/// Final `r0` of the unfaulted run (reported at the closing `bkpt #0`).
+pub const DEMO_MARKER: u32 = 0x42;
+
+fn emit(code: &mut Vec<u8>, instr: Instr) {
+    match instr.try_encode().unwrap_or_else(|e| panic!("demo instr {instr}: {e}")) {
+        Encoding::Half(hw) => code.extend_from_slice(&hw.to_le_bytes()),
+        Encoding::Pair(hw1, hw2) => {
+            code.extend_from_slice(&hw1.to_le_bytes());
+            code.extend_from_slice(&hw2.to_le_bytes());
+        }
+    }
+}
+
+/// Builds the demo image. Layout (offsets from [`DEMO_BASE`]):
+///
+/// ```text
+/// 0x00  vector table: initial SP, reset | 1
+/// 0x08  reset: movw/movt r0 = 0x56781234 ; ldr r1, =0x56781234
+/// 0x12         bl check ; cmp r2, #1 ; beq good
+/// 0x1a  bad:   movw r3, #0xC0DE ; r4 = SRAM ; str.w r3, [r4, #4]
+/// 0x28  good:  movs r0, #0x42 ; bkpt #0
+/// 0x2c  check: b.w .+0 ; cmp r0, r1 ; bne.w noteq
+///              movs r2, #1 ; bx lr
+/// 0x3a  noteq: movs r2, #0 ; bx lr ; nop (pool alignment)
+/// 0x40  pool:  .word 0x56781234
+/// ```
+///
+/// The unfaulted run always takes `good` (the loaded literal equals the
+/// constructed constant), so the `bad` store to [`DEMO_WATCH`] is
+/// unreachable without a fault.
+pub fn demo_bin() -> Vec<u8> {
+    let mut image = Vec::new();
+    image.extend_from_slice(&DEMO_SP.to_le_bytes());
+    image.extend_from_slice(&(DEMO_ENTRY | 1).to_le_bytes());
+    let code = &mut image;
+    // reset (0x08):
+    emit(code, Instr::MovW { rd: Reg::R0, imm16: 0x1234 });
+    emit(code, Instr::MovT { rd: Reg::R0, imm16: 0x5678 });
+    emit(code, Instr::LdrLit { rt: Reg::R1, imm8: 11 }); // 0x10 → pool @ 0x40
+    emit(code, Instr::Bl { offset: 22 }); // 0x12 → check @ 0x2c
+    emit(code, Instr::CmpImm { rn: Reg::R2, imm8: 1 });
+    emit(code, Instr::BCond { cond: Cond::Eq, offset: 12 }); // 0x18 → good @ 0x28
+                                                             // bad (0x1a) — the impossible path:
+    emit(code, Instr::MovW { rd: Reg::R3, imm16: 0xC0DE });
+    emit(code, Instr::MovImm { rd: Reg::R4, imm8: 0 });
+    emit(code, Instr::MovT { rd: Reg::R4, imm16: (SRAM_BASE >> 16) as u16 });
+    emit(code, Instr::StrW { rt: Reg::R3, rn: Reg::R4, imm12: 4 });
+    // good (0x28):
+    emit(code, Instr::MovImm { rd: Reg::R0, imm8: DEMO_MARKER as u8 });
+    emit(code, Instr::Bkpt { imm8: 0 });
+    // check (0x2c):
+    emit(code, Instr::BW { offset: 0 }); // wide branch to the next instr
+    emit(code, Instr::Alu { op: gd_thumb::AluOp::Cmp, rdn: Reg::R0, rm: Reg::R1 });
+    emit(code, Instr::BCondW { cond: Cond::Ne, offset: 4 }); // 0x32 → noteq @ 0x3a
+    emit(code, Instr::MovImm { rd: Reg::R2, imm8: 1 });
+    emit(code, Instr::Bx { rm: Reg::LR });
+    // noteq (0x3a):
+    emit(code, Instr::MovImm { rd: Reg::R2, imm8: 0 });
+    emit(code, Instr::Bx { rm: Reg::LR });
+    emit(code, Instr::Hint { hint: gd_thumb::Hint::Nop }); // align the pool
+                                                           // pool (0x40):
+    assert_eq!(image.len(), 0x40, "demo layout drifted");
+    image.extend_from_slice(&0x5678_1234u32.to_le_bytes());
+    image
+}
+
+/// Wraps [`demo_bin`] in a minimal ELF32 executable: one `PT_LOAD`
+/// segment at [`DEMO_BASE`], `e_entry` at the reset handler, and a
+/// `SHT_SYMTAB` naming `reset` and `check` as `STT_FUNC` symbols (Thumb
+/// bit set, as toolchains emit them).
+pub fn demo_elf() -> Vec<u8> {
+    let bin = demo_bin();
+    build_elf(
+        &bin,
+        DEMO_BASE,
+        DEMO_ENTRY | 1,
+        &[("reset", DEMO_ENTRY | 1), ("check", (DEMO_BASE + 0x2C) | 1)],
+    )
+}
+
+/// Assembles a little-endian ARM ELF32 executable around `segment`
+/// loaded at `vaddr`, with `funcs` as `STT_FUNC` symbols. Exposed so
+/// tests can build malformed variants from a valid baseline.
+pub fn build_elf(segment: &[u8], vaddr: u32, entry: u32, funcs: &[(&str, u32)]) -> Vec<u8> {
+    const EHSIZE: u32 = 52;
+    const PHSIZE: u32 = 32;
+    const SHSIZE: u32 = 40;
+    let phoff = EHSIZE;
+    let dataoff = EHSIZE + PHSIZE;
+    // String table: \0 then each name \0.
+    let mut strtab = vec![0u8];
+    let mut name_offs = Vec::new();
+    for (name, _) in funcs {
+        name_offs.push(strtab.len() as u32);
+        strtab.extend_from_slice(name.as_bytes());
+        strtab.push(0);
+    }
+    // Symbol table: null symbol then one STT_FUNC per entry.
+    let mut symtab = vec![0u8; 16];
+    for ((_, addr), noff) in funcs.iter().zip(&name_offs) {
+        symtab.extend_from_slice(&noff.to_le_bytes());
+        symtab.extend_from_slice(&addr.to_le_bytes());
+        symtab.extend_from_slice(&0u32.to_le_bytes()); // st_size
+        symtab.push(0x02); // st_info: STB_LOCAL | STT_FUNC
+        symtab.push(0); // st_other
+        symtab.extend_from_slice(&1u16.to_le_bytes()); // st_shndx
+    }
+    let symoff = dataoff + segment.len() as u32;
+    let stroff = symoff + symtab.len() as u32;
+    let shoff = stroff + strtab.len() as u32;
+
+    let mut elf = Vec::new();
+    // ELF header.
+    elf.extend_from_slice(&[0x7F, b'E', b'L', b'F', 1, 1, 1, 0]); // ident
+    elf.extend_from_slice(&[0; 8]); // ident padding
+    elf.extend_from_slice(&2u16.to_le_bytes()); // e_type: EXEC
+    elf.extend_from_slice(&40u16.to_le_bytes()); // e_machine: EM_ARM
+    elf.extend_from_slice(&1u32.to_le_bytes()); // e_version
+    elf.extend_from_slice(&entry.to_le_bytes()); // e_entry
+    elf.extend_from_slice(&phoff.to_le_bytes()); // e_phoff
+    elf.extend_from_slice(&shoff.to_le_bytes()); // e_shoff
+    elf.extend_from_slice(&0u32.to_le_bytes()); // e_flags
+    elf.extend_from_slice(&(EHSIZE as u16).to_le_bytes()); // e_ehsize
+    elf.extend_from_slice(&(PHSIZE as u16).to_le_bytes()); // e_phentsize
+    elf.extend_from_slice(&1u16.to_le_bytes()); // e_phnum
+    elf.extend_from_slice(&(SHSIZE as u16).to_le_bytes()); // e_shentsize
+    elf.extend_from_slice(&3u16.to_le_bytes()); // e_shnum
+    elf.extend_from_slice(&0u16.to_le_bytes()); // e_shstrndx (unused)
+    assert_eq!(elf.len(), EHSIZE as usize);
+    // Program header: one PT_LOAD.
+    elf.extend_from_slice(&1u32.to_le_bytes()); // p_type: PT_LOAD
+    elf.extend_from_slice(&dataoff.to_le_bytes()); // p_offset
+    elf.extend_from_slice(&vaddr.to_le_bytes()); // p_vaddr
+    elf.extend_from_slice(&vaddr.to_le_bytes()); // p_paddr
+    elf.extend_from_slice(&(segment.len() as u32).to_le_bytes()); // p_filesz
+    elf.extend_from_slice(&(segment.len() as u32).to_le_bytes()); // p_memsz
+    elf.extend_from_slice(&5u32.to_le_bytes()); // p_flags: R+X
+    elf.extend_from_slice(&4u32.to_le_bytes()); // p_align
+                                                // Segment data, then symtab + strtab bodies.
+    elf.extend_from_slice(segment);
+    elf.extend_from_slice(&symtab);
+    elf.extend_from_slice(&strtab);
+    // Section headers: null, .symtab, .strtab.
+    assert_eq!(elf.len(), shoff as usize);
+    elf.extend_from_slice(&[0u8; SHSIZE as usize]);
+    let sh = |elf: &mut Vec<u8>, sh_type: u32, off: u32, size: u32, link: u32, entsize: u32| {
+        elf.extend_from_slice(&0u32.to_le_bytes()); // sh_name
+        elf.extend_from_slice(&sh_type.to_le_bytes());
+        elf.extend_from_slice(&0u32.to_le_bytes()); // sh_flags
+        elf.extend_from_slice(&0u32.to_le_bytes()); // sh_addr
+        elf.extend_from_slice(&off.to_le_bytes());
+        elf.extend_from_slice(&size.to_le_bytes());
+        elf.extend_from_slice(&link.to_le_bytes());
+        elf.extend_from_slice(&0u32.to_le_bytes()); // sh_info
+        elf.extend_from_slice(&0u32.to_le_bytes()); // sh_addralign
+        elf.extend_from_slice(&entsize.to_le_bytes());
+    };
+    sh(&mut elf, 2, symoff, symtab.len() as u32, 2, 16); // .symtab → strtab idx 2
+    sh(&mut elf, 3, stroff, strtab.len() as u32, 0, 0); // .strtab
+    elf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_is_deterministic_and_well_formed() {
+        let a = demo_bin();
+        assert_eq!(a, demo_bin());
+        assert_eq!(a.len(), 0x44);
+        // The literal pool word is the constant movw/movt builds.
+        assert_eq!(&a[0x40..], &0x5678_1234u32.to_le_bytes());
+    }
+
+    #[test]
+    fn committed_blob_matches_the_builder() {
+        let committed =
+            std::fs::read(concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/ingest_demo.bin"))
+                .expect("testdata/ingest_demo.bin is committed");
+        assert_eq!(committed, demo_bin(), "committed demo blob drifted from the builder");
+    }
+}

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use gd_backend::FirmwareImage;
-use gd_glitch_emu::classify::{branch_flips, FlipClass};
+use gd_glitch_emu::classify::{branch_flips_with, FlipClass};
 use gd_thumb::is_32bit_prefix;
 
 use crate::engine::Finding;
@@ -45,13 +45,18 @@ pub fn lint_image(image: &FirmwareImage) -> (Vec<Finding>, BTreeMap<String, FnSe
         let mut sens = FnSensitivity::default();
         let mut addr = extent.base;
         while addr + 2 <= extent.code_end {
-            let off = (addr - 0x0800_0000) as usize;
+            let off = (addr - image.text_base) as usize;
             let hw = u16::from_le_bytes([image.text[off], image.text[off + 1]]);
             if is_32bit_prefix(hw) {
                 addr += 4; // skip both halves of a wide encoding (BL)
                 continue;
             }
-            if let Some(profile) = branch_flips(hw) {
+            // The halfword the pipeline would fetch after this one: flips
+            // into the 32-bit prefix space consume it, so prefix flips
+            // classify as what the resulting *wide* instruction does.
+            // Only the very last halfword of the image has no successor.
+            let hw2 = image.text.get(off + 2..off + 4).map(|b| u16::from_le_bytes([b[0], b[1]]));
+            if let Some(profile) = branch_flips_with(hw, hw2) {
                 let (i, u, f) = (
                     profile.count(FlipClass::InvertedBranch),
                     profile.count(FlipClass::UnconditionalBranch),

@@ -1,0 +1,80 @@
+//! Regression pin for the wide-prefix taxonomy rework.
+//!
+//! `branch_flips` used to stop at the opaque `WidePrefix` class for every
+//! single-bit flip that landed in the 32-bit prefix space. The
+//! context-aware `branch_flips_with` resolves each of those flips through
+//! the halfword that actually follows the branch in the image, into
+//! `WideBranch` / `WideLoad` / `WideOther` / `WideUndefined`. This test
+//! compiles the paper's boot firmware and pins both sides:
+//!
+//! - every context-free `WidePrefix` flip resolves to exactly one of the
+//!   four wide classes once context is supplied — none is left opaque and
+//!   no other class shifts;
+//! - the §IV diversion totals (the numbers in the committed lint goldens)
+//!   are identical under both classifiers.
+
+use gd_backend::compile;
+use gd_glitch_emu::classify::{branch_flips, branch_flips_with, FlipClass};
+use gd_thumb::is_32bit_prefix;
+
+fn is_wide(class: FlipClass) -> bool {
+    matches!(
+        class,
+        FlipClass::WideBranch
+            | FlipClass::WideLoad
+            | FlipClass::WideOther
+            | FlipClass::WideUndefined
+    )
+}
+
+#[test]
+fn boot_image_wide_prefix_flips_all_resolve() {
+    let image = compile(&gd_firmware::boot(), "main").expect("boot compiles");
+    let mut branches = 0usize;
+    let mut old_wide_prefix = 0usize;
+    let mut resolved = [0usize; 4]; // branch, load, other, undefined
+    for extent in &image.extents {
+        let mut addr = extent.base;
+        while addr + 2 <= extent.code_end {
+            let off = (addr - image.text_base) as usize;
+            let hw = u16::from_le_bytes([image.text[off], image.text[off + 1]]);
+            if is_32bit_prefix(hw) {
+                addr += 4;
+                continue;
+            }
+            let hw2 = image.text.get(off + 2..off + 4).map(|b| u16::from_le_bytes([b[0], b[1]]));
+            if let (Some(old), Some(new)) = (branch_flips(hw), branch_flips_with(hw, hw2)) {
+                branches += 1;
+                assert!(hw2.is_some(), "mid-image branch always has a successor halfword");
+                for (o, n) in old.flips.iter().zip(&new.flips) {
+                    assert_eq!(o.encoding, n.encoding);
+                    if o.class == FlipClass::WidePrefix {
+                        old_wide_prefix += 1;
+                        match n.class {
+                            FlipClass::WideBranch => resolved[0] += 1,
+                            FlipClass::WideLoad => resolved[1] += 1,
+                            FlipClass::WideOther => resolved[2] += 1,
+                            FlipClass::WideUndefined => resolved[3] += 1,
+                            other => {
+                                panic!("{:#06x} bit {}: prefix flip left as {other:?}", hw, o.bit)
+                            }
+                        }
+                    } else {
+                        assert_eq!(o.class, n.class, "non-prefix flips must not shift");
+                        assert!(!is_wide(n.class));
+                    }
+                }
+                // The goldens only count diversions; those are invariant.
+                assert_eq!(old.diversions(), new.diversions(), "hw={hw:#06x}");
+            }
+            addr += 2;
+        }
+    }
+    // The boot image has a real branch population and a real wide-prefix
+    // flip surface; pin both so a decoder regression cannot silently
+    // shrink the experiment.
+    assert!(branches >= 10, "boot has {branches} conditional branches");
+    assert!(old_wide_prefix >= branches, "every bcond has at least the bit-13 prefix flip");
+    assert_eq!(old_wide_prefix, resolved.iter().sum::<usize>());
+    assert!(resolved[3] > 0, "some prefix flips land on undefined wide patterns");
+}

@@ -205,7 +205,7 @@ impl Pipeline {
             // Same fault, at the same pre-window point, as a live decode
             // failure would raise.
             Some(Slot::Undefined { hw, hw2 }) => return Err(Fault::Undefined { addr, hw, hw2 }),
-            Some(Slot::Live) | None => self.emu.decode(addr, hw)?,
+            Some(Slot::Incomplete { .. } | Slot::Live) | None => self.emu.decode(addr, hw)?,
         };
         let est = self.timing.base_cycles(instr)
             + if instr.is_branch() { self.timing.taken_branch_penalty } else { 0 };

@@ -24,7 +24,11 @@ fn main() {
         let case = branch_case(cond);
         let and = sweep_case(&case, Direction::And, Config::default());
         let or = sweep_case(&case, Direction::Or, Config::default());
-        let and0 = sweep_case(&case, Direction::And, Config { zero_is_invalid: true });
+        let and0 = sweep_case(
+            &case,
+            Direction::And,
+            Config { zero_is_invalid: true, ..Config::default() },
+        );
         println!(
             "b{:<5} {:>11.2}% {:>11.2}% {:>14.2}%",
             cond,

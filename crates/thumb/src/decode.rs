@@ -9,7 +9,7 @@
 
 use core::fmt;
 
-use crate::instr::{AluOp, Hint, ShiftOp, Width};
+use crate::instr::{AluOp, Hint, ShiftOp, WideDpOp, Width};
 use crate::{Cond, Instr, Reg};
 
 /// Error returned when a bit pattern is not a defined instruction.
@@ -279,6 +279,151 @@ pub fn decode32(hw1: u16, hw2: u16) -> Result<Instr, DecodeError> {
     Err(DecodeError::Undefined32(hw1, hw2))
 }
 
+/// Decodes a 32-bit instruction with the Thumb-2 wide subset enabled.
+///
+/// Extends [`decode32`] with the wide encodings reachable by single-bit
+/// flips of ARMv6-M code: the `B.W`/`B<cond>.W` branch family, the
+/// modified-immediate and `MOVW`/`MOVT` data-processing groups, and the
+/// 12-bit-immediate `LDR.W`/`STR.W`. Everything else in the 32-bit space
+/// (load/store multiple and dual, register-shifted data processing,
+/// coprocessor and system encodings) stays undefined, as does every `SP`
+/// position and any `PC` position other than the defined compare/test,
+/// `MOV`/`MVN`, literal-load, and indirect-branch forms. Like
+/// [`decode16`], the function is *total* over its space: every pair
+/// either decodes to an [`Instr`] whose encoding is the original pair, or
+/// is [`DecodeError::Undefined32`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Undefined32`] for pairs outside the subset and
+/// [`DecodeError::Undefined16`] when `hw1` is not a 32-bit prefix at all.
+pub fn decode32_wide(hw1: u16, hw2: u16) -> Result<Instr, DecodeError> {
+    if !is_32bit_prefix(hw1) {
+        return Err(DecodeError::Undefined16(hw1));
+    }
+    let undef = Err(DecodeError::Undefined32(hw1, hw2));
+    match hw1 >> 11 {
+        0b11110 if hw2 & 0x8000 != 0 => {
+            // Branches and miscellaneous control.
+            let s = u32::from((hw1 >> 10) & 1);
+            let j1 = u32::from((hw2 >> 13) & 1);
+            let j2 = u32::from((hw2 >> 11) & 1);
+            let imm11 = u32::from(hw2 & 0x7FF);
+            match hw2 & 0xD000 {
+                // BL T1 — identical to the ARMv6-M decode.
+                0xD000 => decode32(hw1, hw2),
+                // B.W T4: same 24-bit I1/I2 offset folding as BL.
+                0x9000 => {
+                    let imm10 = u32::from(hw1 & 0x3FF);
+                    let i1 = !(j1 ^ s) & 1;
+                    let i2 = !(j2 ^ s) & 1;
+                    let raw = s << 23 | i1 << 22 | i2 << 21 | imm10 << 11 | imm11;
+                    let half = ((raw as i32) << 8) >> 8;
+                    Ok(Instr::BW { offset: half << 1 })
+                }
+                // B<cond>.W T3: 20-bit S:J2:J1:imm6:imm11 offset, no
+                // I1/I2 folding. cond 0b111x is the misc-control hole
+                // (MSR/MRS/barriers), out of the subset.
+                0x8000 => {
+                    let Some(cond) = Cond::from_bits(((hw1 >> 6) & 0xF) as u8) else {
+                        return undef;
+                    };
+                    let imm6 = u32::from(hw1 & 0x3F);
+                    let raw = s << 19 | j2 << 18 | j1 << 17 | imm6 << 11 | imm11;
+                    let half = ((raw as i32) << 12) >> 12;
+                    Ok(Instr::BCondW { cond, offset: half << 1 })
+                }
+                // BLX (immediate) targets ARM state: undefined on M.
+                _ => undef,
+            }
+        }
+        0b11110 => {
+            // Data processing, immediate (hw2 bit 15 is 0).
+            let i = (hw1 >> 10) & 1;
+            let imm3 = (hw2 >> 12) & 7;
+            let imm8 = hw2 & 0xFF;
+            let rd = Reg::any((hw2 >> 8) & 0xF);
+            if hw1 & (1 << 9) == 0 {
+                // Modified 12-bit immediate.
+                let Some(op) = WideDpOp::from_bits(((hw1 >> 5) & 0xF) as u8) else {
+                    return undef;
+                };
+                let s = hw1 & (1 << 4) != 0;
+                let rn = Reg::any(hw1 & 0xF);
+                let imm12 = i << 11 | imm3 << 8 | imm8;
+                // Replication patterns with an all-zero imm8 are
+                // UNPREDICTABLE (ThumbExpandImm).
+                if imm12 >> 8 & 0xF != 0 && imm12 >> 10 == 0 && imm8 == 0 {
+                    return undef;
+                }
+                if rd == Reg::SP || rn == Reg::SP {
+                    return undef;
+                }
+                if rd == Reg::PC && !(s && op.has_discard_form()) {
+                    return undef;
+                }
+                if rn == Reg::PC && !matches!(op, WideDpOp::Orr | WideDpOp::Orn) {
+                    return undef;
+                }
+                Ok(Instr::DpImm { op, s, rn, rd, imm12 })
+            } else {
+                // Plain binary immediate: only MOVW/MOVT are in the
+                // subset (ADDW/SUBW/ADR/BFI/saturate stay undefined).
+                if rd == Reg::SP || rd == Reg::PC {
+                    return undef;
+                }
+                let imm4 = hw1 & 0xF;
+                let imm16 = imm4 << 12 | i << 11 | imm3 << 8 | imm8;
+                match (hw1 >> 4) & 0x1F {
+                    0b00100 => Ok(Instr::MovW { rd, imm16 }),
+                    0b01100 => Ok(Instr::MovT { rd, imm16 }),
+                    _ => undef,
+                }
+            }
+        }
+        0b11111 => {
+            // Only the 12-bit positive-offset word load/store forms are
+            // in the subset. `hw1 == 0xF8DF` is exactly the U=1 LDR
+            // (literal) encoding, modelled as `rn == PC`.
+            let rt = Reg::any((hw2 >> 12) & 0xF);
+            let rn = Reg::any(hw1 & 0xF);
+            let imm12 = hw2 & 0xFFF;
+            match hw1 & 0xFFF0 {
+                0xF8D0 if rt != Reg::SP => Ok(Instr::LdrW { rt, rn, imm12 }),
+                0xF8C0 if rt != Reg::SP && rt != Reg::PC && rn != Reg::PC => {
+                    Ok(Instr::StrW { rt, rn, imm12 })
+                }
+                _ => undef,
+            }
+        }
+        // Load/store multiple and dual (0b11101) are out of the subset.
+        _ => undef,
+    }
+}
+
+/// Decodes the instruction at the start of `bytes` with the wide subset
+/// enabled (the [`decode32_wide`] counterpart of [`decode_bytes`]).
+///
+/// # Errors
+///
+/// Propagates [`DecodeError`]; a 32-bit prefix with fewer than four bytes
+/// available yields [`DecodeError::Incomplete`].
+pub fn decode_bytes_wide(bytes: &[u8]) -> Result<(Instr, u32), DecodeError> {
+    let hw1 = match bytes {
+        [a, b, ..] => u16::from_le_bytes([*a, *b]),
+        _ => return Err(DecodeError::Undefined16(0)),
+    };
+    if is_32bit_prefix(hw1) {
+        let hw2 = match bytes {
+            [_, _, c, d, ..] => u16::from_le_bytes([*c, *d]),
+            _ => return Err(DecodeError::Incomplete(hw1)),
+        };
+        decode32_wide(hw1, hw2).map(|i| (i, 4))
+    } else {
+        decode16(hw1).map(|i| (i, 2))
+    }
+}
+
 /// Decodes the instruction at the start of `bytes` (little-endian halfwords).
 ///
 /// Returns the instruction and its size in bytes.
@@ -377,6 +522,114 @@ mod tests {
         // Empty register lists.
         assert_eq!(decode16(0xB400), Err(DecodeError::Undefined16(0xB400)));
         assert_eq!(decode16(0xC800), Err(DecodeError::Undefined16(0xC800)));
+    }
+
+    /// The wide-space keystone property: for every prefix group, every
+    /// `(hw1, hw2)` with a fixed representative second halfword either
+    /// round-trips through its encoding or is classified undefined; and a
+    /// full second-halfword sweep over representative prefixes does the
+    /// same. (The full 2^32 product is swept sparsely; the emulator's
+    /// differential test covers the classify path.)
+    #[test]
+    fn wide_round_trip_sweep() {
+        let check = |hw1: u16, hw2: u16| match decode32_wide(hw1, hw2) {
+            Ok(instr) => {
+                let enc = instr.try_encode().unwrap_or_else(|e| {
+                    panic!("decoded {instr:?} from {hw1:#06x} {hw2:#06x}: {e}")
+                });
+                assert_eq!(
+                    enc,
+                    Encoding::Pair(hw1, hw2),
+                    "round trip failed for {hw1:#06x} {hw2:#06x} → {instr:?}"
+                );
+            }
+            Err(DecodeError::Undefined32(a, b)) => assert_eq!((a, b), (hw1, hw2)),
+            Err(e) => panic!("unexpected error {e} for {hw1:#06x} {hw2:#06x}"),
+        };
+        // Every prefix halfword, against second halfwords picking each
+        // major hw2 shape (branch J-bit patterns, dp-immediate shapes).
+        for hw1 in 0..=u16::MAX {
+            if !is_32bit_prefix(hw1) {
+                continue;
+            }
+            for hw2 in
+                [0x0000, 0x0305, 0x0F00, 0x7FFF, 0x8000, 0x9000, 0xA800, 0xC000, 0xD000, 0xFFFF]
+            {
+                check(hw1, hw2);
+            }
+        }
+        // Every second halfword, against prefixes picking each group and
+        // each dp/load/store shape.
+        for hw1 in [0xE800, 0xF000, 0xF04F, 0xF110, 0xF24A, 0xF2C0, 0xF5B1, 0xF8C2, 0xF8D3, 0xF8DF]
+        {
+            for hw2 in 0..=u16::MAX {
+                check(hw1, hw2);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_reference_decodings() {
+        // b.w .+0 → F000 B800; negative offset exercises I1/I2 folding.
+        assert_eq!(decode32_wide(0xF000, 0xB800), Ok(Instr::BW { offset: 0 }));
+        assert_eq!(decode32_wide(0xF7FF, 0xBFFE), Ok(Instr::BW { offset: -4 }));
+        // beq.w .+0 → F000 8000.
+        assert_eq!(decode32_wide(0xF000, 0x8000), Ok(Instr::BCondW { cond: Cond::Eq, offset: 0 }));
+        // bne.w with a negative offset (S=1, J-bits literal, no folding).
+        assert_eq!(decode32_wide(0xF47F, 0xAFFE), Ok(Instr::BCondW { cond: Cond::Ne, offset: -4 }));
+        // BL still decodes identically to the ARMv6-M path.
+        assert_eq!(decode32_wide(0xF000, 0xF800), Ok(Instr::Bl { offset: 0 }));
+        // mov.w r0, #1 → F04F 0001 (ORR with rn = PC).
+        assert_eq!(
+            decode32_wide(0xF04F, 0x0001),
+            Ok(Instr::DpImm { op: WideDpOp::Orr, s: false, rn: Reg::PC, rd: Reg::R0, imm12: 1 })
+        );
+        // cmp.w r1, #0x80000000 → F1B1 4F00 (SUB, S=1, rd = PC).
+        assert_eq!(
+            decode32_wide(0xF1B1, 0x4F00),
+            Ok(Instr::DpImm { op: WideDpOp::Sub, s: true, rn: Reg::R1, rd: Reg::PC, imm12: 0x400 })
+        );
+        // movw r10, #0xABCD → F64A 3ACD.
+        assert_eq!(decode32_wide(0xF64A, 0x3ACD), Ok(Instr::MovW { rd: Reg::R10, imm16: 0xABCD }));
+        // movt r0, #0x2000 → F2C2 0000.
+        assert_eq!(decode32_wide(0xF2C2, 0x0000), Ok(Instr::MovT { rd: Reg::R0, imm16: 0x2000 }));
+        // ldr.w r1, [r3, #4] → F8D3 1004.
+        assert_eq!(
+            decode32_wide(0xF8D3, 0x1004),
+            Ok(Instr::LdrW { rt: Reg::R1, rn: Reg::R3, imm12: 4 })
+        );
+        // ldr.w r2, [pc, #8] → F8DF 2008 (literal, U=1).
+        assert_eq!(
+            decode32_wide(0xF8DF, 0x2008),
+            Ok(Instr::LdrW { rt: Reg::R2, rn: Reg::PC, imm12: 8 })
+        );
+        // str.w r0, [r2, #0] → F8C2 0000.
+        assert_eq!(
+            decode32_wide(0xF8C2, 0x0000),
+            Ok(Instr::StrW { rt: Reg::R0, rn: Reg::R2, imm12: 0 })
+        );
+    }
+
+    #[test]
+    fn wide_rejects_out_of_subset() {
+        // BLX (immediate) targets ARM state.
+        assert!(matches!(decode32_wide(0xF000, 0xC000), Err(DecodeError::Undefined32(_, _))));
+        // Load/store multiple group (0b11101).
+        assert!(matches!(decode32_wide(0xE890, 0x0003), Err(DecodeError::Undefined32(_, _))));
+        // SP in a dp-immediate field.
+        assert!(matches!(decode32_wide(0xF04D, 0x0001), Err(DecodeError::Undefined32(_, _))));
+        assert!(matches!(decode32_wide(0xF041, 0x0D01), Err(DecodeError::Undefined32(_, _))));
+        // PC destination without the compare/test form.
+        assert!(matches!(decode32_wide(0xF041, 0x0F01), Err(DecodeError::Undefined32(_, _))));
+        // Replication pattern with an all-zero imm8 (UNPREDICTABLE).
+        assert!(matches!(decode32_wide(0xF041, 0x1100), Err(DecodeError::Undefined32(_, _))));
+        // str.w with a PC base or target.
+        assert!(matches!(decode32_wide(0xF8CF, 0x0000), Err(DecodeError::Undefined32(_, _))));
+        assert!(matches!(decode32_wide(0xF8C2, 0xF000), Err(DecodeError::Undefined32(_, _))));
+        // ADDW (plain-binary op outside MOVW/MOVT).
+        assert!(matches!(decode32_wide(0xF200, 0x0000), Err(DecodeError::Undefined32(_, _))));
+        // Not a prefix at all.
+        assert!(matches!(decode32_wide(0x2000, 0x0000), Err(DecodeError::Undefined16(_))));
     }
 
     #[test]

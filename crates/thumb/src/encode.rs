@@ -2,7 +2,7 @@
 
 use core::fmt;
 
-use crate::instr::Width;
+use crate::instr::{WideDpOp, Width};
 use crate::{Instr, Reg};
 
 /// The machine-code form of one instruction: a single halfword, or the
@@ -266,9 +266,105 @@ impl Instr {
                     0b11 << 14 | (j1 as u16) << 13 | 1 << 12 | (j2 as u16) << 11 | imm11 as u16;
                 Encoding::Pair(hw1, hw2)
             }
+            Instr::BW { offset } => {
+                if offset % 2 != 0 {
+                    return Err("branch offset must be even");
+                }
+                let half = offset / 2;
+                if !(-(1 << 23)..(1 << 23)).contains(&half) {
+                    return Err("branch offset out of range");
+                }
+                let half = half as u32;
+                let s = (half >> 23) & 1;
+                let j1 = (((half >> 22) & 1) ^ 1) ^ s;
+                let j2 = (((half >> 21) & 1) ^ 1) ^ s;
+                let imm10 = (half >> 11) & 0x3FF;
+                let imm11 = half & 0x7FF;
+                let hw1 = 0b11110 << 11 | (s as u16) << 10 | imm10 as u16;
+                let hw2 = 1 << 15 | (j1 as u16) << 13 | 1 << 12 | (j2 as u16) << 11 | imm11 as u16;
+                Encoding::Pair(hw1, hw2)
+            }
+            Instr::BCondW { cond, offset } => {
+                if offset % 2 != 0 {
+                    return Err("branch offset must be even");
+                }
+                let half = offset / 2;
+                if !(-(1 << 19)..(1 << 19)).contains(&half) {
+                    return Err("branch offset out of range");
+                }
+                let half = half as u32;
+                let s = (half >> 19) & 1;
+                let j2 = (half >> 18) & 1;
+                let j1 = (half >> 17) & 1;
+                let imm6 = (half >> 11) & 0x3F;
+                let imm11 = half & 0x7FF;
+                let hw1 =
+                    0b11110 << 11 | (s as u16) << 10 | u16::from(cond.bits()) << 6 | imm6 as u16;
+                let hw2 = 1 << 15 | (j1 as u16) << 13 | (j2 as u16) << 11 | imm11 as u16;
+                Encoding::Pair(hw1, hw2)
+            }
+            Instr::DpImm { op, s, rn, rd, imm12 } => {
+                if imm12 > 0xFFF {
+                    return Err("immediate out of range");
+                }
+                if (imm12 >> 8) & 0xF != 0 && imm12 >> 10 == 0 && imm12 & 0xFF == 0 {
+                    return Err("unpredictable immediate pattern");
+                }
+                if rd == Reg::SP || rn == Reg::SP {
+                    return Err("sp is not encodable in wide data processing");
+                }
+                if rd == Reg::PC && !(s && op.has_discard_form()) {
+                    return Err("pc destination needs a flag-setting compare/test form");
+                }
+                if rn == Reg::PC && !matches!(op, WideDpOp::Orr | WideDpOp::Orn) {
+                    return Err("pc operand needs the mov/mvn form");
+                }
+                let hw1 = 0b11110 << 11
+                    | (imm12 >> 11) << 10
+                    | u16::from(op.bits()) << 5
+                    | u16::from(s) << 4
+                    | u16::from(rn.index());
+                let hw2 = ((imm12 >> 8) & 7) << 12 | u16::from(rd.index()) << 8 | imm12 & 0xFF;
+                Encoding::Pair(hw1, hw2)
+            }
+            Instr::MovW { rd, imm16 } => {
+                let (hw1, hw2) = wide_mov(0b00100, rd, imm16)?;
+                Encoding::Pair(hw1, hw2)
+            }
+            Instr::MovT { rd, imm16 } => {
+                let (hw1, hw2) = wide_mov(0b01100, rd, imm16)?;
+                Encoding::Pair(hw1, hw2)
+            }
+            Instr::LdrW { rt, rn, imm12 } => {
+                if imm12 > 0xFFF {
+                    return Err("immediate out of range");
+                }
+                if rt == Reg::SP {
+                    return Err("sp destination is not encodable");
+                }
+                Encoding::Pair(0xF8D0 | u16::from(rn.index()), u16::from(rt.index()) << 12 | imm12)
+            }
+            Instr::StrW { rt, rn, imm12 } => {
+                if imm12 > 0xFFF {
+                    return Err("immediate out of range");
+                }
+                if rt == Reg::SP || rt == Reg::PC || rn == Reg::PC {
+                    return Err("sp/pc field is not encodable in a wide store");
+                }
+                Encoding::Pair(0xF8C0 | u16::from(rn.index()), u16::from(rt.index()) << 12 | imm12)
+            }
         };
         Ok(enc)
     }
+}
+
+fn wide_mov(op5: u16, rd: Reg, imm16: u16) -> Result<(u16, u16), &'static str> {
+    if rd == Reg::SP || rd == Reg::PC {
+        return Err("sp/pc destination is not encodable");
+    }
+    let hw1 = 0b11110 << 11 | (imm16 >> 11 & 1) << 10 | 1 << 9 | op5 << 4 | (imm16 >> 12);
+    let hw2 = ((imm16 >> 8) & 7) << 12 | u16::from(rd.index()) << 8 | imm16 & 0xFF;
+    Ok((hw1, hw2))
 }
 
 fn hi_reg(op: u16, rdn: Reg, rm: Reg) -> u16 {

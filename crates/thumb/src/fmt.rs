@@ -109,6 +109,25 @@ impl fmt::Display for Instr {
             Instr::Svc { imm8 } => write!(f, "svc #{imm8}"),
             Instr::B { offset } => write!(f, "b .{offset:+}"),
             Instr::Bl { offset } => write!(f, "bl .{offset:+}"),
+            Instr::BW { offset } => write!(f, "b.w .{offset:+}"),
+            Instr::BCondW { cond, offset } => write!(f, "b{cond}.w .{offset:+}"),
+            Instr::DpImm { op, s, rn, rd, imm12 } => {
+                let imm = crate::instr::thumb_expand_imm(imm12);
+                if rd == Reg::PC {
+                    let mnem = op.discard_mnemonic().unwrap_or(op.mnemonic());
+                    write!(f, "{mnem}.w {rn}, #{imm:#x}")
+                } else if rn == Reg::PC {
+                    let mnem = if op == crate::instr::WideDpOp::Orr { "mov" } else { "mvn" };
+                    write!(f, "{mnem}{}.w {rd}, #{imm:#x}", if s { "s" } else { "" })
+                } else {
+                    let s = if s { "s" } else { "" };
+                    write!(f, "{}{s}.w {rd}, {rn}, #{imm:#x}", op.mnemonic())
+                }
+            }
+            Instr::MovW { rd, imm16 } => write!(f, "movw {rd}, #{imm16:#x}"),
+            Instr::MovT { rd, imm16 } => write!(f, "movt {rd}, #{imm16:#x}"),
+            Instr::LdrW { rt, rn, imm12 } => write!(f, "ldr.w {rt}, [{rn}, #{imm12}]"),
+            Instr::StrW { rt, rn, imm12 } => write!(f, "str.w {rt}, [{rn}, #{imm12}]"),
         }
     }
 }
@@ -133,10 +152,23 @@ fn width_suffix(width: Width) -> &'static str {
 /// assert_eq!(lines[1], (2, "nop".to_owned()));
 /// ```
 pub fn disassemble(code: &[u8]) -> Vec<(u32, String)> {
+    disassemble_with(code, crate::decode::decode_bytes)
+}
+
+/// [`disassemble`] with the Thumb-2 wide subset enabled
+/// ([`decode_bytes_wide`](crate::decode::decode_bytes_wide)).
+pub fn disassemble_wide(code: &[u8]) -> Vec<(u32, String)> {
+    disassemble_with(code, crate::decode::decode_bytes_wide)
+}
+
+fn disassemble_with(
+    code: &[u8],
+    decode: fn(&[u8]) -> Result<(Instr, u32), crate::DecodeError>,
+) -> Vec<(u32, String)> {
     let mut out = Vec::new();
     let mut offset = 0usize;
     while offset + 1 < code.len() {
-        match crate::decode::decode_bytes(&code[offset..]) {
+        match decode(&code[offset..]) {
             Ok((instr, size)) => {
                 out.push((offset as u32, instr.to_string()));
                 offset += size as usize;

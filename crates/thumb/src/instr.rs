@@ -152,6 +152,143 @@ impl Width {
     }
 }
 
+/// A data-processing operation from the Thumb-2 wide modified-immediate
+/// group (`11110 i 0 op₄ S Rn | 0 imm3 Rd imm8`). Only the opcodes with a
+/// register-immediate form exist here; the four-bit encodings left out are
+/// undefined in the group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WideDpOp {
+    /// Bitwise AND (`TST` when the result is discarded).
+    And = 0b0000,
+    /// Bit clear (`AND NOT`).
+    Bic = 0b0001,
+    /// Bitwise inclusive OR (`MOV` when `Rn` is PC).
+    Orr = 0b0010,
+    /// Bitwise OR NOT (`MVN` when `Rn` is PC).
+    Orn = 0b0011,
+    /// Bitwise exclusive OR (`TEQ` when the result is discarded).
+    Eor = 0b0100,
+    /// Add (`CMN` when the result is discarded).
+    Add = 0b1000,
+    /// Add with carry.
+    Adc = 0b1010,
+    /// Subtract with carry (borrow).
+    Sbc = 0b1011,
+    /// Subtract (`CMP` when the result is discarded).
+    Sub = 0b1101,
+    /// Reverse subtract.
+    Rsb = 0b1110,
+}
+
+impl WideDpOp {
+    /// The ten defined operations in encoding order.
+    pub const ALL: [WideDpOp; 10] = [
+        WideDpOp::And,
+        WideDpOp::Bic,
+        WideDpOp::Orr,
+        WideDpOp::Orn,
+        WideDpOp::Eor,
+        WideDpOp::Add,
+        WideDpOp::Adc,
+        WideDpOp::Sbc,
+        WideDpOp::Sub,
+        WideDpOp::Rsb,
+    ];
+
+    /// Decodes the 4-bit opcode field; `None` for the six undefined codes.
+    pub const fn from_bits(bits: u8) -> Option<WideDpOp> {
+        Some(match bits & 0xF {
+            0b0000 => WideDpOp::And,
+            0b0001 => WideDpOp::Bic,
+            0b0010 => WideDpOp::Orr,
+            0b0011 => WideDpOp::Orn,
+            0b0100 => WideDpOp::Eor,
+            0b1000 => WideDpOp::Add,
+            0b1010 => WideDpOp::Adc,
+            0b1011 => WideDpOp::Sbc,
+            0b1101 => WideDpOp::Sub,
+            0b1110 => WideDpOp::Rsb,
+            _ => return None,
+        })
+    }
+
+    /// The 4-bit opcode of this operation.
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// The base assembly mnemonic (without the `s` suffix).
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            WideDpOp::And => "and",
+            WideDpOp::Bic => "bic",
+            WideDpOp::Orr => "orr",
+            WideDpOp::Orn => "orn",
+            WideDpOp::Eor => "eor",
+            WideDpOp::Add => "add",
+            WideDpOp::Adc => "adc",
+            WideDpOp::Sbc => "sbc",
+            WideDpOp::Sub => "sub",
+            WideDpOp::Rsb => "rsb",
+        }
+    }
+
+    /// Whether the operation is logical (carry comes from the immediate
+    /// expansion) rather than arithmetic (carry comes from the adder).
+    pub const fn is_logical(self) -> bool {
+        matches!(
+            self,
+            WideDpOp::And | WideDpOp::Bic | WideDpOp::Orr | WideDpOp::Orn | WideDpOp::Eor
+        )
+    }
+
+    /// Whether `Rd == PC` encodes the result-discarding compare/test form
+    /// (`TST`/`TEQ`/`CMN`/`CMP`) of this operation.
+    pub const fn has_discard_form(self) -> bool {
+        matches!(self, WideDpOp::And | WideDpOp::Eor | WideDpOp::Add | WideDpOp::Sub)
+    }
+
+    /// The mnemonic of the result-discarding form, when one exists.
+    pub const fn discard_mnemonic(self) -> Option<&'static str> {
+        match self {
+            WideDpOp::And => Some("tst"),
+            WideDpOp::Eor => Some("teq"),
+            WideDpOp::Add => Some("cmn"),
+            WideDpOp::Sub => Some("cmp"),
+            _ => None,
+        }
+    }
+}
+
+/// Expands a Thumb-2 modified 12-bit immediate (`i:imm3:imm8`) with the
+/// carry-out the logical operations consume (`ThumbExpandImm_C`).
+///
+/// For the four replication patterns (`imm12<11:10> == 00`) the carry out
+/// is the carry in; for rotated immediates it is bit 31 of the result.
+pub const fn thumb_expand_imm_c(imm12: u16, carry_in: bool) -> (u32, bool) {
+    let imm8 = (imm12 & 0xFF) as u32;
+    if imm12 >> 10 == 0 {
+        let value = match (imm12 >> 8) & 3 {
+            0b00 => imm8,
+            0b01 => imm8 << 16 | imm8,
+            0b10 => imm8 << 24 | imm8 << 8,
+            _ => imm8 << 24 | imm8 << 16 | imm8 << 8 | imm8,
+        };
+        (value, carry_in)
+    } else {
+        let unrotated = 0x80 | (imm8 & 0x7F);
+        let rot = (imm12 >> 7) as u32 & 0x1F;
+        let value = unrotated.rotate_right(rot);
+        (value, value >> 31 != 0)
+    }
+}
+
+/// Expands a Thumb-2 modified 12-bit immediate, discarding the carry.
+pub const fn thumb_expand_imm(imm12: u16) -> u32 {
+    thumb_expand_imm_c(imm12, false).0
+}
+
 /// A hint instruction from the `1011 1111 opA 0000` space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
@@ -326,16 +463,45 @@ pub enum Instr {
     // ----- 32-bit branch-with-link (ARMv6-M T1) -----
     /// `BL <label>` — `offset` is in bytes from PC, even, ±16 MiB.
     Bl { offset: i32 },
+
+    // ----- Thumb-2 wide encodings (single-bit-flip reachable from
+    // ARMv6-M code; decoded only when [`wide`] decode is selected) -----
+    /// `B.W <label>` (T4) — `offset` is in bytes from PC, even, ±16 MiB.
+    BW { offset: i32 },
+    /// `B<cond>.W <label>` (T3) — `offset` is in bytes from PC, even,
+    /// ±1 MiB.
+    BCondW { cond: Cond, offset: i32 },
+    /// Wide data-processing with a modified 12-bit immediate; `imm12` is
+    /// the raw `i:imm3:imm8` field, expanded by
+    /// [`thumb_expand_imm_c`] at execution time. `rd == PC` encodes the
+    /// compare/test form, `rn == PC` the `MOV`/`MVN` form.
+    DpImm { op: WideDpOp, s: bool, rn: Reg, rd: Reg, imm12: u16 },
+    /// `MOVW Rd, #imm16` (zero-extending 16-bit move, T3).
+    MovW { rd: Reg, imm16: u16 },
+    /// `MOVT Rd, #imm16` (move into the top halfword, T1).
+    MovT { rd: Reg, imm16: u16 },
+    /// `LDR.W Rt, [Rn, #imm12]` (T3) — `rn == PC` is the wide literal
+    /// load, `rt == PC` a memory-indirect branch.
+    LdrW { rt: Reg, rn: Reg, imm12: u16 },
+    /// `STR.W Rt, [Rn, #imm12]` (T3).
+    StrW { rt: Reg, rn: Reg, imm12: u16 },
 }
 
 impl Instr {
     /// Convenience constructor for the canonical NOP.
     pub const NOP: Instr = Instr::Hint { hint: Hint::Nop };
 
-    /// Size of the instruction in bytes (2, or 4 for `BL`).
+    /// Size of the instruction in bytes (2, or 4 for the wide encodings).
     pub const fn size(self) -> u32 {
         match self {
-            Instr::Bl { .. } => 4,
+            Instr::Bl { .. }
+            | Instr::BW { .. }
+            | Instr::BCondW { .. }
+            | Instr::DpImm { .. }
+            | Instr::MovW { .. }
+            | Instr::MovT { .. }
+            | Instr::LdrW { .. }
+            | Instr::StrW { .. } => 4,
             _ => 2,
         }
     }
@@ -350,6 +516,9 @@ impl Instr {
                 | Instr::Bx { .. }
                 | Instr::Blx { .. }
                 | Instr::Pop { pc: true, .. }
+                | Instr::BW { .. }
+                | Instr::BCondW { .. }
+                | Instr::LdrW { rt: Reg::PC, .. }
         )
     }
 
@@ -365,6 +534,7 @@ impl Instr {
                 | Instr::LdrSp { .. }
                 | Instr::Pop { .. }
                 | Instr::Ldm { .. }
+                | Instr::LdrW { .. }
         )
     }
 
@@ -377,6 +547,7 @@ impl Instr {
                 | Instr::StrSp { .. }
                 | Instr::Push { .. }
                 | Instr::Stm { .. }
+                | Instr::StrW { .. }
         )
     }
 }
@@ -409,6 +580,31 @@ mod tests {
     fn sizes() {
         assert_eq!(Instr::NOP.size(), 2);
         assert_eq!(Instr::Bl { offset: 0 }.size(), 4);
+        assert_eq!(Instr::BW { offset: 0 }.size(), 4);
+        assert_eq!(Instr::MovW { rd: Reg::R0, imm16: 0 }.size(), 4);
+    }
+
+    #[test]
+    fn wide_dp_op_round_trip() {
+        for op in WideDpOp::ALL {
+            assert_eq!(WideDpOp::from_bits(op.bits()), Some(op));
+        }
+        for bits in [0b0101u8, 0b0110, 0b0111, 0b1001, 0b1100, 0b1111] {
+            assert_eq!(WideDpOp::from_bits(bits), None);
+        }
+    }
+
+    #[test]
+    fn modified_immediate_expansion() {
+        // The four replication patterns pass the carry through.
+        assert_eq!(thumb_expand_imm_c(0x0AB, true), (0xAB, true));
+        assert_eq!(thumb_expand_imm_c(0x1AB, false), (0x00AB_00AB, false));
+        assert_eq!(thumb_expand_imm_c(0x2AB, false), (0xAB00_AB00, false));
+        assert_eq!(thumb_expand_imm_c(0x3AB, false), (0xABAB_ABAB, false));
+        // Rotated immediates: 0x80|imm8<6:0> rotated right, carry = bit 31.
+        assert_eq!(thumb_expand_imm_c(0x400, false), (0x8000_0000, true));
+        assert_eq!(thumb_expand_imm_c(0x4FF, true), (0x7F80_0000, false));
+        assert_eq!(thumb_expand_imm(0xFFF), 0x1FE);
     }
 
     #[test]
@@ -419,5 +615,11 @@ mod tests {
         assert!(Instr::LdrSp { rt: Reg::R0, imm8: 0 }.is_load());
         assert!(Instr::Push { rlist: 0xFF, lr: true }.is_store());
         assert!(!Instr::NOP.is_load());
+        assert!(Instr::BW { offset: 0 }.is_branch());
+        assert!(Instr::BCondW { cond: Cond::Eq, offset: 0 }.is_branch());
+        assert!(Instr::LdrW { rt: Reg::PC, rn: Reg::R0, imm12: 0 }.is_branch());
+        assert!(!Instr::LdrW { rt: Reg::R0, rn: Reg::R0, imm12: 0 }.is_branch());
+        assert!(Instr::LdrW { rt: Reg::R0, rn: Reg::PC, imm12: 0 }.is_load());
+        assert!(Instr::StrW { rt: Reg::R0, rn: Reg::R1, imm12: 0 }.is_store());
     }
 }

@@ -4,7 +4,10 @@
 //! 2021) reproduction. It provides:
 //!
 //! - a structural instruction model ([`Instr`]) covering every 16-bit
-//!   Thumb-1 instruction plus the 32-bit `BL`;
+//!   Thumb-1 instruction plus the 32-bit `BL`, and the Thumb-2 wide
+//!   subset reachable by single-bit flips of ARMv6-M code
+//!   ([`decode32_wide`]: the `B.W` family, modified-immediate and
+//!   `MOVW`/`MOVT` data processing, `LDR.W`/`STR.W`);
 //! - a validating [encoder](Instr::try_encode) and a **total**
 //!   [decoder](decode::decode16) over the 16-bit space — every halfword
 //!   either decodes canonically or is classified as undefined / a 32-bit
@@ -39,7 +42,12 @@ mod instr;
 mod reg;
 
 pub use cond::{Cond, Flags, ParseCondError};
-pub use decode::{decode16, decode32, decode_bytes, is_32bit_prefix, DecodeError};
+pub use decode::{
+    decode16, decode32, decode32_wide, decode_bytes, decode_bytes_wide, is_32bit_prefix,
+    DecodeError,
+};
 pub use encode::{EncodeError, Encoding};
-pub use instr::{AluOp, Hint, Instr, ShiftOp, Width};
+pub use instr::{
+    thumb_expand_imm, thumb_expand_imm_c, AluOp, Hint, Instr, ShiftOp, WideDpOp, Width,
+};
 pub use reg::{ParseRegError, Reg};

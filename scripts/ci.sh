@@ -61,6 +61,26 @@ cmp target/multifault_boot.t1.txt target/multifault_boot.t8.txt
 cmp target/multifault_boot.t1.txt results/multifault_boot.txt
 rm -f target/multifault_boot.t1.txt target/multifault_boot.t2.txt target/multifault_boot.t8.txt
 
+# Third-party firmware ingestion: the committed demo dump must ingest,
+# lint, and fault-sim to the committed goldens byte for byte, and the
+# lint + divergence-campaign reports must stay byte-identical across
+# worker counts (fixed-size chunk partition, order-preserving merge).
+echo "==> gd-ingest --check (ingest report + GL02xx lints + divergence campaigns)"
+./target/release/gd-ingest --check
+
+echo "==> gd-ingest determinism across GD_THREADS=1/2/8"
+for t in 1 2 8; do
+    GD_THREADS=$t ./target/release/gd-ingest --lint > "target/lint_ingest.t$t.txt"
+    GD_THREADS=$t ./target/release/gd-ingest --faultsim > "target/multifault_ingest.t$t.txt"
+done
+cmp target/lint_ingest.t1.txt target/lint_ingest.t2.txt
+cmp target/lint_ingest.t1.txt target/lint_ingest.t8.txt
+cmp target/lint_ingest.t1.txt results/lint_ingest.txt
+cmp target/multifault_ingest.t1.txt target/multifault_ingest.t2.txt
+cmp target/multifault_ingest.t1.txt target/multifault_ingest.t8.txt
+cmp target/multifault_ingest.t1.txt results/multifault_ingest.txt
+rm -f target/lint_ingest.t?.txt target/multifault_ingest.t?.txt
+
 # Benchmark trajectory smoke: re-measure the fig2 sweep, table1 scan,
 # and multifault campaign hot paths (few samples — this is a
 # structure/regression gate, not a baseline regeneration) and compare
