@@ -1,0 +1,327 @@
+//! `gd-load` — a synthetic load generator with SLO assertions for the
+//! campaign service.
+//!
+//! ```text
+//! gd-load [--clients N] [--rounds M] [--spawn-workers K]
+//!         [--p99-ms X] [--min-rps Y] [--require-fleet-metrics]
+//!         [--addr HOST:PORT]
+//! ```
+//!
+//! Without `--addr` it spins up an in-process [`Server`] (and, with
+//! `--spawn-workers K`, `K` in-process [`WorkerServer`]s feeding it
+//! through a fleet dispatcher) on ephemeral loopback ports, so a single
+//! command exercises the whole stack. `N` client threads each submit
+//! `M` tiny campaigns — every client under its own `x-gd-client`
+//! identity, cycling priorities — and poll them to completion, timing
+//! every control-plane round trip.
+//!
+//! The run **fails (exit 1)** when an SLO is missed:
+//!
+//! * p99 control-plane latency over all requests must stay at or under
+//!   `--p99-ms` (default 250 ms), and
+//! * sustained control-plane throughput must reach `--min-rps`
+//!   (default 50 requests/second),
+//! * every submitted campaign must finish `done`, and
+//! * with `--require-fleet-metrics`, the scraped `/metrics` must expose
+//!   the `gd_fleet_*` families (proof the fleet path actually ran).
+
+use std::process::ExitCode;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use gd_campaign::fleet::WorkerServer;
+use gd_campaign::http::{request_timeout, request_timeout_with_headers};
+use gd_campaign::json;
+use gd_campaign::service::{Server, ServerConfig};
+
+/// Per-request deadline: loopback control-plane requests are in-memory
+/// lookups, so anything near this is already an SLO disaster.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Pause between status polls — long enough not to turn the poll loop
+/// into a busy spin, short enough to resolve campaign completion fast.
+const POLL_PAUSE: Duration = Duration::from_millis(5);
+
+/// Pause before retrying a `429` submit.
+const REJECT_PAUSE: Duration = Duration::from_millis(50);
+
+/// One campaign's worth of load: a single fig2 shard, the smallest unit
+/// the engine shards to, so the queue turns over quickly.
+const LOAD_SPEC: &str = r#"{"version":1,"workload":{"kind":"fig2"},"shards":[0,1]}"#;
+
+struct Options {
+    clients: usize,
+    rounds: usize,
+    spawn_workers: usize,
+    p99_ms: f64,
+    min_rps: f64,
+    require_fleet_metrics: bool,
+    addr: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gd-load [--clients N] [--rounds M] [--spawn-workers K]\n\
+         \x20              [--p99-ms X] [--min-rps Y] [--require-fleet-metrics]\n\
+         \x20              [--addr HOST:PORT]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pulls `--flag value` out of `args`, if present.
+fn take_option(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Ok(Some(args.remove(i)))
+        }
+        Some(_) => Err(format!("{flag} requires a value")),
+    }
+}
+
+fn take_number<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_option(args, flag)? {
+        None => Ok(default),
+        Some(n) => n.parse().map_err(|_| format!("{flag} {n}: not a number")),
+    }
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("gd-load: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options() -> Result<Option<Options>, String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let options = Options {
+        clients: take_number(&mut args, "--clients", 4)?,
+        rounds: take_number(&mut args, "--rounds", 3)?,
+        spawn_workers: take_number(&mut args, "--spawn-workers", 0)?,
+        p99_ms: take_number(&mut args, "--p99-ms", 250.0)?,
+        min_rps: take_number(&mut args, "--min-rps", 50.0)?,
+        require_fleet_metrics: take_flag(&mut args, "--require-fleet-metrics"),
+        addr: take_option(&mut args, "--addr")?,
+    };
+    if !args.is_empty() {
+        return Ok(None);
+    }
+    if options.clients == 0 || options.rounds == 0 {
+        return Err("--clients and --rounds must be at least 1".into());
+    }
+    Ok(Some(options))
+}
+
+fn run() -> Result<ExitCode, String> {
+    let Some(options) = parse_options()? else { return Ok(usage()) };
+    if options.addr.is_some() && options.spawn_workers > 0 {
+        return Err("--spawn-workers needs the in-process server (drop --addr)".into());
+    }
+
+    // Target: the caller's server, or a full in-process stack.
+    let mut workers: Vec<WorkerServer> = Vec::new();
+    let mut server: Option<Server> = None;
+    let addr = match &options.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            for _ in 0..options.spawn_workers {
+                workers.push(WorkerServer::start("127.0.0.1:0")?);
+            }
+            let config = ServerConfig {
+                // Sized so the load itself cannot trip queue-full 429s;
+                // backpressure behavior has its own tests.
+                queue_limit: options.clients * options.rounds + 4,
+                workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+                ..ServerConfig::default()
+            };
+            let started = Server::start(config)?;
+            let addr = started.addr().to_string();
+            server = Some(started);
+            addr
+        }
+    };
+    println!(
+        "gd-load: {} clients x {} rounds against {addr} ({} spawned workers)",
+        options.clients,
+        options.rounds,
+        workers.len()
+    );
+
+    // Every control-plane round trip's latency, in milliseconds.
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for client in 0..options.clients {
+            let addr = &addr;
+            let latencies = &latencies;
+            let errors = &errors;
+            scope.spawn(move || {
+                if let Err(e) = drive_client(client, options.rounds, addr, latencies) {
+                    errors.lock().unwrap().push(format!("client {client}: {e}"));
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed();
+
+    // Scrape before teardown so the SLO verdict and the metrics proof
+    // come from the same live process.
+    let (_, metrics) = request_timeout(&addr, "GET", "/metrics", None, REQUEST_TIMEOUT)?;
+
+    if options.addr.is_none() {
+        if let Some(server) = server {
+            server.shutdown()?;
+        }
+        for worker in workers {
+            worker.shutdown()?;
+        }
+    }
+
+    let errors = errors.into_inner().unwrap();
+    if !errors.is_empty() {
+        return Err(format!("{} client(s) failed: {}", errors.len(), errors.join("; ")));
+    }
+    report(&options, &latencies.into_inner().unwrap(), elapsed, &metrics)
+}
+
+/// One synthetic client: submit, poll to completion, repeat.
+fn drive_client(
+    client: usize,
+    rounds: usize,
+    addr: &str,
+    latencies: &Mutex<Vec<f64>>,
+) -> Result<(), String> {
+    let identity = format!("load-client-{client}");
+    for round in 0..rounds {
+        // Cycle priorities so all three queues see traffic.
+        let priority = ["high", "normal", "low"][(client + round) % 3];
+        let headers = [("x-gd-client", identity.as_str()), ("x-gd-priority", priority)];
+        let id = loop {
+            let t = Instant::now();
+            let (status, _, body) = request_timeout_with_headers(
+                addr,
+                "POST",
+                "/campaigns",
+                &headers,
+                Some(LOAD_SPEC),
+                REQUEST_TIMEOUT,
+            )?;
+            latencies.lock().unwrap().push(ms(t));
+            match status {
+                202 => break submitted_id(&body)?,
+                429 => std::thread::sleep(REJECT_PAUSE),
+                s => return Err(format!("submit answered {s}: {body}")),
+            }
+        };
+        loop {
+            let t = Instant::now();
+            let (status, body) =
+                request_timeout(addr, "GET", &format!("/campaigns/{id}"), None, REQUEST_TIMEOUT)?;
+            latencies.lock().unwrap().push(ms(t));
+            if status != 200 {
+                return Err(format!("status poll answered {status}: {body}"));
+            }
+            if body.contains(r#""state":"done""#) {
+                break;
+            }
+            if body.contains(r#""state":"failed""#) {
+                return Err(format!("campaign {id} failed: {body}"));
+            }
+            std::thread::sleep(POLL_PAUSE);
+        }
+    }
+    Ok(())
+}
+
+fn submitted_id(body: &str) -> Result<u64, String> {
+    json::parse(body)
+        .ok()
+        .and_then(|v| v.get("id").and_then(json::Json::as_u64))
+        .ok_or_else(|| format!("submit response has no id: {body}"))
+}
+
+fn ms(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64() * 1e3
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Prints the latency/throughput summary and turns SLO misses into a
+/// failed exit.
+fn report(
+    options: &Options,
+    latencies: &[f64],
+    elapsed: Duration,
+    metrics: &str,
+) -> Result<ExitCode, String> {
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let p50 = percentile(&sorted, 0.50);
+    let p99 = percentile(&sorted, 0.99);
+    let rps = sorted.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    let campaigns = options.clients * options.rounds;
+    println!(
+        "gd-load: {campaigns} campaigns done in {:.2}s; {} control-plane requests, \
+         p50 {p50:.2} ms, p99 {p99:.2} ms, {rps:.1} req/s",
+        elapsed.as_secs_f64(),
+        sorted.len(),
+    );
+
+    let mut violations = Vec::new();
+    if p99 > options.p99_ms {
+        violations.push(format!("p99 {p99:.2} ms exceeds the {:.2} ms SLO", options.p99_ms));
+    }
+    if rps < options.min_rps {
+        violations.push(format!("{rps:.1} req/s is under the {:.1} req/s SLO", options.min_rps));
+    }
+    for family in ["gd_http_requests_total", "gd_campaign_queue_depth"] {
+        if !metrics.contains(family) {
+            violations.push(format!("/metrics is missing the {family} family"));
+        }
+    }
+    if options.require_fleet_metrics {
+        for family in ["gd_fleet_workers_live", "gd_fleet_shards_dispatched_total"] {
+            if !metrics.contains(family) {
+                violations.push(format!("/metrics is missing the {family} family"));
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!(
+            "gd-load: SLOs met (p99 {p99:.2} ms <= {:.2} ms, {rps:.1} req/s >= {:.1})",
+            options.p99_ms, options.min_rps
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for v in &violations {
+            eprintln!("gd-load: SLO VIOLATION: {v}");
+        }
+        Err(format!("{} SLO violation(s)", violations.len()))
+    }
+}

@@ -58,6 +58,7 @@ use std::time::{Duration, Instant};
 use gd_obs::Timer;
 
 pub use crate::error::CampaignError;
+use crate::fleet::{DispatchContext, ShardDispatcher};
 use crate::json::{parse, Json};
 use crate::shards::{run_shard, shard_plan, ShardResult, ShardWork};
 use crate::spec::CampaignSpec;
@@ -252,6 +253,7 @@ pub struct Engine {
     executed: AtomicU64,
     shard_attempts: u32,
     watchdog_deadline: Duration,
+    dispatcher: Arc<dyn ShardDispatcher>,
 }
 
 impl Engine {
@@ -263,6 +265,7 @@ impl Engine {
             executed: AtomicU64::new(0),
             shard_attempts: DEFAULT_SHARD_ATTEMPTS,
             watchdog_deadline: DEFAULT_WATCHDOG_DEADLINE,
+            dispatcher: Arc::new(LocalDispatcher),
         }
     }
 
@@ -287,7 +290,18 @@ impl Engine {
             executed: AtomicU64::new(0),
             shard_attempts: DEFAULT_SHARD_ATTEMPTS,
             watchdog_deadline: DEFAULT_WATCHDOG_DEADLINE,
+            dispatcher: Arc::new(LocalDispatcher),
         }
+    }
+
+    /// Replaces the shard dispatcher (default [`LocalDispatcher`]).
+    /// Dispatch is pure execution strategy: checkpointing, caching, and
+    /// merging stay in the engine, so output bytes are identical under
+    /// any dispatcher.
+    #[must_use]
+    pub fn with_dispatcher(mut self, dispatcher: Arc<dyn ShardDispatcher>) -> Engine {
+        self.dispatcher = dispatcher;
+        self
     }
 
     /// Sets the per-shard attempt budget (default
@@ -443,11 +457,11 @@ impl Engine {
         Ok(result)
     }
 
-    /// Runs `missing` shards with the full self-healing ladder: each
-    /// shard attempt is quarantined and retried with backoff; a fan-out
-    /// pass aborted below the quarantine keeps its completed shards and
-    /// resubmits the rest; a watchdog thread flags attempts exceeding
-    /// the deadline.
+    /// Runs `missing` shards through the configured [`ShardDispatcher`].
+    /// The engine owns everything that crosses the boundary: the
+    /// completion callback counts the execution, checkpoints the result,
+    /// and reports progress — identically whether the shard ran on a
+    /// local scoped thread or a remote worker.
     fn execute(
         &self,
         spec: &CampaignSpec,
@@ -462,8 +476,68 @@ impl Engine {
         }
         let metrics = engine_metrics();
         let completed: Mutex<Vec<(u32, ShardResult)>> = Mutex::new(Vec::new());
+        let complete = |index: u32, result: ShardResult| {
+            metrics.shards_executed.inc();
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if let Some(dir) = ckpt_dir {
+                // Best-effort: a failed checkpoint write costs
+                // resumability, not correctness.
+                if let Err(e) = write_checkpoint(dir, index, &result) {
+                    gd_obs::warn!(
+                        "gd_campaign::engine",
+                        "checkpoint write failed",
+                        shard = index,
+                        error = e,
+                    );
+                }
+            }
+            completed.lock().unwrap().push((index, result));
+            progress(finished.fetch_add(1, Ordering::Relaxed) + 1, total);
+        };
+        let ctx = DispatchContext {
+            spec,
+            missing: &missing,
+            complete: &complete,
+            attempts: self.shard_attempts,
+            watchdog_deadline: self.watchdog_deadline,
+        };
+        self.dispatcher.dispatch(&ctx)?;
+        Ok(completed.into_inner().unwrap())
+    }
+
+    /// Looks a finished campaign up by its content address. A missing,
+    /// torn, or corrupt cache file is a miss (the engine recomputes and
+    /// rewrites).
+    pub fn cache_lookup(&self, cache_key: &str) -> Option<CampaignResult> {
+        let dir = self.store.as_ref()?;
+        let path = dir.join("cache").join(format!("{cache_key}.json"));
+        let text = read_store_file(&path, "cached result")?;
+        match CampaignResult::from_json_text(&text) {
+            Ok(result) if result.cache_key == cache_key => Some(result),
+            _ => None,
+        }
+    }
+}
+
+/// The in-process [`ShardDispatcher`]: scoped-thread fan-out over
+/// [`gd_exec`] with the full self-healing ladder — each shard attempt is
+/// quarantined and retried with seeded-jitter backoff; a fan-out pass
+/// aborted below the quarantine keeps its completed shards and resubmits
+/// the rest; a watchdog thread flags attempts exceeding the deadline.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LocalDispatcher;
+
+impl ShardDispatcher for LocalDispatcher {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn dispatch(&self, ctx: &DispatchContext<'_>) -> Result<(), CampaignError> {
+        let metrics = engine_metrics();
+        let spec = ctx.spec;
         let failed: Mutex<Option<CampaignError>> = Mutex::new(None);
         let inflight: Mutex<BTreeMap<u32, Instant>> = Mutex::new(BTreeMap::new());
+        let done: Mutex<BTreeSet<u32>> = Mutex::new(BTreeSet::new());
         let stop = AtomicBool::new(false);
 
         let run_one = |&(index, work): &(u32, ShardWork)| {
@@ -483,23 +557,9 @@ impl Engine {
                 match outcome {
                     Ok(result) => {
                         metrics.shard_ms.observe(timer.elapsed_ms());
-                        metrics.shards_executed.inc();
                         metrics.shard_retries.observe(u64::from(attempt - 1));
-                        self.executed.fetch_add(1, Ordering::Relaxed);
-                        if let Some(dir) = ckpt_dir {
-                            // Best-effort: a failed checkpoint write costs
-                            // resumability, not correctness.
-                            if let Err(e) = write_checkpoint(dir, index, &result) {
-                                gd_obs::warn!(
-                                    "gd_campaign::engine",
-                                    "checkpoint write failed",
-                                    shard = index,
-                                    error = e,
-                                );
-                            }
-                        }
-                        completed.lock().unwrap().push((index, result));
-                        progress(finished.fetch_add(1, Ordering::Relaxed) + 1, total);
+                        done.lock().unwrap().insert(index);
+                        (ctx.complete)(index, result);
                         return;
                     }
                     Err(payload) => {
@@ -510,10 +570,10 @@ impl Engine {
                             "shard attempt panicked; quarantined",
                             shard = index,
                             attempt = attempt,
-                            budget = self.shard_attempts,
+                            budget = ctx.attempts,
                             cause = cause,
                         );
-                        if attempt >= self.shard_attempts {
+                        if attempt >= ctx.attempts {
                             metrics.shard_retries.observe(u64::from(attempt - 1));
                             let mut slot = failed.lock().unwrap();
                             if slot.is_none() {
@@ -526,10 +586,15 @@ impl Engine {
                             }
                             return;
                         }
-                        std::thread::sleep(backoff(
+                        // Seeded jitter: simultaneous failures across
+                        // shards must not resubmit in lockstep, and the
+                        // schedule must replay under a fixed model seed.
+                        std::thread::sleep(retry_backoff(
                             SHARD_BACKOFF_BASE,
                             SHARD_BACKOFF_CAP,
                             attempt - 1,
+                            spec.model.seed,
+                            u64::from(index),
                         ));
                     }
                 }
@@ -539,14 +604,14 @@ impl Engine {
         // The fan-out itself can abort (a panic in the executor's worker
         // loop, below the per-shard quarantine — gd_chaos's
         // exec.worker_panic models exactly this). Completed shards are
-        // already in `completed`; resubmit the rest, and only give up
-        // after repeated passes that complete nothing.
+        // already reported through `ctx.complete`; resubmit the rest, and
+        // only give up after repeated passes that complete nothing.
         let fanned: Result<(), CampaignError> = std::thread::scope(|s| {
-            s.spawn(|| watchdog_loop(&inflight, &stop, self.watchdog_deadline, metrics));
-            let mut pending = missing;
+            s.spawn(|| watchdog_loop(&inflight, &stop, ctx.watchdog_deadline, metrics));
+            let mut pending: Vec<(u32, ShardWork)> = ctx.missing.to_vec();
             let mut idle_passes = 0u32;
             let out = loop {
-                let before = completed.lock().unwrap().len();
+                let before = done.lock().unwrap().len();
                 let pass = catch_unwind(AssertUnwindSafe(|| match spec.threads {
                     Some(t) => {
                         gd_exec::with_threads(t as usize, || gd_exec::par_map(&pending, &run_one))
@@ -558,7 +623,7 @@ impl Engine {
                     Err(payload) => {
                         let cause = panic_message(payload.as_ref());
                         metrics.fanout_retries.inc();
-                        let now = completed.lock().unwrap().len();
+                        let now = done.lock().unwrap().len();
                         if now > before {
                             idle_passes = 0;
                         } else {
@@ -577,8 +642,7 @@ impl Engine {
                             idle_passes = idle_passes,
                             cause = cause,
                         );
-                        let have: BTreeSet<u32> =
-                            completed.lock().unwrap().iter().map(|(i, _)| *i).collect();
+                        let have = done.lock().unwrap().clone();
                         pending.retain(|(i, _)| !have.contains(i));
                         std::thread::sleep(backoff(
                             FANOUT_BACKOFF_BASE,
@@ -595,20 +659,7 @@ impl Engine {
         if let Some(err) = failed.into_inner().unwrap() {
             return Err(err);
         }
-        Ok(completed.into_inner().unwrap())
-    }
-
-    /// Looks a finished campaign up by its content address. A missing,
-    /// torn, or corrupt cache file is a miss (the engine recomputes and
-    /// rewrites).
-    pub fn cache_lookup(&self, cache_key: &str) -> Option<CampaignResult> {
-        let dir = self.store.as_ref()?;
-        let path = dir.join("cache").join(format!("{cache_key}.json"));
-        let text = read_store_file(&path, "cached result")?;
-        match CampaignResult::from_json_text(&text) {
-            Ok(result) if result.cache_key == cache_key => Some(result),
-            _ => None,
-        }
+        Ok(())
     }
 }
 
@@ -617,8 +668,41 @@ fn backoff(base: Duration, cap: Duration, n: u32) -> Duration {
     base.saturating_mul(1u32 << n.min(16)).min(cap)
 }
 
+/// splitmix64's finalizer — the jitter source for [`retry_backoff`].
+fn splitmix(mut z: u64) -> u64 {
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// [`backoff`] with deterministic full jitter: the delay for retry
+/// `attempt` of `stream` (e.g. a shard index) under `seed` is a pure
+/// function drawn uniformly from `[d/2, d]`, where `d` is the plain
+/// exponential delay. Different streams de-synchronize (simultaneous
+/// failures don't resubmit in lockstep) while a fixed seed replays the
+/// exact schedule — retry timing stays testable.
+pub fn retry_backoff(
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    seed: u64,
+    stream: u64,
+) -> Duration {
+    const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+    let ceiling = backoff(base, cap, attempt);
+    let h = splitmix(
+        splitmix(seed ^ stream.wrapping_mul(GOLDEN))
+            ^ u64::from(attempt).wrapping_add(1).wrapping_mul(GOLDEN),
+    );
+    let unit = ((h >> 11) as f64) / ((1u64 << 53) as f64);
+    let half = u64::try_from(ceiling.as_nanos() / 2).unwrap_or(u64::MAX);
+    Duration::from_nanos(half.saturating_add((half as f64 * unit) as u64))
+}
+
 /// Extracts a human-readable message from a caught panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<String>() {
         return s.clone();
     }
@@ -665,17 +749,18 @@ fn watchdog_loop(
 /// fault it exists to catch — truncation eats the end of the file first,
 /// deleting the footer along with the evidence. As a *header* the seal
 /// survives any torn tail and the hash mismatch convicts it.
-const SEAL_PREFIX: &str = "#gd-sha256:";
+pub(crate) const SEAL_PREFIX: &str = "#gd-sha256:";
 
-/// Prepends the integrity seal to a store file body.
-fn seal(body: &str) -> String {
+/// Prepends the integrity seal to a store file body. The fleet module
+/// reuses the same seal for shard payloads and results on the wire.
+pub(crate) fn seal(body: &str) -> String {
     format!("{SEAL_PREFIX}{}\n{body}", crate::hash::sha256_hex(body.as_bytes()))
 }
 
 /// Verifies and strips the integrity seal. Unsealed files (written
 /// before the seal existed) pass through — JSON parsing remains their
 /// only validation.
-fn unseal(text: &str) -> Result<&str, String> {
+pub(crate) fn unseal(text: &str) -> Result<&str, String> {
     let Some(rest) = text.strip_prefix(SEAL_PREFIX) else { return Ok(text) };
     let Some((want, body)) = rest.split_once('\n') else {
         return Err("file truncated inside the seal header".into());
@@ -996,6 +1081,37 @@ mod tests {
             }
         }
         let _ = fs::remove_dir_all(&store);
+    }
+
+    /// Satellite regression: the jittered retry backoff is a pure
+    /// function of (seed, stream, attempt) — fixed seed, fixed timing —
+    /// bounded by the plain exponential schedule, and de-synchronized
+    /// across shards so simultaneous failures don't resubmit in lockstep.
+    #[test]
+    fn retry_backoff_is_jittered_bounded_and_deterministic() {
+        let (base, cap) = (SHARD_BACKOFF_BASE, SHARD_BACKOFF_CAP);
+        for attempt in 0..8 {
+            for stream in 0..16u64 {
+                let d = retry_backoff(base, cap, attempt, 42, stream);
+                let ceiling = backoff(base, cap, attempt);
+                assert!(
+                    d >= ceiling / 2 && d <= ceiling,
+                    "attempt {attempt} stream {stream}: {d:?} outside [{:?}, {ceiling:?}]",
+                    ceiling / 2
+                );
+                assert_eq!(
+                    d,
+                    retry_backoff(base, cap, attempt, 42, stream),
+                    "a fixed seed replays the exact schedule"
+                );
+            }
+        }
+        let spread: BTreeSet<Duration> =
+            (0..16).map(|s| retry_backoff(base, cap, 3, 42, s)).collect();
+        assert!(spread.len() > 8, "shards de-synchronize: {spread:?}");
+        let a: Vec<Duration> = (0..16).map(|s| retry_backoff(base, cap, 3, 42, s)).collect();
+        let b: Vec<Duration> = (0..16).map(|s| retry_backoff(base, cap, 3, 43, s)).collect();
+        assert_ne!(a, b, "the seed matters");
     }
 
     #[test]

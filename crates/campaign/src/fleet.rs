@@ -1,0 +1,1087 @@
+//! The worker fleet: remote shard execution over the workspace's own
+//! HTTP/1.1 + strict-JSON stack, behind the same [`ShardDispatcher`]
+//! boundary the in-process executor implements.
+//!
+//! Dispatch is pure execution strategy. Everything that determines
+//! output bytes — checkpointing, caching, plan-order merging — stays in
+//! the engine's completion callback, so a campaign renders
+//! bit-identically whether its shards ran on 0, 1, or 40 workers.
+//!
+//! ## Wire protocol
+//!
+//! A worker ([`WorkerServer`], `gd-campaign worker`) serves:
+//!
+//! | Route | Effect |
+//! |---|---|
+//! | `GET /healthz` | registration + heartbeat: identity JSON (`role`, `pid`, shards served) |
+//! | `POST /shards` | body = sealed shard lease; computes and answers the sealed result |
+//! | `GET /metrics` | the worker process's `gd_obs` families |
+//! | `POST /shutdown` | stop accepting; in-flight shards finish their responses |
+//!
+//! Shard leases and results both travel under the store's SHA-256 seal
+//! (`#gd-sha256:<hex>`), and — unlike store files, where unsealed legacy
+//! bytes pass through — the wire parsers are *strict*: an unsealed
+//! payload is rejected outright, so a corrupt or truncated transfer can
+//! never be mistaken for work. The lease carries the full spec plus a
+//! shard index; the worker recomputes the plan and refuses indices
+//! outside it, so a confused dispatcher cannot make a worker invent
+//! work.
+//!
+//! ## Failure handling
+//!
+//! [`FleetDispatcher`] assumes workers fail and the network lies:
+//!
+//! * **Heartbeats** — a monitor thread polls `/healthz`; a worker silent
+//!   past the liveness deadline is marked dead and receives no leases
+//!   until it answers again.
+//! * **Hedged dispatch** — a lease unanswered after `hedge_after` is
+//!   re-sent to a second worker; first valid answer wins, the loser's
+//!   (identical, deterministic) result is discarded.
+//! * **Bounded retries with seeded jitter** — failed leases re-dispatch
+//!   with the engine's [`retry_backoff`] schedule, so a mass failure
+//!   doesn't resubmit in lockstep and a fixed seed replays exactly.
+//! * **Quarantine** — a worker failing repeatedly in a row sits out a
+//!   cooldown instead of eating every retry.
+//! * **Graceful degradation** — shards that exhaust their remote budget,
+//!   and whole campaigns when no worker is live, fall back to the
+//!   in-process [`LocalDispatcher`]. A shrinking fleet slows a campaign;
+//!   it never fails one.
+//!
+//! The `fleet.*` gd-chaos sites exercise each seam deterministically,
+//! and the `gd_fleet_*` metric families make every recovery observable.
+
+use std::collections::VecDeque;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gd_obs::Timer;
+
+use crate::engine::{panic_message, retry_backoff, seal, unseal, LocalDispatcher, SEAL_PREFIX};
+use crate::error::CampaignError;
+use crate::http::{
+    read_request_deadline, request_timeout, request_timeout_full, write_response, RequestError,
+};
+use crate::json::{parse, Json};
+use crate::shards::{run_shard, shard_plan, ShardResult, ShardWork};
+use crate::spec::CampaignSpec;
+
+/// Wire format version inside shard leases and results.
+pub const WIRE_VERSION: i64 = 1;
+
+/// Base delay of the remote re-dispatch backoff (doubles per attempt).
+const FLEET_BACKOFF_BASE: Duration = Duration::from_millis(10);
+/// Ceiling of the remote re-dispatch backoff.
+const FLEET_BACKOFF_CAP: Duration = Duration::from_millis(200);
+/// Salts the jitter stream so fleet re-dispatch and the local shard
+/// retry of the same (seed, shard) never share a schedule.
+const FLEET_SEED_SALT: u64 = 0x666c_6565_7421;
+/// How long [`FleetDispatcher::new`] waits for at least one worker to
+/// answer its first heartbeat before giving up on registration (the
+/// campaign then degrades to local execution).
+const REGISTRATION_WAIT: Duration = Duration::from_secs(2);
+/// Overall deadline for reading one request on the worker side.
+const WORKER_READ_DEADLINE: Duration = Duration::from_secs(30);
+
+/// How a dispatcher executes the missing shards of one campaign.
+///
+/// Implementations must call `ctx.complete` exactly once per shard they
+/// finish (the engine checkpoints and counts there) and must only
+/// return `Ok` when *every* shard in `ctx.missing` completed.
+pub trait ShardDispatcher: Send + Sync + std::fmt::Debug {
+    /// A short label for logs and metrics (`"local"`, `"fleet"`).
+    fn name(&self) -> &'static str;
+
+    /// Executes every shard in `ctx.missing`, reporting each completed
+    /// result through `ctx.complete`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`CampaignError`] when a shard (or the fan-out itself)
+    /// exhausts its recovery budget.
+    fn dispatch(&self, ctx: &DispatchContext<'_>) -> Result<(), CampaignError>;
+}
+
+/// Everything a [`ShardDispatcher`] needs from the engine for one
+/// campaign: the spec, the missing shards, the completion callback that
+/// owns checkpointing/progress, and the engine's recovery knobs.
+pub struct DispatchContext<'a> {
+    /// The validated campaign spec.
+    pub spec: &'a CampaignSpec,
+    /// The shards still to run: `(plan index, work)` pairs.
+    pub missing: &'a [(u32, ShardWork)],
+    /// Called exactly once per completed shard, from any thread.
+    pub complete: &'a (dyn Fn(u32, ShardResult) + Sync),
+    /// Per-shard attempt budget.
+    pub attempts: u32,
+    /// Stuck-shard watchdog deadline.
+    pub watchdog_deadline: Duration,
+}
+
+impl std::fmt::Debug for DispatchContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DispatchContext")
+            .field("missing", &self.missing.len())
+            .field("attempts", &self.attempts)
+            .field("watchdog_deadline", &self.watchdog_deadline)
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire envelopes
+// ---------------------------------------------------------------------------
+
+/// Serializes one shard lease: the full spec plus the plan index, under
+/// the integrity seal.
+///
+/// # Errors
+///
+/// Returns a message when the spec fails to serialize.
+pub fn shard_payload(spec: &CampaignSpec, index: u32) -> Result<String, String> {
+    let body = Json::obj(vec![
+        ("version", Json::Int(WIRE_VERSION.into())),
+        ("shard", Json::Int(index.into())),
+        ("spec", spec.to_json()),
+    ])
+    .to_string_compact()
+    .map_err(|e| e.to_string())?;
+    Ok(seal(&body))
+}
+
+/// Verifies the seal *strictly* (the wire admits no legacy unsealed
+/// bytes) and returns the body.
+fn unseal_strict<'a>(text: &'a str, what: &str) -> Result<&'a str, String> {
+    if !text.starts_with(SEAL_PREFIX) {
+        return Err(format!("{what} is not sealed"));
+    }
+    unseal(text).map_err(|e| format!("{what}: {e}"))
+}
+
+/// Parses and validates a shard lease: strict seal, version, spec
+/// validity, and that the index falls inside the spec's own plan.
+///
+/// # Errors
+///
+/// Returns a message naming the first check that failed.
+pub fn parse_shard_payload(text: &str) -> Result<(CampaignSpec, u32, ShardWork), String> {
+    let body = unseal_strict(text, "shard lease")?;
+    let v = parse(body).map_err(|e| format!("shard lease: {e}"))?;
+    let version =
+        v.get("version").and_then(Json::as_i64).ok_or("shard lease: missing `version`")?;
+    if version != WIRE_VERSION {
+        return Err(format!("unsupported shard lease version {version}"));
+    }
+    let index = v
+        .get("shard")
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or("shard lease: missing `shard` index")?;
+    let spec = CampaignSpec::from_json(v.get("spec").ok_or("shard lease: missing `spec`")?)?;
+    spec.validate()?;
+    let plan = shard_plan(&spec);
+    let work = *plan
+        .get(index as usize)
+        .ok_or_else(|| format!("shard {index} outside the plan's {} shards", plan.len()))?;
+    Ok((spec, index, work))
+}
+
+/// Serializes one shard result for the wire, echoing the lease's index,
+/// under the integrity seal.
+///
+/// # Errors
+///
+/// Returns a message when the result fails to serialize.
+pub fn shard_response(index: u32, result: &ShardResult) -> Result<String, String> {
+    let body = Json::obj(vec![
+        ("version", Json::Int(WIRE_VERSION.into())),
+        ("shard", Json::Int(index.into())),
+        ("result", result.to_json()),
+    ])
+    .to_string_compact()
+    .map_err(|e| e.to_string())?;
+    Ok(seal(&body))
+}
+
+/// Parses a shard result off the wire: strict seal, version, and the
+/// echoed index must match the lease (a worker answering the wrong
+/// question is as corrupt as a flipped bit).
+///
+/// # Errors
+///
+/// Returns a message naming the first check that failed.
+pub fn parse_shard_response(text: &str, expect: u32) -> Result<ShardResult, String> {
+    let body = unseal_strict(text, "shard result")?;
+    let v = parse(body).map_err(|e| format!("shard result: {e}"))?;
+    let version =
+        v.get("version").and_then(Json::as_i64).ok_or("shard result: missing `version`")?;
+    if version != WIRE_VERSION {
+        return Err(format!("unsupported shard result version {version}"));
+    }
+    let index = v.get("shard").and_then(Json::as_u64).ok_or("shard result: missing `shard`")?;
+    if index != u64::from(expect) {
+        return Err(format!("shard result answers shard {index}, lease was for {expect}"));
+    }
+    ShardResult::from_json(v.get("result").ok_or("shard result: missing `result`")?)
+}
+
+// ---------------------------------------------------------------------------
+// Fleet metrics
+// ---------------------------------------------------------------------------
+
+/// `gd_obs` handles for the fleet, registered eagerly so `/metrics`
+/// exposes every family (at zero) before the first lease goes out.
+struct FleetMetrics {
+    /// `gd_fleet_workers_live`
+    workers_live: Arc<gd_obs::Gauge>,
+    /// `gd_fleet_shards_hedged_total`
+    hedged: Arc<gd_obs::Counter>,
+    /// `gd_fleet_shards_requeued_total`
+    requeued: Arc<gd_obs::Counter>,
+    /// `gd_fleet_workers_quarantined_total`
+    quarantined: Arc<gd_obs::Counter>,
+    /// `gd_fleet_local_fallback_shards_total`
+    local_fallback: Arc<gd_obs::Counter>,
+    /// `gd_fleet_seal_failures_total`
+    seal_failures: Arc<gd_obs::Counter>,
+    /// `gd_fleet_heartbeat_failures_total`
+    heartbeat_failures: Arc<gd_obs::Counter>,
+}
+
+fn fleet_metrics() -> &'static FleetMetrics {
+    static METRICS: OnceLock<FleetMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| FleetMetrics {
+        workers_live: gd_obs::gauge(
+            "gd_fleet_workers_live",
+            "fleet workers currently answering heartbeats",
+            &[],
+        ),
+        hedged: gd_obs::counter(
+            "gd_fleet_shards_hedged_total",
+            "shard leases re-sent to a second worker after the hedge deadline",
+            &[],
+        ),
+        requeued: gd_obs::counter(
+            "gd_fleet_shards_requeued_total",
+            "failed shard leases re-dispatched with backoff",
+            &[],
+        ),
+        quarantined: gd_obs::counter(
+            "gd_fleet_workers_quarantined_total",
+            "workers benched for a cooldown after repeated consecutive failures",
+            &[],
+        ),
+        local_fallback: gd_obs::counter(
+            "gd_fleet_local_fallback_shards_total",
+            "shards degraded to in-process execution after the remote budget exhausted",
+            &[],
+        ),
+        seal_failures: gd_obs::counter(
+            "gd_fleet_seal_failures_total",
+            "shard results rejected by the wire integrity seal",
+            &[],
+        ),
+        heartbeat_failures: gd_obs::counter(
+            "gd_fleet_heartbeat_failures_total",
+            "heartbeat probes that failed or timed out",
+            &[],
+        ),
+    })
+}
+
+/// Per-worker dispatched-shards counter.
+fn dispatched_counter(worker: &str) -> Arc<gd_obs::Counter> {
+    gd_obs::counter(
+        "gd_fleet_shards_dispatched_total",
+        "shard leases answered successfully, by worker",
+        &[("worker", worker)],
+    )
+}
+
+/// Per-worker shard round-trip latency histogram.
+fn shard_ms_histogram(worker: &str) -> Arc<gd_obs::Histogram> {
+    gd_obs::histogram(
+        "gd_fleet_shard_ms",
+        "lease-to-result round trip per shard in milliseconds, by worker",
+        &[("worker", worker)],
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Worker server
+// ---------------------------------------------------------------------------
+
+/// A shard worker: serves leases over HTTP until shut down.
+///
+/// Shard computation runs under [`gd_exec::serialized`] — a worker's
+/// parallelism unit is the *lease* (several can be in flight from
+/// hedging and multi-slot dispatch), so the sweeps inside each shard
+/// must not multiply the thread count on top of that.
+#[derive(Debug)]
+pub struct WorkerServer {
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl WorkerServer {
+    /// Binds `addr` (port 0 picks an ephemeral port) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the address cannot be bound.
+    pub fn start(addr: &str) -> Result<WorkerServer, String> {
+        let listener = TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+        let bound = listener.local_addr().map_err(|e| e.to_string())?;
+        // Expose the chaos site inventory and the served counter at zero
+        // before the first lease, like every other process's /metrics.
+        gd_chaos::register_metrics();
+        let served = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let served = Arc::clone(&served);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || worker_accept_loop(&listener, &served, &stop))
+        };
+        gd_obs::info!("gd_campaign::fleet", "worker serving", addr = bound);
+        Ok(WorkerServer { addr: bound, accept: Some(accept) })
+    }
+
+    /// The actually bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the worker: delivers `POST /shutdown` and joins the accept
+    /// thread. In-flight shard computations finish their responses.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the shutdown request cannot be delivered or the accept
+    /// thread panicked.
+    pub fn shutdown(mut self) -> Result<(), String> {
+        request_timeout(
+            &self.addr.to_string(),
+            "POST",
+            "/shutdown",
+            None,
+            Duration::from_secs(10),
+        )?;
+        if let Some(handle) = self.accept.take() {
+            handle.join().map_err(|_| "worker accept thread panicked")?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until the worker stops (a `POST /shutdown` arrives).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the accept thread panicked.
+    pub fn join(mut self) -> Result<(), String> {
+        if let Some(handle) = self.accept.take() {
+            handle.join().map_err(|_| "worker accept thread panicked")?;
+        }
+        Ok(())
+    }
+}
+
+fn worker_accept_loop(listener: &TcpListener, served: &Arc<AtomicU64>, stop: &Arc<AtomicBool>) {
+    loop {
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) => {
+                gd_obs::warn!("gd_campaign::fleet", "worker accept failed", error = e);
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+        };
+        let _ = stream.set_write_timeout(Some(WORKER_READ_DEADLINE));
+        let request = match read_request_deadline(&mut stream, WORKER_READ_DEADLINE) {
+            Ok(r) => r,
+            Err(e) => {
+                let status = match e {
+                    RequestError::Timeout(_) => 408,
+                    RequestError::Malformed(_) => 400,
+                };
+                let body = error_json(e.message());
+                let _ = write_response(&mut stream, status, "application/json", &body);
+                continue;
+            }
+        };
+        match (request.method.as_str(), request.path.as_str()) {
+            ("GET", "/healthz") => {
+                let body = Json::obj(vec![
+                    ("ok", Json::Bool(true)),
+                    ("role", Json::Str("worker".into())),
+                    ("pid", Json::Int(i64::from(std::process::id()).into())),
+                    (
+                        "served",
+                        Json::Int(
+                            i64::try_from(served.load(Ordering::Relaxed))
+                                .unwrap_or(i64::MAX)
+                                .into(),
+                        ),
+                    ),
+                ]);
+                let text = body.to_string_compact().expect("healthz serializes");
+                let _ = write_response(&mut stream, 200, "application/json", text.as_bytes());
+            }
+            ("GET", "/metrics") => {
+                let text = gd_obs::global().render_prometheus();
+                let _ =
+                    write_response(&mut stream, 200, gd_obs::prom::CONTENT_TYPE, text.as_bytes());
+            }
+            ("POST", "/shutdown") => {
+                stop.store(true, Ordering::Relaxed);
+                let _ = write_response(&mut stream, 200, "application/json", b"{\"ok\":true}");
+                return;
+            }
+            ("POST", "/shards") => {
+                // Leases compute on their own thread so the accept loop
+                // stays available for heartbeats and further (hedged)
+                // leases — this is the worker's concurrency unit.
+                let served = Arc::clone(served);
+                std::thread::spawn(move || serve_shard(stream, &request.body, &served));
+            }
+            (_, "/healthz" | "/metrics" | "/shutdown" | "/shards") => {
+                let _ = write_response(
+                    &mut stream,
+                    405,
+                    "application/json",
+                    &error_json("method not allowed"),
+                );
+            }
+            _ => {
+                let _ = write_response(
+                    &mut stream,
+                    404,
+                    "application/json",
+                    &error_json("no such route"),
+                );
+            }
+        }
+    }
+}
+
+fn error_json(message: &str) -> Vec<u8> {
+    Json::obj(vec![("error", Json::Str(message.into()))])
+        .to_string_compact()
+        .expect("error body serializes")
+        .into_bytes()
+}
+
+/// Handles one `POST /shards` lease on its own thread (the accept loop
+/// already read the request; the body and stream move here together).
+fn serve_shard(mut stream: TcpStream, body: &[u8], served: &AtomicU64) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "application/json",
+                &error_json("lease is not UTF-8"),
+            );
+            return;
+        }
+    };
+    let (spec, index, work) = match parse_shard_payload(text) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            gd_obs::warn!("gd_campaign::fleet", "worker rejected a shard lease", error = e);
+            let _ = write_response(&mut stream, 400, "application/json", &error_json(&e));
+            return;
+        }
+    };
+    // Chaos: a hung worker sits on the lease past the hedge deadline...
+    gd_chaos::fleet_hang();
+    // ...and a crashed one dies mid-shard: the connection closes with no
+    // response at all, which the dispatcher must treat as a transport
+    // failure, not an answer.
+    if gd_chaos::fleet_worker_crashed() {
+        gd_obs::warn!("gd_campaign::fleet", "chaos crashed the worker mid-shard", shard = index);
+        return;
+    }
+    match catch_unwind(AssertUnwindSafe(|| gd_exec::serialized(|| run_shard(&spec, &work)))) {
+        Ok(result) => match shard_response(index, &result) {
+            Ok(sealed) => {
+                served.fetch_add(1, Ordering::Relaxed);
+                let _ = write_response(
+                    &mut stream,
+                    200,
+                    "text/plain; charset=utf-8",
+                    sealed.as_bytes(),
+                );
+            }
+            Err(e) => {
+                let _ = write_response(&mut stream, 500, "application/json", &error_json(&e));
+            }
+        },
+        Err(payload) => {
+            let cause = panic_message(payload.as_ref());
+            gd_obs::warn!(
+                "gd_campaign::fleet",
+                "shard lease panicked on the worker",
+                shard = index,
+                cause = cause,
+            );
+            let body = error_json(&format!("shard panicked: {cause}"));
+            let _ = write_response(&mut stream, 500, "application/json", &body);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet dispatcher
+// ---------------------------------------------------------------------------
+
+/// Knobs of the [`FleetDispatcher`].
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker addresses (`host:port`). Empty means every campaign runs
+    /// locally.
+    pub workers: Vec<String>,
+    /// Overall deadline for one shard lease round trip (covering the
+    /// hedge, when one launches).
+    pub shard_timeout: Duration,
+    /// How long an unanswered lease waits before a hedge goes to a
+    /// second worker.
+    pub hedge_after: Duration,
+    /// Remote attempts per shard before it degrades to local execution.
+    pub attempts: u32,
+    /// Consecutive failures that quarantine a worker.
+    pub quarantine_after: u32,
+    /// How long a quarantined worker sits out.
+    pub quarantine_cooldown: Duration,
+    /// Heartbeat probe interval.
+    pub heartbeat_interval: Duration,
+    /// A worker silent this long is marked dead until it answers again.
+    pub liveness_deadline: Duration,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            workers: Vec::new(),
+            shard_timeout: Duration::from_secs(60),
+            hedge_after: Duration::from_secs(1),
+            attempts: 3,
+            quarantine_after: 3,
+            quarantine_cooldown: Duration::from_secs(5),
+            heartbeat_interval: Duration::from_millis(500),
+            liveness_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Dispatcher-side view of one worker.
+#[derive(Debug)]
+struct WorkerState {
+    addr: String,
+    /// Answering heartbeats.
+    live: AtomicBool,
+    /// Leases currently in flight to this worker (load balancing).
+    inflight: AtomicU32,
+    /// Consecutive lease failures (reset on success or parole).
+    consecutive_failures: AtomicU32,
+    /// Quarantine bench: no leases until this instant passes.
+    quarantined_until: Mutex<Option<Instant>>,
+    /// Last successful heartbeat.
+    last_seen: Mutex<Option<Instant>>,
+}
+
+/// The remote [`ShardDispatcher`]: leases shards to a worker fleet with
+/// heartbeat liveness, hedged re-dispatch, jittered bounded retries,
+/// quarantine, and graceful degradation to [`LocalDispatcher`]. See the
+/// module docs for the failure model.
+#[derive(Debug)]
+pub struct FleetDispatcher {
+    config: FleetConfig,
+    workers: Vec<Arc<WorkerState>>,
+    stop: Arc<AtomicBool>,
+    heartbeat: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl FleetDispatcher {
+    /// Builds the dispatcher, starts the heartbeat thread, and waits up
+    /// to [`REGISTRATION_WAIT`] for at least one worker to register. A
+    /// fleet where nobody answers is not an error — campaigns degrade to
+    /// local execution — but it is loudly logged.
+    pub fn new(config: FleetConfig) -> FleetDispatcher {
+        let _ = fleet_metrics();
+        let workers: Vec<Arc<WorkerState>> = config
+            .workers
+            .iter()
+            .map(|addr| {
+                // Register the per-worker families at zero up front.
+                let _ = dispatched_counter(addr);
+                let _ = shard_ms_histogram(addr);
+                Arc::new(WorkerState {
+                    addr: addr.clone(),
+                    live: AtomicBool::new(false),
+                    inflight: AtomicU32::new(0),
+                    consecutive_failures: AtomicU32::new(0),
+                    quarantined_until: Mutex::new(None),
+                    last_seen: Mutex::new(None),
+                })
+            })
+            .collect();
+        let stop = Arc::new(AtomicBool::new(false));
+        let heartbeat = if workers.is_empty() {
+            None
+        } else {
+            let workers = workers.clone();
+            let stop = Arc::clone(&stop);
+            let config = config.clone();
+            Some(std::thread::spawn(move || heartbeat_loop(&workers, &config, &stop)))
+        };
+        let dispatcher =
+            FleetDispatcher { config, workers, stop, heartbeat: Mutex::new(heartbeat) };
+        // Registration: give the first heartbeat pass a moment so the
+        // first campaign doesn't needlessly degrade to local execution.
+        if !dispatcher.workers.is_empty() {
+            let deadline = Instant::now() + REGISTRATION_WAIT;
+            while dispatcher.live_count() == 0 && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            if dispatcher.live_count() == 0 {
+                gd_obs::warn!(
+                    "gd_campaign::fleet",
+                    "no worker registered within the wait; campaigns will run locally until one appears",
+                    workers = dispatcher.workers.len(),
+                );
+            }
+        }
+        dispatcher
+    }
+
+    /// Workers currently marked live (quarantine not considered).
+    pub fn live_count(&self) -> usize {
+        self.workers.iter().filter(|w| w.live.load(Ordering::Relaxed)).count()
+    }
+
+    /// Whether `worker` may receive a lease right now; expired
+    /// quarantines are lifted (parole) on the way.
+    fn eligible(&self, worker: &Arc<WorkerState>) -> bool {
+        if !worker.live.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut bench = worker.quarantined_until.lock().unwrap();
+        match *bench {
+            Some(until) if Instant::now() < until => false,
+            Some(_) => {
+                *bench = None;
+                worker.consecutive_failures.store(0, Ordering::Relaxed);
+                gd_obs::info!("gd_campaign::fleet", "worker paroled", worker = worker.addr);
+                true
+            }
+            None => true,
+        }
+    }
+
+    /// The least-loaded eligible worker, optionally excluding one
+    /// address (the hedge must go somewhere else).
+    fn pick_worker(&self, exclude: Option<&str>) -> Option<Arc<WorkerState>> {
+        self.workers
+            .iter()
+            .filter(|w| exclude != Some(w.addr.as_str()))
+            .filter(|w| self.eligible(w))
+            .min_by_key(|w| w.inflight.load(Ordering::Relaxed))
+            .cloned()
+    }
+
+    fn record_failure(&self, worker: &Arc<WorkerState>) {
+        let failures = worker.consecutive_failures.fetch_add(1, Ordering::Relaxed) + 1;
+        if failures >= self.config.quarantine_after {
+            let mut bench = worker.quarantined_until.lock().unwrap();
+            if bench.is_none() {
+                *bench = Some(Instant::now() + self.config.quarantine_cooldown);
+                fleet_metrics().quarantined.inc();
+                gd_obs::warn!(
+                    "gd_campaign::fleet",
+                    "worker quarantined",
+                    worker = worker.addr,
+                    consecutive_failures = failures,
+                    cooldown_ms = self.config.quarantine_cooldown.as_millis(),
+                );
+            }
+        }
+    }
+
+    /// One lease round trip with hedging: sends to `first`, waits
+    /// `hedge_after`, re-sends to a second worker on silence, and
+    /// returns the first response that survives the seal.
+    fn attempt(
+        &self,
+        first: &Arc<WorkerState>,
+        payload: &Arc<String>,
+        index: u32,
+    ) -> Result<ShardResult, String> {
+        let metrics = fleet_metrics();
+        let timer = Timer::start();
+        let deadline = Instant::now() + self.config.shard_timeout;
+        let (tx, rx) = mpsc::channel::<(String, Result<String, String>)>();
+        launch_lease(first, payload, deadline, &tx);
+        let mut in_flight = 1u32;
+        let mut hedged = false;
+        let mut last = String::new();
+        let (addr, body) = loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break Err(format!(
+                    "no response within the {:?} shard timeout",
+                    self.config.shard_timeout
+                ));
+            }
+            let wait =
+                if hedged { deadline - now } else { (deadline - now).min(self.config.hedge_after) };
+            match rx.recv_timeout(wait) {
+                Ok((addr, Ok(body))) => break Ok((addr, body)),
+                Ok((addr, Err(e))) => {
+                    in_flight -= 1;
+                    last = format!("{addr}: {e}");
+                    if in_flight == 0 {
+                        break Err(last);
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if !hedged {
+                        hedged = true;
+                        if let Some(other) = self.pick_worker(Some(first.addr.as_str())) {
+                            metrics.hedged.inc();
+                            gd_obs::info!(
+                                "gd_campaign::fleet",
+                                "hedging a straggler lease",
+                                shard = index,
+                                slow_worker = first.addr,
+                                hedge_worker = other.addr,
+                            );
+                            launch_lease(&other, payload, deadline, &tx);
+                            in_flight += 1;
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    break Err(if last.is_empty() { "all leases vanished".into() } else { last });
+                }
+            }
+        }?;
+        // Chaos: a bit flipped in transit must die at the seal, never
+        // reach the merge.
+        let mut bytes = body.into_bytes();
+        let corrupted = gd_chaos::fleet_corrupt_result(&mut bytes);
+        let text = String::from_utf8(bytes)
+            .map_err(|_| format!("{addr}: shard result is not UTF-8"))
+            .and_then(|t| parse_shard_response(&t, index).map_err(|e| format!("{addr}: {e}")));
+        match text {
+            Ok(result) => {
+                dispatched_counter(&addr).inc();
+                shard_ms_histogram(&addr).observe(timer.elapsed_ms());
+                Ok(result)
+            }
+            Err(e) => {
+                metrics.seal_failures.inc();
+                gd_obs::warn!(
+                    "gd_campaign::fleet",
+                    "shard result failed verification",
+                    shard = index,
+                    chaos_corrupted = corrupted,
+                    error = e,
+                );
+                Err(e)
+            }
+        }
+    }
+
+    /// Runs one shard remotely with the full retry ladder. `Err` means
+    /// the remote budget exhausted — the caller degrades it to local.
+    fn run_remote(&self, ctx: &DispatchContext<'_>, index: u32) -> Result<ShardResult, String> {
+        let payload = Arc::new(shard_payload(ctx.spec, index)?);
+        let mut last = String::from("no live workers");
+        for attempt in 0..self.config.attempts {
+            let Some(worker) = self.pick_worker(None) else {
+                return Err(last);
+            };
+            match self.attempt(&worker, &payload, index) {
+                Ok(result) => {
+                    worker.consecutive_failures.store(0, Ordering::Relaxed);
+                    return Ok(result);
+                }
+                Err(e) => {
+                    last = e;
+                    self.record_failure(&worker);
+                    if attempt + 1 < self.config.attempts {
+                        fleet_metrics().requeued.inc();
+                        // The same seeded-jitter schedule as local shard
+                        // retries, on a salted stream: mass failures
+                        // de-synchronize, fixed seeds replay.
+                        std::thread::sleep(retry_backoff(
+                            FLEET_BACKOFF_BASE,
+                            FLEET_BACKOFF_CAP,
+                            attempt,
+                            ctx.spec.model.seed ^ FLEET_SEED_SALT,
+                            u64::from(index),
+                        ));
+                    }
+                }
+            }
+        }
+        Err(format!("{} remote attempts failed; last: {last}", self.config.attempts))
+    }
+}
+
+impl Drop for FleetDispatcher {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.heartbeat.lock().unwrap().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl ShardDispatcher for FleetDispatcher {
+    fn name(&self) -> &'static str {
+        "fleet"
+    }
+
+    fn dispatch(&self, ctx: &DispatchContext<'_>) -> Result<(), CampaignError> {
+        let metrics = fleet_metrics();
+        if ctx.missing.is_empty() {
+            return Ok(());
+        }
+        let live = self.live_count();
+        if live == 0 {
+            // Whole-campaign degradation: a fleet of zero is just a
+            // slower day, never a failed campaign.
+            metrics.local_fallback.add(ctx.missing.len() as u64);
+            gd_obs::warn!(
+                "gd_campaign::fleet",
+                "no live workers; campaign degrades to local execution",
+                shards = ctx.missing.len(),
+            );
+            return LocalDispatcher.dispatch(ctx);
+        }
+        // Slot threads each own the shards they pop, so every shard has
+        // exactly one owner and `ctx.complete` fires exactly once per
+        // shard — hedging races *within* an owner, never across owners.
+        let slots = (live * 2).min(ctx.missing.len()).max(1);
+        let pending: Mutex<VecDeque<(u32, ShardWork)>> =
+            Mutex::new(ctx.missing.iter().copied().collect());
+        let fallback: Mutex<Vec<(u32, ShardWork)>> = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..slots {
+                s.spawn(|| loop {
+                    let item = pending.lock().unwrap().pop_front();
+                    let Some((index, work)) = item else { break };
+                    match self.run_remote(ctx, index) {
+                        Ok(result) => (ctx.complete)(index, result),
+                        Err(why) => {
+                            gd_obs::warn!(
+                                "gd_campaign::fleet",
+                                "shard exhausted its remote budget; degrading to local",
+                                shard = index,
+                                error = why,
+                            );
+                            fallback.lock().unwrap().push((index, work));
+                        }
+                    }
+                });
+            }
+        });
+        let mut fallback = fallback.into_inner().unwrap();
+        if fallback.is_empty() {
+            return Ok(());
+        }
+        fallback.sort_by_key(|(i, _)| *i);
+        metrics.local_fallback.add(fallback.len() as u64);
+        let local = DispatchContext {
+            spec: ctx.spec,
+            missing: &fallback,
+            complete: ctx.complete,
+            attempts: ctx.attempts,
+            watchdog_deadline: ctx.watchdog_deadline,
+        };
+        LocalDispatcher.dispatch(&local)
+    }
+}
+
+/// Fires one lease at `worker` on a detached thread; the outcome lands
+/// on `tx` (ignored if the race is already decided and `rx` dropped).
+fn launch_lease(
+    worker: &Arc<WorkerState>,
+    payload: &Arc<String>,
+    deadline: Instant,
+    tx: &mpsc::Sender<(String, Result<String, String>)>,
+) {
+    let worker = Arc::clone(worker);
+    let payload = Arc::clone(payload);
+    let tx = tx.clone();
+    worker.inflight.fetch_add(1, Ordering::Relaxed);
+    std::thread::spawn(move || {
+        let outcome = (|| {
+            // Chaos: the connection drops before the lease is sent.
+            if gd_chaos::fleet_conn_dropped() {
+                return Err("chaos dropped the worker connection".to_string());
+            }
+            let budget = deadline.saturating_duration_since(Instant::now());
+            if budget.is_zero() {
+                return Err("lease deadline exhausted before send".to_string());
+            }
+            let (status, _, body) =
+                request_timeout_full(&worker.addr, "POST", "/shards", Some(&payload), budget)?;
+            if status != 200 {
+                return Err(format!("worker answered {status}: {body}"));
+            }
+            Ok(body)
+        })();
+        worker.inflight.fetch_sub(1, Ordering::Relaxed);
+        let _ = tx.send((worker.addr.clone(), outcome));
+    });
+}
+
+/// Polls every worker's `/healthz` on the configured interval and keeps
+/// liveness, the `gd_fleet_workers_live` gauge, and `last_seen` current.
+fn heartbeat_loop(workers: &[Arc<WorkerState>], config: &FleetConfig, stop: &Arc<AtomicBool>) {
+    let metrics = fleet_metrics();
+    let probe_timeout = config.heartbeat_interval.max(Duration::from_millis(100));
+    while !stop.load(Ordering::Relaxed) {
+        for worker in workers {
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            match request_timeout(&worker.addr, "GET", "/healthz", None, probe_timeout) {
+                Ok((200, _)) => {
+                    *worker.last_seen.lock().unwrap() = Some(Instant::now());
+                    if !worker.live.swap(true, Ordering::Relaxed) {
+                        gd_obs::info!(
+                            "gd_campaign::fleet",
+                            "worker registered",
+                            worker = worker.addr,
+                        );
+                    }
+                }
+                other => {
+                    metrics.heartbeat_failures.inc();
+                    let silent_for = worker
+                        .last_seen
+                        .lock()
+                        .unwrap()
+                        .map_or(Duration::MAX, |seen| seen.elapsed());
+                    if silent_for > config.liveness_deadline
+                        && worker.live.swap(false, Ordering::Relaxed)
+                    {
+                        gd_obs::warn!(
+                            "gd_campaign::fleet",
+                            "worker missed its liveness deadline; marked dead",
+                            worker = worker.addr,
+                            detail = match other {
+                                Ok((status, _)) => format!("status {status}"),
+                                Err(e) => e,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let live = workers.iter().filter(|w| w.live.load(Ordering::Relaxed)).count();
+        metrics.workers_live.set(i64::try_from(live).unwrap_or(i64::MAX));
+        std::thread::sleep(config.heartbeat_interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lease_spec() -> CampaignSpec {
+        let mut spec = CampaignSpec::fig2();
+        spec.shards = Some((0, 2));
+        spec
+    }
+
+    #[test]
+    fn wire_envelopes_round_trip_and_reject_tampering() {
+        let spec = lease_spec();
+        let lease = shard_payload(&spec, 1).unwrap();
+        let (back_spec, index, work) = parse_shard_payload(&lease).unwrap();
+        assert_eq!(back_spec, spec);
+        assert_eq!(index, 1);
+        assert_eq!(work, shard_plan(&spec)[1]);
+
+        // The wire is strict: unsealed bytes are rejected even though
+        // the store would wave them through.
+        let unsealed = unseal(&lease).unwrap();
+        let err = parse_shard_payload(unsealed).unwrap_err();
+        assert!(err.contains("not sealed"), "{err}");
+
+        // A flipped bit dies at the seal.
+        let mut corrupt = lease.into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        let err = parse_shard_payload(&String::from_utf8(corrupt).unwrap()).unwrap_err();
+        assert!(err.contains("seal") || err.contains("not sealed"), "{err}");
+
+        // An index outside the spec's own plan is refused.
+        let err = parse_shard_payload(&shard_payload(&spec, 999).unwrap()).unwrap_err();
+        assert!(err.contains("outside the plan"), "{err}");
+
+        // Results echo their index, and a mismatch is corruption.
+        let result = run_shard(&spec, &shard_plan(&spec)[0]);
+        let wire = shard_response(0, &result).unwrap();
+        assert_eq!(parse_shard_response(&wire, 0).unwrap(), result);
+        let err = parse_shard_response(&wire, 1).unwrap_err();
+        assert!(err.contains("lease was for 1"), "{err}");
+    }
+
+    #[test]
+    fn worker_serves_healthz_shards_and_shutdown() {
+        let worker = WorkerServer::start("127.0.0.1:0").unwrap();
+        let addr = worker.addr().to_string();
+
+        let (status, body) =
+            request_timeout(&addr, "GET", "/healthz", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"role\":\"worker\""), "{body}");
+
+        // A real lease computes the same bytes as a direct run_shard.
+        let spec = lease_spec();
+        let lease = shard_payload(&spec, 0).unwrap();
+        let (status, body) =
+            request_timeout(&addr, "POST", "/shards", Some(&lease), Duration::from_secs(60))
+                .unwrap();
+        assert_eq!(status, 200, "{body}");
+        let result = parse_shard_response(&body, 0).unwrap();
+        assert_eq!(result, run_shard(&spec, &shard_plan(&spec)[0]));
+
+        // Garbage leases are a 400, not a dead worker.
+        let (status, body) =
+            request_timeout(&addr, "POST", "/shards", Some("junk"), Duration::from_secs(5))
+                .unwrap();
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("not sealed"), "{body}");
+
+        let (status, _) =
+            request_timeout(&addr, "GET", "/nope", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 404);
+        let (status, _) =
+            request_timeout(&addr, "DELETE", "/healthz", None, Duration::from_secs(5)).unwrap();
+        assert_eq!(status, 405);
+
+        worker.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fleet_config_defaults_are_sane() {
+        let config = FleetConfig::default();
+        assert!(config.workers.is_empty());
+        assert!(config.hedge_after < config.shard_timeout);
+        assert!(config.attempts >= 1 && config.quarantine_after >= 1);
+        assert!(config.heartbeat_interval < config.liveness_deadline);
+    }
+}

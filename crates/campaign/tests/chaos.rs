@@ -157,6 +157,43 @@ fn the_watchdog_counts_shards_exceeding_the_deadline() {
     );
 }
 
+/// A campaign killed mid-run resumes from its checkpoints: a fresh
+/// engine over the same store reruns only the shard that died, and the
+/// merged bytes match the uninterrupted run exactly.
+#[test]
+fn a_restarted_engine_resumes_from_checkpoints_mid_campaign() {
+    let mut spec = small_spec();
+    spec.threads = Some(1); // serial: shards execute (and draw chaos) in order
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&spec).unwrap()
+    };
+    // Pick a seed whose opening is [survive, survive, panic]: shards 0
+    // and 1 checkpoint, then shard 2 kills the campaign (one attempt,
+    // no retry — the "engine dies mid-run" shape).
+    let base = gd_chaos::Plan::parse("0:engine.shard_panic=0.5").unwrap();
+    let seed = (0..10_000u64)
+        .find(|&s| base.with_seed(s).decisions("engine.shard_panic", 3) == [false, false, true])
+        .expect("a seed with the [ok, ok, panic] opening exists");
+    let store = tmp_store("resume");
+    {
+        let _chaos = gd_chaos::activate(base.with_seed(seed));
+        let err = Engine::with_store(&store).with_shard_attempts(1).run(&spec).unwrap_err();
+        match &err {
+            CampaignError::ShardFailed { shard: 2, .. } => {}
+            other => panic!("expected shard 2 to kill the run, got {other:?}"),
+        }
+    }
+    // "Restart": a new engine process-equivalent over the same store.
+    let _off = gd_chaos::suppress();
+    let engine = Engine::with_store(&store);
+    let result = engine.run(&spec).unwrap();
+    assert_eq!(engine.executed(), 1, "shards 0 and 1 must come from checkpoints");
+    assert_eq!(result.text, baseline.text, "resumed bytes match the uninterrupted run");
+    assert_eq!(result.shards, baseline.shards);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
 /// The service reports an exhausted campaign as a 409 whose body names
 /// the shard, the attempts, and the cause — the typed error crosses the
 /// HTTP boundary intact.

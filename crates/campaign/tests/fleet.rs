@@ -1,0 +1,192 @@
+//! Fleet-dispatch acceptance: remote shard execution must reproduce the
+//! local engine's bytes at every worker count, through worker loss, and
+//! under every worker-boundary chaos site.
+//!
+//! Like `chaos.rs`, this binary's tests each take a chaos guard
+//! ([`gd_chaos::activate`] or [`gd_chaos::suppress`]), which both scopes
+//! the schedule and serializes the tests against the process-global
+//! chaos state.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use gd_campaign::engine::Engine;
+use gd_campaign::fleet::{FleetConfig, FleetDispatcher, WorkerServer};
+use gd_campaign::spec::CampaignSpec;
+
+/// A 3-shard Figure 2 slice — the standard small-but-real campaign.
+fn small_spec() -> CampaignSpec {
+    let mut spec = CampaignSpec::fig2();
+    spec.shards = Some((0, 3));
+    spec
+}
+
+/// Fleet tuning for loopback tests: fast heartbeats, tight hedging.
+fn test_config(workers: &[WorkerServer]) -> FleetConfig {
+    FleetConfig {
+        workers: workers.iter().map(|w| w.addr().to_string()).collect(),
+        hedge_after: Duration::from_millis(50),
+        heartbeat_interval: Duration::from_millis(50),
+        liveness_deadline: Duration::from_millis(500),
+        ..FleetConfig::default()
+    }
+}
+
+fn fleet_engine(workers: &[WorkerServer]) -> Engine {
+    Engine::ephemeral().with_dispatcher(Arc::new(FleetDispatcher::new(test_config(workers))))
+}
+
+/// Value of a single-series metric in the current Prometheus rendering.
+fn metric_value(name: &str) -> f64 {
+    gd_obs::global()
+        .render_prometheus()
+        .lines()
+        .find(|l| l.starts_with(name) && !l.starts_with('#'))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.0)
+}
+
+/// The tentpole acceptance property: identical bytes from the local
+/// pool, a single worker, and a four-worker fleet — and from a fleet
+/// with *no* workers at all, which degrades to local execution.
+#[test]
+fn fleet_results_are_bit_identical_at_zero_one_and_four_workers() {
+    let _off = gd_chaos::suppress();
+    let baseline = Engine::ephemeral().run(&small_spec()).unwrap();
+
+    for count in [0usize, 1, 4] {
+        let workers: Vec<WorkerServer> =
+            (0..count).map(|_| WorkerServer::start("127.0.0.1:0").unwrap()).collect();
+        let fallback_before = metric_value("gd_fleet_local_fallback_shards_total");
+        let result = fleet_engine(&workers).run(&small_spec()).unwrap();
+        assert_eq!(result.text, baseline.text, "workers={count}");
+        assert_eq!(result.shards, baseline.shards, "workers={count}");
+        if count == 0 {
+            assert!(
+                metric_value("gd_fleet_local_fallback_shards_total") >= fallback_before + 3.0,
+                "an empty fleet must degrade every shard to local execution"
+            );
+        }
+        for worker in workers {
+            worker.shutdown().unwrap();
+        }
+    }
+}
+
+/// Killing a worker mid-campaign loses leases, not results: the
+/// dispatcher retries them on the survivor (or locally) and the bytes
+/// still match.
+#[test]
+fn a_worker_killed_mid_campaign_does_not_change_the_bytes() {
+    let _off = gd_chaos::suppress();
+    let mut spec = CampaignSpec::fig2();
+    spec.shards = Some((0, 6));
+    let baseline = Engine::ephemeral().run(&spec).unwrap();
+
+    let survivor = WorkerServer::start("127.0.0.1:0").unwrap();
+    let victim = WorkerServer::start("127.0.0.1:0").unwrap();
+    let config = FleetConfig {
+        workers: vec![survivor.addr().to_string(), victim.addr().to_string()],
+        hedge_after: Duration::from_millis(50),
+        heartbeat_interval: Duration::from_millis(50),
+        liveness_deadline: Duration::from_millis(500),
+        ..FleetConfig::default()
+    };
+    let engine = Engine::ephemeral().with_dispatcher(Arc::new(FleetDispatcher::new(config)));
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(40));
+        victim.shutdown().unwrap();
+    });
+    let result = engine.run(&spec).unwrap();
+    killer.join().unwrap();
+    assert_eq!(result.text, baseline.text, "the kill must not surface in the output");
+    survivor.shutdown().unwrap();
+}
+
+/// Every remote result corrupted in flight: the SHA-256 seal rejects
+/// them all, the seal-failure counter proves it, and the campaign falls
+/// back to local execution with identical bytes.
+#[test]
+fn corrupted_worker_results_are_caught_by_the_seal_and_recomputed() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("21:fleet.corrupt_result=1").unwrap());
+    let worker = WorkerServer::start("127.0.0.1:0").unwrap();
+    let seal_before = metric_value("gd_fleet_seal_failures_total");
+    let fallback_before = metric_value("gd_fleet_local_fallback_shards_total");
+    let result = fleet_engine(std::slice::from_ref(&worker)).run(&small_spec()).unwrap();
+    assert_eq!(result.text, baseline.text);
+    assert!(
+        metric_value("gd_fleet_seal_failures_total") > seal_before,
+        "every corrupted response must be caught by the seal"
+    );
+    assert!(
+        metric_value("gd_fleet_local_fallback_shards_total") > fallback_before,
+        "shards whose remote budget is spent run locally"
+    );
+    worker.shutdown().unwrap();
+}
+
+/// A universally hanging fleet still answers (the hang is shorter than
+/// the shard timeout), but every lease outlives the hedge threshold —
+/// the hedged counter must show the dispatcher racing a second worker.
+#[test]
+fn hanging_workers_trip_the_hedge_and_keep_the_bytes() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("22:fleet.hang=1").unwrap());
+    let workers =
+        [WorkerServer::start("127.0.0.1:0").unwrap(), WorkerServer::start("127.0.0.1:0").unwrap()];
+    let hedged_before = metric_value("gd_fleet_shards_hedged_total");
+    let result = fleet_engine(&workers).run(&small_spec()).unwrap();
+    assert_eq!(result.text, baseline.text);
+    assert!(
+        metric_value("gd_fleet_shards_hedged_total") > hedged_before,
+        "a 400 ms hang against a 50 ms hedge threshold must hedge"
+    );
+    for worker in workers {
+        worker.shutdown().unwrap();
+    }
+}
+
+/// Workers crashing mid-shard half the time: the connection closes
+/// without a response, the dispatcher requeues, and enough retries
+/// (plus the local fallback) still deliver the exact bytes.
+#[test]
+fn crashing_workers_are_survived_by_requeue_and_fallback() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("23:fleet.worker_crash=0.5").unwrap());
+    let worker = WorkerServer::start("127.0.0.1:0").unwrap();
+    let result = fleet_engine(std::slice::from_ref(&worker)).run(&small_spec()).unwrap();
+    assert_eq!(result.text, baseline.text);
+    worker.shutdown().unwrap();
+}
+
+/// Every connection dropped before the payload lands: the worker racks
+/// up consecutive failures, gets quarantined (observably), and the
+/// campaign completes locally with identical bytes.
+#[test]
+fn a_dead_connection_quarantines_the_worker_and_degrades_locally() {
+    let baseline = {
+        let _off = gd_chaos::suppress();
+        Engine::ephemeral().run(&small_spec()).unwrap()
+    };
+    let _chaos = gd_chaos::activate(gd_chaos::Plan::parse("24:fleet.conn_drop=1").unwrap());
+    let worker = WorkerServer::start("127.0.0.1:0").unwrap();
+    let quarantined_before = metric_value("gd_fleet_workers_quarantined_total");
+    let result = fleet_engine(std::slice::from_ref(&worker)).run(&small_spec()).unwrap();
+    assert_eq!(result.text, baseline.text);
+    assert!(
+        metric_value("gd_fleet_workers_quarantined_total") > quarantined_before,
+        "three straight connection drops must quarantine the worker"
+    );
+    worker.shutdown().unwrap();
+}

@@ -119,4 +119,61 @@ rm -rf target/chaos-smoke-store
     --runs 2 --store target/chaos-smoke-store --golden results/table1.txt
 rm -rf target/chaos-smoke-store
 
+# Fleet smoke: Table I through a 2-worker loopback fleet must reproduce
+# the committed golden byte for byte — fault-free first, then with
+# dispatcher-side worker-boundary faults (dropped connections, corrupted
+# results caught by the seal), then against workers whose own processes
+# hang and crash mid-shard under GD_CHAOS. The dispatcher's retry /
+# hedge / quarantine / local-fallback ladder absorbs all of it.
+echo "==> fleet smoke (Table I through 2 loopback workers, then under worker chaos)"
+./target/release/gd-campaign worker --addr 127.0.0.1:0 > target/fleet_worker1.log 2>&1 &
+FLEET_W1_PID=$!
+./target/release/gd-campaign worker --addr 127.0.0.1:0 > target/fleet_worker2.log 2>&1 &
+FLEET_W2_PID=$!
+for _ in $(seq 50); do
+    grep -q 'worker on' target/fleet_worker1.log 2>/dev/null \
+        && grep -q 'worker on' target/fleet_worker2.log 2>/dev/null && break
+    sleep 0.1
+done
+FLEET_W1=$(sed -n 's|.*worker on http://||p' target/fleet_worker1.log | head -1)
+FLEET_W2=$(sed -n 's|.*worker on http://||p' target/fleet_worker2.log | head -1)
+./target/release/gd-campaign run table1 --workers "$FLEET_W1,$FLEET_W2" \
+    > target/fleet_table1.txt
+cmp target/fleet_table1.txt results/table1.txt
+GD_CHAOS='31:fleet.conn_drop=0.2,fleet.corrupt_result=0.2' \
+    ./target/release/gd-campaign run table1 --workers "$FLEET_W1,$FLEET_W2" \
+    > target/fleet_table1_chaos.txt
+cmp target/fleet_table1_chaos.txt results/table1.txt
+kill "$FLEET_W1_PID" "$FLEET_W2_PID"
+wait "$FLEET_W1_PID" "$FLEET_W2_PID" 2>/dev/null || true
+
+GD_CHAOS='32:fleet.hang=0.2,fleet.worker_crash=0.2' \
+    ./target/release/gd-campaign worker --addr 127.0.0.1:0 > target/fleet_worker3.log 2>&1 &
+FLEET_W3_PID=$!
+GD_CHAOS='33:fleet.hang=0.2,fleet.worker_crash=0.2' \
+    ./target/release/gd-campaign worker --addr 127.0.0.1:0 > target/fleet_worker4.log 2>&1 &
+FLEET_W4_PID=$!
+for _ in $(seq 50); do
+    grep -q 'worker on' target/fleet_worker3.log 2>/dev/null \
+        && grep -q 'worker on' target/fleet_worker4.log 2>/dev/null && break
+    sleep 0.1
+done
+FLEET_W3=$(sed -n 's|.*worker on http://||p' target/fleet_worker3.log | head -1)
+FLEET_W4=$(sed -n 's|.*worker on http://||p' target/fleet_worker4.log | head -1)
+./target/release/gd-campaign run table1 --workers "$FLEET_W3,$FLEET_W4" \
+    > target/fleet_table1_sick.txt
+cmp target/fleet_table1_sick.txt results/table1.txt
+kill "$FLEET_W3_PID" "$FLEET_W4_PID"
+wait "$FLEET_W3_PID" "$FLEET_W4_PID" 2>/dev/null || true
+rm -f target/fleet_worker?.log target/fleet_table1*.txt
+
+# Synthetic load with SLO assertions: concurrent clients against an
+# in-process server fed by a 2-worker fleet. gd-load exits nonzero when
+# p99 control-plane latency or sustained throughput miss the SLOs, when
+# any campaign fails, or when /metrics lacks the gd_fleet_*/gd_http_*
+# families that prove the fleet path served the load.
+echo "==> gd-load SLO run (4 clients x 3 rounds over a 2-worker fleet)"
+./target/release/gd-load --clients 4 --rounds 3 --spawn-workers 2 \
+    --p99-ms 250 --min-rps 50 --require-fleet-metrics
+
 echo "==> OK"
