@@ -1,0 +1,492 @@
+//! The `gd-cfg` report: whole-image CFG recovery summaries and `GL03xx`
+//! glitch-reachability findings, cross-validated against exhaustive
+//! fault simulation — the *agreement harness*.
+//!
+//! Two artifacts:
+//!
+//! - `results/cfg_boot.txt` — the boot firmware at every Table IV
+//!   defense configuration: graph shape, per-routine dominator/
+//!   post-dominator summaries, the `GL03xx` findings, and (for the
+//!   `None` and `All` endpoints) a per-routine confusion table between
+//!   the static verdicts and simulated xor1.t/skip.t campaigns.
+//! - `results/cfg_ingest.txt` — the same analysis over the committed
+//!   third-party demo dump, with divergence-based dynamic truth.
+//!
+//! The confusion cells use `s`/`d` for the static and dynamic sides:
+//! `s+` means the static analysis classified the fault instance
+//! dangerous, `d+` means the simulator proved it *Successful* (the
+//! compromise store fired). The soundness contract is one-directional —
+//! the `s-d+` cell must be zero — and `gd-cfg --gate` turns that into a
+//! CI exit code. The `s+d-` cell is the measured over-approximation the
+//! module-level docs of `gd-cfg` promise to report rather than hide.
+//!
+//! Everything here is byte-deterministic at any `GD_THREADS`: parallel
+//! fan-outs use fixed-size chunks whose results merge in input order.
+
+use gd_backend::{compile, FirmwareImage};
+use gd_cfg::lints::{bit_masks, compiled_sink, lint_cfg, FaultCtx, GuardChecks, Sink, SiteDesc};
+use gd_cfg::refine::divergences;
+use gd_cfg::{dom, recover, Cfg};
+use gd_emu::{Config, InjectKind, Persistence};
+use gd_faultsim::{
+    sites, DivergenceRunner, FaultInstance, MultiFaultRunner, SiteInfo, SCOPE_FUNCS,
+};
+use gd_glitch_emu::Outcome;
+use gd_ingest::testimg::{DEMO_BASE, DEMO_WATCH};
+use gd_ingest::Ingested;
+use gd_lint::Finding;
+use glitch_resistor::Defenses;
+
+use crate::overhead::{boot_module, configurations};
+
+/// Sites per parallel chunk of an agreement sweep. Each chunk pays one
+/// runner construction (a snapshot replay); the partition depends only
+/// on the site list, never the worker count.
+const AGREE_CHUNK: usize = 8;
+
+/// The demo's impossible region `[bad, good)` — the compromise store and
+/// its setup, per the layout documented on
+/// [`gd_ingest::testimg::demo_bin`].
+const DEMO_BAD: (u32, u32) = (DEMO_BASE + 0x1a, DEMO_BASE + 0x28);
+
+/// One fully analyzed image: graph, sink, and guard metadata — the
+/// owned state a [`FaultCtx`] borrows.
+pub struct Analysis {
+    /// The image under analysis.
+    pub image: FirmwareImage,
+    /// Its recovered graph.
+    pub g: Cfg,
+    /// The sensitive sink faults must not reach.
+    pub sink: Sink,
+    /// Guard metadata (compiled or pattern-matched).
+    pub guards: GuardChecks,
+    /// Emulator configuration recovery ran under.
+    pub cfg: Config,
+}
+
+impl Analysis {
+    /// The fault-classification context over this analysis.
+    pub fn ctx(&self) -> FaultCtx<'_> {
+        FaultCtx::new(&self.g, &self.image, &self.sink, &self.guards)
+    }
+}
+
+/// Analyzes the boot firmware under one defense configuration: the sink
+/// is `main`'s impossible block through its `report(0xC0DE)` call, and
+/// guards come from the hardening pass's own metadata.
+///
+/// # Panics
+///
+/// Panics if the boot fixture fails to harden or lower.
+pub fn analyze_boot(defenses: Defenses) -> Analysis {
+    let module = boot_module(defenses);
+    let image = compile(&module, "main").expect("boot firmware lowers");
+    let cfg = Config::default();
+    let g = recover(&image, cfg);
+    let sink = compiled_sink(&g, &image, "main", "impossible", "report(0xC0DE)")
+        .expect("boot sink block lowers");
+    let guards = GuardChecks::from_module(&module, &image);
+    Analysis { image, g, sink, guards, cfg }
+}
+
+/// Analyzes the ingested demo image: the sink is the impossible `bad`
+/// region, and guards are pattern-matched (no compiler metadata).
+pub fn analyze_ingest(ing: &Ingested) -> Analysis {
+    let image = ing.image.clone();
+    let cfg = Config { wide: true, ..Config::default() };
+    let g = recover(&image, cfg);
+    let sink = Sink { label: "the bad region".to_owned(), spans: vec![DEMO_BAD] };
+    let guards = GuardChecks::pattern_rechecks(&g, &image);
+    Analysis { image, g, sink, guards, cfg }
+}
+
+/// The committed demo dump, ingested.
+///
+/// # Panics
+///
+/// Panics if `testdata/ingest_demo.bin` is missing or malformed.
+pub fn ingest_demo() -> Ingested {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../testdata/ingest_demo.bin");
+    let blob = std::fs::read(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    gd_ingest::ingest_bin(&blob, DEMO_BASE).expect("demo blob ingests")
+}
+
+fn graph_summary(out: &mut String, a: &Analysis) {
+    let g = &a.g;
+    let edges: usize = g.succs.iter().map(Vec::len).sum();
+    out.push_str(&format!(
+        "graph: {} blocks, {} edges, {} return edges; {} round(s), \
+         {} constprop iterations\n",
+        g.blocks.len(),
+        edges,
+        g.return_edges.len(),
+        g.rounds,
+        g.fixpoint_iterations,
+    ));
+    out.push_str(&format!(
+        "computed: {} resolved, {} unresolved\n",
+        g.resolved.len(),
+        g.unresolved.len(),
+    ));
+    let spans: Vec<String> =
+        a.sink.spans.iter().map(|&(s, e)| format!("[{s:#010x},{e:#010x})")).collect();
+    out.push_str(&format!("sink: {} {}\n", a.sink.label, spans.join(" ")));
+    out.push_str(&format!(
+        "guards: {} re-check(s), {} detect block(s)\n",
+        a.guards.checks.len(),
+        a.guards.detect_spans.len(),
+    ));
+    out.push_str("-- routines --\n");
+    for r in dom::routines(g, &a.image) {
+        let dom_h = r.dominators().map_or(0, |d| d.height());
+        out.push_str(&format!(
+            "{:<12} {:>3} blocks {:>3} edges {:>2} back  dom height {:>2}  \
+             postdom height {:>2}\n",
+            r.name,
+            r.blocks.len(),
+            r.edge_count(),
+            r.back_edges(),
+            dom_h,
+            r.post_dominators().height(),
+        ));
+    }
+}
+
+fn findings_section(out: &mut String, findings: &[Finding]) {
+    out.push_str("-- GL03xx --\n");
+    for id in ["GL0301", "GL0302", "GL0303", "GL0304"] {
+        let n = findings.iter().filter(|f| f.lint == id).count();
+        out.push_str(&format!("{id} {n}\n"));
+    }
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+}
+
+/// Analyzes and renders one boot configuration section, returning the
+/// findings for gating.
+pub fn cfg_boot(name: &str, defenses: Defenses) -> (Vec<Finding>, String) {
+    let a = analyze_boot(defenses);
+    let findings = lint_cfg(&a.ctx());
+    let mut out = format!("== {name} ==\n");
+    graph_summary(&mut out, &a);
+    findings_section(&mut out, &findings);
+    (findings, out)
+}
+
+/// One cell-per-instance confusion tally between the static verdicts
+/// (`s`) and the simulated outcomes (`d`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Confusion {
+    /// Statically dangerous, dynamically Successful — true positives.
+    pub hit: u64,
+    /// Statically dangerous, dynamically harmless — the measured
+    /// over-approximation.
+    pub over: u64,
+    /// Statically safe, dynamically Successful — a soundness violation;
+    /// the gate requires zero.
+    pub unsound: u64,
+    /// Statically safe, dynamically harmless — true negatives.
+    pub agree_safe: u64,
+}
+
+impl Confusion {
+    fn record(&mut self, s_dangerous: bool, d_success: bool) {
+        match (s_dangerous, d_success) {
+            (true, true) => self.hit += 1,
+            (true, false) => self.over += 1,
+            (false, true) => self.unsound += 1,
+            (false, false) => self.agree_safe += 1,
+        }
+    }
+
+    /// Instances in this tally.
+    pub fn total(&self) -> u64 {
+        self.hit + self.over + self.unsound + self.agree_safe
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, o: &Confusion) {
+        self.hit += o.hit;
+        self.over += o.over;
+        self.unsound += o.unsound;
+        self.agree_safe += o.agree_safe;
+    }
+}
+
+/// One agreement sweep: per-routine confusion rows (scope order) and
+/// their merged total.
+pub struct Agreement {
+    /// Per-routine rows.
+    pub rows: Vec<(String, Confusion)>,
+    /// All rows merged.
+    pub total: Confusion,
+    /// The rendered table.
+    pub rendered: String,
+}
+
+/// The fault instances the agreement sweep enumerates at one site: the
+/// sixteen single-bit transient flips (xor1.t) plus the transient skip
+/// (skip.t) — the models the `GL03xx` verdicts cover exactly.
+fn instances(site: &SiteInfo) -> Vec<FaultInstance> {
+    let mut out: Vec<FaultInstance> = bit_masks()
+        .map(|m| FaultInstance {
+            site: site.addr,
+            kind: InjectKind::Corrupt { hw: site.hw ^ m },
+            persistence: Persistence::Transient,
+        })
+        .collect();
+    out.push(FaultInstance {
+        site: site.addr,
+        kind: InjectKind::Skip,
+        persistence: Persistence::Transient,
+    });
+    out
+}
+
+fn static_dangerous(ctx: &FaultCtx<'_>, site: &SiteInfo, inst: &FaultInstance) -> bool {
+    let sd = SiteDesc { addr: site.addr, hw: site.hw, hw2: site.hw2, size: site.size };
+    match inst.kind {
+        InjectKind::Corrupt { hw } => ctx.classify_flip(&sd, hw ^ site.hw).dangerous(),
+        InjectKind::Skip => ctx.classify_skip(&sd).dangerous(),
+        // The sweep never arms bus faults; treat any future extension
+        // conservatively.
+        _ => true,
+    }
+}
+
+/// Classifies every instance at every site, both ways. `mk_runner`
+/// builds one simulator per chunk; per-site tallies merge in site order.
+fn classify_sites<R, F>(a: &Analysis, scope_sites: &[SiteInfo], mk_runner: F) -> Vec<Confusion>
+where
+    R: FnMut(FaultInstance) -> Outcome,
+    F: Fn() -> R + Sync,
+{
+    let ctx = a.ctx();
+    gd_exec::par_map_chunks(scope_sites, AGREE_CHUNK, |chunk| {
+        let mut run = mk_runner();
+        chunk
+            .items
+            .iter()
+            .map(|site| {
+                let mut c = Confusion::default();
+                for inst in instances(site) {
+                    let s = static_dangerous(&ctx, site, &inst);
+                    let d = run(inst) == Outcome::Success;
+                    c.record(s, d);
+                }
+                c
+            })
+            .collect::<Vec<_>>()
+    })
+    .concat()
+}
+
+/// Folds per-site tallies into per-routine rows, in `order`.
+fn fold_rows(
+    image: &FirmwareImage,
+    order: &[&str],
+    scope_sites: &[SiteInfo],
+    per_site: &[Confusion],
+) -> Agreement {
+    let mut rows: Vec<(String, Confusion)> =
+        order.iter().map(|n| ((*n).to_owned(), Confusion::default())).collect();
+    for (site, c) in scope_sites.iter().zip(per_site) {
+        let (name, _) = image.symbolize(site.addr).expect("scoped site has a routine");
+        let row = rows.iter_mut().find(|(n, _)| n == name).expect("site routine is scoped");
+        row.1.merge(c);
+    }
+    let mut total = Confusion::default();
+    for (_, c) in &rows {
+        total.merge(c);
+    }
+    Agreement { rows, total, rendered: String::new() }
+}
+
+fn render_agreement(name: &str, agreement: &mut Agreement) {
+    let mut out = format!("== {name} ==\n");
+    out.push_str(&format!(
+        "{:<12} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+        "routine", "s+d+", "s+d-", "s-d+", "s-d-", "total",
+    ));
+    let line = |out: &mut String, label: &str, c: &Confusion| {
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            label,
+            c.hit,
+            c.over,
+            c.unsound,
+            c.agree_safe,
+            c.total(),
+        ));
+    };
+    for (n, c) in &agreement.rows {
+        line(&mut out, n, c);
+    }
+    line(&mut out, "total", &agreement.total);
+    out.push_str(&format!(
+        "unsound (statically safe, dynamically Successful): {}\n",
+        agreement.total.unsound,
+    ));
+    agreement.rendered = out;
+}
+
+/// The boot agreement sweep for one configuration: static verdicts over
+/// the [`SCOPE_FUNCS`] instruction walk vs one [`MultiFaultRunner`]
+/// trial per instance.
+pub fn boot_agreement(name: &str, defenses: Defenses) -> Agreement {
+    let a = analyze_boot(defenses);
+    let scope_sites = sites(&a.image, a.cfg, &SCOPE_FUNCS);
+    let ranges: Vec<(u32, u32)> = SCOPE_FUNCS
+        .iter()
+        .map(|n| {
+            let e = a.image.extent(n).expect("scoped routine exists");
+            (e.base, e.end)
+        })
+        .collect();
+    let per_site = classify_sites(&a, &scope_sites, || {
+        let mut runner = MultiFaultRunner::new(&a.image, a.cfg, &ranges);
+        move |inst: FaultInstance| runner.run(&[inst])
+    });
+    let mut agreement = fold_rows(&a.image, &SCOPE_FUNCS, &scope_sites, &per_site);
+    render_agreement(name, &mut agreement);
+    agreement
+}
+
+/// The ingest agreement sweep: static verdicts over the demo's full
+/// instruction walk vs [`DivergenceRunner`] trials watching the
+/// compromise store.
+pub fn ingest_agreement() -> Agreement {
+    let ing = ingest_demo();
+    let a = analyze_ingest(&ing);
+    let funcs: Vec<&str> = a.image.extents.iter().map(|e| e.name.as_str()).collect();
+    let scope_sites = sites(&a.image, a.cfg, &funcs);
+    let ranges: Vec<(u32, u32)> = a.image.extents.iter().map(|e| (e.base, e.end)).collect();
+    let per_site = classify_sites(&a, &scope_sites, || {
+        let mut runner = DivergenceRunner::new(&a.image, a.cfg, &ranges, Some(DEMO_WATCH));
+        move |inst: FaultInstance| runner.run(&[inst])
+    });
+    let mut agreement = fold_rows(&a.image, &funcs, &scope_sites, &per_site);
+    render_agreement("ingest demo", &mut agreement);
+    agreement
+}
+
+/// Start marker of the agreement region inside `results/cfg_boot.txt`
+/// (`scripts/ci.sh` extracts the region and compares it against the
+/// copy committed in `EXPERIMENTS.md`).
+pub const AGREE_BEGIN: &str =
+    "---- agreement: static GL03xx verdicts vs simulated xor1.t + skip.t ----";
+
+/// End marker of the agreement region.
+pub const AGREE_END: &str = "---- end agreement ----";
+
+/// The full `results/cfg_boot.txt` artifact: one recovery/lint section
+/// per Table IV configuration, then the agreement tables for the `None`
+/// and `All` endpoints.
+pub fn full_report() -> String {
+    let configs = configurations();
+    let mut out = String::new();
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    out.push_str("CFG recovery + GL03xx glitch reachability — firmware::boot\n");
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    let sections = gd_exec::par_map_chunks(&configs, 1, |chunk| {
+        chunk.items.iter().map(|&(name, d)| cfg_boot(name, d).1).collect::<String>()
+    });
+    out.push_str(&sections.concat());
+    out.push_str(AGREE_BEGIN);
+    out.push('\n');
+    out.push_str("legend: s+ statically dangerous / d+ simulator-proved Successful;\n");
+    out.push_str("        soundness requires the s-d+ cell be zero on every row\n");
+    for (name, defenses) in [("None", Defenses::NONE), ("All", Defenses::ALL)] {
+        out.push_str(&boot_agreement(name, defenses).rendered);
+    }
+    out.push_str(AGREE_END);
+    out.push('\n');
+    out
+}
+
+/// The full `results/cfg_ingest.txt` artifact: recovery summary,
+/// extent divergences, `GL03xx` findings, and the divergence-based
+/// agreement table over the committed demo dump.
+pub fn ingest_report() -> String {
+    let ing = ingest_demo();
+    let a = analyze_ingest(&ing);
+    let mut out = String::new();
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    out.push_str("CFG recovery + GL03xx glitch reachability — testdata/ingest_demo.bin\n");
+    out.push_str(&"-".repeat(60));
+    out.push('\n');
+    out.push_str("== ingest demo ==\n");
+    graph_summary(&mut out, &a);
+    let divs = divergences(&a.g, &a.image);
+    if divs.is_empty() {
+        out.push_str(
+            "divergences: none (every walked instruction is inside an inferred code span)\n",
+        );
+    } else {
+        for d in &divs {
+            out.push_str(&format!(
+                "divergence: {} code_end {:#010x} -> {:#010x} (+{} instrs)\n",
+                d.name, d.code_end, d.refined, d.extra_instrs,
+            ));
+        }
+    }
+    let findings = lint_cfg(&a.ctx());
+    findings_section(&mut out, &findings);
+    out.push_str(AGREE_BEGIN);
+    out.push('\n');
+    out.push_str(&ingest_agreement().rendered);
+    out.push_str(AGREE_END);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_agreement_is_sound_at_both_endpoints() {
+        for (name, d) in [("None", Defenses::NONE), ("All", Defenses::ALL)] {
+            let a = boot_agreement(name, d);
+            assert_eq!(a.total.unsound, 0, "unsound instances on {name}:\n{}", a.rendered);
+            assert!(a.total.hit > 0 || name == "All", "{name} finds true positives");
+        }
+    }
+
+    #[test]
+    fn ingest_agreement_is_sound() {
+        let a = ingest_agreement();
+        assert_eq!(a.total.unsound, 0, "unsound instances on the demo:\n{}", a.rendered);
+        assert!(a.total.total() > 0);
+    }
+
+    #[test]
+    fn boot_sections_are_deterministic() {
+        let (_, a) = cfg_boot("Loops", Defenses::LOOPS);
+        let (_, b) = cfg_boot("Loops", Defenses::LOOPS);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fully_hardened_boot_has_no_structural_guard_findings() {
+        let (findings, _) = cfg_boot("All", Defenses::ALL);
+        // Every emitted guard dominates what it protects: GL0302 (the
+        // `--deny GL0302` CI gate) must be clean on the All config.
+        let broken: Vec<_> = findings.iter().filter(|f| f.lint == "GL0302").collect();
+        assert!(broken.is_empty(), "non-dominating guards on All: {broken:?}");
+        // GL0303 may fire — but only for guards in HAL filler routines
+        // that really are dead code in the boot image, never on the
+        // live main/crc_mix/check_tick spine.
+        let live = ["main", "crc_mix", "check_tick", "report", "hal_init"];
+        let dead_guard_misfires: Vec<_> = findings
+            .iter()
+            .filter(|f| f.lint == "GL0303" && live.contains(&f.function.as_str()))
+            .collect();
+        assert!(dead_guard_misfires.is_empty(), "GL0303 on live routines: {dead_guard_misfires:?}");
+    }
+}

@@ -27,6 +27,7 @@
 
 pub use gd_campaign::{defense, fig2, glitch_tables, report};
 
+pub mod cfg_report;
 pub mod lint;
 pub mod overhead;
 pub mod selfcheck;

@@ -111,7 +111,23 @@ fn table1_served_over_http_matches_the_committed_results() {
         "/../../testdata/ingest_demo.bin"
     )))
     .expect("committed demo blob");
-    gd_ingest::ingest_bin(&blob, gd_ingest::testimg::DEMO_BASE).expect("demo blob ingests");
+    let ing =
+        gd_ingest::ingest_bin(&blob, gd_ingest::testimg::DEMO_BASE).expect("demo blob ingests");
+
+    // The CFG analyzer rides the same registry: recover the demo image,
+    // record its per-image recovery counters, and run the GL03xx lints
+    // so their verdict series move alongside the GL01xx/GL02xx ones.
+    let wide = gd_emu::Config { wide: true, ..gd_emu::Config::default() };
+    let g = gd_cfg::recover(&ing.image, wide);
+    gd_cfg::metrics::record(&g, "e2e_demo");
+    let sink = gd_cfg::lints::Sink {
+        label: "the bad region".to_owned(),
+        spans: vec![(gd_ingest::testimg::DEMO_BASE + 0x1a, gd_ingest::testimg::DEMO_BASE + 0x28)],
+    };
+    let guards = gd_cfg::lints::GuardChecks::pattern_rechecks(&g, &ing.image);
+    let ctx = gd_cfg::lints::FaultCtx::new(&g, &ing.image, &sink, &guards);
+    gd_lint::LintReport::new(gd_cfg::lints::lint_cfg(&ctx), &gd_lint::Suppressions::default())
+        .record_metrics();
 
     let (status, metrics) = request(&addr, "GET", "/metrics", None).expect("GET /metrics");
     assert_eq!(status, 200);
@@ -136,6 +152,10 @@ fn table1_served_over_http_matches_the_committed_results() {
         "# TYPE gd_ingest_text_bytes_total counter",
         "# TYPE gd_ingest_extents_total counter",
         "# TYPE gd_ingest_pool_bytes_total counter",
+        "# TYPE gd_cfg_blocks_total counter",
+        "# TYPE gd_cfg_edges_total counter",
+        "# TYPE gd_cfg_fixpoint_iterations_total counter",
+        "# TYPE gd_cfg_unresolved_computed_total counter",
     ] {
         assert!(metrics.contains(family), "missing {family:?} in:\n{metrics}");
     }
@@ -175,6 +195,18 @@ fn table1_served_over_http_matches_the_committed_results() {
         let series = format!("gd_lint_findings_total{{lint=\"{}\"}} 0", spec.id);
         assert!(metrics.contains(&series), "missing/nonzero {series:?} in:\n{metrics}");
     }
+    // The CFG pass above counted the demo's recovered graph under its
+    // own label and moved the GL0301 verdict series off zero (the demo
+    // has exactly two glitch-reachable-sink findings — see
+    // results/cfg_ingest.txt).
+    assert!(
+        metrics.contains(r#"gd_cfg_blocks_total{image="e2e_demo"} 8"#),
+        "demo graph blocks counted:\n{metrics}"
+    );
+    assert!(
+        metrics.contains(r#"gd_lint_findings_total{lint="GL0301"} 2"#),
+        "GL0301 verdicts counted:\n{metrics}"
+    );
 
     server.shutdown().expect("clean shutdown");
 }

@@ -1,0 +1,415 @@
+//! Generic forward-dataflow worklist engine and the register
+//! constant-propagation domain used to resolve computed branches.
+//!
+//! The lattice per register is `Const(v) ⊑ Top`; an unreached block has
+//! no state at all (`None`). The engine propagates over intraprocedural
+//! edges plus `CallReturn` (through [`Dataflow::across_call`], which for
+//! constants clobbers everything — the ABI saves nothing). `Call` edges
+//! do not propagate: routine entries start from
+//! [`Dataflow::entry_state`], which keeps the analysis sound for any
+//! caller.
+
+use std::collections::BTreeMap;
+
+use gd_backend::FirmwareImage;
+use gd_thumb::{thumb_expand_imm, AluOp, Instr, Reg, ShiftOp, WideDpOp};
+
+use crate::graph::{read_text_word, Block, Cfg, EdgeKind};
+
+/// A forward dataflow problem over the recovered CFG.
+pub trait Dataflow {
+    /// Per-block abstract state.
+    type State: Clone + PartialEq;
+
+    /// State at routine entries.
+    fn entry_state(&self) -> Self::State;
+
+    /// Transfer function over a whole block.
+    fn transfer(&self, block: &Block, input: &Self::State) -> Self::State;
+
+    /// Joins `other` into `into`; returns whether `into` changed.
+    fn join(&self, into: &mut Self::State, other: &Self::State) -> bool;
+
+    /// State surviving across a call (applied on `CallReturn` edges).
+    fn across_call(&self, after_call: &Self::State) -> Self::State;
+}
+
+/// Runs `d` to fixpoint from the given entry blocks. Returns the state
+/// at each block *entry* (`None` = unreached) and the number of
+/// worklist iterations (block transfers applied).
+pub fn fixpoint<D: Dataflow>(g: &Cfg, entries: &[usize], d: &D) -> (Vec<Option<D::State>>, u64) {
+    let n = g.blocks.len();
+    let mut input: Vec<Option<D::State>> = vec![None; n];
+    let mut work: Vec<usize> = Vec::new();
+    let mut queued = vec![false; n];
+    for &e in entries {
+        input[e] = Some(d.entry_state());
+        if !queued[e] {
+            queued[e] = true;
+            work.push(e);
+        }
+    }
+    let mut iterations = 0u64;
+    while let Some(b) = work.pop() {
+        queued[b] = false;
+        iterations += 1;
+        let out = d.transfer(&g.blocks[b], input[b].as_ref().expect("queued blocks have state"));
+        for &(t, kind) in &g.succs[b] {
+            let flowed = match kind {
+                EdgeKind::Call => continue,
+                EdgeKind::CallReturn => d.across_call(&out),
+                _ => out.clone(),
+            };
+            let changed = match &mut input[t] {
+                Some(s) => d.join(s, &flowed),
+                slot @ None => {
+                    *slot = Some(flowed);
+                    true
+                }
+            };
+            if changed && !queued[t] {
+                queued[t] = true;
+                work.push(t);
+            }
+        }
+    }
+    (input, iterations)
+}
+
+/// One register's abstract value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Val {
+    /// Exactly this value on every path.
+    Const(u32),
+    /// Unknown.
+    Top,
+}
+
+impl Val {
+    fn known(self) -> Option<u32> {
+        match self {
+            Val::Const(v) => Some(v),
+            Val::Top => None,
+        }
+    }
+
+    fn map2(a: Val, b: Val, f: impl FnOnce(u32, u32) -> u32) -> Val {
+        match (a, b) {
+            (Val::Const(x), Val::Const(y)) => Val::Const(f(x, y)),
+            _ => Val::Top,
+        }
+    }
+
+    fn map1(self, f: impl FnOnce(u32) -> u32) -> Val {
+        match self {
+            Val::Const(x) => Val::Const(f(x)),
+            Val::Top => Val::Top,
+        }
+    }
+}
+
+/// Register file lattice (r0–r12, sp, lr; pc is never tracked).
+pub type Regs = [Val; 16];
+
+/// The constant-propagation problem.
+pub struct ConstProp<'a> {
+    /// The image, for PC-relative pool reads.
+    pub image: &'a FirmwareImage,
+}
+
+impl ConstProp<'_> {
+    fn read(&self, regs: &Regs, r: Reg, addr: u32) -> Val {
+        if r == Reg::PC {
+            Val::Const(addr.wrapping_add(4))
+        } else {
+            regs[r.index() as usize]
+        }
+    }
+
+    /// Applies one instruction to the register lattice. Every register
+    /// an instruction may write must be clobbered here — the match is
+    /// exhaustive so new encodings fail the build instead of silently
+    /// keeping stale constants.
+    pub fn step(&self, regs: &mut Regs, instr: Instr, addr: u32) {
+        let set = |regs: &mut Regs, r: Reg, v: Val| {
+            if r != Reg::PC {
+                regs[r.index() as usize] = v;
+            }
+        };
+        match instr {
+            Instr::ShiftImm { op, rd, rm, imm5 } => {
+                let a = self.read(regs, rm, addr);
+                let v = match (op, imm5) {
+                    (ShiftOp::Lsl, _) => a.map1(|x| x << imm5),
+                    // LSR/ASR with imm5 == 0 encode a shift by 32.
+                    (ShiftOp::Lsr, 0) => Val::Const(0),
+                    (ShiftOp::Lsr, _) => a.map1(|x| x >> imm5),
+                    (ShiftOp::Asr, 0) => a.map1(|x| (x as i32 >> 31) as u32),
+                    (ShiftOp::Asr, _) => a.map1(|x| (x as i32 >> imm5) as u32),
+                };
+                set(regs, rd, v);
+            }
+            Instr::AddReg3 { rd, rn, rm } => {
+                let v = Val::map2(self.read(regs, rn, addr), self.read(regs, rm, addr), |a, b| {
+                    a.wrapping_add(b)
+                });
+                set(regs, rd, v);
+            }
+            Instr::SubReg3 { rd, rn, rm } => {
+                let v = Val::map2(self.read(regs, rn, addr), self.read(regs, rm, addr), |a, b| {
+                    a.wrapping_sub(b)
+                });
+                set(regs, rd, v);
+            }
+            Instr::AddImm3 { rd, rn, imm3 } => {
+                let v = self.read(regs, rn, addr).map1(|a| a.wrapping_add(u32::from(imm3)));
+                set(regs, rd, v);
+            }
+            Instr::SubImm3 { rd, rn, imm3 } => {
+                let v = self.read(regs, rn, addr).map1(|a| a.wrapping_sub(u32::from(imm3)));
+                set(regs, rd, v);
+            }
+            Instr::MovImm { rd, imm8 } => set(regs, rd, Val::Const(u32::from(imm8))),
+            Instr::CmpImm { .. } => {}
+            Instr::AddImm8 { rdn, imm8 } => {
+                let v = self.read(regs, rdn, addr).map1(|a| a.wrapping_add(u32::from(imm8)));
+                set(regs, rdn, v);
+            }
+            Instr::SubImm8 { rdn, imm8 } => {
+                let v = self.read(regs, rdn, addr).map1(|a| a.wrapping_sub(u32::from(imm8)));
+                set(regs, rdn, v);
+            }
+            Instr::Alu { op, rdn, rm } => {
+                let a = self.read(regs, rdn, addr);
+                let b = self.read(regs, rm, addr);
+                let v = match op {
+                    AluOp::And => Val::map2(a, b, |x, y| x & y),
+                    AluOp::Eor => Val::map2(a, b, |x, y| x ^ y),
+                    AluOp::Orr => Val::map2(a, b, |x, y| x | y),
+                    AluOp::Bic => Val::map2(a, b, |x, y| x & !y),
+                    AluOp::Mvn => b.map1(|y| !y),
+                    AluOp::Mul => Val::map2(a, b, u32::wrapping_mul),
+                    AluOp::Rsb => b.map1(|y| 0u32.wrapping_sub(y)),
+                    AluOp::Tst | AluOp::Cmp | AluOp::Cmn => return,
+                    // Flag- or amount-dependent: give up on the value.
+                    AluOp::Lsl | AluOp::Lsr | AluOp::Asr | AluOp::Adc | AluOp::Sbc | AluOp::Ror => {
+                        Val::Top
+                    }
+                };
+                set(regs, rdn, v);
+            }
+            Instr::AddHi { rdn, rm } => {
+                let v = Val::map2(self.read(regs, rdn, addr), self.read(regs, rm, addr), |a, b| {
+                    a.wrapping_add(b)
+                });
+                set(regs, rdn, v);
+            }
+            Instr::CmpHi { .. } => {}
+            Instr::MovHi { rd, rm } => {
+                let v = self.read(regs, rm, addr);
+                set(regs, rd, v);
+            }
+            Instr::Bx { .. } | Instr::Blx { .. } => set(regs, Reg::LR, Val::Top),
+            Instr::LdrLit { rt, imm8 } => {
+                let slot = (addr.wrapping_add(4) & !3).wrapping_add(u32::from(imm8) * 4);
+                let v = read_text_word(self.image, slot).map_or(Val::Top, Val::Const);
+                set(regs, rt, v);
+            }
+            Instr::LoadReg { rt, .. }
+            | Instr::LdrsbReg { rt, .. }
+            | Instr::LdrshReg { rt, .. }
+            | Instr::LoadImm { rt, .. }
+            | Instr::LdrSp { rt, .. } => set(regs, rt, Val::Top),
+            Instr::StoreReg { .. } | Instr::StoreImm { .. } | Instr::StrSp { .. } => {}
+            Instr::Adr { rd, imm8 } => {
+                let v = (addr.wrapping_add(4) & !3).wrapping_add(u32::from(imm8) * 4);
+                set(regs, rd, Val::Const(v));
+            }
+            Instr::AddSpImm { rd, imm8 } => {
+                let v =
+                    regs[Reg::SP.index() as usize].map1(|s| s.wrapping_add(u32::from(imm8) * 4));
+                set(regs, rd, v);
+            }
+            Instr::AddSp { imm7 } => {
+                let v =
+                    regs[Reg::SP.index() as usize].map1(|s| s.wrapping_add(u32::from(imm7) * 4));
+                set(regs, Reg::SP, v);
+            }
+            Instr::SubSp { imm7 } => {
+                let v =
+                    regs[Reg::SP.index() as usize].map1(|s| s.wrapping_sub(u32::from(imm7) * 4));
+                set(regs, Reg::SP, v);
+            }
+            Instr::Sxth { rd, rm } => {
+                let v = self.read(regs, rm, addr).map1(|x| x as u16 as i16 as i32 as u32);
+                set(regs, rd, v);
+            }
+            Instr::Sxtb { rd, rm } => {
+                let v = self.read(regs, rm, addr).map1(|x| x as u8 as i8 as i32 as u32);
+                set(regs, rd, v);
+            }
+            Instr::Uxth { rd, rm } => {
+                let v = self.read(regs, rm, addr).map1(|x| x & 0xFFFF);
+                set(regs, rd, v);
+            }
+            Instr::Uxtb { rd, rm } => {
+                let v = self.read(regs, rm, addr).map1(|x| x & 0xFF);
+                set(regs, rd, v);
+            }
+            Instr::Rev { rd, rm } => {
+                let v = self.read(regs, rm, addr).map1(u32::swap_bytes);
+                set(regs, rd, v);
+            }
+            Instr::Rev16 { rd, rm } => {
+                let v = self
+                    .read(regs, rm, addr)
+                    .map1(|x| (x & 0xFF00FF00) >> 8 | (x & 0x00FF00FF) << 8);
+                set(regs, rd, v);
+            }
+            Instr::Revsh { rd, rm } => {
+                let v = self
+                    .read(regs, rm, addr)
+                    .map1(|x| ((x as u16).swap_bytes() as i16) as i32 as u32);
+                set(regs, rd, v);
+            }
+            Instr::Push { .. } => set(regs, Reg::SP, Val::Top),
+            Instr::Pop { rlist, pc: _ } => {
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        regs[i as usize] = Val::Top;
+                    }
+                }
+                set(regs, Reg::SP, Val::Top);
+            }
+            Instr::Bkpt { .. } | Instr::Hint { .. } | Instr::Cps { .. } => {}
+            Instr::Stm { rn, .. } => set(regs, rn, Val::Top),
+            Instr::Ldm { rn, rlist } => {
+                for i in 0..8 {
+                    if rlist & (1 << i) != 0 {
+                        regs[i as usize] = Val::Top;
+                    }
+                }
+                set(regs, rn, Val::Top);
+            }
+            Instr::BCond { .. }
+            | Instr::Udf { .. }
+            | Instr::Svc { .. }
+            | Instr::B { .. }
+            | Instr::BW { .. }
+            | Instr::BCondW { .. } => {}
+            Instr::Bl { .. } => set(regs, Reg::LR, Val::Top),
+            Instr::DpImm { op, rn, rd, .. } if rd == Reg::PC => {
+                // Compare/test form: flags only.
+                let _ = (op, rn);
+            }
+            Instr::DpImm { op, s: _, rn, rd, imm12 } => {
+                let imm = thumb_expand_imm(imm12);
+                let a = if rn == Reg::PC { Val::Const(0) } else { regs[rn.index() as usize] };
+                let v = match op {
+                    WideDpOp::And => a.map1(|x| x & imm),
+                    WideDpOp::Bic => a.map1(|x| x & !imm),
+                    WideDpOp::Orr if rn == Reg::PC => Val::Const(imm),
+                    WideDpOp::Orr => a.map1(|x| x | imm),
+                    WideDpOp::Orn if rn == Reg::PC => Val::Const(!imm),
+                    WideDpOp::Orn => a.map1(|x| x | !imm),
+                    WideDpOp::Eor => a.map1(|x| x ^ imm),
+                    WideDpOp::Add => a.map1(|x| x.wrapping_add(imm)),
+                    WideDpOp::Sub => a.map1(|x| x.wrapping_sub(imm)),
+                    WideDpOp::Rsb => a.map1(|x| imm.wrapping_sub(x)),
+                    // Carry-dependent.
+                    WideDpOp::Adc | WideDpOp::Sbc => Val::Top,
+                };
+                set(regs, rd, v);
+            }
+            Instr::MovW { rd, imm16 } => set(regs, rd, Val::Const(u32::from(imm16))),
+            Instr::MovT { rd, imm16 } => {
+                let v = regs[rd.index() as usize].map1(|x| x & 0xFFFF | u32::from(imm16) << 16);
+                set(regs, rd, v);
+            }
+            Instr::LdrW { rt, rn, imm12 } => {
+                let v = if rn == Reg::PC {
+                    let slot = (addr.wrapping_add(4) & !3).wrapping_add(u32::from(imm12));
+                    read_text_word(self.image, slot).map_or(Val::Top, Val::Const)
+                } else {
+                    Val::Top
+                };
+                set(regs, rt, v);
+            }
+            Instr::StrW { .. } => {}
+        }
+    }
+}
+
+impl Dataflow for ConstProp<'_> {
+    type State = Regs;
+
+    fn entry_state(&self) -> Regs {
+        [Val::Top; 16]
+    }
+
+    fn transfer(&self, block: &Block, input: &Regs) -> Regs {
+        let mut regs = *input;
+        for &(addr, instr, _) in &block.instrs {
+            self.step(&mut regs, instr, addr);
+        }
+        regs
+    }
+
+    fn join(&self, into: &mut Regs, other: &Regs) -> bool {
+        let mut changed = false;
+        for (a, b) in into.iter_mut().zip(other) {
+            if a != b && *a != Val::Top {
+                *a = Val::Top;
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    fn across_call(&self, _after_call: &Regs) -> Regs {
+        [Val::Top; 16]
+    }
+}
+
+/// Runs constant propagation and resolves every unresolved computed
+/// branch whose operand the lattice pins to one value. Returns
+/// `(site → target)` plus the fixpoint iteration count.
+pub fn resolve_computed(g: &Cfg, image: &FirmwareImage) -> (BTreeMap<u32, u32>, u64) {
+    let cp = ConstProp { image };
+    let entries: Vec<usize> = image
+        .extents
+        .iter()
+        .filter_map(|e| g.index.get(&e.base).copied())
+        .chain(g.index.get(&image.entry).copied())
+        .collect();
+    let (states, iterations) = fixpoint(g, &entries, &cp);
+    let mut resolved = BTreeMap::new();
+    for &site in &g.unresolved {
+        let Some(&(bi, pos)) = g.instr_blocks.get(&site) else { continue };
+        let Some(state) = &states[bi] else { continue };
+        let mut regs = *state;
+        for &(addr, instr, _) in &g.blocks[bi].instrs[..pos] {
+            cp.step(&mut regs, instr, addr);
+        }
+        let (_, instr, _) = g.blocks[bi].instrs[pos];
+        let target = match instr {
+            Instr::Bx { rm } | Instr::Blx { rm } => {
+                regs[rm.index() as usize].known().filter(|v| v & 1 == 1).map(|v| v & !1)
+            }
+            Instr::MovHi { rd: Reg::PC, rm } => cp.read(&regs, rm, site).known().map(|v| v & !1),
+            Instr::AddHi { rdn: Reg::PC, rm } => {
+                cp.read(&regs, rm, site).known().map(|v| site.wrapping_add(4).wrapping_add(v) & !1)
+            }
+            Instr::LdrW { rt: Reg::PC, rn, imm12 } if rn != Reg::PC => regs[rn.index() as usize]
+                .known()
+                .and_then(|base| read_text_word(image, base.wrapping_add(u32::from(imm12))))
+                .filter(|v| v & 1 == 1)
+                .map(|v| v & !1),
+            _ => None,
+        };
+        if let Some(t) = target {
+            resolved.insert(site, t);
+        }
+    }
+    (resolved, iterations)
+}

@@ -1,0 +1,211 @@
+//! Intraprocedural dominator and post-dominator trees over the
+//! recovered CFG, computed per routine with the iterative
+//! Cooper–Harvey–Kennedy algorithm.
+
+use crate::graph::{Cfg, EdgeKind};
+
+/// A dominator (or post-dominator) tree over one routine's blocks,
+/// indexed by *local* block ids (positions in [`Routine::blocks`]).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator per local block (`None` for the root and for
+    /// unreachable blocks).
+    pub idom: Vec<Option<usize>>,
+    /// The root's local id.
+    pub root: usize,
+}
+
+impl DomTree {
+    /// Whether local block `a` dominates local block `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(p) => cur = p,
+                None => return false,
+            }
+        }
+    }
+
+    /// Depth of `b` in the tree (`None` if unreachable).
+    fn depth(&self, b: usize) -> Option<usize> {
+        let mut d = 0;
+        let mut cur = b;
+        while cur != self.root {
+            cur = self.idom[cur]?;
+            d += 1;
+        }
+        Some(d)
+    }
+
+    /// Maximum tree depth over reachable blocks.
+    pub fn height(&self) -> usize {
+        (0..self.idom.len()).filter_map(|b| self.depth(b)).max().unwrap_or(0)
+    }
+}
+
+/// One routine's intraprocedural subgraph: local ids onto global blocks.
+#[derive(Debug, Clone)]
+pub struct Routine {
+    /// Routine name (from the extent table).
+    pub name: String,
+    /// Global block indices, ascending.
+    pub blocks: Vec<usize>,
+    /// Local id of the entry block, when the extent base was decoded.
+    pub entry: Option<usize>,
+    /// Local successor lists (intra edges only).
+    pub succs: Vec<Vec<usize>>,
+}
+
+impl Routine {
+    /// Local id of global block `g`.
+    pub fn local(&self, g: usize) -> Option<usize> {
+        self.blocks.binary_search(&g).ok()
+    }
+
+    /// Number of intraprocedural edges.
+    pub fn edge_count(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Dominator tree from the routine entry, or `None` without one.
+    pub fn dominators(&self) -> Option<DomTree> {
+        let entry = self.entry?;
+        Some(dominator_tree(self.blocks.len(), entry, &self.succs))
+    }
+
+    /// Post-dominator tree toward a virtual exit collecting every block
+    /// with no intraprocedural successor.
+    pub fn post_dominators(&self) -> DomTree {
+        let n = self.blocks.len();
+        // Virtual exit gets local id `n`.
+        let mut rsuccs: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (from, out) in self.succs.iter().enumerate() {
+            if out.is_empty() {
+                rsuccs[n].push(from);
+            }
+            for &to in out {
+                rsuccs[to].push(from);
+            }
+        }
+        dominator_tree(n + 1, n, &rsuccs)
+    }
+
+    /// Back edges (`u → v` where `v` dominates `u`): natural loops.
+    pub fn back_edges(&self) -> usize {
+        let Some(dom) = self.dominators() else { return 0 };
+        self.succs
+            .iter()
+            .enumerate()
+            .map(|(u, out)| out.iter().filter(|&&v| dom.dominates(v, u)).count())
+            .sum()
+    }
+}
+
+/// Groups blocks into routines by the extent containing their start and
+/// builds each routine's intraprocedural subgraph. `CallReturn` edges
+/// are local flow; `Call` edges are not.
+pub fn routines(g: &Cfg, image: &gd_backend::FirmwareImage) -> Vec<Routine> {
+    let mut out = Vec::new();
+    for e in &image.extents {
+        let blocks: Vec<usize> = g
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.start >= e.base && b.start < e.end)
+            .map(|(i, _)| i)
+            .collect();
+        if blocks.is_empty() {
+            continue;
+        }
+        let succs = blocks
+            .iter()
+            .map(|&b| {
+                g.succs[b]
+                    .iter()
+                    .filter(|&&(_, kind)| kind != EdgeKind::Call)
+                    .filter_map(|&(t, _)| blocks.binary_search(&t).ok())
+                    .collect()
+            })
+            .collect();
+        let entry = g.index.get(&e.base).and_then(|&b| blocks.binary_search(&b).ok());
+        out.push(Routine { name: e.name.clone(), blocks, entry, succs });
+    }
+    out
+}
+
+/// Iterative dominator computation (Cooper–Harvey–Kennedy) over an
+/// arbitrary successor list, rooted at `root`.
+fn dominator_tree(n: usize, root: usize, succs: &[Vec<usize>]) -> DomTree {
+    // Reverse postorder from the root.
+    let mut order = Vec::with_capacity(n);
+    let mut state = vec![0u8; n]; // 0 new, 1 open, 2 done
+    let mut stack = vec![(root, 0usize)];
+    state[root] = 1;
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        if *i < succs[b].len() {
+            let t = succs[b][*i];
+            *i += 1;
+            if state[t] == 0 {
+                state[t] = 1;
+                stack.push((t, 0));
+            }
+        } else {
+            state[b] = 2;
+            order.push(b);
+            stack.pop();
+        }
+    }
+    order.reverse();
+    let rpo_num: Vec<Option<usize>> = {
+        let mut v = vec![None; n];
+        for (i, &b) in order.iter().enumerate() {
+            v[b] = Some(i);
+        }
+        v
+    };
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, out) in succs.iter().enumerate() {
+        for &to in out {
+            preds[to].push(from);
+        }
+    }
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+    let intersect = |idom: &[Option<usize>], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].expect("processed nodes have idoms");
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed nodes have idoms");
+            }
+        }
+        a
+    };
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in order.iter().skip(1) {
+            let mut new_idom = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue;
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, p, cur),
+                });
+            }
+            if new_idom.is_some() && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom[root] = None; // the root has no immediate dominator
+    DomTree { idom, root }
+}

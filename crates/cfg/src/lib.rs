@@ -1,0 +1,66 @@
+//! `gd-cfg`: whole-image control-flow-graph recovery plus the `GL03xx`
+//! glitch-reachability lints.
+//!
+//! The crate answers one question the per-site `GL02xx` surface lints
+//! cannot: *does a given fault matter?* It recovers a machine-level CFG
+//! over any [`gd_backend::FirmwareImage`] — compiled or ingested — with
+//! typed edges, literal-pool awareness, dominator/post-dominator trees,
+//! and a constant-propagation dataflow that resolves computed branches.
+//! On top of the graph, `lints` classifies every single-bit flip and
+//! instruction skip by whether it can steer execution into a sensitive
+//! sink, and `gd-bench`'s agreement harness cross-validates those
+//! verdicts against exhaustive fault-simulation campaigns.
+//!
+//! The analysis is sound in one stated direction: a fault the simulator
+//! proves *Successful* must never be classified statically safe. The
+//! converse (statically dangerous, dynamically harmless) is expected —
+//! that gap is the measured over-approximation, reported per routine in
+//! the agreement tables.
+
+pub mod dataflow;
+pub mod dom;
+pub mod graph;
+pub mod lints;
+pub mod metrics;
+pub mod reach;
+pub mod refine;
+
+pub use graph::{Block, Cfg, EdgeKind, Flow, ReturnEdge, Term};
+
+use std::collections::BTreeMap;
+
+/// Maximum walk/dataflow rounds before recovery gives up on resolving
+/// further computed branches (each round must resolve at least one new
+/// site to continue, so this bound is rarely approached).
+const MAX_ROUNDS: u64 = 8;
+
+/// Recovers the CFG of `image` under decode configuration `cfg`.
+///
+/// Recovery alternates a decode walk with constant propagation: the walk
+/// discovers code from the entry point and every extent base, then the
+/// dataflow tries to pin unresolved computed branches to single targets,
+/// which seeds the next walk with new leaders. Iterates until no new
+/// site resolves (or [`MAX_ROUNDS`]).
+pub fn recover(image: &gd_backend::FirmwareImage, cfg: gd_emu::Config) -> Cfg {
+    let mut resolved: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut rounds = 0u64;
+    let mut fixpoint_iterations = 0u64;
+    loop {
+        let mut g = graph::build(image, cfg, &resolved);
+        rounds += 1;
+        let progress = if g.unresolved.is_empty() || rounds >= MAX_ROUNDS {
+            false
+        } else {
+            let (newly, iters) = dataflow::resolve_computed(&g, image);
+            fixpoint_iterations += iters;
+            let before = resolved.len();
+            resolved.extend(newly);
+            resolved.len() > before
+        };
+        if !progress {
+            g.rounds = rounds;
+            g.fixpoint_iterations = fixpoint_iterations;
+            return g;
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! `gd_cfg_*` metric families, labelled by image.
+
+use crate::graph::Cfg;
+
+/// Records the per-image recovery counters: blocks, edges, dataflow
+/// fixpoint iterations, and computed branches left unresolved.
+pub fn record(g: &Cfg, image_label: &str) {
+    let edges: usize = g.succs.iter().map(Vec::len).sum();
+    let series: [(&str, &str, u64); 4] = [
+        ("gd_cfg_blocks_total", "Basic blocks recovered, by image", g.blocks.len() as u64),
+        ("gd_cfg_edges_total", "CFG edges recovered, by image", edges as u64),
+        (
+            "gd_cfg_fixpoint_iterations_total",
+            "Dataflow worklist iterations spent resolving computed branches, by image",
+            g.fixpoint_iterations,
+        ),
+        (
+            "gd_cfg_unresolved_computed_total",
+            "Computed branches/calls left unresolved after recovery, by image",
+            g.unresolved.len() as u64,
+        ),
+    ];
+    for (name, help, n) in series {
+        gd_obs::counter(name, help, &[("image", image_label)]).add(n);
+    }
+}

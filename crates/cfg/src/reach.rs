@@ -1,0 +1,82 @@
+//! Over-approximating reachability queries used by the glitch lints.
+//!
+//! The traversal is deliberately generous — both arms of every
+//! conditional are taken (a fault may have corrupted the data the
+//! condition reads), calls are both entered and stepped over, and a
+//! callee exit flows to a call's continuation whenever the call site is
+//! live in the *context* (reachable from the image entry — the call
+//! frame may exist when the fault fires) or reached by the query
+//! itself. This is the sound direction for the agreement gate: a fault
+//! the simulator proves Successful must never be statically "safe".
+
+use crate::graph::{Cfg, Term};
+
+/// Result of one reachability query.
+#[derive(Debug, Clone)]
+pub struct Reached {
+    /// Per-block reached flags.
+    pub blocks: Vec<bool>,
+    /// A reached block ends in an unresolved computed branch or call —
+    /// the traversal cannot bound where it goes.
+    pub hit_unresolved: bool,
+}
+
+impl Reached {
+    /// Whether block `b` was reached.
+    pub fn contains(&self, b: usize) -> bool {
+        self.blocks[b]
+    }
+}
+
+/// Blocks reachable from the image entry under the over-approximating
+/// traversal — the "context" set modelling every call frame that can be
+/// live when a fault fires.
+pub fn entry_context(g: &Cfg, entry: u32) -> Vec<bool> {
+    let start = g.index.get(&entry).copied();
+    reach(g, start.as_slice(), &[]).blocks
+}
+
+/// Reachability from `starts` under a live-frame `context` (pass the
+/// result of [`entry_context`]; an empty slice disables the extra
+/// gating, as when computing the context itself).
+pub fn reach(g: &Cfg, starts: &[usize], context: &[bool]) -> Reached {
+    let n = g.blocks.len();
+    let mut reached = vec![false; n];
+    let mut queue: Vec<usize> = Vec::new();
+    let mut hit_unresolved = false;
+    let visit = |b: usize, reached: &mut Vec<bool>, queue: &mut Vec<usize>| {
+        if !reached[b] {
+            reached[b] = true;
+            queue.push(b);
+        }
+    };
+    for &s in starts {
+        visit(s, &mut reached, &mut queue);
+    }
+    loop {
+        while let Some(b) = queue.pop() {
+            if matches!(
+                g.blocks[b].term,
+                Term::Computed { target: None } | Term::Call { target: None }
+            ) {
+                hit_unresolved = true;
+            }
+            for &(t, _) in &g.succs[b] {
+                visit(t, &mut reached, &mut queue);
+            }
+        }
+        // Callee exits flow to continuations of live call sites.
+        let mut changed = false;
+        for re in &g.return_edges {
+            let call_live = reached[re.call] || context.get(re.call).copied().unwrap_or(false);
+            if reached[re.from] && call_live && !reached[re.to] {
+                visit(re.to, &mut reached, &mut queue);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    Reached { blocks: reached, hit_unresolved }
+}

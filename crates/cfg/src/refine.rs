@@ -1,0 +1,94 @@
+//! Feeding CFG-discovered code back into the extent table.
+//!
+//! Ingested images infer each routine's `code_end` by a linear decode
+//! sweep, which stops at the first literal pool — code reached only
+//! through computed branches or tail calls past the pool is invisible to
+//! it and gets misclassified as pool filler. The recovered CFG *does*
+//! see that code (the walk follows resolved computed targets), so this
+//! module compares the two views, reports every divergence, and rebuilds
+//! the extent table with the discovered code classified as code.
+//!
+//! Refinement never grows a code span across a literal word: a
+//! discovered run that starts exactly at `code_end` raises the boundary
+//! in place, while a run past intervening pool words is *split* into its
+//! own extent (named `<routine>+<offset>`), leaving the pool classified
+//! as pool.
+
+use gd_backend::{FirmwareImage, FuncExtent};
+
+use crate::graph::Cfg;
+
+/// One extent whose CFG-walked code extends past the inferred
+/// `code_end`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Routine name.
+    pub name: String,
+    /// The extent's inferred `code_end`.
+    pub code_end: u32,
+    /// End of the last walked instruction inside `[code_end, end)`.
+    pub refined: u32,
+    /// Instructions the walk decoded past `code_end`.
+    pub extra_instrs: usize,
+}
+
+/// Maximal contiguous walked-instruction runs inside `[lo, hi)`, as
+/// `[start, end)` address spans.
+fn instr_runs(g: &Cfg, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+    let mut runs: Vec<(u32, u32)> = Vec::new();
+    for (&addr, &(bi, pos)) in g.instr_blocks.range(lo..hi) {
+        let (_, _, size) = g.blocks[bi].instrs[pos];
+        match runs.last_mut() {
+            Some((_, end)) if *end == addr => *end = addr + size,
+            _ => runs.push((addr, addr + size)),
+        }
+    }
+    runs
+}
+
+/// Compares the recovered graph against the image's extent table.
+pub fn divergences(g: &Cfg, image: &FirmwareImage) -> Vec<Divergence> {
+    let mut out = Vec::new();
+    for e in &image.extents {
+        let runs = instr_runs(g, e.code_end, e.end);
+        let Some(&(_, refined)) = runs.last() else { continue };
+        let extra = g.instr_blocks.range(e.code_end..e.end).count();
+        out.push(Divergence {
+            name: e.name.clone(),
+            code_end: e.code_end,
+            refined,
+            extra_instrs: extra,
+        });
+    }
+    out
+}
+
+/// Rebuilds the extent table with every CFG-discovered code run
+/// reclassified as code. A run flush against an extent's `code_end`
+/// raises the boundary; a run separated from it by pool words becomes a
+/// split extent named `<routine>+<offset>` so the intervening pool stays
+/// pool.
+pub fn refined_extents(g: &Cfg, image: &FirmwareImage) -> Vec<FuncExtent> {
+    let mut out = Vec::new();
+    for e in &image.extents {
+        let mut cur = e.clone();
+        for (start, run_end) in instr_runs(g, e.code_end, e.end) {
+            if start <= cur.code_end {
+                cur.code_end = run_end;
+            } else {
+                let tail = cur.end;
+                cur.end = start;
+                out.push(cur);
+                cur = FuncExtent {
+                    name: format!("{}+{:#x}", e.name, start - e.base),
+                    base: start,
+                    code_end: run_end,
+                    end: tail,
+                    blocks: Vec::new(),
+                };
+            }
+        }
+        out.push(cur);
+    }
+    out
+}

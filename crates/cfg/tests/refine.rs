@@ -1,0 +1,117 @@
+//! Extent refinement: CFG recovery discovers code the linear ingest
+//! sweep misclassified as pool, and the refined extent table splits
+//! around the literal pool rather than swallowing it.
+//!
+//! The fixture is the pathological layout the sweep cannot see through:
+//! the only path to the routine's tail is a computed branch through a
+//! pool constant, and the pool word sits *between* the two code runs.
+//!
+//! ```text
+//! 0x00  vector table: initial SP, reset | 1
+//! 0x08  reset: ldr r0, [pc, #0]   ; loads pool @ 0x0c
+//! 0x0a         bx r0              ; computed: → 0x10 | 1
+//! 0x0c  pool:  .word (base+0x10) | 1
+//! 0x10  tail:  movs r0, #42
+//! 0x12         bkpt #0
+//! ```
+//!
+//! The sweep stops at the referenced pool word (`code_end = 0x0c`), so
+//! `tail` is classified as pool filler. Recovery resolves `bx r0`
+//! through constant propagation and walks `tail`; refinement must then
+//! split `reset` into two extents with the pool word left as pool.
+
+use gd_backend::layout::STACK_TOP;
+use gd_cfg::recover;
+use gd_cfg::refine::{divergences, refined_extents};
+use gd_thumb::{Encoding, Instr, Reg};
+
+const BASE: u32 = 0x0800_0000;
+
+fn emit(code: &mut Vec<u8>, instr: Instr) {
+    match instr.try_encode().unwrap_or_else(|e| panic!("fixture instr {instr}: {e}")) {
+        Encoding::Half(hw) => code.extend_from_slice(&hw.to_le_bytes()),
+        Encoding::Pair(hw1, hw2) => {
+            code.extend_from_slice(&hw1.to_le_bytes());
+            code.extend_from_slice(&hw2.to_le_bytes());
+        }
+    }
+}
+
+/// Builds the computed-branch-past-pool image described in the module
+/// docs. The word at offset 8 is even, so the vector-table scan finds
+/// no handlers past reset and the image has exactly one routine.
+fn fixture() -> Vec<u8> {
+    let mut image = Vec::new();
+    image.extend_from_slice(&STACK_TOP.to_le_bytes());
+    image.extend_from_slice(&((BASE + 8) | 1).to_le_bytes());
+    let code = &mut image;
+    emit(code, Instr::LdrLit { rt: Reg::R0, imm8: 0 }); // 0x08 → pool @ 0x0c
+    emit(code, Instr::Bx { rm: Reg::R0 }); // 0x0a
+    assert_eq!(image.len(), 0x0c, "fixture layout drifted");
+    image.extend_from_slice(&((BASE + 0x10) | 1).to_le_bytes()); // pool
+    let code = &mut image;
+    emit(code, Instr::MovImm { rd: Reg::R0, imm8: 42 }); // 0x10
+    emit(code, Instr::Bkpt { imm8: 0 }); // 0x12
+    image
+}
+
+#[test]
+fn computed_branch_code_past_pool_is_rediscovered_and_split() {
+    let ing = gd_ingest::ingest_bin(&fixture(), BASE).expect("fixture ingests");
+
+    // The linear sweep stops at the referenced pool word: the tail is
+    // misclassified as pool, inflating the pool byte count.
+    assert_eq!(ing.image.extents.len(), 1);
+    let e = &ing.image.extents[0];
+    assert_eq!((e.base, e.code_end, e.end), (BASE + 0x08, BASE + 0x0c, BASE + 0x14));
+    assert_eq!(ing.pool_bytes(), 8);
+
+    // Recovery resolves the computed branch through the pool constant
+    // and walks the tail the sweep could not reach.
+    let cfg = gd_emu::Config { wide: true, ..gd_emu::Config::default() };
+    let g = recover(&ing.image, cfg);
+    assert!(g.unresolved.is_empty(), "unresolved: {:x?}", g.unresolved);
+    assert_eq!(g.resolved.get(&(BASE + 0x0a)), Some(&(BASE + 0x10)));
+    assert!(g.instr_blocks.contains_key(&(BASE + 0x10)), "tail recovered");
+    assert!(!g.instr_blocks.contains_key(&(BASE + 0x0c)), "pool not decoded");
+
+    // The divergence report names the routine and counts the tail.
+    let divs = divergences(&g, &ing.image);
+    assert_eq!(divs.len(), 1);
+    assert_eq!(divs[0].name, "reset");
+    assert_eq!((divs[0].code_end, divs[0].refined), (BASE + 0x0c, BASE + 0x14));
+    assert_eq!(divs[0].extra_instrs, 2);
+
+    // Refinement splits around the pool word instead of claiming it.
+    let refined = refined_extents(&g, &ing.image);
+    assert_eq!(refined.len(), 2);
+    assert_eq!(refined[0].name, "reset");
+    assert_eq!(
+        (refined[0].base, refined[0].code_end, refined[0].end),
+        (BASE + 0x08, BASE + 0x0c, BASE + 0x10)
+    );
+    assert_eq!(refined[1].name, "reset+0x8");
+    assert_eq!(
+        (refined[1].base, refined[1].code_end, refined[1].end),
+        (BASE + 0x10, BASE + 0x14, BASE + 0x14)
+    );
+
+    // Applying the refinement shrinks the pool to the one real word,
+    // and the refined image re-recovers with no new divergences.
+    let ing = ing.with_extents(refined);
+    assert_eq!(ing.pool_bytes(), 4);
+    let g2 = recover(&ing.image, cfg);
+    assert!(divergences(&g2, &ing.image).is_empty());
+}
+
+#[test]
+fn images_without_hidden_code_refine_to_themselves() {
+    // The committed ingest demo has no code past any `code_end`:
+    // refinement must be the identity on its extent table.
+    let ing = gd_ingest::ingest_bin(&gd_ingest::testimg::demo_bin(), gd_ingest::testimg::DEMO_BASE)
+        .expect("demo ingests");
+    let cfg = gd_emu::Config { wide: true, ..gd_emu::Config::default() };
+    let g = recover(&ing.image, cfg);
+    assert!(divergences(&g, &ing.image).is_empty());
+    assert_eq!(refined_extents(&g, &ing.image), ing.image.extents);
+}

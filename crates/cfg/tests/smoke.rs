@@ -1,0 +1,60 @@
+//! Recovery smoke tests: the boot image and the ingest demo produce
+//! structurally sane graphs.
+
+use gd_cfg::{recover, Term};
+use glitch_resistor::{harden, Config as GrConfig, Defenses};
+
+fn boot_image(defenses: Defenses) -> gd_backend::FirmwareImage {
+    let mut m = gd_firmware::boot();
+    harden(&mut m, &GrConfig::new(defenses));
+    gd_backend::compile(&m, "main").expect("boot lowers")
+}
+
+#[test]
+fn boot_none_recovers_a_sane_graph() {
+    let image = boot_image(Defenses::NONE);
+    let g = recover(&image, gd_emu::Config::default());
+    assert!(!g.blocks.is_empty());
+    // Every extent base that holds code becomes a block start.
+    for e in &image.extents {
+        if e.code_end > e.base {
+            assert!(g.index.contains_key(&e.base), "{} entry block missing", e.name);
+        }
+    }
+    // Blocks are sorted, non-overlapping, and instruction-contiguous.
+    for w in g.blocks.windows(2) {
+        assert!(w[0].end <= w[1].start || w[0].start < w[1].start);
+    }
+    for b in &g.blocks {
+        let mut addr = b.start;
+        for &(a, _, size) in &b.instrs {
+            assert_eq!(a, addr, "instructions are contiguous");
+            addr += size;
+        }
+        assert_eq!(addr, b.end);
+    }
+    // The compiled boot image has no computed branches left unresolved.
+    assert!(g.unresolved.is_empty(), "unresolved: {:x?}", g.unresolved);
+}
+
+#[test]
+fn boot_all_recovers_and_has_returns() {
+    let image = boot_image(Defenses::ALL);
+    let g = recover(&image, gd_emu::Config::default());
+    assert!(g.blocks.iter().any(|b| b.term == Term::Ret));
+    assert!(!g.return_edges.is_empty());
+}
+
+#[test]
+fn demo_recovers_with_wide_decode() {
+    let ing = gd_ingest::ingest_bin(&gd_ingest::testimg::demo_bin(), gd_ingest::testimg::DEMO_BASE)
+        .expect("demo ingests");
+    let cfg = gd_emu::Config { wide: true, ..gd_emu::Config::default() };
+    let g = recover(&ing.image, cfg);
+    // The demo's pool word must not be decoded as code.
+    let pool = gd_ingest::testimg::DEMO_BASE + 0x40;
+    assert!(!g.instr_blocks.contains_key(&pool));
+    // The impossible `bad` region is recovered even though no honest
+    // path reaches it (it is straight-line flow from the beq fall arm).
+    assert!(g.instr_blocks.contains_key(&(gd_ingest::testimg::DEMO_BASE + 0x1a)));
+}

@@ -47,6 +47,11 @@ pub struct FuncExtent {
     pub code_end: u32,
     /// End of the routine including its literal pool.
     pub end: u32,
+    /// Lowered basic blocks as `(IR block name, offset from base)`, in
+    /// layout order. Empty for hand-assembled stubs (`_start`, `__gr_`
+    /// helpers) and for ingested images, whose block structure is
+    /// recovered by `gd-cfg` instead of recorded at compile time.
+    pub blocks: Vec<(String, u32)>,
 }
 
 /// A linked firmware image ready to load into the emulator.

@@ -148,6 +148,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
         base: FLASH_BASE,
         code_end: start_end,
         end: start_end,
+        blocks: Vec::new(),
     });
 
     let needs_div = module.funcs.iter().any(|f| {
@@ -173,6 +174,7 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
             base,
             code_end: base + lowered.pool_start as u32,
             end: base + lowered.code.len() as u32,
+            blocks: lowered.blocks,
         });
         text.extend_from_slice(&lowered.code);
     }
@@ -198,7 +200,13 @@ pub fn compile(module: &Module, entry_fn: &str) -> Result<FirmwareImage, LowerEr
         entry_points.sort_by_key(|&(_, a)| a);
         for (i, &(name, addr)) in entry_points.iter().enumerate() {
             let end = entry_points.get(i + 1).map_or(helpers_end, |&(_, a)| a);
-            extents.push(FuncExtent { name: name.clone(), base: addr, code_end: end, end });
+            extents.push(FuncExtent {
+                name: name.clone(),
+                base: addr,
+                code_end: end,
+                end,
+                blocks: Vec::new(),
+            });
         }
         text.extend_from_slice(&helpers.code);
     }
@@ -270,6 +278,8 @@ struct FnLowering {
     call_fixups: Vec<(usize, String)>,
     /// Offset where the literal pool starts (== `code.len()` when empty).
     pool_start: usize,
+    /// `(block name, code offset)` per IR block, in layout order.
+    blocks: Vec<(String, u32)>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -301,8 +311,15 @@ impl FnLowering {
         }
         ctx.patch_local_fixups()?;
         let pool_start = ctx.code.len();
+        let blocks = func
+            .block_ids()
+            .map(|bb| {
+                let off = ctx.block_offsets[bb.index()].expect("all blocks emitted");
+                (func.block(bb).name.clone(), off)
+            })
+            .collect();
         ctx.emit_literal_pool()?;
-        Ok(FnLowering { code: ctx.code, call_fixups: ctx.call_fixups, pool_start })
+        Ok(FnLowering { code: ctx.code, call_fixups: ctx.call_fixups, pool_start, blocks })
     }
 }
 

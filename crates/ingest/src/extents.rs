@@ -83,6 +83,7 @@ pub fn infer_extents(text: &[u8], base: u32, starts: &[(String, u32)]) -> Vec<Fu
             base: *start,
             code_end: addr,
             end: extent_end,
+            blocks: Vec::new(),
         });
     }
     extents

@@ -87,6 +87,17 @@ impl Ingested {
         self.image.extents.iter().map(|e| e.end - e.code_end).sum()
     }
 
+    /// Replaces the extent table, keeping everything else.
+    ///
+    /// This is the refinement hook for analyses that discover code the
+    /// linear inference sweep could not see (e.g. `gd-cfg` resolving a
+    /// computed branch into what inference classified as pool filler):
+    /// they rebuild the table and re-ingest their improved view.
+    pub fn with_extents(mut self, extents: Vec<gd_backend::FuncExtent>) -> Ingested {
+        self.image.extents = extents;
+        self
+    }
+
     /// The typed spec describing this ingestion (strict-JSON
     /// serializable; see [`spec`]).
     pub fn spec(&self) -> IngestSpec {

@@ -96,6 +96,26 @@ pub const CATALOG: &[LintSpec] = &[
         severity: Severity::Note,
         summary: "per-function glitch-sensitivity summary",
     },
+    LintSpec {
+        id: "GL0301",
+        severity: Severity::Note,
+        summary: "single-bit branch flip reaches a sensitive sink without a re-check",
+    },
+    LintSpec {
+        id: "GL0302",
+        severity: Severity::Error,
+        summary: "guard re-check does not dominate the site it protects",
+    },
+    LintSpec {
+        id: "GL0303",
+        severity: Severity::Warning,
+        summary: "guard re-check unreachable from the image entry (dead guard)",
+    },
+    LintSpec {
+        id: "GL0304",
+        severity: Severity::Note,
+        summary: "single instruction-skip of a call bypasses its only dominating check",
+    },
 ];
 
 /// Looks up a lint in [`CATALOG`].
@@ -118,6 +138,9 @@ pub struct Finding {
     pub location: String,
     /// Human-readable explanation.
     pub message: String,
+    /// Function-relative byte span `[start, end)` the finding covers,
+    /// for image-level lints that concern a range rather than a point.
+    pub span: Option<(u32, u32)>,
 }
 
 impl Finding {
@@ -135,7 +158,15 @@ impl Finding {
             function: function.to_owned(),
             location: location.to_owned(),
             message,
+            span: None,
         }
+    }
+
+    /// Attaches a function-relative byte span to the finding.
+    #[must_use]
+    pub fn with_span(mut self, start: u32, end: u32) -> Finding {
+        self.span = Some((start, end));
+        self
     }
 
     fn sort_key(&self) -> (&'static str, &str, &str, &str) {
@@ -242,13 +273,18 @@ impl LintReport {
             .findings
             .iter()
             .map(|f| {
-                Json::obj(vec![
+                let mut fields = vec![
                     ("lint", Json::Str(f.lint.to_owned())),
                     ("severity", Json::Str(f.severity.label().to_owned())),
                     ("function", Json::Str(f.function.clone())),
                     ("location", Json::Str(f.location.clone())),
-                    ("message", Json::Str(f.message.clone())),
-                ])
+                ];
+                if let Some((start, end)) = f.span {
+                    fields.push(("span_start", Json::Int(i128::from(start))));
+                    fields.push(("span_end", Json::Int(i128::from(end))));
+                }
+                fields.push(("message", Json::Str(f.message.clone())));
+                Json::obj(fields)
             })
             .collect();
         Json::obj(vec![("counts", Json::obj(counts)), ("findings", Json::Arr(findings))])
@@ -279,7 +315,14 @@ impl Finding {
     pub fn render(&self) -> String {
         let at =
             if self.location.is_empty() { String::new() } else { format!(" {}", self.location) };
-        format!("{}[{}] @{}{}: {}", self.severity, self.lint, self.function, at, self.message)
+        let span = match self.span {
+            Some((s, e)) => format!(" [+{s:#x}..+{e:#x}]"),
+            None => String::new(),
+        };
+        format!(
+            "{}[{}] @{}{}{}: {}",
+            self.severity, self.lint, self.function, at, span, self.message
+        )
     }
 }
 
@@ -355,5 +398,21 @@ mod tests {
         let arr = parsed.get("findings").and_then(Json::as_arr).unwrap();
         assert_eq!(arr.len(), 1);
         assert_eq!(arr[0].get("lint").and_then(Json::as_str), Some("GL0103"));
+    }
+
+    #[test]
+    fn spans_roundtrip_through_text_and_json() {
+        let spanned = f("GL0301", "main", "+0x12").with_span(0x12, 0x16);
+        let line = spanned.render();
+        assert!(line.contains("[+0x12..+0x16]"), "span rendered: {line}");
+        let report =
+            LintReport::new(vec![spanned, f("GL0201", "main", "+0x4")], &Suppressions::default());
+        let parsed = gd_campaign::json::parse(&report.render_json()).unwrap();
+        let arr = parsed.get("findings").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 2);
+        // GL0201 sorts first and carries no span keys.
+        assert!(arr[0].get("span_start").is_none());
+        assert_eq!(arr[1].get("span_start").and_then(Json::as_u64), Some(0x12));
+        assert_eq!(arr[1].get("span_end").and_then(Json::as_u64), Some(0x16));
     }
 }

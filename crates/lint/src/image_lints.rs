@@ -66,17 +66,21 @@ pub fn lint_image(image: &FirmwareImage) -> (Vec<Finding>, BTreeMap<String, FnSe
                 sens.inverted += i;
                 sens.unconditional += u;
                 sens.fall_through += f;
-                findings.push(Finding::new(
-                    "GL0201",
-                    &extent.name,
-                    &format!("+{:#x}", addr - extent.base),
-                    format!(
-                        "b{} has {} diverting single-bit flips \
-                         ({i} inverted, {u} unconditional, {f} fall-through)",
-                        profile.cond,
-                        profile.diversions(),
-                    ),
-                ));
+                let off = addr - extent.base;
+                findings.push(
+                    Finding::new(
+                        "GL0201",
+                        &extent.name,
+                        &format!("+{off:#x}"),
+                        format!(
+                            "b{} has {} diverting single-bit flips \
+                             ({i} inverted, {u} unconditional, {f} fall-through)",
+                            profile.cond,
+                            profile.diversions(),
+                        ),
+                    )
+                    .with_span(off, off + 2),
+                );
             }
             addr += 2;
         }

@@ -81,6 +81,42 @@ cmp target/multifault_ingest.t1.txt target/multifault_ingest.t8.txt
 cmp target/multifault_ingest.t1.txt results/multifault_ingest.txt
 rm -f target/lint_ingest.t?.txt target/multifault_ingest.t?.txt
 
+# CFG recovery + glitch reachability: both reports must match their
+# committed goldens byte for byte and stay byte-identical across worker
+# counts; the guard-domination gate (GL0302) must be clean on the fully
+# hardened image; and the agreement sweep must stay sound — no fault the
+# simulator proves Successful may be classified statically safe. The
+# agreement tables committed to EXPERIMENTS.md must equal the regions
+# inside the goldens, so the document cannot drift from the artifacts.
+echo "==> gd-cfg --check (CFG recovery + GL03xx lints + agreement tables)"
+./target/release/gd-cfg --check
+
+echo "==> gd-cfg determinism across GD_THREADS=1/2/8"
+for t in 1 2 8; do
+    GD_THREADS=$t ./target/release/gd-cfg > "target/cfg_boot.t$t.txt"
+    GD_THREADS=$t ./target/release/gd-cfg --ingest > "target/cfg_ingest.t$t.txt"
+done
+cmp target/cfg_boot.t1.txt target/cfg_boot.t2.txt
+cmp target/cfg_boot.t1.txt target/cfg_boot.t8.txt
+cmp target/cfg_boot.t1.txt results/cfg_boot.txt
+cmp target/cfg_ingest.t1.txt target/cfg_ingest.t2.txt
+cmp target/cfg_ingest.t1.txt target/cfg_ingest.t8.txt
+cmp target/cfg_ingest.t1.txt results/cfg_ingest.txt
+rm -f target/cfg_boot.t?.txt target/cfg_ingest.t?.txt
+
+echo "==> gd-cfg --deny GL0302 on the fully hardened boot image"
+./target/release/gd-cfg --deny GL0302 --config All > /dev/null
+
+echo "==> gd-cfg --gate (soundness: statically safe implies simulated non-Success)"
+./target/release/gd-cfg --gate > /dev/null
+
+echo "==> EXPERIMENTS.md agreement tables match the committed goldens"
+sed -n '/^---- agreement/,/^---- end agreement/p' \
+    results/cfg_boot.txt results/cfg_ingest.txt > target/agree.golden.txt
+sed -n '/^---- agreement/,/^---- end agreement/p' EXPERIMENTS.md > target/agree.doc.txt
+cmp target/agree.golden.txt target/agree.doc.txt
+rm -f target/agree.golden.txt target/agree.doc.txt
+
 # Benchmark trajectory smoke: re-measure the fig2 sweep, table1 scan,
 # and multifault campaign hot paths (few samples — this is a
 # structure/regression gate, not a baseline regeneration) and compare
